@@ -1,0 +1,121 @@
+#include "bench/bench_common.h"
+
+namespace omos {
+
+const Workloads& FullWorkloads() {
+  static const Workloads* workloads = [] {
+    WorkloadParams params;  // full size
+    return new Workloads(BENCH_UNWRAP(BuildWorkloads(params)));
+  }();
+  return *workloads;
+}
+
+InvocationCost BaselineWorld::Run(const std::string& prog, std::vector<std::string> args) {
+  TaskId id = BENCH_UNWRAP(rtld->Exec(prog, std::move(args)));
+  Task* task = kernel->FindTask(id);
+  BENCH_CHECK(kernel->RunTask(*task));
+  if (task->exit_code() != 0) {
+    std::fprintf(stderr, "baseline %s exited %d\n", prog.c_str(), task->exit_code());
+    std::abort();
+  }
+  InvocationCost cost{task->user_cycles(), task->sys_cycles()};
+  rtld->ReleaseTask(id);
+  kernel->DestroyTask(id);
+  return cost;
+}
+
+InvocationCost OmosWorld::Run(const std::string& meta, std::vector<std::string> args,
+                              bool integrated) {
+  TaskId id = integrated ? BENCH_UNWRAP(server->IntegratedExec(meta, std::move(args)))
+                         : BENCH_UNWRAP(server->BootstrapExec(meta, std::move(args)));
+  Task* task = kernel->FindTask(id);
+  BENCH_CHECK(kernel->RunTask(*task));
+  if (task->exit_code() != 0) {
+    std::fprintf(stderr, "omos %s exited %d\n", meta.c_str(), task->exit_code());
+    std::abort();
+  }
+  InvocationCost cost{task->user_cycles(), task->sys_cycles()};
+  server->ReleaseTask(id);
+  kernel->DestroyTask(id);
+  return cost;
+}
+
+void OmosWorld::Warm() {
+  BENCH_UNWRAP(server->Instantiate("/bin/ls", {}, nullptr));
+  BENCH_UNWRAP(server->Instantiate("/bin/codegen", {}, nullptr));
+}
+
+BaselineWorld MakeBaselineWorld() {
+  const Workloads& w = FullWorkloads();
+  BaselineWorld world;
+  world.kernel = std::make_unique<Kernel>();
+  PopulateLsData(world.kernel->fs());
+  PopulateCodegenInputs(world.kernel->fs());
+  world.rtld = std::make_unique<Rtld>(*world.kernel);
+
+  DynLibBuilder builder;
+  std::vector<const DynImage*> all_libs;
+  for (const Archive* archive :
+       {&w.libc, &w.alpha1, &w.alpha2, &w.libm, &w.libl, &w.libcpp}) {
+    Module m = BENCH_UNWRAP(ModuleFromArchive(*archive));
+    DynImage lib = BENCH_UNWRAP(builder.BuildLibrary(archive->name(), m));
+    BENCH_CHECK(world.rtld->Install(std::move(lib)));
+    all_libs.push_back(world.rtld->Find(archive->name()));
+  }
+
+  Module ls_module = BENCH_UNWRAP(ModuleFromObjects({w.crt0, w.ls_obj}));
+  DynImage ls_prog =
+      BENCH_UNWRAP(builder.BuildExecutable("ls", ls_module, {world.rtld->Find("libc")}));
+  BENCH_CHECK(world.rtld->Install(std::move(ls_prog)));
+
+  std::vector<ObjectFile> cg_objs = w.codegen_objs;
+  cg_objs.insert(cg_objs.begin(), w.crt0);
+  Module cg_module = BENCH_UNWRAP(ModuleFromObjects(cg_objs));
+  DynImage cg_prog = BENCH_UNWRAP(builder.BuildExecutable("codegen", cg_module, all_libs));
+  BENCH_CHECK(world.rtld->Install(std::move(cg_prog)));
+  return world;
+}
+
+OmosWorld MakeOmosWorld() {
+  const Workloads& w = FullWorkloads();
+  OmosWorld world;
+  world.kernel = std::make_unique<Kernel>();
+  PopulateLsData(world.kernel->fs());
+  PopulateCodegenInputs(world.kernel->fs());
+  world.server = std::make_unique<OmosServer>(*world.kernel);
+  OmosServer& server = *world.server;
+
+  BENCH_CHECK(server.AddFragment("/lib/crt0.o", w.crt0));
+  BENCH_CHECK(server.AddFragment("/obj/ls.o", w.ls_obj));
+  BENCH_CHECK(server.AddArchive("/libc", w.libc));
+  BENCH_CHECK(server.AddArchive("/alpha1", w.alpha1));
+  BENCH_CHECK(server.AddArchive("/alpha2", w.alpha2));
+  BENCH_CHECK(server.AddArchive("/libm", w.libm));
+  BENCH_CHECK(server.AddArchive("/libl", w.libl));
+  BENCH_CHECK(server.AddArchive("/libC", w.libcpp));
+  BENCH_CHECK(server.DefineLibrary("/lib/libc",
+                                   "(constraint-list \"T\" 0x2000000)\n(merge /libc)"));
+  BENCH_CHECK(server.DefineLibrary("/lib/alpha1",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /alpha1)"));
+  BENCH_CHECK(server.DefineLibrary("/lib/alpha2",
+                                   "(constraint-list \"T\" 0x4000000)\n(merge /alpha2)"));
+  BENCH_CHECK(server.DefineLibrary("/lib/libm",
+                                   "(constraint-list \"T\" 0x5000000)\n(merge /libm)"));
+  BENCH_CHECK(server.DefineLibrary("/lib/libl",
+                                   "(constraint-list \"T\" 0x6000000)\n(merge /libl)"));
+  BENCH_CHECK(server.DefineLibrary("/lib/libC",
+                                   "(constraint-list \"T\" 0x7000000)\n(merge /libC)"));
+  BENCH_CHECK(server.DefineMeta("/bin/ls", "(merge /lib/crt0.o /obj/ls.o /lib/libc)"));
+
+  std::string cg_meta = "(merge /lib/crt0.o";
+  for (size_t i = 0; i < w.codegen_objs.size(); ++i) {
+    std::string path = StrCat("/obj/cg", i, ".o");
+    BENCH_CHECK(server.AddFragment(path, w.codegen_objs[i]));
+    cg_meta += " " + path;
+  }
+  cg_meta += " /lib/libc /lib/alpha1 /lib/alpha2 /lib/libm /lib/libl /lib/libC)";
+  BENCH_CHECK(server.DefineMeta("/bin/codegen", cg_meta));
+  return world;
+}
+
+}  // namespace omos

@@ -1,0 +1,138 @@
+// §4.1 / Kohl & Paxson [11] claim: "for small programs (e.g. ls) and
+// libraries (libc), more memory is used for dispatch tables than is saved
+// in library code"; and "the self-contained shared libraries have no
+// dispatch table, [so] the absolute memory requirement for applications is
+// decreased."
+//
+// Three schemes for N concurrent `ls` clients on the simulated machine:
+//   static       — selective archive extraction, no sharing, no dispatch
+//   traditional  — whole libc shared + PLT/GOT dispatch tables
+//   OMOS         — whole libc shared, no dispatch tables
+// Reports measured physical bytes (page granular) plus exact byte-level
+// accounting of text, data, and dispatch-table sizes.
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "src/baseline/static_linker.h"
+
+namespace omos {
+namespace {
+
+// Selective extraction: pull only archive members needed to close the
+// program's references (what `ld` does with .a libraries).
+Module SelectiveStaticModule() {
+  const Workloads& w = FullWorkloads();
+  Module m = BENCH_UNWRAP(ModuleFromObjects({w.crt0, w.ls_obj}));
+  std::set<std::string> pulled;
+  while (true) {
+    std::vector<std::string> unbound = BENCH_UNWRAP(m.UnboundRefNames());
+    bool progress = false;
+    for (const std::string& name : unbound) {
+      const ObjectFile* member = w.libc.FindDefiner(name);
+      if (member != nullptr && pulled.insert(member->name()).second) {
+        m = BENCH_UNWRAP(
+            Module::Merge(m, Module::FromObject(std::make_shared<const ObjectFile>(*member))));
+        progress = true;
+      }
+    }
+    if (!progress) {
+      return m;
+    }
+  }
+}
+
+struct SchemeNumbers {
+  uint64_t phys_bytes[5];  // measured at N = 1, 2, 4, 8, 16
+  uint32_t text_bytes = 0;
+  uint32_t dispatch_bytes = 0;
+};
+
+constexpr int kClientCounts[5] = {1, 2, 4, 8, 16};
+
+}  // namespace
+}  // namespace omos
+
+int main() {
+  using namespace omos;
+  SchemeNumbers stat{}, trad{}, omos_n{};
+
+  // Static: each client is a full private copy of its (selectively
+  // extracted) image.
+  {
+    Kernel kernel;
+    PopulateLsData(kernel.fs());
+    Module m = SelectiveStaticModule();
+    StaticExecutable exe = BENCH_UNWRAP(StaticLink("ls", m, kernel.costs()));
+    stat.text_bytes = static_cast<uint32_t>(exe.image.text.size());
+    int idx = 0;
+    std::vector<TaskId> ids;
+    for (int n = 1; n <= 16; ++n) {
+      // Private text: disable page-cache sharing by giving each exec a
+      // distinct cache key (models distinct statically linked binaries).
+      Task& task = kernel.CreateTask(StrCat("static", n));
+      BENCH_CHECK(MapLinkedImage(kernel, task, exe.image, ""));
+      std::vector<std::string> args{"ls", "/data"};
+      BENCH_CHECK(StartTask(kernel, task, exe.image.entry, args));
+      if (idx < 5 && n == kClientCounts[idx]) {
+        stat.phys_bytes[idx++] = kernel.phys().bytes_in_use();
+      }
+    }
+  }
+
+  // Traditional shared libraries.
+  {
+    BaselineWorld world = MakeBaselineWorld();
+    trad.text_bytes = static_cast<uint32_t>(world.rtld->Find("libc")->image.text.size());
+    trad.dispatch_bytes =
+        world.rtld->Find("libc")->dispatch_bytes + world.rtld->Find("ls")->dispatch_bytes;
+    uint64_t setup = world.kernel->phys().bytes_in_use();
+    (void)setup;
+    int idx = 0;
+    for (int n = 1; n <= 16; ++n) {
+      TaskId id = BENCH_UNWRAP(world.rtld->Exec("ls", {"ls", "/data"}));
+      (void)id;
+      if (idx < 5 && n == kClientCounts[idx]) {
+        trad.phys_bytes[idx++] = world.kernel->phys().bytes_in_use();
+      }
+    }
+  }
+
+  // OMOS self-contained.
+  {
+    OmosWorld world = MakeOmosWorld();
+    world.Warm();
+    const CachedImage* libc =
+        BENCH_UNWRAP(world.server->Instantiate("/lib/libc", {"lib-constrained", {}}, nullptr));
+    omos_n.text_bytes = static_cast<uint32_t>(libc->image.text.size());
+    int idx = 0;
+    for (int n = 1; n <= 16; ++n) {
+      TaskId id = BENCH_UNWRAP(world.server->IntegratedExec("/bin/ls", {"ls", "/data"}));
+      (void)id;
+      if (idx < 5 && n == kClientCounts[idx]) {
+        omos_n.phys_bytes[idx++] = world.kernel->phys().bytes_in_use();
+      }
+    }
+  }
+
+  std::printf("=== Memory: dispatch tables vs sharing (ls + libc), N clients ===\n\n");
+  std::printf("byte-level accounting:\n");
+  std::printf("  static ls text (selective extraction):  %u bytes\n", stat.text_bytes);
+  std::printf("  shared libc text (whole library):       %u bytes\n", trad.text_bytes);
+  std::printf("  traditional dispatch tables (PLT+GOT):  %u bytes\n", trad.dispatch_bytes);
+  std::printf("  OMOS dispatch tables:                   0 bytes\n\n");
+  std::printf("measured physical memory (pages are 4KB; includes stacks and caches):\n");
+  std::printf("%10s %16s %16s %16s\n", "clients", "static", "traditional", "omos");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%10d %16llu %16llu %16llu\n", kClientCounts[i],
+                static_cast<unsigned long long>(stat.phys_bytes[i]),
+                static_cast<unsigned long long>(trad.phys_bytes[i]),
+                static_cast<unsigned long long>(omos_n.phys_bytes[i]));
+  }
+  std::printf(
+      "\nShape: for one small client, static linking beats the traditional shared\n"
+      "scheme (the dispatch tables plus whole-library mapping cost more than\n"
+      "sharing saves — the [11] observation); as clients multiply, sharing wins.\n"
+      "OMOS is never worse than traditional: same sharing, no dispatch tables.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Interpreter throughput: host-seconds per simulated instruction, for the
+// three dominant instruction mixes. Establishes that the simulated-cycle
+// results in the other benches are cheap to regenerate.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/vasm/assembler.h"
+
+namespace omos {
+namespace {
+
+LinkedImage BuildLoop(const char* body, int iterations) {
+  std::string source = StrCat(R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+loop:
+)", body, R"(
+  addi r4, r4, 1
+  movi r5, )", iterations, R"(
+  blt r4, r5, loop
+  movi r0, 0
+  sys 0
+.data
+.align 4
+word: .word 7
+)");
+  ObjectFile obj = BENCH_UNWRAP(Assemble(source, "loop.o"));
+  Module m = Module::FromObject(std::make_shared<const ObjectFile>(std::move(obj)));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  return BENCH_UNWRAP(LinkImage(m, layout, "loop"));
+}
+
+void RunLoopBench(benchmark::State& state, const char* body) {
+  LinkedImage image = BuildLoop(body, 2000);
+  for (auto _ : state) {
+    Kernel kernel;
+    Task& task = kernel.CreateTask("bench");
+    BENCH_CHECK(MapLinkedImage(kernel, task, image, ""));
+    std::vector<std::string> args{"bench"};
+    BENCH_CHECK(StartTask(kernel, task, image.entry, args));
+    BENCH_CHECK(kernel.RunTask(task));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(task.instructions_retired()));
+  }
+}
+
+void BM_InterpAlu(benchmark::State& state) {
+  RunLoopBench(state, "  add r1, r1, r4\n  xor r2, r1, r4\n  mul r3, r2, r4\n");
+}
+BENCHMARK(BM_InterpAlu);
+
+void BM_InterpMemory(benchmark::State& state) {
+  RunLoopBench(state, "  lea r1, word\n  ld r2, [r1+0]\n  st r2, [r1+0]\n");
+}
+BENCHMARK(BM_InterpMemory);
+
+void BM_InterpCalls(benchmark::State& state) {
+  LinkedImage image = BuildLoop("  call helper\n", 2000);
+  // Rebuild with a helper function included.
+  std::string source = StrCat(R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+loop:
+  call helper
+  addi r4, r4, 1
+  movi r5, 2000
+  blt r4, r5, loop
+  movi r0, 0
+  sys 0
+helper:
+  ret
+)");
+  ObjectFile obj = BENCH_UNWRAP(Assemble(source, "calls.o"));
+  Module m = Module::FromObject(std::make_shared<const ObjectFile>(std::move(obj)));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  image = BENCH_UNWRAP(LinkImage(m, layout, "calls"));
+  for (auto _ : state) {
+    Kernel kernel;
+    Task& task = kernel.CreateTask("bench");
+    BENCH_CHECK(MapLinkedImage(kernel, task, image, ""));
+    std::vector<std::string> args{"bench"};
+    BENCH_CHECK(StartTask(kernel, task, image.entry, args));
+    BENCH_CHECK(kernel.RunTask(task));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(task.instructions_retired()));
+  }
+}
+BENCHMARK(BM_InterpCalls);
+
+}  // namespace
+}  // namespace omos

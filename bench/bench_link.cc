@@ -1,0 +1,74 @@
+// Link-engine throughput: merge + relocate as a function of input size.
+// Backs the §2.1 discussion (static linking of large programs is the slow
+// path OMOS's cache amortizes) and gives the cost OMOS pays on a cache miss.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/baseline/static_linker.h"
+
+namespace omos {
+namespace {
+
+// Merge the first `n` libc members into one module.
+Module MergePrefix(int64_t n) {
+  const Archive& libc = FullWorkloads().libc;
+  Module m;
+  bool first = true;
+  for (int64_t i = 0; i < n && i < static_cast<int64_t>(libc.members().size()); ++i) {
+    Module part =
+        Module::FromObject(std::make_shared<const ObjectFile>(libc.members()[static_cast<size_t>(i)]));
+    if (first) {
+      m = std::move(part);
+      first = false;
+    } else {
+      m = BENCH_UNWRAP(Module::Merge(m, part));
+    }
+  }
+  return m;
+}
+
+void BM_MergeFragments(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergePrefix(state.range(0)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MergeFragments)->Arg(8)->Arg(32)->Arg(128)->Complexity()->Unit(benchmark::kMicrosecond);
+
+void BM_LinkImage(benchmark::State& state) {
+  Module m = MergePrefix(state.range(0));
+  uint32_t relocs = 0;
+  for (auto _ : state) {
+    LayoutSpec layout;
+    LinkedImage image = BENCH_UNWRAP(LinkImage(m, layout, "bench"));
+    relocs = image.stats.relocations_applied;
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["relocations"] = relocs;
+}
+BENCHMARK(BM_LinkImage)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+// Full static link of the codegen application (client + six libraries):
+// the work a traditional development cycle repeats after every edit, and
+// which shared libraries (of either flavour) avoid (§2.1).
+void BM_StaticLinkCodegen(benchmark::State& state) {
+  const Workloads& w = FullWorkloads();
+  std::vector<ObjectFile> objs = w.codegen_objs;
+  objs.insert(objs.begin(), w.crt0);
+  Module prog = BENCH_UNWRAP(ModuleFromObjects(objs));
+  for (const Archive* lib : {&w.libc, &w.alpha1, &w.alpha2, &w.libm, &w.libl, &w.libcpp}) {
+    prog = BENCH_UNWRAP(Module::Merge(prog, BENCH_UNWRAP(ModuleFromArchive(*lib))));
+  }
+  CostModel costs;
+  uint64_t sim_cost = 0;
+  for (auto _ : state) {
+    StaticExecutable exe = BENCH_UNWRAP(StaticLink("codegen", prog, costs));
+    sim_cost = exe.link_cost;
+    benchmark::DoNotOptimize(exe);
+  }
+  state.counters["sim_link_cycles"] = static_cast<double>(sim_cost);
+}
+BENCHMARK(BM_StaticLinkCodegen)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace omos

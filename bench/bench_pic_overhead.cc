@@ -1,0 +1,115 @@
+// §4.1: "the self-contained shared library scheme can use absolute
+// addressing modes ... Use of the OMOS constraint system does not preclude
+// PIC, [but] PIC is not required."
+//
+// Measures the per-call cost of the three binding styles on the simulated
+// machine, with a tight loop of cross-library calls:
+//   * direct absolute call  (OMOS self-contained)
+//   * linkage-table call    (traditional PLT: call -> ldpc -> jmpr)
+//   * partial-image stub    (OMOS lib-dynamic after first-call patching)
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/vasm/assembler.h"
+
+namespace omos {
+namespace {
+
+constexpr int kCalls = 20000;
+
+const char* kLibSource =
+    ".text\n.global bump\nbump:\n  addi r0, r0, 1\n  ret\n";
+
+std::string MainSource() {
+  return StrCat(
+      ".text\n.global main\nmain:\n  push lr\n  push r4\n  movi r4, 0\n  movi r0, 0\n"
+      "loop:\n"
+      "  call bump\n"
+      "  addi r4, r4, 1\n"
+      "  movi r1, ", kCalls, "\n"
+      "  blt r4, r1, loop\n"
+      "  movi r0, 0\n  pop r4\n  pop lr\n  ret\n");
+}
+
+uint64_t RunUserCycles(Kernel& kernel, TaskId id) {
+  Task* task = kernel.FindTask(id);
+  BENCH_CHECK(kernel.RunTask(*task));
+  if (task->exit_code() != 0) {
+    std::abort();
+  }
+  return task->user_cycles();
+}
+
+}  // namespace
+}  // namespace omos
+
+int main() {
+  using namespace omos;
+  std::printf("=== Call binding overhead: absolute vs dispatch-table vs lazy stub ===\n\n");
+
+  ObjectFile crt0 = BENCH_UNWRAP(
+      Assemble(".text\n.global _start\n_start:\n  call main\n  sys 0\n", "crt0.o"));
+  ObjectFile lib_obj = BENCH_UNWRAP(Assemble(kLibSource, "bump.o"));
+  ObjectFile main_obj = BENCH_UNWRAP(Assemble(MainSource(), "main.o"));
+
+  // 1. OMOS self-contained: absolute direct call.
+  uint64_t direct_cycles = 0;
+  {
+    Kernel kernel;
+    OmosServer server(kernel);
+    BENCH_CHECK(server.AddFragment("/lib/crt0.o", crt0));
+    BENCH_CHECK(server.AddFragment("/obj/main.o", main_obj));
+    BENCH_CHECK(server.AddFragment("/obj/bump.o", lib_obj));
+    BENCH_CHECK(server.DefineLibrary("/lib/bump", "(merge /obj/bump.o)"));
+    BENCH_CHECK(server.DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/main.o /lib/bump)"));
+    TaskId id = BENCH_UNWRAP(server.IntegratedExec("/bin/prog", {"prog"}));
+    direct_cycles = RunUserCycles(kernel, id);
+  }
+
+  // 2. Traditional PLT dispatch.
+  uint64_t plt_cycles = 0;
+  {
+    Kernel kernel;
+    Rtld rtld(kernel);
+    DynLibBuilder builder;
+    Module lib_m = Module::FromObject(std::make_shared<const ObjectFile>(lib_obj));
+    DynImage lib = BENCH_UNWRAP(builder.BuildLibrary("libbump", lib_m));
+    BENCH_CHECK(rtld.Install(std::move(lib)));
+    Module prog_m = BENCH_UNWRAP(ModuleFromObjects({crt0, main_obj}));
+    DynImage prog = BENCH_UNWRAP(builder.BuildExecutable("prog", prog_m, {rtld.Find("libbump")}));
+    BENCH_CHECK(rtld.Install(std::move(prog)));
+    TaskId id = BENCH_UNWRAP(rtld.Exec("prog", {"prog"}));
+    plt_cycles = RunUserCycles(kernel, id);
+  }
+
+  // 3. OMOS partial-image stubs (lib-dynamic).
+  uint64_t stub_cycles = 0;
+  {
+    Kernel kernel;
+    OmosServer server(kernel);
+    BENCH_CHECK(server.AddFragment("/lib/crt0.o", crt0));
+    BENCH_CHECK(server.AddFragment("/obj/main.o", main_obj));
+    BENCH_CHECK(server.AddFragment("/obj/bump.o", lib_obj));
+    BENCH_CHECK(server.DefineLibrary("/lib/bump", "(merge /obj/bump.o)"));
+    BENCH_CHECK(server.DefineMeta(
+        "/bin/prog",
+        "(merge /lib/crt0.o /obj/main.o (specialize \"lib-dynamic\" /lib/bump))"));
+    TaskId id = BENCH_UNWRAP(server.IntegratedExec("/bin/prog", {"prog"}));
+    stub_cycles = RunUserCycles(kernel, id);
+  }
+
+  double per_call_direct = static_cast<double>(direct_cycles) / kCalls;
+  double per_call_plt = static_cast<double>(plt_cycles) / kCalls;
+  double per_call_stub = static_cast<double>(stub_cycles) / kCalls;
+  std::printf("  %-34s %12s %14s\n", "binding style", "user cycles", "cycles/call");
+  std::printf("  %-34s %12llu %14.2f\n", "absolute (OMOS self-contained)",
+              static_cast<unsigned long long>(direct_cycles), per_call_direct);
+  std::printf("  %-34s %12llu %14.2f\n", "PLT dispatch (traditional)",
+              static_cast<unsigned long long>(plt_cycles), per_call_plt);
+  std::printf("  %-34s %12llu %14.2f\n", "lazy stub (OMOS partial-image)",
+              static_cast<unsigned long long>(stub_cycles), per_call_stub);
+  std::printf("\n  dispatch overhead vs absolute: %.1f%% (PLT), %.1f%% (stub)\n",
+              (per_call_plt / per_call_direct - 1.0) * 100.0,
+              (per_call_stub / per_call_direct - 1.0) * 100.0);
+  return per_call_plt > per_call_direct ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// §3.3 claim: symbol-space "views" allow fast, efficient, incremental
+// modification of a symbol namespace. Compares applying a chain of module
+// operations lazily (one materialization at the end) against eagerly
+// materializing after every operation.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace omos {
+namespace {
+
+Module BigModule() {
+  static const Module* module = [] {
+    return new Module(BENCH_UNWRAP(ModuleFromArchive(FullWorkloads().libc)));
+  }();
+  return *module;
+}
+
+void BM_ViewChainLazy(benchmark::State& state) {
+  Module base = BigModule();
+  int64_t ops = state.range(0);
+  for (auto _ : state) {
+    Module m = base;
+    for (int64_t i = 0; i < ops; ++i) {
+      switch (i % 4) {
+        case 0:
+          m = m.Rename(StrCat("^c_", i, "$"), StrCat("renamed_", i), RenameWhich::kBoth);
+          break;
+        case 1:
+          m = m.Hide(StrCat("^c_", i, "$"));
+          break;
+        case 2:
+          m = m.CopyAs(StrCat("^c_", i, "$"), StrCat("copy_", i));
+          break;
+        default:
+          m = m.Freeze(StrCat("^c_", i, "$"));
+          break;
+      }
+    }
+    benchmark::DoNotOptimize(BENCH_UNWRAP(m.Space()));
+  }
+}
+BENCHMARK(BM_ViewChainLazy)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_ViewChainEagerCopy(benchmark::State& state) {
+  Module base = BigModule();
+  int64_t ops = state.range(0);
+  for (auto _ : state) {
+    Module m = base;
+    for (int64_t i = 0; i < ops; ++i) {
+      switch (i % 4) {
+        case 0:
+          m = m.Rename(StrCat("^c_", i, "$"), StrCat("renamed_", i), RenameWhich::kBoth);
+          break;
+        case 1:
+          m = m.Hide(StrCat("^c_", i, "$"));
+          break;
+        case 2:
+          m = m.CopyAs(StrCat("^c_", i, "$"), StrCat("copy_", i));
+          break;
+        default:
+          m = m.Freeze(StrCat("^c_", i, "$"));
+          break;
+      }
+      // Force materialization after every op (what a naive symbol-table
+      // copy per operation costs).
+      benchmark::DoNotOptimize(BENCH_UNWRAP(m.Space()));
+    }
+  }
+}
+BENCHMARK(BM_ViewChainEagerCopy)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace omos

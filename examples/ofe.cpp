@@ -1,0 +1,187 @@
+// OFE — the Object File Editor (§8.1): "a non-server version of OMOS [that]
+// offers a traditional command interface and manipulates files in the
+// normal Unix file namespace."
+//
+// Usage:
+//   ofe symbols  <file.xo>                      list the symbol table
+//   ofe size     <file.xo>                      section sizes (size(1))
+//   ofe strings  <file.xo>                      printable strings (strings(1))
+//   ofe relocs   <file.xo>                      list relocations
+//   ofe disasm   <file.xo>                      disassemble text
+//   ofe assemble <file.s> <out.xo>              assemble SimISA source
+//   ofe convert  <in.xo> <out> (binary|text)    re-encode via a backend
+//   ofe rename   <pattern> <new> <in> <out>     rename symbols ('&' = match)
+//   ofe hide     <pattern> <in> <out>           demote globals to local
+//   ofe weaken   <pattern> <in> <out>           demote globals to weak
+//   ofe strip    <in> <out>                     drop unreferenced locals
+//   ofe link     <in1.xo> <in2.xo>...           trial link, report stats
+//
+// With no arguments it runs a self-demonstration in $TMPDIR.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+#include "src/tools/ofe_lib.h"
+#include "src/vasm/assembler.h"
+
+using namespace omos;
+
+namespace {
+
+Result<int> RunCommand(int argc, char** argv) {
+  std::string cmd = argv[1];
+  if (cmd == "symbols" && argc == 3) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    std::fputs(OfeSymbolListing(object).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "size" && argc == 3) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    uint32_t text = object.section(SectionKind::kText).size();
+    uint32_t data = object.section(SectionKind::kData).size();
+    uint32_t bss = object.section(SectionKind::kBss).size();
+    std::printf("   text    data     bss     dec\n%7u %7u %7u %7u %s\n", text, data, bss,
+                text + data + bss, object.name().c_str());
+    return 0;
+  }
+  if (cmd == "strings" && argc == 3) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    // Printable runs of >= 4 characters in the data section, as strings(1).
+    const auto& bytes = object.section(SectionKind::kData).bytes;
+    std::string run;
+    for (size_t i = 0; i <= bytes.size(); ++i) {
+      char c = i < bytes.size() ? static_cast<char>(bytes[i]) : '\0';
+      if (i < bytes.size() && c >= 32 && c < 127) {
+        run.push_back(c);
+      } else {
+        if (run.size() >= 4) {
+          std::printf("%s\n", run.c_str());
+        }
+        run.clear();
+      }
+    }
+    return 0;
+  }
+  if (cmd == "relocs" && argc == 3) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    std::fputs(OfeRelocListing(object).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "disasm" && argc == 3) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    OMOS_TRY(std::string text, OfeDisassembly(object));
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "assemble" && argc == 4) {
+    OMOS_TRY(std::vector<uint8_t> source, ReadHostFile(argv[2]));
+    OMOS_TRY(ObjectFile object, Assemble(std::string(source.begin(), source.end()), argv[3]));
+    OMOS_TRY_VOID(SaveObjectFile(object, argv[3]));
+    return 0;
+  }
+  if (cmd == "convert" && argc == 5) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    OMOS_TRY_VOID(SaveObjectFile(object, argv[3], StrCat("xof-", argv[4])));
+    return 0;
+  }
+  if (cmd == "rename" && argc == 6) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[4]));
+    OMOS_TRY(ObjectFile edited, OfeRename(object, argv[2], argv[3]));
+    OMOS_TRY_VOID(SaveObjectFile(edited, argv[5]));
+    return 0;
+  }
+  if ((cmd == "hide" || cmd == "weaken") && argc == 5) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[3]));
+    OMOS_TRY(ObjectFile edited,
+             cmd == "hide" ? OfeHide(object, argv[2]) : OfeWeaken(object, argv[2]));
+    OMOS_TRY_VOID(SaveObjectFile(edited, argv[4]));
+    return 0;
+  }
+  if (cmd == "strip" && argc == 4) {
+    OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
+    OMOS_TRY(ObjectFile stripped, OfeStripLocals(object));
+    OMOS_TRY_VOID(SaveObjectFile(stripped, argv[3]));
+    return 0;
+  }
+  if (cmd == "link" && argc >= 3) {
+    std::vector<ObjectFile> objects;
+    for (int i = 2; i < argc; ++i) {
+      OMOS_TRY(ObjectFile object, LoadObjectFile(argv[i]));
+      objects.push_back(std::move(object));
+    }
+    OMOS_TRY(LinkedImage image, OfeLink(objects, 0x00100000, /*allow_unresolved=*/true));
+    std::printf("text %zu bytes, data %zu bytes, %u relocations, %u symbols\n",
+                image.text.size(), image.data.size(), image.stats.relocations_applied,
+                image.stats.symbols_exported);
+    for (const std::string& name : image.unresolved) {
+      std::printf("unresolved: %s\n", name.c_str());
+    }
+    return image.unresolved.empty() ? 0 : 1;
+  }
+  return Err(ErrorCode::kInvalidArgument, "bad command line (run with no args for a demo)");
+}
+
+int SelfDemo() {
+  std::printf("=== OFE self-demonstration ===\n");
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = StrCat(tmp != nullptr ? tmp : "/tmp", "/ofe_demo");
+
+  auto assembled = Assemble(R"(
+.text
+.global compute
+compute:
+  push lr
+  call helper
+  addi r0, r0, 1
+  pop lr
+  ret
+.global helper
+helper:
+  movi r0, 41
+  ret
+)", "demo.o");
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "%s\n", assembled.error().ToString().c_str());
+    return 1;
+  }
+  ObjectFile object = std::move(assembled).value();
+
+  std::printf("\n-- symbols\n%s", OfeSymbolListing(object).c_str());
+  std::printf("\n-- relocs\n%s", OfeRelocListing(object).c_str());
+  auto disasm = OfeDisassembly(object);
+  std::printf("\n-- disasm\n%s", disasm.ok() ? disasm->c_str() : "?");
+
+  std::printf("\n-- rename ^helper$ internal_helper\n");
+  auto renamed = OfeRename(object, "^helper$", "internal_helper");
+  if (!renamed.ok()) {
+    std::fprintf(stderr, "%s\n", renamed.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", OfeSymbolListing(*renamed).c_str());
+
+  std::printf("\n-- convert through the xof-text backend (the format switch)\n");
+  std::string text_path = base + ".xt";
+  if (auto saved = SaveObjectFile(object, text_path, "xof-text"); saved.ok()) {
+    auto round = LoadObjectFile(text_path);
+    std::printf("round-trip: %s\n",
+                round.ok() && *round == object ? "identical" : "MISMATCH");
+    if (!round.ok() || !(*round == object)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return SelfDemo();
+  }
+  auto result = RunCommand(argc, argv);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ofe: %s\n", result.error().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}

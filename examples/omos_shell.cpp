@@ -1,0 +1,146 @@
+// A tiny "shell session" against an OMOS-backed /bin (§5): the server's
+// namespace is exported into the filesystem as `#!omos` interpreter files,
+// and each command line execs through the normal path-based route. Every
+// program after the first warm-up run is served entirely from the image
+// cache — the persistent-linker experience.
+//
+// Build & run:  ./build/examples/omos_shell
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/server.h"
+#include "src/support/strings.h"
+#include "src/vasm/assembler.h"
+#include "src/workloads/workloads.h"
+
+using namespace omos;
+
+namespace {
+template <typename T>
+T Check(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.error().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+void Check(const Result<void>& r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.error().ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  Kernel kernel;
+  OmosServer server(kernel);
+  PopulateLsData(kernel.fs());
+
+  // Stock the world: libc + three little utilities, all OMOS meta-objects.
+  WorkloadParams params;
+  params.libc_filler = 20;
+  params.alpha_functions = 4;
+  params.libm_functions = 4;
+  params.libl_functions = 4;
+  params.libcpp_functions = 4;
+  params.codegen_files = 1;
+  params.codegen_funcs_per_file = 1;
+  Workloads w = Check(BuildWorkloads(params), "build workloads");
+  Check(server.AddFragment("/lib/crt0.o", w.crt0), "crt0");
+  Check(server.AddFragment("/obj/ls.o", w.ls_obj), "ls.o");
+  Check(server.AddArchive("/libc", w.libc), "libc");
+  Check(server.DefineLibrary("/lib/libc", "(constraint-list \"T\" 0x2000000)\n(merge /libc)"),
+        "libc meta");
+  Check(server.DefineMeta("/bin/ls", "(merge /lib/crt0.o /obj/ls.o /lib/libc)"), "ls meta");
+
+  Check(server.AddFragment("/obj/echo.o", Check(Assemble(R"(
+.text
+.global main
+main:                 ; echo: print argv[1..] separated by spaces
+  push lr
+  push r4
+  push r5
+  push r6
+  mov r4, r0          ; argc
+  mov r5, r1          ; argv
+  movi r6, 1
+echo_loop:
+  bge r6, r4, echo_done
+  movi r1, 4
+  mul r0, r6, r1
+  add r0, r5, r0
+  ld r0, [r0+0]
+  call print_str
+  addi r6, r6, 1
+  blt r6, r4, echo_space
+  br echo_loop
+echo_space:
+  lea r0, space
+  call print_str
+  br echo_loop
+echo_done:
+  lea r0, newline
+  call print_str
+  pop r6
+  pop r5
+  pop r4
+  pop lr
+  movi r0, 0
+  ret
+.data
+space: .asciiz " "
+newline: .asciiz "\n"
+)", "echo.o"), "assemble echo")), "echo.o");
+  Check(server.DefineMeta("/bin/echo", "(merge /lib/crt0.o /obj/echo.o /lib/libc)"),
+        "echo meta");
+
+  Check(server.AddFragment("/obj/true.o", Check(Assemble(R"(
+.text
+.global main
+main:
+  movi r0, 0
+  ret
+)", "true.o"), "assemble true")), "true.o");
+  Check(server.DefineMeta("/bin/true", "(merge /lib/crt0.o /obj/true.o /lib/libc)"),
+        "true meta");
+
+  // §5: /bin becomes a filesystem backed only by OMOS.
+  int exported = Check(server.ExportNamespaceToFs("/bin", "/bin"), "export /bin");
+  std::printf("exported %d OMOS meta-objects into /bin\n\n", exported);
+
+  // The "session": each line is tokenized and exec'd through /bin.
+  const char* script[] = {
+      "true",
+      "echo hello from the omos shell",
+      "ls /data",
+      "echo second ls is served from the image cache",
+      "ls /data",
+  };
+  for (const char* line : script) {
+    std::vector<std::string> args = SplitString(line, ' ');
+    std::printf("$ %s\n", line);
+    auto exec = server.ExecFile(StrCat("/bin/", args[0]), args, /*integrated=*/true);
+    if (!exec.ok()) {
+      std::printf("sh: %s\n", exec.error().ToString().c_str());
+      continue;
+    }
+    Task* task = kernel.FindTask(*exec);
+    if (auto run = kernel.RunTask(*task); !run.ok()) {
+      std::printf("sh: %s\n", run.error().ToString().c_str());
+      continue;
+    }
+    std::fputs(task->output().c_str(), stdout);
+    if (task->exit_code() != 0) {
+      std::printf("[exit %d]\n", task->exit_code());
+    }
+    server.ReleaseTask(*exec);
+    kernel.DestroyTask(*exec);
+  }
+
+  const CacheStats& stats = server.cache_stats();
+  std::printf("\ncache after session: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+  return 0;
+}

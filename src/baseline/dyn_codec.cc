@@ -1,0 +1,79 @@
+#include "src/baseline/dyn_codec.h"
+
+#include "src/linker/image_codec.h"
+#include "src/objfmt/bytes.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+constexpr char kMagic[] = "XDY1";
+}
+
+bool IsEncodedDynImage(const std::vector<uint8_t>& bytes) {
+  return bytes.size() >= 4 && std::equal(kMagic, kMagic + 4, bytes.begin());
+}
+
+std::vector<uint8_t> EncodeDynImage(const DynImage& image) {
+  ByteWriter w;
+  for (int i = 0; i < 4; ++i) {
+    w.U8(static_cast<uint8_t>(kMagic[i]));
+  }
+  w.Str(image.name);
+  w.Raw(EncodeImage(image.image));
+  w.U32(static_cast<uint32_t>(image.data_relocs.size()));
+  for (const DynReloc& reloc : image.data_relocs) {
+    w.U32(reloc.addr);
+    w.U32(reloc.value);
+    w.U8(reloc.needs_lookup ? 1 : 0);
+  }
+  w.U32(static_cast<uint32_t>(image.lazy_slots.size()));
+  for (const LazySlot& slot : image.lazy_slots) {
+    w.U32(slot.got_addr);
+    w.U32(slot.rstub_addr);
+    w.Str(slot.symbol);
+  }
+  w.U32(static_cast<uint32_t>(image.needed.size()));
+  for (const std::string& name : image.needed) {
+    w.Str(name);
+  }
+  w.U32(image.dispatch_bytes);
+  return w.Take();
+}
+
+Result<DynImage> DecodeDynImage(const std::vector<uint8_t>& bytes) {
+  if (!IsEncodedDynImage(bytes)) {
+    return Err(ErrorCode::kParseError, "not an XDY dynamic image (bad magic)");
+  }
+  ByteReader r(bytes.data() + 4, bytes.size() - 4);
+  DynImage image;
+  OMOS_TRY(image.name, r.Str());
+  OMOS_TRY(std::vector<uint8_t> image_bytes, r.Raw());
+  OMOS_TRY(image.image, DecodeImage(image_bytes));
+  OMOS_TRY(uint32_t nrelocs, r.U32());
+  for (uint32_t i = 0; i < nrelocs; ++i) {
+    DynReloc reloc;
+    OMOS_TRY(reloc.addr, r.U32());
+    OMOS_TRY(reloc.value, r.U32());
+    OMOS_TRY(uint8_t lookup, r.U8());
+    reloc.needs_lookup = lookup != 0;
+    image.data_relocs.push_back(reloc);
+  }
+  OMOS_TRY(uint32_t nslots, r.U32());
+  for (uint32_t i = 0; i < nslots; ++i) {
+    LazySlot slot;
+    OMOS_TRY(slot.got_addr, r.U32());
+    OMOS_TRY(slot.rstub_addr, r.U32());
+    OMOS_TRY(slot.symbol, r.Str());
+    image.lazy_slots.push_back(std::move(slot));
+  }
+  OMOS_TRY(uint32_t nneeded, r.U32());
+  for (uint32_t i = 0; i < nneeded; ++i) {
+    OMOS_TRY(std::string name, r.Str());
+    image.needed.push_back(std::move(name));
+  }
+  OMOS_TRY(image.dispatch_bytes, r.U32());
+  return image;
+}
+
+}  // namespace omos

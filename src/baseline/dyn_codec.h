@@ -1,0 +1,22 @@
+// Serialization for DynImage — the traditional scheme's shared-library /
+// dynamic-executable file format (the `.sl`/`.so` analog). The image plus
+// its dynamic sections (lazy linkage slots, per-exec data relocations,
+// needed-library list) round-trip through bytes, so built libraries can be
+// "installed" as SimFs files or shipped between hosts.
+#ifndef OMOS_SRC_BASELINE_DYN_CODEC_H_
+#define OMOS_SRC_BASELINE_DYN_CODEC_H_
+
+#include <vector>
+
+#include "src/baseline/dynlib.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+std::vector<uint8_t> EncodeDynImage(const DynImage& image);
+Result<DynImage> DecodeDynImage(const std::vector<uint8_t>& bytes);
+bool IsEncodedDynImage(const std::vector<uint8_t>& bytes);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_BASELINE_DYN_CODEC_H_

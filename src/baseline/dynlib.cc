@@ -1,0 +1,304 @@
+#include "src/baseline/dynlib.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/os/loader.h"
+#include "src/support/strings.h"
+#include "src/vasm/assembler.h"
+
+namespace omos {
+
+namespace {
+
+std::string NamesPattern(const std::vector<std::string>& names) {
+  std::string pattern = "^(";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) {
+      pattern.push_back('|');
+    }
+    pattern += names[i];
+  }
+  pattern += ")$";
+  return pattern;
+}
+
+// Generate the linkage-table fragment for `routed`:
+//   S:          ldpc r12, __got_S ; jmpr r12          (the PLT entry)
+//   __rstub_S:  leapc r12, __got_S ; sys 16           (first-call resolver)
+//   __got_S:    .word 0                               (primed by rtld)
+Result<ObjectFile> GeneratePlt(const std::vector<std::string>& routed) {
+  std::ostringstream text;
+  std::ostringstream data;
+  text << ".text\n";
+  data << ".data\n.align 4\n";
+  for (const std::string& fn : routed) {
+    text << ".global " << fn << "\n"
+         << fn << ":\n"
+         << "  ldpc r12, __got_" << fn << "\n"
+         << "  jmpr r12\n"
+         << ".global __rstub_" << fn << "\n"
+         << "__rstub_" << fn << ":\n"
+         << "  leapc r12, __got_" << fn << "\n"
+         << "  sys " << kSysResolve << "\n";
+    data << ".global __got_" << fn << "\n" << "__got_" << fn << ": .word 0\n";
+  }
+  return Assemble(text.str() + data.str(), "plt.s");
+}
+
+}  // namespace
+
+Result<DynImage> DynLibBuilder::Build(const std::string& name, const Module& module,
+                                      const std::vector<std::string>& routed, uint32_t text_base,
+                                      uint32_t data_base, bool dynamic_data,
+                                      const std::string& entry) {
+  Module m = module;
+  if (!routed.empty()) {
+    OMOS_TRY(const SymbolSpace* space, module.Space());
+    // Defined routed functions keep their implementation under __impl_<S>;
+    // the external name is taken over by the PLT entry.
+    std::vector<std::string> defined;
+    for (const std::string& fn : routed) {
+      if (space->exports.count(fn) != 0) {
+        defined.push_back(fn);
+      }
+    }
+    std::string pattern_all = NamesPattern(routed);
+    if (!defined.empty()) {
+      m = m.CopyAs(NamesPattern(defined), "__impl_&");
+    }
+    m = m.Restrict(pattern_all);
+    OMOS_TRY(ObjectFile plt, GeneratePlt(routed));
+    OMOS_TRY(m, Module::Merge(m, Module::FromObject(
+                                     std::make_shared<const ObjectFile>(std::move(plt)))));
+  }
+
+  LayoutSpec layout;
+  layout.text_base = text_base;
+  layout.data_base = data_base;
+  layout.entry_symbol = entry;
+  layout.record_relocs = true;
+  OMOS_TRY(LinkedImage image, LinkImage(m, layout, name));
+
+  DynImage out;
+  out.name = name;
+  out.dispatch_bytes = static_cast<uint32_t>(routed.size()) * (4 * kInsnSize + 4);
+
+  for (const std::string& fn : routed) {
+    const ImageSymbol* got = image.FindSymbol(StrCat("__got_", fn));
+    const ImageSymbol* rstub = image.FindSymbol(StrCat("__rstub_", fn));
+    if (got == nullptr || rstub == nullptr) {
+      return Err(ErrorCode::kInternal, StrCat(name, ": missing linkage symbols for ", fn));
+    }
+    out.lazy_slots.push_back(LazySlot{got->addr, rstub->addr, fn});
+  }
+
+  if (dynamic_data) {
+    // Every data-section fixup becomes per-exec rtld work; zero the template
+    // so skipping rtld would visibly break execution.
+    for (const RelocRecord& record : image.reloc_log) {
+      if (record.section != SectionKind::kData) {
+        continue;
+      }
+      uint32_t offset = record.field_addr - image.data_base;
+      if (offset + 4 > image.data.size()) {
+        continue;  // bss fixups cannot exist; defensive
+      }
+      out.data_relocs.push_back(DynReloc{record.field_addr, record.value, record.cross_fragment});
+      std::fill(image.data.begin() + offset, image.data.begin() + offset + 4, uint8_t{0});
+    }
+  }
+  image.reloc_log.clear();
+  out.image = std::move(image);
+  return out;
+}
+
+Result<DynImage> DynLibBuilder::BuildLibrary(const std::string& name, const Module& module) {
+  OMOS_TRY(const SymbolSpace* space, module.Space());
+  // Route every global function through the linkage table: exported text
+  // definitions plus any external function references.
+  std::set<std::string> routed_set;
+  for (const auto& [sym_name, exp] : space->exports) {
+    const Symbol& sym = module.fragments()[exp.def.fragment]->symbols()[exp.def.symbol];
+    if (sym.section == SectionKind::kText) {
+      routed_set.insert(sym_name);
+    }
+  }
+  OMOS_TRY(std::vector<std::string> unbound, module.UnboundRefNames());
+  for (const std::string& sym_name : unbound) {
+    routed_set.insert(sym_name);
+  }
+  std::vector<std::string> routed(routed_set.begin(), routed_set.end());
+  uint32_t text_base = next_lib_text_;
+  uint32_t data_base = next_lib_data_;
+  next_lib_text_ += 0x01000000;
+  next_lib_data_ += 0x01000000;
+  return Build(name, module, routed, text_base, data_base, /*dynamic_data=*/true, "");
+}
+
+Result<DynImage> DynLibBuilder::BuildExecutable(const std::string& name, const Module& module,
+                                                const std::vector<const DynImage*>& libs) {
+  // Only unresolved references satisfied by some library are routed; the
+  // executable itself is a normal fixed binary, fully bound at build time.
+  OMOS_TRY(std::vector<std::string> unbound, module.UnboundRefNames());
+  std::vector<std::string> routed;
+  DynImage out;
+  for (const std::string& sym_name : unbound) {
+    for (const DynImage* lib : libs) {
+      if (lib->image.FindSymbol(StrCat("__impl_", sym_name)) != nullptr ||
+          lib->image.FindSymbol(sym_name) != nullptr) {
+        routed.push_back(sym_name);
+        break;
+      }
+    }
+  }
+  uint32_t text_base = next_exe_text_;
+  uint32_t data_base = next_exe_data_;
+  next_exe_text_ += 0x00400000;
+  next_exe_data_ += 0x00400000;
+  OMOS_TRY(out, Build(name, module, routed, text_base, data_base, /*dynamic_data=*/false,
+                      "_start"));
+  for (const DynImage* lib : libs) {
+    out.needed.push_back(lib->name);
+  }
+  return out;
+}
+
+// ---- Rtld -------------------------------------------------------------------
+
+Rtld::Rtld(Kernel& kernel) : kernel_(&kernel) {
+  kernel_->SetSysHook(kSysResolve,
+                      [this](Kernel& k, Task& t) { return HandleResolve(k, t); });
+}
+
+Result<void> Rtld::Install(DynImage image) {
+  Installed installed;
+  if (!image.image.text.empty()) {
+    OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), image.image.text));
+    installed.text_seg = std::move(seg);
+  }
+  std::string name = image.name;
+  installed.dyn = std::move(image);
+  images_.insert_or_assign(std::move(name), std::move(installed));
+  return OkResult();
+}
+
+const DynImage* Rtld::Find(const std::string& name) const {
+  auto it = images_.find(name);
+  return it == images_.end() ? nullptr : &it->second.dyn;
+}
+
+Result<void> Rtld::MapInstalled(Task& task, const Installed& installed, TaskState& state) {
+  const CostModel& costs = kernel_->costs();
+  const DynImage& dyn = installed.dyn;
+  // Per-exec work: open the file, parse its header and symbol table.
+  task.BillSys(costs.file_open + costs.header_parse);
+  task.BillUser(costs.symbol_parse * dyn.image.symbols.size());
+  if (installed.text_seg.has_value()) {
+    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, dyn.image, *installed.text_seg));
+  } else {
+    OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, dyn.image, ""));
+  }
+  // Prime every lazy linkage slot to its resolver stub.
+  for (const LazySlot& slot : dyn.lazy_slots) {
+    OMOS_TRY_VOID(task.space().Write32(slot.got_addr, slot.rstub_addr));
+    task.BillUser(costs.got_slot_init);
+    state.pending_slots[slot.got_addr] = slot.symbol;
+  }
+  // Apply the image's data relocations — every exec, in user-mode rtld code.
+  for (const DynReloc& reloc : dyn.data_relocs) {
+    OMOS_TRY_VOID(task.space().Write32(reloc.addr, reloc.value));
+    task.BillUser(costs.reloc_apply + (reloc.needs_lookup ? costs.symbol_lookup : 0));
+  }
+  state.loaded.push_back(&installed);
+  return OkResult();
+}
+
+Result<TaskId> Rtld::Exec(const std::string& name, std::vector<std::string> args) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("no such program: ", name));
+  }
+  Task& task = kernel_->CreateTask(StrCat("dyn:", name));
+  TaskState state;
+  // Load the program, then its libraries transitively.
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  std::vector<std::string> queue{name};
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.erase(queue.begin());
+    if (!seen.insert(cur).second) {
+      continue;
+    }
+    auto found = images_.find(cur);
+    if (found == images_.end()) {
+      return Err(ErrorCode::kNotFound, StrCat("missing library: ", cur));
+    }
+    order.push_back(cur);
+    for (const std::string& dep : found->second.dyn.needed) {
+      queue.push_back(dep);
+    }
+  }
+  for (const std::string& mod : order) {
+    OMOS_TRY_VOID(MapInstalled(task, images_.at(mod), state));
+  }
+  tasks_[task.id()] = std::move(state);
+  OMOS_TRY_VOID(StartTask(*kernel_, task, it->second.dyn.image.entry, args));
+  return task.id();
+}
+
+void Rtld::ReleaseTask(TaskId id) { tasks_.erase(id); }
+
+uint32_t Rtld::TotalDispatchBytes() const {
+  uint32_t total = 0;
+  for (const auto& [name, installed] : images_) {
+    total += installed.dyn.dispatch_bytes;
+  }
+  return total;
+}
+
+Result<void> Rtld::HandleResolve(Kernel& kernel, Task& task) {
+  uint32_t got_addr = task.reg(12);
+  auto it = tasks_.find(task.id());
+  if (it == tasks_.end()) {
+    return Err(ErrorCode::kExecFault, StrCat(task.name(), ": resolve without rtld state"));
+  }
+  auto slot = it->second.pending_slots.find(got_addr);
+  if (slot == it->second.pending_slots.end()) {
+    return Err(ErrorCode::kExecFault,
+               StrCat(task.name(), ": resolve of unknown slot ", Hex32(got_addr)));
+  }
+  const std::string& symbol = slot->second;
+  // Lazy binding is user-mode dynamic-linker work (§8.2).
+  task.BillUser(kernel.costs().symbol_lookup);
+  uint32_t target = 0;
+  std::string impl_name = StrCat("__impl_", symbol);
+  for (const Installed* inst : it->second.loaded) {
+    if (const ImageSymbol* sym = inst->dyn.image.FindSymbol(impl_name)) {
+      target = sym->addr;
+      break;
+    }
+  }
+  if (target == 0) {
+    for (const Installed* inst : it->second.loaded) {
+      if (const ImageSymbol* sym = inst->dyn.image.FindSymbol(symbol)) {
+        // Skip the PLT entry that trapped here (same address family): a
+        // definition in another image is the real target.
+        target = sym->addr;
+        break;
+      }
+    }
+  }
+  if (target == 0) {
+    return Err(ErrorCode::kUnresolvedSymbol, StrCat("lazy resolve failed for ", symbol));
+  }
+  OMOS_TRY_VOID(task.space().Write32(got_addr, target));
+  task.BillUser(kernel.costs().reloc_apply);
+  task.set_pc(target);
+  ++lazy_resolutions_;
+  return OkResult();
+}
+
+}  // namespace omos

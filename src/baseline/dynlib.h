@@ -1,0 +1,135 @@
+// The traditional shared-library baseline — the comparator in Table 1.
+//
+// Models an HP-UX/SunOS-style scheme with deferred (-B deferred) binding:
+//  * Libraries live at fixed preferred addresses; their text is shared via
+//    the kernel page cache.
+//  * Every inter-routine call through a global symbol goes through a
+//    linkage table (PLT): the call lands on a two-instruction dispatch stub
+//    that jumps through a GOT slot in the library's *private* data segment.
+//  * At every exec, the runtime loader (rtld) re-parses each library's
+//    symbol table, primes all lazy GOT slots to resolver stubs, and applies
+//    the library's data relocations — work repeated on *every* invocation,
+//    which is exactly what OMOS's cached, pre-bound images avoid.
+//  * The first call through each slot traps to the resolver (kSysResolve),
+//    which performs a symbol lookup and patches the slot — lazy procedure
+//    binding billed as user time, matching the paper's observation that
+//    HP-UX's deferred binding inflates user time (§8.2).
+#ifndef OMOS_SRC_BASELINE_DYNLIB_H_
+#define OMOS_SRC_BASELINE_DYNLIB_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/linker/link.h"
+#include "src/linker/module.h"
+#include "src/os/kernel.h"
+#include "src/support/result.h"
+#include "src/vm/address_space.h"
+
+namespace omos {
+
+// A data-segment fixup rtld applies on every exec. `value` is precomputed
+// (libraries load at fixed addresses), but the simulated cost of
+// recomputing it is billed each time: reloc_apply, plus symbol_lookup when
+// the target crossed a module boundary.
+struct DynReloc {
+  uint32_t addr = 0;
+  uint32_t value = 0;
+  bool needs_lookup = false;
+};
+
+// A lazy linkage-table slot: primed to `rstub_addr` at load, patched to the
+// real target on first call.
+struct LazySlot {
+  uint32_t got_addr = 0;
+  uint32_t rstub_addr = 0;
+  std::string symbol;
+};
+
+// A built shared library or dynamically-linked executable.
+struct DynImage {
+  std::string name;
+  LinkedImage image;  // data template: GOT slots zero, dyn-reloc'd words zero
+  std::vector<DynReloc> data_relocs;
+  std::vector<LazySlot> lazy_slots;
+  std::vector<std::string> needed;  // library names this image requires
+  uint32_t dispatch_bytes = 0;      // PLT text + GOT data (memory overhead)
+};
+
+// Builds DynImages from modules. Each library gets a fixed placement from
+// the builder's internal registry (the "little planning by the system
+// manager" of §4.1).
+class DynLibBuilder {
+ public:
+  DynLibBuilder() = default;
+
+  // Build `module` as the shared library `name` at the next fixed library
+  // placement. All global function references (internal and external) are
+  // routed through a generated PLT; data relocations become per-exec work.
+  Result<DynImage> BuildLibrary(const std::string& name, const Module& module);
+
+  // Build a dynamically-linked executable: external function references are
+  // routed through the client's PLT; everything else is bound statically at
+  // build time (a normal fixed executable). `libs` supplies the export sets
+  // used to decide which unresolved references are library functions.
+  Result<DynImage> BuildExecutable(const std::string& name, const Module& module,
+                                   const std::vector<const DynImage*>& libs);
+
+ private:
+  Result<DynImage> Build(const std::string& name, const Module& module,
+                         const std::vector<std::string>& routed, uint32_t text_base,
+                         uint32_t data_base, bool dynamic_data, const std::string& entry);
+
+  uint32_t next_lib_text_ = 0x60000000;
+  uint32_t next_lib_data_ = 0xA0000000;
+  uint32_t next_exe_text_ = 0x00020000;
+  uint32_t next_exe_data_ = 0x90000000;
+};
+
+// The runtime loader. Owns installed images and serves exec + lazy binding.
+class Rtld {
+ public:
+  explicit Rtld(Kernel& kernel);
+
+  Result<void> Install(DynImage image);
+  const DynImage* Find(const std::string& name) const;
+
+  // exec() a dynamically-linked program: map it and every needed library,
+  // priming linkage tables and applying data relocations — the per-
+  // invocation work of the traditional scheme.
+  Result<TaskId> Exec(const std::string& name, std::vector<std::string> args);
+
+  void ReleaseTask(TaskId id);
+
+  // Total dispatch-table bytes (PLT+GOT) across installed images — the
+  // memory overhead the paper's §4.1 (and Kohl/Paxson) call out.
+  uint32_t TotalDispatchBytes() const;
+
+  uint64_t lazy_resolutions() const { return lazy_resolutions_; }
+
+ private:
+  struct Installed {
+    DynImage dyn;
+    std::optional<SegmentImage> text_seg;
+  };
+  struct TaskState {
+    // got slot address -> symbol to resolve; which images are loaded.
+    std::map<uint32_t, std::string> pending_slots;
+    std::vector<const Installed*> loaded;
+  };
+
+  Result<void> MapInstalled(Task& task, const Installed& installed, TaskState& state);
+  Result<void> HandleResolve(Kernel& kernel, Task& task);
+
+  Kernel* kernel_;
+  std::map<std::string, Installed> images_;
+  std::map<TaskId, TaskState> tasks_;
+  uint64_t lazy_resolutions_ = 0;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_BASELINE_DYNLIB_H_

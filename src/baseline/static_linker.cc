@@ -1,0 +1,43 @@
+#include "src/baseline/static_linker.h"
+
+#include "src/os/loader.h"
+#include "src/support/strings.h"
+#include "src/vm/phys_memory.h"
+
+namespace omos {
+
+Result<StaticExecutable> StaticLink(const std::string& name, const Module& module,
+                                    const CostModel& costs, uint32_t text_base) {
+  LayoutSpec layout;
+  layout.text_base = text_base;
+  layout.entry_symbol = "_start";
+  OMOS_TRY(LinkedImage image, LinkImage(module, layout, name));
+
+  StaticExecutable exe;
+  uint32_t symbol_count = 0;
+  for (const FragmentPtr& frag : module.fragments()) {
+    symbol_count += static_cast<uint32_t>(frag->symbols().size());
+  }
+  exe.link_cost = costs.header_parse * image.stats.fragments +
+                  costs.symbol_parse * symbol_count +
+                  costs.reloc_apply * image.stats.relocations_applied +
+                  costs.symbol_lookup * image.stats.refs_bound;
+  // Writing the (large) output binary dominates big static links (§2.1).
+  uint32_t total_pages =
+      (static_cast<uint32_t>(image.text.size() + image.data.size()) + kPageSize - 1) / kPageSize;
+  exe.link_cost += costs.file_read_page * 2 * total_pages;  // write ≈ 2x read
+  exe.image = std::move(image);
+  return exe;
+}
+
+Result<TaskId> StaticExec(Kernel& kernel, const StaticExecutable& exe,
+                          std::vector<std::string> args) {
+  Task& task = kernel.CreateTask(StrCat("static:", exe.image.name));
+  const CostModel& costs = kernel.costs();
+  task.BillSys(costs.file_open + costs.header_parse);
+  OMOS_TRY_VOID(MapLinkedImage(kernel, task, exe.image, StrCat("static:", exe.image.name)));
+  OMOS_TRY_VOID(StartTask(kernel, task, exe.image.entry, args));
+  return task.id();
+}
+
+}  // namespace omos

@@ -1,0 +1,36 @@
+// The traditional static-linking baseline: one monolithic executable,
+// re-linked from scratch on every build. Exists to quantify the paper's
+// "drastically reduced static linking time" benefit (§2.1) and the memory
+// comparison benches.
+#ifndef OMOS_SRC_BASELINE_STATIC_LINKER_H_
+#define OMOS_SRC_BASELINE_STATIC_LINKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/linker/link.h"
+#include "src/linker/module.h"
+#include "src/os/kernel.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+struct StaticExecutable {
+  LinkedImage image;
+  uint64_t link_cost = 0;  // simulated cycles spent linking
+};
+
+// Link `module` (client and all libraries merged) into a static executable.
+// The returned link_cost models the repeated work a development cycle pays:
+// header parses, symbol processing, relocations, and writing the (large)
+// output file.
+Result<StaticExecutable> StaticLink(const std::string& name, const Module& module,
+                                    const CostModel& costs, uint32_t text_base = 0x00020000);
+
+// exec() a static binary: read + map the whole file (no rtld work at all).
+Result<TaskId> StaticExec(Kernel& kernel, const StaticExecutable& exe,
+                          std::vector<std::string> args);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_BASELINE_STATIC_LINKER_H_

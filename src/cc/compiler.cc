@@ -1,0 +1,878 @@
+#include "src/cc/compiler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+// ---- Lexer ------------------------------------------------------------------
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  kString,
+  kPunct,  // operators and punctuation, text in `text`
+  kKwInt,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwBreak,
+  kKwContinue,
+  kKwReturn,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      Token tok;
+      tok.line = line_;
+      if (pos_ >= src_.size()) {
+        out.push_back(tok);
+        return out;
+      }
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) != 0 || src_[pos_] == '_')) {
+          ++pos_;
+        }
+        tok.text = std::string(src_.substr(start, pos_ - start));
+        if (tok.text == "int") {
+          tok.kind = Tok::kKwInt;
+        } else if (tok.text == "if") {
+          tok.kind = Tok::kKwIf;
+        } else if (tok.text == "else") {
+          tok.kind = Tok::kKwElse;
+        } else if (tok.text == "while") {
+          tok.kind = Tok::kKwWhile;
+        } else if (tok.text == "for") {
+          tok.kind = Tok::kKwFor;
+        } else if (tok.text == "break") {
+          tok.kind = Tok::kKwBreak;
+        } else if (tok.text == "continue") {
+          tok.kind = Tok::kKwContinue;
+        } else if (tok.text == "return") {
+          tok.kind = Tok::kKwReturn;
+        } else {
+          tok.kind = Tok::kIdent;
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) != 0)) {
+          ++pos_;
+        }
+        std::string text(src_.substr(start, pos_ - start));
+        tok.kind = Tok::kNumber;
+        tok.number = std::strtoll(text.c_str(), nullptr, 0);
+      } else if (c == '\'') {
+        // Character literal.
+        ++pos_;
+        if (pos_ >= src_.size()) {
+          return LexErr("unterminated char literal");
+        }
+        char v = src_[pos_++];
+        if (v == '\\' && pos_ < src_.size()) {
+          char esc = src_[pos_++];
+          v = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc == '0' ? '\0' : esc;
+        }
+        if (pos_ >= src_.size() || src_[pos_] != '\'') {
+          return LexErr("unterminated char literal");
+        }
+        ++pos_;
+        tok.kind = Tok::kNumber;
+        tok.number = v;
+      } else if (c == '"') {
+        ++pos_;
+        std::string value;
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+          char v = src_[pos_++];
+          if (v == '\\' && pos_ < src_.size()) {
+            char esc = src_[pos_++];
+            v = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc == '0' ? '\0' : esc;
+          }
+          value.push_back(v);
+        }
+        if (pos_ >= src_.size()) {
+          return LexErr("unterminated string literal");
+        }
+        ++pos_;
+        tok.kind = Tok::kString;
+        tok.text = std::move(value);
+      } else {
+        static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+        tok.kind = Tok::kPunct;
+        bool matched = false;
+        if (pos_ + 1 < src_.size()) {
+          std::string two(src_.substr(pos_, 2));
+          for (const char* cand : kTwoChar) {
+            if (two == cand) {
+              tok.text = two;
+              pos_ += 2;
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          tok.text = std::string(1, c);
+          ++pos_;
+        }
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') {
+            ++line_;
+          }
+          ++pos_;
+        }
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Error LexErr(std::string message) const {
+    return Err(ErrorCode::kParseError, StrCat("oc:", line_, ": ", std::move(message)));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---- Code generator ---------------------------------------------------------
+//
+// Evaluation model: every expression leaves its value in r0. Binary ops
+// evaluate the left side, push it, evaluate the right side, then pop the
+// left into r1 and combine. r11 is the frame pointer; locals live at
+// negative offsets from it. The generated code favours simplicity over
+// quality — it is a substrate, not the contribution.
+
+class Compiler {
+ public:
+  explicit Compiler(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<std::string> Run() {
+    while (!At(Tok::kEnd)) {
+      OMOS_TRY_VOID(TopLevel());
+    }
+    std::ostringstream out;
+    out << ".text\n" << text_.str();
+    std::string data = data_.str();
+    if (!data.empty()) {
+      out << ".data\n.align 4\n" << data;
+    }
+    std::string bss = bss_.str();
+    if (!bss.empty()) {
+      out << ".bss\n.align 4\n" << bss;
+    }
+    return out.str();
+  }
+
+ private:
+  // -- token helpers
+  const Token& Cur() const { return toks_[pos_]; }
+  bool At(Tok kind) const { return Cur().kind == kind; }
+  bool AtPunct(std::string_view p) const { return Cur().kind == Tok::kPunct && Cur().text == p; }
+  void Advance() { ++pos_; }
+  bool EatPunct(std::string_view p) {
+    if (AtPunct(p)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Result<void> ExpectPunct(std::string_view p) {
+    if (!EatPunct(p)) {
+      return ParseErr(StrCat("expected '", p, "', got '", Cur().text, "'"));
+    }
+    return OkResult();
+  }
+  Error ParseErr(std::string message) const {
+    return Err(ErrorCode::kParseError, StrCat("oc:", Cur().line, ": ", std::move(message)));
+  }
+
+  // -- emission helpers
+  void E(std::string_view line) { text_ << "  " << line << "\n"; }
+  void Label(std::string_view label) { text_ << label << ":\n"; }
+  std::string NewLabel(std::string_view stem) { return StrCat(".L", stem, label_counter_++); }
+  std::string InternString(const std::string& value) {
+    std::string label = StrCat(".Lstr", label_counter_++);
+    std::ostringstream esc;
+    for (char c : value) {
+      if (c == '\n') {
+        esc << "\\n";
+      } else if (c == '\t') {
+        esc << "\\t";
+      } else if (c == '"') {
+        esc << "\\\"";
+      } else if (c == '\\') {
+        esc << "\\\\";
+      } else if (c == '\0') {
+        esc << "\\0";
+      } else {
+        esc << c;
+      }
+    }
+    data_ << label << ": .asciiz \"" << esc.str() << "\"\n.align 4\n";
+    return label;
+  }
+
+  // -- symbol tables
+  struct Local {
+    int offset = 0;  // relative to r11 (negative)
+    bool is_array = false;
+  };
+
+  std::optional<Local> FindLocal(const std::string& name) const {
+    auto it = locals_.find(name);
+    if (it == locals_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  // -- grammar
+  Result<void> TopLevel() {
+    if (!At(Tok::kKwInt)) {
+      return ParseErr(StrCat("expected declaration, got '", Cur().text, "'"));
+    }
+    Advance();
+    while (EatPunct("*")) {
+      // Pointers are ints; stars at the declaration site are accepted noise.
+    }
+    if (!At(Tok::kIdent)) {
+      return ParseErr("expected identifier");
+    }
+    std::string name = Cur().text;
+    Advance();
+    if (AtPunct("(")) {
+      return Function(name);
+    }
+    return GlobalVar(name);
+  }
+
+  Result<void> GlobalVar(const std::string& name) {
+    if (EatPunct("[")) {
+      if (!At(Tok::kNumber)) {
+        return ParseErr("expected array size");
+      }
+      int64_t n = Cur().number;
+      Advance();
+      OMOS_TRY_VOID(ExpectPunct("]"));
+      OMOS_TRY_VOID(ExpectPunct(";"));
+      bss_ << ".global " << name << "\n" << name << ": .space " << n * 4 << "\n";
+      global_arrays_.insert(name);
+      return OkResult();
+    }
+    int64_t init = 0;
+    if (EatPunct("=")) {
+      bool negative = EatPunct("-");
+      if (!At(Tok::kNumber)) {
+        return ParseErr("global initializer must be a constant");
+      }
+      init = negative ? -Cur().number : Cur().number;
+      Advance();
+    }
+    OMOS_TRY_VOID(ExpectPunct(";"));
+    data_ << ".global " << name << "\n" << name << ": .word " << init << "\n";
+    return OkResult();
+  }
+
+  Result<void> Function(const std::string& name) {
+    OMOS_TRY_VOID(ExpectPunct("("));
+    locals_.clear();
+    frame_size_ = 0;
+    std::vector<std::string> params;
+    if (!AtPunct(")")) {
+      while (true) {
+        if (!At(Tok::kKwInt)) {
+          return ParseErr("expected parameter type");
+        }
+        Advance();
+        while (EatPunct("*")) {
+        }
+        if (!At(Tok::kIdent)) {
+          return ParseErr("expected parameter name");
+        }
+        params.push_back(Cur().text);
+        Advance();
+        if (!EatPunct(",")) {
+          break;
+        }
+      }
+    }
+    OMOS_TRY_VOID(ExpectPunct(")"));
+    if (params.size() > 4) {
+      return ParseErr("more than 4 parameters not supported");
+    }
+    for (const std::string& param : params) {
+      OMOS_TRY_VOID(AddLocal(param, 1, false));
+    }
+
+    // Body is compiled into a side buffer so the frame size is known for the
+    // prologue.
+    std::ostringstream saved_text;
+    saved_text.swap(text_);
+    epilogue_label_ = NewLabel("ret");
+    OMOS_TRY_VOID(ExpectPunct("{"));
+    OMOS_TRY_VOID(BlockRest());
+    std::string body = text_.str();
+    text_.swap(saved_text);
+
+    text_ << ".global " << name << "\n" << name << ":\n";
+    E("push lr");
+    E("push r11");
+    E("mov r11, sp");
+    if (frame_size_ > 0) {
+      E(StrCat("addi sp, sp, -", frame_size_));
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      E(StrCat("st r", i, ", [r11+", locals_[params[i]].offset, "]"));
+    }
+    text_ << body;
+    E("movi r0, 0");  // fall-off-end returns 0
+    Label(epilogue_label_);
+    E("mov sp, r11");
+    E("pop r11");
+    E("pop lr");
+    E("ret");
+    return OkResult();
+  }
+
+  Result<void> AddLocal(const std::string& name, int words, bool is_array) {
+    if (locals_.count(name) != 0) {
+      return ParseErr(StrCat("duplicate local ", name));
+    }
+    frame_size_ += words * 4;
+    locals_[name] = Local{-frame_size_, is_array};
+    return OkResult();
+  }
+
+  // Block with the opening '{' already consumed.
+  Result<void> BlockRest() {
+    while (!AtPunct("}")) {
+      if (At(Tok::kEnd)) {
+        return ParseErr("unterminated block");
+      }
+      OMOS_TRY_VOID(Statement());
+    }
+    Advance();
+    return OkResult();
+  }
+
+  Result<void> Statement() {
+    if (At(Tok::kKwInt)) {
+      Advance();
+      while (EatPunct("*")) {
+      }
+      if (!At(Tok::kIdent)) {
+        return ParseErr("expected local name");
+      }
+      std::string name = Cur().text;
+      Advance();
+      if (EatPunct("[")) {
+        if (!At(Tok::kNumber)) {
+          return ParseErr("expected array size");
+        }
+        int64_t n = Cur().number;
+        Advance();
+        OMOS_TRY_VOID(ExpectPunct("]"));
+        OMOS_TRY_VOID(ExpectPunct(";"));
+        return AddLocal(name, static_cast<int>(n), true);
+      }
+      OMOS_TRY_VOID(AddLocal(name, 1, false));
+      if (EatPunct("=")) {
+        OMOS_TRY_VOID(Expr());
+        E(StrCat("st r0, [r11+", locals_[name].offset, "]"));
+      }
+      return ExpectPunct(";");
+    }
+    if (At(Tok::kKwReturn)) {
+      Advance();
+      if (!AtPunct(";")) {
+        OMOS_TRY_VOID(Expr());
+      }
+      OMOS_TRY_VOID(ExpectPunct(";"));
+      E(StrCat("br ", epilogue_label_));
+      return OkResult();
+    }
+    if (At(Tok::kKwIf)) {
+      Advance();
+      OMOS_TRY_VOID(ExpectPunct("("));
+      OMOS_TRY_VOID(Expr());
+      OMOS_TRY_VOID(ExpectPunct(")"));
+      std::string else_label = NewLabel("else");
+      std::string end_label = NewLabel("endif");
+      E("movi r1, 0");
+      E(StrCat("beq r0, r1, ", else_label));
+      OMOS_TRY_VOID(StatementOrBlock());
+      if (At(Tok::kKwElse)) {
+        Advance();
+        E(StrCat("br ", end_label));
+        Label(else_label);
+        OMOS_TRY_VOID(StatementOrBlock());
+        Label(end_label);
+      } else {
+        Label(else_label);
+      }
+      return OkResult();
+    }
+    if (At(Tok::kKwWhile)) {
+      Advance();
+      std::string top = NewLabel("while");
+      std::string end = NewLabel("endwhile");
+      Label(top);
+      OMOS_TRY_VOID(ExpectPunct("("));
+      OMOS_TRY_VOID(Expr());
+      OMOS_TRY_VOID(ExpectPunct(")"));
+      E("movi r1, 0");
+      E(StrCat("beq r0, r1, ", end));
+      loops_.push_back({end, top});
+      OMOS_TRY_VOID(StatementOrBlock());
+      loops_.pop_back();
+      E(StrCat("br ", top));
+      Label(end);
+      return OkResult();
+    }
+    if (At(Tok::kKwFor)) {
+      return ForStatement();
+    }
+    if (At(Tok::kKwBreak) || At(Tok::kKwContinue)) {
+      bool is_break = At(Tok::kKwBreak);
+      Advance();
+      OMOS_TRY_VOID(ExpectPunct(";"));
+      if (loops_.empty()) {
+        return ParseErr(is_break ? "break outside loop" : "continue outside loop");
+      }
+      E(StrCat("br ", is_break ? loops_.back().first : loops_.back().second));
+      return OkResult();
+    }
+    if (EatPunct("{")) {
+      return BlockRest();
+    }
+    OMOS_TRY_VOID(SimpleStatement());
+    return ExpectPunct(";");
+  }
+
+  // for (init; cond; step) body — the step clause is compiled into a side
+  // buffer and replayed after the body.
+  Result<void> ForStatement() {
+    Advance();  // for
+    OMOS_TRY_VOID(ExpectPunct("("));
+    if (!EatPunct(";")) {
+      OMOS_TRY_VOID(Statement());  // decl or assignment, consumes ';'
+    }
+    std::string cond = NewLabel("for");
+    std::string step = NewLabel("forstep");
+    std::string end = NewLabel("endfor");
+    Label(cond);
+    if (!AtPunct(";")) {
+      OMOS_TRY_VOID(Expr());
+      E("movi r1, 0");
+      E(StrCat("beq r0, r1, ", end));
+    }
+    OMOS_TRY_VOID(ExpectPunct(";"));
+    std::string step_code;
+    if (!AtPunct(")")) {
+      std::ostringstream saved;
+      saved.swap(text_);
+      OMOS_TRY_VOID(SimpleStatement());
+      step_code = text_.str();
+      text_.swap(saved);
+    }
+    OMOS_TRY_VOID(ExpectPunct(")"));
+    loops_.push_back({end, step});
+    OMOS_TRY_VOID(StatementOrBlock());
+    loops_.pop_back();
+    Label(step);
+    text_ << step_code;
+    E(StrCat("br ", cond));
+    Label(end);
+    return OkResult();
+  }
+
+  // Assignment or expression, with no trailing ';'.
+  Result<void> SimpleStatement() {
+    if (AtPunct("*")) {
+      // *expr = value;
+      Advance();
+      OMOS_TRY_VOID(Unary());
+      E("push r0");  // address
+      OMOS_TRY_VOID(ExpectPunct("="));
+      OMOS_TRY_VOID(Expr());
+      E("pop r1");
+      E("st r0, [r1+0]");
+      return OkResult();
+    }
+    if (At(Tok::kIdent)) {
+      // Lookahead for "ident =", "ident[expr] =".
+      size_t save = pos_;
+      std::string name = Cur().text;
+      Advance();
+      if (EatPunct("=")) {
+        OMOS_TRY_VOID(Expr());
+        return StoreVar(name);
+      }
+      if (EatPunct("[")) {
+        OMOS_TRY_VOID(Expr());  // index
+        OMOS_TRY_VOID(ExpectPunct("]"));
+        if (EatPunct("=")) {
+          E("movi r1, 4");
+          E("mul r0, r0, r1");
+          E("push r0");
+          OMOS_TRY_VOID(LoadVarAddressValue(name));  // base address in r0
+          E("pop r1");
+          E("add r0, r0, r1");
+          E("push r0");  // element address
+          OMOS_TRY_VOID(Expr());
+          E("pop r1");
+          E("st r0, [r1+0]");
+          return OkResult();
+        }
+        // `a[i]` as a bare statement would need rollback of emitted index
+        // code; no workload needs it, so reject rather than miscompile.
+        return ParseErr("array expression statement not supported");
+      }
+      pos_ = save;  // plain expression statement
+    }
+    return Expr();
+  }
+
+  Result<void> StatementOrBlock() {
+    if (EatPunct("{")) {
+      return BlockRest();
+    }
+    return Statement();
+  }
+
+  // Store r0 into variable `name`.
+  Result<void> StoreVar(const std::string& name) {
+    if (auto local = FindLocal(name); local.has_value()) {
+      if (local->is_array) {
+        return ParseErr(StrCat("cannot assign to array ", name));
+      }
+      E(StrCat("st r0, [r11+", local->offset, "]"));
+      return OkResult();
+    }
+    E(StrCat("lea r1, ", name));
+    E("st r0, [r1+0]");
+    return OkResult();
+  }
+
+  // Leave the *pointer value* of `name` in r0: for arrays this is the base
+  // address; for scalars it is the variable's value (pointer arithmetic).
+  Result<void> LoadVarAddressValue(const std::string& name) {
+    if (auto local = FindLocal(name); local.has_value()) {
+      if (local->is_array) {
+        E(StrCat("addi r0, r11, ", local->offset));
+      } else {
+        E(StrCat("ld r0, [r11+", local->offset, "]"));
+      }
+      return OkResult();
+    }
+    if (global_arrays_.count(name) != 0) {
+      E(StrCat("lea r0, ", name));
+    } else {
+      E(StrCat("lea r1, ", name));
+      E("ld r0, [r1+0]");
+    }
+    return OkResult();
+  }
+
+  // -- expressions (precedence climbing)
+  Result<void> Expr() { return OrExpr(); }
+
+  // || and && short-circuit, as in C: the right side is not evaluated when
+  // the left side decides the result.
+  Result<void> OrExpr() {
+    OMOS_TRY_VOID(AndExpr());
+    if (!AtPunct("||")) {
+      return OkResult();
+    }
+    std::string true_label = NewLabel("ortrue");
+    std::string end_label = NewLabel("orend");
+    while (AtPunct("||")) {
+      Advance();
+      E("movi r1, 0");
+      E(StrCat("bne r0, r1, ", true_label));
+      OMOS_TRY_VOID(AndExpr());
+    }
+    E("movi r1, 0");
+    E(StrCat("bne r0, r1, ", true_label));
+    E("movi r0, 0");
+    E(StrCat("br ", end_label));
+    Label(true_label);
+    E("movi r0, 1");
+    Label(end_label);
+    return OkResult();
+  }
+
+  Result<void> AndExpr() {
+    OMOS_TRY_VOID(BitExpr());
+    if (!AtPunct("&&")) {
+      return OkResult();
+    }
+    std::string false_label = NewLabel("andfalse");
+    std::string end_label = NewLabel("andend");
+    while (AtPunct("&&")) {
+      Advance();
+      E("movi r1, 0");
+      E(StrCat("beq r0, r1, ", false_label));
+      OMOS_TRY_VOID(BitExpr());
+    }
+    E("movi r1, 0");
+    E(StrCat("beq r0, r1, ", false_label));
+    E("movi r0, 1");
+    E(StrCat("br ", end_label));
+    Label(false_label);
+    E("movi r0, 0");
+    Label(end_label);
+    return OkResult();
+  }
+
+  // Collapse r0 to 0/1.
+  Result<void> Normalize() {
+    E("movi r1, 0");
+    E("movi r2, 1");
+    E("bne r0, r1, 8");
+    E("movi r2, 0");
+    E("mov r0, r2");
+    return OkResult();
+  }
+
+  Result<void> BitExpr() {
+    OMOS_TRY_VOID(CmpExpr());
+    while (AtPunct("&") || AtPunct("|") || AtPunct("^")) {
+      std::string op = Cur().text;
+      Advance();
+      E("push r0");
+      OMOS_TRY_VOID(CmpExpr());
+      E("pop r1");
+      E(StrCat(op == "&" ? "and" : op == "|" ? "or" : "xor", " r0, r1, r0"));
+    }
+    return OkResult();
+  }
+
+  Result<void> CmpExpr() {
+    OMOS_TRY_VOID(AddExpr());
+    while (AtPunct("==") || AtPunct("!=") || AtPunct("<") || AtPunct("<=") || AtPunct(">") ||
+           AtPunct(">=")) {
+      std::string op = Cur().text;
+      Advance();
+      E("push r0");
+      OMOS_TRY_VOID(AddExpr());
+      E("pop r1");
+      // r1 <op> r0 -> 0/1 in r0, via a branch that skips the "false" move.
+      std::string insn = op == "==" ? "beq"
+                         : op == "!=" ? "bne"
+                         : op == "<"  ? "blt"
+                         : op == "<=" ? "bge"  // r1 <= r0  <=>  r0 >= r1
+                         : op == ">"  ? "blt"  // r1 > r0   <=>  r0 < r1
+                                      : "bge";  // r1 >= r0
+      bool swapped = (op == "<=" || op == ">");
+      E("movi r2, 1");
+      if (swapped) {
+        E(StrCat(insn, " r0, r1, 8"));
+      } else {
+        E(StrCat(insn, " r1, r0, 8"));
+      }
+      E("movi r2, 0");
+      E("mov r0, r2");
+    }
+    return OkResult();
+  }
+
+  Result<void> AddExpr() {
+    OMOS_TRY_VOID(MulExpr());
+    while (AtPunct("+") || AtPunct("-")) {
+      std::string op = Cur().text;
+      Advance();
+      E("push r0");
+      OMOS_TRY_VOID(MulExpr());
+      E("pop r1");
+      E(StrCat(op == "+" ? "add" : "sub", " r0, r1, r0"));
+    }
+    return OkResult();
+  }
+
+  Result<void> MulExpr() {
+    OMOS_TRY_VOID(Unary());
+    while (AtPunct("*") || AtPunct("/") || AtPunct("%")) {
+      std::string op = Cur().text;
+      Advance();
+      E("push r0");
+      OMOS_TRY_VOID(Unary());
+      E("pop r1");
+      E(StrCat(op == "*" ? "mul" : op == "/" ? "div" : "mod", " r0, r1, r0"));
+    }
+    return OkResult();
+  }
+
+  Result<void> Unary() {
+    if (EatPunct("-")) {
+      OMOS_TRY_VOID(Unary());
+      E("movi r1, 0");
+      E("sub r0, r1, r0");
+      return OkResult();
+    }
+    if (EatPunct("!")) {
+      OMOS_TRY_VOID(Unary());
+      E("movi r1, 0");
+      E("movi r2, 0");
+      E("bne r0, r1, 8");
+      E("movi r2, 1");
+      E("mov r0, r2");
+      return OkResult();
+    }
+    if (EatPunct("*")) {
+      OMOS_TRY_VOID(Unary());
+      E("ld r0, [r0+0]");
+      return OkResult();
+    }
+    if (EatPunct("&")) {
+      if (!At(Tok::kIdent)) {
+        return ParseErr("& requires a variable");
+      }
+      std::string name = Cur().text;
+      Advance();
+      if (auto local = FindLocal(name); local.has_value()) {
+        E(StrCat("addi r0, r11, ", local->offset));
+      } else {
+        E(StrCat("lea r0, ", name));
+      }
+      return OkResult();
+    }
+    return Primary();
+  }
+
+  Result<void> Primary() {
+    if (At(Tok::kNumber)) {
+      E(StrCat("movi r0, ", Cur().number));
+      Advance();
+      return OkResult();
+    }
+    if (At(Tok::kString)) {
+      std::string label = InternString(Cur().text);
+      Advance();
+      E(StrCat("lea r0, ", label));
+      return OkResult();
+    }
+    if (EatPunct("(")) {
+      OMOS_TRY_VOID(Expr());
+      return ExpectPunct(")");
+    }
+    if (!At(Tok::kIdent)) {
+      return ParseErr(StrCat("unexpected token '", Cur().text, "'"));
+    }
+    std::string name = Cur().text;
+    Advance();
+    if (AtPunct("(")) {
+      return Call(name);
+    }
+    if (EatPunct("[")) {
+      OMOS_TRY_VOID(Expr());
+      OMOS_TRY_VOID(ExpectPunct("]"));
+      E("movi r1, 4");
+      E("mul r0, r0, r1");
+      E("push r0");
+      OMOS_TRY_VOID(LoadVarAddressValue(name));
+      E("pop r1");
+      E("add r0, r0, r1");
+      E("ld r0, [r0+0]");
+      return OkResult();
+    }
+    return LoadVarAddressValue(name);
+  }
+
+  Result<void> Call(const std::string& name) {
+    OMOS_TRY_VOID(ExpectPunct("("));
+    int argc = 0;
+    if (!AtPunct(")")) {
+      while (true) {
+        OMOS_TRY_VOID(Expr());
+        E("push r0");
+        ++argc;
+        if (!EatPunct(",")) {
+          break;
+        }
+      }
+    }
+    OMOS_TRY_VOID(ExpectPunct(")"));
+    if (argc > 4) {
+      return ParseErr("more than 4 call arguments not supported");
+    }
+    for (int i = argc - 1; i >= 0; --i) {
+      E(StrCat("pop r", i));
+    }
+    E(StrCat("call ", name));
+    return OkResult();
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  std::ostringstream text_;
+  std::ostringstream data_;
+  std::ostringstream bss_;
+  std::map<std::string, Local> locals_;
+  std::set<std::string> global_arrays_;
+  int frame_size_ = 0;
+  int label_counter_ = 0;
+  std::string epilogue_label_;
+  // (break_label, continue_label) per enclosing loop.
+  std::vector<std::pair<std::string, std::string>> loops_;
+};
+
+}  // namespace
+
+Result<std::string> CompileC(std::string_view source) {
+  Lexer lexer(source);
+  OMOS_TRY(std::vector<Token> toks, lexer.Run());
+  Compiler compiler(std::move(toks));
+  return compiler.Run();
+}
+
+}  // namespace omos

@@ -1,0 +1,30 @@
+// A small C-subset compiler ("OC") targeting SimISA assembly.
+//
+// Backs the blueprint operator `(source "c" ...)` — Figure 3 of the paper
+// resolves an undefined data reference with (source "c" "int undef_var = 0;").
+// Supported subset:
+//   * int globals with optional initializers, int arrays: int g = 3; int a[8];
+//   * functions: int f(int a, int b) { ... } with up to 4 parameters
+//   * locals (int), assignment, pointer deref (*p = e, x = *p), address-of
+//     (&g, &local), array indexing (a[i] as *(a + i) with 4-byte scaling)
+//   * if/else, while, return, blocks, expression statements
+//   * int literals, string literals (valued as the string's address),
+//     calls, unary - ! *, binary + - * / % == != < <= > >= & | ^ && ||
+// Everything is a 32-bit int; pointer arithmetic on `+`/`-` with arrays is
+// *not* auto-scaled except through the a[i] form.
+#ifndef OMOS_SRC_CC_COMPILER_H_
+#define OMOS_SRC_CC_COMPILER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+// Compile OC source to SimISA assembly text (feed to Assemble()).
+Result<std::string> CompileC(std::string_view source);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_CC_COMPILER_H_

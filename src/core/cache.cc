@@ -1,0 +1,63 @@
+#include "src/core/cache.h"
+
+namespace omos {
+
+const CachedImage* ImageCache::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return it->second.image.get();
+}
+
+const CachedImage* ImageCache::Peek(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.image.get();
+}
+
+std::vector<std::string> ImageCache::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+const CachedImage* ImageCache::Put(std::string key, CachedImage image) {
+  Evict(key);
+  auto owned = std::make_unique<CachedImage>(std::move(image));
+  owned->key = key;
+  stats_.bytes_cached += owned->bytes();
+  lru_.push_front(key);
+  const CachedImage* result = owned.get();
+  entries_.emplace(std::move(key), Entry{std::move(owned), lru_.begin()});
+  TrimToCapacity();
+  return result;
+}
+
+void ImageCache::Evict(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  stats_.bytes_cached -= it->second.image->bytes();
+  ++stats_.evictions;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ImageCache::TrimToCapacity() {
+  while (stats_.bytes_cached > capacity_bytes_ && lru_.size() > 1) {
+    // Evict least-recently-used (never the entry just inserted).
+    std::string victim = lru_.back();
+    Evict(victim);
+  }
+}
+
+}  // namespace omos

@@ -1,0 +1,95 @@
+// The OMOS image cache: bound, relocated, mappable images keyed by
+// (meta-object, specialization, placement). "By treating executables as a
+// cache, OMOS avoids unnecessary repetition of work" (§1); cache hits are
+// the entire speed story of the self-contained scheme.
+#ifndef OMOS_SRC_CORE_CACHE_H_
+#define OMOS_SRC_CORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/linker/image.h"
+#include "src/support/result.h"
+#include "src/vm/address_space.h"
+
+namespace omos {
+
+// A stub slot in a partial-image client: the `index`-th lazy slot resolves
+// `symbol` out of library `lib_path` (specialized `lib-dynamic-impl`).
+struct StubSlot {
+  uint32_t index = 0;
+  std::string slot_symbol;  // data symbol holding the branch-table entry
+  std::string lib_path;
+  std::string symbol;
+};
+
+// A resolved library dependency of a cached program image.
+struct LibDep {
+  std::string cache_key;  // key of the library's own cached image
+  std::string lib_path;
+};
+
+// One cached, mappable image: the linked bytes plus the shareable text
+// segment (built once), plus whatever the exec path needs to finish the job
+// (library deps to map, stub slots to register).
+struct CachedImage {
+  std::string key;
+  LinkedImage image;
+  std::optional<SegmentImage> text_seg;
+  std::vector<LibDep> deps;
+  std::vector<StubSlot> stub_slots;
+  uint64_t build_cost = 0;  // simulated cycles spent constructing this image
+
+  uint32_t bytes() const {
+    return static_cast<uint32_t>(image.text.size() + image.data.size());
+  }
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_cached = 0;
+};
+
+// LRU image cache with a byte budget. Entries are heap-allocated and stable:
+// pointers returned by Get/Put remain valid until eviction.
+class ImageCache {
+ public:
+  explicit ImageCache(uint64_t capacity_bytes = 256ull << 20)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Lookup; bumps LRU and hit/miss counters.
+  const CachedImage* Get(const std::string& key);
+  // Lookup without touching LRU or statistics (introspection/invalidation).
+  const CachedImage* Peek(const std::string& key) const;
+  bool Contains(const std::string& key) const { return entries_.count(key) != 0; }
+  std::vector<std::string> Keys() const;
+
+  const CachedImage* Put(std::string key, CachedImage image);
+  void Evict(const std::string& key);
+
+  const CacheStats& stats() const { return stats_; }
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  void TrimToCapacity();
+
+  uint64_t capacity_bytes_;
+  std::list<std::string> lru_;  // front = most recent
+  struct Entry {
+    std::unique_ptr<CachedImage> image;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::map<std::string, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_CORE_CACHE_H_

@@ -1,0 +1,141 @@
+#include "src/core/constraints.h"
+
+#include "src/support/strings.h"
+#include "src/vm/phys_memory.h"
+
+namespace omos {
+
+ConstraintSolver::ConstraintSolver(Arenas arenas) : arenas_(arenas) {}
+
+const ConstraintSolver::Range* ConstraintSolver::FindOverlap(
+    const std::map<uint32_t, Range>& ranges, uint32_t base, uint32_t size) {
+  auto it = ranges.upper_bound(base);
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.base + prev->second.size > base) {
+      return &prev->second;
+    }
+  }
+  if (it != ranges.end() && it->second.base < base + size) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Result<uint32_t> ConstraintSolver::Fit(std::map<uint32_t, Range>& ranges, uint32_t lo, uint32_t hi,
+                                       uint32_t size, std::optional<uint32_t> preferred,
+                                       const std::string& object) {
+  size = PageAlignUp(std::max<uint32_t>(size, 1));
+  if (preferred.has_value()) {
+    uint32_t base = PageAlignDown(*preferred);
+    const Range* overlap = FindOverlap(ranges, base, size);
+    if (overlap == nullptr && base >= lo && base + size <= hi) {
+      ranges.emplace(base, Range{base, size, object});
+      return base;
+    }
+    // Weak constraint lost to the required no-overlap constraint; spill and
+    // record the conflict for the system manager / feedback loop (§3.5).
+    uint32_t got = 0;
+    uint32_t cursor = lo;
+    for (const auto& [rbase, range] : ranges) {
+      if (cursor + size <= range.base) {
+        break;
+      }
+      cursor = std::max(cursor, range.base + range.size);
+    }
+    if (cursor + size > hi) {
+      return Err(ErrorCode::kConstraintConflict,
+                 StrCat("no address space for ", object, " (", size, " bytes)"));
+    }
+    got = cursor;
+    conflicts_.push_back(
+        ConflictRecord{object, *preferred, got, overlap != nullptr ? overlap->owner : "arena"});
+    ranges.emplace(got, Range{got, size, object});
+    return got;
+  }
+  uint32_t cursor = lo;
+  for (const auto& [rbase, range] : ranges) {
+    if (cursor + size <= range.base) {
+      break;
+    }
+    cursor = std::max(cursor, range.base + range.size);
+  }
+  if (cursor + size > hi) {
+    return Err(ErrorCode::kConstraintConflict,
+               StrCat("no address space for ", object, " (", size, " bytes)"));
+  }
+  ranges.emplace(cursor, Range{cursor, size, object});
+  return cursor;
+}
+
+Result<Placement> ConstraintSolver::Place(const std::string& object, uint32_t text_size,
+                                          uint32_t data_size, const PlacementHints& hints) {
+  auto it = placements_.find(object);
+  if (it != placements_.end()) {
+    // Strong constraint: reuse the existing implementation's placement when
+    // it still fits this request.
+    if (it->second.text_size >= text_size && it->second.data_size >= data_size) {
+      Placement reused = it->second.placement;
+      reused.reused = true;
+      return reused;
+    }
+    Release(object);
+  }
+  OMOS_TRY(uint32_t text_base, Fit(text_ranges_, arenas_.text_lo, arenas_.text_hi, text_size,
+                                   hints.text_base, object));
+  auto data = Fit(data_ranges_, arenas_.data_lo, arenas_.data_hi, data_size, hints.data_base,
+                  object);
+  if (!data.ok()) {
+    // Roll back the text reservation.
+    text_ranges_.erase(text_base);
+    return data.error();
+  }
+  Placement placement{text_base, std::move(data).value(), false};
+  placements_[object] = Record{placement, text_size, data_size};
+  return placement;
+}
+
+const Placement* ConstraintSolver::Find(const std::string& object) const {
+  auto it = placements_.find(object);
+  return it == placements_.end() ? nullptr : &it->second.placement;
+}
+
+std::vector<std::string> ConstraintSolver::OptimizePlacements() {
+  // Deterministic re-pack: objects in name order, first-fit from the arena
+  // base. Larger address-space churn is acceptable here — this is the
+  // occasional administrative pass, not the per-request path.
+  std::vector<std::string> changed;
+  std::map<std::string, Record> old = std::move(placements_);
+  placements_.clear();
+  text_ranges_.clear();
+  data_ranges_.clear();
+  conflicts_.clear();
+  for (const auto& [object, record] : old) {
+    auto text = Fit(text_ranges_, arenas_.text_lo, arenas_.text_hi, record.text_size,
+                    std::nullopt, object);
+    auto data = Fit(data_ranges_, arenas_.data_lo, arenas_.data_hi, record.data_size,
+                    std::nullopt, object);
+    if (!text.ok() || !data.ok()) {
+      continue;  // arena exhaustion cannot happen while re-packing a subset
+    }
+    Placement placement{std::move(text).value(), std::move(data).value(), false};
+    placements_[object] = Record{placement, record.text_size, record.data_size};
+    if (placement.text_base != record.placement.text_base ||
+        placement.data_base != record.placement.data_base) {
+      changed.push_back(object);
+    }
+  }
+  return changed;
+}
+
+void ConstraintSolver::Release(const std::string& object) {
+  auto it = placements_.find(object);
+  if (it == placements_.end()) {
+    return;
+  }
+  text_ranges_.erase(it->second.placement.text_base);
+  data_ranges_.erase(it->second.placement.data_base);
+  placements_.erase(it);
+}
+
+}  // namespace omos

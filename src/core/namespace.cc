@@ -1,0 +1,110 @@
+#include "src/core/namespace.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+std::string OmosNamespace::Normalize(std::string_view path) {
+  std::string out = "/";
+  for (const std::string& part : SplitString(path, '/')) {
+    if (part.empty()) {
+      continue;
+    }
+    if (out.back() != '/') {
+      out.push_back('/');
+    }
+    out += part;
+  }
+  return out;
+}
+
+Result<void> OmosNamespace::DefineMeta(std::string_view path, std::string_view blueprint,
+                                       EntryKind kind) {
+  OMOS_TRY(std::vector<Sexpr> exprs, ParseSexprs(blueprint));
+  NamespaceEntry entry;
+  entry.kind = kind;
+  entry.blueprint_text = std::string(blueprint);
+
+  std::vector<Sexpr> construction;
+  for (Sexpr& expr : exprs) {
+    if (expr.kind == Sexpr::Kind::kList && !expr.children.empty() &&
+        expr.children[0].kind == Sexpr::Kind::kSymbol) {
+      const std::string& head = expr.children[0].atom;
+      if (head == "constraint-list") {
+        // (constraint-list "T" 0x100000 "D" 0x40200000)
+        for (size_t i = 1; i + 1 < expr.children.size(); i += 2) {
+          if (expr.children[i].atom == "T") {
+            entry.hints.text_base = static_cast<uint32_t>(expr.children[i + 1].number);
+          } else if (expr.children[i].atom == "D") {
+            entry.hints.data_base = static_cast<uint32_t>(expr.children[i + 1].number);
+          } else {
+            return Err(ErrorCode::kParseError,
+                       StrCat(path, ": constraint-list key must be \"T\" or \"D\""));
+          }
+        }
+        entry.kind = EntryKind::kLibrary;
+        continue;
+      }
+      if (head == "default-specialization") {
+        if (expr.children.size() != 2 || expr.children[1].kind != Sexpr::Kind::kString) {
+          return Err(ErrorCode::kParseError,
+                     StrCat(path, ": default-specialization takes one string"));
+        }
+        entry.default_spec = expr.children[1].atom;
+        entry.kind = EntryKind::kLibrary;
+        continue;
+      }
+    }
+    construction.push_back(std::move(expr));
+  }
+  if (construction.size() != 1) {
+    return Err(ErrorCode::kParseError,
+               StrCat(path, ": expected exactly one construction expression, got ",
+                      construction.size()));
+  }
+  entry.construction = std::move(construction[0]);
+  entries_.insert_or_assign(Normalize(path), std::move(entry));
+  return OkResult();
+}
+
+Result<void> OmosNamespace::AddFragment(std::string_view path, ObjectFile object) {
+  OMOS_TRY_VOID(object.Validate());
+  NamespaceEntry entry;
+  entry.kind = EntryKind::kFragment;
+  entry.fragment = std::make_shared<const ObjectFile>(std::move(object));
+  entries_.insert_or_assign(Normalize(path), std::move(entry));
+  return OkResult();
+}
+
+Result<const NamespaceEntry*> OmosNamespace::Lookup(std::string_view path) const {
+  auto it = entries_.find(Normalize(path));
+  if (it == entries_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("no such object: ", path));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> OmosNamespace::List(std::string_view path) const {
+  std::string prefix = Normalize(path);
+  if (prefix.back() != '/') {
+    prefix.push_back('/');
+  }
+  std::vector<std::string> names;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) {
+      break;
+    }
+    std::string_view rest = std::string_view(it->first).substr(prefix.size());
+    size_t slash = rest.find('/');
+    std::string name(slash == std::string_view::npos ? rest : rest.substr(0, slash));
+    if (names.empty() || names.back() != name) {
+      names.push_back(std::move(name));
+    }
+  }
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace omos

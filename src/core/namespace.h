@@ -1,0 +1,60 @@
+// OMOS's hierarchical namespace: "names represent meta-objects, executable
+// code fragments, or directories of other objects" (§3.2).
+#ifndef OMOS_SRC_CORE_NAMESPACE_H_
+#define OMOS_SRC_CORE_NAMESPACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/constraints.h"
+#include "src/core/sexpr.h"
+#include "src/linker/module.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+enum class EntryKind { kMeta, kLibrary, kFragment };
+
+struct NamespaceEntry {
+  EntryKind kind = EntryKind::kMeta;
+  // kMeta / kLibrary:
+  std::string blueprint_text;  // full source, for hashing and re-parsing
+  Sexpr construction;          // the construction expression
+  PlacementHints hints;        // from (constraint-list "T" addr "D" addr)
+  std::string default_spec;    // from (default-specialization "name"); "" = self-contained
+  // kFragment:
+  FragmentPtr fragment;
+};
+
+class OmosNamespace {
+ public:
+  // Define a meta-object at `path`. The blueprint may contain, before the
+  // construction expression, a (constraint-list "T" addr ["D" addr]) record
+  // and a (default-specialization "name") record — Fig. 1's library shape.
+  Result<void> DefineMeta(std::string_view path, std::string_view blueprint,
+                          EntryKind kind = EntryKind::kMeta);
+
+  // Register a relocatable object fragment (a leaf operand, e.g. /obj/ls.o).
+  Result<void> AddFragment(std::string_view path, ObjectFile object);
+
+  Result<const NamespaceEntry*> Lookup(std::string_view path) const;
+  bool Exists(std::string_view path) const { return entries_.count(Normalize(path)) != 0; }
+
+  // Immediate children of `path` (directory listing of the exported
+  // namespace — what /bin backed by OMOS would enumerate, §5).
+  std::vector<std::string> List(std::string_view path) const;
+
+  size_t size() const { return entries_.size(); }
+
+  static std::string Normalize(std::string_view path);
+
+ private:
+  std::map<std::string, NamespaceEntry, std::less<>> entries_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_CORE_NAMESPACE_H_

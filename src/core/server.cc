@@ -1,0 +1,1127 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/cc/compiler.h"
+#include "src/core/stubgen.h"
+#include "src/support/log.h"
+#include "src/support/strings.h"
+#include "src/vasm/assembler.h"
+
+namespace omos {
+
+namespace {
+
+constexpr int kMaxEvalDepth = 64;
+// Simulated cycles to assemble one line of generated source.
+constexpr uint64_t kAssembleLineCost = 40;
+
+uint32_t AlignTo(uint32_t value, uint32_t align) { return (value + align - 1) / align * align; }
+
+// Regex alternation matching exactly the given names: "^(a|b|c)$".
+std::string NamesPattern(const std::vector<std::string>& names) {
+  std::string pattern = "^(";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) {
+      pattern.push_back('|');
+    }
+    pattern += names[i];
+  }
+  pattern += ")$";
+  return pattern;
+}
+
+}  // namespace
+
+// ---- Specialization ---------------------------------------------------------
+
+std::string Specialization::ToKeyString() const {
+  std::string out = name;
+  if (hints.text_base.has_value()) {
+    out += ";T=" + Hex32(*hints.text_base);
+  }
+  if (hints.data_base.has_value()) {
+    out += ";D=" + Hex32(*hints.data_base);
+  }
+  return out;
+}
+
+Specialization Specialization::FromKeyString(std::string_view text) {
+  Specialization spec;
+  std::vector<std::string> parts = SplitString(text, ';');
+  if (!parts.empty()) {
+    spec.name = parts[0];
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (StartsWith(parts[i], "T=")) {
+      spec.hints.text_base = static_cast<uint32_t>(std::stoul(parts[i].substr(2), nullptr, 0));
+    } else if (StartsWith(parts[i], "D=")) {
+      spec.hints.data_base = static_cast<uint32_t>(std::stoul(parts[i].substr(2), nullptr, 0));
+    }
+  }
+  return spec;
+}
+
+// ---- Construction -----------------------------------------------------------
+
+OmosServer::OmosServer(Kernel& kernel, Config config)
+    : kernel_(&kernel), config_(config), solver_(config.arenas), cache_(config.cache_capacity_bytes) {
+  kernel_->SetSysHook(kSysDload,
+                      [this](Kernel& k, Task& t) { return HandleDload(k, t); });
+  kernel_->SetSysHook(kSysMonLog,
+                      [this](Kernel& k, Task& t) { return HandleMonLog(k, t); });
+  kernel_->SetSysHook(kSysOmosLoad,
+                      [this](Kernel& k, Task& t) { return HandleOmosLoadSys(k, t); });
+  kernel_->SetSysHook(kSysOmosUnload,
+                      [this](Kernel& k, Task& t) { return HandleOmosUnloadSys(k, t); });
+}
+
+void OmosServer::InvalidateImagesOf(std::string_view path) {
+  std::string norm = OmosNamespace::Normalize(path);
+  // Seed: the path's own cached images, plus images of every meta-object
+  // whose blueprint mentions the path.
+  std::set<std::string> victim_paths{norm};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    // Propagate through library-dependency edges recorded in cached images.
+    for (const std::string& key : cache_.Keys()) {
+      size_t sep = key.find("\xc2\xa7");
+      std::string key_path = sep == std::string::npos ? key : key.substr(0, sep);
+      if (victim_paths.count(key_path) != 0) {
+        continue;
+      }
+      const CachedImage* image = cache_.Peek(key);
+      if (image == nullptr) {
+        continue;
+      }
+      for (const LibDep& dep : image->deps) {
+        size_t dsep = dep.cache_key.find("\xc2\xa7");
+        std::string dep_path =
+            dsep == std::string::npos ? dep.cache_key : dep.cache_key.substr(0, dsep);
+        if (victim_paths.count(dep_path) != 0 || victim_paths.count(dep.lib_path) != 0) {
+          victim_paths.insert(key_path);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  // Also: metas whose blueprint text references a victim path directly
+  // (fragment redefinition has no dep edge).
+  // One extra pass is enough because their images carry the meta's path.
+  for (const std::string& key : cache_.Keys()) {
+    size_t sep = key.find("\xc2\xa7");
+    std::string key_path = sep == std::string::npos ? key : key.substr(0, sep);
+    auto entry = namespace_.Lookup(key_path);
+    if (entry.ok() && (*entry)->blueprint_text.find(norm) != std::string::npos) {
+      victim_paths.insert(key_path);
+    }
+  }
+  for (const std::string& key : cache_.Keys()) {
+    size_t sep = key.find("\xc2\xa7");
+    std::string key_path = sep == std::string::npos ? key : key.substr(0, sep);
+    if (victim_paths.count(key_path) != 0) {
+      solver_.Release(key);
+      cache_.Evict(key);
+    }
+  }
+}
+
+Result<void> OmosServer::DefineMeta(std::string_view path, std::string_view blueprint) {
+  InvalidateImagesOf(path);
+  return namespace_.DefineMeta(path, blueprint, EntryKind::kMeta);
+}
+
+Result<void> OmosServer::DefineLibrary(std::string_view path, std::string_view blueprint) {
+  InvalidateImagesOf(path);
+  return namespace_.DefineMeta(path, blueprint, EntryKind::kLibrary);
+}
+
+Result<void> OmosServer::AddFragment(std::string_view path, ObjectFile object) {
+  InvalidateImagesOf(path);
+  return namespace_.AddFragment(path, std::move(object));
+}
+
+Result<void> OmosServer::AddArchive(std::string_view dir, const Archive& archive) {
+  std::string meta = "(merge";
+  for (const ObjectFile& member : archive.members()) {
+    std::string path = StrCat(dir, "/", member.name());
+    OMOS_TRY_VOID(namespace_.AddFragment(path, member));
+    meta += " " + path;
+  }
+  meta += ")";
+  return namespace_.DefineMeta(dir, meta, EntryKind::kMeta);
+}
+
+// ---- Blueprint evaluation ---------------------------------------------------
+
+Result<Module> OmosServer::RequireModule(EvalValue value, std::string_view op) const {
+  if (!value.module.has_value()) {
+    return Err(ErrorCode::kInvalidArgument,
+               StrCat(op, ": operand yields no module (library references need merge context)"));
+  }
+  return std::move(*value.module);
+}
+
+Result<Module> OmosServer::MergeValues(std::vector<EvalValue> values, EvalValue& out,
+                                       bool override_mode) {
+  std::optional<Module> acc;
+  for (EvalValue& value : values) {
+    out.libs.insert(out.libs.end(), value.libs.begin(), value.libs.end());
+    if (value.hints.text_base.has_value()) {
+      out.hints.text_base = value.hints.text_base;
+    }
+    if (value.hints.data_base.has_value()) {
+      out.hints.data_base = value.hints.data_base;
+    }
+    if (!value.module.has_value()) {
+      continue;
+    }
+    if (!acc.has_value()) {
+      acc = std::move(*value.module);
+    } else if (override_mode) {
+      OMOS_TRY(acc, Module::Override(*acc, *value.module));
+    } else {
+      OMOS_TRY(acc, Module::Merge(*acc, *value.module));
+    }
+  }
+  if (!acc.has_value()) {
+    acc = Module();
+  }
+  return std::move(*acc);
+}
+
+Result<OmosServer::EvalValue> OmosServer::EvalName(const std::string& name, BuildTracker& tracker,
+                                                   int depth) {
+  OMOS_TRY(const NamespaceEntry* entry, namespace_.Lookup(name));
+  EvalValue value;
+  switch (entry->kind) {
+    case EntryKind::kFragment:
+      value.module = Module::FromObject(entry->fragment);
+      return value;
+    case EntryKind::kLibrary: {
+      LibraryUse use;
+      use.path = OmosNamespace::Normalize(name);
+      use.spec.name = entry->default_spec;
+      // The library's own constraint-list is its *default* placement and is
+      // applied when the library image itself is built; only explicit
+      // specialize-time hints travel in the spec (and hence the cache key).
+      value.libs.push_back(std::move(use));
+      return value;
+    }
+    case EntryKind::kMeta:
+      return Eval(entry->construction, tracker, depth + 1);
+  }
+  return Err(ErrorCode::kInternal, "bad namespace entry kind");
+}
+
+Result<OmosServer::EvalValue> OmosServer::Eval(const Sexpr& expr, BuildTracker& tracker,
+                                               int depth) {
+  if (depth > kMaxEvalDepth) {
+    return Err(ErrorCode::kParseError, "blueprint: evaluation too deep (cycle?)");
+  }
+  if (expr.kind == Sexpr::Kind::kSymbol) {
+    return EvalName(expr.atom, tracker, depth);
+  }
+  if (expr.IsAtom()) {
+    return Err(ErrorCode::kParseError,
+               StrCat("blueprint: cannot evaluate atom '", expr.ToString(), "'"));
+  }
+  if (expr.children.empty() || expr.children[0].kind != Sexpr::Kind::kSymbol) {
+    return Err(ErrorCode::kParseError, "blueprint: expected (operation args...)");
+  }
+  const std::string& op = expr.children[0].atom;
+
+  auto eval_operands = [&](size_t first) -> Result<std::vector<EvalValue>> {
+    std::vector<EvalValue> values;
+    for (size_t i = first; i < expr.children.size(); ++i) {
+      OMOS_TRY(EvalValue value, Eval(expr.children[i], tracker, depth + 1));
+      values.push_back(std::move(value));
+    }
+    return values;
+  };
+  auto string_arg = [&](size_t i) -> Result<std::string> {
+    if (i >= expr.children.size() || expr.children[i].kind != Sexpr::Kind::kString) {
+      return Err(ErrorCode::kParseError, StrCat(op, ": argument ", i, " must be a string"));
+    }
+    return expr.children[i].atom;
+  };
+  auto unary_operand = [&](size_t first) -> Result<EvalValue> {
+    OMOS_TRY(std::vector<EvalValue> values, eval_operands(first));
+    if (values.empty()) {
+      return Err(ErrorCode::kParseError, StrCat(op, ": missing operand"));
+    }
+    EvalValue out;
+    OMOS_TRY(Module merged, MergeValues(std::move(values), out, /*override_mode=*/false));
+    out.module = std::move(merged);
+    return out;
+  };
+
+  if (op == "merge" || op == "list") {
+    OMOS_TRY(std::vector<EvalValue> values, eval_operands(1));
+    EvalValue out;
+    OMOS_TRY(Module merged, MergeValues(std::move(values), out, /*override_mode=*/false));
+    out.module = std::move(merged);
+    return out;
+  }
+  if (op == "override") {
+    OMOS_TRY(std::vector<EvalValue> values, eval_operands(1));
+    EvalValue out;
+    OMOS_TRY(Module merged, MergeValues(std::move(values), out, /*override_mode=*/true));
+    out.module = std::move(merged);
+    return out;
+  }
+  if (op == "freeze" || op == "restrict" || op == "project" || op == "hide" || op == "show") {
+    OMOS_TRY(std::string pattern, string_arg(1));
+    OMOS_TRY(EvalValue value, unary_operand(2));
+    Module m = std::move(*value.module);
+    if (op == "freeze") {
+      m = m.Freeze(pattern);
+    } else if (op == "restrict") {
+      m = m.Restrict(pattern);
+    } else if (op == "project") {
+      m = m.Project(pattern);
+    } else if (op == "hide") {
+      m = m.Hide(pattern);
+    } else {
+      m = m.Show(pattern);
+    }
+    value.module = std::move(m);
+    return value;
+  }
+  if (op == "copy-as" || op == "copy_as") {
+    OMOS_TRY(std::string pattern, string_arg(1));
+    OMOS_TRY(std::string newname, string_arg(2));
+    OMOS_TRY(EvalValue value, unary_operand(3));
+    value.module = value.module->CopyAs(pattern, newname);
+    return value;
+  }
+  if (op == "rename") {
+    OMOS_TRY(std::string pattern, string_arg(1));
+    OMOS_TRY(std::string newname, string_arg(2));
+    size_t operand_start = 3;
+    RenameWhich which = RenameWhich::kBoth;
+    if (expr.children.size() > 3 && expr.children[3].kind == Sexpr::Kind::kString) {
+      const std::string& w = expr.children[3].atom;
+      if (w == "refs") {
+        which = RenameWhich::kRefs;
+      } else if (w == "defs") {
+        which = RenameWhich::kDefs;
+      } else if (w == "both") {
+        which = RenameWhich::kBoth;
+      } else {
+        return Err(ErrorCode::kParseError, StrCat("rename: bad selector '", w, "'"));
+      }
+      operand_start = 4;
+    }
+    OMOS_TRY(EvalValue value, unary_operand(operand_start));
+    value.module = value.module->Rename(pattern, newname, which);
+    return value;
+  }
+  if (op == "source") {
+    OMOS_TRY(std::string lang, string_arg(1));
+    OMOS_TRY(std::string text, string_arg(2));
+    size_t lines = 1 + std::count(text.begin(), text.end(), '\n');
+    tracker.work += kAssembleLineCost * lines;
+    ObjectFile object;
+    if (lang == "asm") {
+      OMOS_TRY(object, Assemble(text, "source.s"));
+    } else if (lang == "c") {
+      OMOS_TRY(std::string asm_text, CompileC(text));
+      OMOS_TRY(object, Assemble(asm_text, "source.c"));
+    } else {
+      return Err(ErrorCode::kUnsupported, StrCat("source: unknown language '", lang, "'"));
+    }
+    EvalValue value;
+    value.module = Module::FromObject(std::make_shared<const ObjectFile>(std::move(object)));
+    return value;
+  }
+  if (op == "specialize") {
+    OMOS_TRY(std::string spec_name, string_arg(1));
+    PlacementHints hints;
+    size_t operand_start = 2;
+    // Optional (list "T" addr ["D" addr]) placement argument.
+    if (expr.children.size() > 2 && expr.children[2].kind == Sexpr::Kind::kList &&
+        !expr.children[2].children.empty() && expr.children[2].children[0].atom == "list") {
+      const auto& args = expr.children[2].children;
+      for (size_t i = 1; i + 1 < args.size(); i += 2) {
+        if (args[i].atom == "T") {
+          hints.text_base = static_cast<uint32_t>(args[i + 1].number);
+        } else if (args[i].atom == "D") {
+          hints.data_base = static_cast<uint32_t>(args[i + 1].number);
+        }
+      }
+      operand_start = 3;
+    }
+    OMOS_TRY(std::vector<EvalValue> values, eval_operands(operand_start));
+    EvalValue out;
+    OMOS_TRY(Module merged, MergeValues(std::move(values), out, /*override_mode=*/false));
+    if (!out.libs.empty()) {
+      for (LibraryUse& use : out.libs) {
+        use.spec.name = spec_name;
+        if (hints.text_base.has_value()) {
+          use.spec.hints.text_base = hints.text_base;
+        }
+        if (hints.data_base.has_value()) {
+          use.spec.hints.data_base = hints.data_base;
+        }
+      }
+      out.module = std::move(merged);
+      return out;
+    }
+    // Module-level specialization: only placement-style specializations are
+    // meaningful here; monitor/reorder apply at Instantiate time.
+    if (spec_name == "lib-constrained" || spec_name == "constrained") {
+      out.hints = hints;
+      out.module = std::move(merged);
+      return out;
+    }
+    return Err(ErrorCode::kUnsupported,
+               StrCat("specialize ", spec_name, ": operand is not a library"));
+  }
+  if (op == "constrain") {
+    // (constrain "T" addr operand...) — placement hint for this object.
+    OMOS_TRY(std::string which, string_arg(1));
+    if (expr.children.size() < 4 || expr.children[2].kind != Sexpr::Kind::kNumber) {
+      return Err(ErrorCode::kParseError, "constrain: expected (constrain \"T\" addr operand)");
+    }
+    uint32_t addr = static_cast<uint32_t>(expr.children[2].number);
+    OMOS_TRY(EvalValue value, unary_operand(3));
+    if (which == "T") {
+      value.hints.text_base = addr;
+    } else if (which == "D") {
+      value.hints.data_base = addr;
+    } else {
+      return Err(ErrorCode::kParseError, "constrain: key must be \"T\" or \"D\"");
+    }
+    return value;
+  }
+  if (op == "initializers") {
+    // Generate a __run_initializers routine calling every __init_* export in
+    // name order (the C++ static-constructor story, §2.2/§3.3).
+    OMOS_TRY(EvalValue value, unary_operand(1));
+    OMOS_TRY(std::vector<std::string> exports, value.module->ExportNames());
+    std::vector<std::string> inits;
+    for (const std::string& name : exports) {
+      if (StartsWith(name, "__init_")) {
+        inits.push_back(name);
+      }
+    }
+    std::ostringstream text;
+    text << ".text\n.global __run_initializers\n__run_initializers:\n  push lr\n";
+    for (const std::string& init : inits) {
+      text << "  call " << init << "\n";
+    }
+    text << "  pop lr\n  ret\n";
+    tracker.work += kAssembleLineCost * (inits.size() + 4);
+    OMOS_TRY(ObjectFile object, Assemble(text.str(), "initializers.s"));
+    OMOS_TRY(Module merged,
+             Module::Merge(*value.module,
+                           Module::FromObject(std::make_shared<const ObjectFile>(std::move(object)))));
+    value.module = std::move(merged);
+    return value;
+  }
+  return Err(ErrorCode::kParseError, StrCat("blueprint: unknown operation '", op, "'"));
+}
+
+Result<Module> OmosServer::EvaluateBlueprint(std::string_view text, uint64_t* work_cycles) {
+  OMOS_TRY(Sexpr expr, ParseSexpr(text));
+  BuildTracker tracker;
+  OMOS_TRY(EvalValue value, Eval(expr, tracker, 0));
+  if (work_cycles != nullptr) {
+    *work_cycles += tracker.work;
+  }
+  return RequireModule(std::move(value), "blueprint");
+}
+
+// ---- Instantiation ----------------------------------------------------------
+
+void OmosServer::ChargeLinkWork(const LinkStats& stats, uint32_t symbol_count,
+                                BuildTracker& tracker) const {
+  const CostModel& costs = kernel_->costs();
+  tracker.work += costs.header_parse * stats.fragments;
+  tracker.work += costs.symbol_parse * symbol_count;
+  tracker.work += costs.reloc_apply * stats.relocations_applied;
+  tracker.work += costs.symbol_lookup * stats.refs_bound;
+}
+
+Result<Module> OmosServer::BuildMonolithicModule(const std::string& path, BuildTracker& tracker) {
+  OMOS_TRY(const NamespaceEntry* entry, namespace_.Lookup(path));
+  if (entry->kind == EntryKind::kFragment) {
+    return Module::FromObject(entry->fragment);
+  }
+  OMOS_TRY(EvalValue value, Eval(entry->construction, tracker, 0));
+  Module m = value.module.has_value() ? std::move(*value.module) : Module();
+  // Fold library dependencies in, transitively.
+  std::vector<LibraryUse> pending = std::move(value.libs);
+  std::set<std::string> seen;
+  int guard = 0;
+  while (!pending.empty()) {
+    if (++guard > 100) {
+      return Err(ErrorCode::kParseError, StrCat(path, ": library dependency cycle"));
+    }
+    LibraryUse use = std::move(pending.back());
+    pending.pop_back();
+    if (!seen.insert(use.path).second) {
+      continue;
+    }
+    OMOS_TRY(const NamespaceEntry* lib, namespace_.Lookup(use.path));
+    if (lib->kind == EntryKind::kFragment) {
+      OMOS_TRY(m, Module::Merge(m, Module::FromObject(lib->fragment)));
+      continue;
+    }
+    OMOS_TRY(EvalValue lib_value, Eval(lib->construction, tracker, 0));
+    if (lib_value.module.has_value()) {
+      OMOS_TRY(m, Module::Merge(m, *lib_value.module));
+    }
+    for (LibraryUse& nested : lib_value.libs) {
+      pending.push_back(std::move(nested));
+    }
+  }
+  return m;
+}
+
+Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
+                                                   const Specialization& spec,
+                                                   uint64_t* work_cycles) {
+  std::string key = OmosNamespace::Normalize(path) + "\xc2\xa7" + spec.ToKeyString();
+  if (const CachedImage* hit = cache_.Get(key)) {
+    return hit;
+  }
+  BuildTracker tracker;
+  auto result = BuildImage(path, spec, key, tracker);
+  if (work_cycles != nullptr) {
+    *work_cycles += tracker.work;
+  }
+  return result;
+}
+
+Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
+                                                  const Specialization& spec,
+                                                  const std::string& key,
+                                                  BuildTracker& tracker) {
+  OMOS_TRY(const NamespaceEntry* entry, namespace_.Lookup(path));
+
+  EvalValue value;
+  if (spec.name == "monitor" || spec.name == "reorder") {
+    OMOS_TRY(Module mono, BuildMonolithicModule(path, tracker));
+    if (spec.name == "monitor") {
+      // Collect the text-section function exports to wrap.
+      OMOS_TRY(const SymbolSpace* space, mono.Space());
+      std::vector<std::string> names;
+      for (const auto& [name, exp] : space->exports) {
+        const Symbol& sym = mono.fragments()[exp.def.fragment]->symbols()[exp.def.symbol];
+        if (sym.section == SectionKind::kText) {
+          names.push_back(name);
+        }
+      }
+      if (names.empty()) {
+        return Err(ErrorCode::kInvalidArgument, StrCat(path, ": nothing to monitor"));
+      }
+      std::string pattern = NamesPattern(names);
+      Module wrapped = mono.CopyAs(pattern, "__mon_&").Restrict(pattern);
+      OMOS_TRY(ObjectFile wrappers, GenerateMonitorWrappers(names, 0));
+      OMOS_TRY(Module merged,
+               Module::Merge(wrapped, Module::FromObject(std::make_shared<const ObjectFile>(
+                                          std::move(wrappers)))));
+      monitor_names_[OmosNamespace::Normalize(path)] = names;
+      monitor_counts_[OmosNamespace::Normalize(path)].assign(names.size(), 0);
+      value.module = std::move(merged);
+    } else {
+      auto order_it = preferred_order_.find(OmosNamespace::Normalize(path));
+      if (order_it == preferred_order_.end()) {
+        return Err(ErrorCode::kNotFound,
+                   StrCat(path, ": no recorded routine order; run a monitor pass first"));
+      }
+      // Rank fragments by the hottest routine they define and lay hot ones
+      // out first.
+      const std::vector<std::string>& hot = order_it->second;
+      OMOS_TRY(const SymbolSpace* space, mono.Space());
+      size_t n = mono.fragments().size();
+      std::vector<size_t> rank(n, hot.size());
+      for (const auto& [name, exp] : space->exports) {
+        auto pos = std::find(hot.begin(), hot.end(), name);
+        if (pos != hot.end()) {
+          size_t r = static_cast<size_t>(pos - hot.begin());
+          rank[exp.def.fragment] = std::min(rank[exp.def.fragment], r);
+        }
+      }
+      std::vector<uint32_t> order(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        order[i] = i;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) { return rank[a] < rank[b]; });
+      OMOS_TRY(Module reordered, mono.ReorderFragments(order));
+      value.module = std::move(reordered);
+    }
+  } else if (entry->kind == EntryKind::kFragment) {
+    value.module = Module::FromObject(entry->fragment);
+  } else {
+    OMOS_TRY(value, Eval(entry->construction, tracker, 0));
+  }
+
+  if (!value.module.has_value()) {
+    value.module = Module();
+  }
+  Module client = std::move(*value.module);
+
+  // Resolve library dependencies.
+  std::map<std::string, uint32_t> externals;
+  std::vector<LibDep> deps;
+  std::vector<StubSlot> slots;
+  std::set<std::string> seen_libs;
+  for (const LibraryUse& use : value.libs) {
+    if (!seen_libs.insert(use.path).second) {
+      continue;
+    }
+    Specialization lib_spec = use.spec;
+    if (lib_spec.name.empty()) {
+      lib_spec.name = "lib-constrained";
+    }
+    if (lib_spec.name == "lib-dynamic") {
+      Specialization impl_spec = lib_spec;
+      impl_spec.name = "lib-dynamic-impl";
+      OMOS_TRY(const CachedImage* impl, Instantiate(use.path, impl_spec, &tracker.work));
+      std::string impl_key = impl->key;
+      // Stubs for each referenced entry point present in the library (§4.2).
+      OMOS_TRY(std::vector<std::string> wanted, client.UnboundRefNames());
+      std::vector<std::string> functions;
+      for (const std::string& name : wanted) {
+        const ImageSymbol* sym = impl->image.FindSymbol(name);
+        if (sym != nullptr && sym->section == SectionKind::kText) {
+          functions.push_back(name);
+        }
+      }
+      OMOS_TRY(StubFragment stubs, GenerateLazyStubs(use.path, functions,
+                                                     static_cast<uint32_t>(slots.size())));
+      tracker.work += kAssembleLineCost * 8 * functions.size();
+      OMOS_TRY(client, Module::Merge(client, Module::FromObject(std::make_shared<const ObjectFile>(
+                                                 std::move(stubs.object)))));
+      for (StubSlot& slot : stubs.slots) {
+        slot.lib_path = impl_key;  // runtime resolves through the cache key
+        slots.push_back(std::move(slot));
+      }
+      deps.push_back(LibDep{impl_key, use.path});  // lazy: not mapped at exec
+    } else {
+      OMOS_TRY(const CachedImage* lib, Instantiate(use.path, lib_spec, &tracker.work));
+      for (const ImageSymbol& sym : lib->image.symbols) {
+        externals.emplace(sym.name, sym.addr);
+      }
+      deps.push_back(LibDep{lib->key, use.path});
+    }
+  }
+  bool has_lazy = !slots.empty();
+
+  // Size estimate for placement (must match LinkImage's layout pass).
+  uint32_t text_size = 0;
+  uint32_t data_size = 0;
+  uint32_t bss_size = 0;
+  for (const FragmentPtr& frag : client.fragments()) {
+    text_size = AlignTo(text_size, 8) + frag->section(SectionKind::kText).size();
+    data_size = AlignTo(data_size, 4) + frag->section(SectionKind::kData).size();
+    bss_size = AlignTo(bss_size, 4) + frag->section(SectionKind::kBss).size();
+  }
+
+  PlacementHints hints = entry->hints;
+  if (value.hints.text_base.has_value()) {
+    hints.text_base = value.hints.text_base;
+  }
+  if (value.hints.data_base.has_value()) {
+    hints.data_base = value.hints.data_base;
+  }
+  if (spec.hints.text_base.has_value()) {
+    hints.text_base = spec.hints.text_base;
+  }
+  if (spec.hints.data_base.has_value()) {
+    hints.data_base = spec.hints.data_base;
+  }
+  OMOS_TRY(Placement placement, solver_.Place(key, text_size, data_size + bss_size, hints));
+
+  LayoutSpec layout;
+  layout.text_base = placement.text_base;
+  layout.data_base = placement.data_base;
+  layout.externals = std::move(externals);
+  OMOS_TRY(bool has_start, client.HasExport("_start"));
+  layout.entry_symbol = has_start ? "_start" : "";
+  OMOS_TRY(LinkedImage image, LinkImage(client, layout, key));
+
+  uint32_t symbol_count = 0;
+  for (const FragmentPtr& frag : client.fragments()) {
+    symbol_count += static_cast<uint32_t>(frag->symbols().size());
+  }
+  ChargeLinkWork(image.stats, symbol_count, tracker);
+
+  CachedImage cached;
+  cached.image = std::move(image);
+  if (!cached.image.text.empty()) {
+    OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.text));
+    cached.text_seg = std::move(seg);
+  }
+  cached.deps = std::move(deps);
+  if (has_lazy) {
+    cached.stub_slots = std::move(slots);
+  }
+  cached.build_cost = tracker.work;
+  return cache_.Put(key, std::move(cached));
+}
+
+// ---- Exec paths -------------------------------------------------------------
+
+Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) {
+  if (program.text_seg.has_value()) {
+    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, program.image, *program.text_seg));
+  } else {
+    OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, program.image, ""));
+  }
+  TaskRuntime runtime;
+  runtime.program_key = program.key;
+  for (const LibDep& dep : program.deps) {
+    // Lazy deps (partial-image libraries) map on first call via kSysDload.
+    bool lazy = false;
+    for (const StubSlot& slot : program.stub_slots) {
+      if (slot.lib_path == dep.cache_key) {
+        lazy = true;
+        break;
+      }
+    }
+    if (lazy) {
+      continue;
+    }
+    const CachedImage* lib = cache_.Get(dep.cache_key);
+    if (lib == nullptr) {
+      return Err(ErrorCode::kNotFound,
+                 StrCat("library image evicted: ", dep.cache_key, " (", dep.lib_path, ")"));
+    }
+    if (lib->text_seg.has_value()) {
+      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, lib->image, *lib->text_seg));
+    } else {
+      OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, lib->image, ""));
+    }
+  }
+  for (const StubSlot& slot : program.stub_slots) {
+    const ImageSymbol* sym = program.image.FindSymbol(slot.slot_symbol);
+    if (sym == nullptr) {
+      return Err(ErrorCode::kInternal, StrCat("missing stub slot symbol ", slot.slot_symbol));
+    }
+    runtime.slots.push_back(TaskRuntime::Slot{sym->addr, slot.lib_path, slot.symbol});
+  }
+  runtimes_[task.id()] = std::move(runtime);
+  return program.image.entry;
+}
+
+void OmosServer::ReleaseTask(TaskId id) { runtimes_.erase(id); }
+
+Result<TaskId> OmosServer::BootstrapExec(const std::string& path, std::vector<std::string> args,
+                                         const Specialization& spec) {
+  Task& task = kernel_->CreateTask(StrCat("omos-boot:", path));
+  const CostModel& costs = kernel_->costs();
+  // Load and run the tiny bootstrap loader program (#! /bin/omos).
+  task.BillSys(costs.file_open + costs.header_parse + costs.file_read_page);
+  task.BillUser(config_.bootstrap_user_cycles);
+  Channel channel = MakeChannel();
+  OmosRequest request;
+  request.op = OmosOp::kInstantiate;
+  request.path = path;
+  request.specialization = spec.ToKeyString();
+  request.task_handle = task.id();
+  OMOS_TRY(OmosReply reply, channel.Call(request, &task));
+  if (!reply.ok) {
+    return Err(ErrorCode::kNotFound, reply.error);
+  }
+  OMOS_TRY_VOID(StartTask(*kernel_, task, reply.entry, args));
+  return task.id();
+}
+
+Result<TaskId> OmosServer::IntegratedExec(const std::string& path, std::vector<std::string> args,
+                                          const Specialization& spec) {
+  Task& task = kernel_->CreateTask(StrCat("omos-exec:", path));
+  uint64_t work = 0;
+  OMOS_TRY(const CachedImage* image, Instantiate(path, spec, &work));
+  task.BillSys(work + kernel_->costs().omos_cache_lookup);
+  OMOS_TRY(uint32_t entry, MapProgram(task, *image));
+  OMOS_TRY_VOID(StartTask(*kernel_, task, entry, args));
+  return task.id();
+}
+
+Result<int> OmosServer::ExportNamespaceToFs(std::string_view namespace_dir,
+                                            std::string_view fs_dir) {
+  int exported = 0;
+  std::string dir = OmosNamespace::Normalize(namespace_dir);
+  for (const std::string& name : namespace_.List(dir)) {
+    std::string meta_path = dir == "/" ? "/" + name : dir + "/" + name;
+    auto entry = namespace_.Lookup(meta_path);
+    if (!entry.ok() || (*entry)->kind == EntryKind::kFragment) {
+      continue;  // only executable meta-objects are exported
+    }
+    kernel_->fs().WriteFile(StrCat(fs_dir, "/", name), StrCat("#!omos ", meta_path, "\n"),
+                            0755);
+    ++exported;
+  }
+  return exported;
+}
+
+Result<TaskId> OmosServer::ExecFile(const std::string& fs_path, std::vector<std::string> args,
+                                    bool integrated) {
+  OMOS_TRY(const SimFile* file, kernel_->fs().Lookup(fs_path));
+  std::string text(file->bytes.begin(), file->bytes.end());
+  if (!StartsWith(text, "#!omos ")) {
+    return Err(ErrorCode::kInvalidArgument, StrCat(fs_path, ": not an OMOS interpreter file"));
+  }
+  std::string meta(StripWhitespace(std::string_view(text).substr(7)));
+  if (integrated) {
+    return IntegratedExec(meta, std::move(args));
+  }
+  return BootstrapExec(meta, std::move(args));
+}
+
+// ---- Lazy loading and monitoring hooks ---------------------------------------
+
+Result<void> OmosServer::HandleDload(Kernel& kernel, Task& task) {
+  uint32_t index = task.reg(12);
+  auto it = runtimes_.find(task.id());
+  if (it == runtimes_.end() || index >= it->second.slots.size()) {
+    return Err(ErrorCode::kExecFault, StrCat(task.name(), ": bad dload slot ", index));
+  }
+  TaskRuntime& runtime = it->second;
+  const TaskRuntime::Slot& slot = runtime.slots[index];
+  const CachedImage* impl = cache_.Get(slot.lib_path);
+  if (impl == nullptr) {
+    return Err(ErrorCode::kNotFound, StrCat("dynamic library evicted: ", slot.lib_path));
+  }
+  if (runtime.mapped_libs.insert(slot.lib_path).second) {
+    // First use in this task: the stub "contacts OMOS and loads in the
+    // library" (§4.2) — one IPC round trip plus the mapping work.
+    task.BillSys(kernel.costs().ipc_round_trip + kernel.costs().omos_cache_lookup);
+    if (impl->text_seg.has_value()) {
+      OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, impl->image, *impl->text_seg));
+    } else {
+      OMOS_TRY_VOID(MapLinkedImage(kernel, task, impl->image, ""));
+    }
+  }
+  // "the first time a function is accessed, its name is looked up in the
+  // function hash table and the value stored in an indirect branch table" —
+  // user-mode work in the stub.
+  task.BillUser(kernel.costs().symbol_lookup);
+  const ImageSymbol* sym = impl->image.FindSymbol(slot.symbol);
+  if (sym == nullptr) {
+    return Err(ErrorCode::kUnresolvedSymbol,
+               StrCat("symbol ", slot.symbol, " not in ", slot.lib_path));
+  }
+  OMOS_TRY_VOID(task.space().Write32(slot.slot_addr, sym->addr));
+  task.BillUser(kernel.costs().reloc_apply);
+  task.set_pc(sym->addr);
+  return OkResult();
+}
+
+Result<void> OmosServer::HandleMonLog(Kernel& kernel, Task& task) {
+  (void)kernel;
+  uint32_t index = task.reg(12);
+  auto it = runtimes_.find(task.id());
+  if (it == runtimes_.end()) {
+    return OkResult();  // Unmonitored task; ignore.
+  }
+  // program_key = "<path>§<spec>"; recover the path.
+  const std::string& key = it->second.program_key;
+  size_t sep = key.find("\xc2\xa7");
+  std::string path = sep == std::string::npos ? key : key.substr(0, sep);
+  auto counts = monitor_counts_.find(path);
+  if (counts != monitor_counts_.end() && index < counts->second.size()) {
+    ++counts->second[index];
+  }
+  return OkResult();
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>> OmosServer::MonitorCounts(
+    const std::string& path) const {
+  std::string norm = OmosNamespace::Normalize(path);
+  auto names = monitor_names_.find(norm);
+  auto counts = monitor_counts_.find(norm);
+  if (names == monitor_names_.end() || counts == monitor_counts_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("no monitor data for ", path));
+  }
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (size_t i = 0; i < names->second.size(); ++i) {
+    out.emplace_back(names->second[i], counts->second[i]);
+  }
+  return out;
+}
+
+Result<void> OmosServer::DerivePreferredOrder(const std::string& path) {
+  OMOS_TRY(auto counts, MonitorCounts(path));
+  std::stable_sort(counts.begin(), counts.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> order;
+  order.reserve(counts.size());
+  for (const auto& [name, count] : counts) {
+    order.push_back(name);
+  }
+  preferred_order_[OmosNamespace::Normalize(path)] = std::move(order);
+  return OkResult();
+}
+
+// ---- Dynamic loading ----------------------------------------------------------
+
+Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
+    Task& task, const std::string& blueprint_or_path, const std::vector<std::string>& symbols) {
+  BuildTracker tracker;
+  EvalValue value;
+  if (StartsWith(blueprint_or_path, "(")) {
+    OMOS_TRY(Sexpr expr, ParseSexpr(blueprint_or_path));
+    OMOS_TRY(value, Eval(expr, tracker, 0));
+  } else {
+    OMOS_TRY(value, EvalName(blueprint_or_path, tracker, 0));
+  }
+  OMOS_TRY(Module module, RequireModule(std::move(value), "dynamic-load"));
+
+  // The loaded class may refer to procedures and data within the client
+  // (§5): the running program's exported symbols become externals.
+  std::map<std::string, uint32_t> externals;
+  auto rt = runtimes_.find(task.id());
+  if (rt != runtimes_.end()) {
+    if (const CachedImage* program = cache_.Get(rt->second.program_key)) {
+      for (const ImageSymbol& sym : program->image.symbols) {
+        externals.emplace(sym.name, sym.addr);
+      }
+    }
+  }
+
+  std::string key = StrCat("dyn:", Hex32(static_cast<uint32_t>(Fnv1a(blueprint_or_path))));
+  const CachedImage* cached = cache_.Get(key);
+  if (cached == nullptr) {
+    uint32_t text_size = 0;
+    uint32_t data_size = 0;
+    uint32_t bss_size = 0;
+    for (const FragmentPtr& frag : module.fragments()) {
+      text_size = AlignTo(text_size, 8) + frag->section(SectionKind::kText).size();
+      data_size = AlignTo(data_size, 4) + frag->section(SectionKind::kData).size();
+      bss_size = AlignTo(bss_size, 4) + frag->section(SectionKind::kBss).size();
+    }
+    OMOS_TRY(Placement placement, solver_.Place(key, text_size, data_size + bss_size, {}));
+    LayoutSpec layout;
+    layout.text_base = placement.text_base;
+    layout.data_base = placement.data_base;
+    layout.externals = std::move(externals);
+    OMOS_TRY(LinkedImage image, LinkImage(module, layout, key));
+    CachedImage ci;
+    ci.image = std::move(image);
+    if (!ci.image.text.empty()) {
+      OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), ci.image.text));
+      ci.text_seg = std::move(seg);
+    }
+    ci.build_cost = tracker.work;
+    cached = cache_.Put(key, std::move(ci));
+  }
+  task.BillSys(tracker.work + kernel_->costs().omos_cache_lookup);
+  if (cached->text_seg.has_value()) {
+    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, cached->image, *cached->text_seg));
+  } else {
+    OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, cached->image, ""));
+  }
+  // Remember the mapped regions so the class can be dynamically unlinked.
+  TaskRuntime::DynRegion region;
+  region.text_base = cached->image.text_base;
+  region.has_text = !cached->image.text.empty();
+  region.data_base = cached->image.data_base;
+  region.has_data = cached->image.data.size() + cached->image.bss_size > 0;
+  runtimes_[task.id()].dyn_loaded.push_back(region);
+
+  DynLoadResult result;
+  result.text_base = cached->image.text_base;
+  for (const std::string& name : symbols) {
+    const ImageSymbol* sym = cached->image.FindSymbol(name);
+    result.symbol_values.push_back(sym == nullptr ? 0 : sym->addr);
+  }
+  return result;
+}
+
+Result<void> OmosServer::DynamicUnload(Task& task, uint32_t text_base) {
+  auto rt = runtimes_.find(task.id());
+  if (rt == runtimes_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat(task.name(), ": no OMOS runtime state"));
+  }
+  auto& regions = rt->second.dyn_loaded;
+  for (auto it = regions.begin(); it != regions.end(); ++it) {
+    if (it->text_base != text_base) {
+      continue;
+    }
+    if (it->has_text) {
+      OMOS_TRY_VOID(task.space().Unmap(it->text_base));
+    }
+    if (it->has_data) {
+      OMOS_TRY_VOID(task.space().Unmap(it->data_base));
+    }
+    regions.erase(it);
+    return OkResult();
+  }
+  return Err(ErrorCode::kNotFound,
+             StrCat(task.name(), ": no dynamically loaded class at ", Hex32(text_base)));
+}
+
+Result<void> OmosServer::HandleOmosLoadSys(Kernel& kernel, Task& task) {
+  (void)kernel;
+  OMOS_TRY(std::string blueprint, task.space().ReadCString(task.reg(0)));
+  OMOS_TRY(std::string symbol, task.space().ReadCString(task.reg(1)));
+  // The in-task path is a real IPC to the server.
+  task.BillSys(kernel_->costs().ipc_round_trip);
+  auto result = DynamicLoad(task, blueprint, {symbol});
+  if (!result.ok() || result->symbol_values.empty()) {
+    task.set_reg(0, 0);
+    return OkResult();
+  }
+  task.set_reg(0, result->symbol_values[0]);
+  return OkResult();
+}
+
+Result<void> OmosServer::HandleOmosUnloadSys(Kernel& kernel, Task& task) {
+  (void)kernel;
+  auto result = DynamicUnload(task, task.reg(0));
+  task.set_reg(0, result.ok() ? 0 : static_cast<uint32_t>(-1));
+  return OkResult();
+}
+
+// ---- Administration -----------------------------------------------------------
+
+int OmosServer::OptimizePlacements() {
+  std::vector<std::string> changed = solver_.OptimizePlacements();
+  int evicted = 0;
+  for (const std::string& key : changed) {
+    if (cache_.Contains(key)) {
+      cache_.Evict(key);
+      ++evicted;
+    }
+  }
+  // Any image that depended on a moved library is stale too.
+  for (const std::string& moved : changed) {
+    for (const std::string& key : cache_.Keys()) {
+      const CachedImage* image = cache_.Peek(key);
+      if (image == nullptr) {
+        continue;
+      }
+      for (const LibDep& dep : image->deps) {
+        if (dep.cache_key == moved) {
+          cache_.Evict(key);
+          ++evicted;
+          break;
+        }
+      }
+    }
+  }
+  return evicted;
+}
+
+Result<std::vector<ImageSymbol>> OmosServer::SymbolsForTask(TaskId id) const {
+  auto it = runtimes_.find(id);
+  if (it == runtimes_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("no OMOS runtime state for task ", id));
+  }
+  std::vector<ImageSymbol> symbols;
+  auto append = [&](const std::string& key) {
+    const CachedImage* image = cache_.Peek(key);
+    if (image != nullptr) {
+      symbols.insert(symbols.end(), image->image.symbols.begin(), image->image.symbols.end());
+    }
+  };
+  append(it->second.program_key);
+  const CachedImage* program = cache_.Peek(it->second.program_key);
+  if (program != nullptr) {
+    for (const LibDep& dep : program->deps) {
+      append(dep.cache_key);
+    }
+  }
+  for (const std::string& lib_key : it->second.mapped_libs) {
+    append(lib_key);
+  }
+  return symbols;
+}
+
+// ---- IPC --------------------------------------------------------------------
+
+Channel OmosServer::MakeChannel() {
+  return Channel([this](const std::vector<uint8_t>& bytes) { return ServeMessage(bytes); },
+                 kernel_->costs().ipc_round_trip);
+}
+
+OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
+  OmosReply reply;
+  switch (request.op) {
+    case OmosOp::kInstantiate: {
+      Task* task = kernel_->FindTask(request.task_handle);
+      if (task == nullptr) {
+        reply.error = "bad task handle";
+        return reply;
+      }
+      Specialization spec = Specialization::FromKeyString(request.specialization);
+      uint64_t work = 0;
+      auto image = Instantiate(request.path, spec, &work);
+      if (!image.ok()) {
+        reply.error = image.error().ToString();
+        return reply;
+      }
+      task->BillSys(work + kernel_->costs().omos_cache_lookup);
+      auto entry = MapProgram(*task, **image);
+      if (!entry.ok()) {
+        reply.error = entry.error().ToString();
+        return reply;
+      }
+      reply.ok = true;
+      reply.entry = *entry;
+      for (const auto& region : task->space().Regions()) {
+        reply.segments.push_back(SegmentDesc{region.base, region.size, region.prot, region.name});
+      }
+      return reply;
+    }
+    case OmosOp::kDefineMeta: {
+      // The blueprint text travels in the `specialization` field.
+      auto status = DefineMeta(request.path, request.specialization);
+      if (!status.ok()) {
+        reply.error = status.error().ToString();
+        return reply;
+      }
+      reply.ok = true;
+      return reply;
+    }
+    case OmosOp::kListNamespace:
+      reply.ok = true;
+      reply.names = ListNamespace(request.path);
+      return reply;
+    case OmosOp::kDynamicLoad: {
+      Task* task = kernel_->FindTask(request.task_handle);
+      if (task == nullptr) {
+        reply.error = "bad task handle";
+        return reply;
+      }
+      auto result = DynamicLoad(*task, request.path, request.symbols);
+      if (!result.ok()) {
+        reply.error = result.error().ToString();
+        return reply;
+      }
+      reply.ok = true;
+      reply.entry = result->text_base;
+      reply.symbol_values = result->symbol_values;
+      return reply;
+    }
+    case OmosOp::kStats:
+      reply.ok = true;
+      reply.stat_hits = cache_.stats().hits;
+      reply.stat_misses = cache_.stats().misses;
+      return reply;
+  }
+  reply.error = "unknown op";
+  return reply;
+}
+
+std::vector<uint8_t> OmosServer::ServeMessage(const std::vector<uint8_t>& request_bytes) {
+  auto request = DecodeRequest(request_bytes);
+  OmosReply reply;
+  if (!request.ok()) {
+    reply.error = request.error().ToString();
+  } else {
+    reply = HandleRequest(*request);
+  }
+  return EncodeReply(reply);
+}
+
+}  // namespace omos

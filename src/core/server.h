@@ -1,0 +1,248 @@
+// OmosServer — the persistent object/meta-object server (§3).
+//
+// The server owns: the hierarchical namespace of meta-objects and fragments,
+// the blueprint evaluator (m-graph execution), the address-constraint
+// solver, and the image cache. Program loading is a special case of class
+// instantiation: clients ask for a meta-object by name (plus an optional
+// specialization) and get back mapped segments and an entry point.
+//
+// Exec paths (§5):
+//  * BootstrapExec   — models `#! /bin/omos`: a tiny bootstrap program plus
+//                      one IPC round trip to the server.
+//  * IntegratedExec  — OMOS wired into the kernel's exec(): no bootstrap
+//                      load, no IPC round trip (the OSF/1 configuration that
+//                      wins by 56% in Table 1).
+// Both end with the server mapping cached segments into the task.
+#ifndef OMOS_SRC_CORE_SERVER_H_
+#define OMOS_SRC_CORE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/constraints.h"
+#include "src/core/namespace.h"
+#include "src/core/sexpr.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/message.h"
+#include "src/linker/link.h"
+#include "src/linker/module.h"
+#include "src/objfmt/archive.h"
+#include "src/os/kernel.h"
+#include "src/os/loader.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+// How an instantiation is specialized (§3.4). Well-known names:
+//   ""                  — meta-object default (self-contained)
+//   "lib-constrained"   — fixed-address self-contained library (§4.1)
+//   "lib-dynamic"       — partial-image client stubs (§4.2)
+//   "lib-dynamic-impl"  — the demand-loaded library implementation (§4.2)
+//   "monitor"           — interpose call-logging wrappers (§4.1, §6)
+//   "reorder"           — lay out routines by recorded usage (§4.1)
+struct Specialization {
+  std::string name;
+  PlacementHints hints;
+
+  // Stable string form used in cache keys and IPC ("lib-constrained;T=0x...").
+  std::string ToKeyString() const;
+  static Specialization FromKeyString(std::string_view text);
+};
+
+struct OmosServerConfig {
+  SolverArenas arenas;
+  uint64_t cache_capacity_bytes = 256ull << 20;
+  // Extra user cycles modelling the bootstrap program's own execution.
+  uint64_t bootstrap_user_cycles = 300;
+};
+
+class OmosServer {
+ public:
+  using Config = OmosServerConfig;
+
+  OmosServer(Kernel& kernel, Config config = Config());
+
+  Kernel& kernel() { return *kernel_; }
+
+  // ---- Namespace administration --------------------------------------------
+  // Define or redefine a meta-object. Redefinition invalidates every cached
+  // image built from the old blueprint ("a library fix is instantly
+  // incorporated into all clients", §2.1): the path's own images and any
+  // image that depends on them are evicted, and their address placements
+  // released, so the next instantiation rebuilds against the new version.
+  Result<void> DefineMeta(std::string_view path, std::string_view blueprint);
+  Result<void> DefineLibrary(std::string_view path, std::string_view blueprint);
+  Result<void> AddFragment(std::string_view path, ObjectFile object);
+  // Registers each member at `<dir>/<member-name>` and a meta-object at
+  // `<dir>` merging all of them.
+  Result<void> AddArchive(std::string_view dir, const Archive& archive);
+  std::vector<std::string> ListNamespace(std::string_view path) const {
+    return namespace_.List(path);
+  }
+  const OmosNamespace& name_space() const { return namespace_; }
+
+  // ---- Instantiation --------------------------------------------------------
+  // Instantiate `path` under `spec`. On a cache miss the construction work
+  // (parsing, module ops, linking) is performed and its simulated cost is
+  // added to `*work_cycles` (may be null). Cache hits add only lookup cost.
+  Result<const CachedImage*> Instantiate(const std::string& path, const Specialization& spec,
+                                         uint64_t* work_cycles);
+
+  // Evaluate an anonymous blueprint into a Module (library dependencies are
+  // resolved self-contained and merged as externals are not possible here,
+  // so blueprints passed to this must be closed or rely on merge operands).
+  Result<Module> EvaluateBlueprint(std::string_view text, uint64_t* work_cycles = nullptr);
+
+  // ---- Exec paths -----------------------------------------------------------
+  Result<TaskId> BootstrapExec(const std::string& path, std::vector<std::string> args,
+                               const Specialization& spec = {});
+  Result<TaskId> IntegratedExec(const std::string& path, std::vector<std::string> args,
+                                const Specialization& spec = {});
+  // `#! /bin/omos <meta-path>` interpreter-style exec from a SimFs file.
+  Result<TaskId> ExecFile(const std::string& fs_path, std::vector<std::string> args,
+                          bool integrated);
+
+  // §5: "/bin, for example, can become a 'filesystem' backed only by OMOS".
+  // Writes a `#!omos <meta>` interpreter file into the kernel's SimFs for
+  // every meta-object under `namespace_dir`, so ordinary path-based exec
+  // reaches the server. Returns the number of entries exported.
+  Result<int> ExportNamespaceToFs(std::string_view namespace_dir, std::string_view fs_dir);
+
+  // Map a cached program image (plus its constrained library deps) into a
+  // task, registering lazy-stub state. Returns the entry address.
+  Result<uint32_t> MapProgram(Task& task, const CachedImage& program);
+
+  // Drop per-task runtime state (call when a task is destroyed).
+  void ReleaseTask(TaskId id);
+
+  // ---- Dynamic loading (dld-style, §5) --------------------------------------
+  struct DynLoadResult {
+    uint32_t text_base = 0;
+    std::vector<uint32_t> symbol_values;
+  };
+  Result<DynLoadResult> DynamicLoad(Task& task, const std::string& blueprint_or_path,
+                                    const std::vector<std::string>& symbols);
+
+  // Dynamic unlinking (paper §9: dld offers it; "since OMOS retains access
+  // to the symbol table and relocation information for loaded modules,
+  // unlinking support could be added" — here it is). Unmaps a class
+  // previously loaded into `task` by DynamicLoad, identified by the text
+  // base DynamicLoad returned. The cached image survives for other tasks.
+  Result<void> DynamicUnload(Task& task, uint32_t text_base);
+
+  // ---- Monitoring / reordering (§4.1) ---------------------------------------
+  // Call counts recorded for a "monitor"-specialized instantiation of `path`.
+  Result<std::vector<std::pair<std::string, uint64_t>>> MonitorCounts(
+      const std::string& path) const;
+  // Record the preferred routine order for `path` from monitor counts; the
+  // "reorder" specialization consumes it.
+  Result<void> DerivePreferredOrder(const std::string& path);
+  bool HasPreferredOrder(const std::string& path) const {
+    return preferred_order_.count(path) != 0;
+  }
+
+  // ---- Administration ---------------------------------------------------------
+  // Feed recorded placement conflicts back into the constraint system
+  // (§4.1, "this could be done fully automatically"): re-pack every known
+  // object and evict cached images whose addresses changed so they rebuild
+  // at their new homes. Returns the number of images invalidated.
+  int OptimizePlacements();
+
+  // Debugger support (§4.1: "we plan to enhance gdb to interface directly
+  // with OMOS"): the full symbol table visible in `task` — its program
+  // image plus every library image mapped so far.
+  Result<std::vector<ImageSymbol>> SymbolsForTask(TaskId id) const;
+
+  // ---- IPC ------------------------------------------------------------------
+  std::vector<uint8_t> ServeMessage(const std::vector<uint8_t>& request_bytes);
+  // A client channel bound to this server, billing the kernel's IPC cost.
+  Channel MakeChannel();
+
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+  const std::vector<ConflictRecord>& conflicts() const { return solver_.conflicts(); }
+  ConstraintSolver& solver() { return solver_; }
+  ImageCache& cache() { return cache_; }
+
+ private:
+  // A library mention picked up while evaluating a blueprint.
+  struct LibraryUse {
+    std::string path;
+    Specialization spec;
+  };
+  // The value lattice of blueprint evaluation.
+  struct EvalValue {
+    std::optional<Module> module;
+    std::vector<LibraryUse> libs;
+    PlacementHints hints;
+  };
+  struct BuildTracker {
+    uint64_t work = 0;
+  };
+  struct TaskRuntime {
+    struct Slot {
+      uint32_t slot_addr = 0;
+      std::string lib_path;
+      std::string symbol;
+    };
+    struct DynRegion {
+      uint32_t text_base = 0;
+      uint32_t data_base = 0;
+      bool has_text = false;
+      bool has_data = false;
+    };
+    std::string program_key;
+    std::vector<Slot> slots;
+    std::set<std::string> mapped_libs;
+    std::vector<DynRegion> dyn_loaded;
+  };
+
+  Result<EvalValue> Eval(const Sexpr& expr, BuildTracker& tracker, int depth);
+  Result<EvalValue> EvalName(const std::string& name, BuildTracker& tracker, int depth);
+  Result<Module> RequireModule(EvalValue value, std::string_view op) const;
+  static Result<Module> MergeValues(std::vector<EvalValue> values, EvalValue& out,
+                                    bool override_mode);
+
+  // Build the full (merged) module for a path, folding its libraries in —
+  // used by monitor/reorder monolithic instantiations.
+  Result<Module> BuildMonolithicModule(const std::string& path, BuildTracker& tracker);
+
+  Result<const CachedImage*> BuildImage(const std::string& path, const Specialization& spec,
+                                        const std::string& key, BuildTracker& tracker);
+
+  // Charge linking work for an image build.
+  void ChargeLinkWork(const LinkStats& stats, uint32_t symbol_count, BuildTracker& tracker) const;
+
+  // Evict cached images built from `path` (directly or via blueprint
+  // references and library dependencies) and release their placements.
+  void InvalidateImagesOf(std::string_view path);
+
+  Result<void> HandleDload(Kernel& kernel, Task& task);
+  Result<void> HandleMonLog(Kernel& kernel, Task& task);
+  Result<void> HandleOmosLoadSys(Kernel& kernel, Task& task);
+  Result<void> HandleOmosUnloadSys(Kernel& kernel, Task& task);
+
+  OmosReply HandleRequest(const OmosRequest& request);
+
+  Kernel* kernel_;
+  Config config_;
+  OmosNamespace namespace_;
+  ConstraintSolver solver_;
+  ImageCache cache_;
+  std::map<TaskId, TaskRuntime> runtimes_;
+  // Monitoring: program path -> function names (slot order) and counts.
+  std::map<std::string, std::vector<std::string>> monitor_names_;
+  std::map<std::string, std::vector<uint64_t>> monitor_counts_;
+  std::map<std::string, std::vector<std::string>> preferred_order_;
+  uint32_t dynload_counter_ = 0;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_CORE_SERVER_H_

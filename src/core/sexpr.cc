@@ -1,0 +1,194 @@
+#include "src/core/sexpr.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Sexpr> ParseOne() {
+    SkipSpace();
+    if (AtEnd()) {
+      return Err(ErrorCode::kParseError, "blueprint: unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Sexpr list;
+      list.kind = Sexpr::Kind::kList;
+      while (true) {
+        SkipSpace();
+        if (AtEnd()) {
+          return Err(ErrorCode::kParseError, "blueprint: unterminated list");
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        OMOS_TRY(Sexpr child, ParseOne());
+        list.children.push_back(std::move(child));
+      }
+    }
+    if (c == ')') {
+      return Err(ErrorCode::kParseError, "blueprint: unexpected ')'");
+    }
+    if (c == '"') {
+      return ParseString();
+    }
+    return ParseAtom();
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+ private:
+  Result<Sexpr> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          default:
+            out.push_back(esc);
+            break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (AtEnd()) {
+      return Err(ErrorCode::kParseError, "blueprint: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return Sexpr::Str(std::move(out));
+  }
+
+  Result<Sexpr> ParseAtom() {
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '(' || c == ')' || c == ';' ||
+          c == '"') {
+        break;
+      }
+      ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    // Numbers: decimal or 0x hex.
+    bool numeric = !token.empty() && (std::isdigit(static_cast<unsigned char>(token[0])) != 0);
+    if (numeric) {
+      const char* begin = token.c_str();
+      char* end = nullptr;
+      unsigned long long value = std::strtoull(begin, &end, 0);
+      if (end == begin + token.size()) {
+        Sexpr num;
+        num.kind = Sexpr::Kind::kNumber;
+        num.number = value;
+        num.atom = token;
+        return num;
+      }
+    }
+    return Sexpr::Symbol(std::move(token));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Sexpr::ToString() const {
+  switch (kind) {
+    case Kind::kSymbol:
+      return atom;
+    case Kind::kString: {
+      std::string out = "\"";
+      for (char c : atom) {
+        if (c == '"' || c == '\\') {
+          out.push_back('\\');
+        }
+        if (c == '\n') {
+          out += "\\n";
+          continue;
+        }
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    case Kind::kNumber:
+      return atom.empty() ? std::to_string(number) : atom;
+    case Kind::kList: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) {
+          out.push_back(' ');
+        }
+        out += children[i].ToString();
+      }
+      out.push_back(')');
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<Sexpr> ParseSexpr(std::string_view text) {
+  Parser parser(text);
+  OMOS_TRY(Sexpr expr, parser.ParseOne());
+  parser.SkipSpace();
+  if (!parser.AtEnd()) {
+    return Err(ErrorCode::kParseError, "blueprint: trailing input after expression");
+  }
+  return expr;
+}
+
+Result<std::vector<Sexpr>> ParseSexprs(std::string_view text) {
+  Parser parser(text);
+  std::vector<Sexpr> out;
+  while (true) {
+    parser.SkipSpace();
+    if (parser.AtEnd()) {
+      return out;
+    }
+    OMOS_TRY(Sexpr expr, parser.ParseOne());
+    out.push_back(std::move(expr));
+  }
+}
+
+}  // namespace omos

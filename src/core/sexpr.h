@@ -1,0 +1,54 @@
+// The blueprint specification language: "a simple Lisp-like syntax. The
+// first word in an expression is a graph operation followed by a series of
+// arguments. Arguments can be the names of server objects, strings, or
+// other graph operations." (§3.3)
+#ifndef OMOS_SRC_CORE_SEXPR_H_
+#define OMOS_SRC_CORE_SEXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+struct Sexpr {
+  enum class Kind { kSymbol, kString, kNumber, kList };
+
+  Kind kind = Kind::kList;
+  std::string atom;             // symbol text or string contents
+  uint64_t number = 0;          // kNumber
+  std::vector<Sexpr> children;  // kList
+
+  bool IsAtom() const { return kind != Kind::kList; }
+
+  static Sexpr Symbol(std::string s) {
+    Sexpr e;
+    e.kind = Kind::kSymbol;
+    e.atom = std::move(s);
+    return e;
+  }
+  static Sexpr Str(std::string s) {
+    Sexpr e;
+    e.kind = Kind::kString;
+    e.atom = std::move(s);
+    return e;
+  }
+
+  // Round-trip printer (for diagnostics and blueprint hashing).
+  std::string ToString() const;
+};
+
+// Parse one expression; trailing garbage is an error.
+Result<Sexpr> ParseSexpr(std::string_view text);
+
+// Parse a sequence of top-level expressions (library meta-objects start
+// with a constraint-list followed by the construction expression, Fig. 1).
+Result<std::vector<Sexpr>> ParseSexprs(std::string_view text);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_CORE_SEXPR_H_

@@ -1,0 +1,55 @@
+#include "src/core/stubgen.h"
+
+#include <sstream>
+
+#include "src/os/kernel.h"
+#include "src/support/strings.h"
+#include "src/vasm/assembler.h"
+
+namespace omos {
+
+Result<StubFragment> GenerateLazyStubs(const std::string& lib_path,
+                                       const std::vector<std::string>& functions,
+                                       uint32_t first_slot_index) {
+  std::ostringstream text;
+  std::ostringstream data;
+  StubFragment out;
+  text << ".text\n";
+  data << ".data\n.align 4\n";
+  uint32_t index = first_slot_index;
+  for (const std::string& fn : functions) {
+    std::string slot = StrCat("__slot_", index);
+    std::string lazy = StrCat("__lazy_", index);
+    text << ".global " << fn << "\n"
+         << fn << ":\n"
+         << "  ldpc r12, " << slot << "\n"
+         << "  jmpr r12\n"
+         << lazy << ":\n"
+         << "  movi r12, " << index << "\n"
+         << "  sys " << kSysDload << "\n";
+    data << ".global " << slot << "\n" << slot << ": .word " << lazy << "\n";
+    out.slots.push_back(StubSlot{index, slot, lib_path, fn});
+    ++index;
+  }
+  std::string source = text.str() + data.str();
+  OMOS_TRY(out.object, Assemble(source, StrCat("stubs:", lib_path)));
+  return out;
+}
+
+Result<ObjectFile> GenerateMonitorWrappers(const std::vector<std::string>& functions,
+                                           uint32_t first_index) {
+  std::ostringstream text;
+  text << ".text\n";
+  uint32_t index = first_index;
+  for (const std::string& fn : functions) {
+    text << ".global " << fn << "\n"
+         << fn << ":\n"
+         << "  movi r12, " << index << "\n"
+         << "  sys " << kSysMonLog << "\n"
+         << "  jmp __mon_" << fn << "\n";
+    ++index;
+  }
+  return Assemble(text.str(), "monitor-wrappers");
+}
+
+}  // namespace omos

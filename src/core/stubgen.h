@@ -1,0 +1,46 @@
+// Generated fragments: partial-image lazy stubs (§4.2) and monitoring
+// wrappers (§4.1/§6). Both are produced as assembly source and assembled —
+// the same path the blueprint `source` operator uses, mirroring the paper's
+// "stub code is compiled and returned as the representative implementation
+// of the library".
+#ifndef OMOS_SRC_CORE_STUBGEN_H_
+#define OMOS_SRC_CORE_STUBGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/objfmt/object_file.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+// Lazy-binding stubs for a partial-image client. For each function F:
+//   F:          ldpc r12, __slot_<i>   ; load branch-table entry
+//               jmpr r12
+//   __lazy_<i>: movi r12, <i>          ; slot index
+//               sys  17                ; kSysDload -> OMOS
+// and a data word __slot_<i> initially pointing at __lazy_<i>. The first
+// call loads the library and patches the slot; later calls cost two extra
+// instructions — the paper's "indirect branch table".
+struct StubFragment {
+  ObjectFile object;
+  std::vector<StubSlot> slots;
+};
+
+Result<StubFragment> GenerateLazyStubs(const std::string& lib_path,
+                                       const std::vector<std::string>& functions,
+                                       uint32_t first_slot_index);
+
+// Monitoring wrappers (the reordering experiment's data source). For each
+// function F (assumed renamed to __mon_F in the wrapped module):
+//   F: movi r12, <index>
+//      sys  18                          ; kSysMonLog -> count the call
+//      jmp  __mon_F                     ; tail-jump to the real code
+Result<ObjectFile> GenerateMonitorWrappers(const std::vector<std::string>& functions,
+                                           uint32_t first_index);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_CORE_STUBGEN_H_

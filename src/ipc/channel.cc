@@ -1,0 +1,20 @@
+#include "src/ipc/channel.h"
+
+#include "src/os/task.h"
+
+namespace omos {
+
+Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
+  ++calls_made_;
+  std::vector<uint8_t> wire = EncodeRequest(request);
+  uint64_t cost = 0;
+  OMOS_TRY(std::vector<uint8_t> reply_bytes, transport_->RoundTrip(wire, &cost));
+  if (task != nullptr) {
+    task->BillSys(cost);
+  } else {
+    cycles_billed_ += cost;
+  }
+  return DecodeReply(reply_bytes);
+}
+
+}  // namespace omos

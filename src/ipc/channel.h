@@ -1,0 +1,48 @@
+// Channel: the client side of OMOS IPC, billing the simulated round-trip
+// cost to whoever makes the call (a task, or a bare cycle counter for
+// server-to-server traffic).
+#ifndef OMOS_SRC_IPC_CHANNEL_H_
+#define OMOS_SRC_IPC_CHANNEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ipc/message.h"
+#include "src/ipc/transport.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+class Task;
+
+// The server end: consumes a marshalled request, produces a marshalled
+// reply. Implemented by core::OmosServer.
+using MessageServer = std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+class Channel {
+ public:
+  // Message-oriented transport with a flat round-trip cost (Mach-like).
+  Channel(MessageServer server, uint64_t round_trip_cost)
+      : transport_(MakePortTransport(std::move(server), round_trip_cost)) {}
+
+  // Any transport (see src/ipc/transport.h for the SysV-style byte stream).
+  explicit Channel(std::unique_ptr<Transport> transport) : transport_(std::move(transport)) {}
+
+  // Full marshal -> deliver -> unmarshal round trip. If `task` is non-null
+  // the round-trip cost is billed to its system time; otherwise it is
+  // accumulated in cycles_billed() (for host-side clients).
+  Result<OmosReply> Call(const OmosRequest& request, Task* task);
+
+  uint64_t cycles_billed() const { return cycles_billed_; }
+  uint64_t calls_made() const { return calls_made_; }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  uint64_t cycles_billed_ = 0;
+  uint64_t calls_made_ = 0;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_IPC_CHANNEL_H_

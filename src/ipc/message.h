@@ -1,0 +1,62 @@
+// The OMOS IPC wire protocol.
+//
+// The paper's OMOS speaks Mach IPC, Sun RPC, and System V messages (§8.1);
+// here there is one transport (an in-process channel with simulated cost,
+// src/ipc/channel.h) but real marshalling: requests and replies cross the
+// "boundary" as byte vectors, and malformed messages are protocol errors.
+// Mapped segments cannot cross a message boundary — as on Mach, the server
+// maps memory into the client's task directly and the reply carries only
+// handles and addresses.
+#ifndef OMOS_SRC_IPC_MESSAGE_H_
+#define OMOS_SRC_IPC_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+enum class OmosOp : uint32_t {
+  kInstantiate = 1,   // path + specialization -> image handle + entry + segments
+  kDefineMeta = 2,    // path + blueprint text -> ok
+  kListNamespace = 3, // path -> child names
+  kDynamicLoad = 4,   // blueprint or path + wanted symbols -> bound values
+  kStats = 5,         // -> cache statistics
+};
+
+struct SegmentDesc {
+  uint32_t base = 0;
+  uint32_t size = 0;
+  uint8_t prot = 0;
+  std::string name;
+};
+
+struct OmosRequest {
+  OmosOp op = OmosOp::kInstantiate;
+  std::string path;           // namespace path (or blueprint text for kDynamicLoad)
+  std::string specialization; // e.g. "lib-constrained", "" = meta-object default
+  uint32_t task_handle = 0;   // target task for mapping ops
+  std::vector<std::string> symbols;  // kDynamicLoad: symbols whose values to return
+};
+
+struct OmosReply {
+  bool ok = false;
+  std::string error;
+  uint32_t entry = 0;
+  std::vector<SegmentDesc> segments;       // what got mapped into the task
+  std::vector<std::string> names;          // kListNamespace
+  std::vector<uint32_t> symbol_values;     // kDynamicLoad, parallel to request.symbols
+  uint64_t stat_hits = 0;
+  uint64_t stat_misses = 0;
+};
+
+std::vector<uint8_t> EncodeRequest(const OmosRequest& request);
+Result<OmosRequest> DecodeRequest(const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> EncodeReply(const OmosReply& reply);
+Result<OmosReply> DecodeReply(const std::vector<uint8_t>& bytes);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_IPC_MESSAGE_H_

@@ -1,0 +1,103 @@
+#include "src/ipc/transport.h"
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+void BytePipe::Write(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Result<void> BytePipe::ReadExact(uint8_t* out, size_t size) {
+  if (buffer_.size() < size) {
+    return Err(ErrorCode::kProtocolError,
+               StrCat("pipe underrun: wanted ", size, ", have ", buffer_.size()));
+  }
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = buffer_.front();
+    buffer_.pop_front();
+  }
+  return OkResult();
+}
+
+void WriteFrame(BytePipe& pipe, const std::vector<uint8_t>& payload) {
+  uint32_t size = static_cast<uint32_t>(payload.size());
+  uint8_t header[4] = {static_cast<uint8_t>(size), static_cast<uint8_t>(size >> 8),
+                       static_cast<uint8_t>(size >> 16), static_cast<uint8_t>(size >> 24)};
+  pipe.Write(header, 4);
+  pipe.Write(payload.data(), payload.size());
+}
+
+Result<std::vector<uint8_t>> ReadFrame(BytePipe& pipe, uint32_t max_frame) {
+  uint8_t header[4];
+  OMOS_TRY_VOID(pipe.ReadExact(header, 4));
+  uint32_t size = static_cast<uint32_t>(header[0]) | static_cast<uint32_t>(header[1]) << 8 |
+                  static_cast<uint32_t>(header[2]) << 16 |
+                  static_cast<uint32_t>(header[3]) << 24;
+  if (size > max_frame) {
+    return Err(ErrorCode::kProtocolError, StrCat("oversized frame: ", size, " bytes"));
+  }
+  std::vector<uint8_t> payload(size);
+  OMOS_TRY_VOID(pipe.ReadExact(payload.data(), size));
+  return payload;
+}
+
+namespace {
+
+class PortTransport : public Transport {
+ public:
+  PortTransport(ServeFn server, uint64_t cost) : server_(std::move(server)), cost_(cost) {}
+
+  Result<std::vector<uint8_t>> RoundTrip(const std::vector<uint8_t>& request,
+                                         uint64_t* cost_out) override {
+    if (cost_out != nullptr) {
+      *cost_out += cost_;
+    }
+    return server_(request);
+  }
+
+ private:
+  ServeFn server_;
+  uint64_t cost_;
+};
+
+class StreamTransport : public Transport {
+ public:
+  StreamTransport(ServeFn server, uint64_t base_cost, uint64_t cost_per_byte)
+      : server_(std::move(server)), base_cost_(base_cost), cost_per_byte_(cost_per_byte) {}
+
+  Result<std::vector<uint8_t>> RoundTrip(const std::vector<uint8_t>& request,
+                                         uint64_t* cost_out) override {
+    // Client -> server leg: frame onto the request pipe, server reads it.
+    WriteFrame(to_server_, request);
+    OMOS_TRY(std::vector<uint8_t> delivered, ReadFrame(to_server_));
+    std::vector<uint8_t> reply = server_(delivered);
+    // Server -> client leg.
+    WriteFrame(to_client_, reply);
+    OMOS_TRY(std::vector<uint8_t> received, ReadFrame(to_client_));
+    if (cost_out != nullptr) {
+      *cost_out += base_cost_ + cost_per_byte_ * (request.size() + reply.size() + 8);
+    }
+    return received;
+  }
+
+ private:
+  ServeFn server_;
+  uint64_t base_cost_;
+  uint64_t cost_per_byte_;
+  BytePipe to_server_;
+  BytePipe to_client_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakePortTransport(ServeFn server, uint64_t round_trip_cost) {
+  return std::make_unique<PortTransport>(std::move(server), round_trip_cost);
+}
+
+std::unique_ptr<Transport> MakeStreamTransport(ServeFn server, uint64_t base_cost,
+                                               uint64_t cost_per_byte) {
+  return std::make_unique<StreamTransport>(std::move(server), base_cost, cost_per_byte);
+}
+
+}  // namespace omos

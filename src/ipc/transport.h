@@ -1,0 +1,67 @@
+// IPC transports. The paper's OMOS "supports communication via Mach IPC,
+// Sun RPC, and System V messages" (§8.1); the HP-UX timings in Table 1 used
+// System V messages, the Mach timings used Mach IPC. Here the same server
+// endpoint is reachable over two transports with different cost shapes:
+//
+//  * PortTransport   — message-oriented (Mach-like): constant cost per
+//                      round trip, messages delivered whole.
+//  * StreamTransport — byte-stream with explicit length framing (SysV /
+//                      RPC-over-pipe-like): base cost plus a per-byte cost,
+//                      and real framing code that can fail on truncation.
+#ifndef OMOS_SRC_IPC_TRANSPORT_H_
+#define OMOS_SRC_IPC_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+// A transport carries request bytes to a server function and reply bytes
+// back, accumulating the simulated cycle cost of the round trip.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Deliver `request`, produce the reply. `cost_out` accumulates simulated
+  // cycles for this round trip.
+  virtual Result<std::vector<uint8_t>> RoundTrip(const std::vector<uint8_t>& request,
+                                                 uint64_t* cost_out) = 0;
+};
+
+using ServeFn = std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+// Message-oriented: whole messages, constant cost (Mach IPC shape).
+std::unique_ptr<Transport> MakePortTransport(ServeFn server, uint64_t round_trip_cost);
+
+// Byte-stream: 4-byte little-endian length framing over an in-memory duplex
+// pipe, cost = base + per_byte * bytes (System V message / RPC shape). The
+// framing really runs — a mangled length prefix is a protocol error.
+std::unique_ptr<Transport> MakeStreamTransport(ServeFn server, uint64_t base_cost,
+                                               uint64_t cost_per_byte);
+
+// The in-memory byte pipe the stream transport runs over (exposed for
+// tests: you can inject/inspect raw bytes).
+class BytePipe {
+ public:
+  void Write(const uint8_t* data, size_t size);
+  // Read exactly `size` bytes; fails if the pipe drains first.
+  Result<void> ReadExact(uint8_t* out, size_t size);
+  size_t buffered() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::deque<uint8_t> buffer_;
+};
+
+// Framing helpers shared by the stream transport and its tests.
+void WriteFrame(BytePipe& pipe, const std::vector<uint8_t>& payload);
+Result<std::vector<uint8_t>> ReadFrame(BytePipe& pipe, uint32_t max_frame = 16u << 20);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_IPC_TRANSPORT_H_

@@ -1,0 +1,70 @@
+// LinkedImage: the output of the link step — bytes at final addresses,
+// ready to be turned into mappable segments. This is what OMOS caches: "by
+// treating executables as a cache, OMOS avoids unnecessary repetition of
+// work" (§1).
+#ifndef OMOS_SRC_LINKER_IMAGE_H_
+#define OMOS_SRC_LINKER_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/objfmt/object_file.h"
+
+namespace omos {
+
+struct ImageSymbol {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  SectionKind section = SectionKind::kText;
+};
+
+struct LinkStats {
+  uint32_t fragments = 0;
+  uint32_t relocations_applied = 0;
+  uint32_t symbols_exported = 0;
+  uint32_t refs_bound = 0;
+};
+
+// One relocation as applied by the link step (recorded when
+// LayoutSpec::record_relocs is set). The traditional shared-library baseline
+// uses this log to turn static fixups into per-invocation dynamic ones.
+struct RelocRecord {
+  SectionKind section = SectionKind::kText;
+  uint32_t field_addr = 0;  // absolute address of the patched 32-bit field
+  uint32_t value = 0;       // the value written
+  std::string symbol;
+  bool pcrel = false;
+  bool cross_fragment = false;  // bound through the module symbol space
+};
+
+struct LinkedImage {
+  std::string name;
+  uint32_t text_base = 0;
+  uint32_t data_base = 0;  // initialized data; bss follows immediately
+  uint32_t bss_size = 0;
+  uint32_t entry = 0;      // 0 when no entry symbol was requested
+  std::vector<uint8_t> text;
+  std::vector<uint8_t> data;
+  std::vector<ImageSymbol> symbols;      // exported definitions at final addresses
+  std::vector<std::string> unresolved;   // refs left unbound (partial links only)
+  std::vector<RelocRecord> reloc_log;    // only when LayoutSpec::record_relocs
+  LinkStats stats;
+
+  uint32_t text_end() const { return text_base + static_cast<uint32_t>(text.size()); }
+  uint32_t data_end() const { return data_base + static_cast<uint32_t>(data.size()) + bss_size; }
+
+  const ImageSymbol* FindSymbol(std::string_view name) const {
+    for (const ImageSymbol& sym : symbols) {
+      if (sym.name == name) {
+        return &sym;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_LINKER_IMAGE_H_

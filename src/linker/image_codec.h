@@ -1,0 +1,23 @@
+// XEX: serialized LinkedImage — the executable-file format. Used when an
+// image leaves the server (partial-image clients are ordinary executable
+// files the user can copy/rename, §4.2) and by the OFE link command.
+#ifndef OMOS_SRC_LINKER_IMAGE_CODEC_H_
+#define OMOS_SRC_LINKER_IMAGE_CODEC_H_
+
+#include <vector>
+
+#include "src/linker/image.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+// Encode an image (symbols included; the reloc log is not persisted).
+std::vector<uint8_t> EncodeImage(const LinkedImage& image);
+Result<LinkedImage> DecodeImage(const std::vector<uint8_t>& bytes);
+
+// Magic sniffing ("is this an executable?").
+bool IsEncodedImage(const std::vector<uint8_t>& bytes);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_LINKER_IMAGE_CODEC_H_

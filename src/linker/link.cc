@@ -1,0 +1,184 @@
+#include "src/linker/link.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+#include "src/vm/phys_memory.h"
+
+namespace omos {
+
+namespace {
+
+constexpr uint32_t kTextAlign = 8;  // instruction size
+constexpr uint32_t kDataAlign = 4;
+
+uint32_t AlignUp(uint32_t value, uint32_t align) { return (value + align - 1) / align * align; }
+
+// Per-fragment, per-section base offsets within the output segments.
+struct FragmentLayout {
+  uint32_t text = 0;
+  uint32_t data = 0;
+  uint32_t bss = 0;
+};
+
+}  // namespace
+
+Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, std::string name) {
+  OMOS_TRY(Module bound, module.Bind());
+  OMOS_TRY(const SymbolSpace* space, bound.Space());
+  const std::vector<FragmentPtr>& fragments = bound.fragments();
+
+  LinkedImage image;
+  image.name = std::move(name);
+  image.text_base = layout.text_base;
+  image.stats.fragments = static_cast<uint32_t>(fragments.size());
+
+  // Pass 1: assign every fragment's sections an offset in the output.
+  std::vector<FragmentLayout> offsets(fragments.size());
+  uint32_t text_size = 0;
+  uint32_t data_size = 0;
+  uint32_t bss_size = 0;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const ObjectFile& frag = *fragments[i];
+    text_size = AlignUp(text_size, kTextAlign);
+    data_size = AlignUp(data_size, kDataAlign);
+    bss_size = AlignUp(bss_size, kDataAlign);
+    offsets[i].text = text_size;
+    offsets[i].data = data_size;
+    offsets[i].bss = bss_size;
+    text_size += frag.section(SectionKind::kText).size();
+    data_size += frag.section(SectionKind::kData).size();
+    bss_size += frag.section(SectionKind::kBss).size();
+  }
+
+  image.data_base =
+      layout.data_base != 0 ? layout.data_base : PageAlignUp(image.text_base + text_size);
+  if (image.data_base < image.text_base + text_size && data_size + bss_size > 0) {
+    return Err(ErrorCode::kInvalidArgument,
+               StrCat(image.name, ": data base ", Hex32(image.data_base), " overlaps text"));
+  }
+  image.bss_size = bss_size;
+
+  // Absolute address of a (fragment, section, offset) location.
+  auto address_of = [&](uint32_t frag, SectionKind section, uint32_t value) -> uint32_t {
+    switch (section) {
+      case SectionKind::kText:
+        return image.text_base + offsets[frag].text + value;
+      case SectionKind::kData:
+        return image.data_base + offsets[frag].data + value;
+      case SectionKind::kBss:
+        return image.data_base + data_size + offsets[frag].bss + value;
+    }
+    return 0;
+  };
+
+  // Pass 2: copy section bytes.
+  image.text.assign(text_size, 0);
+  image.data.assign(data_size, 0);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const ObjectFile& frag = *fragments[i];
+    const auto& text = frag.section(SectionKind::kText).bytes;
+    std::copy(text.begin(), text.end(), image.text.begin() + offsets[i].text);
+    const auto& data = frag.section(SectionKind::kData).bytes;
+    std::copy(data.begin(), data.end(), image.data.begin() + offsets[i].data);
+  }
+
+  // Pass 3: apply relocations.
+  for (uint32_t i = 0; i < fragments.size(); ++i) {
+    const ObjectFile& frag = *fragments[i];
+    for (int s = 0; s < 2; ++s) {  // text and data carry relocations
+      SectionKind section = static_cast<SectionKind>(s);
+      std::vector<uint8_t>& out = section == SectionKind::kText ? image.text : image.data;
+      uint32_t section_off =
+          section == SectionKind::kText ? offsets[i].text : offsets[i].data;
+      uint32_t section_base = section == SectionKind::kText ? image.text_base : image.data_base;
+      for (const Relocation& reloc : frag.section(section).relocs) {
+        const Symbol* sym = frag.FindSymbol(reloc.symbol);
+        if (sym == nullptr) {
+          return Err(ErrorCode::kRelocationError,
+                     StrCat(frag.name(), ": reloc names unknown symbol ", reloc.symbol));
+        }
+        uint32_t target = 0;
+        bool resolved = false;
+        if (sym->defined && sym->binding == SymbolBinding::kLocal) {
+          target = address_of(i, sym->section, sym->value);
+          resolved = true;
+        } else {
+          auto ref = space->refs.find(RefKey{i, reloc.symbol});
+          if (ref != space->refs.end() && ref->second.state != BindState::kUnbound) {
+            DefId def = ref->second.target;
+            const Symbol& def_sym = fragments[def.fragment]->symbols()[def.symbol];
+            target = address_of(def.fragment, def_sym.section, def_sym.value);
+            resolved = true;
+            ++image.stats.refs_bound;
+          }
+        }
+        if (!resolved) {
+          std::string want =
+              (space->refs.count(RefKey{i, reloc.symbol}) != 0)
+                  ? space->refs.at(RefKey{i, reloc.symbol}).ext_name
+                  : reloc.symbol;
+          auto ext = layout.externals.find(want);
+          if (ext != layout.externals.end()) {
+            target = ext->second;
+            resolved = true;
+            ++image.stats.refs_bound;
+          }
+          if (!resolved) {
+            if (!layout.allow_unresolved) {
+              return Err(ErrorCode::kUnresolvedSymbol,
+                         StrCat(image.name, ": unresolved reference to ", want, " from ",
+                                frag.name()));
+            }
+            image.unresolved.push_back(want);
+            continue;
+          }
+        }
+        uint32_t field_addr = section_base + section_off + reloc.offset;
+        uint32_t value;
+        if (reloc.kind == RelocKind::kAbs32) {
+          value = target + static_cast<uint32_t>(reloc.addend);
+        } else {
+          value = target + static_cast<uint32_t>(reloc.addend) - (field_addr + 4);
+        }
+        uint32_t at = section_off + reloc.offset;
+        out[at] = static_cast<uint8_t>(value);
+        out[at + 1] = static_cast<uint8_t>(value >> 8);
+        out[at + 2] = static_cast<uint8_t>(value >> 16);
+        out[at + 3] = static_cast<uint8_t>(value >> 24);
+        ++image.stats.relocations_applied;
+        if (layout.record_relocs) {
+          bool cross = !(sym->defined && sym->binding == SymbolBinding::kLocal);
+          image.reloc_log.push_back(RelocRecord{section, field_addr, value, reloc.symbol,
+                                                reloc.kind == RelocKind::kPcRel32, cross});
+        }
+      }
+    }
+  }
+
+  // Exported symbols at their final addresses.
+  for (const auto& [ext_name, exp] : space->exports) {
+    const Symbol& sym = fragments[exp.def.fragment]->symbols()[exp.def.symbol];
+    image.symbols.push_back(
+        ImageSymbol{ext_name, address_of(exp.def.fragment, sym.section, sym.value), sym.size,
+                    sym.section});
+  }
+  image.stats.symbols_exported = static_cast<uint32_t>(image.symbols.size());
+
+  if (!layout.entry_symbol.empty()) {
+    const ImageSymbol* entry = image.FindSymbol(layout.entry_symbol);
+    if (entry == nullptr) {
+      return Err(ErrorCode::kUnresolvedSymbol,
+                 StrCat(image.name, ": no entry symbol ", layout.entry_symbol));
+    }
+    image.entry = entry->addr;
+  }
+
+  // Deduplicate unresolved names for stable reporting.
+  std::sort(image.unresolved.begin(), image.unresolved.end());
+  image.unresolved.erase(std::unique(image.unresolved.begin(), image.unresolved.end()),
+                         image.unresolved.end());
+  return image;
+}
+
+}  // namespace omos

@@ -1,0 +1,39 @@
+// The link step: lay out a module's fragments at concrete addresses and
+// apply relocations through the module's symbol space.
+#ifndef OMOS_SRC_LINKER_LINK_H_
+#define OMOS_SRC_LINKER_LINK_H_
+
+#include <map>
+#include <string>
+
+#include "src/linker/image.h"
+#include "src/linker/module.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+struct LayoutSpec {
+  uint32_t text_base = 0x00100000;
+  // 0 = place data on the page after text.
+  uint32_t data_base = 0;
+  // Entry symbol; empty = image has no entry point (a library).
+  std::string entry_symbol;
+  // Leave unbound references unpatched (recorded in image.unresolved)
+  // instead of failing — used when stubs will satisfy them at run time.
+  bool allow_unresolved = false;
+  // Record every applied relocation in image.reloc_log (baseline rtld).
+  bool record_relocs = false;
+  // Pre-bound external addresses: how a client links against a library that
+  // is a *separate* cached image (the self-contained scheme, §4.1). A
+  // reference unbound within the module resolves here before being declared
+  // unresolved.
+  std::map<std::string, uint32_t> externals;
+};
+
+// Produce a LinkedImage from `module`. A final bind pass resolves any
+// references that became bindable after view operations (e.g. rename).
+Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, std::string name);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_LINKER_LINK_H_

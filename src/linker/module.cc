@@ -1,0 +1,352 @@
+#include "src/linker/module.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+// '&' in a replacement substitutes the original symbol name, e.g.
+// rename("^_", "wrapped&") turns _read into wrapped_read.
+std::string Substitute(const std::string& replacement, const std::string& original) {
+  std::string out;
+  for (char c : replacement) {
+    if (c == '&') {
+      out += original;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Module Module::FromObject(FragmentPtr object) {
+  Module m;
+  auto fragments = std::make_shared<std::vector<FragmentPtr>>();
+  fragments->push_back(object);
+  m.fragments_ = std::move(fragments);
+
+  auto space = std::make_shared<SymbolSpace>();
+  const auto& symbols = object->symbols();
+  // Exports: all defined non-local symbols.
+  for (uint32_t i = 0; i < symbols.size(); ++i) {
+    const Symbol& sym = symbols[i];
+    if (sym.defined && sym.binding != SymbolBinding::kLocal) {
+      space->exports[sym.name] = Export{DefId{0, i}, sym.binding == SymbolBinding::kWeak};
+    }
+  }
+  // References: undefined symbols (unbound), plus self-references to own
+  // globals (bound-to-self, virtual). A reference exists if any relocation
+  // names the symbol.
+  for (uint32_t i = 0; i < symbols.size(); ++i) {
+    const Symbol& sym = symbols[i];
+    RefKey key{0, sym.name};
+    if (!sym.defined) {
+      space->refs[key] = RefRecord{BindState::kUnbound, DefId{}, sym.name};
+    } else if (sym.binding != SymbolBinding::kLocal) {
+      // Only materialize a self-reference if some relocation actually uses it.
+      bool referenced = false;
+      for (int s = 0; s < kNumSections && !referenced; ++s) {
+        for (const Relocation& reloc : object->section(static_cast<SectionKind>(s)).relocs) {
+          if (reloc.symbol == sym.name) {
+            referenced = true;
+            break;
+          }
+        }
+      }
+      if (referenced) {
+        space->refs[key] = RefRecord{BindState::kBound, DefId{0, i}, sym.name};
+      }
+    }
+  }
+  m.base_ = std::move(space);
+  return m;
+}
+
+Module Module::WithOp(ViewOp op) const {
+  Module m;
+  m.fragments_ = fragments_;
+  m.base_ = base_;
+  m.ops_ = ops_;
+  m.ops_.push_back(std::move(op));
+  return m;
+}
+
+Module Module::Rename(std::string pattern, std::string replacement, RenameWhich which) const {
+  return WithOp(ViewOp{ViewOp::Kind::kRename, std::move(pattern), std::move(replacement), which});
+}
+Module Module::Restrict(std::string pattern) const {
+  return WithOp(ViewOp{ViewOp::Kind::kRestrict, std::move(pattern), "", RenameWhich::kBoth});
+}
+Module Module::Project(std::string pattern) const {
+  return WithOp(ViewOp{ViewOp::Kind::kProject, std::move(pattern), "", RenameWhich::kBoth});
+}
+Module Module::Hide(std::string pattern) const {
+  return WithOp(ViewOp{ViewOp::Kind::kHide, std::move(pattern), "", RenameWhich::kBoth});
+}
+Module Module::Show(std::string pattern) const {
+  return WithOp(ViewOp{ViewOp::Kind::kShow, std::move(pattern), "", RenameWhich::kBoth});
+}
+Module Module::Freeze(std::string pattern) const {
+  return WithOp(ViewOp{ViewOp::Kind::kFreeze, std::move(pattern), "", RenameWhich::kBoth});
+}
+Module Module::CopyAs(std::string pattern, std::string replacement) const {
+  return WithOp(ViewOp{ViewOp::Kind::kCopyAs, std::move(pattern), std::move(replacement),
+                       RenameWhich::kBoth});
+}
+
+void Module::ApplyOp(const ViewOp& op, SymbolSpace& space) {
+  auto matches = [&](const std::string& name) { return RegexMatch(name, op.pattern); };
+
+  switch (op.kind) {
+    case ViewOp::Kind::kRename: {
+      if (op.which != RenameWhich::kRefs) {
+        std::map<std::string, Export> renamed;
+        for (auto& [name, exp] : space.exports) {
+          renamed.emplace(matches(name) ? Substitute(op.arg, name) : name, exp);
+        }
+        space.exports = std::move(renamed);
+      }
+      if (op.which != RenameWhich::kDefs) {
+        for (auto& [key, ref] : space.refs) {
+          if (matches(ref.ext_name)) {
+            ref.ext_name = Substitute(op.arg, ref.ext_name);
+          }
+        }
+      }
+      break;
+    }
+    case ViewOp::Kind::kRestrict:
+    case ViewOp::Kind::kProject: {
+      bool keep_on_match = op.kind == ViewOp::Kind::kProject;
+      std::erase_if(space.exports,
+                    [&](const auto& entry) { return matches(entry.first) != keep_on_match; });
+      for (auto& [key, ref] : space.refs) {
+        bool selected = matches(ref.ext_name) != keep_on_match;
+        if (selected && ref.state == BindState::kBound) {
+          ref.state = BindState::kUnbound;
+        }
+      }
+      break;
+    }
+    case ViewOp::Kind::kHide:
+    case ViewOp::Kind::kShow: {
+      bool hide_on_match = op.kind == ViewOp::Kind::kHide;
+      for (auto& [key, ref] : space.refs) {
+        bool selected = matches(ref.ext_name) == hide_on_match;
+        if (selected && ref.state == BindState::kBound) {
+          ref.state = BindState::kFrozen;
+        }
+      }
+      std::erase_if(space.exports,
+                    [&](const auto& entry) { return matches(entry.first) == hide_on_match; });
+      break;
+    }
+    case ViewOp::Kind::kFreeze: {
+      for (auto& [key, ref] : space.refs) {
+        if (matches(ref.ext_name) && ref.state == BindState::kBound) {
+          ref.state = BindState::kFrozen;
+        }
+      }
+      break;
+    }
+    case ViewOp::Kind::kCopyAs: {
+      std::vector<std::pair<std::string, Export>> additions;
+      for (const auto& [name, exp] : space.exports) {
+        if (matches(name)) {
+          additions.emplace_back(Substitute(op.arg, name), exp);
+        }
+      }
+      for (auto& [name, exp] : additions) {
+        space.exports[name] = exp;  // later copies win on collision
+      }
+      break;
+    }
+  }
+}
+
+void Module::BindSpace(SymbolSpace& space) {
+  for (auto& [key, ref] : space.refs) {
+    if (ref.state == BindState::kUnbound) {
+      auto it = space.exports.find(ref.ext_name);
+      if (it != space.exports.end()) {
+        ref.state = BindState::kBound;
+        ref.target = it->second.def;
+      }
+    }
+  }
+}
+
+Result<const SymbolSpace*> Module::Space() const {
+  if (cache_ != nullptr) {
+    return cache_.get();
+  }
+  if (ops_.empty()) {
+    cache_ = base_;
+    return cache_.get();
+  }
+  auto space = std::make_shared<SymbolSpace>(*base_);
+  for (const ViewOp& op : ops_) {
+    ApplyOp(op, *space);
+  }
+  cache_ = std::move(space);
+  return cache_.get();
+}
+
+Result<Module> Module::Bind() const {
+  OMOS_TRY(const SymbolSpace* space, Space());
+  auto bound = std::make_shared<SymbolSpace>(*space);
+  BindSpace(*bound);
+  Module m;
+  m.fragments_ = fragments_;
+  m.base_ = std::move(bound);
+  return m;
+}
+
+Result<Module> Module::Merge(const Module& a, const Module& b) {
+  OMOS_TRY(const SymbolSpace* sa, a.Space());
+  OMOS_TRY(const SymbolSpace* sb, b.Space());
+
+  Module m;
+  auto fragments = std::make_shared<std::vector<FragmentPtr>>(*a.fragments_);
+  uint32_t offset = static_cast<uint32_t>(fragments->size());
+  fragments->insert(fragments->end(), b.fragments_->begin(), b.fragments_->end());
+  m.fragments_ = std::move(fragments);
+
+  auto space = std::make_shared<SymbolSpace>(*sa);
+  // Import b's exports, shifting fragment indices; duplicate strong
+  // definitions are an error, weak yields to strong.
+  for (const auto& [name, exp] : sb->exports) {
+    Export shifted{DefId{exp.def.fragment + offset, exp.def.symbol}, exp.weak};
+    auto it = space->exports.find(name);
+    if (it == space->exports.end()) {
+      space->exports[name] = shifted;
+    } else if (it->second.weak && !shifted.weak) {
+      it->second = shifted;
+    } else if (!it->second.weak && !shifted.weak) {
+      return Err(ErrorCode::kDuplicateSymbol, StrCat("merge: symbol ", name, " defined twice"));
+    }
+    // strong-existing + weak-incoming (or weak/weak): keep existing.
+  }
+  for (const auto& [key, ref] : sb->refs) {
+    RefRecord shifted = ref;
+    if (shifted.state != BindState::kUnbound) {
+      shifted.target.fragment += offset;
+    }
+    space->refs[RefKey{key.fragment + offset, key.name}] = std::move(shifted);
+  }
+  BindSpace(*space);
+  m.base_ = std::move(space);
+  return m;
+}
+
+Result<Module> Module::Override(const Module& base, const Module& over) {
+  OMOS_TRY(const SymbolSpace* sa, base.Space());
+  OMOS_TRY(const SymbolSpace* sb, over.Space());
+
+  Module m;
+  auto fragments = std::make_shared<std::vector<FragmentPtr>>(*base.fragments_);
+  uint32_t offset = static_cast<uint32_t>(fragments->size());
+  fragments->insert(fragments->end(), over.fragments_->begin(), over.fragments_->end());
+  m.fragments_ = std::move(fragments);
+
+  auto space = std::make_shared<SymbolSpace>(*sa);
+  for (const auto& [key, ref] : sb->refs) {
+    RefRecord shifted = ref;
+    if (shifted.state != BindState::kUnbound) {
+      shifted.target.fragment += offset;
+    }
+    space->refs[RefKey{key.fragment + offset, key.name}] = std::move(shifted);
+  }
+  for (const auto& [name, exp] : sb->exports) {
+    Export shifted{DefId{exp.def.fragment + offset, exp.def.symbol}, exp.weak};
+    auto it = space->exports.find(name);
+    if (it == space->exports.end()) {
+      space->exports[name] = shifted;
+      continue;
+    }
+    // Conflict: the overriding definition wins; rebind every non-frozen
+    // reference that pointed at the shadowed definition.
+    DefId shadowed = it->second.def;
+    it->second = shifted;
+    for (auto& [key, ref] : space->refs) {
+      if (ref.state == BindState::kBound && ref.target == shadowed) {
+        ref.target = shifted.def;
+      }
+    }
+  }
+  BindSpace(*space);
+  m.base_ = std::move(space);
+  return m;
+}
+
+Result<Module> Module::ReorderFragments(const std::vector<uint32_t>& order) const {
+  OMOS_TRY(const SymbolSpace* space, Space());
+  size_t n = fragments_->size();
+  if (order.size() != n) {
+    return Err(ErrorCode::kInvalidArgument, "reorder: order size mismatch");
+  }
+  std::vector<uint32_t> inverse(n, UINT32_MAX);
+  for (uint32_t new_pos = 0; new_pos < order.size(); ++new_pos) {
+    uint32_t old_pos = order[new_pos];
+    if (old_pos >= n || inverse[old_pos] != UINT32_MAX) {
+      return Err(ErrorCode::kInvalidArgument, "reorder: not a permutation");
+    }
+    inverse[old_pos] = new_pos;
+  }
+  Module m;
+  auto fragments = std::make_shared<std::vector<FragmentPtr>>();
+  fragments->reserve(n);
+  for (uint32_t old_pos : order) {
+    fragments->push_back((*fragments_)[old_pos]);
+  }
+  m.fragments_ = std::move(fragments);
+  auto remapped = std::make_shared<SymbolSpace>();
+  for (const auto& [name, exp] : space->exports) {
+    remapped->exports[name] =
+        Export{DefId{inverse[exp.def.fragment], exp.def.symbol}, exp.weak};
+  }
+  for (const auto& [key, ref] : space->refs) {
+    RefRecord record = ref;
+    if (record.state != BindState::kUnbound) {
+      record.target.fragment = inverse[record.target.fragment];
+    }
+    remapped->refs[RefKey{inverse[key.fragment], key.name}] = std::move(record);
+  }
+  m.base_ = std::move(remapped);
+  return m;
+}
+
+Result<bool> Module::HasExport(std::string_view name) const {
+  OMOS_TRY(const SymbolSpace* space, Space());
+  return space->exports.count(std::string(name)) != 0;
+}
+
+Result<std::vector<std::string>> Module::ExportNames() const {
+  OMOS_TRY(const SymbolSpace* space, Space());
+  std::vector<std::string> names;
+  names.reserve(space->exports.size());
+  for (const auto& [name, exp] : space->exports) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<std::vector<std::string>> Module::UnboundRefNames() const {
+  OMOS_TRY(const SymbolSpace* space, Space());
+  std::vector<std::string> names;
+  for (const auto& [key, ref] : space->refs) {
+    if (ref.state == BindState::kUnbound) {
+      names.push_back(ref.ext_name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace omos

@@ -1,0 +1,158 @@
+// The module calculus: Modules, module operators, and symbol-space views.
+//
+// Following Bracha & Lindstrom's Jigsaw (paper §3.3), a module is a
+// self-referential naming scope: a set of code/data fragments, a table of
+// exported definitions, and a set of references whose bindings the module
+// operators manipulate. A leaf module (one object file) starts with every
+// reference to one of its own global definitions *bound to self but not
+// frozen* — inheritance-style virtual binding — so later `override` or
+// `restrict` can rebind internal callers, which is exactly what the paper's
+// malloc-interposition example (Fig. 2) relies on.
+//
+// Binding states per reference:
+//   kUnbound — no definition chosen yet (merge will bind it)
+//   kBound   — bound, but rebindable (override) and unbindable (restrict)
+//   kFrozen  — permanent (freeze/hide); immune to restrict/override
+//
+// Unary operators (rename/hide/show/restrict/project/copy-as/freeze) are
+// recorded as a lazy *view chain* over a shared immutable SymbolSpace and
+// applied in one pass on first use — the paper's "views" that make
+// incremental modification of a symbol namespace fast (§3.3). `merge` and
+// `override` materialize.
+#ifndef OMOS_SRC_LINKER_MODULE_H_
+#define OMOS_SRC_LINKER_MODULE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/objfmt/object_file.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+using FragmentPtr = std::shared_ptr<const ObjectFile>;
+
+// Identifies a definition: fragment index within the module, symbol index
+// within that fragment's symbol table.
+struct DefId {
+  uint32_t fragment = 0;
+  uint32_t symbol = 0;
+
+  auto operator<=>(const DefId&) const = default;
+};
+
+enum class BindState : uint8_t { kUnbound = 0, kBound = 1, kFrozen = 2 };
+
+struct Export {
+  DefId def;
+  bool weak = false;
+};
+
+// Key of a reference: which fragment, and the symbol-table name the
+// fragment's relocations use (never renamed — renames change ext_name).
+struct RefKey {
+  uint32_t fragment = 0;
+  std::string name;
+
+  auto operator<=>(const RefKey&) const = default;
+};
+
+struct RefRecord {
+  BindState state = BindState::kUnbound;
+  DefId target;          // valid when state != kUnbound
+  std::string ext_name;  // the external name this reference currently seeks
+};
+
+// Materialized symbol space of a module.
+struct SymbolSpace {
+  std::map<std::string, Export> exports;
+  std::map<RefKey, RefRecord> refs;
+};
+
+enum class RenameWhich : uint8_t { kDefs, kRefs, kBoth };
+
+class Module {
+ public:
+  Module() = default;
+
+  // Leaf module from a single relocatable object.
+  static Module FromObject(FragmentPtr object);
+
+  // merge: union of fragments; duplicate strong definitions are an error
+  // (weak yields to strong); every unbound reference whose ext_name matches
+  // an export becomes bound.
+  static Result<Module> Merge(const Module& a, const Module& b);
+
+  // override: merge resolving export conflicts in favour of `over`; non-
+  // frozen references previously bound to the shadowed definitions are
+  // rebound to the overriding ones.
+  static Result<Module> Override(const Module& base, const Module& over);
+
+  // Unary module operations (lazy; O(1) to apply).
+  Module Rename(std::string pattern, std::string replacement, RenameWhich which) const;
+  Module Restrict(std::string pattern) const;  // drop matching defs, unbind matching refs
+  Module Project(std::string pattern) const;   // restrict the complement
+  Module Hide(std::string pattern) const;      // drop matching defs, freeze matching refs
+  Module Show(std::string pattern) const;      // hide the complement
+  Module Freeze(std::string pattern) const;    // make matching bound refs permanent
+  // copy-as: duplicate each export matching `pattern` under `replacement`;
+  // '&' in the replacement substitutes the matched name.
+  Module CopyAs(std::string pattern, std::string replacement) const;
+
+  // Bind unbound references against current exports (merge does this
+  // automatically; exposed for the final pre-link pass).
+  Result<Module> Bind() const;
+
+  // Permute fragment order — the locality-of-reference optimization of
+  // §4.1: OMOS reorders routines by observed usage. `order` must be a
+  // permutation of [0, fragments().size()).
+  Result<Module> ReorderFragments(const std::vector<uint32_t>& order) const;
+
+  const std::vector<FragmentPtr>& fragments() const { return *fragments_; }
+
+  // Materialized symbol space (applies any pending view ops once, caching).
+  Result<const SymbolSpace*> Space() const;
+
+  // Number of view ops not yet applied (for tests/benchmarks).
+  size_t pending_ops() const { return ops_.size(); }
+
+  // Introspection helpers (materialize if needed).
+  Result<bool> HasExport(std::string_view name) const;
+  Result<std::vector<std::string>> ExportNames() const;
+  // Names sought by currently-unbound references.
+  Result<std::vector<std::string>> UnboundRefNames() const;
+
+ private:
+  struct ViewOp {
+    enum class Kind : uint8_t {
+      kRename,
+      kRestrict,
+      kProject,
+      kHide,
+      kShow,
+      kFreeze,
+      kCopyAs,
+    } kind;
+    std::string pattern;
+    std::string arg;  // replacement for rename/copy-as
+    RenameWhich which = RenameWhich::kBoth;
+  };
+
+  Module WithOp(ViewOp op) const;
+  static void ApplyOp(const ViewOp& op, SymbolSpace& space);
+  static void BindSpace(SymbolSpace& space);
+
+  std::shared_ptr<const std::vector<FragmentPtr>> fragments_ =
+      std::make_shared<std::vector<FragmentPtr>>();
+  std::shared_ptr<const SymbolSpace> base_ = std::make_shared<SymbolSpace>();
+  std::vector<ViewOp> ops_;
+  mutable std::shared_ptr<const SymbolSpace> cache_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_LINKER_MODULE_H_

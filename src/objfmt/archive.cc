@@ -1,0 +1,52 @@
+#include "src/objfmt/archive.h"
+
+#include "src/objfmt/backend.h"
+#include "src/objfmt/bytes.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+constexpr char kArchiveMagic[] = "XAR1";
+}
+
+const ObjectFile* Archive::FindDefiner(std::string_view symbol) const {
+  for (const ObjectFile& member : members_) {
+    const Symbol* sym = member.FindSymbol(symbol);
+    if (sym != nullptr && sym->defined && sym->binding != SymbolBinding::kLocal) {
+      return &member;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> Archive::Encode() const {
+  ByteWriter w;
+  for (int i = 0; i < 4; ++i) {
+    w.U8(static_cast<uint8_t>(kArchiveMagic[i]));
+  }
+  w.Str(name_);
+  w.U32(static_cast<uint32_t>(members_.size()));
+  for (const ObjectFile& member : members_) {
+    w.Raw(EncodeObject(member));
+  }
+  return w.Take();
+}
+
+Result<Archive> Archive::Decode(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4 || !std::equal(kArchiveMagic, kArchiveMagic + 4, bytes.begin())) {
+    return Err(ErrorCode::kParseError, "not an XAR archive (bad magic)");
+  }
+  ByteReader r(bytes.data() + 4, bytes.size() - 4);
+  OMOS_TRY(std::string name, r.Str());
+  Archive archive(std::move(name));
+  OMOS_TRY(uint32_t count, r.U32());
+  for (uint32_t i = 0; i < count; ++i) {
+    OMOS_TRY(std::vector<uint8_t> encoded, r.Raw());
+    OMOS_TRY(ObjectFile member, DecodeObject(encoded));
+    archive.Add(std::move(member));
+  }
+  return archive;
+}
+
+}  // namespace omos

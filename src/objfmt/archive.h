@@ -1,0 +1,37 @@
+// Archives bundle several relocatable objects (the analog of `ar` libraries
+// such as /libc/gen, /libc/stdio in Figure 1 of the paper).
+#ifndef OMOS_SRC_OBJFMT_ARCHIVE_H_
+#define OMOS_SRC_OBJFMT_ARCHIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/objfmt/object_file.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+class Archive {
+ public:
+  Archive() = default;
+  explicit Archive(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ObjectFile>& members() const { return members_; }
+
+  void Add(ObjectFile object) { members_.push_back(std::move(object)); }
+
+  // The member defining `symbol`, or nullptr. Used for selective extraction.
+  const ObjectFile* FindDefiner(std::string_view symbol) const;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<Archive> Decode(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::string name_;
+  std::vector<ObjectFile> members_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OBJFMT_ARCHIVE_H_

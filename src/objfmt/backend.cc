@@ -1,0 +1,331 @@
+#include "src/objfmt/backend.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/objfmt/bytes.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+constexpr char kBinaryMagic[] = "XOF1";
+constexpr char kTextMagic[] = "#xof-text";
+
+class XofBinaryBackend : public ObjectBackend {
+ public:
+  std::string_view format_name() const override { return "xof-binary"; }
+
+  bool Matches(const std::vector<uint8_t>& bytes) const override {
+    return bytes.size() >= 4 && std::equal(kBinaryMagic, kBinaryMagic + 4, bytes.begin());
+  }
+
+  Result<std::vector<uint8_t>> Encode(const ObjectFile& object) const override {
+    ByteWriter w;
+    for (int i = 0; i < 4; ++i) {
+      w.U8(static_cast<uint8_t>(kBinaryMagic[i]));
+    }
+    w.Str(object.name());
+    for (int i = 0; i < kNumSections; ++i) {
+      const Section& sec = object.section(static_cast<SectionKind>(i));
+      w.Raw(sec.bytes);
+      w.U32(sec.bss_size);
+      w.U32(static_cast<uint32_t>(sec.relocs.size()));
+      for (const Relocation& reloc : sec.relocs) {
+        w.U32(reloc.offset);
+        w.U8(static_cast<uint8_t>(reloc.kind));
+        w.Str(reloc.symbol);
+        w.I32(reloc.addend);
+      }
+    }
+    w.U32(static_cast<uint32_t>(object.symbols().size()));
+    for (const Symbol& sym : object.symbols()) {
+      w.Str(sym.name);
+      w.U8(static_cast<uint8_t>(sym.binding));
+      w.U8(sym.defined ? 1 : 0);
+      w.U8(static_cast<uint8_t>(sym.section));
+      w.U32(sym.value);
+      w.U32(sym.size);
+    }
+    return w.Take();
+  }
+
+  Result<ObjectFile> Decode(const std::vector<uint8_t>& bytes) const override {
+    if (!Matches(bytes)) {
+      return Err(ErrorCode::kParseError, "not an xof-binary object (bad magic)");
+    }
+    ByteReader r(bytes.data() + 4, bytes.size() - 4);
+    OMOS_TRY(std::string name, r.Str());
+    ObjectFile object(std::move(name));
+    for (int i = 0; i < kNumSections; ++i) {
+      Section& sec = object.section(static_cast<SectionKind>(i));
+      OMOS_TRY(sec.bytes, r.Raw());
+      OMOS_TRY(sec.bss_size, r.U32());
+      OMOS_TRY(uint32_t nrelocs, r.U32());
+      for (uint32_t k = 0; k < nrelocs; ++k) {
+        Relocation reloc;
+        OMOS_TRY(reloc.offset, r.U32());
+        OMOS_TRY(uint8_t kind, r.U8());
+        if (kind > static_cast<uint8_t>(RelocKind::kPcRel32)) {
+          return Err(ErrorCode::kParseError, StrCat("bad reloc kind ", static_cast<int>(kind)));
+        }
+        reloc.kind = static_cast<RelocKind>(kind);
+        OMOS_TRY(reloc.symbol, r.Str());
+        OMOS_TRY(reloc.addend, r.I32());
+        sec.relocs.push_back(std::move(reloc));
+      }
+    }
+    OMOS_TRY(uint32_t nsyms, r.U32());
+    for (uint32_t k = 0; k < nsyms; ++k) {
+      Symbol sym;
+      OMOS_TRY(sym.name, r.Str());
+      OMOS_TRY(uint8_t binding, r.U8());
+      if (binding > static_cast<uint8_t>(SymbolBinding::kWeak)) {
+        return Err(ErrorCode::kParseError, StrCat("bad symbol binding ", static_cast<int>(binding)));
+      }
+      sym.binding = static_cast<SymbolBinding>(binding);
+      OMOS_TRY(uint8_t defined, r.U8());
+      sym.defined = defined != 0;
+      OMOS_TRY(uint8_t section, r.U8());
+      if (section >= kNumSections) {
+        return Err(ErrorCode::kParseError, StrCat("bad symbol section ", static_cast<int>(section)));
+      }
+      sym.section = static_cast<SectionKind>(section);
+      OMOS_TRY(sym.value, r.U32());
+      OMOS_TRY(sym.size, r.U32());
+      OMOS_TRY_VOID(object.AddSymbol(std::move(sym)));
+    }
+    return object;
+  }
+};
+
+// Textual format, one record per line:
+//   #xof-text
+//   object <name>
+//   section text|data <hex bytes>
+//   bss <size>
+//   reloc <section> <offset> <kind> <symbol> <addend>
+//   symbol <name> <binding> def|undef <section> <value> <size>
+class XofTextBackend : public ObjectBackend {
+ public:
+  std::string_view format_name() const override { return "xof-text"; }
+
+  bool Matches(const std::vector<uint8_t>& bytes) const override {
+    std::string_view magic(kTextMagic);
+    return bytes.size() >= magic.size() &&
+           std::equal(magic.begin(), magic.end(), bytes.begin());
+  }
+
+  Result<std::vector<uint8_t>> Encode(const ObjectFile& object) const override {
+    std::ostringstream out;
+    out << kTextMagic << "\n";
+    out << "object " << object.name() << "\n";
+    for (int i = 0; i < 2; ++i) {
+      SectionKind kind = static_cast<SectionKind>(i);
+      const Section& sec = object.section(kind);
+      out << "section " << SectionKindName(kind) << " ";
+      for (uint8_t b : sec.bytes) {
+        static const char kHex[] = "0123456789abcdef";
+        out << kHex[b >> 4] << kHex[b & 0xf];
+      }
+      out << "\n";
+    }
+    out << "bss " << object.section(SectionKind::kBss).bss_size << "\n";
+    for (int i = 0; i < kNumSections; ++i) {
+      SectionKind kind = static_cast<SectionKind>(i);
+      for (const Relocation& reloc : object.section(kind).relocs) {
+        out << "reloc " << SectionKindName(kind) << " " << reloc.offset << " "
+            << RelocKindName(reloc.kind) << " " << reloc.symbol << " " << reloc.addend << "\n";
+      }
+    }
+    for (const Symbol& sym : object.symbols()) {
+      out << "symbol " << sym.name << " " << SymbolBindingName(sym.binding) << " "
+          << (sym.defined ? "def" : "undef") << " " << SectionKindName(sym.section) << " "
+          << sym.value << " " << sym.size << "\n";
+    }
+    std::string s = out.str();
+    return std::vector<uint8_t>(s.begin(), s.end());
+  }
+
+  Result<ObjectFile> Decode(const std::vector<uint8_t>& bytes) const override {
+    if (!Matches(bytes)) {
+      return Err(ErrorCode::kParseError, "not an xof-text object (bad magic)");
+    }
+    std::string text(bytes.begin(), bytes.end());
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);  // magic
+    ObjectFile object;
+    while (std::getline(in, line)) {
+      std::string_view stripped = StripWhitespace(line);
+      if (stripped.empty()) {
+        continue;
+      }
+      std::istringstream fields{std::string(stripped)};
+      std::string tag;
+      fields >> tag;
+      if (tag == "object") {
+        std::string name;
+        fields >> name;
+        object.set_name(name);
+      } else if (tag == "section") {
+        OMOS_TRY_VOID(ParseSection(fields, object));
+      } else if (tag == "bss") {
+        uint32_t size = 0;
+        fields >> size;
+        object.section(SectionKind::kBss).bss_size = size;
+      } else if (tag == "reloc") {
+        OMOS_TRY_VOID(ParseReloc(fields, object));
+      } else if (tag == "symbol") {
+        OMOS_TRY_VOID(ParseSymbol(fields, object));
+      } else {
+        return Err(ErrorCode::kParseError, StrCat("xof-text: unknown record '", tag, "'"));
+      }
+    }
+    return object;
+  }
+
+ private:
+  static Result<SectionKind> ParseSectionKind(std::string_view name) {
+    if (name == "text") {
+      return SectionKind::kText;
+    }
+    if (name == "data") {
+      return SectionKind::kData;
+    }
+    if (name == "bss") {
+      return SectionKind::kBss;
+    }
+    return Err(ErrorCode::kParseError, StrCat("xof-text: bad section '", name, "'"));
+  }
+
+  static Result<void> ParseSection(std::istringstream& fields, ObjectFile& object) {
+    std::string kind_name;
+    std::string hex;
+    fields >> kind_name >> hex;
+    OMOS_TRY(SectionKind kind, ParseSectionKind(kind_name));
+    Section& sec = object.section(kind);
+    if (hex.size() % 2 != 0) {
+      return Err(ErrorCode::kParseError, "xof-text: odd hex length");
+    }
+    sec.bytes.clear();
+    for (size_t i = 0; i < hex.size(); i += 2) {
+      auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') {
+          return c - '0';
+        }
+        if (c >= 'a' && c <= 'f') {
+          return c - 'a' + 10;
+        }
+        return -1;
+      };
+      int hi = nibble(hex[i]);
+      int lo = nibble(hex[i + 1]);
+      if (hi < 0 || lo < 0) {
+        return Err(ErrorCode::kParseError, "xof-text: bad hex digit");
+      }
+      sec.bytes.push_back(static_cast<uint8_t>(hi << 4 | lo));
+    }
+    return OkResult();
+  }
+
+  static Result<void> ParseReloc(std::istringstream& fields, ObjectFile& object) {
+    std::string section_name;
+    std::string kind_name;
+    Relocation reloc;
+    fields >> section_name >> reloc.offset >> kind_name >> reloc.symbol >> reloc.addend;
+    OMOS_TRY(SectionKind section, ParseSectionKind(section_name));
+    if (kind_name == "abs32") {
+      reloc.kind = RelocKind::kAbs32;
+    } else if (kind_name == "pcrel32") {
+      reloc.kind = RelocKind::kPcRel32;
+    } else {
+      return Err(ErrorCode::kParseError, StrCat("xof-text: bad reloc kind '", kind_name, "'"));
+    }
+    object.AddReloc(section, std::move(reloc));
+    return OkResult();
+  }
+
+  static Result<void> ParseSymbol(std::istringstream& fields, ObjectFile& object) {
+    Symbol sym;
+    std::string binding;
+    std::string defined;
+    std::string section_name;
+    fields >> sym.name >> binding >> defined >> section_name >> sym.value >> sym.size;
+    if (binding == "local") {
+      sym.binding = SymbolBinding::kLocal;
+    } else if (binding == "global") {
+      sym.binding = SymbolBinding::kGlobal;
+    } else if (binding == "weak") {
+      sym.binding = SymbolBinding::kWeak;
+    } else {
+      return Err(ErrorCode::kParseError, StrCat("xof-text: bad binding '", binding, "'"));
+    }
+    sym.defined = defined == "def";
+    OMOS_TRY(sym.section, ParseSectionKind(section_name));
+    return object.AddSymbol(std::move(sym));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectBackend> MakeXofBinaryBackend() {
+  return std::make_unique<XofBinaryBackend>();
+}
+
+std::unique_ptr<ObjectBackend> MakeXofTextBackend() { return std::make_unique<XofTextBackend>(); }
+
+BackendRegistry::BackendRegistry() = default;
+
+const BackendRegistry& BackendRegistry::Default() {
+  static const BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->Register(MakeXofBinaryBackend());
+    r->Register(MakeXofTextBackend());
+    return r;
+  }();
+  return *registry;
+}
+
+void BackendRegistry::Register(std::unique_ptr<ObjectBackend> backend) {
+  backends_.push_back(std::move(backend));
+}
+
+const ObjectBackend* BackendRegistry::Find(std::string_view format_name) const {
+  for (const auto& backend : backends_) {
+    if (backend->format_name() == format_name) {
+      return backend.get();
+    }
+  }
+  return nullptr;
+}
+
+Result<ObjectFile> BackendRegistry::DecodeAny(const std::vector<uint8_t>& bytes) const {
+  for (const auto& backend : backends_) {
+    if (backend->Matches(bytes)) {
+      return backend->Decode(bytes);
+    }
+  }
+  return Err(ErrorCode::kParseError, "no backend recognizes this object format");
+}
+
+std::vector<std::string_view> BackendRegistry::FormatNames() const {
+  std::vector<std::string_view> names;
+  names.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    names.push_back(backend->format_name());
+  }
+  return names;
+}
+
+std::vector<uint8_t> EncodeObject(const ObjectFile& object) {
+  auto result = BackendRegistry::Default().Find("xof-binary")->Encode(object);
+  return std::move(result).value();  // Binary encoding cannot fail.
+}
+
+Result<ObjectFile> DecodeObject(const std::vector<uint8_t>& bytes) {
+  return BackendRegistry::Default().DecodeAny(bytes);
+}
+
+}  // namespace omos

@@ -1,0 +1,66 @@
+// The object-format switch — OMOS's analog of the GNU BFD library (§7).
+//
+// The paper: "OMOS requires an understanding of the native object file
+// format. Although this understanding has also been encapsulated in an
+// object, it remains the most complex and messy portion of the system to
+// port." The Backend interface is that encapsulation; two backends ship:
+//   * "xof-binary" — the compact binary encoding (the native format)
+//   * "xof-text"   — a human-readable textual encoding (stands in for a
+//                     foreign format and proves the switch works)
+#ifndef OMOS_SRC_OBJFMT_BACKEND_H_
+#define OMOS_SRC_OBJFMT_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/objfmt/object_file.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+class ObjectBackend {
+ public:
+  virtual ~ObjectBackend() = default;
+
+  virtual std::string_view format_name() const = 0;
+
+  // True if `bytes` look like this backend's format (magic sniffing).
+  virtual bool Matches(const std::vector<uint8_t>& bytes) const = 0;
+
+  virtual Result<std::vector<uint8_t>> Encode(const ObjectFile& object) const = 0;
+  virtual Result<ObjectFile> Decode(const std::vector<uint8_t>& bytes) const = 0;
+};
+
+// Registry of available backends. `DecodeAny` sniffs the format, mirroring
+// bfd_check_format.
+class BackendRegistry {
+ public:
+  // The default registry with all built-in backends registered.
+  static const BackendRegistry& Default();
+
+  BackendRegistry();
+
+  void Register(std::unique_ptr<ObjectBackend> backend);
+
+  const ObjectBackend* Find(std::string_view format_name) const;
+  Result<ObjectFile> DecodeAny(const std::vector<uint8_t>& bytes) const;
+
+  std::vector<std::string_view> FormatNames() const;
+
+ private:
+  std::vector<std::unique_ptr<ObjectBackend>> backends_;
+};
+
+// Built-in backend factories.
+std::unique_ptr<ObjectBackend> MakeXofBinaryBackend();
+std::unique_ptr<ObjectBackend> MakeXofTextBackend();
+
+// Shorthands using the default binary backend.
+std::vector<uint8_t> EncodeObject(const ObjectFile& object);
+Result<ObjectFile> DecodeObject(const std::vector<uint8_t>& bytes);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OBJFMT_BACKEND_H_

@@ -1,0 +1,107 @@
+// Little-endian byte stream reader/writer used by the binary object codec,
+// the archive format, and the IPC wire protocol.
+#ifndef OMOS_SRC_OBJFMT_BYTES_H_
+#define OMOS_SRC_OBJFMT_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U32(uint32_t v) {
+    bytes_.push_back(static_cast<uint8_t>(v));
+    bytes_.push_back(static_cast<uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<uint8_t>(v >> 16));
+    bytes_.push_back(static_cast<uint8_t>(v >> 24));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void Raw(const std::vector<uint8_t>& data) {
+    U32(static_cast<uint32_t>(data.size()));
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > size_) {
+      return Truncated();
+    }
+    return data_[pos_++];
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > size_) {
+      return Truncated();
+    }
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) | static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+  Result<int32_t> I32() {
+    OMOS_TRY(uint32_t v, U32());
+    return static_cast<int32_t>(v);
+  }
+  Result<uint64_t> U64() {
+    OMOS_TRY(uint32_t lo, U32());
+    OMOS_TRY(uint32_t hi, U32());
+    return static_cast<uint64_t>(hi) << 32 | lo;
+  }
+  Result<std::string> Str() {
+    OMOS_TRY(uint32_t n, U32());
+    if (pos_ + n > size_) {
+      return Truncated();
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  Result<std::vector<uint8_t>> Raw() {
+    OMOS_TRY(uint32_t n, U32());
+    if (pos_ + n > size_) {
+      return Truncated();
+    }
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Error Truncated() const { return Err(ErrorCode::kParseError, "truncated byte stream"); }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OBJFMT_BYTES_H_

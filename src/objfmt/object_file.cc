@@ -1,0 +1,174 @@
+#include "src/objfmt/object_file.h"
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+std::string_view SectionKindName(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kText:
+      return "text";
+    case SectionKind::kData:
+      return "data";
+    case SectionKind::kBss:
+      return "bss";
+  }
+  return "?";
+}
+
+std::string_view RelocKindName(RelocKind kind) {
+  switch (kind) {
+    case RelocKind::kAbs32:
+      return "abs32";
+    case RelocKind::kPcRel32:
+      return "pcrel32";
+  }
+  return "?";
+}
+
+std::string_view SymbolBindingName(SymbolBinding binding) {
+  switch (binding) {
+    case SymbolBinding::kLocal:
+      return "local";
+    case SymbolBinding::kGlobal:
+      return "global";
+    case SymbolBinding::kWeak:
+      return "weak";
+  }
+  return "?";
+}
+
+ObjectFile::ObjectFile() : ObjectFile("") {}
+
+ObjectFile::ObjectFile(std::string name) : name_(std::move(name)) {
+  sections_.resize(kNumSections);
+  sections_[0].kind = SectionKind::kText;
+  sections_[1].kind = SectionKind::kData;
+  sections_[2].kind = SectionKind::kBss;
+}
+
+Result<void> ObjectFile::RebuildSymbolIndex() {
+  symbol_index_.clear();
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    auto [it, inserted] = symbol_index_.emplace(symbols_[i].name, i);
+    if (!inserted) {
+      return Err(ErrorCode::kDuplicateSymbol,
+                 StrCat(name_, ": rename produced duplicate symbol ", symbols_[i].name));
+    }
+  }
+  return OkResult();
+}
+
+Result<void> ObjectFile::AddSymbol(Symbol symbol) {
+  auto it = symbol_index_.find(symbol.name);
+  if (it != symbol_index_.end()) {
+    Symbol& existing = symbols_[it->second];
+    if (!existing.defined && symbol.defined) {
+      existing = std::move(symbol);
+      return OkResult();
+    }
+    if (existing.defined && symbol.defined) {
+      return Err(ErrorCode::kDuplicateSymbol,
+                 StrCat("symbol ", existing.name, " defined twice in ", name_));
+    }
+    return OkResult();  // Reference after definition (or second reference): no-op.
+  }
+  symbol_index_.emplace(symbol.name, symbols_.size());
+  symbols_.push_back(std::move(symbol));
+  return OkResult();
+}
+
+Result<void> ObjectFile::DefineSymbol(std::string_view name, SymbolBinding binding,
+                                      SectionKind section, uint32_t value, uint32_t size) {
+  Symbol sym;
+  sym.name = std::string(name);
+  sym.binding = binding;
+  sym.defined = true;
+  sym.section = section;
+  sym.value = value;
+  sym.size = size;
+  return AddSymbol(std::move(sym));
+}
+
+void ObjectFile::ReferenceSymbol(std::string_view name) {
+  Symbol sym;
+  sym.name = std::string(name);
+  sym.binding = SymbolBinding::kGlobal;
+  sym.defined = false;
+  (void)AddSymbol(std::move(sym));
+}
+
+void ObjectFile::AddReloc(SectionKind section_kind, Relocation reloc) {
+  section(section_kind).relocs.push_back(std::move(reloc));
+}
+
+const Symbol* ObjectFile::FindSymbol(std::string_view name) const {
+  auto it = symbol_index_.find(name);
+  return it == symbol_index_.end() ? nullptr : &symbols_[it->second];
+}
+
+Symbol* ObjectFile::FindMutableSymbol(std::string_view name) {
+  auto it = symbol_index_.find(name);
+  return it == symbol_index_.end() ? nullptr : &symbols_[it->second];
+}
+
+std::vector<const Symbol*> ObjectFile::Definitions() const {
+  std::vector<const Symbol*> out;
+  for (const Symbol& sym : symbols_) {
+    if (sym.defined && sym.binding != SymbolBinding::kLocal) {
+      out.push_back(&sym);
+    }
+  }
+  return out;
+}
+
+std::vector<const Symbol*> ObjectFile::References() const {
+  std::vector<const Symbol*> out;
+  for (const Symbol& sym : symbols_) {
+    if (!sym.defined) {
+      out.push_back(&sym);
+    }
+  }
+  return out;
+}
+
+Result<void> ObjectFile::Validate() const {
+  for (const Section& sec : sections_) {
+    for (const Relocation& reloc : sec.relocs) {
+      if (sec.kind == SectionKind::kBss) {
+        return Err(ErrorCode::kRelocationError, StrCat(name_, ": relocation in bss"));
+      }
+      if (reloc.offset + 4 > sec.bytes.size()) {
+        return Err(ErrorCode::kRelocationError,
+                   StrCat(name_, ": reloc at ", Hex32(reloc.offset), " beyond ",
+                          SectionKindName(sec.kind), " size ", sec.bytes.size()));
+      }
+      if (FindSymbol(reloc.symbol) == nullptr) {
+        return Err(ErrorCode::kRelocationError,
+                   StrCat(name_, ": reloc names unknown symbol ", reloc.symbol));
+      }
+    }
+  }
+  for (const Symbol& sym : symbols_) {
+    if (sym.defined && sym.value > section(sym.section).size()) {
+      return Err(ErrorCode::kInvalidArgument,
+                 StrCat(name_, ": symbol ", sym.name, " value ", Hex32(sym.value), " beyond ",
+                        SectionKindName(sym.section), " size ", section(sym.section).size()));
+    }
+  }
+  return OkResult();
+}
+
+uint32_t ObjectFile::TotalSize() const {
+  uint32_t total = 0;
+  for (const Section& sec : sections_) {
+    total += sec.size();
+  }
+  return total;
+}
+
+bool ObjectFile::operator==(const ObjectFile& other) const {
+  return name_ == other.name_ && sections_ == other.sections_ && symbols_ == other.symbols_;
+}
+
+}  // namespace omos

@@ -1,0 +1,140 @@
+// XOF — the OMOS relocatable object format.
+//
+// The paper's OMOS manipulates HP SOM and a.out files through "an idealized
+// interface for symbol manipulation" (§3.3); XOF is that idealized interface
+// made concrete. An object file carries exactly three sections (text, data,
+// bss), a symbol table, and per-section relocation lists. Fragments produced
+// by the assembler, the mini-C compiler, and OMOS's own stub generators are
+// all XOF objects; the linker consumes them, and the BFD-style backend
+// switch (src/objfmt/backend.h) serializes them.
+#ifndef OMOS_SRC_OBJFMT_OBJECT_FILE_H_
+#define OMOS_SRC_OBJFMT_OBJECT_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+enum class SectionKind : uint8_t { kText = 0, kData = 1, kBss = 2 };
+inline constexpr int kNumSections = 3;
+
+std::string_view SectionKindName(SectionKind kind);
+
+enum class RelocKind : uint8_t {
+  // *(u32*)(section + offset) = S + A. Absolute address of symbol plus addend.
+  kAbs32 = 0,
+  // *(u32*)(section + offset) = S + A - (P + 4), where P is the absolute
+  // address of the patched field. The ISA defines branch/call targets and
+  // pc-relative loads as relative to the *end* of the 8-byte instruction;
+  // the imm field sits at instruction+4, so P+4 is exactly the next
+  // instruction's address.
+  kPcRel32 = 1,
+};
+
+std::string_view RelocKindName(RelocKind kind);
+
+// One fixup: patch the 32-bit field at `offset` in the owning section with
+// the value of `symbol` (+ addend), absolute or pc-relative.
+struct Relocation {
+  uint32_t offset = 0;
+  RelocKind kind = RelocKind::kAbs32;
+  std::string symbol;
+  int32_t addend = 0;
+
+  bool operator==(const Relocation&) const = default;
+};
+
+enum class SymbolBinding : uint8_t { kLocal = 0, kGlobal = 1, kWeak = 2 };
+
+std::string_view SymbolBindingName(SymbolBinding binding);
+
+// A symbol table entry. `defined` entries name a location (`section`,
+// `value` = offset within section); undefined entries are references that
+// the linker must bind (the paper's "references" as opposed to
+// "definitions").
+struct Symbol {
+  std::string name;
+  SymbolBinding binding = SymbolBinding::kGlobal;
+  bool defined = false;
+  SectionKind section = SectionKind::kText;
+  uint32_t value = 0;
+  uint32_t size = 0;
+
+  bool operator==(const Symbol&) const = default;
+};
+
+struct Section {
+  SectionKind kind = SectionKind::kText;
+  std::vector<uint8_t> bytes;   // empty for bss
+  uint32_t bss_size = 0;        // only meaningful for kBss
+  std::vector<Relocation> relocs;
+
+  uint32_t size() const {
+    return kind == SectionKind::kBss ? bss_size : static_cast<uint32_t>(bytes.size());
+  }
+
+  bool operator==(const Section&) const = default;
+};
+
+// A relocatable object file: the leaf operand of every OMOS m-graph.
+class ObjectFile {
+ public:
+  ObjectFile();
+  explicit ObjectFile(std::string name);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Section& section(SectionKind kind) { return sections_[static_cast<int>(kind)]; }
+  const Section& section(SectionKind kind) const { return sections_[static_cast<int>(kind)]; }
+
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  std::vector<Symbol>& mutable_symbols() { return symbols_; }
+
+  // Call after renaming symbols through mutable_symbols(): rebuilds the
+  // name index FindSymbol/Validate rely on. Duplicate names are an error.
+  Result<void> RebuildSymbolIndex();
+
+  // Adds a symbol; replaces an existing undefined entry of the same name
+  // with a defined one. Returns kDuplicateSymbol on two definitions.
+  Result<void> AddSymbol(Symbol symbol);
+
+  // Convenience builders used by the assembler and stub generators.
+  Result<void> DefineSymbol(std::string_view name, SymbolBinding binding, SectionKind section,
+                            uint32_t value, uint32_t size = 0);
+  void ReferenceSymbol(std::string_view name);
+  void AddReloc(SectionKind section, Relocation reloc);
+
+  const Symbol* FindSymbol(std::string_view name) const;
+  Symbol* FindMutableSymbol(std::string_view name);
+
+  // All defined global/weak symbols (the object's exports).
+  std::vector<const Symbol*> Definitions() const;
+  // All undefined symbols (the object's imports).
+  std::vector<const Symbol*> References() const;
+
+  // Structural checks: relocations in range, reloc symbols present in the
+  // table, defined symbols within their section.
+  Result<void> Validate() const;
+
+  // Total loadable size in bytes (text + data + bss).
+  uint32_t TotalSize() const;
+
+  bool operator==(const ObjectFile& other) const;
+
+ private:
+  std::string name_;
+  std::vector<Section> sections_;  // indexed by SectionKind
+  std::vector<Symbol> symbols_;
+  std::map<std::string, size_t, std::less<>> symbol_index_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OBJFMT_OBJECT_FILE_H_

@@ -1,0 +1,177 @@
+#include "src/os/cpu.h"
+
+#include "src/isa/isa.h"
+#include "src/os/kernel.h"
+#include "src/os/task.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+Result<void> CpuStep(Kernel& kernel, Task& task) {
+  uint8_t raw[kInsnSize];
+  uint32_t pc = task.pc();
+  OMOS_TRY_VOID(task.space().FetchBytes(pc, raw, kInsnSize));
+  OMOS_TRY(Instruction insn, DecodeInsn(raw));
+  task.CountInstruction();
+  if (task.TouchTextPage(pc / kPageSize)) {
+    task.BillSys(kernel.costs().page_fault);
+  }
+  uint32_t next = pc + kInsnSize;
+  task.set_pc(next);
+
+  auto r = [&](uint8_t i) { return task.reg(i); };
+  auto w = [&](uint8_t i, uint32_t v) { task.set_reg(i, v); };
+  int32_t simm = static_cast<int32_t>(insn.imm);
+
+  switch (insn.op) {
+    case Opcode::kHalt:
+      task.Exit(0);
+      return OkResult();
+    case Opcode::kNop:
+      return OkResult();
+    case Opcode::kMovI:
+    case Opcode::kLea:
+      w(insn.r1, insn.imm);
+      return OkResult();
+    case Opcode::kLeaPc:
+      w(insn.r1, next + insn.imm);
+      return OkResult();
+    case Opcode::kMov:
+      w(insn.r1, r(insn.r2));
+      return OkResult();
+    case Opcode::kAdd:
+      w(insn.r1, r(insn.r2) + r(insn.r3));
+      return OkResult();
+    case Opcode::kSub:
+      w(insn.r1, r(insn.r2) - r(insn.r3));
+      return OkResult();
+    case Opcode::kMul:
+      w(insn.r1, r(insn.r2) * r(insn.r3));
+      return OkResult();
+    case Opcode::kDiv:
+      if (r(insn.r3) == 0) {
+        return Err(ErrorCode::kExecFault, StrCat("divide by zero at ", Hex32(pc)));
+      }
+      w(insn.r1, static_cast<uint32_t>(static_cast<int32_t>(r(insn.r2)) /
+                                       static_cast<int32_t>(r(insn.r3))));
+      return OkResult();
+    case Opcode::kMod:
+      if (r(insn.r3) == 0) {
+        return Err(ErrorCode::kExecFault, StrCat("mod by zero at ", Hex32(pc)));
+      }
+      w(insn.r1, static_cast<uint32_t>(static_cast<int32_t>(r(insn.r2)) %
+                                       static_cast<int32_t>(r(insn.r3))));
+      return OkResult();
+    case Opcode::kAnd:
+      w(insn.r1, r(insn.r2) & r(insn.r3));
+      return OkResult();
+    case Opcode::kOr:
+      w(insn.r1, r(insn.r2) | r(insn.r3));
+      return OkResult();
+    case Opcode::kXor:
+      w(insn.r1, r(insn.r2) ^ r(insn.r3));
+      return OkResult();
+    case Opcode::kShl:
+      w(insn.r1, r(insn.r2) << (r(insn.r3) & 31));
+      return OkResult();
+    case Opcode::kShr:
+      w(insn.r1, r(insn.r2) >> (r(insn.r3) & 31));
+      return OkResult();
+    case Opcode::kAddI:
+      w(insn.r1, r(insn.r2) + insn.imm);
+      return OkResult();
+    case Opcode::kLd: {
+      OMOS_TRY(uint32_t v, task.space().Read32(r(insn.r2) + insn.imm));
+      w(insn.r1, v);
+      return OkResult();
+    }
+    case Opcode::kSt:
+      return task.space().Write32(r(insn.r2) + insn.imm, r(insn.r1));
+    case Opcode::kLdB: {
+      OMOS_TRY(uint8_t v, task.space().Read8(r(insn.r2) + insn.imm));
+      w(insn.r1, v);
+      return OkResult();
+    }
+    case Opcode::kStB:
+      return task.space().Write8(r(insn.r2) + insn.imm, static_cast<uint8_t>(r(insn.r1)));
+    case Opcode::kLdPc: {
+      OMOS_TRY(uint32_t v, task.space().Read32(next + insn.imm));
+      w(insn.r1, v);
+      return OkResult();
+    }
+    case Opcode::kBeq:
+      if (r(insn.r1) == r(insn.r2)) {
+        task.set_pc(next + insn.imm);
+      }
+      return OkResult();
+    case Opcode::kBne:
+      if (r(insn.r1) != r(insn.r2)) {
+        task.set_pc(next + insn.imm);
+      }
+      return OkResult();
+    case Opcode::kBlt:
+      if (static_cast<int32_t>(r(insn.r1)) < static_cast<int32_t>(r(insn.r2))) {
+        task.set_pc(next + insn.imm);
+      }
+      return OkResult();
+    case Opcode::kBge:
+      if (static_cast<int32_t>(r(insn.r1)) >= static_cast<int32_t>(r(insn.r2))) {
+        task.set_pc(next + insn.imm);
+      }
+      return OkResult();
+    case Opcode::kBltu:
+      if (r(insn.r1) < r(insn.r2)) {
+        task.set_pc(next + insn.imm);
+      }
+      return OkResult();
+    case Opcode::kBgeu:
+      if (r(insn.r1) >= r(insn.r2)) {
+        task.set_pc(next + insn.imm);
+      }
+      return OkResult();
+    case Opcode::kJmp:
+      task.set_pc(insn.imm);
+      return OkResult();
+    case Opcode::kBr:
+      task.set_pc(next + insn.imm);
+      return OkResult();
+    case Opcode::kJmpR:
+      task.set_pc(r(insn.r1));
+      return OkResult();
+    case Opcode::kCall:
+      w(kRegLr, next);
+      task.set_pc(insn.imm);
+      return OkResult();
+    case Opcode::kCallPc:
+      w(kRegLr, next);
+      task.set_pc(next + insn.imm);
+      return OkResult();
+    case Opcode::kCallR:
+      w(kRegLr, next);
+      task.set_pc(r(insn.r1));
+      return OkResult();
+    case Opcode::kRet:
+      task.set_pc(r(kRegLr));
+      return OkResult();
+    case Opcode::kPush: {
+      uint32_t sp = r(kRegSp) - 4;
+      w(kRegSp, sp);
+      return task.space().Write32(sp, r(insn.r1));
+    }
+    case Opcode::kPop: {
+      uint32_t sp = r(kRegSp);
+      OMOS_TRY(uint32_t v, task.space().Read32(sp));
+      w(insn.r1, v);
+      w(kRegSp, sp + 4);
+      return OkResult();
+    }
+    case Opcode::kSys:
+      return kernel.Syscall(task, insn.imm);
+    case Opcode::kCount:
+      break;
+  }
+  (void)simm;
+  return Err(ErrorCode::kExecFault, StrCat("illegal opcode at ", Hex32(pc)));
+}
+
+}  // namespace omos

@@ -1,0 +1,18 @@
+// The SimISA interpreter: executes one instruction of a task.
+#ifndef OMOS_SRC_OS_CPU_H_
+#define OMOS_SRC_OS_CPU_H_
+
+#include "src/support/result.h"
+
+namespace omos {
+
+class Kernel;
+class Task;
+
+// Fetch/decode/execute one instruction. Bills one user cycle. Errors are
+// machine faults (bad fetch, illegal opcode, memory fault, div by zero).
+Result<void> CpuStep(Kernel& kernel, Task& task);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OS_CPU_H_

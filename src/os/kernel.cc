@@ -1,0 +1,276 @@
+#include "src/os/kernel.h"
+
+#include <cstring>
+
+#include "src/os/cpu.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+Kernel::Kernel(CostModel costs) : costs_(costs) {}
+
+Task& Kernel::CreateTask(std::string name) {
+  TaskId id = next_task_id_++;
+  auto task = std::make_unique<Task>(id, std::move(name), phys_);
+  Task& ref = *task;
+  tasks_.emplace(id, std::move(task));
+  ref.BillSys(costs_.exec_base);
+  return ref;
+}
+
+void Kernel::DestroyTask(TaskId id) { tasks_.erase(id); }
+
+Task* Kernel::FindTask(TaskId id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+Result<void> Kernel::SetupStack(Task& task, std::span<const std::string> args) {
+  uint32_t base = kStackTop - kStackSize;
+  OMOS_TRY(uint32_t pages,
+           task.space().MapZero(base, kStackSize, kProtRead | kProtWrite, "stack"));
+  task.BillSys(costs_.page_map * pages);
+
+  // Write argv strings at the top of the stack, pointers below them.
+  uint32_t cursor = kStackTop;
+  std::vector<uint32_t> ptrs;
+  for (const std::string& arg : args) {
+    cursor -= static_cast<uint32_t>(arg.size()) + 1;
+    OMOS_TRY_VOID(task.space().WriteBytes(cursor, arg.c_str(), static_cast<uint32_t>(arg.size()) + 1));
+    ptrs.push_back(cursor);
+  }
+  cursor &= ~3u;
+  cursor -= static_cast<uint32_t>(ptrs.size()) * 4;
+  uint32_t argv = cursor;
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    OMOS_TRY_VOID(task.space().Write32(argv + static_cast<uint32_t>(i) * 4, ptrs[i]));
+  }
+  cursor -= 64;  // red zone below argv
+  task.set_reg(0, static_cast<uint32_t>(args.size()));
+  task.set_reg(1, argv);
+  task.set_reg(kRegSp, cursor);
+  return OkResult();
+}
+
+Result<void> Kernel::MapShared(Task& task, uint32_t base, const SegmentImage& image, uint8_t prot,
+                               std::string name) {
+  OMOS_TRY(uint32_t pages, task.space().MapShared(base, image, prot, std::move(name)));
+  task.BillSys(costs_.page_map * pages);
+  return OkResult();
+}
+
+Result<void> Kernel::MapPrivate(Task& task, uint32_t base, uint32_t size,
+                                std::span<const uint8_t> init, uint8_t prot, std::string name) {
+  OMOS_TRY(uint32_t pages, task.space().MapPrivate(base, size, init, prot, std::move(name)));
+  task.BillSys((costs_.page_map + costs_.page_copy) * pages);
+  return OkResult();
+}
+
+const SegmentImage* Kernel::PageCacheGet(const std::string& key) const {
+  auto it = page_cache_.find(key);
+  return it == page_cache_.end() ? nullptr : &it->second;
+}
+
+Result<const SegmentImage*> Kernel::PageCachePut(std::string key, std::span<const uint8_t> bytes) {
+  OMOS_TRY(SegmentImage image, SegmentImage::Create(phys_, bytes));
+  auto [it, inserted] = page_cache_.insert_or_assign(std::move(key), std::move(image));
+  return &it->second;
+}
+
+void Kernel::SetSysHook(uint32_t sysno, SysHook hook) { sys_hooks_[sysno] = std::move(hook); }
+
+Result<void> Kernel::RunTask(Task& task, uint64_t max_instructions) {
+  uint64_t executed = 0;
+  while (task.state() == TaskState::kRunnable) {
+    if (executed >= max_instructions) {
+      return Err(ErrorCode::kExecFault,
+                 StrCat(task.name(), ": exceeded instruction budget ", max_instructions));
+    }
+    Result<void> step = CpuStep(*this, task);
+    if (!step.ok()) {
+      task.Fault(step.error());
+      return step.error();
+    }
+    ++executed;
+  }
+  if (task.state() == TaskState::kFaulted) {
+    return task.fault().value();
+  }
+  return OkResult();
+}
+
+Result<void> Kernel::Syscall(Task& task, uint32_t sysno) {
+  task.BillSys(costs_.syscall_overhead);
+  switch (sysno) {
+    case kSysExit:
+      task.Exit(static_cast<int>(task.reg(0)));
+      return OkResult();
+    case kSysWrite:
+      return SysWrite(task);
+    case kSysRead:
+      return SysRead(task);
+    case kSysOpen:
+      return SysOpen(task);
+    case kSysClose:
+      task.CloseFd(static_cast<int>(task.reg(0)));
+      task.set_reg(0, 0);
+      return OkResult();
+    case kSysBrk:
+      return SysBrk(task);
+    case kSysGetdents:
+      return SysGetdents(task);
+    case kSysStat:
+      return SysStat(task);
+    case kSysTime:
+      task.set_reg(0, static_cast<uint32_t>(task.elapsed_cycles() / 1000));
+      return OkResult();
+    default: {
+      auto it = sys_hooks_.find(sysno);
+      if (it != sys_hooks_.end()) {
+        return it->second(*this, task);
+      }
+      return Err(ErrorCode::kExecFault, StrCat(task.name(), ": unknown syscall ", sysno));
+    }
+  }
+}
+
+Result<void> Kernel::SysWrite(Task& task) {
+  int fd = static_cast<int>(task.reg(0));
+  uint32_t buf = task.reg(1);
+  uint32_t len = task.reg(2);
+  if (len > 1u << 20) {
+    task.set_reg(0, static_cast<uint32_t>(-1));
+    return OkResult();
+  }
+  std::string data(len, '\0');
+  OMOS_TRY_VOID(task.space().ReadBytes(buf, data.data(), len));
+  task.BillSys(costs_.write_byte * len);
+  if (fd == 1 || fd == 2) {
+    task.AppendOutput(data);
+    task.set_reg(0, len);
+    return OkResult();
+  }
+  // Writing to SimFs files is not needed by the workloads; report error.
+  task.set_reg(0, static_cast<uint32_t>(-1));
+  return OkResult();
+}
+
+Result<void> Kernel::SysRead(Task& task) {
+  int fd = static_cast<int>(task.reg(0));
+  uint32_t buf = task.reg(1);
+  uint32_t len = task.reg(2);
+  FdEntry* entry = task.FindFd(fd);
+  if (entry == nullptr || entry->is_dir) {
+    task.set_reg(0, static_cast<uint32_t>(-1));
+    return OkResult();
+  }
+  auto file = fs_.Lookup(entry->path);
+  if (!file.ok()) {
+    task.set_reg(0, static_cast<uint32_t>(-1));
+    return OkResult();
+  }
+  const std::vector<uint8_t>& bytes = (*file)->bytes;
+  uint32_t avail = entry->offset >= bytes.size()
+                       ? 0
+                       : static_cast<uint32_t>(bytes.size()) - entry->offset;
+  uint32_t n = std::min(len, avail);
+  if (n > 0) {
+    OMOS_TRY_VOID(task.space().WriteBytes(buf, bytes.data() + entry->offset, n));
+    entry->offset += n;
+  }
+  task.BillSys(costs_.file_read_page * ((n + kPageSize - 1) / kPageSize));
+  task.set_reg(0, n);
+  return OkResult();
+}
+
+Result<void> Kernel::SysOpen(Task& task) {
+  OMOS_TRY(std::string path, task.space().ReadCString(task.reg(0)));
+  task.BillSys(costs_.file_open);
+  auto file = fs_.Lookup(path);
+  if (!file.ok()) {
+    task.set_reg(0, static_cast<uint32_t>(-1));
+    return OkResult();
+  }
+  FdEntry entry;
+  entry.path = path;
+  entry.is_dir = ((*file)->mode & kModeDir) != 0;
+  task.set_reg(0, static_cast<uint32_t>(task.AllocFd(std::move(entry))));
+  return OkResult();
+}
+
+Result<void> Kernel::SysGetdents(Task& task) {
+  int fd = static_cast<int>(task.reg(0));
+  uint32_t buf = task.reg(1);
+  uint32_t len = task.reg(2);
+  FdEntry* entry = task.FindFd(fd);
+  if (entry == nullptr || !entry->is_dir) {
+    task.set_reg(0, static_cast<uint32_t>(-1));
+    return OkResult();
+  }
+  OMOS_TRY(std::vector<std::string> names, fs_.ListDir(entry->path));
+  uint32_t written = 0;
+  while (entry->dir_index < names.size() && written + kDirentSize <= len) {
+    const std::string& name = names[entry->dir_index];
+    std::string full = entry->path == "/" ? "/" + name : entry->path + "/" + name;
+    auto file = fs_.Lookup(full);
+    if (!file.ok()) {
+      ++entry->dir_index;
+      continue;
+    }
+    uint8_t record[kDirentSize] = {0};
+    auto put32 = [&](uint32_t off, uint32_t v) {
+      record[off] = static_cast<uint8_t>(v);
+      record[off + 1] = static_cast<uint8_t>(v >> 8);
+      record[off + 2] = static_cast<uint8_t>(v >> 16);
+      record[off + 3] = static_cast<uint8_t>(v >> 24);
+    };
+    put32(0, (*file)->inode);
+    put32(4, static_cast<uint32_t>((*file)->bytes.size()));
+    put32(8, (*file)->mode);
+    put32(12, (*file)->mtime);
+    std::strncpy(reinterpret_cast<char*>(record + 16), name.c_str(), kDirentNameLen - 1);
+    OMOS_TRY_VOID(task.space().WriteBytes(buf + written, record, kDirentSize));
+    written += kDirentSize;
+    ++entry->dir_index;
+    task.BillSys(costs_.dirent_cost);
+  }
+  task.set_reg(0, written);
+  return OkResult();
+}
+
+Result<void> Kernel::SysStat(Task& task) {
+  OMOS_TRY(std::string path, task.space().ReadCString(task.reg(0)));
+  task.BillSys(costs_.stat_cost);
+  auto file = fs_.Lookup(path);
+  if (!file.ok()) {
+    task.set_reg(0, static_cast<uint32_t>(-1));
+    return OkResult();
+  }
+  uint32_t buf = task.reg(1);
+  OMOS_TRY_VOID(task.space().Write32(buf, static_cast<uint32_t>((*file)->bytes.size())));
+  OMOS_TRY_VOID(task.space().Write32(buf + 4, (*file)->mode));
+  OMOS_TRY_VOID(task.space().Write32(buf + 8, (*file)->mtime));
+  OMOS_TRY_VOID(task.space().Write32(buf + 12, (*file)->inode));
+  task.set_reg(0, 0);
+  return OkResult();
+}
+
+Result<void> Kernel::SysBrk(Task& task) {
+  uint32_t request = task.reg(0);
+  if (request == 0 || request <= task.brk()) {
+    task.set_reg(0, task.brk());
+    return OkResult();
+  }
+  uint32_t old_end = PageAlignUp(task.brk());
+  uint32_t new_end = PageAlignUp(request);
+  if (new_end > old_end) {
+    OMOS_TRY(uint32_t pages, task.space().MapZero(old_end, new_end - old_end,
+                                                  kProtRead | kProtWrite, "heap"));
+    task.BillSys(costs_.page_map * pages);
+  }
+  task.set_brk(request);
+  task.set_reg(0, request);
+  return OkResult();
+}
+
+}  // namespace omos

@@ -1,0 +1,111 @@
+// Kernel: the mini-OS — task lifecycle, syscalls, page cache, interpreter
+// driver. Dynamic-linking syscalls (lazy resolve, OMOS demand-load) are
+// pluggable hooks so the baseline rtld and the OMOS runtime can install
+// their own policies without the kernel knowing about either.
+#ifndef OMOS_SRC_OS_KERNEL_H_
+#define OMOS_SRC_OS_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/os/cost_model.h"
+#include "src/os/sim_fs.h"
+#include "src/os/task.h"
+#include "src/support/result.h"
+#include "src/vm/address_space.h"
+#include "src/vm/phys_memory.h"
+
+namespace omos {
+
+// Syscall numbers (SYS imm).
+enum Sysno : uint32_t {
+  kSysExit = 0,      // r0 = code
+  kSysWrite = 1,     // r0 = fd, r1 = buf, r2 = len -> bytes written
+  kSysRead = 2,      // r0 = fd, r1 = buf, r2 = len -> bytes read
+  kSysOpen = 3,      // r0 = path cstring -> fd or -1
+  kSysClose = 4,     // r0 = fd
+  kSysBrk = 5,       // r0 = new end (0 = query) -> current brk
+  kSysGetdents = 6,  // r0 = fd, r1 = buf, r2 = len -> bytes (0 = end)
+  kSysStat = 7,      // r0 = path, r1 = 16-byte buf -> 0 or -1
+  kSysTime = 8,      // -> elapsed simulated microcycles (low 32 bits)
+  // Dynamic linking traps; the kernel delegates to installed hooks.
+  kSysResolve = 16,  // r12 = linkage slot index (baseline lazy binding)
+  kSysDload = 17,    // r12 = slot index (OMOS partial-image lazy load)
+  kSysMonLog = 18,   // r12 = function index (OMOS monitoring wrappers)
+  kSysOmosLoad = 19, // r0 = blueprint/meta-path cstring, r1 = symbol cstring
+                     //   -> r0 = bound address (0 on failure); dld-style
+                     //   dynamic loading driven by the running program (§5)
+  kSysOmosUnload = 20,  // r0 = text base of a previously loaded class -> r0 = 0/-1
+};
+
+// getdents(2) record layout: 16-byte header + 48-byte NUL-padded name.
+inline constexpr uint32_t kDirentSize = 64;
+inline constexpr uint32_t kDirentNameLen = 48;
+
+// Stack geometry for new tasks.
+inline constexpr uint32_t kStackTop = 0xFFF00000;
+inline constexpr uint32_t kStackSize = 64 * 1024;
+
+class Kernel {
+ public:
+  explicit Kernel(CostModel costs = {});
+
+  PhysMemory& phys() { return phys_; }
+  SimFs& fs() { return fs_; }
+  const CostModel& costs() const { return costs_; }
+  CostModel& mutable_costs() { return costs_; }
+
+  Task& CreateTask(std::string name);
+  void DestroyTask(TaskId id);
+  Task* FindTask(TaskId id);
+
+  // Map a stack and write argv; r0 = argc, r1 = argv pointer, sp set.
+  Result<void> SetupStack(Task& task, std::span<const std::string> args);
+
+  // Segment mapping with cost accounting (billed to the task's sys time).
+  Result<void> MapShared(Task& task, uint32_t base, const SegmentImage& image, uint8_t prot,
+                         std::string name);
+  Result<void> MapPrivate(Task& task, uint32_t base, uint32_t size, std::span<const uint8_t> init,
+                          uint8_t prot, std::string name);
+
+  // Page cache: read-only text images shared across invocations, keyed by
+  // path+generation. This is how the *baseline* gets text sharing; OMOS's
+  // image cache lives in the server.
+  const SegmentImage* PageCacheGet(const std::string& key) const;
+  Result<const SegmentImage*> PageCachePut(std::string key, std::span<const uint8_t> bytes);
+
+  // Dynamic-linking trap hooks.
+  using SysHook = std::function<Result<void>(Kernel&, Task&)>;
+  void SetSysHook(uint32_t sysno, SysHook hook);
+
+  // Run the task on the interpreter until it exits, faults, or exceeds
+  // `max_instructions`.
+  Result<void> RunTask(Task& task, uint64_t max_instructions = 200'000'000);
+
+  // One syscall (called by the CPU; public for tests).
+  Result<void> Syscall(Task& task, uint32_t sysno);
+
+ private:
+  Result<void> SysWrite(Task& task);
+  Result<void> SysRead(Task& task);
+  Result<void> SysOpen(Task& task);
+  Result<void> SysGetdents(Task& task);
+  Result<void> SysStat(Task& task);
+  Result<void> SysBrk(Task& task);
+
+  CostModel costs_;
+  PhysMemory phys_;
+  SimFs fs_;
+  std::map<TaskId, std::unique_ptr<Task>> tasks_;
+  std::map<std::string, SegmentImage> page_cache_;
+  std::map<uint32_t, SysHook> sys_hooks_;
+  TaskId next_task_id_ = 1;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OS_KERNEL_H_

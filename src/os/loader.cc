@@ -1,0 +1,58 @@
+#include "src/os/loader.h"
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+Result<void> MapData(Kernel& kernel, Task& task, const LinkedImage& image) {
+  uint32_t data_total = static_cast<uint32_t>(image.data.size()) + image.bss_size;
+  if (data_total > 0) {
+    OMOS_TRY_VOID(kernel.MapPrivate(task, image.data_base, data_total, image.data,
+                                    kProtRead | kProtWrite, image.name + ".data"));
+  }
+  if (image.data_end() > task.brk()) {
+    task.set_brk(image.data_end());
+  }
+  return OkResult();
+}
+
+}  // namespace
+
+Result<void> MapLinkedImage(Kernel& kernel, Task& task, const LinkedImage& image,
+                            const std::string& text_cache_key) {
+  if (!image.text.empty()) {
+    if (!text_cache_key.empty()) {
+      const SegmentImage* cached = kernel.PageCacheGet(text_cache_key);
+      if (cached == nullptr) {
+        OMOS_TRY(cached, kernel.PageCachePut(text_cache_key, image.text));
+      }
+      OMOS_TRY_VOID(kernel.MapShared(task, image.text_base, *cached, kProtRead | kProtExec,
+                                     image.name + ".text"));
+    } else {
+      OMOS_TRY_VOID(kernel.MapPrivate(task, image.text_base,
+                                      static_cast<uint32_t>(image.text.size()), image.text,
+                                      kProtRead | kProtExec, image.name + ".text"));
+    }
+  }
+  return MapData(kernel, task, image);
+}
+
+Result<void> MapImageWithSharedText(Kernel& kernel, Task& task, const LinkedImage& image,
+                                    const SegmentImage& text) {
+  if (text.size_bytes() > 0) {
+    OMOS_TRY_VOID(
+        kernel.MapShared(task, image.text_base, text, kProtRead | kProtExec, image.name + ".text"));
+  }
+  return MapData(kernel, task, image);
+}
+
+Result<void> StartTask(Kernel& kernel, Task& task, uint32_t entry,
+                       std::span<const std::string> args) {
+  OMOS_TRY_VOID(kernel.SetupStack(task, args));
+  task.set_pc(entry);
+  return OkResult();
+}
+
+}  // namespace omos

@@ -1,0 +1,33 @@
+// Mapping helpers shared by every exec scheme (baseline loaders, OMOS
+// bootstrap, OMOS integrated exec).
+#ifndef OMOS_SRC_OS_LOADER_H_
+#define OMOS_SRC_OS_LOADER_H_
+
+#include <string>
+
+#include "src/linker/image.h"
+#include "src/os/kernel.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+// Map `image` into `task`:
+//  * text  — shared via the kernel page cache under `text_cache_key` when
+//            nonempty (first call populates the cache), else private.
+//  * data  — always a private copy (initialized bytes + zeroed bss).
+// Sets the task brk to the image's data end if beyond the current brk.
+Result<void> MapLinkedImage(Kernel& kernel, Task& task, const LinkedImage& image,
+                            const std::string& text_cache_key);
+
+// Map text from an already-built shared SegmentImage (OMOS's cache holds
+// these directly; no kernel page cache involved).
+Result<void> MapImageWithSharedText(Kernel& kernel, Task& task, const LinkedImage& image,
+                                    const SegmentImage& text);
+
+// Point the task at `entry` and give it a stack with `args`.
+Result<void> StartTask(Kernel& kernel, Task& task, uint32_t entry,
+                       std::span<const std::string> args);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OS_LOADER_H_

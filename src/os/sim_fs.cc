@@ -1,0 +1,112 @@
+#include "src/os/sim_fs.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+SimFs::SimFs() {
+  SimFile root;
+  root.mode = kModeDir | 0755;
+  root.inode = next_inode_++;
+  files_.emplace("/", std::move(root));
+}
+
+std::string SimFs::Normalize(std::string_view path) {
+  std::string out = "/";
+  for (const std::string& part : SplitString(path, '/')) {
+    if (part.empty() || part == ".") {
+      continue;
+    }
+    if (out.back() != '/') {
+      out.push_back('/');
+    }
+    out += part;
+  }
+  return out;
+}
+
+void SimFs::Mkdir(std::string_view path) {
+  std::string norm = Normalize(path);
+  // Create all ancestors.
+  std::string cur = "/";
+  for (const std::string& part : SplitString(norm, '/')) {
+    if (part.empty()) {
+      continue;
+    }
+    if (cur.back() != '/') {
+      cur.push_back('/');
+    }
+    cur += part;
+    if (files_.find(cur) == files_.end()) {
+      SimFile dir;
+      dir.mode = kModeDir | 0755;
+      dir.inode = next_inode_++;
+      files_.emplace(cur, std::move(dir));
+    }
+  }
+}
+
+void SimFs::WriteFile(std::string_view path, std::vector<uint8_t> bytes, uint32_t perm) {
+  std::string norm = Normalize(path);
+  size_t slash = norm.rfind('/');
+  if (slash > 0) {
+    Mkdir(std::string_view(norm).substr(0, slash));
+  }
+  SimFile file;
+  file.bytes = std::move(bytes);
+  file.mode = kModeFile | (perm & 07777);
+  file.mtime = static_cast<uint32_t>(700000000 + files_.size());  // deterministic, distinct
+  auto it = files_.find(norm);
+  if (it != files_.end()) {
+    file.inode = it->second.inode;
+    it->second = std::move(file);
+  } else {
+    file.inode = next_inode_++;
+    files_.emplace(norm, std::move(file));
+  }
+}
+
+void SimFs::WriteFile(std::string_view path, std::string_view text, uint32_t perm) {
+  WriteFile(path, std::vector<uint8_t>(text.begin(), text.end()), perm);
+}
+
+bool SimFs::Exists(std::string_view path) const {
+  return files_.find(Normalize(path)) != files_.end();
+}
+
+Result<const SimFile*> SimFs::Lookup(std::string_view path) const {
+  auto it = files_.find(Normalize(path));
+  if (it == files_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("no such file: ", path));
+  }
+  return &it->second;
+}
+
+Result<std::vector<std::string>> SimFs::ListDir(std::string_view path) const {
+  std::string norm = Normalize(path);
+  auto it = files_.find(norm);
+  if (it == files_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("no such directory: ", path));
+  }
+  if ((it->second.mode & kModeDir) == 0) {
+    return Err(ErrorCode::kInvalidArgument, StrCat("not a directory: ", path));
+  }
+  std::string prefix = norm == "/" ? "/" : norm + "/";
+  std::vector<std::string> names;
+  for (auto iter = files_.lower_bound(prefix); iter != files_.end(); ++iter) {
+    const std::string& key = iter->first;
+    if (!StartsWith(key, prefix)) {
+      break;
+    }
+    std::string_view rest = std::string_view(key).substr(prefix.size());
+    if (!rest.empty() && rest.find('/') == std::string_view::npos) {
+      names.emplace_back(rest);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace omos

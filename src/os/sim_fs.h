@@ -1,0 +1,56 @@
+// SimFs: the in-memory filesystem the mini-OS serves syscalls from.
+//
+// Workload programs (`ls` variants) list and stat these files; loaders read
+// executables and libraries out of them.
+#ifndef OMOS_SRC_OS_SIM_FS_H_
+#define OMOS_SRC_OS_SIM_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+// POSIX-flavoured mode bits (octal): 0040000 directory, 0100000 regular.
+inline constexpr uint32_t kModeDir = 0040000;
+inline constexpr uint32_t kModeFile = 0100000;
+
+struct SimFile {
+  std::vector<uint8_t> bytes;
+  uint32_t mode = kModeFile | 0644;
+  uint32_t mtime = 0;
+  uint32_t inode = 0;
+};
+
+class SimFs {
+ public:
+  SimFs();
+
+  // Create or replace a regular file; parent directories are created.
+  void WriteFile(std::string_view path, std::vector<uint8_t> bytes, uint32_t perm = 0644);
+  void WriteFile(std::string_view path, std::string_view text, uint32_t perm = 0644);
+
+  void Mkdir(std::string_view path);
+
+  bool Exists(std::string_view path) const;
+  Result<const SimFile*> Lookup(std::string_view path) const;
+
+  // Names (not paths) of entries directly under `path`, sorted.
+  Result<std::vector<std::string>> ListDir(std::string_view path) const;
+
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  static std::string Normalize(std::string_view path);
+
+  std::map<std::string, SimFile, std::less<>> files_;
+  uint32_t next_inode_ = 2;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OS_SIM_FS_H_

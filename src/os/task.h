@@ -1,0 +1,128 @@
+// Task: a simulated process — address space, register file, accounting.
+#ifndef OMOS_SRC_OS_TASK_H_
+#define OMOS_SRC_OS_TASK_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/isa/isa.h"
+#include "src/support/result.h"
+#include "src/vm/address_space.h"
+
+namespace omos {
+
+using TaskId = uint32_t;
+
+enum class TaskState { kRunnable, kExited, kFaulted };
+
+// An open file descriptor. Directories remember how many dirents have been
+// consumed by getdents().
+struct FdEntry {
+  std::string path;
+  uint32_t offset = 0;
+  bool is_dir = false;
+  uint32_t dir_index = 0;
+};
+
+class Task {
+ public:
+  Task(TaskId id, std::string name, PhysMemory& phys)
+      : id_(id), name_(std::move(name)), space_(std::make_unique<AddressSpace>(phys)) {
+    regs_.fill(0);
+  }
+
+  TaskId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  AddressSpace& space() { return *space_; }
+  const AddressSpace& space() const { return *space_; }
+
+  uint32_t reg(int i) const { return regs_[static_cast<size_t>(i)]; }
+  void set_reg(int i, uint32_t v) { regs_[static_cast<size_t>(i)] = v; }
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc; }
+
+  TaskState state() const { return state_; }
+  int exit_code() const { return exit_code_; }
+  const std::optional<Error>& fault() const { return fault_; }
+
+  void Exit(int code) {
+    state_ = TaskState::kExited;
+    exit_code_ = code;
+  }
+  void Fault(Error error) {
+    state_ = TaskState::kFaulted;
+    fault_ = std::move(error);
+  }
+
+  // Accounting (simulated cycles).
+  uint64_t user_cycles() const { return user_cycles_; }
+  uint64_t sys_cycles() const { return sys_cycles_; }
+  uint64_t elapsed_cycles() const { return user_cycles_ + sys_cycles_; }
+  void BillUser(uint64_t cycles) { user_cycles_ += cycles; }
+  void BillSys(uint64_t cycles) { sys_cycles_ += cycles; }
+
+  // Captured console output (fds 1 and 2).
+  const std::string& output() const { return output_; }
+  void AppendOutput(std::string_view text) { output_ += text; }
+
+  // File descriptors. 0/1/2 are reserved for console.
+  int AllocFd(FdEntry entry) {
+    int fd = next_fd_++;
+    fds_[fd] = std::move(entry);
+    return fd;
+  }
+  FdEntry* FindFd(int fd) {
+    auto it = fds_.find(fd);
+    return it == fds_.end() ? nullptr : &it->second;
+  }
+  void CloseFd(int fd) { fds_.erase(fd); }
+
+  uint32_t brk() const { return brk_; }
+  void set_brk(uint32_t brk) { brk_ = brk; }
+
+  uint64_t instructions_retired() const { return instructions_retired_; }
+  void CountInstruction() {
+    ++instructions_retired_;
+    ++user_cycles_;
+  }
+
+  // Demand-paging accounting for instruction fetch: returns true the first
+  // time `page` (pc >> 12) is executed from.
+  bool TouchTextPage(uint32_t page) {
+    if (page == last_fetch_page_) {
+      return false;
+    }
+    last_fetch_page_ = page;
+    return touched_text_pages_.insert(page).second;
+  }
+  size_t touched_text_pages() const { return touched_text_pages_.size(); }
+
+ private:
+  TaskId id_;
+  std::string name_;
+  std::unique_ptr<AddressSpace> space_;
+  std::array<uint32_t, kNumRegisters> regs_;
+  uint32_t pc_ = 0;
+  TaskState state_ = TaskState::kRunnable;
+  int exit_code_ = 0;
+  std::optional<Error> fault_;
+  uint64_t user_cycles_ = 0;
+  uint64_t sys_cycles_ = 0;
+  uint64_t instructions_retired_ = 0;
+  std::string output_;
+  std::map<int, FdEntry> fds_;
+  int next_fd_ = 3;
+  uint32_t brk_ = 0;
+  uint32_t last_fetch_page_ = 0xFFFFFFFF;
+  std::set<uint32_t> touched_text_pages_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_OS_TASK_H_

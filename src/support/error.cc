@@ -1,0 +1,48 @@
+#include "src/support/error.h"
+
+namespace omos {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kAlreadyExists:
+      return "already-exists";
+    case ErrorCode::kOutOfRange:
+      return "out-of-range";
+    case ErrorCode::kParseError:
+      return "parse-error";
+    case ErrorCode::kDuplicateSymbol:
+      return "duplicate-symbol";
+    case ErrorCode::kUnresolvedSymbol:
+      return "unresolved-symbol";
+    case ErrorCode::kRelocationError:
+      return "relocation-error";
+    case ErrorCode::kConstraintConflict:
+      return "constraint-conflict";
+    case ErrorCode::kExecFault:
+      return "exec-fault";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kProtocolError:
+      return "protocol-error";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace omos

@@ -1,0 +1,53 @@
+// Error codes and the Error value type used throughout OMOS.
+//
+// OMOS never throws across module boundaries; fallible operations return
+// Result<T> (see src/support/result.h) carrying one of these errors.
+#ifndef OMOS_SRC_SUPPORT_ERROR_H_
+#define OMOS_SRC_SUPPORT_ERROR_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace omos {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,          // malformed blueprint / object file / assembly
+  kDuplicateSymbol,     // merge found conflicting definitions
+  kUnresolvedSymbol,    // link closure has unbound references
+  kRelocationError,     // relocation target unrepresentable / bad kind
+  kConstraintConflict,  // address constraint system could not place object
+  kExecFault,           // simulated machine fault (bad memory, bad opcode)
+  kIoError,             // simulated filesystem failure
+  kProtocolError,       // malformed IPC request/response
+  kUnsupported,
+  kInternal,
+};
+
+// Short stable name for an error code, e.g. "unresolved-symbol".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// An error: a code plus a human-readable message with context.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "unresolved-symbol: reference to _foo has no definition"
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_ERROR_H_

@@ -1,0 +1,41 @@
+#include "src/support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace omos {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, std::string_view module, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelTag(level), static_cast<int>(module.size()),
+               module.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace omos

@@ -1,0 +1,20 @@
+// Minimal leveled logging. OMOS is a server; its observability story in the
+// paper is "the system manager can monitor occurrences" — we log to stderr.
+#ifndef OMOS_SRC_SUPPORT_LOG_H_
+#define OMOS_SRC_SUPPORT_LOG_H_
+
+#include <string_view>
+
+namespace omos {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+// Messages below this level are dropped. Default: kWarning (quiet tests).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, std::string_view module, std::string_view message);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_LOG_H_

@@ -1,0 +1,121 @@
+// Result<T>: value-or-Error, the return type of every fallible OMOS API.
+//
+// Usage:
+//   Result<ObjectFile> r = DecodeObject(bytes);
+//   if (!r.ok()) return r.error();
+//   ObjectFile obj = std::move(r).value();
+//
+// The OMOS_TRY(var, expr) macro unwraps or propagates:
+//   OMOS_TRY(auto obj, DecodeObject(bytes));
+#ifndef OMOS_SRC_SUPPORT_RESULT_H_
+#define OMOS_SRC_SUPPORT_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "src/support/error.h"
+
+namespace omos {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value and from Error so `return value;` / `return Err(...)` both work.
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<0>(state_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<0>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    CheckErr();
+    return std::get<1>(state_);
+  }
+
+  // value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? std::get<0>(state_) : std::move(fallback); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();  // Programming error: value() on failed Result.
+    }
+  }
+  void CheckErr() const {
+    if (ok()) {
+      std::abort();  // Programming error: error() on successful Result.
+    }
+  }
+
+  std::variant<T, Error> state_;
+};
+
+// Result<void>: success carries no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) {
+      std::abort();
+    }
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Convenience constructors: return Err(ErrorCode::kNotFound, "no such meta-object");
+inline Error Err(ErrorCode code, std::string message) { return Error(code, std::move(message)); }
+
+inline Result<void> OkResult() { return Result<void>(); }
+
+#define OMOS_CONCAT_INNER_(a, b) a##b
+#define OMOS_CONCAT_(a, b) OMOS_CONCAT_INNER_(a, b)
+
+// Unwrap `expr` into `decl`, or propagate its error to the caller.
+#define OMOS_TRY(decl, expr)                            \
+  auto OMOS_CONCAT_(omos_try_, __LINE__) = (expr);      \
+  if (!OMOS_CONCAT_(omos_try_, __LINE__).ok()) {        \
+    return OMOS_CONCAT_(omos_try_, __LINE__).error();   \
+  }                                                     \
+  decl = std::move(OMOS_CONCAT_(omos_try_, __LINE__)).value()
+
+// Propagate an error from a Result<void> (or any Result whose value is unused).
+#define OMOS_TRY_VOID(expr)                             \
+  do {                                                  \
+    auto omos_try_void_ = (expr);                       \
+    if (!omos_try_void_.ok()) {                         \
+      return omos_try_void_.error();                    \
+    }                                                   \
+  } while (false)
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_RESULT_H_

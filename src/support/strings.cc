@@ -1,0 +1,93 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <regex>
+
+namespace omos {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string Hex32(uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", value);
+  return buf;
+}
+
+uint64_t Fnv1aBytes(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t Fnv1a(std::string_view data) { return Fnv1aBytes(data.data(), data.size()); }
+
+namespace {
+
+// std::regex construction is expensive; module operations reuse a handful of
+// selector patterns many times, so cache compiled regexes.
+const std::regex& CompiledRegex(std::string_view pattern) {
+  static std::mutex mu;
+  static std::map<std::string, std::regex, std::less<>>* cache =
+      new std::map<std::string, std::regex, std::less<>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(pattern);
+  if (it == cache->end()) {
+    it = cache->emplace(std::string(pattern), std::regex(std::string(pattern),
+                                                         std::regex::extended))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+bool RegexMatch(std::string_view name, std::string_view pattern) {
+  try {
+    const std::regex& re = CompiledRegex(pattern);
+    return std::regex_search(name.begin(), name.end(), re);
+  } catch (const std::regex_error&) {
+    return false;
+  }
+}
+
+}  // namespace omos

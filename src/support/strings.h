@@ -1,0 +1,48 @@
+// Small string utilities shared by the assembler, blueprint parser and linker.
+#ifndef OMOS_SRC_SUPPORT_STRINGS_H_
+#define OMOS_SRC_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omos {
+
+// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+// Strip ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Variadic streaming concatenation: StrCat("sym ", name, " at ", addr).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream out;
+    (out << ... << args);
+    return out.str();
+  }
+}
+
+// Render `value` as 0x%08x.
+std::string Hex32(uint32_t value);
+
+// FNV-1a 64-bit hash; used for cache keys and generated hash tables.
+uint64_t Fnv1a(std::string_view data);
+uint64_t Fnv1aBytes(const void* data, size_t size);
+
+// True if `name` matches POSIX-ish extended regex `pattern` (full or partial
+// per std::regex_search semantics — the paper's module operations take
+// regular expressions as symbol selectors, e.g. "^_malloc$").
+bool RegexMatch(std::string_view name, std::string_view pattern);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_STRINGS_H_

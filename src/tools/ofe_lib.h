@@ -1,0 +1,56 @@
+// OFE core operations (§8.1): the non-server Object File Editor. These are
+// the file-level editing operations the OFE command-line tool exposes; the
+// OMOS server uses the richer module calculus (src/linker/module.h), but a
+// per-file editor works directly on symbol tables, as the original did.
+#ifndef OMOS_SRC_TOOLS_OFE_LIB_H_
+#define OMOS_SRC_TOOLS_OFE_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/linker/image.h"
+#include "src/objfmt/archive.h"
+#include "src/objfmt/object_file.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+// Human-readable symbol table ("nm"-alike).
+std::string OfeSymbolListing(const ObjectFile& object);
+
+// Relocation listing, one line per fixup.
+std::string OfeRelocListing(const ObjectFile& object);
+
+// Disassemble the text section with symbol labels and reloc annotations.
+Result<std::string> OfeDisassembly(const ObjectFile& object);
+
+// Rename every symbol matching `pattern` to `replacement` ('&' substitutes
+// the original name); relocations follow.
+Result<ObjectFile> OfeRename(const ObjectFile& object, const std::string& pattern,
+                             const std::string& replacement);
+
+// Demote matching defined globals to local visibility ("strip exports").
+Result<ObjectFile> OfeHide(const ObjectFile& object, const std::string& pattern);
+
+// Demote matching defined globals to weak binding.
+Result<ObjectFile> OfeWeaken(const ObjectFile& object, const std::string& pattern);
+
+// Drop local symbols that no relocation needs ("strip -x"-alike).
+Result<ObjectFile> OfeStripLocals(const ObjectFile& object);
+
+// Link several objects into an image at `text_base` (unresolved refs
+// allowed when `allow_unresolved`).
+Result<LinkedImage> OfeLink(const std::vector<ObjectFile>& objects, uint32_t text_base,
+                            bool allow_unresolved);
+
+// Host filesystem I/O (the OFE "manipulates files in the normal Unix file
+// namespace").
+Result<std::vector<uint8_t>> ReadHostFile(const std::string& path);
+Result<void> WriteHostFile(const std::string& path, const std::vector<uint8_t>& bytes);
+Result<ObjectFile> LoadObjectFile(const std::string& path);
+Result<void> SaveObjectFile(const ObjectFile& object, const std::string& path,
+                            std::string_view format = "xof-binary");
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_TOOLS_OFE_LIB_H_

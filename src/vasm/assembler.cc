@@ -1,0 +1,685 @@
+#include "src/vasm/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// An operand is a register, a numeric immediate, a symbol, or a memory
+// reference [reg+disp].
+struct Operand {
+  enum class Kind { kReg, kImm, kSym, kMem } kind = Kind::kImm;
+  uint8_t reg = 0;
+  int64_t imm = 0;
+  std::string sym;
+  uint8_t mem_base = 0;
+  int32_t mem_disp = 0;
+};
+
+struct Line {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string directive;              // nonempty for .text/.word/...
+  std::vector<std::string> dir_args;  // raw argument tokens (strings kept quoted)
+  std::optional<Opcode> op;
+  std::vector<Operand> operands;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string name) : object_(std::move(name)) {}
+
+  Result<ObjectFile> Run(std::string_view source) {
+    OMOS_TRY_VOID(ParseAll(source));
+    OMOS_TRY_VOID(Layout());
+    OMOS_TRY_VOID(Emit());
+    OMOS_TRY_VOID(object_.Validate());
+    return std::move(object_);
+  }
+
+ private:
+  Error LineErr(int line, std::string message) const {
+    return Err(ErrorCode::kParseError,
+               StrCat(object_.name(), ":", line, ": ", std::move(message)));
+  }
+
+  // ---- Parsing -------------------------------------------------------------
+
+  Result<void> ParseAll(std::string_view source) {
+    std::vector<std::string> raw = SplitString(source, '\n');
+    for (size_t i = 0; i < raw.size(); ++i) {
+      OMOS_TRY_VOID(ParseLine(static_cast<int>(i) + 1, raw[i]));
+    }
+    return OkResult();
+  }
+
+  Result<void> ParseLine(int number, std::string_view text) {
+    // Strip comments, respecting string literals.
+    std::string clean;
+    bool in_str = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '"' && (i == 0 || text[i - 1] != '\\')) {
+        in_str = !in_str;
+      }
+      if (!in_str && (c == ';' || c == '#')) {
+        break;
+      }
+      clean.push_back(c);
+    }
+    std::string_view body = StripWhitespace(clean);
+
+    Line line;
+    line.number = number;
+
+    // Leading labels ("name:").
+    while (true) {
+      size_t i = 0;
+      while (i < body.size() && IsIdentChar(body[i])) {
+        ++i;
+      }
+      if (i > 0 && i < body.size() && body[i] == ':') {
+        line.labels.emplace_back(body.substr(0, i));
+        body = StripWhitespace(body.substr(i + 1));
+      } else {
+        break;
+      }
+    }
+
+    if (!body.empty()) {
+      if (body[0] == '.') {
+        size_t sp = body.find_first_of(" \t");
+        line.directive = std::string(body.substr(0, sp));
+        if (sp != std::string_view::npos) {
+          OMOS_TRY(line.dir_args, SplitArgs(body.substr(sp + 1), number));
+        }
+      } else {
+        size_t sp = body.find_first_of(" \t");
+        std::string mnemonic(body.substr(0, sp));
+        auto op = OpcodeFromName(mnemonic);
+        if (!op.ok()) {
+          return LineErr(number, op.error().message());
+        }
+        line.op = op.value();
+        if (sp != std::string_view::npos) {
+          OMOS_TRY(std::vector<std::string> args, SplitArgs(body.substr(sp + 1), number));
+          for (const std::string& arg : args) {
+            auto operand = ParseOperand(arg, number);
+            if (!operand.ok()) {
+              return operand.error();
+            }
+            line.operands.push_back(std::move(operand).value());
+          }
+        }
+      }
+    }
+
+    if (!line.labels.empty() || !line.directive.empty() || line.op.has_value()) {
+      lines_.push_back(std::move(line));
+    }
+    return OkResult();
+  }
+
+  // Split a comma-separated argument list; commas inside quotes don't split.
+  Result<std::vector<std::string>> SplitArgs(std::string_view text, int number) const {
+    std::vector<std::string> args;
+    std::string current;
+    bool in_str = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '"' && (i == 0 || text[i - 1] != '\\')) {
+        in_str = !in_str;
+      }
+      if (c == ',' && !in_str) {
+        args.emplace_back(StripWhitespace(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (in_str) {
+      return LineErr(number, "unterminated string literal");
+    }
+    std::string_view last = StripWhitespace(current);
+    if (!last.empty() || !args.empty()) {
+      args.emplace_back(last);
+    }
+    return args;
+  }
+
+  static std::optional<uint8_t> ParseReg(std::string_view token) {
+    if (token == "sp") {
+      return kRegSp;
+    }
+    if (token == "lr") {
+      return kRegLr;
+    }
+    if (token.size() >= 2 && token[0] == 'r') {
+      int value = 0;
+      for (size_t i = 1; i < token.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(token[i])) == 0) {
+          return std::nullopt;
+        }
+        value = value * 10 + (token[i] - '0');
+      }
+      if (value < kNumRegisters) {
+        return static_cast<uint8_t>(value);
+      }
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<int64_t> ParseNumber(std::string_view token) {
+    if (token.empty()) {
+      return std::nullopt;
+    }
+    if (token.size() >= 3 && token.front() == '\'' && token.back() == '\'') {
+      std::string_view inner = token.substr(1, token.size() - 2);
+      if (inner.size() == 1) {
+        return inner[0];
+      }
+      if (inner.size() == 2 && inner[0] == '\\') {
+        switch (inner[1]) {
+          case 'n':
+            return '\n';
+          case 't':
+            return '\t';
+          case '0':
+            return 0;
+          case '\\':
+            return '\\';
+          default:
+            return std::nullopt;
+        }
+      }
+      return std::nullopt;
+    }
+    const char* begin = token.data();
+    char* end = nullptr;
+    long long value = std::strtoll(begin, &end, 0);
+    if (end != begin + token.size()) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  Result<Operand> ParseOperand(std::string_view token, int number) const {
+    Operand operand;
+    if (token.empty()) {
+      return LineErr(number, "empty operand");
+    }
+    if (token.front() == '[') {
+      if (token.back() != ']') {
+        return LineErr(number, StrCat("bad memory operand '", token, "'"));
+      }
+      std::string_view inner = token.substr(1, token.size() - 2);
+      size_t plus = inner.find_first_of("+-", 1);
+      std::string_view reg_part = plus == std::string_view::npos ? inner : inner.substr(0, plus);
+      auto reg = ParseReg(StripWhitespace(reg_part));
+      if (!reg.has_value()) {
+        return LineErr(number, StrCat("bad base register in '", token, "'"));
+      }
+      operand.kind = Operand::Kind::kMem;
+      operand.mem_base = *reg;
+      if (plus != std::string_view::npos) {
+        // "[r11+4]" and "[r11+-4]" / "[r11-4]" are all accepted.
+        std::string_view disp_text = inner.substr(plus);
+        if (disp_text.front() == '+') {
+          disp_text.remove_prefix(1);
+        }
+        auto disp = ParseNumber(StripWhitespace(disp_text));
+        if (!disp.has_value()) {
+          return LineErr(number, StrCat("bad displacement in '", token, "'"));
+        }
+        operand.mem_disp = static_cast<int32_t>(*disp);
+      }
+      return operand;
+    }
+    if (auto reg = ParseReg(token); reg.has_value()) {
+      operand.kind = Operand::Kind::kReg;
+      operand.reg = *reg;
+      return operand;
+    }
+    if (auto num = ParseNumber(token); num.has_value()) {
+      operand.kind = Operand::Kind::kImm;
+      operand.imm = *num;
+      return operand;
+    }
+    if (IsIdentStart(token.front())) {
+      operand.kind = Operand::Kind::kSym;
+      operand.sym = std::string(token);
+      return operand;
+    }
+    return LineErr(number, StrCat("unparseable operand '", token, "'"));
+  }
+
+  // ---- Layout (pass 1) ------------------------------------------------------
+
+  static Result<std::string> Unquote(std::string_view token, int) {
+    std::string out;
+    if (token.size() < 2 || token.front() != '"' || token.back() != '"') {
+      return Err(ErrorCode::kParseError, StrCat("expected string literal, got '", token, "'"));
+    }
+    std::string_view inner = token.substr(1, token.size() - 2);
+    for (size_t i = 0; i < inner.size(); ++i) {
+      if (inner[i] == '\\' && i + 1 < inner.size()) {
+        ++i;
+        switch (inner[i]) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case '0':
+            out.push_back('\0');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '"':
+            out.push_back('"');
+            break;
+          default:
+            out.push_back(inner[i]);
+            break;
+        }
+      } else {
+        out.push_back(inner[i]);
+      }
+    }
+    return out;
+  }
+
+  Result<uint32_t> DirectiveSize(const Line& line) const {
+    const std::string& d = line.directive;
+    if (d == ".word") {
+      return static_cast<uint32_t>(4 * line.dir_args.size());
+    }
+    if (d == ".byte") {
+      return static_cast<uint32_t>(line.dir_args.size());
+    }
+    if (d == ".space") {
+      if (line.dir_args.size() != 1) {
+        return LineErr(line.number, ".space takes one argument");
+      }
+      auto n = ParseNumber(line.dir_args[0]);
+      if (!n.has_value() || *n < 0) {
+        return LineErr(line.number, "bad .space size");
+      }
+      return static_cast<uint32_t>(*n);
+    }
+    if (d == ".ascii" || d == ".asciiz") {
+      if (line.dir_args.size() != 1) {
+        return LineErr(line.number, StrCat(d, " takes one string"));
+      }
+      auto s = Unquote(line.dir_args[0], line.number);
+      if (!s.ok()) {
+        return LineErr(line.number, s.error().message());
+      }
+      return static_cast<uint32_t>(s.value().size() + (d == ".asciiz" ? 1 : 0));
+    }
+    return LineErr(line.number, StrCat("unknown directive ", d));
+  }
+
+  Result<void> Layout() {
+    SectionKind section = SectionKind::kText;
+    uint32_t offsets[kNumSections] = {0, 0, 0};
+    for (const Line& line : lines_) {
+      uint32_t& offset = offsets[static_cast<int>(section)];
+      for (const std::string& label : line.labels) {
+        if (labels_.count(label) != 0) {
+          return LineErr(line.number, StrCat("duplicate label ", label));
+        }
+        labels_[label] = {section, offset};
+      }
+      if (!line.directive.empty()) {
+        const std::string& d = line.directive;
+        if (d == ".text") {
+          section = SectionKind::kText;
+        } else if (d == ".data") {
+          section = SectionKind::kData;
+        } else if (d == ".bss") {
+          section = SectionKind::kBss;
+        } else if (d == ".global" || d == ".weak" || d == ".local") {
+          continue;  // visibility handled in Emit
+        } else if (d == ".align") {
+          std::optional<int64_t> n =
+              line.dir_args.empty() ? std::optional<int64_t>() : ParseNumber(line.dir_args[0]);
+          if (!n.has_value() || *n <= 0) {
+            return LineErr(line.number, "bad .align");
+          }
+          uint32_t align = static_cast<uint32_t>(*n);
+          offset = (offset + align - 1) / align * align;
+          // Labels on the same line as .align would have pre-pad offsets;
+          // disallow to avoid surprises.
+          if (!line.labels.empty()) {
+            return LineErr(line.number, "label on .align line; put label after");
+          }
+        } else {
+          OMOS_TRY(uint32_t size, DirectiveSize(line));
+          if (section == SectionKind::kBss && d != ".space") {
+            return LineErr(line.number, "only .space allowed in .bss");
+          }
+          offset += size;
+        }
+      } else if (line.op.has_value()) {
+        if (section != SectionKind::kText) {
+          return LineErr(line.number, "instruction outside .text");
+        }
+        offset += kInsnSize;
+      }
+    }
+    return OkResult();
+  }
+
+  // ---- Emission (pass 2) ----------------------------------------------------
+
+  void EmitBytes(SectionKind section, const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    auto& vec = object_.section(section).bytes;
+    vec.insert(vec.end(), bytes, bytes + size);
+  }
+
+  // Record `sym` as an immediate operand: define-or-reference it in the
+  // symbol table and attach a relocation on the imm field just emitted.
+  void AddSymbolFixup(SectionKind section, uint32_t insn_offset, RelocKind kind,
+                      const std::string& sym, int32_t addend) {
+    if (labels_.count(sym) == 0 && object_.FindSymbol(sym) == nullptr) {
+      object_.ReferenceSymbol(sym);
+    }
+    Relocation reloc;
+    reloc.offset = insn_offset + 4;  // imm field
+    reloc.kind = kind;
+    reloc.symbol = sym;
+    reloc.addend = addend;
+    object_.AddReloc(section, std::move(reloc));
+  }
+
+  Result<void> Emit() {
+    // Labels become local defined symbols first; .global/.weak upgrade them.
+    for (const auto& [name, loc] : labels_) {
+      OMOS_TRY_VOID(object_.DefineSymbol(name, SymbolBinding::kLocal, loc.first, loc.second));
+    }
+
+    SectionKind section = SectionKind::kText;
+    for (const Line& line : lines_) {
+      if (!line.directive.empty()) {
+        OMOS_TRY_VOID(EmitDirective(line, section));
+      } else if (line.op.has_value()) {
+        OMOS_TRY_VOID(EmitInstruction(line, section));
+      }
+    }
+    object_.section(SectionKind::kBss).bss_size = bss_offset_;
+    return OkResult();
+  }
+
+  Result<void> EmitDirective(const Line& line, SectionKind& section) {
+    const std::string& d = line.directive;
+    if (d == ".text") {
+      section = SectionKind::kText;
+      return OkResult();
+    }
+    if (d == ".data") {
+      section = SectionKind::kData;
+      return OkResult();
+    }
+    if (d == ".bss") {
+      section = SectionKind::kBss;
+      return OkResult();
+    }
+    if (d == ".global" || d == ".weak") {
+      for (const std::string& name : line.dir_args) {
+        Symbol* sym = object_.FindMutableSymbol(name);
+        if (sym == nullptr || !sym->defined) {
+          return LineErr(line.number, StrCat(d, " of undefined label ", name));
+        }
+        sym->binding = d == ".weak" ? SymbolBinding::kWeak : SymbolBinding::kGlobal;
+      }
+      return OkResult();
+    }
+    if (d == ".local") {
+      return OkResult();
+    }
+    if (d == ".align") {
+      auto n = ParseNumber(line.dir_args[0]);
+      uint32_t align = static_cast<uint32_t>(*n);
+      if (section == SectionKind::kBss) {
+        bss_offset_ = (bss_offset_ + align - 1) / align * align;
+      } else {
+        auto& bytes = object_.section(section).bytes;
+        while (bytes.size() % align != 0) {
+          bytes.push_back(0);
+        }
+      }
+      return OkResult();
+    }
+    if (d == ".space") {
+      OMOS_TRY(uint32_t size, DirectiveSize(line));
+      if (section == SectionKind::kBss) {
+        bss_offset_ += size;
+      } else {
+        auto& bytes = object_.section(section).bytes;
+        bytes.insert(bytes.end(), size, 0);
+      }
+      return OkResult();
+    }
+    if (d == ".word") {
+      for (const std::string& arg : line.dir_args) {
+        uint32_t offset = static_cast<uint32_t>(object_.section(section).bytes.size());
+        if (auto num = ParseNumber(arg); num.has_value()) {
+          uint32_t v = static_cast<uint32_t>(*num);
+          EmitBytes(section, &v, 4);
+        } else {
+          // Symbolic word: emit zero + abs32 reloc at this offset.
+          uint32_t zero = 0;
+          EmitBytes(section, &zero, 4);
+          if (labels_.count(arg) == 0 && object_.FindSymbol(arg) == nullptr) {
+            object_.ReferenceSymbol(arg);
+          }
+          object_.AddReloc(section, Relocation{offset, RelocKind::kAbs32, arg, 0});
+        }
+      }
+      return OkResult();
+    }
+    if (d == ".byte") {
+      for (const std::string& arg : line.dir_args) {
+        auto num = ParseNumber(arg);
+        if (!num.has_value()) {
+          return LineErr(line.number, StrCat("bad .byte value '", arg, "'"));
+        }
+        uint8_t v = static_cast<uint8_t>(*num);
+        EmitBytes(section, &v, 1);
+      }
+      return OkResult();
+    }
+    if (d == ".ascii" || d == ".asciiz") {
+      auto s = Unquote(line.dir_args[0], line.number);
+      if (!s.ok()) {
+        return LineErr(line.number, s.error().message());
+      }
+      std::string text = std::move(s).value();
+      if (d == ".asciiz") {
+        text.push_back('\0');
+      }
+      EmitBytes(section, text.data(), text.size());
+      return OkResult();
+    }
+    return LineErr(line.number, StrCat("unknown directive ", d));
+  }
+
+  Result<void> EmitInstruction(const Line& line, SectionKind section) {
+    Instruction insn;
+    insn.op = *line.op;
+    uint32_t insn_offset = static_cast<uint32_t>(object_.section(section).bytes.size());
+
+    // Which reloc kind does a symbolic immediate in this opcode take?
+    auto reloc_kind = [&]() -> RelocKind {
+      switch (insn.op) {
+        case Opcode::kLeaPc:
+        case Opcode::kLdPc:
+        case Opcode::kCallPc:
+        case Opcode::kBr:
+        case Opcode::kBeq:
+        case Opcode::kBne:
+        case Opcode::kBlt:
+        case Opcode::kBge:
+        case Opcode::kBltu:
+        case Opcode::kBgeu:
+          return RelocKind::kPcRel32;
+        default:
+          return RelocKind::kAbs32;
+      }
+    };
+
+    std::optional<std::string> fixup_sym;
+    auto take_reg = [&](size_t i, uint8_t* out) -> Result<void> {
+      if (i >= line.operands.size() || line.operands[i].kind != Operand::Kind::kReg) {
+        return LineErr(line.number, StrCat("operand ", i + 1, " must be a register"));
+      }
+      *out = line.operands[i].reg;
+      return OkResult();
+    };
+    auto take_imm_or_sym = [&](size_t i) -> Result<void> {
+      if (i >= line.operands.size()) {
+        return LineErr(line.number, "missing immediate operand");
+      }
+      const Operand& operand = line.operands[i];
+      if (operand.kind == Operand::Kind::kImm) {
+        insn.imm = static_cast<uint32_t>(operand.imm);
+      } else if (operand.kind == Operand::Kind::kSym) {
+        fixup_sym = operand.sym;
+      } else {
+        return LineErr(line.number, StrCat("operand ", i + 1, " must be immediate or symbol"));
+      }
+      return OkResult();
+    };
+    auto expect_count = [&](size_t n) -> Result<void> {
+      if (line.operands.size() != n) {
+        return LineErr(line.number, StrCat(OpcodeName(insn.op), " expects ", n, " operands, got ",
+                                           line.operands.size()));
+      }
+      return OkResult();
+    };
+
+    switch (insn.op) {
+      case Opcode::kHalt:
+      case Opcode::kNop:
+      case Opcode::kRet:
+        OMOS_TRY_VOID(expect_count(0));
+        break;
+      case Opcode::kJmpR:
+      case Opcode::kCallR:
+      case Opcode::kPush:
+      case Opcode::kPop:
+        OMOS_TRY_VOID(expect_count(1));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        break;
+      case Opcode::kMov:
+        OMOS_TRY_VOID(expect_count(2));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        OMOS_TRY_VOID(take_reg(1, &insn.r2));
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+        OMOS_TRY_VOID(expect_count(3));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        OMOS_TRY_VOID(take_reg(1, &insn.r2));
+        OMOS_TRY_VOID(take_reg(2, &insn.r3));
+        break;
+      case Opcode::kJmp:
+      case Opcode::kBr:
+      case Opcode::kCall:
+      case Opcode::kCallPc:
+      case Opcode::kSys:
+        OMOS_TRY_VOID(expect_count(1));
+        OMOS_TRY_VOID(take_imm_or_sym(0));
+        break;
+      case Opcode::kMovI:
+      case Opcode::kLea:
+      case Opcode::kLeaPc:
+      case Opcode::kLdPc:
+        OMOS_TRY_VOID(expect_count(2));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        OMOS_TRY_VOID(take_imm_or_sym(1));
+        break;
+      case Opcode::kAddI:
+        OMOS_TRY_VOID(expect_count(3));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        OMOS_TRY_VOID(take_reg(1, &insn.r2));
+        OMOS_TRY_VOID(take_imm_or_sym(2));
+        break;
+      case Opcode::kLd:
+      case Opcode::kSt:
+      case Opcode::kLdB:
+      case Opcode::kStB: {
+        OMOS_TRY_VOID(expect_count(2));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        if (line.operands[1].kind != Operand::Kind::kMem) {
+          return LineErr(line.number, "second operand must be [reg+disp]");
+        }
+        insn.r2 = line.operands[1].mem_base;
+        insn.imm = static_cast<uint32_t>(line.operands[1].mem_disp);
+        break;
+      }
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu:
+        OMOS_TRY_VOID(expect_count(3));
+        OMOS_TRY_VOID(take_reg(0, &insn.r1));
+        OMOS_TRY_VOID(take_reg(1, &insn.r2));
+        OMOS_TRY_VOID(take_imm_or_sym(2));
+        break;
+      case Opcode::kCount:
+        return LineErr(line.number, "bad opcode");
+    }
+
+    uint8_t encoded[kInsnSize];
+    EncodeInsn(insn, encoded);
+    EmitBytes(section, encoded, kInsnSize);
+    if (fixup_sym.has_value()) {
+      AddSymbolFixup(section, insn_offset, reloc_kind(), *fixup_sym, 0);
+    }
+    return OkResult();
+  }
+
+  ObjectFile object_;
+  std::vector<Line> lines_;
+  std::map<std::string, std::pair<SectionKind, uint32_t>> labels_;
+  uint32_t bss_offset_ = 0;
+};
+
+}  // namespace
+
+Result<ObjectFile> Assemble(std::string_view source, std::string name) {
+  Assembler assembler(std::move(name));
+  return assembler.Run(source);
+}
+
+}  // namespace omos

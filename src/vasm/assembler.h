@@ -1,0 +1,35 @@
+// vasm — the SimISA assembler, producing XOF relocatable objects.
+//
+// This backs the blueprint operator `(source "asm" ...)` (§3.3, §6 Fig. 3):
+// OMOS can produce fragments directly from source. Workload programs and
+// OMOS's generated stubs are written in this assembly dialect.
+//
+// Dialect:
+//   ; comment                # comment
+//   .text / .data / .bss     switch section
+//   .global NAME / .weak NAME  export a label (labels default to local)
+//   .align N                  pad current section to N bytes
+//   label:                    define label at current offset
+//   .word V  .byte V  .ascii "s"  .asciiz "s"  .space N
+//   <mnemonic> operands       one SimISA instruction (8 bytes)
+//
+// Symbolic operands always emit relocations (abs32 for absolute forms,
+// pcrel32 for pc-relative forms); the linker resolves them, even for labels
+// local to the file — assembly never needs to know load addresses.
+#ifndef OMOS_SRC_VASM_ASSEMBLER_H_
+#define OMOS_SRC_VASM_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/objfmt/object_file.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+// Assemble `source` into an object named `name`. Errors carry line numbers.
+Result<ObjectFile> Assemble(std::string_view source, std::string name);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_VASM_ASSEMBLER_H_

@@ -1,0 +1,261 @@
+#include "src/vm/address_space.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+SegmentImage::SegmentImage(SegmentImage&& other) noexcept
+    : phys_(other.phys_), frames_(std::move(other.frames_)), size_bytes_(other.size_bytes_) {
+  other.phys_ = nullptr;
+  other.frames_.clear();
+  other.size_bytes_ = 0;
+}
+
+SegmentImage& SegmentImage::operator=(SegmentImage&& other) noexcept {
+  if (this != &other) {
+    this->~SegmentImage();
+    new (this) SegmentImage(std::move(other));
+  }
+  return *this;
+}
+
+SegmentImage::~SegmentImage() {
+  if (phys_ != nullptr) {
+    for (FrameId frame : frames_) {
+      phys_->Unref(frame);
+    }
+  }
+}
+
+Result<SegmentImage> SegmentImage::Create(PhysMemory& phys, std::span<const uint8_t> bytes) {
+  SegmentImage image;
+  image.phys_ = &phys;
+  image.size_bytes_ = static_cast<uint32_t>(bytes.size());
+  uint32_t pages = PageAlignUp(image.size_bytes_) / kPageSize;
+  for (uint32_t i = 0; i < pages; ++i) {
+    OMOS_TRY(FrameId frame, phys.Allocate());
+    uint32_t offset = i * kPageSize;
+    uint32_t chunk = std::min<uint32_t>(kPageSize, image.size_bytes_ - offset);
+    std::memcpy(phys.FrameData(frame), bytes.data() + offset, chunk);
+    image.frames_.push_back(frame);
+  }
+  return image;
+}
+
+AddressSpace::~AddressSpace() {
+  for (auto& [base, region] : regions_) {
+    for (FrameId frame : region.frames) {
+      phys_->Unref(frame);
+    }
+  }
+}
+
+Result<void> AddressSpace::CheckFree(uint32_t base, uint32_t size, std::string_view name) const {
+  if (base % kPageSize != 0) {
+    return Err(ErrorCode::kInvalidArgument, StrCat("map ", name, ": base not page aligned"));
+  }
+  if (size == 0) {
+    return Err(ErrorCode::kInvalidArgument, StrCat("map ", name, ": empty region"));
+  }
+  if (Overlaps(base, size)) {
+    return Err(ErrorCode::kAlreadyExists,
+               StrCat("map ", name, ": [", Hex32(base), ", ", Hex32(base + size), ") overlaps"));
+  }
+  return OkResult();
+}
+
+bool AddressSpace::Overlaps(uint32_t base, uint32_t size) const {
+  auto it = regions_.upper_bound(base);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.base + prev->second.size > base) {
+      return true;
+    }
+  }
+  if (it != regions_.end() && it->second.base < base + size) {
+    return true;
+  }
+  return false;
+}
+
+Result<uint32_t> AddressSpace::MapShared(uint32_t base, const SegmentImage& image, uint8_t prot,
+                                         std::string name) {
+  uint32_t size = image.num_pages() * kPageSize;
+  OMOS_TRY_VOID(CheckFree(base, size, name));
+  Region region;
+  region.base = base;
+  region.size = size;
+  region.prot = prot;
+  region.shared = true;
+  region.name = std::move(name);
+  for (FrameId frame : image.frames()) {
+    phys_->Ref(frame);
+    region.frames.push_back(frame);
+  }
+  shared_pages_ += image.num_pages();
+  last_region_ = nullptr;
+  regions_.emplace(base, std::move(region));
+  return image.num_pages();
+}
+
+Result<uint32_t> AddressSpace::MapPrivate(uint32_t base, uint32_t size,
+                                          std::span<const uint8_t> init, uint8_t prot,
+                                          std::string name) {
+  size = PageAlignUp(std::max<uint32_t>(size, static_cast<uint32_t>(init.size())));
+  OMOS_TRY_VOID(CheckFree(base, size, name));
+  Region region;
+  region.base = base;
+  region.size = size;
+  region.prot = prot;
+  region.shared = false;
+  region.name = std::move(name);
+  uint32_t pages = size / kPageSize;
+  for (uint32_t i = 0; i < pages; ++i) {
+    OMOS_TRY(FrameId frame, phys_->Allocate());
+    uint32_t offset = i * kPageSize;
+    if (offset < init.size()) {
+      uint32_t chunk = std::min<uint32_t>(kPageSize, static_cast<uint32_t>(init.size()) - offset);
+      std::memcpy(phys_->FrameData(frame), init.data() + offset, chunk);
+    }
+    region.frames.push_back(frame);
+  }
+  private_pages_ += pages;
+  last_region_ = nullptr;
+  regions_.emplace(base, std::move(region));
+  return pages;
+}
+
+Result<uint32_t> AddressSpace::MapZero(uint32_t base, uint32_t size, uint8_t prot,
+                                       std::string name) {
+  return MapPrivate(base, size, {}, prot, std::move(name));
+}
+
+Result<void> AddressSpace::Unmap(uint32_t base) {
+  auto it = regions_.find(base);
+  if (it == regions_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("unmap: no region at ", Hex32(base)));
+  }
+  uint32_t pages = it->second.size / kPageSize;
+  for (FrameId frame : it->second.frames) {
+    phys_->Unref(frame);
+  }
+  if (it->second.shared) {
+    shared_pages_ -= pages;
+  } else {
+    private_pages_ -= pages;
+  }
+  last_region_ = nullptr;
+  regions_.erase(it);
+  return OkResult();
+}
+
+const AddressSpace::Region* AddressSpace::FindRegion(uint32_t addr) const {
+  if (last_region_ != nullptr && addr >= last_region_->base &&
+      addr < last_region_->base + last_region_->size) {
+    return last_region_;
+  }
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) {
+    return nullptr;
+  }
+  --it;
+  const Region& region = it->second;
+  if (addr >= region.base + region.size) {
+    return nullptr;
+  }
+  last_region_ = &region;
+  return &region;
+}
+
+Result<void> AddressSpace::Access(uint32_t addr, void* buf, uint32_t size, bool write,
+                                  bool exec) const {
+  auto* out = static_cast<uint8_t*>(buf);
+  uint32_t done = 0;
+  while (done < size) {
+    uint32_t cur = addr + done;
+    const Region* region = FindRegion(cur);
+    if (region == nullptr) {
+      return Err(ErrorCode::kExecFault,
+                 StrCat(write ? "write" : (exec ? "fetch" : "read"), " fault at ", Hex32(cur)));
+    }
+    uint8_t needed = write ? kProtWrite : (exec ? kProtExec : kProtRead);
+    if ((region->prot & needed) == 0) {
+      return Err(ErrorCode::kExecFault,
+                 StrCat("protection fault at ", Hex32(cur), " in ", region->name));
+    }
+    uint32_t offset = cur - region->base;
+    uint32_t page = offset / kPageSize;
+    uint32_t in_page = offset % kPageSize;
+    uint32_t chunk = std::min(size - done, kPageSize - in_page);
+    // Clamp to the region end as well (regions are whole pages, so the page
+    // clamp suffices, but keep it explicit).
+    uint8_t* frame_data = phys_->FrameData(region->frames[page]);
+    if (write) {
+      std::memcpy(frame_data + in_page, out + done, chunk);
+    } else {
+      std::memcpy(out + done, frame_data + in_page, chunk);
+    }
+    done += chunk;
+  }
+  return OkResult();
+}
+
+Result<void> AddressSpace::ReadBytes(uint32_t addr, void* out, uint32_t size) const {
+  return Access(addr, out, size, /*write=*/false, /*exec=*/false);
+}
+
+Result<void> AddressSpace::WriteBytes(uint32_t addr, const void* data, uint32_t size) {
+  return Access(addr, const_cast<void*>(data), size, /*write=*/true, /*exec=*/false);
+}
+
+Result<void> AddressSpace::FetchBytes(uint32_t addr, void* out, uint32_t size) const {
+  return Access(addr, out, size, /*write=*/false, /*exec=*/true);
+}
+
+Result<uint32_t> AddressSpace::Read32(uint32_t addr) const {
+  uint8_t buf[4];
+  OMOS_TRY_VOID(ReadBytes(addr, buf, 4));
+  return static_cast<uint32_t>(buf[0]) | static_cast<uint32_t>(buf[1]) << 8 |
+         static_cast<uint32_t>(buf[2]) << 16 | static_cast<uint32_t>(buf[3]) << 24;
+}
+
+Result<void> AddressSpace::Write32(uint32_t addr, uint32_t value) {
+  uint8_t buf[4] = {static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8),
+                    static_cast<uint8_t>(value >> 16), static_cast<uint8_t>(value >> 24)};
+  return WriteBytes(addr, buf, 4);
+}
+
+Result<uint8_t> AddressSpace::Read8(uint32_t addr) const {
+  uint8_t b = 0;
+  OMOS_TRY_VOID(ReadBytes(addr, &b, 1));
+  return b;
+}
+
+Result<void> AddressSpace::Write8(uint32_t addr, uint8_t value) {
+  return WriteBytes(addr, &value, 1);
+}
+
+Result<std::string> AddressSpace::ReadCString(uint32_t addr, uint32_t max_len) const {
+  std::string out;
+  for (uint32_t i = 0; i < max_len; ++i) {
+    OMOS_TRY(uint8_t b, Read8(addr + i));
+    if (b == 0) {
+      return out;
+    }
+    out.push_back(static_cast<char>(b));
+  }
+  return Err(ErrorCode::kExecFault, StrCat("unterminated string at ", Hex32(addr)));
+}
+
+std::vector<AddressSpace::RegionInfo> AddressSpace::Regions() const {
+  std::vector<RegionInfo> out;
+  out.reserve(regions_.size());
+  for (const auto& [base, region] : regions_) {
+    out.push_back({region.base, region.size, region.prot, region.shared, region.name});
+  }
+  return out;
+}
+
+}  // namespace omos

@@ -1,0 +1,125 @@
+// Per-task virtual address spaces: page-granular regions backed by frames
+// from the shared PhysMemory pool. This is the mini analog of Mach's
+// vm_map() that the paper's OMOS uses to map cached segments into client
+// tasks (§5, §7).
+#ifndef OMOS_SRC_VM_ADDRESS_SPACE_H_
+#define OMOS_SRC_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/vm/phys_memory.h"
+
+namespace omos {
+
+enum ProtBits : uint8_t {
+  kProtRead = 1,
+  kProtWrite = 2,
+  kProtExec = 4,
+};
+
+// A cached, shareable image of a loaded segment: frames owned by the cache
+// (refcount held), mapped read-only into any number of tasks.
+class SegmentImage {
+ public:
+  SegmentImage() = default;
+  SegmentImage(const SegmentImage&) = delete;
+  SegmentImage& operator=(const SegmentImage&) = delete;
+  SegmentImage(SegmentImage&& other) noexcept;
+  SegmentImage& operator=(SegmentImage&& other) noexcept;
+  ~SegmentImage();
+
+  // Build an image holding `bytes` (padded to whole pages).
+  static Result<SegmentImage> Create(PhysMemory& phys, std::span<const uint8_t> bytes);
+
+  uint32_t size_bytes() const { return size_bytes_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(frames_.size()); }
+  const std::vector<FrameId>& frames() const { return frames_; }
+  PhysMemory* phys() const { return phys_; }
+
+ private:
+  PhysMemory* phys_ = nullptr;
+  std::vector<FrameId> frames_;
+  uint32_t size_bytes_ = 0;
+};
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(PhysMemory& phys) : phys_(&phys) {}
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+  ~AddressSpace();
+
+  // Map `image`'s frames at `base` (page aligned), sharing physical memory.
+  // Returns the number of pages mapped.
+  Result<uint32_t> MapShared(uint32_t base, const SegmentImage& image, uint8_t prot,
+                             std::string name);
+
+  // Map fresh private frames at `base` initialized from `init` (rest zero).
+  Result<uint32_t> MapPrivate(uint32_t base, uint32_t size, std::span<const uint8_t> init,
+                              uint8_t prot, std::string name);
+
+  // Map fresh zeroed frames (bss, stack, heap).
+  Result<uint32_t> MapZero(uint32_t base, uint32_t size, uint8_t prot, std::string name);
+
+  Result<void> Unmap(uint32_t base);
+
+  // Memory access used by the interpreter and the kernel. Checks protection;
+  // handles page-crossing transfers.
+  Result<void> ReadBytes(uint32_t addr, void* out, uint32_t size) const;
+  Result<void> WriteBytes(uint32_t addr, const void* data, uint32_t size);
+  Result<uint32_t> Read32(uint32_t addr) const;
+  Result<void> Write32(uint32_t addr, uint32_t value);
+  Result<uint8_t> Read8(uint32_t addr) const;
+  Result<void> Write8(uint32_t addr, uint8_t value);
+  // Read a NUL-terminated string (bounded by `max_len`).
+  Result<std::string> ReadCString(uint32_t addr, uint32_t max_len = 4096) const;
+
+  // Fetch for execution (checks kProtExec).
+  Result<void> FetchBytes(uint32_t addr, void* out, uint32_t size) const;
+
+  // True if [base, base+size) overlaps an existing region.
+  bool Overlaps(uint32_t base, uint32_t size) const;
+
+  // Accounting.
+  uint32_t private_pages() const { return private_pages_; }
+  uint32_t shared_pages() const { return shared_pages_; }
+  uint32_t total_pages() const { return private_pages_ + shared_pages_; }
+
+  struct RegionInfo {
+    uint32_t base;
+    uint32_t size;
+    uint8_t prot;
+    bool shared;
+    std::string name;
+  };
+  std::vector<RegionInfo> Regions() const;
+
+ private:
+  struct Region {
+    uint32_t base = 0;
+    uint32_t size = 0;  // page aligned
+    uint8_t prot = 0;
+    bool shared = false;
+    std::string name;
+    std::vector<FrameId> frames;
+  };
+
+  const Region* FindRegion(uint32_t addr) const;
+  Result<void> Access(uint32_t addr, void* buf, uint32_t size, bool write, bool exec) const;
+  Result<void> CheckFree(uint32_t base, uint32_t size, std::string_view name) const;
+
+  PhysMemory* phys_;
+  std::map<uint32_t, Region> regions_;  // keyed by base
+  mutable const Region* last_region_ = nullptr;
+  uint32_t private_pages_ = 0;
+  uint32_t shared_pages_ = 0;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_VM_ADDRESS_SPACE_H_

@@ -1,0 +1,56 @@
+#include "src/vm/phys_memory.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+PhysMemory::PhysMemory(uint32_t max_frames) : max_frames_(max_frames) {}
+
+Result<FrameId> PhysMemory::Allocate() {
+  FrameId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(frames_[id].data.get(), 0, kPageSize);
+    frames_[id].refs = 1;
+  } else {
+    if (frames_.size() >= max_frames_) {
+      return Err(ErrorCode::kOutOfRange, StrCat("physical memory exhausted (", max_frames_, " frames)"));
+    }
+    id = static_cast<FrameId>(frames_.size());
+    Frame frame;
+    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+    std::memset(frame.data.get(), 0, kPageSize);
+    frame.refs = 1;
+    frames_.push_back(std::move(frame));
+  }
+  ++frames_in_use_;
+  ++total_allocations_;
+  if (frames_in_use_ > peak_frames_) {
+    peak_frames_ = frames_in_use_;
+  }
+  return id;
+}
+
+void PhysMemory::Ref(FrameId frame) { ++frames_[frame].refs; }
+
+void PhysMemory::Unref(FrameId frame) {
+  Frame& f = frames_[frame];
+  if (f.refs == 0) {
+    return;  // Double-unref is a bug, but keep the simulator alive.
+  }
+  if (--f.refs == 0) {
+    free_list_.push_back(frame);
+    --frames_in_use_;
+  }
+}
+
+uint8_t* PhysMemory::FrameData(FrameId frame) { return frames_[frame].data.get(); }
+
+const uint8_t* PhysMemory::FrameData(FrameId frame) const { return frames_[frame].data.get(); }
+
+uint32_t PhysMemory::RefCount(FrameId frame) const { return frames_[frame].refs; }
+
+}  // namespace omos

@@ -1,0 +1,64 @@
+// Physical frame pool with reference counting.
+//
+// The "shared" in shared libraries is, concretely, two tasks' address spaces
+// referencing the same physical frames. OMOS's cached images own frames;
+// every task that maps a cached segment bumps the frames' refcounts. The
+// pool's accounting (frames in use vs. sum of mapped bytes) is how the
+// memory-consumption benchmarks measure sharing.
+#ifndef OMOS_SRC_VM_PHYS_MEMORY_H_
+#define OMOS_SRC_VM_PHYS_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace omos {
+
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kPageMask = kPageSize - 1;
+
+inline uint32_t PageAlignUp(uint32_t value) { return (value + kPageMask) & ~kPageMask; }
+inline uint32_t PageAlignDown(uint32_t value) { return value & ~kPageMask; }
+
+using FrameId = uint32_t;
+
+class PhysMemory {
+ public:
+  explicit PhysMemory(uint32_t max_frames = 1u << 20);
+
+  // Allocate a zeroed frame with refcount 1.
+  Result<FrameId> Allocate();
+
+  void Ref(FrameId frame);
+  // Drops a reference; the frame returns to the free list at zero.
+  void Unref(FrameId frame);
+
+  uint8_t* FrameData(FrameId frame);
+  const uint8_t* FrameData(FrameId frame) const;
+  uint32_t RefCount(FrameId frame) const;
+
+  // Accounting.
+  uint32_t frames_in_use() const { return frames_in_use_; }
+  uint64_t bytes_in_use() const { return static_cast<uint64_t>(frames_in_use_) * kPageSize; }
+  uint32_t peak_frames() const { return peak_frames_; }
+  uint64_t total_allocations() const { return total_allocations_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    uint32_t refs = 0;
+  };
+
+  uint32_t max_frames_;
+  std::vector<Frame> frames_;
+  std::vector<FrameId> free_list_;
+  uint32_t frames_in_use_ = 0;
+  uint32_t peak_frames_ = 0;
+  uint64_t total_allocations_ = 0;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_VM_PHYS_MEMORY_H_

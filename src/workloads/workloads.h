@@ -1,0 +1,66 @@
+// Synthetic workloads matching the shape of the paper's evaluation (§8.2):
+//
+//  * `ls`       — a small utility: few library references, syscall-light in
+//                 its default form, syscall-heavy with "-laF" (stat per
+//                 entry + more writes).
+//  * `codegen`  — a large program (tens of objects, hundreds of functions)
+//                 linking six libraries, most of whose symbols are unused —
+//                 the case where per-invocation relocation dominates.
+//
+// Library code is assembled one function per object (so routine-level
+// reordering is possible, §4.1); program logic is written in the OC
+// C-subset and compiled.
+#ifndef OMOS_SRC_WORKLOADS_WORKLOADS_H_
+#define OMOS_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/linker/module.h"
+#include "src/objfmt/archive.h"
+#include "src/os/sim_fs.h"
+#include "src/support/result.h"
+
+namespace omos {
+
+struct WorkloadParams {
+  int libc_filler = 120;       // unused "scattered" libc routines
+  int alpha_functions = 180;   // per Alpha-1-style library (two of them)
+  int libm_functions = 60;
+  int libl_functions = 40;
+  int libcpp_functions = 150;  // the "libC" stand-in
+  int codegen_files = 32;      // paper: codegen is 5,240 lines in 32 files
+  int codegen_funcs_per_file = 10;
+};
+
+struct Workloads {
+  ObjectFile crt0;
+  ObjectFile ls_obj;
+  std::vector<ObjectFile> codegen_objs;  // per-file objects, main last
+  Archive libc;
+  Archive alpha1;
+  Archive alpha2;
+  Archive libm;
+  Archive libl;
+  Archive libcpp;
+};
+
+// Build every workload object. Deterministic.
+Result<Workloads> BuildWorkloads(const WorkloadParams& params = WorkloadParams());
+
+// Filesystem content: a directory for ls to list, input files for codegen.
+void PopulateLsData(SimFs& fs, int files = 14);
+void PopulateCodegenInputs(SimFs& fs);
+
+// Fold an archive's members into one module.
+Result<Module> ModuleFromArchive(const Archive& archive);
+// Merge loose objects into one module.
+Result<Module> ModuleFromObjects(const std::vector<ObjectFile>& objects);
+
+// The expected ls output for a directory populated by PopulateLsData
+// (short form), used by integration tests.
+std::string ExpectedLsShortOutput(const SimFs& fs, const std::string& dir);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,171 @@
+// Traditional shared-library baseline: PLT/GOT lazy binding, per-exec
+// relocation work, text sharing; plus the static-link baseline.
+#include <gtest/gtest.h>
+
+#include "src/baseline/dynlib.h"
+#include "src/baseline/static_linker.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+constexpr char kCrt0[] = R"(
+.text
+.global _start
+_start:
+  call main
+  sys 0
+)";
+
+constexpr char kLibSource[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 2
+  ret
+.global mul3
+mul3:
+  push lr
+  movi r1, 3
+  mul r0, r0, r1
+  call add2      ; intra-library call: routed through the linkage table
+  pop lr
+  ret
+.global get_answer
+get_answer:
+  lea r1, answer
+  ld r0, [r1+0]
+  ret
+.data
+.align 4
+answer: .word 40
+answer_ptr: .word answer   ; data relocation -> per-exec rtld work
+)";
+
+constexpr char kClient[] = R"(
+.text
+.global main
+main:
+  push lr
+  movi r0, 5
+  call mul3        ; (5*3)+2 = 17
+  call add2        ; 19
+  push r4
+  mov r4, r0
+  call get_answer  ; 40
+  add r0, r0, r4   ; 59
+  pop r4
+  pop lr
+  ret
+)";
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rtld_ = std::make_unique<Rtld>(kernel_);
+    ASSERT_OK_AND_ASSIGN(ObjectFile crt0, Assemble(kCrt0, "crt0.o"));
+    ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(kLibSource, "lib.o"));
+    ASSERT_OK_AND_ASSIGN(ObjectFile client, Assemble(kClient, "client.o"));
+    lib_module_ = Module::FromObject(std::make_shared<const ObjectFile>(std::move(lib)));
+    Module crt0_m = Module::FromObject(std::make_shared<const ObjectFile>(std::move(crt0)));
+    Module client_m = Module::FromObject(std::make_shared<const ObjectFile>(std::move(client)));
+    ASSERT_OK_AND_ASSIGN(client_module_, Module::Merge(crt0_m, client_m));
+  }
+
+  Result<RunOutcome> ExecAndRun(const std::string& name, std::vector<std::string> args) {
+    OMOS_TRY(TaskId id, rtld_->Exec(name, std::move(args)));
+    Task* task = kernel_.FindTask(id);
+    OMOS_TRY_VOID(kernel_.RunTask(*task));
+    RunOutcome out;
+    out.exit_code = task->exit_code();
+    out.output = task->output();
+    out.user_cycles = task->user_cycles();
+    out.sys_cycles = task->sys_cycles();
+    return out;
+  }
+
+  Kernel kernel_;
+  DynLibBuilder builder_;
+  std::unique_ptr<Rtld> rtld_;
+  Module lib_module_;
+  Module client_module_;
+};
+
+TEST_F(BaselineTest, DynamicExecProducesCorrectResult) {
+  ASSERT_OK_AND_ASSIGN(DynImage lib, builder_.BuildLibrary("libtest", lib_module_));
+  EXPECT_FALSE(lib.lazy_slots.empty());
+  EXPECT_FALSE(lib.data_relocs.empty());  // answer_ptr at minimum
+  ASSERT_OK(rtld_->Install(std::move(lib)));
+  const DynImage* installed = rtld_->Find("libtest");
+  ASSERT_NE(installed, nullptr);
+  ASSERT_OK_AND_ASSIGN(DynImage prog,
+                       builder_.BuildExecutable("prog", client_module_, {installed}));
+  ASSERT_OK(rtld_->Install(std::move(prog)));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, ExecAndRun("prog", {"prog"}));
+  EXPECT_EQ(out.exit_code, 59);
+  EXPECT_GT(rtld_->lazy_resolutions(), 0u);
+}
+
+TEST_F(BaselineTest, LazyBindingResolvesOncePerSlotPerTask) {
+  ASSERT_OK_AND_ASSIGN(DynImage lib, builder_.BuildLibrary("libtest", lib_module_));
+  ASSERT_OK(rtld_->Install(std::move(lib)));
+  ASSERT_OK_AND_ASSIGN(DynImage prog, builder_.BuildExecutable("prog", client_module_,
+                                                               {rtld_->Find("libtest")}));
+  ASSERT_OK(rtld_->Install(std::move(prog)));
+  ASSERT_OK_AND_ASSIGN(RunOutcome first, ExecAndRun("prog", {"prog"}));
+  uint64_t after_first = rtld_->lazy_resolutions();
+  ASSERT_OK_AND_ASSIGN(RunOutcome second, ExecAndRun("prog", {"prog"}));
+  uint64_t after_second = rtld_->lazy_resolutions();
+  EXPECT_EQ(first.exit_code, second.exit_code);
+  // Fresh task, fresh GOT: the same lazy work repeats per invocation.
+  EXPECT_EQ(after_second - after_first, after_first);
+}
+
+TEST_F(BaselineTest, TextSharedDataPrivate) {
+  ASSERT_OK_AND_ASSIGN(DynImage lib, builder_.BuildLibrary("libtest", lib_module_));
+  ASSERT_OK(rtld_->Install(std::move(lib)));
+  ASSERT_OK_AND_ASSIGN(DynImage prog, builder_.BuildExecutable("prog", client_module_,
+                                                               {rtld_->Find("libtest")}));
+  ASSERT_OK(rtld_->Install(std::move(prog)));
+  ASSERT_OK_AND_ASSIGN(TaskId id1, rtld_->Exec("prog", {"prog"}));
+  ASSERT_OK_AND_ASSIGN(TaskId id2, rtld_->Exec("prog", {"prog"}));
+  Task* t1 = kernel_.FindTask(id1);
+  Task* t2 = kernel_.FindTask(id2);
+  EXPECT_GT(t1->space().shared_pages(), 0u);
+  EXPECT_GT(t2->space().shared_pages(), 0u);
+  EXPECT_GT(t1->space().private_pages(), 0u);
+  ASSERT_OK(kernel_.RunTask(*t1));
+  ASSERT_OK(kernel_.RunTask(*t2));
+  EXPECT_EQ(t1->exit_code(), 59);
+  EXPECT_EQ(t2->exit_code(), 59);
+}
+
+TEST_F(BaselineTest, DispatchBytesAccounted) {
+  ASSERT_OK_AND_ASSIGN(DynImage lib, builder_.BuildLibrary("libtest", lib_module_));
+  EXPECT_GT(lib.dispatch_bytes, 0u);
+  ASSERT_OK(rtld_->Install(std::move(lib)));
+  EXPECT_EQ(rtld_->TotalDispatchBytes(), rtld_->Find("libtest")->dispatch_bytes);
+}
+
+TEST_F(BaselineTest, StaticLinkAndExec) {
+  ASSERT_OK_AND_ASSIGN(Module merged, Module::Merge(client_module_, lib_module_));
+  ASSERT_OK_AND_ASSIGN(StaticExecutable exe, StaticLink("prog", merged, kernel_.costs()));
+  EXPECT_GT(exe.link_cost, 0u);
+  ASSERT_OK_AND_ASSIGN(TaskId id, StaticExec(kernel_, exe, {"prog"}));
+  Task* task = kernel_.FindTask(id);
+  ASSERT_OK(kernel_.RunTask(*task));
+  EXPECT_EQ(task->exit_code(), 59);
+}
+
+TEST_F(BaselineTest, MissingLibraryFailsExec) {
+  ASSERT_OK_AND_ASSIGN(DynImage lib, builder_.BuildLibrary("libtest", lib_module_));
+  ASSERT_OK_AND_ASSIGN(DynImage prog, builder_.BuildExecutable("prog", client_module_, {&lib}));
+  // Library never installed.
+  ASSERT_OK(rtld_->Install(std::move(prog)));
+  auto result = rtld_->Exec("prog", {"prog"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace omos

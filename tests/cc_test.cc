@@ -1,0 +1,411 @@
+// Tests for the OC mini-C compiler: each program is compiled, assembled,
+// linked and *executed*; correctness is judged by exit code / output.
+#include <gtest/gtest.h>
+
+#include "src/cc/compiler.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+constexpr char kRuntime[] = R"(
+.text
+.global _start
+_start:
+  call main
+  sys 0
+.global putnum
+putnum:                 ; prints r0 in decimal followed by newline
+  lea r1, npbuf_end
+  movi r2, 10
+pn_loop:
+  mod r3, r0, r2
+  addi r3, r3, 48
+  addi r1, r1, -1
+  stb r3, [r1+0]
+  div r0, r0, r2
+  movi r3, 0
+  bne r0, r3, pn_loop
+  lea r2, npbuf_end
+  sub r2, r2, r1
+  addi r2, r2, 1     ; include the trailing newline stored at npbuf_end
+  movi r0, 1
+  sys 1
+  ret
+.data
+npbuf: .space 16
+npbuf_end: .ascii "\n"
+)";
+
+// Compile `source`, link with the tiny runtime, run, return outcome.
+Result<RunOutcome> CompileAndRun(const std::string& source,
+                                 std::vector<std::string> args = {}) {
+  OMOS_TRY(std::string asm_text, CompileC(source));
+  OMOS_TRY(ObjectFile program, Assemble(asm_text, "prog.o"));
+  OMOS_TRY(ObjectFile runtime, Assemble(kRuntime, "rt.o"));
+  Module a = Module::FromObject(std::make_shared<const ObjectFile>(std::move(runtime)));
+  Module b = Module::FromObject(std::make_shared<const ObjectFile>(std::move(program)));
+  OMOS_TRY(Module merged, Module::Merge(a, b));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  OMOS_TRY(LinkedImage image, LinkImage(merged, layout, "prog"));
+  Kernel kernel;
+  return RunImage(kernel, image, std::move(args));
+}
+
+int ExitOf(const std::string& source) {
+  auto result = CompileAndRun(source);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().ToString());
+  return result.ok() ? result->exit_code : -999;
+}
+
+TEST(MiniC, ReturnConstant) {
+  EXPECT_EQ(ExitOf("int main(int argc, int argv) { return 42; }"), 42);
+}
+
+TEST(MiniC, Arithmetic) {
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 2 + 3 * 4 - 6 / 2; }"), 11);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 17 % 5; }"), 2);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return -(5 - 8); }"), 3);
+}
+
+TEST(MiniC, Comparisons) {
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 3 < 4; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 4 < 3; }"), 0);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 4 <= 4; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 5 > 4; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 4 >= 5; }"), 0);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 7 == 7; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 7 != 7; }"), 0);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 0 - 3 < 2; }"), 1);  // signed compare
+}
+
+TEST(MiniC, LogicalAndBitwise) {
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 1 && 2; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 1 && 0; }"), 0);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 0 || 3; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return !5; }"), 0);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return !0; }"), 1);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 12 & 10; }"), 8);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 12 | 10; }"), 14);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 12 ^ 10; }"), 6);
+}
+
+TEST(MiniC, LocalsAndAssignment) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int x = 10;
+  int y;
+  y = x * 2;
+  x = y + x;
+  return x;
+})"), 30);
+}
+
+TEST(MiniC, IfElseChains) {
+  const char* prog = R"(
+int classify(int n) {
+  if (n < 0) { return 1; }
+  else if (n == 0) { return 2; }
+  else { return 3; }
+}
+int main(int a, int b) {
+  return classify(0 - 5) * 100 + classify(0) * 10 + classify(9);
+})";
+  EXPECT_EQ(ExitOf(prog), 123);
+}
+
+TEST(MiniC, WhileLoopSum) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int total = 0;
+  int i = 1;
+  while (i <= 10) {
+    total = total + i;
+    i = i + 1;
+  }
+  return total;
+})"), 55);
+}
+
+TEST(MiniC, RecursionFactorial) {
+  EXPECT_EQ(ExitOf(R"(
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+int main(int a, int b) { return fact(5); })"), 120);
+}
+
+TEST(MiniC, RecursionFibonacci) {
+  EXPECT_EQ(ExitOf(R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main(int a, int b) { return fib(10); })"), 55);
+}
+
+TEST(MiniC, FourParameters) {
+  EXPECT_EQ(ExitOf(R"(
+int weigh(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+int main(int x, int y) { return weigh(1, 2, 3, 4) % 256; })"), 1234 % 256);
+}
+
+TEST(MiniC, GlobalsAndArrays) {
+  EXPECT_EQ(ExitOf(R"(
+int counter = 5;
+int grid[10];
+int main(int a, int b) {
+  counter = counter + 1;
+  int i = 0;
+  while (i < 10) {
+    grid[i] = i * i;
+    i = i + 1;
+  }
+  return grid[7] + counter;
+})"), 49 + 6);
+}
+
+TEST(MiniC, LocalArrays) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int v[4];
+  v[0] = 3;
+  v[1] = v[0] * 2;
+  v[2] = v[1] * 2;
+  v[3] = v[2] * 2;
+  return v[0] + v[1] + v[2] + v[3];
+})"), 45);
+}
+
+TEST(MiniC, PointersAndAddressOf) {
+  EXPECT_EQ(ExitOf(R"(
+int g = 7;
+int main(int a, int b) {
+  int local = 3;
+  int p = &g;
+  *p = *p + 1;
+  int q = &local;
+  *q = *q * 10;
+  return g + local;
+})"), 8 + 30);
+}
+
+TEST(MiniC, StringLiteralsAndOutput) {
+  auto result = CompileAndRun(R"(
+int main(int argc, int argv) {
+  putnum(7 * 6);
+  return 0;
+})");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->output, "42\n");
+}
+
+TEST(MiniC, CharLiterals) {
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return 'A' + 1; }"), 66);
+  EXPECT_EQ(ExitOf("int main(int a, int b) { return '\\n'; }"), 10);
+}
+
+TEST(MiniC, CommentsBothStyles) {
+  EXPECT_EQ(ExitOf(R"(
+// line comment
+int main(int a, int b) {
+  /* block
+     comment */
+  return 9; // trailing
+})"), 9);
+}
+
+TEST(MiniC, MutualRecursion) {
+  // No prototypes needed: calls to not-yet-defined functions simply emit
+  // unresolved references that the linker closes.
+  EXPECT_EQ(ExitOf(R"(
+int is_even(int n) {
+  if (n == 0) { return 1; }
+  return is_odd(n - 1);
+}
+int is_odd(int n) {
+  if (n == 0) { return 0; }
+  return is_even(n - 1);
+}
+int main(int a, int b) { return is_even(10) * 10 + is_odd(10); })"), 10);
+}
+
+TEST(MiniC, ErrorsAreParseErrors) {
+  auto bad = CompileC("int main( { return 1; }");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kParseError);
+
+  auto too_many = CompileC("int f(int a, int b, int c, int d, int e) { return 0; }");
+  ASSERT_FALSE(too_many.ok());
+
+  auto unterminated = CompileC("int main(int a, int b) { return 1;");
+  ASSERT_FALSE(unterminated.ok());
+}
+
+TEST(MiniC, FallOffEndReturnsZero) {
+  EXPECT_EQ(ExitOf("int main(int a, int b) { int x = 5; x = x + 1; }"), 0);
+}
+
+
+TEST(MiniC, ForLoop) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int total = 0;
+  for (int i = 1; i <= 10; i = i + 1) {
+    total = total + i;
+  }
+  return total;
+})"), 55);
+}
+
+TEST(MiniC, ForLoopEmptyClauses) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int i = 0;
+  for (;;) {
+    i = i + 1;
+    if (i == 7) { break; }
+  }
+  return i;
+})"), 7);
+}
+
+TEST(MiniC, BreakAndContinue) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int total = 0;
+  for (int i = 0; i < 20; i = i + 1) {
+    if (i % 2 == 0) { continue; }   // skip evens
+    if (i > 9) { break; }
+    total = total + i;              // 1+3+5+7+9
+  }
+  return total;
+})"), 25);
+}
+
+TEST(MiniC, NestedLoopsWithBreak) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int hits = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    int j = 0;
+    while (j < 5) {
+      j = j + 1;
+      if (j == 3) { break; }        // inner break only
+      hits = hits + 1;
+    }
+  }
+  return hits;
+})"), 10);
+}
+
+TEST(MiniC, ContinueInWhile) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int i = 0;
+  int total = 0;
+  while (i < 10) {
+    i = i + 1;
+    if (i % 3 != 0) { continue; }
+    total = total + i;              // 3+6+9
+  }
+  return total;
+})"), 18);
+}
+
+TEST(MiniC, BreakOutsideLoopRejected) {
+  auto result = CompileC("int main(int a, int b) { break; return 0; }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("break outside loop"), std::string::npos);
+}
+
+
+TEST(MiniC, ShortCircuitEvaluation) {
+  // The right side must not run when the left side decides: the guard keeps
+  // the division-by-zero (which would fault the machine) from executing.
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int zero = 0;
+  int safe1 = 0;
+  int safe2 = 0;
+  if (zero != 0 && 10 / zero > 0) { safe1 = 100; }
+  if (zero == 0 || 10 / zero > 0) { safe2 = 1; }
+  return safe1 + safe2;
+})"), 1);
+}
+
+TEST(MiniC, ShortCircuitSkipsCalls) {
+  EXPECT_EQ(ExitOf(R"(
+int calls = 0;
+int bump(int v) {
+  calls = calls + 1;
+  return v;
+}
+int main(int a, int b) {
+  int r = bump(0) && bump(1);   // second bump skipped
+  r = r + (bump(1) || bump(1)); // second bump skipped
+  return calls * 10 + r;        // 2 calls, r = 0 + 1
+})"), 21);
+}
+
+
+TEST(MiniC, NestedCallsAsArguments) {
+  EXPECT_EQ(ExitOf(R"(
+int add(int a, int b) { return a + b; }
+int twice(int x) { return x * 2; }
+int main(int a, int b) { return add(twice(3), add(twice(2), 1)); })"), 11);
+}
+
+TEST(MiniC, DeepRecursionUsesRealStack) {
+  EXPECT_EQ(ExitOf(R"(
+int depth(int n) {
+  if (n == 0) { return 0; }
+  return 1 + depth(n - 1);
+}
+int main(int a, int b) { return depth(200); })"), 200);
+}
+
+TEST(MiniC, GlobalArrayAcrossFunctions) {
+  EXPECT_EQ(ExitOf(R"(
+int tab[8];
+int fill(int n) {
+  for (int i = 0; i < n; i = i + 1) { tab[i] = i * 3; }
+  return 0;
+}
+int sum(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i = i + 1) { total = total + tab[i]; }
+  return total;
+}
+int main(int a, int b) {
+  fill(8);
+  return sum(8);      // 3*(0+..+7) = 84
+})"), 84);
+}
+
+TEST(MiniC, PointerPassedToFunction) {
+  EXPECT_EQ(ExitOf(R"(
+int set_to(int p, int v) { *p = v; return 0; }
+int main(int a, int b) {
+  int x = 1;
+  set_to(&x, 55);
+  return x;
+})"), 55);
+}
+
+TEST(MiniC, ComplexConditions) {
+  EXPECT_EQ(ExitOf(R"(
+int main(int a, int b) {
+  int count = 0;
+  for (int i = 0; i < 30; i = i + 1) {
+    if ((i % 3 == 0 && i % 5 == 0) || i == 1) { count = count + 1; }
+  }
+  return count;       // i = 0, 15 (fizzbuzz) and i = 1
+})"), 3);
+}
+
+}  // namespace
+}  // namespace omos

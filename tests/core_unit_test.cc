@@ -1,0 +1,231 @@
+// Unit tests for the core server's components: blueprint parser, namespace,
+// constraint solver, image cache, specialization keys.
+#include <gtest/gtest.h>
+
+#include "src/core/cache.h"
+#include "src/core/constraints.h"
+#include "src/core/namespace.h"
+#include "src/core/server.h"
+#include "src/core/sexpr.h"
+#include "src/support/strings.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+// ---- S-expressions -------------------------------------------------------------
+
+TEST(Sexpr, ParsesAtomsAndLists) {
+  ASSERT_OK_AND_ASSIGN(Sexpr e, ParseSexpr("(merge /lib/crt0.o \"str\" 0x100 (list a))"));
+  ASSERT_EQ(e.kind, Sexpr::Kind::kList);
+  ASSERT_EQ(e.children.size(), 5u);
+  EXPECT_EQ(e.children[0].atom, "merge");
+  EXPECT_EQ(e.children[1].atom, "/lib/crt0.o");
+  EXPECT_EQ(e.children[2].kind, Sexpr::Kind::kString);
+  EXPECT_EQ(e.children[2].atom, "str");
+  EXPECT_EQ(e.children[3].kind, Sexpr::Kind::kNumber);
+  EXPECT_EQ(e.children[3].number, 0x100u);
+  EXPECT_EQ(e.children[4].kind, Sexpr::Kind::kList);
+}
+
+TEST(Sexpr, CommentsAndEscapes) {
+  ASSERT_OK_AND_ASSIGN(Sexpr e, ParseSexpr("(source \"c\" \"int x = 0;\\n\") ; trailing"));
+  EXPECT_EQ(e.children[2].atom, "int x = 0;\n");
+}
+
+TEST(Sexpr, ToStringRoundTrips) {
+  const char* text = "(hide \"_REAL_malloc\" (merge (restrict \"^_malloc$\" /bin/ls.o)))";
+  ASSERT_OK_AND_ASSIGN(Sexpr e, ParseSexpr(text));
+  ASSERT_OK_AND_ASSIGN(Sexpr again, ParseSexpr(e.ToString()));
+  EXPECT_EQ(e.ToString(), again.ToString());
+}
+
+TEST(Sexpr, Errors) {
+  EXPECT_FALSE(ParseSexpr("(unterminated").ok());
+  EXPECT_FALSE(ParseSexpr(")").ok());
+  EXPECT_FALSE(ParseSexpr("(a) trailing").ok());
+  EXPECT_FALSE(ParseSexpr("\"unterminated string").ok());
+  EXPECT_FALSE(ParseSexpr("").ok());
+}
+
+TEST(Sexpr, ParseSequence) {
+  ASSERT_OK_AND_ASSIGN(auto exprs, ParseSexprs("(a) (b c)\n(d)"));
+  EXPECT_EQ(exprs.size(), 3u);
+}
+
+// ---- Namespace ------------------------------------------------------------------
+
+TEST(Namespace, DefineAndLookup) {
+  OmosNamespace ns;
+  ASSERT_OK(ns.DefineMeta("/bin/prog", "(merge /obj/a.o)"));
+  ASSERT_OK_AND_ASSIGN(const NamespaceEntry* entry, ns.Lookup("/bin/prog"));
+  EXPECT_EQ(entry->kind, EntryKind::kMeta);
+  EXPECT_FALSE(ns.Lookup("/bin/other").ok());
+  EXPECT_TRUE(ns.Exists("bin/prog"));  // normalization
+}
+
+TEST(Namespace, LibraryRecordsParsed) {
+  OmosNamespace ns;
+  ASSERT_OK(ns.DefineMeta("/lib/libc", R"(
+(constraint-list "T" 0x100000 "D" 0x40200000)
+(default-specialization "lib-constrained")
+(merge /libc/gen /libc/stdio)
+)"));
+  ASSERT_OK_AND_ASSIGN(const NamespaceEntry* entry, ns.Lookup("/lib/libc"));
+  EXPECT_EQ(entry->kind, EntryKind::kLibrary);  // records imply library
+  EXPECT_EQ(entry->hints.text_base, 0x100000u);
+  EXPECT_EQ(entry->hints.data_base, 0x40200000u);
+  EXPECT_EQ(entry->default_spec, "lib-constrained");
+}
+
+TEST(Namespace, RejectsMultipleConstructions) {
+  OmosNamespace ns;
+  auto result = ns.DefineMeta("/x", "(merge a) (merge b)");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Namespace, ListChildren) {
+  OmosNamespace ns;
+  ASSERT_OK(ns.DefineMeta("/bin/ls", "(merge /a)"));
+  ASSERT_OK(ns.DefineMeta("/bin/cat", "(merge /a)"));
+  ASSERT_OK(ns.DefineMeta("/bin/tools/strip", "(merge /a)"));
+  auto names = ns.List("/bin");
+  EXPECT_EQ(names, (std::vector<std::string>{"cat", "ls", "tools"}));
+}
+
+// ---- Constraint solver -----------------------------------------------------------
+
+TEST(Constraints, FirstFitWithoutHints) {
+  ConstraintSolver solver;
+  ASSERT_OK_AND_ASSIGN(Placement a, solver.Place("a", 0x5000, 0x1000));
+  ASSERT_OK_AND_ASSIGN(Placement b, solver.Place("b", 0x5000, 0x1000));
+  EXPECT_NE(a.text_base, b.text_base);
+  EXPECT_GE(b.text_base, a.text_base + 0x5000);
+}
+
+TEST(Constraints, ReusePlacementForSameObject) {
+  ConstraintSolver solver;
+  ASSERT_OK_AND_ASSIGN(Placement first, solver.Place("libc", 0x10000, 0x2000));
+  EXPECT_FALSE(first.reused);
+  ASSERT_OK_AND_ASSIGN(Placement second, solver.Place("libc", 0x10000, 0x2000));
+  EXPECT_TRUE(second.reused);
+  EXPECT_EQ(second.text_base, first.text_base);
+}
+
+TEST(Constraints, GrowingObjectGetsNewPlacement) {
+  ConstraintSolver solver;
+  ASSERT_OK_AND_ASSIGN(Placement small, solver.Place("lib", 0x1000, 0x1000));
+  ASSERT_OK_AND_ASSIGN(Placement big, solver.Place("lib", 0x100000, 0x1000));
+  EXPECT_FALSE(big.reused);
+  (void)small;
+}
+
+TEST(Constraints, HintHonouredWhenFree) {
+  ConstraintSolver solver;
+  PlacementHints hints;
+  hints.text_base = 0x02000000;
+  ASSERT_OK_AND_ASSIGN(Placement p, solver.Place("lib", 0x1000, 0x1000, hints));
+  EXPECT_EQ(p.text_base, 0x02000000u);
+  EXPECT_TRUE(solver.conflicts().empty());
+}
+
+TEST(Constraints, ConflictSpillsAndRecords) {
+  ConstraintSolver solver;
+  PlacementHints hints;
+  hints.text_base = 0x02000000;
+  ASSERT_OK(solver.Place("first", 0x4000, 0x1000, hints));
+  ASSERT_OK_AND_ASSIGN(Placement second, solver.Place("second", 0x4000, 0x1000, hints));
+  EXPECT_NE(second.text_base, 0x02000000u);
+  ASSERT_EQ(solver.conflicts().size(), 1u);
+  EXPECT_EQ(solver.conflicts()[0].object, "second");
+  EXPECT_EQ(solver.conflicts()[0].holder, "first");
+}
+
+TEST(Constraints, ReleaseFreesRange) {
+  ConstraintSolver solver;
+  PlacementHints hints;
+  hints.text_base = 0x02000000;
+  ASSERT_OK(solver.Place("a", 0x1000, 0x1000, hints));
+  solver.Release("a");
+  ASSERT_OK_AND_ASSIGN(Placement b, solver.Place("b", 0x1000, 0x1000, hints));
+  EXPECT_EQ(b.text_base, 0x02000000u);
+}
+
+TEST(Constraints, ExhaustionReported) {
+  SolverArenas arenas;
+  arenas.text_lo = 0x100000;
+  arenas.text_hi = 0x103000;  // room for 3 pages only
+  ConstraintSolver solver(arenas);
+  ASSERT_OK(solver.Place("a", 0x2000, 0x1000));
+  auto result = solver.Place("b", 0x2000, 0x1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kConstraintConflict);
+}
+
+// ---- Image cache -----------------------------------------------------------------
+
+CachedImage MakeImage(uint32_t bytes) {
+  CachedImage image;
+  image.image.text.resize(bytes);
+  return image;
+}
+
+TEST(Cache, HitMissCounting) {
+  ImageCache cache;
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", MakeImage(100));
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, PointerStableAcrossOtherInsertions) {
+  ImageCache cache;
+  const CachedImage* a = cache.Put("a", MakeImage(10));
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(StrCat("x", i), MakeImage(10));
+  }
+  EXPECT_EQ(cache.Get("a"), a);
+}
+
+TEST(Cache, LruEvictionByBytes) {
+  ImageCache cache(1000);
+  cache.Put("a", MakeImage(400));
+  cache.Put("b", MakeImage(400));
+  EXPECT_NE(cache.Get("a"), nullptr);  // touch a; b becomes LRU
+  cache.Put("c", MakeImage(400));      // exceeds budget -> evict b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, ReplaceUpdatesBytes) {
+  ImageCache cache;
+  cache.Put("a", MakeImage(100));
+  cache.Put("a", MakeImage(300));
+  EXPECT_EQ(cache.stats().bytes_cached, 300u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+// ---- Specialization keys -----------------------------------------------------------
+
+TEST(Specialization, KeyStringRoundTrip) {
+  Specialization spec;
+  spec.name = "lib-constrained";
+  spec.hints.text_base = 0x1000000;
+  spec.hints.data_base = 0x40200000;
+  Specialization parsed = Specialization::FromKeyString(spec.ToKeyString());
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.hints.text_base, spec.hints.text_base);
+  EXPECT_EQ(parsed.hints.data_base, spec.hints.data_base);
+}
+
+TEST(Specialization, EmptyIsDefault) {
+  Specialization parsed = Specialization::FromKeyString("");
+  EXPECT_TRUE(parsed.name.empty());
+  EXPECT_FALSE(parsed.hints.text_base.has_value());
+}
+
+}  // namespace
+}  // namespace omos

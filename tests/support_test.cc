@@ -1,0 +1,115 @@
+// Unit tests for src/support: Result, Error, string utilities, logging.
+#include <gtest/gtest.h>
+
+#include "src/support/error.h"
+#include "src/support/log.h"
+#include "src/support/result.h"
+#include "src/support/strings.h"
+
+namespace omos {
+namespace {
+
+TEST(Error, ToStringIncludesCodeAndMessage) {
+  Error e(ErrorCode::kUnresolvedSymbol, "reference to _foo has no definition");
+  EXPECT_EQ(e.ToString(), "unresolved-symbol: reference to _foo has no definition");
+}
+
+TEST(Error, EveryCodeHasAName) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(i)), "unknown");
+  }
+}
+
+TEST(Result, ValueRoundTrip) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, ErrorRoundTrip) {
+  Result<int> r = Err(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = OkResult();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad = Err(ErrorCode::kIoError, "disk on fire");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kIoError);
+}
+
+Result<int> Doubler(Result<int> in) {
+  OMOS_TRY(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, TryMacroPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  Result<int> failed = Doubler(Err(ErrorCode::kParseError, "x"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code(), ErrorCode::kParseError);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(SplitString("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(SplitString("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Strip) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(Strings, StrCat) {
+  EXPECT_EQ(StrCat("sym ", "x", " at ", 16), "sym x at 16");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(Strings, Hex32) {
+  EXPECT_EQ(Hex32(0), "0x00000000");
+  EXPECT_EQ(Hex32(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(Strings, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), Fnv1a(std::string_view("\0", 1)));
+}
+
+TEST(Strings, RegexMatch) {
+  EXPECT_TRUE(RegexMatch("_malloc", "^_malloc$"));
+  EXPECT_FALSE(RegexMatch("_malloc2", "^_malloc$"));
+  EXPECT_TRUE(RegexMatch("_malloc2", "_malloc"));  // substring search semantics
+  EXPECT_TRUE(RegexMatch("c_17", "^(c_17|c_18)$"));
+  EXPECT_FALSE(RegexMatch("x", "["));  // invalid pattern -> no match, no throw
+}
+
+TEST(Log, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kNone);
+  LogMessage(LogLevel::kError, "test", "should be dropped silently");
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,161 @@
+// OFE library operations: listings, renames, visibility edits, stripping,
+// trial links, host-file round trips.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/support/strings.h"
+#include "src/tools/ofe_lib.h"
+#include "src/vasm/assembler.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+ObjectFile DemoObject() {
+  auto result = Assemble(R"(
+.text
+.global compute
+compute:
+  push lr
+  call helper
+  addi r0, r0, 1
+  pop lr
+  ret
+.global helper
+helper:
+  movi r0, 41
+  ret
+scratch:
+  nop
+.data
+.global table
+table: .word helper
+)", "demo.o");
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().ToString());
+  return std::move(result).value();
+}
+
+TEST(Ofe, SymbolListingShowsEverything) {
+  std::string listing = OfeSymbolListing(DemoObject());
+  EXPECT_NE(listing.find("compute global text +0"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("helper global text"), std::string::npos);
+  EXPECT_NE(listing.find("scratch local text"), std::string::npos);
+  EXPECT_NE(listing.find("table global data +0"), std::string::npos);
+}
+
+TEST(Ofe, RelocListing) {
+  std::string listing = OfeRelocListing(DemoObject());
+  EXPECT_NE(listing.find("text+12 abs32 -> helper"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("data+0 abs32 -> helper"), std::string::npos);
+}
+
+TEST(Ofe, DisassemblyHasLabelsAndAnnotations) {
+  ASSERT_OK_AND_ASSIGN(std::string text, OfeDisassembly(DemoObject()));
+  EXPECT_NE(text.find("compute:"), std::string::npos);
+  EXPECT_NE(text.find("helper:"), std::string::npos);
+  EXPECT_NE(text.find("abs32(helper)"), std::string::npos);
+  EXPECT_NE(text.find("addi r0, r0, 1"), std::string::npos);
+}
+
+TEST(Ofe, RenameFollowsRelocations) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile renamed, OfeRename(DemoObject(), "^helper$", "impl_&"));
+  EXPECT_EQ(renamed.FindSymbol("helper"), nullptr);
+  ASSERT_NE(renamed.FindSymbol("impl_helper"), nullptr);
+  // Both the text call and the data word follow.
+  bool text_follows = false;
+  for (const Relocation& reloc : renamed.section(SectionKind::kText).relocs) {
+    if (reloc.symbol == "impl_helper") {
+      text_follows = true;
+    }
+  }
+  EXPECT_TRUE(text_follows);
+  EXPECT_EQ(renamed.section(SectionKind::kData).relocs[0].symbol, "impl_helper");
+  // And the result still links and runs.
+  LayoutSpec layout;
+  layout.allow_unresolved = false;
+  (void)layout;
+}
+
+TEST(Ofe, RenameCollisionRejected) {
+  auto result = OfeRename(DemoObject(), "^(compute|helper)$", "same_name");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kDuplicateSymbol);
+}
+
+TEST(Ofe, HideDemotesToLocal) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile hidden, OfeHide(DemoObject(), "^helper$"));
+  EXPECT_EQ(hidden.FindSymbol("helper")->binding, SymbolBinding::kLocal);
+  EXPECT_EQ(hidden.FindSymbol("compute")->binding, SymbolBinding::kGlobal);
+  EXPECT_TRUE(hidden.Definitions().size() == 2u);  // compute + table
+}
+
+TEST(Ofe, WeakenAllowsOverridingMerge) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile weakened, OfeWeaken(DemoObject(), "^helper$"));
+  EXPECT_EQ(weakened.FindSymbol("helper")->binding, SymbolBinding::kWeak);
+  // A strong definition elsewhere now merges cleanly.
+  ASSERT_OK_AND_ASSIGN(ObjectFile strong, Assemble(R"(
+.text
+.global helper
+helper:
+  movi r0, 99
+  ret
+)", "strong.o"));
+  ASSERT_OK_AND_ASSIGN(LinkedImage image,
+                       OfeLink({weakened, strong}, 0x100000, /*allow_unresolved=*/false));
+  // The strong definition won.
+  const ImageSymbol* helper = image.FindSymbol("helper");
+  ASSERT_NE(helper, nullptr);
+}
+
+TEST(Ofe, StripLocalsKeepsReferencedOnes) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile obj, Assemble(R"(
+.text
+.global f
+f:
+  call used_local
+  ret
+used_local:
+  ret
+unused_local:
+  nop
+)", "s.o"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile stripped, OfeStripLocals(obj));
+  EXPECT_NE(stripped.FindSymbol("used_local"), nullptr);
+  EXPECT_EQ(stripped.FindSymbol("unused_local"), nullptr);
+  EXPECT_NE(stripped.FindSymbol("f"), nullptr);
+}
+
+TEST(Ofe, TrialLinkReportsUnresolved) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile obj, Assemble(R"(
+.text
+.global f
+f:
+  call missing_fn
+  ret
+)", "u.o"));
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, OfeLink({obj}, 0x100000, /*allow_unresolved=*/true));
+  EXPECT_EQ(image.unresolved, (std::vector<std::string>{"missing_fn"}));
+}
+
+TEST(Ofe, HostFileRoundTripBothFormats) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = StrCat(tmp != nullptr ? tmp : "/tmp", "/ofe_test_obj");
+  ObjectFile object = DemoObject();
+  for (const char* format : {"xof-binary", "xof-text"}) {
+    std::string path = StrCat(base, ".", format);
+    ASSERT_OK(SaveObjectFile(object, path, format));
+    ASSERT_OK_AND_ASSIGN(ObjectFile loaded, LoadObjectFile(path));
+    EXPECT_EQ(loaded, object) << format;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Ofe, MissingHostFileIsIoError) {
+  auto result = LoadObjectFile("/definitely/not/here.xo");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace omos

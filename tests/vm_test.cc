@@ -1,0 +1,215 @@
+// Unit tests for src/vm: physical frame refcounting, segment images,
+// address spaces (mapping, protection, page-crossing access, accounting).
+#include <gtest/gtest.h>
+
+#include "src/vm/address_space.h"
+#include "src/vm/phys_memory.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+TEST(PhysMemory, AllocateZeroedAndReuse) {
+  PhysMemory phys;
+  ASSERT_OK_AND_ASSIGN(FrameId a, phys.Allocate());
+  phys.FrameData(a)[0] = 0xAB;
+  EXPECT_EQ(phys.frames_in_use(), 1u);
+  phys.Unref(a);
+  EXPECT_EQ(phys.frames_in_use(), 0u);
+  ASSERT_OK_AND_ASSIGN(FrameId b, phys.Allocate());
+  EXPECT_EQ(b, a);  // frame recycled
+  EXPECT_EQ(phys.FrameData(b)[0], 0);  // and zeroed
+}
+
+TEST(PhysMemory, RefCounting) {
+  PhysMemory phys;
+  ASSERT_OK_AND_ASSIGN(FrameId frame, phys.Allocate());
+  phys.Ref(frame);
+  phys.Ref(frame);
+  EXPECT_EQ(phys.RefCount(frame), 3u);
+  phys.Unref(frame);
+  phys.Unref(frame);
+  EXPECT_EQ(phys.frames_in_use(), 1u);
+  phys.Unref(frame);
+  EXPECT_EQ(phys.frames_in_use(), 0u);
+}
+
+TEST(PhysMemory, ExhaustionReported) {
+  PhysMemory phys(2);
+  ASSERT_OK(phys.Allocate());
+  ASSERT_OK(phys.Allocate());
+  auto third = phys.Allocate();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.error().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(PhysMemory, PeakTracking) {
+  PhysMemory phys;
+  ASSERT_OK_AND_ASSIGN(FrameId a, phys.Allocate());
+  ASSERT_OK(phys.Allocate());
+  phys.Unref(a);
+  EXPECT_EQ(phys.peak_frames(), 2u);
+  EXPECT_EQ(phys.frames_in_use(), 1u);
+}
+
+TEST(SegmentImage, HoldsDataPaddedToPages) {
+  PhysMemory phys;
+  std::vector<uint8_t> bytes(kPageSize + 100, 0x5A);
+  ASSERT_OK_AND_ASSIGN(SegmentImage image, SegmentImage::Create(phys, bytes));
+  EXPECT_EQ(image.num_pages(), 2u);
+  EXPECT_EQ(image.size_bytes(), bytes.size());
+  EXPECT_EQ(phys.frames_in_use(), 2u);
+  EXPECT_EQ(phys.FrameData(image.frames()[1])[99], 0x5A);
+  EXPECT_EQ(phys.FrameData(image.frames()[1])[100], 0);  // padding zeroed
+}
+
+TEST(SegmentImage, DestructorReleasesFrames) {
+  PhysMemory phys;
+  {
+    std::vector<uint8_t> bytes(100, 1);
+    ASSERT_OK_AND_ASSIGN(SegmentImage image, SegmentImage::Create(phys, bytes));
+    EXPECT_EQ(phys.frames_in_use(), 1u);
+  }
+  EXPECT_EQ(phys.frames_in_use(), 0u);
+}
+
+TEST(SegmentImage, MoveTransfersOwnership) {
+  PhysMemory phys;
+  std::vector<uint8_t> bytes(100, 1);
+  ASSERT_OK_AND_ASSIGN(SegmentImage a, SegmentImage::Create(phys, bytes));
+  SegmentImage b = std::move(a);
+  EXPECT_EQ(b.num_pages(), 1u);
+  EXPECT_EQ(phys.frames_in_use(), 1u);
+}
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  PhysMemory phys_;
+};
+
+TEST_F(AddressSpaceTest, MapPrivateReadWrite) {
+  AddressSpace space(phys_);
+  std::vector<uint8_t> init = {1, 2, 3, 4};
+  ASSERT_OK(space.MapPrivate(0x1000, 100, init, kProtRead | kProtWrite, "data"));
+  ASSERT_OK_AND_ASSIGN(uint32_t word, space.Read32(0x1000));
+  EXPECT_EQ(word, 0x04030201u);
+  ASSERT_OK(space.Write32(0x1010, 0xAABBCCDD));
+  ASSERT_OK_AND_ASSIGN(uint32_t back, space.Read32(0x1010));
+  EXPECT_EQ(back, 0xAABBCCDDu);
+}
+
+TEST_F(AddressSpaceTest, SharedMappingSharesFrames) {
+  std::vector<uint8_t> bytes(kPageSize, 0x7E);
+  ASSERT_OK_AND_ASSIGN(SegmentImage image, SegmentImage::Create(phys_, bytes));
+  AddressSpace a(phys_);
+  AddressSpace b(phys_);
+  ASSERT_OK(a.MapShared(0x10000, image, kProtRead | kProtExec, "text"));
+  ASSERT_OK(b.MapShared(0x10000, image, kProtRead | kProtExec, "text"));
+  // One physical frame, three references (image + two mappings).
+  EXPECT_EQ(phys_.frames_in_use(), 1u);
+  EXPECT_EQ(phys_.RefCount(image.frames()[0]), 3u);
+  EXPECT_EQ(a.shared_pages(), 1u);
+  EXPECT_EQ(a.private_pages(), 0u);
+}
+
+TEST_F(AddressSpaceTest, OverlapRejected) {
+  AddressSpace space(phys_);
+  ASSERT_OK(space.MapZero(0x1000, kPageSize * 2, kProtRead, "a"));
+  auto overlap = space.MapZero(0x2000, kPageSize, kProtRead, "b");
+  ASSERT_FALSE(overlap.ok());
+  EXPECT_EQ(overlap.error().code(), ErrorCode::kAlreadyExists);
+  ASSERT_OK(space.MapZero(0x3000, kPageSize, kProtRead, "c"));
+}
+
+TEST_F(AddressSpaceTest, UnalignedBaseRejected) {
+  AddressSpace space(phys_);
+  auto result = space.MapZero(0x1234, kPageSize, kProtRead, "x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AddressSpaceTest, ProtectionEnforced) {
+  AddressSpace space(phys_);
+  ASSERT_OK(space.MapZero(0x1000, kPageSize, kProtRead, "ro"));
+  auto write = space.Write32(0x1000, 1);
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.error().code(), ErrorCode::kExecFault);
+  auto fetch = space.FetchBytes(0x1000, nullptr, 0);  // zero-size ok anywhere
+  (void)fetch;
+  uint8_t buf[8];
+  auto exec = space.FetchBytes(0x1000, buf, 8);
+  ASSERT_FALSE(exec.ok());  // not executable
+}
+
+TEST_F(AddressSpaceTest, UnmappedAccessFaults) {
+  AddressSpace space(phys_);
+  auto result = space.Read32(0xDEAD0000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+}
+
+TEST_F(AddressSpaceTest, PageCrossingAccess) {
+  AddressSpace space(phys_);
+  ASSERT_OK(space.MapZero(0x1000, kPageSize * 2, kProtRead | kProtWrite, "span"));
+  // Write 8 bytes straddling the page boundary.
+  uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_OK(space.WriteBytes(0x1000 + kPageSize - 4, data, 8));
+  uint8_t back[8] = {0};
+  ASSERT_OK(space.ReadBytes(0x1000 + kPageSize - 4, back, 8));
+  EXPECT_EQ(memcmp(data, back, 8), 0);
+}
+
+TEST_F(AddressSpaceTest, ReadCString) {
+  AddressSpace space(phys_);
+  ASSERT_OK(space.MapZero(0x1000, kPageSize, kProtRead | kProtWrite, "s"));
+  const char* msg = "hello";
+  ASSERT_OK(space.WriteBytes(0x1000, msg, 6));
+  ASSERT_OK_AND_ASSIGN(std::string s, space.ReadCString(0x1000));
+  EXPECT_EQ(s, "hello");
+  // Unterminated within limit fails.
+  std::vector<uint8_t> noz(16, 'x');
+  ASSERT_OK(space.WriteBytes(0x1100, noz.data(), 16));
+  auto bad = space.ReadCString(0x1100, 8);
+  ASSERT_FALSE(bad.ok());
+}
+
+TEST_F(AddressSpaceTest, UnmapReleasesFramesAndAllowsRemap) {
+  AddressSpace space(phys_);
+  ASSERT_OK(space.MapZero(0x1000, kPageSize, kProtRead, "x"));
+  EXPECT_EQ(phys_.frames_in_use(), 1u);
+  ASSERT_OK(space.Unmap(0x1000));
+  EXPECT_EQ(phys_.frames_in_use(), 0u);
+  ASSERT_OK(space.MapZero(0x1000, kPageSize, kProtRead, "y"));
+  auto missing = space.Unmap(0x9000);
+  ASSERT_FALSE(missing.ok());
+}
+
+TEST_F(AddressSpaceTest, DestructorReleasesEverything) {
+  {
+    AddressSpace space(phys_);
+    ASSERT_OK(space.MapZero(0x1000, kPageSize * 3, kProtRead, "x"));
+    EXPECT_EQ(phys_.frames_in_use(), 3u);
+  }
+  EXPECT_EQ(phys_.frames_in_use(), 0u);
+}
+
+TEST_F(AddressSpaceTest, RegionsListing) {
+  AddressSpace space(phys_);
+  ASSERT_OK(space.MapZero(0x2000, kPageSize, kProtRead | kProtWrite, "data"));
+  ASSERT_OK(space.MapZero(0x1000, kPageSize, kProtRead | kProtExec, "text"));
+  auto regions = space.Regions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].base, 0x1000u);  // sorted by base
+  EXPECT_EQ(regions[0].name, "text");
+  EXPECT_EQ(regions[1].name, "data");
+}
+
+TEST(PageAlign, Helpers) {
+  EXPECT_EQ(PageAlignUp(0u), 0u);
+  EXPECT_EQ(PageAlignUp(1u), kPageSize);
+  EXPECT_EQ(PageAlignUp(kPageSize), kPageSize);
+  EXPECT_EQ(PageAlignDown(kPageSize + 1), kPageSize);
+}
+
+}  // namespace
+}  // namespace omos

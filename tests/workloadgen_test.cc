@@ -1,0 +1,108 @@
+// The workload generators themselves: determinism, parameter scaling,
+// structural properties the benchmarks rely on.
+#include <gtest/gtest.h>
+
+#include "src/support/strings.h"
+#include "src/workloads/workloads.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+WorkloadParams SmallParams() {
+  WorkloadParams params;
+  params.libc_filler = 10;
+  params.alpha_functions = 12;
+  params.libm_functions = 6;
+  params.libl_functions = 4;
+  params.libcpp_functions = 8;
+  params.codegen_files = 4;
+  params.codegen_funcs_per_file = 4;  // covers all four library families (j % 4)
+  return params;
+}
+
+TEST(WorkloadGen, Deterministic) {
+  ASSERT_OK_AND_ASSIGN(Workloads a, BuildWorkloads(SmallParams()));
+  ASSERT_OK_AND_ASSIGN(Workloads b, BuildWorkloads(SmallParams()));
+  EXPECT_EQ(a.crt0, b.crt0);
+  EXPECT_EQ(a.ls_obj, b.ls_obj);
+  ASSERT_EQ(a.codegen_objs.size(), b.codegen_objs.size());
+  for (size_t i = 0; i < a.codegen_objs.size(); ++i) {
+    EXPECT_EQ(a.codegen_objs[i], b.codegen_objs[i]) << i;
+  }
+  EXPECT_EQ(a.libc.Encode(), b.libc.Encode());
+}
+
+TEST(WorkloadGen, ParametersControlLibrarySizes) {
+  WorkloadParams params = SmallParams();
+  ASSERT_OK_AND_ASSIGN(Workloads w, BuildWorkloads(params));
+  EXPECT_EQ(w.alpha1.members().size(), static_cast<size_t>(params.alpha_functions));
+  EXPECT_EQ(w.libm.members().size(), static_cast<size_t>(params.libm_functions));
+  EXPECT_EQ(w.libl.members().size(), static_cast<size_t>(params.libl_functions));
+  EXPECT_EQ(w.libcpp.members().size(), static_cast<size_t>(params.libcpp_functions));
+  // libc = hand-written core + filler.
+  EXPECT_GT(w.libc.members().size(), static_cast<size_t>(params.libc_filler));
+  // codegen: one object per file + main.
+  EXPECT_EQ(w.codegen_objs.size(), static_cast<size_t>(params.codegen_files) + 1);
+}
+
+TEST(WorkloadGen, OneFunctionPerLibraryObject) {
+  ASSERT_OK_AND_ASSIGN(Workloads w, BuildWorkloads(SmallParams()));
+  // Routine-level granularity is what makes §4.1 reordering possible.
+  for (const ObjectFile& member : w.alpha1.members()) {
+    int text_defs = 0;
+    for (const Symbol& sym : member.symbols()) {
+      if (sym.defined && sym.binding == SymbolBinding::kGlobal &&
+          sym.section == SectionKind::kText) {
+        ++text_defs;
+      }
+    }
+    EXPECT_EQ(text_defs, 1) << member.name();
+  }
+}
+
+TEST(WorkloadGen, LibcCoreProvidesSyscallWrappers) {
+  ASSERT_OK_AND_ASSIGN(Workloads w, BuildWorkloads(SmallParams()));
+  for (const char* fn : {"f_open", "f_read", "f_getdents", "f_stat", "print_str", "print_num",
+                         "strlen", "strcmp", "path_join", "malloc"}) {
+    EXPECT_NE(w.libc.FindDefiner(fn), nullptr) << fn;
+  }
+}
+
+TEST(WorkloadGen, CodegenReferencesAllSixLibraries) {
+  ASSERT_OK_AND_ASSIGN(Workloads w, BuildWorkloads(SmallParams()));
+  std::vector<ObjectFile> objs = w.codegen_objs;
+  objs.insert(objs.begin(), w.crt0);
+  ASSERT_OK_AND_ASSIGN(Module m, ModuleFromObjects(objs));
+  ASSERT_OK_AND_ASSIGN(auto unbound, m.UnboundRefNames());
+  bool a1 = false;
+  bool a2 = false;
+  bool lm = false;
+  bool ll = false;
+  bool lc = false;
+  bool libc = false;
+  for (const std::string& name : unbound) {
+    a1 |= StartsWith(name, "a1_");
+    a2 |= StartsWith(name, "a2_");
+    lm |= StartsWith(name, "m_");
+    ll |= StartsWith(name, "l_");
+    lc |= StartsWith(name, "C_");
+    libc |= name == "f_open" || name == "print_num";
+  }
+  EXPECT_TRUE(a1 && a2 && lm && ll && lc && libc);
+}
+
+TEST(WorkloadGen, FsPopulationMatchesExpectedListing) {
+  SimFs fs;
+  PopulateLsData(fs, 5);
+  std::string expected = ExpectedLsShortOutput(fs, "/data");
+  EXPECT_NE(expected.find("file00.txt\n"), std::string::npos);
+  EXPECT_NE(expected.find("subdir\n"), std::string::npos);
+  EXPECT_EQ(std::count(expected.begin(), expected.end(), '\n'), 6);  // 5 files + subdir
+  PopulateCodegenInputs(fs);
+  EXPECT_TRUE(fs.Exists("/input/f0"));
+  EXPECT_TRUE(fs.Exists("/input/f2"));
+}
+
+}  // namespace
+}  // namespace omos

@@ -1,0 +1,170 @@
+// Workload integration: ls and codegen must behave identically under the
+// traditional baseline and both OMOS schemes.
+#include <gtest/gtest.h>
+
+#include "src/baseline/dynlib.h"
+#include "src/core/server.h"
+#include "src/support/strings.h"
+#include "src/workloads/workloads.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadParams params;
+    params.libc_filler = 24;  // keep unit tests fast; benches use full size
+    params.alpha_functions = 30;
+    params.libm_functions = 12;
+    params.libl_functions = 8;
+    params.libcpp_functions = 20;
+    params.codegen_files = 8;
+    params.codegen_funcs_per_file = 4;
+    auto built = BuildWorkloads(params);
+    ASSERT_TRUE(built.ok()) << built.error().ToString();
+    workloads_ = new Workloads(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete workloads_;
+    workloads_ = nullptr;
+  }
+
+  void SetUp() override {
+    PopulateLsData(kernel_.fs());
+    PopulateCodegenInputs(kernel_.fs());
+  }
+
+  Result<RunOutcome> FinishTask(Kernel& kernel, TaskId id) {
+    Task* task = kernel.FindTask(id);
+    OMOS_TRY_VOID(kernel.RunTask(*task));
+    RunOutcome out;
+    out.exit_code = task->exit_code();
+    out.output = task->output();
+    out.user_cycles = task->user_cycles();
+    out.sys_cycles = task->sys_cycles();
+    return out;
+  }
+
+  // Register workload objects with an OMOS server (ls program + libc).
+  Result<void> RegisterWithOmos(OmosServer& server) {
+    OMOS_TRY_VOID(server.AddFragment("/lib/crt0.o", workloads_->crt0));
+    OMOS_TRY_VOID(server.AddFragment("/obj/ls.o", workloads_->ls_obj));
+    OMOS_TRY_VOID(server.AddArchive("/libc", workloads_->libc));
+    OMOS_TRY_VOID(server.DefineLibrary("/lib/libc",
+                                       "(constraint-list \"T\" 0x2000000)\n(merge /libc)"));
+    OMOS_TRY_VOID(
+        server.DefineMeta("/bin/ls", "(merge /lib/crt0.o /obj/ls.o /lib/libc)"));
+    return OkResult();
+  }
+
+  static Workloads* workloads_;
+  Kernel kernel_;
+};
+
+Workloads* WorkloadTest::workloads_ = nullptr;
+
+TEST_F(WorkloadTest, LsUnderOmosIntegratedExec) {
+  OmosServer server(kernel_);
+  ASSERT_OK(RegisterWithOmos(server));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server.IntegratedExec("/bin/ls", {"ls", "/data"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, FinishTask(kernel_, id));
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_EQ(out.output, ExpectedLsShortOutput(kernel_.fs(), "/data"));
+}
+
+TEST_F(WorkloadTest, LsLongModeStatsEveryEntry) {
+  OmosServer server(kernel_);
+  ASSERT_OK(RegisterWithOmos(server));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server.IntegratedExec("/bin/ls", {"ls", "-laF", "/data"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, FinishTask(kernel_, id));
+  EXPECT_EQ(out.exit_code, 0);
+  // Long mode emits a mode string per entry.
+  EXPECT_NE(out.output.find("rw-r--r--"), std::string::npos);
+  EXPECT_NE(out.output.find("file00.txt"), std::string::npos);
+  // And costs more than short mode.
+  ASSERT_OK_AND_ASSIGN(TaskId short_id, server.IntegratedExec("/bin/ls", {"ls", "/data"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome short_out, FinishTask(kernel_, short_id));
+  EXPECT_GT(out.sys_cycles, short_out.sys_cycles);
+}
+
+TEST_F(WorkloadTest, LsUnderBaselineMatchesOmos) {
+  // OMOS run.
+  OmosServer server(kernel_);
+  ASSERT_OK(RegisterWithOmos(server));
+  ASSERT_OK_AND_ASSIGN(TaskId omos_id, server.IntegratedExec("/bin/ls", {"ls", "-laF", "/data"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome omos_out, FinishTask(kernel_, omos_id));
+
+  // Baseline run in a separate kernel.
+  Kernel base_kernel;
+  PopulateLsData(base_kernel.fs());
+  Rtld rtld(base_kernel);
+  DynLibBuilder builder;
+  ASSERT_OK_AND_ASSIGN(Module libc_module, ModuleFromArchive(workloads_->libc));
+  ASSERT_OK_AND_ASSIGN(DynImage libc, builder.BuildLibrary("libc", libc_module));
+  ASSERT_OK(rtld.Install(std::move(libc)));
+  ASSERT_OK_AND_ASSIGN(Module ls_module,
+                       ModuleFromObjects({workloads_->crt0, workloads_->ls_obj}));
+  ASSERT_OK_AND_ASSIGN(DynImage ls_prog,
+                       builder.BuildExecutable("ls", ls_module, {rtld.Find("libc")}));
+  ASSERT_OK(rtld.Install(std::move(ls_prog)));
+  ASSERT_OK_AND_ASSIGN(TaskId base_id, rtld.Exec("ls", {"ls", "-laF", "/data"}));
+  Task* base_task = base_kernel.FindTask(base_id);
+  ASSERT_OK(base_kernel.RunTask(*base_task));
+
+  EXPECT_EQ(base_task->exit_code(), omos_out.exit_code);
+  EXPECT_EQ(base_task->output(), omos_out.output);
+}
+
+TEST_F(WorkloadTest, CodegenSameResultUnderAllSchemes) {
+  // OMOS self-contained.
+  OmosServer server(kernel_);
+  ASSERT_OK(server.AddFragment("/lib/crt0.o", workloads_->crt0));
+  for (size_t i = 0; i < workloads_->codegen_objs.size(); ++i) {
+    ASSERT_OK(server.AddFragment(StrCat("/obj/cg", i, ".o"), workloads_->codegen_objs[i]));
+  }
+  ASSERT_OK(server.AddArchive("/libc", workloads_->libc));
+  ASSERT_OK(server.AddArchive("/alpha1", workloads_->alpha1));
+  ASSERT_OK(server.AddArchive("/alpha2", workloads_->alpha2));
+  ASSERT_OK(server.AddArchive("/libm", workloads_->libm));
+  ASSERT_OK(server.AddArchive("/libl", workloads_->libl));
+  ASSERT_OK(server.AddArchive("/libC", workloads_->libcpp));
+  std::string meta = "(merge /lib/crt0.o";
+  for (size_t i = 0; i < workloads_->codegen_objs.size(); ++i) {
+    meta += StrCat(" /obj/cg", i, ".o");
+  }
+  meta += " /libc /alpha1 /alpha2 /libm /libl /libC)";
+  ASSERT_OK(server.DefineMeta("/bin/codegen", meta));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server.IntegratedExec("/bin/codegen", {"codegen"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome omos_out, FinishTask(kernel_, id));
+  EXPECT_EQ(omos_out.exit_code, 0);
+  EXPECT_FALSE(omos_out.output.empty());
+
+  // Baseline with six shared libraries.
+  Kernel base_kernel;
+  PopulateCodegenInputs(base_kernel.fs());
+  Rtld rtld(base_kernel);
+  DynLibBuilder builder;
+  std::vector<const DynImage*> libs;
+  for (const Archive* archive : {&workloads_->libc, &workloads_->alpha1, &workloads_->alpha2,
+                                 &workloads_->libm, &workloads_->libl, &workloads_->libcpp}) {
+    ASSERT_OK_AND_ASSIGN(Module m, ModuleFromArchive(*archive));
+    ASSERT_OK_AND_ASSIGN(DynImage lib, builder.BuildLibrary(archive->name(), m));
+    ASSERT_OK(rtld.Install(std::move(lib)));
+    libs.push_back(rtld.Find(archive->name()));
+  }
+  std::vector<ObjectFile> prog_objs = workloads_->codegen_objs;
+  prog_objs.insert(prog_objs.begin(), workloads_->crt0);
+  ASSERT_OK_AND_ASSIGN(Module prog_module, ModuleFromObjects(prog_objs));
+  ASSERT_OK_AND_ASSIGN(DynImage prog, builder.BuildExecutable("codegen", prog_module, libs));
+  ASSERT_OK(rtld.Install(std::move(prog)));
+  ASSERT_OK_AND_ASSIGN(TaskId base_id, rtld.Exec("codegen", {"codegen"}));
+  Task* base_task = base_kernel.FindTask(base_id);
+  ASSERT_OK(base_kernel.RunTask(*base_task));
+  EXPECT_EQ(base_task->output(), omos_out.output);
+  EXPECT_EQ(base_task->exit_code(), omos_out.exit_code);
+}
+
+}  // namespace
+}  // namespace omos
