@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispatch_memory.dir/bench_dispatch_memory.cc.o"
+  "CMakeFiles/bench_dispatch_memory.dir/bench_dispatch_memory.cc.o.d"
+  "bench_dispatch_memory"
+  "bench_dispatch_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

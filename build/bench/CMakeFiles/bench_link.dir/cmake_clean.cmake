@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link.dir/bench_link.cc.o"
+  "CMakeFiles/bench_link.dir/bench_link.cc.o.d"
+  "bench_link"
+  "bench_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

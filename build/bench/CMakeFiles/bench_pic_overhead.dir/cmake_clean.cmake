@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pic_overhead.dir/bench_pic_overhead.cc.o"
+  "CMakeFiles/bench_pic_overhead.dir/bench_pic_overhead.cc.o.d"
+  "bench_pic_overhead"
+  "bench_pic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pic_overhead.
+# This may be replaced when dependencies are built.

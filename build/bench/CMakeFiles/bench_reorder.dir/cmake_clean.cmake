@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorder.dir/bench_reorder.cc.o"
+  "CMakeFiles/bench_reorder.dir/bench_reorder.cc.o.d"
+  "bench_reorder"
+  "bench_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

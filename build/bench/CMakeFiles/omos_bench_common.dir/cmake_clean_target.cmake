@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libomos_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpose_malloc.dir/interpose_malloc.cpp.o"
+  "CMakeFiles/interpose_malloc.dir/interpose_malloc.cpp.o.d"
+  "interpose_malloc"
+  "interpose_malloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpose_malloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

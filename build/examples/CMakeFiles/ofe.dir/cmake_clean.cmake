@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofe.dir/ofe.cpp.o"
+  "CMakeFiles/ofe.dir/ofe.cpp.o.d"
+  "ofe"
+  "ofe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_shell.dir/omos_shell.cpp.o"
+  "CMakeFiles/omos_shell.dir/omos_shell.cpp.o.d"
+  "omos_shell"
+  "omos_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

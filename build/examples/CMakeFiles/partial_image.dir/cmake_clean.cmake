@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_image.dir/partial_image.cpp.o"
+  "CMakeFiles/partial_image.dir/partial_image.cpp.o.d"
+  "partial_image"
+  "partial_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_abort.dir/rename_abort.cpp.o"
+  "CMakeFiles/rename_abort.dir/rename_abort.cpp.o.d"
+  "rename_abort"
+  "rename_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rename_abort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_opt.dir/reorder_opt.cpp.o"
+  "CMakeFiles/reorder_opt.dir/reorder_opt.cpp.o.d"
+  "reorder_opt"
+  "reorder_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("objfmt")
+subdirs("isa")
+subdirs("vasm")
+subdirs("cc")
+subdirs("vm")
+subdirs("os")
+subdirs("linker")
+subdirs("ipc")
+subdirs("core")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("tools")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_baseline.dir/dyn_codec.cc.o"
+  "CMakeFiles/omos_baseline.dir/dyn_codec.cc.o.d"
+  "CMakeFiles/omos_baseline.dir/dynlib.cc.o"
+  "CMakeFiles/omos_baseline.dir/dynlib.cc.o.d"
+  "CMakeFiles/omos_baseline.dir/static_linker.cc.o"
+  "CMakeFiles/omos_baseline.dir/static_linker.cc.o.d"
+  "libomos_baseline.a"
+  "libomos_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

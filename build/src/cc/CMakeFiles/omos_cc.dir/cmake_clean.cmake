@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_cc.dir/compiler.cc.o"
+  "CMakeFiles/omos_cc.dir/compiler.cc.o.d"
+  "libomos_cc.a"
+  "libomos_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

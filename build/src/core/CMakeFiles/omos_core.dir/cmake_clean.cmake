@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_core.dir/cache.cc.o"
+  "CMakeFiles/omos_core.dir/cache.cc.o.d"
+  "CMakeFiles/omos_core.dir/constraints.cc.o"
+  "CMakeFiles/omos_core.dir/constraints.cc.o.d"
+  "CMakeFiles/omos_core.dir/namespace.cc.o"
+  "CMakeFiles/omos_core.dir/namespace.cc.o.d"
+  "CMakeFiles/omos_core.dir/server.cc.o"
+  "CMakeFiles/omos_core.dir/server.cc.o.d"
+  "CMakeFiles/omos_core.dir/sexpr.cc.o"
+  "CMakeFiles/omos_core.dir/sexpr.cc.o.d"
+  "CMakeFiles/omos_core.dir/stubgen.cc.o"
+  "CMakeFiles/omos_core.dir/stubgen.cc.o.d"
+  "libomos_core.a"
+  "libomos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_ipc.dir/channel.cc.o"
+  "CMakeFiles/omos_ipc.dir/channel.cc.o.d"
+  "CMakeFiles/omos_ipc.dir/message.cc.o"
+  "CMakeFiles/omos_ipc.dir/message.cc.o.d"
+  "CMakeFiles/omos_ipc.dir/transport.cc.o"
+  "CMakeFiles/omos_ipc.dir/transport.cc.o.d"
+  "libomos_ipc.a"
+  "libomos_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomos_ipc.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_isa.dir/isa.cc.o"
+  "CMakeFiles/omos_isa.dir/isa.cc.o.d"
+  "libomos_isa.a"
+  "libomos_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

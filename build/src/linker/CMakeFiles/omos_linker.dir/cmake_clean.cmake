@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_linker.dir/image_codec.cc.o"
+  "CMakeFiles/omos_linker.dir/image_codec.cc.o.d"
+  "CMakeFiles/omos_linker.dir/link.cc.o"
+  "CMakeFiles/omos_linker.dir/link.cc.o.d"
+  "CMakeFiles/omos_linker.dir/module.cc.o"
+  "CMakeFiles/omos_linker.dir/module.cc.o.d"
+  "libomos_linker.a"
+  "libomos_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objfmt/archive.cc" "src/objfmt/CMakeFiles/omos_objfmt.dir/archive.cc.o" "gcc" "src/objfmt/CMakeFiles/omos_objfmt.dir/archive.cc.o.d"
+  "/root/repo/src/objfmt/backend.cc" "src/objfmt/CMakeFiles/omos_objfmt.dir/backend.cc.o" "gcc" "src/objfmt/CMakeFiles/omos_objfmt.dir/backend.cc.o.d"
+  "/root/repo/src/objfmt/object_file.cc" "src/objfmt/CMakeFiles/omos_objfmt.dir/object_file.cc.o" "gcc" "src/objfmt/CMakeFiles/omos_objfmt.dir/object_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/omos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

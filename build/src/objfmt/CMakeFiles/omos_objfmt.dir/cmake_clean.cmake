@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_objfmt.dir/archive.cc.o"
+  "CMakeFiles/omos_objfmt.dir/archive.cc.o.d"
+  "CMakeFiles/omos_objfmt.dir/backend.cc.o"
+  "CMakeFiles/omos_objfmt.dir/backend.cc.o.d"
+  "CMakeFiles/omos_objfmt.dir/object_file.cc.o"
+  "CMakeFiles/omos_objfmt.dir/object_file.cc.o.d"
+  "libomos_objfmt.a"
+  "libomos_objfmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_objfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

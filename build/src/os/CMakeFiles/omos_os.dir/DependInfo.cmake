@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cpu.cc" "src/os/CMakeFiles/omos_os.dir/cpu.cc.o" "gcc" "src/os/CMakeFiles/omos_os.dir/cpu.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/omos_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/omos_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/loader.cc" "src/os/CMakeFiles/omos_os.dir/loader.cc.o" "gcc" "src/os/CMakeFiles/omos_os.dir/loader.cc.o.d"
+  "/root/repo/src/os/sim_fs.cc" "src/os/CMakeFiles/omos_os.dir/sim_fs.cc.o" "gcc" "src/os/CMakeFiles/omos_os.dir/sim_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/omos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/omos_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/omos_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/objfmt/CMakeFiles/omos_objfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_os.dir/cpu.cc.o"
+  "CMakeFiles/omos_os.dir/cpu.cc.o.d"
+  "CMakeFiles/omos_os.dir/kernel.cc.o"
+  "CMakeFiles/omos_os.dir/kernel.cc.o.d"
+  "CMakeFiles/omos_os.dir/loader.cc.o"
+  "CMakeFiles/omos_os.dir/loader.cc.o.d"
+  "CMakeFiles/omos_os.dir/sim_fs.cc.o"
+  "CMakeFiles/omos_os.dir/sim_fs.cc.o.d"
+  "libomos_os.a"
+  "libomos_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

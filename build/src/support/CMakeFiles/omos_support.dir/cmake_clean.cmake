@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_support.dir/error.cc.o"
+  "CMakeFiles/omos_support.dir/error.cc.o.d"
+  "CMakeFiles/omos_support.dir/log.cc.o"
+  "CMakeFiles/omos_support.dir/log.cc.o.d"
+  "CMakeFiles/omos_support.dir/strings.cc.o"
+  "CMakeFiles/omos_support.dir/strings.cc.o.d"
+  "libomos_support.a"
+  "libomos_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

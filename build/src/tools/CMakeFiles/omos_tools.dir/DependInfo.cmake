@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/ofe_lib.cc" "src/tools/CMakeFiles/omos_tools.dir/ofe_lib.cc.o" "gcc" "src/tools/CMakeFiles/omos_tools.dir/ofe_lib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linker/CMakeFiles/omos_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/objfmt/CMakeFiles/omos_objfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/omos_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/omos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

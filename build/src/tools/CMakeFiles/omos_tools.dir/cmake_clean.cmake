@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_tools.dir/ofe_lib.cc.o"
+  "CMakeFiles/omos_tools.dir/ofe_lib.cc.o.d"
+  "libomos_tools.a"
+  "libomos_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_vasm.dir/assembler.cc.o"
+  "CMakeFiles/omos_vasm.dir/assembler.cc.o.d"
+  "libomos_vasm.a"
+  "libomos_vasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_vasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_vm.dir/address_space.cc.o"
+  "CMakeFiles/omos_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/omos_vm.dir/phys_memory.cc.o"
+  "CMakeFiles/omos_vm.dir/phys_memory.cc.o.d"
+  "libomos_vm.a"
+  "libomos_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omos_workloads.dir/workloads.cc.o"
+  "CMakeFiles/omos_workloads.dir/workloads.cc.o.d"
+  "libomos_workloads.a"
+  "libomos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objfmt_test.dir/objfmt_test.cc.o"
+  "CMakeFiles/objfmt_test.dir/objfmt_test.cc.o.d"
+  "objfmt_test"
+  "objfmt_test.pdb"
+  "objfmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objfmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_features_test.dir/server_features_test.cc.o"
+  "CMakeFiles/server_features_test.dir/server_features_test.cc.o.d"
+  "server_features_test"
+  "server_features_test.pdb"
+  "server_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasm_test.dir/vasm_test.cc.o"
+  "CMakeFiles/vasm_test.dir/vasm_test.cc.o.d"
+  "vasm_test"
+  "vasm_test.pdb"
+  "vasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloadgen_test.dir/workloadgen_test.cc.o"
+  "CMakeFiles/workloadgen_test.dir/workloadgen_test.cc.o.d"
+  "workloadgen_test"
+  "workloadgen_test.pdb"
+  "workloadgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloadgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
