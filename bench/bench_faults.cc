@@ -1,0 +1,126 @@
+// Robustness costs: what the fault-tolerance machinery adds to the fast
+// path (unarmed fault sites, frame checksums), and what recovery costs when
+// faults actually fire (retry with backoff, corruption-triggered rebuilds,
+// snapshot/restore round trips).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/ipc/channel.h"
+#include "src/support/faultsim.h"
+#include "src/support/log.h"
+
+namespace omos {
+namespace {
+
+// The price of an unarmed fault site on the hot path: one map lookup guard.
+void BM_TripUnarmed(benchmark::State& state) {
+  FaultSim::Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaultSim::Trip("fs.read"));
+  }
+}
+BENCHMARK(BM_TripUnarmed);
+
+void BM_TripArmed(benchmark::State& state) {
+  ScopedFaultPlan plan(FaultPlan().Arm("fs.read", FaultSpec::Prob(0.01, 7)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaultSim::Trip("fs.read"));
+  }
+}
+BENCHMARK(BM_TripArmed);
+
+Channel MakeServerChannel(OmosWorld& world) {
+  OmosServer* server = world.server.get();
+  return Channel(MakeStreamTransport(
+      [server](const std::vector<uint8_t>& bytes) { return server->ServeMessage(bytes); },
+      2000, 2));
+}
+
+// Checksummed-framing overhead on a clean stream round trip.
+void BM_StreamCallNoFaults(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  Channel channel = MakeServerChannel(world);
+  OmosRequest request;
+  request.op = OmosOp::kInstantiate;
+  request.path = "/bin/ls";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BENCH_UNWRAP(channel.Call(request, nullptr)));
+  }
+  state.counters["sim_cycles_per_call"] = benchmark::Counter(
+      static_cast<double>(channel.cycles_billed()) / static_cast<double>(channel.calls_made()));
+}
+BENCHMARK(BM_StreamCallNoFaults)->Unit(benchmark::kMicrosecond);
+
+// Same call with a lossy wire: every 4th frame dropped, retries absorb it.
+void BM_StreamCallLossyWire(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  Channel channel = MakeServerChannel(world);
+  channel.set_retry_policy(RetryPolicy::Default());
+  OmosRequest request;
+  request.op = OmosOp::kInstantiate;
+  request.path = "/bin/ls";
+  ScopedFaultPlan plan(FaultPlan().Arm("pipe.drop", FaultSpec::Every(4)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BENCH_UNWRAP(channel.Call(request, nullptr)));
+  }
+  state.counters["retries"] = benchmark::Counter(static_cast<double>(channel.retries_made()));
+  state.counters["sim_backoff_cycles"] =
+      benchmark::Counter(static_cast<double>(channel.backoff_cycles_billed()));
+}
+BENCHMARK(BM_StreamCallLossyWire)->Unit(benchmark::kMicrosecond);
+
+// Cost of detecting a rotted cache entry and rebuilding it, vs a warm hit.
+void BM_CorruptionRebuild(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  // Every iteration deliberately rots the cache; silence the per-rebuild log.
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  uint64_t work = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScopedFaultPlan plan(FaultPlan().Arm("cache.bitrot", FaultSpec::Nth(1)));
+    state.ResumeTiming();
+    uint64_t w = 0;
+    benchmark::DoNotOptimize(BENCH_UNWRAP(world.server->Instantiate("/bin/ls", {}, &w)));
+    work += w;
+  }
+  state.counters["sim_rebuild_cycles"] = benchmark::Counter(
+      static_cast<double>(work) / static_cast<double>(state.iterations()));
+  state.counters["rebuilds"] = benchmark::Counter(
+      static_cast<double>(world.server->cache_stats().corruption_rebuilds));
+  SetLogLevel(old_level);
+}
+BENCHMARK(BM_CorruptionRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_Snapshot(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string snapshot = world.server->Snapshot();
+    bytes = snapshot.size();
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.counters["snapshot_bytes"] = benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_Snapshot)->Unit(benchmark::kMillisecond);
+
+void BM_Restore(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  std::string snapshot = world.server->Snapshot();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Kernel kernel;
+    OmosServer restored(kernel);
+    state.ResumeTiming();
+    BENCH_CHECK(restored.Restore(snapshot));
+  }
+}
+BENCHMARK(BM_Restore)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace omos

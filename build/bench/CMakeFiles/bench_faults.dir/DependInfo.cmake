@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_faults.cc" "bench/CMakeFiles/bench_faults.dir/bench_faults.cc.o" "gcc" "bench/CMakeFiles/bench_faults.dir/bench_faults.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/omos_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/omos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/omos_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/omos_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/omos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/omos_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/omos_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/omos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vasm/CMakeFiles/omos_vasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/objfmt/CMakeFiles/omos_objfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/omos_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/omos_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -210,4 +210,8 @@ src/core/CMakeFiles/omos_core.dir/cache.cc.o: \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/support/error.h /root/repo/src/vm/address_space.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/vm/phys_memory.h
+ /usr/include/c++/12/cstddef /root/repo/src/vm/phys_memory.h \
+ /root/repo/src/support/faultsim.h /root/repo/src/support/log.h \
+ /root/repo/src/support/strings.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -233,8 +233,9 @@ src/core/CMakeFiles/omos_core.dir/server.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/charconv /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/cc/compiler.h \
- /root/repo/src/core/stubgen.h /root/repo/src/support/log.h \
- /root/repo/src/support/strings.h /root/repo/src/vasm/assembler.h
+ /root/repo/src/core/stubgen.h /root/repo/src/objfmt/backend.h \
+ /root/repo/src/support/log.h /root/repo/src/support/strings.h \
+ /root/repo/src/vasm/assembler.h

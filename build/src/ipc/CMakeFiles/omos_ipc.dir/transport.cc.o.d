@@ -214,7 +214,10 @@ src/ipc/CMakeFiles/omos_ipc.dir/transport.cc.o: \
  /root/repo/src/support/result.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/support/error.h /root/repo/src/support/strings.h \
+ /root/repo/src/support/error.h /root/repo/src/support/faultsim.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/strings.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/error.cc" "src/support/CMakeFiles/omos_support.dir/error.cc.o" "gcc" "src/support/CMakeFiles/omos_support.dir/error.cc.o.d"
+  "/root/repo/src/support/faultsim.cc" "src/support/CMakeFiles/omos_support.dir/faultsim.cc.o" "gcc" "src/support/CMakeFiles/omos_support.dir/faultsim.cc.o.d"
   "/root/repo/src/support/log.cc" "src/support/CMakeFiles/omos_support.dir/log.cc.o" "gcc" "src/support/CMakeFiles/omos_support.dir/log.cc.o.d"
   "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/omos_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/omos_support.dir/strings.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/omos_support.dir/error.cc.o"
   "CMakeFiles/omos_support.dir/error.cc.o.d"
+  "CMakeFiles/omos_support.dir/faultsim.cc.o"
+  "CMakeFiles/omos_support.dir/faultsim.cc.o.d"
   "CMakeFiles/omos_support.dir/log.cc.o"
   "CMakeFiles/omos_support.dir/log.cc.o.d"
   "CMakeFiles/omos_support.dir/strings.cc.o"

@@ -294,14 +294,21 @@ tests/CMakeFiles/fuzz_robustness_test.dir/fuzz_robustness_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cc/compiler.h /root/repo/src/support/result.h \
- /root/repo/src/support/error.h /root/repo/src/core/sexpr.h \
- /root/repo/src/linker/image_codec.h /root/repo/src/linker/image.h \
- /root/repo/src/objfmt/object_file.h /root/repo/src/objfmt/archive.h \
- /root/repo/src/objfmt/backend.h /root/repo/src/support/strings.h \
- /root/repo/src/vasm/assembler.h /root/repo/tests/helpers.h \
- /root/repo/src/linker/link.h /root/repo/src/linker/module.h \
- /root/repo/src/os/kernel.h /usr/include/c++/12/span \
+ /root/repo/src/support/error.h /root/repo/src/core/server.h \
+ /root/repo/src/core/cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/linker/image.h /root/repo/src/objfmt/object_file.h \
+ /root/repo/src/vm/address_space.h /usr/include/c++/12/span \
+ /root/repo/src/vm/phys_memory.h /root/repo/src/core/constraints.h \
+ /root/repo/src/core/namespace.h /root/repo/src/core/sexpr.h \
+ /root/repo/src/linker/module.h /root/repo/src/ipc/channel.h \
+ /root/repo/src/ipc/message.h /root/repo/src/ipc/transport.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/linker/link.h \
+ /root/repo/src/objfmt/archive.h /root/repo/src/os/kernel.h \
  /root/repo/src/os/cost_model.h /root/repo/src/os/sim_fs.h \
  /root/repo/src/os/task.h /root/repo/src/isa/isa.h \
- /root/repo/src/vm/address_space.h /root/repo/src/vm/phys_memory.h \
- /root/repo/src/os/loader.h
+ /root/repo/src/os/loader.h /root/repo/src/linker/image_codec.h \
+ /root/repo/src/objfmt/backend.h /root/repo/src/support/faultsim.h \
+ /root/repo/src/support/strings.h /root/repo/src/vasm/assembler.h \
+ /root/repo/tests/helpers.h

@@ -308,4 +308,5 @@ tests/CMakeFiles/ipc_test.dir/ipc_test.cc.o: /root/repo/tests/ipc_test.cc \
  /root/repo/src/os/kernel.h /root/repo/src/os/cost_model.h \
  /root/repo/src/os/sim_fs.h /root/repo/src/os/task.h \
  /root/repo/src/isa/isa.h /root/repo/src/os/loader.h \
- /root/repo/tests/helpers.h /root/repo/src/vasm/assembler.h
+ /root/repo/src/support/faultsim.h /root/repo/tests/helpers.h \
+ /root/repo/src/vasm/assembler.h

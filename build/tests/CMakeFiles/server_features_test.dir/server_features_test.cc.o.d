@@ -308,5 +308,5 @@ tests/CMakeFiles/server_features_test.dir/server_features_test.cc.o: \
  /root/repo/src/os/kernel.h /root/repo/src/os/cost_model.h \
  /root/repo/src/os/sim_fs.h /root/repo/src/os/task.h \
  /root/repo/src/isa/isa.h /root/repo/src/os/loader.h \
- /root/repo/src/support/strings.h /root/repo/tests/helpers.h \
- /root/repo/src/vasm/assembler.h
+ /root/repo/src/support/faultsim.h /root/repo/src/support/strings.h \
+ /root/repo/tests/helpers.h /root/repo/src/vasm/assembler.h

@@ -293,5 +293,6 @@ tests/CMakeFiles/support_test.dir/support_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/support/error.h /root/repo/src/support/log.h \
- /root/repo/src/support/result.h /root/repo/src/support/strings.h
+ /root/repo/src/support/error.h /root/repo/src/support/faultsim.h \
+ /root/repo/src/support/log.h /root/repo/src/support/result.h \
+ /root/repo/src/support/strings.h

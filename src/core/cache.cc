@@ -1,11 +1,43 @@
 #include "src/core/cache.h"
 
+#include "src/support/faultsim.h"
+#include "src/support/log.h"
+#include "src/support/strings.h"
+
 namespace omos {
+
+uint64_t CachedImage::ComputeChecksum() const {
+  uint64_t sum = Fnv1aBytes(image.text.data(), image.text.size());
+  sum ^= Fnv1aBytes(image.data.data(), image.data.size()) * 0x100000001B3ull;
+  sum ^= (static_cast<uint64_t>(image.text_base) << 32 | image.data_base) * 0x9E3779B97F4A7C15ull;
+  sum ^= static_cast<uint64_t>(image.entry) * 0xBF58476D1CE4E5B9ull;
+  return sum;
+}
 
 const CachedImage* ImageCache::Get(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    return nullptr;
+  }
+  CachedImage& stored = *it->second.image;
+  // Fault site: bit-rot in the cached copy's backing store.
+  uint32_t knob = 0;
+  if (FaultSim::Trip("cache.bitrot", &knob)) {
+    std::vector<uint8_t>& victim =
+        stored.image.text.empty() ? stored.image.data : stored.image.text;
+    if (!victim.empty()) {
+      victim[knob % victim.size()] ^= static_cast<uint8_t>(1u << (1 + knob % 7));
+    }
+  }
+  if (stored.checksum != stored.ComputeChecksum()) {
+    // The cached bytes rotted. Drop the entry and report a miss: the caller
+    // rebuilds from the blueprint, and the placement solver still holds the
+    // old addresses, so the rebuilt image is byte-identical.
+    LogMessage(LogLevel::kWarning, "cache", StrCat("checksum mismatch, rebuilding: ", key));
+    ++stats_.corruption_rebuilds;
+    ++stats_.misses;
+    Evict(key);
     return nullptr;
   }
   ++stats_.hits;
@@ -33,6 +65,7 @@ const CachedImage* ImageCache::Put(std::string key, CachedImage image) {
   Evict(key);
   auto owned = std::make_unique<CachedImage>(std::move(image));
   owned->key = key;
+  owned->checksum = owned->ComputeChecksum();
   stats_.bytes_cached += owned->bytes();
   lru_.push_front(key);
   const CachedImage* result = owned.get();

@@ -44,6 +44,12 @@ struct CachedImage {
   std::vector<LibDep> deps;
   std::vector<StubSlot> stub_slots;
   uint64_t build_cost = 0;  // simulated cycles spent constructing this image
+  // Integrity checksum over the linked bytes and layout, set by Put.
+  // Get verifies it before handing the entry out; a mismatch means the
+  // cached copy rotted and must be rebuilt from its blueprint.
+  uint64_t checksum = 0;
+
+  uint64_t ComputeChecksum() const;
 
   uint32_t bytes() const {
     return static_cast<uint32_t>(image.text.size() + image.data.size());
@@ -55,6 +61,9 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t bytes_cached = 0;
+  // Entries that failed checksum verification on Get; each is evicted and
+  // counts as a miss, so the caller transparently rebuilds it.
+  uint64_t corruption_rebuilds = 0;
 };
 
 // LRU image cache with a byte budget. Entries are heap-allocated and stable:

@@ -128,6 +128,37 @@ std::vector<std::string> ConstraintSolver::OptimizePlacements() {
   return changed;
 }
 
+std::vector<PlacementRecord> ConstraintSolver::ExportPlacements() const {
+  std::vector<PlacementRecord> records;
+  records.reserve(placements_.size());
+  for (const auto& [object, record] : placements_) {
+    records.push_back(
+        PlacementRecord{object, record.placement, record.text_size, record.data_size});
+  }
+  return records;
+}
+
+Result<void> ConstraintSolver::AdoptPlacement(const PlacementRecord& record) {
+  Release(record.object);  // adopting replaces any placement we invented
+  uint32_t text_size = PageAlignUp(std::max<uint32_t>(record.text_size, 1));
+  uint32_t data_size = PageAlignUp(std::max<uint32_t>(record.data_size, 1));
+  const Range* text_clash = FindOverlap(text_ranges_, record.placement.text_base, text_size);
+  const Range* data_clash = FindOverlap(data_ranges_, record.placement.data_base, data_size);
+  if (text_clash != nullptr || data_clash != nullptr) {
+    return Err(ErrorCode::kConstraintConflict,
+               StrCat("cannot adopt placement for ", record.object, ": range owned by ",
+                      text_clash != nullptr ? text_clash->owner : data_clash->owner));
+  }
+  text_ranges_.emplace(record.placement.text_base,
+                       Range{record.placement.text_base, text_size, record.object});
+  data_ranges_.emplace(record.placement.data_base,
+                       Range{record.placement.data_base, data_size, record.object});
+  Placement placement = record.placement;
+  placement.reused = false;
+  placements_[record.object] = Record{placement, record.text_size, record.data_size};
+  return OkResult();
+}
+
 void ConstraintSolver::Release(const std::string& object) {
   auto it = placements_.find(object);
   if (it == placements_.end()) {

@@ -39,6 +39,15 @@ struct ConflictRecord {
   std::string holder;  // who owned the conflicting range
 };
 
+// One object's placement assignment, as exported for a server snapshot and
+// re-adopted after a restart (so rebuilt images land at identical homes).
+struct PlacementRecord {
+  std::string object;
+  Placement placement;
+  uint32_t text_size = 0;
+  uint32_t data_size = 0;
+};
+
 struct SolverArenas {
   uint32_t text_lo = 0x00100000;
   uint32_t text_hi = 0x3FF00000;
@@ -74,6 +83,12 @@ class ConstraintSolver {
   size_t placed_count() const { return placements_.size(); }
   // Current placement of `object`, if any.
   const Placement* Find(const std::string& object) const;
+
+  // Snapshot support: export every placement assignment, in object order.
+  std::vector<PlacementRecord> ExportPlacements() const;
+  // Claim `record`'s ranges for its object (restore path). Fails with
+  // kConstraintConflict if the ranges are already owned by another object.
+  Result<void> AdoptPlacement(const PlacementRecord& record);
 
  private:
   struct Range {

@@ -49,6 +49,9 @@ class OmosNamespace {
 
   size_t size() const { return entries_.size(); }
 
+  // Every entry keyed by normalized path, in path order (snapshot support).
+  const std::map<std::string, NamespaceEntry, std::less<>>& entries() const { return entries_; }
+
   static std::string Normalize(std::string_view path);
 
  private:

@@ -1,10 +1,12 @@
 #include "src/core/server.h"
 
 #include <algorithm>
+#include <charconv>
 #include <sstream>
 
 #include "src/cc/compiler.h"
 #include "src/core/stubgen.h"
+#include "src/objfmt/backend.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
 #include "src/vasm/assembler.h"
@@ -498,6 +500,22 @@ Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
   return result;
 }
 
+Result<const CachedImage*> OmosServer::GetOrRebuild(const std::string& cache_key,
+                                                    uint64_t* work) {
+  if (const CachedImage* hit = cache_.Get(cache_key)) {
+    return hit;
+  }
+  size_t sep = cache_key.find("\xc2\xa7");
+  if (sep == std::string::npos) {
+    return Err(ErrorCode::kNotFound,
+               StrCat("image not cached and key carries no blueprint path: ", cache_key));
+  }
+  std::string path = cache_key.substr(0, sep);
+  Specialization spec = Specialization::FromKeyString(
+      std::string_view(cache_key).substr(sep + 2));  // "§" is 2 bytes of UTF-8
+  return Instantiate(path, spec, work);
+}
+
 Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
                                                   const Specialization& spec,
                                                   const std::string& key,
@@ -690,11 +708,11 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
     if (lazy) {
       continue;
     }
-    const CachedImage* lib = cache_.Get(dep.cache_key);
-    if (lib == nullptr) {
-      return Err(ErrorCode::kNotFound,
-                 StrCat("library image evicted: ", dep.cache_key, " (", dep.lib_path, ")"));
-    }
+    // An evicted or rotted library image is rebuilt, not a fatal error; the
+    // rebuild reuses the old placement so the program's references stay valid.
+    uint64_t rebuild_work = 0;
+    OMOS_TRY(const CachedImage* lib, GetOrRebuild(dep.cache_key, &rebuild_work));
+    task.BillSys(rebuild_work);
     if (lib->text_seg.has_value()) {
       OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, lib->image, *lib->text_seg));
     } else {
@@ -756,8 +774,8 @@ Result<int> OmosServer::ExportNamespaceToFs(std::string_view namespace_dir,
     if (!entry.ok() || (*entry)->kind == EntryKind::kFragment) {
       continue;  // only executable meta-objects are exported
     }
-    kernel_->fs().WriteFile(StrCat(fs_dir, "/", name), StrCat("#!omos ", meta_path, "\n"),
-                            0755);
+    OMOS_TRY_VOID(kernel_->fs().TryWriteFile(StrCat(fs_dir, "/", name),
+                                             StrCat("#!omos ", meta_path, "\n"), 0755));
     ++exported;
   }
   return exported;
@@ -787,10 +805,9 @@ Result<void> OmosServer::HandleDload(Kernel& kernel, Task& task) {
   }
   TaskRuntime& runtime = it->second;
   const TaskRuntime::Slot& slot = runtime.slots[index];
-  const CachedImage* impl = cache_.Get(slot.lib_path);
-  if (impl == nullptr) {
-    return Err(ErrorCode::kNotFound, StrCat("dynamic library evicted: ", slot.lib_path));
-  }
+  uint64_t rebuild_work = 0;
+  OMOS_TRY(const CachedImage* impl, GetOrRebuild(slot.lib_path, &rebuild_work));
+  task.BillSys(rebuild_work);
   if (runtime.mapped_libs.insert(slot.lib_path).second) {
     // First use in this task: the stub "contacts OMOS and loads in the
     // library" (§4.2) — one IPC round trip plus the mapping work.
@@ -979,6 +996,203 @@ Result<void> OmosServer::HandleOmosUnloadSys(Kernel& kernel, Task& task) {
   (void)kernel;
   auto result = DynamicUnload(task, task.reg(0));
   task.set_reg(0, result.ok() ? 0 : static_cast<uint32_t>(-1));
+  return OkResult();
+}
+
+// ---- Crash / recovery ---------------------------------------------------------
+//
+// Snapshot grammar (line-oriented; blobs are length-prefixed so blueprints
+// may contain newlines; the final `check` line is an FNV-1a hash of every
+// byte before it):
+//   omos-snapshot 1
+//   meta <kind> <blueprint-len> <path>\n<blueprint>\n
+//   frag <hex-len> <path>\n<hex-of-XOF-object>\n
+//   order <count> <path>\n<routine-name>\n ...
+//   place <text-base> <text-size> <data-base> <data-size> <object-key>
+//   check <fnv64-hex>
+
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "omos-snapshot 1";
+
+std::string HexEncode(const std::vector<uint8_t>& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> HexDecode(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) {
+    return Err(ErrorCode::kCorrupted, "snapshot: odd-length hex blob");
+  }
+  std::vector<uint8_t> bytes(hex.size() / 2);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    int hi = nibble(hex[2 * i]);
+    int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Err(ErrorCode::kCorrupted, "snapshot: bad hex digit");
+    }
+    bytes[i] = static_cast<uint8_t>(hi << 4 | lo);
+  }
+  return bytes;
+}
+
+std::string Hex64(uint64_t value) {
+  return Hex32(static_cast<uint32_t>(value >> 32)) + Hex32(static_cast<uint32_t>(value)).substr(2);
+}
+
+Result<uint64_t> ParseU64(std::string_view text) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Err(ErrorCode::kParseError, StrCat("snapshot: bad number '", text, "'"));
+  }
+  return value;
+}
+
+// Line/blob reader over the snapshot text.
+struct SnapshotCursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+
+  Result<std::string_view> Line() {
+    if (AtEnd()) {
+      return Err(ErrorCode::kParseError, "snapshot: truncated (expected line)");
+    }
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      return Err(ErrorCode::kParseError, "snapshot: missing final newline");
+    }
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  }
+
+  // Exactly `n` bytes followed by a newline.
+  Result<std::string_view> Blob(size_t n) {
+    if (pos + n >= text.size() || text[pos + n] != '\n') {
+      return Err(ErrorCode::kParseError, "snapshot: truncated blob");
+    }
+    std::string_view blob = text.substr(pos, n);
+    pos += n + 1;
+    return blob;
+  }
+};
+
+// "a b c rest of line" -> pops space-separated fields from the front.
+Result<std::string_view> PopField(std::string_view& line) {
+  if (line.empty()) {
+    return Err(ErrorCode::kParseError, "snapshot: missing field");
+  }
+  size_t space = line.find(' ');
+  std::string_view field = line.substr(0, space);
+  line = space == std::string_view::npos ? std::string_view() : line.substr(space + 1);
+  return field;
+}
+
+Result<uint64_t> PopNumber(std::string_view& line) {
+  OMOS_TRY(std::string_view field, PopField(line));
+  return ParseU64(field);
+}
+
+}  // namespace
+
+std::string OmosServer::Snapshot() const {
+  std::string out(kSnapshotMagic);
+  out.push_back('\n');
+  for (const auto& [path, entry] : namespace_.entries()) {
+    if (entry.kind == EntryKind::kFragment) {
+      std::string hex = HexEncode(EncodeObject(*entry.fragment));
+      out += StrCat("frag ", hex.size(), " ", path, "\n", hex, "\n");
+    } else {
+      out += StrCat("meta ", entry.kind == EntryKind::kLibrary ? 1 : 0, " ",
+                    entry.blueprint_text.size(), " ", path, "\n", entry.blueprint_text, "\n");
+    }
+  }
+  for (const auto& [path, order] : preferred_order_) {
+    out += StrCat("order ", order.size(), " ", path, "\n");
+    for (const std::string& name : order) {
+      out += name;
+      out.push_back('\n');
+    }
+  }
+  for (const PlacementRecord& record : solver_.ExportPlacements()) {
+    out += StrCat("place ", record.placement.text_base, " ", record.text_size, " ",
+                  record.placement.data_base, " ", record.data_size, " ", record.object, "\n");
+  }
+  out += StrCat("check ", Hex64(Fnv1a(out)), "\n");
+  return out;
+}
+
+Result<void> OmosServer::Restore(std::string_view snapshot) {
+  // Integrity first: the trailing check line must hash everything before it.
+  size_t check_at = snapshot.rfind("check ");
+  if (check_at == std::string_view::npos || check_at == 0 || snapshot[check_at - 1] != '\n') {
+    return Err(ErrorCode::kCorrupted, "snapshot: missing check line");
+  }
+  std::string_view check_line = snapshot.substr(check_at);
+  std::string_view digest = StripWhitespace(check_line.substr(6));
+  if (digest != Hex64(Fnv1a(snapshot.substr(0, check_at)))) {
+    return Err(ErrorCode::kCorrupted, "snapshot: checksum mismatch");
+  }
+
+  SnapshotCursor cursor{snapshot.substr(0, check_at), 0};
+  OMOS_TRY(std::string_view magic, cursor.Line());
+  if (magic != kSnapshotMagic) {
+    return Err(ErrorCode::kParseError, StrCat("snapshot: bad magic '", magic, "'"));
+  }
+  while (!cursor.AtEnd()) {
+    OMOS_TRY(std::string_view line, cursor.Line());
+    OMOS_TRY(std::string_view tag, PopField(line));
+    if (tag == "meta") {
+      OMOS_TRY(uint64_t kind, PopNumber(line));
+      OMOS_TRY(uint64_t len, PopNumber(line));
+      OMOS_TRY(std::string_view blueprint, cursor.Blob(len));
+      OMOS_TRY_VOID(namespace_.DefineMeta(
+          line, blueprint, kind == 1 ? EntryKind::kLibrary : EntryKind::kMeta));
+    } else if (tag == "frag") {
+      OMOS_TRY(uint64_t len, PopNumber(line));
+      OMOS_TRY(std::string_view hex, cursor.Blob(len));
+      OMOS_TRY(std::vector<uint8_t> bytes, HexDecode(hex));
+      OMOS_TRY(ObjectFile object, DecodeObject(bytes));
+      OMOS_TRY_VOID(namespace_.AddFragment(line, std::move(object)));
+    } else if (tag == "order") {
+      OMOS_TRY(uint64_t count, PopNumber(line));
+      std::vector<std::string> order;
+      order.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        OMOS_TRY(std::string_view name, cursor.Line());
+        order.emplace_back(name);
+      }
+      preferred_order_[OmosNamespace::Normalize(line)] = std::move(order);
+    } else if (tag == "place") {
+      PlacementRecord record;
+      OMOS_TRY(uint64_t text_base, PopNumber(line));
+      OMOS_TRY(uint64_t text_size, PopNumber(line));
+      OMOS_TRY(uint64_t data_base, PopNumber(line));
+      OMOS_TRY(uint64_t data_size, PopNumber(line));
+      record.placement.text_base = static_cast<uint32_t>(text_base);
+      record.placement.data_base = static_cast<uint32_t>(data_base);
+      record.text_size = static_cast<uint32_t>(text_size);
+      record.data_size = static_cast<uint32_t>(data_size);
+      record.object = std::string(line);
+      OMOS_TRY_VOID(solver_.AdoptPlacement(record));
+    } else {
+      return Err(ErrorCode::kParseError, StrCat("snapshot: unknown record '", tag, "'"));
+    }
+  }
   return OkResult();
 }
 

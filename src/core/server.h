@@ -148,6 +148,19 @@ class OmosServer {
     return preferred_order_.count(path) != 0;
   }
 
+  // ---- Crash / recovery -----------------------------------------------------
+  // Serialize the server's durable state — the namespace (blueprints and
+  // fragments), preferred routine orders, and the constraint solver's
+  // placement assignments — into a self-checking text snapshot. The image
+  // cache is deliberately NOT serialized: a restarted server repopulates it
+  // lazily on demand, and because the placements are restored, every rebuilt
+  // image is byte-identical (same bases, same entry points) to its
+  // pre-crash counterpart.
+  std::string Snapshot() const;
+  // Repopulate a (typically fresh) server from Snapshot() output. Damaged
+  // snapshots are rejected with kCorrupted before any state is applied.
+  Result<void> Restore(std::string_view snapshot);
+
   // ---- Administration ---------------------------------------------------------
   // Feed recorded placement conflicts back into the constraint system
   // (§4.1, "this could be done fully automatically"): re-pack every known
@@ -215,6 +228,11 @@ class OmosServer {
 
   Result<const CachedImage*> BuildImage(const std::string& path, const Specialization& spec,
                                         const std::string& key, BuildTracker& tracker);
+
+  // Cache lookup that survives eviction and bit-rot: a missing or corrupted
+  // entry is transparently rebuilt from its blueprint via the cache key
+  // ("<path>§<spec>"). Work cycles for a rebuild accumulate in *work.
+  Result<const CachedImage*> GetOrRebuild(const std::string& cache_key, uint64_t* work);
 
   // Charge linking work for an image build.
   void ChargeLinkWork(const LinkStats& stats, uint32_t symbol_count, BuildTracker& tracker) const;

@@ -1,20 +1,68 @@
 #include "src/ipc/channel.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "src/os/task.h"
 
 namespace omos {
+
+bool IsRetryableError(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTimeout:      // request or reply lost; resend
+    case ErrorCode::kUnavailable:  // peer restarting; wait and resend
+    case ErrorCode::kProtocolError:  // framing damage; stream was resynced
+    case ErrorCode::kCorrupted:    // checksum mismatch; retransmit
+    case ErrorCode::kIoError:      // transient simulated I/O failure
+      return true;
+    default:
+      return false;
+  }
+}
 
 Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
   ++calls_made_;
   std::vector<uint8_t> wire = EncodeRequest(request);
   uint64_t cost = 0;
-  OMOS_TRY(std::vector<uint8_t> reply_bytes, transport_->RoundTrip(wire, &cost));
+  int attempts = std::max(1, retry_.max_attempts);
+  std::optional<Error> last_error;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      // Capped exponential backoff, billed like any other simulated wait.
+      uint64_t backoff = std::min(retry_.base_backoff_cycles << (attempt - 2),
+                                  retry_.max_backoff_cycles);
+      cost += backoff;
+      backoff_cycles_billed_ += backoff;
+      ++retries_made_;
+    }
+    auto reply_bytes = transport_->RoundTrip(wire, &cost);
+    if (reply_bytes.ok()) {
+      auto reply = DecodeReply(*reply_bytes);
+      if (reply.ok()) {
+        last_error.reset();
+        if (task != nullptr) {
+          task->BillSys(cost);
+        } else {
+          cycles_billed_ += cost;
+        }
+        return std::move(reply).value();
+      }
+      // A reply that unmarshals wrong is as retryable as a damaged frame.
+      last_error = reply.error();
+    } else {
+      last_error = reply_bytes.error();
+    }
+    if (!IsRetryableError(last_error->code())) {
+      break;
+    }
+  }
+  // Failed attempts consumed simulated time too.
   if (task != nullptr) {
     task->BillSys(cost);
   } else {
     cycles_billed_ += cost;
   }
-  return DecodeReply(reply_bytes);
+  return *last_error;
 }
 
 }  // namespace omos

@@ -1,6 +1,11 @@
 // Channel: the client side of OMOS IPC, billing the simulated round-trip
 // cost to whoever makes the call (a task, or a bare cycle counter for
 // server-to-server traffic).
+//
+// Channels survive transient transport failures: with a RetryPolicy armed,
+// a retryable error (timeout, unavailable peer, framing/corruption damage)
+// is retried with capped exponential backoff, and the backoff wait is
+// billed in simulated cycles like any other cost.
 #ifndef OMOS_SRC_IPC_CHANNEL_H_
 #define OMOS_SRC_IPC_CHANNEL_H_
 
@@ -20,6 +25,18 @@ class Task;
 // reply. Implemented by core::OmosServer.
 using MessageServer = std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
 
+// Errors worth retrying: the request may succeed if simply sent again.
+bool IsRetryableError(ErrorCode code);
+
+struct RetryPolicy {
+  int max_attempts = 1;                // total attempts; 1 = fail fast
+  uint64_t base_backoff_cycles = 500;  // wait before the first retry
+  uint64_t max_backoff_cycles = 8000;  // cap for the exponential growth
+
+  static RetryPolicy None() { return RetryPolicy{}; }
+  static RetryPolicy Default() { return RetryPolicy{4, 500, 8000}; }
+};
+
 class Channel {
  public:
   // Message-oriented transport with a flat round-trip cost (Mach-like).
@@ -29,18 +46,27 @@ class Channel {
   // Any transport (see src/ipc/transport.h for the SysV-style byte stream).
   explicit Channel(std::unique_ptr<Transport> transport) : transport_(std::move(transport)) {}
 
-  // Full marshal -> deliver -> unmarshal round trip. If `task` is non-null
-  // the round-trip cost is billed to its system time; otherwise it is
-  // accumulated in cycles_billed() (for host-side clients).
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Full marshal -> deliver -> unmarshal round trip, retried per the policy.
+  // If `task` is non-null the round-trip cost (including backoff waits) is
+  // billed to its system time; otherwise it is accumulated in
+  // cycles_billed() (for host-side clients).
   Result<OmosReply> Call(const OmosRequest& request, Task* task);
 
   uint64_t cycles_billed() const { return cycles_billed_; }
   uint64_t calls_made() const { return calls_made_; }
+  uint64_t retries_made() const { return retries_made_; }
+  uint64_t backoff_cycles_billed() const { return backoff_cycles_billed_; }
 
  private:
   std::unique_ptr<Transport> transport_;
+  RetryPolicy retry_;
   uint64_t cycles_billed_ = 0;
   uint64_t calls_made_ = 0;
+  uint64_t retries_made_ = 0;
+  uint64_t backoff_cycles_billed_ = 0;
 };
 
 }  // namespace omos

@@ -1,8 +1,28 @@
 #include "src/ipc/transport.h"
 
+#include "src/support/faultsim.h"
 #include "src/support/strings.h"
 
 namespace omos {
+
+namespace {
+
+uint32_t PayloadChecksum(const uint8_t* data, size_t size) {
+  return static_cast<uint32_t>(Fnv1aBytes(data, size));
+}
+
+void WriteU32(BytePipe& pipe, uint32_t value) {
+  uint8_t bytes[4] = {static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8),
+                      static_cast<uint8_t>(value >> 16), static_cast<uint8_t>(value >> 24)};
+  pipe.Write(bytes, 4);
+}
+
+uint32_t ReadU32(const uint8_t* bytes) {
+  return static_cast<uint32_t>(bytes[0]) | static_cast<uint32_t>(bytes[1]) << 8 |
+         static_cast<uint32_t>(bytes[2]) << 16 | static_cast<uint32_t>(bytes[3]) << 24;
+}
+
+}  // namespace
 
 void BytePipe::Write(const uint8_t* data, size_t size) {
   buffer_.insert(buffer_.end(), data, data + size);
@@ -20,25 +40,63 @@ Result<void> BytePipe::ReadExact(uint8_t* out, size_t size) {
   return OkResult();
 }
 
+void BytePipe::FlipBits(size_t offset, uint8_t mask) {
+  if (offset < buffer_.size()) {
+    buffer_[offset] ^= mask;
+  }
+}
+
 void WriteFrame(BytePipe& pipe, const std::vector<uint8_t>& payload) {
+  uint32_t knob = 0;
+  if (FaultSim::Trip("pipe.drop")) {
+    return;  // frame lost in transit; the reader sees an empty pipe
+  }
   uint32_t size = static_cast<uint32_t>(payload.size());
-  uint8_t header[4] = {static_cast<uint8_t>(size), static_cast<uint8_t>(size >> 8),
-                       static_cast<uint8_t>(size >> 16), static_cast<uint8_t>(size >> 24)};
-  pipe.Write(header, 4);
+  uint32_t checksum = PayloadChecksum(payload.data(), payload.size());
+  if (FaultSim::Trip("pipe.oversize", &knob)) {
+    WriteU32(pipe, 0x7FFFFFFF ^ knob);  // absurd length claim
+    WriteU32(pipe, checksum);
+    pipe.Write(payload.data(), payload.size());
+    return;
+  }
+  WriteU32(pipe, size);
+  WriteU32(pipe, checksum);
+  if (FaultSim::Trip("pipe.truncate", &knob)) {
+    pipe.Write(payload.data(), payload.size() / 2);  // connection died mid-frame
+    return;
+  }
   pipe.Write(payload.data(), payload.size());
+  if (FaultSim::Trip("pipe.bitflip", &knob) && !payload.empty()) {
+    size_t offset = pipe.buffered() - payload.size() + knob % payload.size();
+    pipe.FlipBits(offset, static_cast<uint8_t>(1u << (knob % 8)));
+  }
 }
 
 Result<std::vector<uint8_t>> ReadFrame(BytePipe& pipe, uint32_t max_frame) {
-  uint8_t header[4];
-  OMOS_TRY_VOID(pipe.ReadExact(header, 4));
-  uint32_t size = static_cast<uint32_t>(header[0]) | static_cast<uint32_t>(header[1]) << 8 |
-                  static_cast<uint32_t>(header[2]) << 16 |
-                  static_cast<uint32_t>(header[3]) << 24;
+  // Any failure below drains the pipe: once framing is lost, leftover bytes
+  // would be misparsed as the next frame's header (the classic desync bug).
+  uint8_t header[kFrameHeaderSize];
+  auto header_read = pipe.ReadExact(header, kFrameHeaderSize);
+  if (!header_read.ok()) {
+    pipe.Clear();
+    return header_read.error();
+  }
+  uint32_t size = ReadU32(header);
+  uint32_t checksum = ReadU32(header + 4);
   if (size > max_frame) {
+    pipe.Clear();
     return Err(ErrorCode::kProtocolError, StrCat("oversized frame: ", size, " bytes"));
   }
   std::vector<uint8_t> payload(size);
-  OMOS_TRY_VOID(pipe.ReadExact(payload.data(), size));
+  auto payload_read = pipe.ReadExact(payload.data(), size);
+  if (!payload_read.ok()) {
+    pipe.Clear();
+    return payload_read.error();
+  }
+  if (PayloadChecksum(payload.data(), payload.size()) != checksum) {
+    pipe.Clear();
+    return Err(ErrorCode::kCorrupted, StrCat("frame checksum mismatch over ", size, " bytes"));
+  }
   return payload;
 }
 
@@ -52,6 +110,9 @@ class PortTransport : public Transport {
                                          uint64_t* cost_out) override {
     if (cost_out != nullptr) {
       *cost_out += cost_;
+    }
+    if (FaultSim::Trip("port.drop")) {
+      return Err(ErrorCode::kTimeout, "message lost in transit");
     }
     return server_(request);
   }
@@ -68,20 +129,48 @@ class StreamTransport : public Transport {
 
   Result<std::vector<uint8_t>> RoundTrip(const std::vector<uint8_t>& request,
                                          uint64_t* cost_out) override {
+    if (cost_out != nullptr) {
+      // The wire cost is paid whether or not the frames survive the trip.
+      *cost_out += base_cost_ + cost_per_byte_ * (request.size() + 2 * kFrameHeaderSize);
+    }
     // Client -> server leg: frame onto the request pipe, server reads it.
     WriteFrame(to_server_, request);
-    OMOS_TRY(std::vector<uint8_t> delivered, ReadFrame(to_server_));
-    std::vector<uint8_t> reply = server_(delivered);
+    auto delivered = Receive(to_server_, "request");
+    if (!delivered.ok()) {
+      return delivered.error();
+    }
+    std::vector<uint8_t> reply = server_(*delivered);
+    if (cost_out != nullptr) {
+      *cost_out += cost_per_byte_ * reply.size();
+    }
     // Server -> client leg.
     WriteFrame(to_client_, reply);
-    OMOS_TRY(std::vector<uint8_t> received, ReadFrame(to_client_));
-    if (cost_out != nullptr) {
-      *cost_out += base_cost_ + cost_per_byte_ * (request.size() + reply.size() + 8);
-    }
-    return received;
+    return Receive(to_client_, "reply");
   }
 
  private:
+  // Read one frame; on any framing error, resynchronize BOTH pipes so the
+  // next round trip starts from a clean stream instead of stale bytes.
+  Result<std::vector<uint8_t>> Receive(BytePipe& pipe, const char* leg) {
+    // A completely empty pipe means the frame never arrived (dropped), which
+    // a real client observes as a timeout rather than a framing error.
+    if (pipe.buffered() == 0) {
+      Resync();
+      return Err(ErrorCode::kTimeout, StrCat(leg, " lost in transit"));
+    }
+    auto frame = ReadFrame(pipe);
+    if (!frame.ok()) {
+      Resync();
+      return frame.error();
+    }
+    return frame;
+  }
+
+  void Resync() {
+    to_server_.Clear();
+    to_client_.Clear();
+  }
+
   ServeFn server_;
   uint64_t base_cost_;
   uint64_t cost_per_byte_;

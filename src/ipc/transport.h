@@ -8,6 +8,13 @@
 //  * StreamTransport — byte-stream with explicit length framing (SysV /
 //                      RPC-over-pipe-like): base cost plus a per-byte cost,
 //                      and real framing code that can fail on truncation.
+//
+// Both transports carry fault sites (src/support/faultsim.h): frames can be
+// dropped (kTimeout), truncated, bit-flipped or given absurd length headers.
+// Each frame carries a checksum, so in-flight corruption surfaces as a typed
+// kCorrupted error instead of a misparsed message, and the stream transport
+// resynchronizes its pipes after any framing error — stale payload bytes are
+// never misread as the next frame's header.
 #ifndef OMOS_SRC_IPC_TRANSPORT_H_
 #define OMOS_SRC_IPC_TRANSPORT_H_
 
@@ -38,9 +45,10 @@ using ServeFn = std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>
 // Message-oriented: whole messages, constant cost (Mach IPC shape).
 std::unique_ptr<Transport> MakePortTransport(ServeFn server, uint64_t round_trip_cost);
 
-// Byte-stream: 4-byte little-endian length framing over an in-memory duplex
-// pipe, cost = base + per_byte * bytes (System V message / RPC shape). The
-// framing really runs — a mangled length prefix is a protocol error.
+// Byte-stream: length + checksum framing over an in-memory duplex pipe,
+// cost = base + per_byte * bytes (System V message / RPC shape). The framing
+// really runs — a mangled length prefix is a protocol error, a mangled
+// payload a kCorrupted error.
 std::unique_ptr<Transport> MakeStreamTransport(ServeFn server, uint64_t base_cost,
                                                uint64_t cost_per_byte);
 
@@ -51,6 +59,8 @@ class BytePipe {
   void Write(const uint8_t* data, size_t size);
   // Read exactly `size` bytes; fails if the pipe drains first.
   Result<void> ReadExact(uint8_t* out, size_t size);
+  // XOR `mask` into the byte at `offset` from the read end (fault injection).
+  void FlipBits(size_t offset, uint8_t mask);
   size_t buffered() const { return buffer_.size(); }
   void Clear() { buffer_.clear(); }
 
@@ -58,7 +68,12 @@ class BytePipe {
   std::deque<uint8_t> buffer_;
 };
 
-// Framing helpers shared by the stream transport and its tests.
+// Framing helpers shared by the stream transport and its tests. Each frame
+// is an 8-byte header — 4-byte little-endian length, 4-byte FNV-1a payload
+// checksum — followed by the payload. ReadFrame verifies the checksum
+// (kCorrupted on mismatch) and, on ANY error, drains the pipe: a framing
+// failure means stream sync is lost, so everything buffered is garbage.
+inline constexpr size_t kFrameHeaderSize = 8;
 void WriteFrame(BytePipe& pipe, const std::vector<uint8_t>& payload);
 Result<std::vector<uint8_t>> ReadFrame(BytePipe& pipe, uint32_t max_frame = 16u << 20);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/faultsim.h"
 #include "src/support/strings.h"
 
 namespace omos {
@@ -72,11 +73,27 @@ void SimFs::WriteFile(std::string_view path, std::string_view text, uint32_t per
   WriteFile(path, std::vector<uint8_t>(text.begin(), text.end()), perm);
 }
 
+Result<void> SimFs::TryWriteFile(std::string_view path, std::vector<uint8_t> bytes,
+                                 uint32_t perm) {
+  if (FaultSim::Trip("fs.write")) {
+    return Err(ErrorCode::kIoError, StrCat("simulated write failure: ", path));
+  }
+  WriteFile(path, std::move(bytes), perm);
+  return OkResult();
+}
+
+Result<void> SimFs::TryWriteFile(std::string_view path, std::string_view text, uint32_t perm) {
+  return TryWriteFile(path, std::vector<uint8_t>(text.begin(), text.end()), perm);
+}
+
 bool SimFs::Exists(std::string_view path) const {
   return files_.find(Normalize(path)) != files_.end();
 }
 
 Result<const SimFile*> SimFs::Lookup(std::string_view path) const {
+  if (FaultSim::Trip("fs.read")) {
+    return Err(ErrorCode::kIoError, StrCat("simulated read failure: ", path));
+  }
   auto it = files_.find(Normalize(path));
   if (it == files_.end()) {
     return Err(ErrorCode::kNotFound, StrCat("no such file: ", path));

@@ -34,6 +34,13 @@ class SimFs {
   void WriteFile(std::string_view path, std::vector<uint8_t> bytes, uint32_t perm = 0644);
   void WriteFile(std::string_view path, std::string_view text, uint32_t perm = 0644);
 
+  // Fault-aware write: like WriteFile, but the "fs.write" fault site can
+  // fail it with kIoError (in which case nothing is written). Callers that
+  // must survive storage faults use this and handle the error.
+  Result<void> TryWriteFile(std::string_view path, std::vector<uint8_t> bytes,
+                            uint32_t perm = 0644);
+  Result<void> TryWriteFile(std::string_view path, std::string_view text, uint32_t perm = 0644);
+
   void Mkdir(std::string_view path);
 
   bool Exists(std::string_view path) const;

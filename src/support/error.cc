@@ -30,6 +30,12 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "io-error";
     case ErrorCode::kProtocolError:
       return "protocol-error";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kCorrupted:
+      return "corrupted";
     case ErrorCode::kUnsupported:
       return "unsupported";
     case ErrorCode::kInternal:

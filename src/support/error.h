@@ -25,8 +25,11 @@ enum class ErrorCode {
   kExecFault,           // simulated machine fault (bad memory, bad opcode)
   kIoError,             // simulated filesystem failure
   kProtocolError,       // malformed IPC request/response
+  kTimeout,             // request or reply lost in transit (retryable)
+  kUnavailable,         // peer not accepting requests (retryable)
+  kCorrupted,           // stored or transmitted bytes failed an integrity check
   kUnsupported,
-  kInternal,
+  kInternal,            // keep last: tests sweep [kOk, kInternal]
 };
 
 // Short stable name for an error code, e.g. "unresolved-symbol".

@@ -1,0 +1,111 @@
+#include "src/support/faultsim.h"
+
+#include "src/support/log.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct SimState {
+  std::map<std::string, SiteState, std::less<>> sites;
+  uint64_t total_fires = 0;
+};
+
+SimState& State() {
+  static SimState state;
+  return state;
+}
+
+// splitmix64: a well-mixed hash of (seed, hit) drives probability triggers,
+// so the schedule is a pure function of the spec — replayable across runs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool TriggerFires(const SiteState& site) {
+  const FaultSpec& spec = site.spec;
+  if (spec.max_fires >= 0 && site.fires >= static_cast<uint64_t>(spec.max_fires)) {
+    return false;
+  }
+  if (spec.nth != 0 && site.hits == spec.nth) {
+    return true;
+  }
+  if (spec.every != 0 && site.hits % spec.every == 0) {
+    return true;
+  }
+  if (spec.probability > 0.0) {
+    double draw = static_cast<double>(Mix(spec.seed ^ (site.hits * 0x100000001B3ull)) >> 11) *
+                  (1.0 / 9007199254740992.0);  // 53-bit mantissa -> [0, 1)
+    if (draw < spec.probability) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void FaultSim::Install(FaultPlan plan) {
+  SimState& state = State();
+  state.sites.clear();
+  state.total_fires = 0;
+  for (const auto& [site, spec] : plan.sites()) {
+    state.sites.emplace(site, SiteState{spec, 0, 0});
+  }
+}
+
+void FaultSim::Reset() {
+  SimState& state = State();
+  state.sites.clear();
+  state.total_fires = 0;
+}
+
+bool FaultSim::Trip(std::string_view site, uint32_t* payload_out) {
+  SimState& state = State();
+  if (state.sites.empty()) {
+    return false;  // fast path: no plan installed
+  }
+  auto it = state.sites.find(site);
+  if (it == state.sites.end()) {
+    return false;
+  }
+  SiteState& armed = it->second;
+  ++armed.hits;
+  if (!TriggerFires(armed)) {
+    return false;
+  }
+  ++armed.fires;
+  ++state.total_fires;
+  if (payload_out != nullptr) {
+    *payload_out = armed.spec.payload;
+  }
+  LogMessage(LogLevel::kDebug, "faultsim",
+             StrCat("fired ", site, " (hit ", armed.hits, ", fire ", armed.fires, ")"));
+  return true;
+}
+
+uint64_t FaultSim::Hits(std::string_view site) {
+  SimState& state = State();
+  auto it = state.sites.find(site);
+  return it == state.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultSim::Fires(std::string_view site) {
+  SimState& state = State();
+  auto it = state.sites.find(site);
+  return it == state.sites.end() ? 0 : it->second.fires;
+}
+
+uint64_t FaultSim::TotalFires() { return State().total_fires; }
+
+}  // namespace omos

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the simulator.
+//
+// Production code marks *fault sites* — named points where an I/O, transport
+// or storage failure can be simulated — by calling FaultSim::Trip("site").
+// With no plan installed every Trip is free and returns false, so the sites
+// cost nothing on the normal path. Tests (and the robustness sweeps) install
+// a FaultPlan arming specific sites with deterministic triggers: fire on the
+// nth hit, on every kth hit, or with a seeded pseudo-random probability.
+// The same plan always yields the same fault schedule, so every failure a
+// sweep finds is replayable from its seed.
+//
+// Site names wired into the tree (see docs/robustness.md):
+//   fs.read        SimFs::Lookup fails with kIoError
+//   fs.write       SimFs::TryWriteFile fails with kIoError
+//   pipe.drop      WriteFrame drops the whole frame (client sees kTimeout)
+//   pipe.truncate  WriteFrame writes only half the payload
+//   pipe.bitflip   WriteFrame flips a bit in the written payload
+//   pipe.oversize  WriteFrame writes an absurd length header
+//   port.drop      PortTransport loses the message (kTimeout)
+//   cache.bitrot   ImageCache::Get corrupts a stored image byte
+#ifndef OMOS_SRC_SUPPORT_FAULTSIM_H_
+#define OMOS_SRC_SUPPORT_FAULTSIM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace omos {
+
+// When an armed site fires. Triggers combine with OR; hit counts are 1-based
+// and per-site.
+struct FaultSpec {
+  uint64_t nth = 0;          // fire exactly on hit `nth` (0 = off)
+  uint64_t every = 0;        // fire on every hit divisible by `every` (0 = off)
+  double probability = 0.0;  // per-hit chance, deterministic from `seed`
+  uint64_t seed = 0;
+  int max_fires = -1;        // stop firing after this many (-1 = unlimited)
+  uint32_t payload = 0;      // site-specific knob (e.g. which byte to corrupt)
+
+  static FaultSpec Nth(uint64_t n) {
+    FaultSpec spec;
+    spec.nth = n;
+    return spec;
+  }
+  static FaultSpec Every(uint64_t e) {
+    FaultSpec spec;
+    spec.every = e;
+    return spec;
+  }
+  static FaultSpec Prob(double p, uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = p;
+    spec.seed = seed;
+    return spec;
+  }
+  FaultSpec& WithPayload(uint32_t value) {
+    payload = value;
+    return *this;
+  }
+  FaultSpec& WithMaxFires(int n) {
+    max_fires = n;
+    return *this;
+  }
+};
+
+// A set of armed sites. Install via FaultSim::Install or ScopedFaultPlan.
+class FaultPlan {
+ public:
+  FaultPlan& Arm(std::string site, FaultSpec spec) {
+    sites_.insert_or_assign(std::move(site), spec);
+    return *this;
+  }
+  bool empty() const { return sites_.empty(); }
+  const std::map<std::string, FaultSpec, std::less<>>& sites() const { return sites_; }
+
+ private:
+  std::map<std::string, FaultSpec, std::less<>> sites_;
+};
+
+// Process-global fault controller (the simulator is single-threaded).
+class FaultSim {
+ public:
+  // Replace the active plan and zero all counters.
+  static void Install(FaultPlan plan);
+  // Remove the plan and zero all counters (every Trip returns false again).
+  static void Reset();
+
+  // Record a hit at `site`; true if the site is armed and its trigger fires.
+  // On fire, `*payload_out` (if non-null) receives the spec's payload knob.
+  static bool Trip(std::string_view site, uint32_t* payload_out = nullptr);
+
+  // Counters for armed sites (0 for unarmed/unknown sites).
+  static uint64_t Hits(std::string_view site);
+  static uint64_t Fires(std::string_view site);
+  // Total fires across all sites since the last Install/Reset.
+  static uint64_t TotalFires();
+};
+
+// RAII plan installer for tests: installs on construction, resets on exit.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) { FaultSim::Install(std::move(plan)); }
+  ~ScopedFaultPlan() { FaultSim::Reset(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_FAULTSIM_H_

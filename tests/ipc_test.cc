@@ -6,6 +6,7 @@
 #include "src/core/server.h"
 #include "src/ipc/message.h"
 #include "src/os/kernel.h"
+#include "src/support/faultsim.h"
 #include "tests/helpers.h"
 
 namespace omos {
@@ -141,7 +142,7 @@ TEST(Transport, BytePipeAndFraming) {
   BytePipe pipe;
   std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
   WriteFrame(pipe, payload);
-  EXPECT_EQ(pipe.buffered(), 9u);  // 4-byte header + 5 bytes
+  EXPECT_EQ(pipe.buffered(), kFrameHeaderSize + 5);  // length + checksum + 5 bytes
   ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> read_back, ReadFrame(pipe));
   EXPECT_EQ(read_back, payload);
   EXPECT_EQ(pipe.buffered(), 0u);
@@ -149,8 +150,8 @@ TEST(Transport, BytePipeAndFraming) {
 
 TEST(Transport, FrameUnderrunDetected) {
   BytePipe pipe;
-  uint8_t bogus_header[4] = {100, 0, 0, 0};  // claims 100 bytes
-  pipe.Write(bogus_header, 4);
+  uint8_t bogus_header[8] = {100, 0, 0, 0, 0, 0, 0, 0};  // claims 100 bytes
+  pipe.Write(bogus_header, 8);
   uint8_t partial[10] = {0};
   pipe.Write(partial, 10);
   auto result = ReadFrame(pipe);
@@ -160,10 +161,121 @@ TEST(Transport, FrameUnderrunDetected) {
 
 TEST(Transport, OversizedFrameRejected) {
   BytePipe pipe;
-  uint8_t header[4] = {0xFF, 0xFF, 0xFF, 0x7F};
-  pipe.Write(header, 4);
+  uint8_t header[8] = {0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0};
+  pipe.Write(header, 8);
   auto result = ReadFrame(pipe);
   ASSERT_FALSE(result.ok());
+}
+
+// Regression: a failed ReadFrame used to leave the unread tail in the pipe,
+// so the next read misparsed payload bytes as a frame header and every
+// subsequent frame on the stream was garbage. Any framing error now drains
+// the pipe, and a fresh frame written afterwards round-trips cleanly.
+TEST(Transport, FramingErrorDrainsPipeAndRecovers) {
+  BytePipe pipe;
+  uint8_t bogus_header[8] = {100, 0, 0, 0, 0, 0, 0, 0};  // claims 100 bytes
+  pipe.Write(bogus_header, 8);
+  uint8_t partial[10] = {7, 7, 7, 7, 7, 7, 7, 7, 7, 7};
+  pipe.Write(partial, 10);
+  ASSERT_FALSE(ReadFrame(pipe).ok());
+  EXPECT_EQ(pipe.buffered(), 0u);  // the desync fix: no stale bytes survive
+  std::vector<uint8_t> payload = {9, 8, 7};
+  WriteFrame(pipe, payload);
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> read_back, ReadFrame(pipe));
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST(Transport, BitFlipDetectedByChecksum) {
+  BytePipe pipe;
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  WriteFrame(pipe, payload);
+  pipe.FlipBits(kFrameHeaderSize + 2, 0x10);  // damage a payload byte in flight
+  auto result = ReadFrame(pipe);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kCorrupted);
+  EXPECT_EQ(pipe.buffered(), 0u);
+}
+
+// ---- Fault injection and retry ------------------------------------------------
+
+std::vector<uint8_t> OkServer(const std::vector<uint8_t>& request) {
+  OmosReply reply;
+  reply.ok = true;
+  auto decoded = DecodeRequest(request);
+  if (decoded.ok()) {
+    reply.names.push_back(decoded->path);
+  }
+  return EncodeReply(reply);
+}
+
+TEST(Transport, StreamRecoversAfterTruncatedFrame) {
+  Channel channel(MakeStreamTransport(OkServer, 1000, 2));
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  {
+    ScopedFaultPlan plan(FaultPlan().Arm("pipe.truncate", FaultSpec::Nth(1)));
+    auto first = channel.Call(request, nullptr);
+    ASSERT_FALSE(first.ok());  // the damaged frame surfaces as a typed error
+    EXPECT_TRUE(IsRetryableError(first.error().code()));
+    // The stream resynchronized: the very next call succeeds with no retry.
+    ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+    EXPECT_TRUE(reply.ok);
+  }
+  EXPECT_EQ(channel.retries_made(), 0u);
+}
+
+TEST(Channel, RetryPolicySurvivesDroppedMessage) {
+  Channel channel(OkServer, /*round_trip_cost=*/1000);
+  channel.set_retry_policy(RetryPolicy::Default());
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ScopedFaultPlan plan(FaultPlan().Arm("port.drop", FaultSpec::Nth(1)));
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(channel.retries_made(), 1u);
+  EXPECT_EQ(channel.backoff_cycles_billed(), RetryPolicy::Default().base_backoff_cycles);
+  // Both attempts' wire cost plus the backoff wait are billed.
+  EXPECT_EQ(channel.cycles_billed(), 2 * 1000u + channel.backoff_cycles_billed());
+}
+
+TEST(Channel, RetryBacksOffExponentiallyAndBillsTask) {
+  Kernel kernel;
+  Task& task = kernel.CreateTask("client");
+  Channel channel(MakeStreamTransport(OkServer, /*base=*/100, /*per_byte=*/0));
+  channel.set_retry_policy(RetryPolicy{/*max_attempts=*/4, /*base=*/500, /*max=*/8000});
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  // Drop the first two request frames; the third attempt gets through.
+  ScopedFaultPlan plan(FaultPlan().Arm("pipe.drop", FaultSpec::Every(1).WithMaxFires(2)));
+  uint64_t before = task.sys_cycles();
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, &task));
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(channel.retries_made(), 2u);
+  EXPECT_EQ(channel.backoff_cycles_billed(), 500u + 1000u);  // 500 << 0, 500 << 1
+  EXPECT_GE(task.sys_cycles() - before, channel.backoff_cycles_billed());
+}
+
+TEST(Channel, NonRetryableWithoutPolicy) {
+  Channel channel(OkServer, /*round_trip_cost=*/10);
+  ScopedFaultPlan plan(FaultPlan().Arm("port.drop", FaultSpec::Nth(1)));
+  auto result = channel.Call(SampleRequest(), nullptr);
+  ASSERT_FALSE(result.ok());  // RetryPolicy::None fails fast
+  EXPECT_EQ(result.error().code(), ErrorCode::kTimeout);
+}
+
+TEST(Channel, RetriesExhaustedSurfacesLastError) {
+  Channel channel(OkServer, /*round_trip_cost=*/10);
+  channel.set_retry_policy(RetryPolicy{/*max_attempts=*/3, /*base=*/100, /*max=*/200});
+  ScopedFaultPlan plan(FaultPlan().Arm("port.drop", FaultSpec::Every(1)));
+  auto result = channel.Call(SampleRequest(), nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(channel.retries_made(), 2u);
+  // Even the failed call bills its wire and backoff time: 3 trips + 100 + 200.
+  EXPECT_EQ(channel.cycles_billed(), 3 * 10u + 100u + 200u);
 }
 
 TEST(Transport, StreamChannelDeliversAndBillsPerByte) {

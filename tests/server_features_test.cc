@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/server.h"
+#include "src/support/faultsim.h"
 #include "src/support/strings.h"
 #include "tests/helpers.h"
 
@@ -469,6 +470,234 @@ main:
   EXPECT_TRUE(has_main);
   EXPECT_TRUE(has_lib_fn);
   EXPECT_FALSE(server_->SymbolsForTask(9999).ok());
+}
+
+// ---- Cache integrity ----------------------------------------------------------
+
+TEST_F(ServerFeatures, CorruptedCacheEntryIsRebuiltByteIdentical) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  movi r0, 42
+  ret
+.data
+greeting: .asciiz "hello"
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/main.o)"));
+
+  uint64_t work = 0;
+  ASSERT_OK_AND_ASSIGN(const CachedImage* first, server_->Instantiate("/bin/prog", {}, &work));
+  std::vector<uint8_t> original_text = first->image.text;
+  std::vector<uint8_t> original_data = first->image.data;
+  uint32_t original_entry = first->image.entry;
+  uint32_t original_base = first->image.text_base;
+  ASSERT_EQ(server_->cache_stats().corruption_rebuilds, 0u);
+
+  // Rot one bit of the cached image. The next Get detects the checksum
+  // mismatch, evicts, and Instantiate transparently rebuilds.
+  uint64_t rebuild_work = 0;
+  const CachedImage* rebuilt = nullptr;
+  {
+    ScopedFaultPlan plan(FaultPlan().Arm("cache.bitrot", FaultSpec::Nth(1)));
+    ASSERT_OK_AND_ASSIGN(rebuilt, server_->Instantiate("/bin/prog", {}, &rebuild_work));
+  }
+  EXPECT_EQ(server_->cache_stats().corruption_rebuilds, 1u);
+  EXPECT_GT(rebuild_work, 0u);  // a real rebuild, not a cache hit
+  // The placement survived the eviction, so the rebuild is byte-identical.
+  EXPECT_EQ(rebuilt->image.text, original_text);
+  EXPECT_EQ(rebuilt->image.data, original_data);
+  EXPECT_EQ(rebuilt->image.entry, original_entry);
+  EXPECT_EQ(rebuilt->image.text_base, original_base);
+
+  // A clean second pass is an ordinary hit: no further rebuild counted.
+  uint64_t hit_work = 0;
+  ASSERT_OK(server_->Instantiate("/bin/prog", {}, &hit_work));
+  EXPECT_EQ(server_->cache_stats().corruption_rebuilds, 1u);
+}
+
+TEST_F(ServerFeatures, CorruptedProgramStillRunsCorrectly) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  movi r0, 42
+  ret
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/main.o)"));
+  uint64_t work = 0;
+  ASSERT_OK(server_->Instantiate("/bin/prog", {}, &work));
+  ScopedFaultPlan plan(FaultPlan().Arm("cache.bitrot", FaultSpec::Nth(1)));
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/prog", {"prog"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+  EXPECT_EQ(out.exit_code, 42);  // rot never reaches the running program
+  EXPECT_EQ(server_->cache_stats().corruption_rebuilds, 1u);
+}
+
+// ---- Crash / recovery ---------------------------------------------------------
+
+TEST_F(ServerFeatures, SnapshotRestoreYieldsIdenticalImages) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(R"(
+.text
+.global lib_fn
+lib_fn:
+  movi r0, 40
+  ret
+)", "lib.o"));
+  ASSERT_OK(server_->AddFragment("/obj/lib.o", std::move(lib)));
+  ASSERT_OK(server_->DefineLibrary("/lib/l", "(merge /obj/lib.o)"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call lib_fn
+  pop lr
+  addi r0, r0, 2
+  ret
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/main.o /lib/l)"));
+
+  uint64_t work = 0;
+  ASSERT_OK_AND_ASSIGN(const CachedImage* before, server_->Instantiate("/bin/prog", {}, &work));
+  std::vector<uint8_t> original_text = before->image.text;
+  uint32_t original_entry = before->image.entry;
+  ASSERT_OK_AND_ASSIGN(TaskId id_a, server_->IntegratedExec("/bin/prog", {"prog"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out_a, Run(id_a));
+  ASSERT_EQ(out_a.exit_code, 42);
+
+  std::string snapshot = server_->Snapshot();
+
+  // "Crash": a brand-new kernel and server, fed only the snapshot.
+  Kernel kernel2;
+  OmosServer restored(kernel2);
+  ASSERT_OK(restored.Restore(snapshot));
+  // The image cache starts cold but rebuilds at the adopted placements, so
+  // the restored server serves byte-identical images with the same entry.
+  uint64_t rebuild_work = 0;
+  ASSERT_OK_AND_ASSIGN(const CachedImage* after,
+                       restored.Instantiate("/bin/prog", {}, &rebuild_work));
+  EXPECT_EQ(after->image.text, original_text);
+  EXPECT_EQ(after->image.entry, original_entry);
+  EXPECT_GT(rebuild_work, 0u);
+
+  ASSERT_OK_AND_ASSIGN(TaskId id_b, restored.IntegratedExec("/bin/prog", {"prog"}));
+  Task* task_b = kernel2.FindTask(id_b);
+  ASSERT_OK(kernel2.RunTask(*task_b));
+  EXPECT_EQ(task_b->exit_code(), 42);
+}
+
+TEST_F(ServerFeatures, SnapshotRoundTripsPreferredOrder) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(R"(
+.text
+.global f_hot
+f_hot:
+  ret
+.global f_cold
+f_cold:
+  ret
+)", "lib.o"));
+  ASSERT_OK(server_->AddFragment("/obj/lib.o", std::move(lib)));
+  ASSERT_OK(server_->DefineLibrary("/lib/l", "(merge /obj/lib.o)"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call f_hot
+  call f_hot
+  call f_cold
+  pop lr
+  movi r0, 0
+  ret
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/main.o /lib/l)"));
+  Specialization monitor;
+  monitor.name = "monitor";
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/prog", {"prog"}, monitor));
+  ASSERT_OK(Run(id));
+  ASSERT_OK(server_->DerivePreferredOrder("/bin/prog"));
+  ASSERT_TRUE(server_->HasPreferredOrder("/bin/prog"));
+
+  Kernel kernel2;
+  OmosServer restored(kernel2);
+  ASSERT_OK(restored.Restore(server_->Snapshot()));
+  EXPECT_TRUE(restored.HasPreferredOrder("/bin/prog"));
+}
+
+TEST_F(ServerFeatures, DamagedSnapshotRejectedWithCorrupted) {
+  ASSERT_OK(server_->DefineMeta("/bin/thing", "(merge /lib/crt0.o)"));
+  std::string snapshot = server_->Snapshot();
+
+  // Flip a byte anywhere in the body: the trailing checksum must catch it.
+  std::string damaged = snapshot;
+  damaged[snapshot.size() / 3] ^= 0x01;
+  Kernel kernel2;
+  OmosServer restored(kernel2);
+  auto result = restored.Restore(damaged);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kCorrupted);
+  // Nothing was applied: the namespace is still empty.
+  EXPECT_EQ(restored.name_space().size(), 0u);
+
+  // Truncation (losing the check line entirely) is also rejected.
+  auto truncated = restored.Restore(snapshot.substr(0, snapshot.size() / 2));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().code(), ErrorCode::kCorrupted);
+}
+
+// ---- Teardown edges -----------------------------------------------------------
+
+TEST_F(ServerFeatures, TeardownEdgesAreClean) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile plugin, Assemble(R"(
+.text
+.global plugin_fn
+plugin_fn:
+  movi r0, 5
+  ret
+)", "plugin.o"));
+  ASSERT_OK(server_->AddFragment("/obj/plugin.o", std::move(plugin)));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  movi r0, 0
+  ret
+)", "main.o"));
+  ASSERT_OK(server_->AddFragment("/obj/main.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/host", "(merge /lib/crt0.o /obj/main.o)"));
+
+  // Releasing a task the server never saw is a harmless no-op.
+  server_->ReleaseTask(9999);
+
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/host", {"host"}));
+  Task* task = kernel_.FindTask(id);
+  ASSERT_OK_AND_ASSIGN(auto loaded,
+                       server_->DynamicLoad(*task, "(merge /obj/plugin.o)", {"plugin_fn"}));
+
+  // Unload, then unload again: the second is a clean kNotFound, not a crash.
+  ASSERT_OK(server_->DynamicUnload(*task, loaded.text_base));
+  auto again = server_->DynamicUnload(*task, loaded.text_base);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), ErrorCode::kNotFound);
+
+  // Release the task's runtime state; unloading through the dead runtime is
+  // a clean error too, and releasing twice stays a no-op.
+  server_->ReleaseTask(id);
+  auto after_release = server_->DynamicUnload(*task, loaded.text_base);
+  ASSERT_FALSE(after_release.ok());
+  EXPECT_EQ(after_release.error().code(), ErrorCode::kNotFound);
+  server_->ReleaseTask(id);
+
+  // The server's runtime table is not corrupted: a fresh exec of the same
+  // program maps and runs normally.
+  ASSERT_OK_AND_ASSIGN(TaskId id2, server_->IntegratedExec("/bin/host", {"host"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id2));
+  EXPECT_EQ(out.exit_code, 0);
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
-// Unit tests for src/support: Result, Error, string utilities, logging.
+// Unit tests for src/support: Result, Error, string utilities, logging,
+// fault injection.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/support/error.h"
+#include "src/support/faultsim.h"
 #include "src/support/log.h"
 #include "src/support/result.h"
 #include "src/support/strings.h"
@@ -14,10 +18,22 @@ TEST(Error, ToStringIncludesCodeAndMessage) {
   EXPECT_EQ(e.ToString(), "unresolved-symbol: reference to _foo has no definition");
 }
 
-TEST(Error, EveryCodeHasAName) {
+// Exhaustiveness sweep: every code in [kOk, kInternal] must have its own
+// name — none missing ("unknown") and no two codes sharing one. Adding a
+// code to the enum without a name in ErrorCodeName fails here.
+TEST(Error, EveryCodeHasAUniqueName) {
+  std::set<std::string> names;
   for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
-    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(i)), "unknown");
+    std::string name(ErrorCodeName(static_cast<ErrorCode>(i)));
+    EXPECT_NE(name, "unknown") << "code " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name '" << name << "' at code " << i;
   }
+}
+
+TEST(Error, RobustnessCodesAreNamed) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kTimeout), "timeout");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kCorrupted), "corrupted");
 }
 
 TEST(Result, ValueRoundTrip) {
@@ -102,6 +118,84 @@ TEST(Strings, RegexMatch) {
   EXPECT_TRUE(RegexMatch("_malloc2", "_malloc"));  // substring search semantics
   EXPECT_TRUE(RegexMatch("c_17", "^(c_17|c_18)$"));
   EXPECT_FALSE(RegexMatch("x", "["));  // invalid pattern -> no match, no throw
+}
+
+// ---- Fault injection ----------------------------------------------------------
+
+TEST(FaultSim, UnarmedSitesNeverFire) {
+  FaultSim::Reset();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultSim::Trip("fs.read"));
+  }
+  EXPECT_EQ(FaultSim::TotalFires(), 0u);
+}
+
+TEST(FaultSim, NthHitFiresExactlyOnce) {
+  ScopedFaultPlan plan(FaultPlan().Arm("fs.read", FaultSpec::Nth(3)));
+  EXPECT_FALSE(FaultSim::Trip("fs.read"));
+  EXPECT_FALSE(FaultSim::Trip("fs.read"));
+  EXPECT_TRUE(FaultSim::Trip("fs.read"));
+  EXPECT_FALSE(FaultSim::Trip("fs.read"));
+  EXPECT_EQ(FaultSim::Hits("fs.read"), 4u);
+  EXPECT_EQ(FaultSim::Fires("fs.read"), 1u);
+}
+
+TEST(FaultSim, EveryKthFiresPeriodically) {
+  ScopedFaultPlan plan(FaultPlan().Arm("pipe.drop", FaultSpec::Every(2)));
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    fires += FaultSim::Trip("pipe.drop") ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(FaultSim, MaxFiresCapsTheSchedule) {
+  ScopedFaultPlan plan(FaultPlan().Arm("pipe.drop", FaultSpec::Every(1).WithMaxFires(2)));
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    fires += FaultSim::Trip("pipe.drop") ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+// Probability triggers are hashed from (seed, hit index): the same seed must
+// reproduce the identical fault schedule, and a different seed a different
+// (but similarly dense) one.
+TEST(FaultSim, ProbabilityIsDeterministicPerSeed) {
+  auto schedule = [](uint64_t seed) {
+    ScopedFaultPlan plan(FaultPlan().Arm("x", FaultSpec::Prob(0.3, seed)));
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(FaultSim::Trip("x"));
+    }
+    return fired;
+  };
+  std::vector<bool> a = schedule(42);
+  EXPECT_EQ(a, schedule(42));
+  EXPECT_NE(a, schedule(43));
+  int fires = 0;
+  for (bool f : a) {
+    fires += f ? 1 : 0;
+  }
+  EXPECT_GT(fires, 200 * 0.3 / 3);  // loose density check
+  EXPECT_LT(fires, 200 * 0.3 * 3);
+}
+
+TEST(FaultSim, PayloadKnobDelivered) {
+  ScopedFaultPlan plan(
+      FaultPlan().Arm("cache.bitrot", FaultSpec::Nth(1).WithPayload(0xBEEF)));
+  uint32_t knob = 0;
+  EXPECT_TRUE(FaultSim::Trip("cache.bitrot", &knob));
+  EXPECT_EQ(knob, 0xBEEFu);
+}
+
+TEST(FaultSim, ScopedPlanResetsOnExit) {
+  {
+    ScopedFaultPlan plan(FaultPlan().Arm("fs.write", FaultSpec::Every(1)));
+    EXPECT_TRUE(FaultSim::Trip("fs.write"));
+  }
+  EXPECT_FALSE(FaultSim::Trip("fs.write"));
+  EXPECT_EQ(FaultSim::TotalFires(), 0u);
 }
 
 TEST(Log, LevelGate) {
