@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/core/cache.h"
 
 namespace omos {
 namespace {
@@ -39,6 +40,30 @@ void BM_InstantiateWarm(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(world.server->cache_stats().hits));
 }
 BENCHMARK(BM_InstantiateWarm)->Unit(benchmark::kMicrosecond);
+
+// Warm-hit cost as a function of image size: Get must be (amortized) O(1),
+// not O(bytes). Entries are synthetic images of `range(0)` KiB of text.
+void BM_WarmGetBySize(benchmark::State& state) {
+  ImageCache cache;
+  CachedImage synthetic;
+  synthetic.image.name = "synthetic";
+  synthetic.image.text_base = 0x00100000;
+  synthetic.image.text.assign(static_cast<size_t>(state.range(0)) * 1024, 0xAB);
+  synthetic.image.data.assign(4096, 0xCD);
+  cache.Put("synthetic", std::move(synthetic));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("synthetic"));
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["image_kib"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WarmGetBySize)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Complexity()
+    ->Unit(benchmark::kNanosecond);
 
 // Specializations are separate cache entries: flipping between two
 // specializations of the same meta-object must not thrash.

@@ -60,7 +60,7 @@ Result<DynImage> DynLibBuilder::Build(const std::string& name, const Module& mod
     // the external name is taken over by the PLT entry.
     std::vector<std::string> defined;
     for (const std::string& fn : routed) {
-      if (space->exports.count(fn) != 0) {
+      if (space->FindExport(fn) != nullptr) {
         defined.push_back(fn);
       }
     }
@@ -119,10 +119,10 @@ Result<DynImage> DynLibBuilder::BuildLibrary(const std::string& name, const Modu
   // Route every global function through the linkage table: exported text
   // definitions plus any external function references.
   std::set<std::string> routed_set;
-  for (const auto& [sym_name, exp] : space->exports) {
+  for (const auto& [sym_id, exp] : space->exports) {
     const Symbol& sym = module.fragments()[exp.def.fragment]->symbols()[exp.def.symbol];
     if (sym.section == SectionKind::kText) {
-      routed_set.insert(sym_name);
+      routed_set.emplace(SymbolInterner::Global().Name(sym_id));
     }
   }
   OMOS_TRY(std::vector<std::string> unbound, module.UnboundRefNames());

@@ -1,17 +1,107 @@
 #include "src/core/cache.h"
 
+#include <algorithm>
+
 #include "src/support/faultsim.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
 
 namespace omos {
 
-uint64_t CachedImage::ComputeChecksum() const {
-  uint64_t sum = Fnv1aBytes(image.text.data(), image.text.size());
-  sum ^= Fnv1aBytes(image.data.data(), image.data.size()) * 0x100000001B3ull;
-  sum ^= (static_cast<uint64_t>(image.text_base) << 32 | image.data_base) * 0x9E3779B97F4A7C15ull;
-  sum ^= static_cast<uint64_t>(image.entry) * 0xBF58476D1CE4E5B9ull;
+namespace {
+
+// Page granularity for integrity sums. 4 KiB matches the VM page size, so a
+// single flipped bit dirties exactly one sum.
+constexpr size_t kSumPageSize = 4096;
+
+// Pages probed per warm Get once the entry has been fully verified. Constant,
+// so warm-hit cost no longer scales with image size.
+constexpr size_t kProbesPerGet = 2;
+
+}  // namespace
+
+std::string MakeCacheKey(std::string_view path, std::string_view spec) {
+  std::string key;
+  key.reserve(path.size() + kCacheKeySep.size() + spec.size());
+  key.append(path);
+  key.append(kCacheKeySep);
+  key.append(spec);
+  return key;
+}
+
+bool SplitCacheKey(std::string_view key, std::string_view* path, std::string_view* spec) {
+  size_t sep = key.find(kCacheKeySep);
+  if (sep == std::string_view::npos) {
+    return false;
+  }
+  if (path != nullptr) {
+    *path = key.substr(0, sep);
+  }
+  if (spec != nullptr) {
+    *spec = key.substr(sep + kCacheKeySep.size());
+  }
+  return true;
+}
+
+uint64_t CachedImage::PageSum(size_t page) const {
+  // text and data are summed as one contiguous stream of pages.
+  size_t begin = page * kSumPageSize;
+  size_t end = begin + kSumPageSize;
+  uint64_t sum = 0x6b79616765ull + page;  // per-page seed so empty pages differ
+  if (begin < image.text.size()) {
+    size_t take = std::min(end, image.text.size()) - begin;
+    sum = HashBytes(image.text.data() + begin, take, sum);
+  }
+  size_t data_begin = begin > image.text.size() ? begin - image.text.size() : 0;
+  size_t data_end = end > image.text.size() ? end - image.text.size() : 0;
+  if (data_begin < image.data.size() && data_end > 0) {
+    size_t take = std::min(data_end, image.data.size()) - data_begin;
+    sum = HashBytes(image.data.data() + data_begin, take, sum);
+  }
   return sum;
+}
+
+uint64_t CachedImage::LayoutSum() const {
+  uint64_t sum = (static_cast<uint64_t>(image.text_base) << 32 | image.data_base) *
+                 0x9E3779B97F4A7C15ull;
+  sum ^= static_cast<uint64_t>(image.entry) * 0xBF58476D1CE4E5B9ull;
+  sum ^= static_cast<uint64_t>(image.bss_size) * 0x94D049BB133111EBull;
+  sum ^= static_cast<uint64_t>(image.text.size()) << 32 | static_cast<uint64_t>(image.data.size());
+  return sum;
+}
+
+void CachedImage::ComputeSums() {
+  size_t total = image.text.size() + image.data.size();
+  size_t pages = (total + kSumPageSize - 1) / kSumPageSize;
+  page_sums.resize(pages);
+  for (size_t p = 0; p < pages; ++p) {
+    page_sums[p] = PageSum(p);
+  }
+  layout_sum = LayoutSum();
+}
+
+bool CachedImage::VerifyPage(size_t page) const {
+  if (layout_sum != LayoutSum()) {
+    return false;
+  }
+  return page >= page_sums.size() || page_sums[page] == PageSum(page);
+}
+
+bool CachedImage::VerifyAll() const {
+  if (layout_sum != LayoutSum()) {
+    return false;
+  }
+  size_t total = image.text.size() + image.data.size();
+  size_t pages = (total + kSumPageSize - 1) / kSumPageSize;
+  if (pages != page_sums.size()) {
+    return false;
+  }
+  for (size_t p = 0; p < pages; ++p) {
+    if (page_sums[p] != PageSum(p)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 const CachedImage* ImageCache::Get(const std::string& key) {
@@ -20,7 +110,8 @@ const CachedImage* ImageCache::Get(const std::string& key) {
     ++stats_.misses;
     return nullptr;
   }
-  CachedImage& stored = *it->second.image;
+  Entry& entry = it->second;
+  CachedImage& stored = *entry.image;
   // Fault site: bit-rot in the cached copy's backing store.
   uint32_t knob = 0;
   if (FaultSim::Trip("cache.bitrot", &knob)) {
@@ -30,7 +121,31 @@ const CachedImage* ImageCache::Get(const std::string& key) {
       victim[knob % victim.size()] ^= static_cast<uint8_t>(1u << (1 + knob % 7));
     }
   }
-  if (stored.checksum != stored.ComputeChecksum()) {
+  // Verification policy: the first Get after Put pays a full walk; later
+  // warm hits probe a constant number of pages round-robin, so a resident
+  // corruption is still caught within size/kProbesPerGet hits. While a
+  // bit-rot fault plan is armed we keep full verification so injected
+  // corruption is detected on the same Get that trips it.
+  bool ok;
+  if (!entry.verified_once || FaultSim::Armed("cache.bitrot")) {
+    ok = stored.VerifyAll();
+    ++stats_.full_verifies;
+    stats_.pages_verified += stored.page_sums.size();
+    entry.verified_once = true;
+  } else {
+    ok = true;
+    size_t pages = stored.page_sums.size();
+    size_t probes = std::min(kProbesPerGet, pages);
+    for (size_t i = 0; i < probes && ok; ++i) {
+      ok = stored.VerifyPage(entry.probe_cursor);
+      entry.probe_cursor = pages == 0 ? 0 : (entry.probe_cursor + 1) % pages;
+    }
+    if (pages == 0) {
+      ok = ok && stored.layout_sum == stored.LayoutSum();
+    }
+    stats_.pages_verified += probes;
+  }
+  if (!ok) {
     // The cached bytes rotted. Drop the entry and report a miss: the caller
     // rebuilds from the blueprint, and the placement solver still holds the
     // old addresses, so the rebuilt image is byte-identical.
@@ -41,10 +156,10 @@ const CachedImage* ImageCache::Get(const std::string& key) {
     return nullptr;
   }
   ++stats_.hits;
-  lru_.erase(it->second.lru_it);
+  lru_.erase(entry.lru_it);
   lru_.push_front(key);
-  it->second.lru_it = lru_.begin();
-  return it->second.image.get();
+  entry.lru_it = lru_.begin();
+  return entry.image.get();
 }
 
 const CachedImage* ImageCache::Peek(const std::string& key) const {
@@ -65,11 +180,12 @@ const CachedImage* ImageCache::Put(std::string key, CachedImage image) {
   Evict(key);
   auto owned = std::make_unique<CachedImage>(std::move(image));
   owned->key = key;
-  owned->checksum = owned->ComputeChecksum();
+  owned->ComputeSums();
   stats_.bytes_cached += owned->bytes();
   lru_.push_front(key);
   const CachedImage* result = owned.get();
-  entries_.emplace(std::move(key), Entry{std::move(owned), lru_.begin()});
+  entries_.emplace(std::move(key), Entry{std::move(owned), lru_.begin(),
+                                         /*verified_once=*/false, /*probe_cursor=*/0});
   TrimToCapacity();
   return result;
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/linker/image.h"
@@ -18,6 +19,18 @@
 #include "src/vm/address_space.h"
 
 namespace omos {
+
+// Cache keys are "<normalized path><kCacheKeySep><spec string>". The
+// separator is U+00A7 SECTION SIGN, two bytes in UTF-8, chosen because it
+// cannot appear in either half.
+inline constexpr std::string_view kCacheKeySep = "\xc2\xa7";
+
+// Builds "<path>§<spec>".
+std::string MakeCacheKey(std::string_view path, std::string_view spec);
+
+// Splits a cache key back into its (path, spec) halves. Returns false when
+// the separator is absent (not a composed key); outputs are untouched then.
+bool SplitCacheKey(std::string_view key, std::string_view* path, std::string_view* spec);
 
 // A stub slot in a partial-image client: the `index`-th lazy slot resolves
 // `symbol` out of library `lib_path` (specialized `lib-dynamic-impl`).
@@ -44,12 +57,24 @@ struct CachedImage {
   std::vector<LibDep> deps;
   std::vector<StubSlot> stub_slots;
   uint64_t build_cost = 0;  // simulated cycles spent constructing this image
-  // Integrity checksum over the linked bytes and layout, set by Put.
-  // Get verifies it before handing the entry out; a mismatch means the
-  // cached copy rotted and must be rebuilt from its blueprint.
-  uint64_t checksum = 0;
 
-  uint64_t ComputeChecksum() const;
+  // Integrity sums, set by Put. The linked bytes (text then data, viewed as
+  // one stream) are summed per 4 KiB page; the layout fields get their own
+  // sum. Get verifies the whole set once per entry lifetime and then
+  // amortizes: a constant number of pages per warm hit. A mismatch means the
+  // cached copy rotted and must be rebuilt from its blueprint.
+  std::vector<uint64_t> page_sums;
+  uint64_t layout_sum = 0;
+
+  void ComputeSums();
+  // Recomputes the sum of page `page` (an index into page_sums).
+  uint64_t PageSum(size_t page) const;
+  uint64_t LayoutSum() const;
+  // True when `page` and the layout sum still match (layout checked so every
+  // probe also covers the O(1)-sized metadata).
+  bool VerifyPage(size_t page) const;
+  // Recomputes and compares everything. O(bytes).
+  bool VerifyAll() const;
 
   uint32_t bytes() const {
     return static_cast<uint32_t>(image.text.size() + image.data.size());
@@ -64,6 +89,10 @@ struct CacheStats {
   // Entries that failed checksum verification on Get; each is evicted and
   // counts as a miss, so the caller transparently rebuilds it.
   uint64_t corruption_rebuilds = 0;
+  // Full-image verifications (first Get after Put, and fault-sim runs).
+  uint64_t full_verifies = 0;
+  // Total pages checked across all Gets, full or amortized.
+  uint64_t pages_verified = 0;
 };
 
 // LRU image cache with a byte budget. Entries are heap-allocated and stable:
@@ -94,6 +123,10 @@ class ImageCache {
   struct Entry {
     std::unique_ptr<CachedImage> image;
     std::list<std::string>::iterator lru_it;
+    // Verification state: the first Get after Put walks every page; later
+    // Gets round-robin a constant number of pages from probe_cursor.
+    bool verified_once = false;
+    size_t probe_cursor = 0;
   };
   std::map<std::string, Entry> entries_;
   CacheStats stats_;

@@ -89,8 +89,9 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
     grew = false;
     // Propagate through library-dependency edges recorded in cached images.
     for (const std::string& key : cache_.Keys()) {
-      size_t sep = key.find("\xc2\xa7");
-      std::string key_path = sep == std::string::npos ? key : key.substr(0, sep);
+      std::string_view path_part = key;
+      SplitCacheKey(key, &path_part, nullptr);
+      std::string key_path(path_part);
       if (victim_paths.count(key_path) != 0) {
         continue;
       }
@@ -99,9 +100,9 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
         continue;
       }
       for (const LibDep& dep : image->deps) {
-        size_t dsep = dep.cache_key.find("\xc2\xa7");
-        std::string dep_path =
-            dsep == std::string::npos ? dep.cache_key : dep.cache_key.substr(0, dsep);
+        std::string_view dep_part = dep.cache_key;
+        SplitCacheKey(dep.cache_key, &dep_part, nullptr);
+        std::string dep_path(dep_part);
         if (victim_paths.count(dep_path) != 0 || victim_paths.count(dep.lib_path) != 0) {
           victim_paths.insert(key_path);
           grew = true;
@@ -114,16 +115,18 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
   // (fragment redefinition has no dep edge).
   // One extra pass is enough because their images carry the meta's path.
   for (const std::string& key : cache_.Keys()) {
-    size_t sep = key.find("\xc2\xa7");
-    std::string key_path = sep == std::string::npos ? key : key.substr(0, sep);
+    std::string_view path_part = key;
+    SplitCacheKey(key, &path_part, nullptr);
+    std::string key_path(path_part);
     auto entry = namespace_.Lookup(key_path);
     if (entry.ok() && (*entry)->blueprint_text.find(norm) != std::string::npos) {
       victim_paths.insert(key_path);
     }
   }
   for (const std::string& key : cache_.Keys()) {
-    size_t sep = key.find("\xc2\xa7");
-    std::string key_path = sep == std::string::npos ? key : key.substr(0, sep);
+    std::string_view path_part = key;
+    SplitCacheKey(key, &path_part, nullptr);
+    std::string key_path(path_part);
     if (victim_paths.count(key_path) != 0) {
       solver_.Release(key);
       cache_.Evict(key);
@@ -488,7 +491,7 @@ Result<Module> OmosServer::BuildMonolithicModule(const std::string& path, BuildT
 Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
                                                    const Specialization& spec,
                                                    uint64_t* work_cycles) {
-  std::string key = OmosNamespace::Normalize(path) + "\xc2\xa7" + spec.ToKeyString();
+  std::string key = MakeCacheKey(OmosNamespace::Normalize(path), spec.ToKeyString());
   if (const CachedImage* hit = cache_.Get(key)) {
     return hit;
   }
@@ -505,14 +508,14 @@ Result<const CachedImage*> OmosServer::GetOrRebuild(const std::string& cache_key
   if (const CachedImage* hit = cache_.Get(cache_key)) {
     return hit;
   }
-  size_t sep = cache_key.find("\xc2\xa7");
-  if (sep == std::string::npos) {
+  std::string_view path_part;
+  std::string_view spec_part;
+  if (!SplitCacheKey(cache_key, &path_part, &spec_part)) {
     return Err(ErrorCode::kNotFound,
                StrCat("image not cached and key carries no blueprint path: ", cache_key));
   }
-  std::string path = cache_key.substr(0, sep);
-  Specialization spec = Specialization::FromKeyString(
-      std::string_view(cache_key).substr(sep + 2));  // "§" is 2 bytes of UTF-8
+  std::string path(path_part);
+  Specialization spec = Specialization::FromKeyString(spec_part);
   return Instantiate(path, spec, work);
 }
 
@@ -529,12 +532,15 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
       // Collect the text-section function exports to wrap.
       OMOS_TRY(const SymbolSpace* space, mono.Space());
       std::vector<std::string> names;
-      for (const auto& [name, exp] : space->exports) {
+      for (const auto& [name_id, exp] : space->exports) {
         const Symbol& sym = mono.fragments()[exp.def.fragment]->symbols()[exp.def.symbol];
         if (sym.section == SectionKind::kText) {
-          names.push_back(name);
+          names.emplace_back(SymbolInterner::Global().Name(name_id));
         }
       }
+      // Flat-table iteration order is unspecified; keep the wrapper order
+      // (and thus mon-log slot order) name-sorted as before.
+      std::sort(names.begin(), names.end());
       if (names.empty()) {
         return Err(ErrorCode::kInvalidArgument, StrCat(path, ": nothing to monitor"));
       }
@@ -559,8 +565,8 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
       OMOS_TRY(const SymbolSpace* space, mono.Space());
       size_t n = mono.fragments().size();
       std::vector<size_t> rank(n, hot.size());
-      for (const auto& [name, exp] : space->exports) {
-        auto pos = std::find(hot.begin(), hot.end(), name);
+      for (const auto& [name_id, exp] : space->exports) {
+        auto pos = std::find(hot.begin(), hot.end(), SymbolInterner::Global().Name(name_id));
         if (pos != hot.end()) {
           size_t r = static_cast<size_t>(pos - hot.begin());
           rank[exp.def.fragment] = std::min(rank[exp.def.fragment], r);
@@ -842,8 +848,9 @@ Result<void> OmosServer::HandleMonLog(Kernel& kernel, Task& task) {
   }
   // program_key = "<path>§<spec>"; recover the path.
   const std::string& key = it->second.program_key;
-  size_t sep = key.find("\xc2\xa7");
-  std::string path = sep == std::string::npos ? key : key.substr(0, sep);
+  std::string_view path_part = key;
+  SplitCacheKey(key, &path_part, nullptr);
+  std::string path(path_part);
   auto counts = monitor_counts_.find(path);
   if (counts != monitor_counts_.end() && index < counts->second.size()) {
     ++counts->second[index];

@@ -1,0 +1,38 @@
+#include "src/linker/image.h"
+
+namespace omos {
+
+namespace {
+
+void EnsureIndex(const LinkedImage& image) {
+  if (image.indexed_count == image.symbols.size()) {
+    return;
+  }
+  image.symbol_index.clear();
+  image.symbol_index.reserve(image.symbols.size());
+  for (uint32_t i = 0; i < image.symbols.size(); ++i) {
+    // First occurrence wins, like the linear scan this replaces.
+    image.symbol_index.try_emplace(SymbolInterner::Global().Intern(image.symbols[i].name), i);
+  }
+  image.indexed_count = image.symbols.size();
+}
+
+}  // namespace
+
+const ImageSymbol* LinkedImage::FindSymbol(std::string_view name) const {
+  EnsureIndex(*this);  // first, so a decoded image's names are interned
+  SymId id = SymbolInterner::Global().Find(name);
+  if (id == kNoSymId) {
+    return nullptr;
+  }
+  auto it = symbol_index.find(id);
+  return it == symbol_index.end() ? nullptr : &symbols[it->second];
+}
+
+const ImageSymbol* LinkedImage::FindSymbol(SymId id) const {
+  EnsureIndex(*this);
+  auto it = symbol_index.find(id);
+  return it == symbol_index.end() ? nullptr : &symbols[it->second];
+}
+
+}  // namespace omos

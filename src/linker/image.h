@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/objfmt/object_file.h"
+#include "src/support/flat_map.h"
+#include "src/support/interner.h"
 
 namespace omos {
 
@@ -55,14 +57,15 @@ struct LinkedImage {
   uint32_t text_end() const { return text_base + static_cast<uint32_t>(text.size()); }
   uint32_t data_end() const { return data_base + static_cast<uint32_t>(data.size()) + bss_size; }
 
-  const ImageSymbol* FindSymbol(std::string_view name) const {
-    for (const ImageSymbol& sym : symbols) {
-      if (sym.name == name) {
-        return &sym;
-      }
-    }
-    return nullptr;
-  }
+  // O(1) via a lazily-built hash index (this used to be a linear scan, paid
+  // per dynamic-load fixup and per lazy stub resolution).
+  const ImageSymbol* FindSymbol(std::string_view name) const;
+  const ImageSymbol* FindSymbol(SymId id) const;
+
+  // FindSymbol's index: interned name -> symbols slot. Built on first
+  // lookup, rebuilt when symbols.size() changes.
+  mutable FlatMap<SymId, uint32_t> symbol_index;
+  mutable size_t indexed_count = ~size_t{0};
 };
 
 }  // namespace omos

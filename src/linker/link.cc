@@ -33,6 +33,14 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
   image.text_base = layout.text_base;
   image.stats.fragments = static_cast<uint32_t>(fragments.size());
 
+  // Rekey the externals once so the per-relocation lookup below is a flat
+  // u32 probe instead of a string-keyed tree walk.
+  FlatMap<SymId, uint32_t> externals;
+  externals.reserve(layout.externals.size());
+  for (const auto& [ext_name, addr] : layout.externals) {
+    externals.insert_or_assign(SymbolInterner::Global().Intern(ext_name), addr);
+  }
+
   // Pass 1: assign every fragment's sections an offset in the output.
   std::vector<FragmentLayout> offsets(fragments.size());
   uint32_t text_size = 0;
@@ -93,20 +101,21 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
           section == SectionKind::kText ? offsets[i].text : offsets[i].data;
       uint32_t section_base = section == SectionKind::kText ? image.text_base : image.data_base;
       for (const Relocation& reloc : frag.section(section).relocs) {
-        const Symbol* sym = frag.FindSymbol(reloc.symbol);
+        const Symbol* sym = frag.FindSymbol(reloc.sid());
         if (sym == nullptr) {
           return Err(ErrorCode::kRelocationError,
                      StrCat(frag.name(), ": reloc names unknown symbol ", reloc.symbol));
         }
         uint32_t target = 0;
         bool resolved = false;
+        const RefRecord* ref = nullptr;
         if (sym->defined && sym->binding == SymbolBinding::kLocal) {
           target = address_of(i, sym->section, sym->value);
           resolved = true;
         } else {
-          auto ref = space->refs.find(RefKey{i, reloc.symbol});
-          if (ref != space->refs.end() && ref->second.state != BindState::kUnbound) {
-            DefId def = ref->second.target;
+          ref = space->FindRef(i, reloc.sid());
+          if (ref != nullptr && ref->state != BindState::kUnbound) {
+            DefId def = ref->target;
             const Symbol& def_sym = fragments[def.fragment]->symbols()[def.symbol];
             target = address_of(def.fragment, def_sym.section, def_sym.value);
             resolved = true;
@@ -114,23 +123,21 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
           }
         }
         if (!resolved) {
-          std::string want =
-              (space->refs.count(RefKey{i, reloc.symbol}) != 0)
-                  ? space->refs.at(RefKey{i, reloc.symbol}).ext_name
-                  : reloc.symbol;
-          auto ext = layout.externals.find(want);
-          if (ext != layout.externals.end()) {
+          SymId want = ref != nullptr ? ref->ext_name : reloc.sid();
+          auto ext = externals.find(want);
+          if (ext != externals.end()) {
             target = ext->second;
             resolved = true;
             ++image.stats.refs_bound;
           }
           if (!resolved) {
+            std::string_view want_name = SymbolInterner::Global().Name(want);
             if (!layout.allow_unresolved) {
               return Err(ErrorCode::kUnresolvedSymbol,
-                         StrCat(image.name, ": unresolved reference to ", want, " from ",
+                         StrCat(image.name, ": unresolved reference to ", want_name, " from ",
                                 frag.name()));
             }
-            image.unresolved.push_back(want);
+            image.unresolved.emplace_back(want_name);
             continue;
           }
         }
@@ -156,12 +163,21 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
     }
   }
 
-  // Exported symbols at their final addresses.
-  for (const auto& [ext_name, exp] : space->exports) {
-    const Symbol& sym = fragments[exp.def.fragment]->symbols()[exp.def.symbol];
+  // Exported symbols at their final addresses, in name order (the flat
+  // table has no intrinsic order; emission must stay byte-identical to the
+  // ordered-map output).
+  std::vector<std::pair<std::string_view, const Export*>> sorted_exports;
+  sorted_exports.reserve(space->exports.size());
+  for (const auto& [export_id, exp] : space->exports) {
+    sorted_exports.emplace_back(SymbolInterner::Global().Name(export_id), &exp);
+  }
+  std::sort(sorted_exports.begin(), sorted_exports.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [ext_name, exp] : sorted_exports) {
+    const Symbol& sym = fragments[exp->def.fragment]->symbols()[exp->def.symbol];
     image.symbols.push_back(
-        ImageSymbol{ext_name, address_of(exp.def.fragment, sym.section, sym.value), sym.size,
-                    sym.section});
+        ImageSymbol{std::string(ext_name), address_of(exp->def.fragment, sym.section, sym.value),
+                    sym.size, sym.section});
   }
   image.stats.symbols_exported = static_cast<uint32_t>(image.symbols.size());
 

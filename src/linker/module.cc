@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/regex_cache.h"
 #include "src/support/strings.h"
 
 namespace omos {
@@ -10,7 +11,7 @@ namespace {
 
 // '&' in a replacement substitutes the original symbol name, e.g.
 // rename("^_", "wrapped&") turns _read into wrapped_read.
-std::string Substitute(const std::string& replacement, const std::string& original) {
+std::string Substitute(const std::string& replacement, std::string_view original) {
   std::string out;
   for (char c : replacement) {
     if (c == '&') {
@@ -20,6 +21,14 @@ std::string Substitute(const std::string& replacement, const std::string& origin
     }
   }
   return out;
+}
+
+std::string_view NameOf(SymId id) { return SymbolInterner::Global().Name(id); }
+
+// Interned id of a symbol-table entry (AddSymbol fills Symbol::id, but a
+// hand-built table may not have gone through it).
+SymId IdOf(const Symbol& sym) {
+  return sym.id != kNoSymId ? sym.id : SymbolInterner::Global().Intern(sym.name);
 }
 
 }  // namespace
@@ -32,11 +41,22 @@ Module Module::FromObject(FragmentPtr object) {
 
   auto space = std::make_shared<SymbolSpace>();
   const auto& symbols = object->symbols();
+  space->exports.reserve(symbols.size());
+  space->refs.reserve(symbols.size());
   // Exports: all defined non-local symbols.
   for (uint32_t i = 0; i < symbols.size(); ++i) {
     const Symbol& sym = symbols[i];
     if (sym.defined && sym.binding != SymbolBinding::kLocal) {
-      space->exports[sym.name] = Export{DefId{0, i}, sym.binding == SymbolBinding::kWeak};
+      space->exports.insert_or_assign(IdOf(sym),
+                                      Export{DefId{0, i}, sym.binding == SymbolBinding::kWeak});
+    }
+  }
+  // The set of symbol ids any relocation names — one pass over the reloc
+  // lists instead of a per-symbol scan.
+  FlatMap<SymId, uint8_t> referenced;
+  for (int s = 0; s < kNumSections; ++s) {
+    for (const Relocation& reloc : object->section(static_cast<SectionKind>(s)).relocs) {
+      referenced.try_emplace(reloc.sid());
     }
   }
   // References: undefined symbols (unbound), plus self-references to own
@@ -44,23 +64,13 @@ Module Module::FromObject(FragmentPtr object) {
   // names the symbol.
   for (uint32_t i = 0; i < symbols.size(); ++i) {
     const Symbol& sym = symbols[i];
-    RefKey key{0, sym.name};
+    SymId id = IdOf(sym);
     if (!sym.defined) {
-      space->refs[key] = RefRecord{BindState::kUnbound, DefId{}, sym.name};
-    } else if (sym.binding != SymbolBinding::kLocal) {
-      // Only materialize a self-reference if some relocation actually uses it.
-      bool referenced = false;
-      for (int s = 0; s < kNumSections && !referenced; ++s) {
-        for (const Relocation& reloc : object->section(static_cast<SectionKind>(s)).relocs) {
-          if (reloc.symbol == sym.name) {
-            referenced = true;
-            break;
-          }
-        }
-      }
-      if (referenced) {
-        space->refs[key] = RefRecord{BindState::kBound, DefId{0, i}, sym.name};
-      }
+      space->refs.insert_or_assign(PackRefKey(0, id),
+                                   RefRecord{BindState::kUnbound, DefId{}, id});
+    } else if (sym.binding != SymbolBinding::kLocal && referenced.contains(id)) {
+      space->refs.insert_or_assign(PackRefKey(0, id),
+                                   RefRecord{BindState::kBound, DefId{0, i}, id});
     }
   }
   m.base_ = std::move(space);
@@ -100,21 +110,53 @@ Module Module::CopyAs(std::string pattern, std::string replacement) const {
 }
 
 void Module::ApplyOp(const ViewOp& op, SymbolSpace& space) {
-  auto matches = [&](const std::string& name) { return RegexMatch(name, op.pattern); };
+  // Compiled once per op application; an invalid pattern selects nothing
+  // (same contract as RegexMatch).
+  const std::regex* re = GetCompiledRegex(op.pattern);
+  auto matches = [&](SymId id) {
+    if (re == nullptr) {
+      return false;
+    }
+    std::string_view name = NameOf(id);
+    return std::regex_search(name.begin(), name.end(), *re);
+  };
 
   switch (op.kind) {
     case ViewOp::Kind::kRename: {
       if (op.which != RenameWhich::kRefs) {
-        std::map<std::string, Export> renamed;
-        for (auto& [name, exp] : space.exports) {
-          renamed.emplace(matches(name) ? Substitute(op.arg, name) : name, exp);
+        struct Item {
+          SymId src;
+          SymId dst;
+          Export exp;
+        };
+        std::vector<Item> items;
+        items.reserve(space.exports.size());
+        bool any = false;
+        for (const auto& [id, exp] : space.exports) {
+          SymId dst = id;
+          if (matches(id)) {
+            dst = SymbolInterner::Global().Intern(Substitute(op.arg, NameOf(id)));
+            any = true;
+          }
+          items.push_back(Item{id, dst, exp});
         }
-        space.exports = std::move(renamed);
+        if (any) {
+          // Collisions keep the lexicographically-first source, matching the
+          // ordered-map behaviour this table replaced.
+          std::sort(items.begin(), items.end(),
+                    [](const Item& a, const Item& b) { return NameOf(a.src) < NameOf(b.src); });
+          FlatMap<SymId, Export> renamed;
+          renamed.reserve(items.size());
+          for (const Item& item : items) {
+            renamed.try_emplace(item.dst, item.exp);
+          }
+          space.exports = std::move(renamed);
+        }
       }
       if (op.which != RenameWhich::kDefs) {
         for (auto& [key, ref] : space.refs) {
           if (matches(ref.ext_name)) {
-            ref.ext_name = Substitute(op.arg, ref.ext_name);
+            ref.ext_name = SymbolInterner::Global().Intern(Substitute(op.arg, NameOf(ref.ext_name)));
           }
         }
       }
@@ -123,8 +165,15 @@ void Module::ApplyOp(const ViewOp& op, SymbolSpace& space) {
     case ViewOp::Kind::kRestrict:
     case ViewOp::Kind::kProject: {
       bool keep_on_match = op.kind == ViewOp::Kind::kProject;
-      std::erase_if(space.exports,
-                    [&](const auto& entry) { return matches(entry.first) != keep_on_match; });
+      std::vector<SymId> dropped;
+      for (const auto& [id, exp] : space.exports) {
+        if (matches(id) != keep_on_match) {
+          dropped.push_back(id);
+        }
+      }
+      for (SymId id : dropped) {
+        space.exports.erase(id);
+      }
       for (auto& [key, ref] : space.refs) {
         bool selected = matches(ref.ext_name) != keep_on_match;
         if (selected && ref.state == BindState::kBound) {
@@ -142,8 +191,15 @@ void Module::ApplyOp(const ViewOp& op, SymbolSpace& space) {
           ref.state = BindState::kFrozen;
         }
       }
-      std::erase_if(space.exports,
-                    [&](const auto& entry) { return matches(entry.first) == hide_on_match; });
+      std::vector<SymId> hidden;
+      for (const auto& [id, exp] : space.exports) {
+        if (matches(id) == hide_on_match) {
+          hidden.push_back(id);
+        }
+      }
+      for (SymId id : hidden) {
+        space.exports.erase(id);
+      }
       break;
     }
     case ViewOp::Kind::kFreeze: {
@@ -155,14 +211,25 @@ void Module::ApplyOp(const ViewOp& op, SymbolSpace& space) {
       break;
     }
     case ViewOp::Kind::kCopyAs: {
-      std::vector<std::pair<std::string, Export>> additions;
-      for (const auto& [name, exp] : space.exports) {
-        if (matches(name)) {
-          additions.emplace_back(Substitute(op.arg, name), exp);
+      struct Addition {
+        SymId src;
+        SymId dst;
+        Export exp;
+      };
+      std::vector<Addition> additions;
+      for (const auto& [id, exp] : space.exports) {
+        if (matches(id)) {
+          additions.push_back(
+              Addition{id, SymbolInterner::Global().Intern(Substitute(op.arg, NameOf(id))), exp});
         }
       }
-      for (auto& [name, exp] : additions) {
-        space.exports[name] = exp;  // later copies win on collision
+      // Copies from lexicographically-later sources win on collision,
+      // matching the ordered-map behaviour this table replaced.
+      std::sort(additions.begin(), additions.end(), [](const Addition& a, const Addition& b) {
+        return NameOf(a.src) < NameOf(b.src);
+      });
+      for (const Addition& add : additions) {
+        space.exports.insert_or_assign(add.dst, add.exp);
       }
       break;
     }
@@ -172,10 +239,9 @@ void Module::ApplyOp(const ViewOp& op, SymbolSpace& space) {
 void Module::BindSpace(SymbolSpace& space) {
   for (auto& [key, ref] : space.refs) {
     if (ref.state == BindState::kUnbound) {
-      auto it = space.exports.find(ref.ext_name);
-      if (it != space.exports.end()) {
+      if (const Export* exp = space.FindExport(ref.ext_name)) {
         ref.state = BindState::kBound;
-        ref.target = it->second.def;
+        ref.target = exp->def;
       }
     }
   }
@@ -199,10 +265,23 @@ Result<const SymbolSpace*> Module::Space() const {
 
 Result<Module> Module::Bind() const {
   OMOS_TRY(const SymbolSpace* space, Space());
-  auto bound = std::make_shared<SymbolSpace>(*space);
-  BindSpace(*bound);
   Module m;
   m.fragments_ = fragments_;
+  // Share the materialized space outright when no reference would change —
+  // the warm-path case (an already-bound module relinked or re-instantiated).
+  bool any_bindable = false;
+  for (const auto& [key, ref] : space->refs) {
+    if (ref.state == BindState::kUnbound && space->exports.contains(ref.ext_name)) {
+      any_bindable = true;
+      break;
+    }
+  }
+  if (!any_bindable) {
+    m.base_ = cache_;  // Space() populated cache_
+    return m;
+  }
+  auto bound = std::make_shared<SymbolSpace>(*space);
+  BindSpace(*bound);
   m.base_ = std::move(bound);
   return m;
 }
@@ -218,17 +297,20 @@ Result<Module> Module::Merge(const Module& a, const Module& b) {
   m.fragments_ = std::move(fragments);
 
   auto space = std::make_shared<SymbolSpace>(*sa);
+  space->exports.reserve(sa->exports.size() + sb->exports.size());
+  space->refs.reserve(sa->refs.size() + sb->refs.size());
   // Import b's exports, shifting fragment indices; duplicate strong
   // definitions are an error, weak yields to strong.
-  for (const auto& [name, exp] : sb->exports) {
+  for (const auto& [id, exp] : sb->exports) {
     Export shifted{DefId{exp.def.fragment + offset, exp.def.symbol}, exp.weak};
-    auto it = space->exports.find(name);
+    auto it = space->exports.find(id);
     if (it == space->exports.end()) {
-      space->exports[name] = shifted;
+      space->exports.insert_or_assign(id, shifted);
     } else if (it->second.weak && !shifted.weak) {
       it->second = shifted;
     } else if (!it->second.weak && !shifted.weak) {
-      return Err(ErrorCode::kDuplicateSymbol, StrCat("merge: symbol ", name, " defined twice"));
+      return Err(ErrorCode::kDuplicateSymbol,
+                 StrCat("merge: symbol ", NameOf(id), " defined twice"));
     }
     // strong-existing + weak-incoming (or weak/weak): keep existing.
   }
@@ -237,7 +319,8 @@ Result<Module> Module::Merge(const Module& a, const Module& b) {
     if (shifted.state != BindState::kUnbound) {
       shifted.target.fragment += offset;
     }
-    space->refs[RefKey{key.fragment + offset, key.name}] = std::move(shifted);
+    space->refs.insert_or_assign(PackRefKey(RefKeyFragment(key) + offset, RefKeyName(key)),
+                                 shifted);
   }
   BindSpace(*space);
   m.base_ = std::move(space);
@@ -255,18 +338,21 @@ Result<Module> Module::Override(const Module& base, const Module& over) {
   m.fragments_ = std::move(fragments);
 
   auto space = std::make_shared<SymbolSpace>(*sa);
+  space->exports.reserve(sa->exports.size() + sb->exports.size());
+  space->refs.reserve(sa->refs.size() + sb->refs.size());
   for (const auto& [key, ref] : sb->refs) {
     RefRecord shifted = ref;
     if (shifted.state != BindState::kUnbound) {
       shifted.target.fragment += offset;
     }
-    space->refs[RefKey{key.fragment + offset, key.name}] = std::move(shifted);
+    space->refs.insert_or_assign(PackRefKey(RefKeyFragment(key) + offset, RefKeyName(key)),
+                                 shifted);
   }
-  for (const auto& [name, exp] : sb->exports) {
+  for (const auto& [id, exp] : sb->exports) {
     Export shifted{DefId{exp.def.fragment + offset, exp.def.symbol}, exp.weak};
-    auto it = space->exports.find(name);
+    auto it = space->exports.find(id);
     if (it == space->exports.end()) {
-      space->exports[name] = shifted;
+      space->exports.insert_or_assign(id, shifted);
       continue;
     }
     // Conflict: the overriding definition wins; rebind every non-frozen
@@ -306,16 +392,19 @@ Result<Module> Module::ReorderFragments(const std::vector<uint32_t>& order) cons
   }
   m.fragments_ = std::move(fragments);
   auto remapped = std::make_shared<SymbolSpace>();
-  for (const auto& [name, exp] : space->exports) {
-    remapped->exports[name] =
-        Export{DefId{inverse[exp.def.fragment], exp.def.symbol}, exp.weak};
+  remapped->exports.reserve(space->exports.size());
+  remapped->refs.reserve(space->refs.size());
+  for (const auto& [id, exp] : space->exports) {
+    remapped->exports.insert_or_assign(
+        id, Export{DefId{inverse[exp.def.fragment], exp.def.symbol}, exp.weak});
   }
   for (const auto& [key, ref] : space->refs) {
     RefRecord record = ref;
     if (record.state != BindState::kUnbound) {
       record.target.fragment = inverse[record.target.fragment];
     }
-    remapped->refs[RefKey{inverse[key.fragment], key.name}] = std::move(record);
+    remapped->refs.insert_or_assign(PackRefKey(inverse[RefKeyFragment(key)], RefKeyName(key)),
+                                    record);
   }
   m.base_ = std::move(remapped);
   return m;
@@ -323,16 +412,17 @@ Result<Module> Module::ReorderFragments(const std::vector<uint32_t>& order) cons
 
 Result<bool> Module::HasExport(std::string_view name) const {
   OMOS_TRY(const SymbolSpace* space, Space());
-  return space->exports.count(std::string(name)) != 0;
+  return space->FindExport(name) != nullptr;
 }
 
 Result<std::vector<std::string>> Module::ExportNames() const {
   OMOS_TRY(const SymbolSpace* space, Space());
   std::vector<std::string> names;
   names.reserve(space->exports.size());
-  for (const auto& [name, exp] : space->exports) {
-    names.push_back(name);
+  for (const auto& [id, exp] : space->exports) {
+    names.emplace_back(NameOf(id));
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -341,7 +431,7 @@ Result<std::vector<std::string>> Module::UnboundRefNames() const {
   std::vector<std::string> names;
   for (const auto& [key, ref] : space->refs) {
     if (ref.state == BindState::kUnbound) {
-      names.push_back(ref.ext_name);
+      names.emplace_back(NameOf(ref.ext_name));
     }
   }
   std::sort(names.begin(), names.end());

@@ -19,17 +19,23 @@
 // applied in one pass on first use — the paper's "views" that make
 // incremental modification of a symbol namespace fast (§3.3). `merge` and
 // `override` materialize.
+//
+// Symbol spaces are keyed by interned SymIds in open-addressing flat tables
+// (src/support/interner.h, src/support/flat_map.h): lookups are u32 probes,
+// copies are flat vector copies, and `Bind`/`Space` share the base space
+// outright when there is nothing to change.
 #ifndef OMOS_SRC_LINKER_MODULE_H_
 #define OMOS_SRC_LINKER_MODULE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/objfmt/object_file.h"
+#include "src/support/flat_map.h"
+#include "src/support/interner.h"
 #include "src/support/result.h"
 
 namespace omos {
@@ -52,25 +58,44 @@ struct Export {
   bool weak = false;
 };
 
-// Key of a reference: which fragment, and the symbol-table name the
-// fragment's relocations use (never renamed — renames change ext_name).
-struct RefKey {
-  uint32_t fragment = 0;
-  std::string name;
-
-  auto operator<=>(const RefKey&) const = default;
-};
+// Key of a reference: which fragment, and the (interned) symbol-table name
+// the fragment's relocations use — packed into one u64. The name component
+// is never renamed; renames change RefRecord::ext_name.
+inline constexpr uint64_t PackRefKey(uint32_t fragment, SymId name) {
+  return (static_cast<uint64_t>(fragment) << 32) | name;
+}
+inline constexpr uint32_t RefKeyFragment(uint64_t key) {
+  return static_cast<uint32_t>(key >> 32);
+}
+inline constexpr SymId RefKeyName(uint64_t key) { return static_cast<SymId>(key); }
 
 struct RefRecord {
   BindState state = BindState::kUnbound;
-  DefId target;          // valid when state != kUnbound
-  std::string ext_name;  // the external name this reference currently seeks
+  DefId target;                 // valid when state != kUnbound
+  SymId ext_name = kNoSymId;    // the external name this reference currently seeks
 };
 
 // Materialized symbol space of a module.
 struct SymbolSpace {
-  std::map<std::string, Export> exports;
-  std::map<RefKey, RefRecord> refs;
+  FlatMap<SymId, Export> exports;
+  FlatMap<uint64_t, RefRecord> refs;  // PackRefKey(fragment, name) -> record
+
+  const Export* FindExport(SymId id) const {
+    auto it = exports.find(id);
+    return it == exports.end() ? nullptr : &it->second;
+  }
+  const Export* FindExport(std::string_view name) const {
+    SymId id = SymbolInterner::Global().Find(name);
+    return id == kNoSymId ? nullptr : FindExport(id);
+  }
+  const RefRecord* FindRef(uint32_t fragment, SymId name) const {
+    auto it = refs.find(PackRefKey(fragment, name));
+    return it == refs.end() ? nullptr : &it->second;
+  }
+  const RefRecord* FindRef(uint32_t fragment, std::string_view name) const {
+    SymId id = SymbolInterner::Global().Find(name);
+    return id == kNoSymId ? nullptr : FindRef(fragment, id);
+  }
 };
 
 enum class RenameWhich : uint8_t { kDefs, kRefs, kBoth };
@@ -104,7 +129,8 @@ class Module {
   Module CopyAs(std::string pattern, std::string replacement) const;
 
   // Bind unbound references against current exports (merge does this
-  // automatically; exposed for the final pre-link pass).
+  // automatically; exposed for the final pre-link pass). Shares the space
+  // with this module when nothing is bindable — the common warm-path case.
   Result<Module> Bind() const;
 
   // Permute fragment order — the locality-of-reference optimization of

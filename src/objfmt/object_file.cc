@@ -49,18 +49,29 @@ ObjectFile::ObjectFile(std::string name) : name_(std::move(name)) {
 
 Result<void> ObjectFile::RebuildSymbolIndex() {
   symbol_index_.clear();
+  symbol_index_.reserve(symbols_.size());
   for (size_t i = 0; i < symbols_.size(); ++i) {
-    auto [it, inserted] = symbol_index_.emplace(symbols_[i].name, i);
+    symbols_[i].id = SymbolInterner::Global().Intern(symbols_[i].name);
+    auto [it, inserted] =
+        symbol_index_.try_emplace(symbols_[i].id, static_cast<uint32_t>(i));
     if (!inserted) {
       return Err(ErrorCode::kDuplicateSymbol,
                  StrCat(name_, ": rename produced duplicate symbol ", symbols_[i].name));
+    }
+  }
+  // Renames may have rewritten relocation target names too; drop their
+  // cached ids so sid() re-interns on next use.
+  for (Section& sec : sections_) {
+    for (Relocation& reloc : sec.relocs) {
+      reloc.symbol_id = kNoSymId;
     }
   }
   return OkResult();
 }
 
 Result<void> ObjectFile::AddSymbol(Symbol symbol) {
-  auto it = symbol_index_.find(symbol.name);
+  symbol.id = SymbolInterner::Global().Intern(symbol.name);
+  auto it = symbol_index_.find(symbol.id);
   if (it != symbol_index_.end()) {
     Symbol& existing = symbols_[it->second];
     if (!existing.defined && symbol.defined) {
@@ -73,7 +84,7 @@ Result<void> ObjectFile::AddSymbol(Symbol symbol) {
     }
     return OkResult();  // Reference after definition (or second reference): no-op.
   }
-  symbol_index_.emplace(symbol.name, symbols_.size());
+  symbol_index_.try_emplace(symbol.id, static_cast<uint32_t>(symbols_.size()));
   symbols_.push_back(std::move(symbol));
   return OkResult();
 }
@@ -103,12 +114,21 @@ void ObjectFile::AddReloc(SectionKind section_kind, Relocation reloc) {
 }
 
 const Symbol* ObjectFile::FindSymbol(std::string_view name) const {
-  auto it = symbol_index_.find(name);
+  SymId id = SymbolInterner::Global().Find(name);
+  return id == kNoSymId ? nullptr : FindSymbol(id);
+}
+
+const Symbol* ObjectFile::FindSymbol(SymId id) const {
+  auto it = symbol_index_.find(id);
   return it == symbol_index_.end() ? nullptr : &symbols_[it->second];
 }
 
 Symbol* ObjectFile::FindMutableSymbol(std::string_view name) {
-  auto it = symbol_index_.find(name);
+  SymId id = SymbolInterner::Global().Find(name);
+  if (id == kNoSymId) {
+    return nullptr;
+  }
+  auto it = symbol_index_.find(id);
   return it == symbol_index_.end() ? nullptr : &symbols_[it->second];
 }
 
@@ -143,7 +163,7 @@ Result<void> ObjectFile::Validate() const {
                    StrCat(name_, ": reloc at ", Hex32(reloc.offset), " beyond ",
                           SectionKindName(sec.kind), " size ", sec.bytes.size()));
       }
-      if (FindSymbol(reloc.symbol) == nullptr) {
+      if (FindSymbol(reloc.sid()) == nullptr) {
         return Err(ErrorCode::kRelocationError,
                    StrCat(name_, ": reloc names unknown symbol ", reloc.symbol));
       }

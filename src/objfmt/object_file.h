@@ -11,12 +11,13 @@
 #define OMOS_SRC_OBJFMT_OBJECT_FILE_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/support/flat_map.h"
+#include "src/support/interner.h"
 #include "src/support/result.h"
 
 namespace omos {
@@ -46,8 +47,22 @@ struct Relocation {
   RelocKind kind = RelocKind::kAbs32;
   std::string symbol;
   int32_t addend = 0;
+  // Interned id of `symbol`, resolved lazily and cached; reset by
+  // ObjectFile::RebuildSymbolIndex after renames. Not part of identity.
+  mutable SymId symbol_id = kNoSymId;
 
-  bool operator==(const Relocation&) const = default;
+  // Interned id of `symbol` (cached so repeated links don't re-hash names).
+  SymId sid() const {
+    if (symbol_id == kNoSymId) {
+      symbol_id = SymbolInterner::Global().Intern(symbol);
+    }
+    return symbol_id;
+  }
+
+  bool operator==(const Relocation& other) const {
+    return offset == other.offset && kind == other.kind && symbol == other.symbol &&
+           addend == other.addend;
+  }
 };
 
 enum class SymbolBinding : uint8_t { kLocal = 0, kGlobal = 1, kWeak = 2 };
@@ -65,8 +80,14 @@ struct Symbol {
   SectionKind section = SectionKind::kText;
   uint32_t value = 0;
   uint32_t size = 0;
+  // Interned id of `name`, maintained by AddSymbol/RebuildSymbolIndex.
+  // Not part of identity.
+  SymId id = kNoSymId;
 
-  bool operator==(const Symbol&) const = default;
+  bool operator==(const Symbol& other) const {
+    return name == other.name && binding == other.binding && defined == other.defined &&
+           section == other.section && value == other.value && size == other.size;
+  }
 };
 
 struct Section {
@@ -112,6 +133,7 @@ class ObjectFile {
   void AddReloc(SectionKind section, Relocation reloc);
 
   const Symbol* FindSymbol(std::string_view name) const;
+  const Symbol* FindSymbol(SymId id) const;
   Symbol* FindMutableSymbol(std::string_view name);
 
   // All defined global/weak symbols (the object's exports).
@@ -132,7 +154,7 @@ class ObjectFile {
   std::string name_;
   std::vector<Section> sections_;  // indexed by SectionKind
   std::vector<Symbol> symbols_;
-  std::map<std::string, size_t, std::less<>> symbol_index_;
+  FlatMap<SymId, uint32_t> symbol_index_;  // interned name -> symbols_ slot
 };
 
 }  // namespace omos

@@ -94,6 +94,11 @@ bool FaultSim::Trip(std::string_view site, uint32_t* payload_out) {
   return true;
 }
 
+bool FaultSim::Armed(std::string_view site) {
+  SimState& state = State();
+  return !state.sites.empty() && state.sites.find(site) != state.sites.end();
+}
+
 uint64_t FaultSim::Hits(std::string_view site) {
   SimState& state = State();
   auto it = state.sites.find(site);

@@ -90,6 +90,12 @@ class FaultSim {
   // On fire, `*payload_out` (if non-null) receives the spec's payload knob.
   static bool Trip(std::string_view site, uint32_t* payload_out = nullptr);
 
+  // True if the active plan arms `site` at all, whether or not its trigger
+  // would fire now. Does not count as a hit. Lets amortized checks (e.g. the
+  // image cache's lazy verification) go exhaustive while a test or sweep has
+  // the site under fault injection.
+  static bool Armed(std::string_view site);
+
   // Counters for armed sites (0 for unarmed/unknown sites).
   static uint64_t Hits(std::string_view site);
   static uint64_t Fires(std::string_view site);

@@ -1,0 +1,40 @@
+#include "src/support/interner.h"
+
+namespace omos {
+
+SymbolInterner& SymbolInterner::Global() {
+  // Leaked intentionally: interned ids and name views must outlive any
+  // static-destruction-order games.
+  static SymbolInterner* interner = new SymbolInterner();
+  return *interner;
+}
+
+SymId SymbolInterner::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  SymId id = static_cast<SymId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+SymId SymbolInterner::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoSymId : it->second;
+}
+
+std::string_view SymbolInterner::Name(SymId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t SymbolInterner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace omos

@@ -1,0 +1,52 @@
+// Process-wide symbol interner: string ⇄ dense u32 id.
+//
+// Symbol names flow through the linker thousands of times per link — as
+// object-file symbol-table keys, relocation targets, symbol-space exports
+// and references, and stub/GOT lookups. Interning each distinct name once
+// turns all of those into u32 comparisons and flat-table probes
+// (src/support/flat_map.h), following the identifier-based resolution
+// tables of Zakaria et al. (PAPERS.md, "Symbol Resolution MatRs").
+//
+// Ids are dense, never recycled, and stable for the process lifetime, as
+// are the string_views Name() returns (names are deque-backed). The table
+// only grows; distinct symbol names number in the thousands, so this is by
+// design — do not intern unbounded runtime data.
+#ifndef OMOS_SRC_SUPPORT_INTERNER_H_
+#define OMOS_SRC_SUPPORT_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace omos {
+
+using SymId = uint32_t;
+inline constexpr SymId kNoSymId = 0xFFFFFFFFu;
+
+class SymbolInterner {
+ public:
+  static SymbolInterner& Global();
+
+  // Id for `name`, allocating one on first sight.
+  SymId Intern(std::string_view name);
+  // Id for `name`, or kNoSymId if it has never been interned. A name no one
+  // ever interned cannot key any table, so lookups can fail fast without
+  // growing the pool.
+  SymId Find(std::string_view name) const;
+  // The name behind `id`; valid for the process lifetime.
+  std::string_view Name(SymId id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;                       // id -> name, stable storage
+  std::unordered_map<std::string_view, SymId> index_;   // views into names_
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_INTERNER_H_

@@ -1,0 +1,21 @@
+// Access to the process-wide compiled-regex cache behind RegexMatch
+// (src/support/strings.h). Split into its own header so only the module
+// calculus — which matches one pattern against every symbol in a space —
+// pays for <regex>.
+#ifndef OMOS_SRC_SUPPORT_REGEX_CACHE_H_
+#define OMOS_SRC_SUPPORT_REGEX_CACHE_H_
+
+#include <regex>
+#include <string_view>
+
+namespace omos {
+
+// Compiled POSIX-extended regex for `pattern`, or nullptr when the pattern
+// is invalid (matching an invalid pattern selects nothing, mirroring
+// RegexMatch). The pointer stays valid for the process lifetime — the cache
+// never evicts — so callers can hoist it out of per-symbol loops.
+const std::regex* GetCompiledRegex(std::string_view pattern);
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_REGEX_CACHE_H_

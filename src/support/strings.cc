@@ -1,5 +1,7 @@
 #include "src/support/strings.h"
 
+#include "src/support/regex_cache.h"
+
 #include <cctype>
 #include <cstdio>
 #include <map>
@@ -63,6 +65,35 @@ uint64_t Fnv1a(std::string_view data) { return Fnv1aBytes(data.data(), data.size
 
 namespace {
 
+// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = Mix64(seed ^ (0x9E3779B97F4A7C15ull + size));
+  while (size >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    hash = Mix64(hash ^ word);
+    p += 8;
+    size -= 8;
+  }
+  if (size > 0) {
+    uint64_t tail = 0;
+    __builtin_memcpy(&tail, p, size);
+    hash = Mix64(hash ^ tail ^ (static_cast<uint64_t>(size) << 56));
+  }
+  return hash;
+}
+
+namespace {
+
 // std::regex construction is expensive; module operations reuse a handful of
 // selector patterns many times, so cache compiled regexes.
 const std::regex& CompiledRegex(std::string_view pattern) {
@@ -81,13 +112,17 @@ const std::regex& CompiledRegex(std::string_view pattern) {
 
 }  // namespace
 
-bool RegexMatch(std::string_view name, std::string_view pattern) {
+const std::regex* GetCompiledRegex(std::string_view pattern) {
   try {
-    const std::regex& re = CompiledRegex(pattern);
-    return std::regex_search(name.begin(), name.end(), re);
+    return &CompiledRegex(pattern);
   } catch (const std::regex_error&) {
-    return false;
+    return nullptr;
   }
+}
+
+bool RegexMatch(std::string_view name, std::string_view pattern) {
+  const std::regex* re = GetCompiledRegex(pattern);
+  return re != nullptr && std::regex_search(name.begin(), name.end(), *re);
 }
 
 }  // namespace omos

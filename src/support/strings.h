@@ -35,8 +35,15 @@ std::string StrCat(const Args&... args) {
 std::string Hex32(uint32_t value);
 
 // FNV-1a 64-bit hash; used for cache keys and generated hash tables.
+// Byte-at-a-time and stable: anything serialized (snapshot check lines,
+// golden fingerprints) must keep using this.
 uint64_t Fnv1a(std::string_view data);
 uint64_t Fnv1aBytes(const void* data, size_t size);
+
+// Fast word-at-a-time 64-bit hash for bulk, in-memory integrity sums (the
+// image cache's page checksums). Several times faster than Fnv1aBytes but
+// NOT part of any serialized format — its value may change across versions.
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 0);
 
 // True if `name` matches POSIX-ish extended regex `pattern` (full or partial
 // per std::regex_search semantics — the paper's module operations take

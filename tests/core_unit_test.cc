@@ -7,6 +7,7 @@
 #include "src/core/namespace.h"
 #include "src/core/server.h"
 #include "src/core/sexpr.h"
+#include "src/support/faultsim.h"
 #include "src/support/strings.h"
 #include "tests/helpers.h"
 
@@ -206,6 +207,95 @@ TEST(Cache, ReplaceUpdatesBytes) {
   cache.Put("a", MakeImage(300));
   EXPECT_EQ(cache.stats().bytes_cached, 300u);
   EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(Cache, FullVerifyOncePerLifetimeThenAmortized) {
+  ImageCache cache;
+  cache.Put("a", MakeImage(64 << 10));  // 16 pages
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(cache.Get("a"), nullptr);
+  }
+  // Exactly one full walk (first Get after Put); later warm hits probe a
+  // constant number of pages each.
+  EXPECT_EQ(cache.stats().full_verifies, 1u);
+  EXPECT_EQ(cache.stats().pages_verified, 16u + 9u * 2u);
+}
+
+TEST(Cache, AmortizedProbesCatchResidentCorruption) {
+  ImageCache cache;
+  const CachedImage* entry = cache.Put("a", MakeImage(16 << 10));  // 4 pages
+  EXPECT_NE(cache.Get("a"), nullptr);  // full verify, marks entry warm
+  // Corrupt a byte behind the cache's back. Round-robin probes must catch it
+  // within ceil(pages / probes-per-get) further Gets.
+  const_cast<CachedImage*>(entry)->image.text[9000] ^= 0x40;
+  bool caught = false;
+  for (int i = 0; i < 4 && !caught; ++i) {
+    caught = cache.Get("a") == nullptr;
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(cache.stats().corruption_rebuilds, 1u);
+  EXPECT_FALSE(cache.Contains("a"));
+}
+
+TEST(Cache, LayoutCorruptionCaughtOnNextGet) {
+  ImageCache cache;
+  const CachedImage* entry = cache.Put("a", MakeImage(16 << 10));
+  EXPECT_NE(cache.Get("a"), nullptr);
+  // Layout metadata is O(1)-sized, so every probe covers it: detection on
+  // the very next Get, not after a round-robin cycle.
+  const_cast<CachedImage*>(entry)->image.entry ^= 0x1000;
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.stats().corruption_rebuilds, 1u);
+}
+
+TEST(Cache, ArmedBitrotCaughtOnSameGet) {
+  // While a bit-rot plan is armed, every Get pays a full verify, so the
+  // corruption a trip injects is detected by the very Get that tripped it —
+  // even on an already-warm entry.
+  ImageCache cache;
+  cache.Put("a", MakeImage(64 << 10));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(cache.Get("a"), nullptr);  // warm it well past the full verify
+  }
+  ScopedFaultPlan plan(FaultPlan().Arm("cache.bitrot", FaultSpec::Nth(1)));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.stats().corruption_rebuilds, 1u);
+}
+
+// ---- Cache keys ---------------------------------------------------------------------
+
+TEST(CacheKey, MakeAndSplitRoundTrip) {
+  std::string key = MakeCacheKey("/lib/libc", "spec=lib-dynamic-impl");
+  EXPECT_EQ(key, "/lib/libc\xc2\xa7spec=lib-dynamic-impl");
+  std::string_view path;
+  std::string_view spec;
+  ASSERT_TRUE(SplitCacheKey(key, &path, &spec));
+  EXPECT_EQ(path, "/lib/libc");
+  EXPECT_EQ(spec, "spec=lib-dynamic-impl");
+}
+
+TEST(CacheKey, SplitAllowsEmptySpec) {
+  std::string_view path;
+  std::string_view spec;
+  ASSERT_TRUE(SplitCacheKey(MakeCacheKey("/bin/ls", ""), &path, &spec));
+  EXPECT_EQ(path, "/bin/ls");
+  EXPECT_EQ(spec, "");
+}
+
+TEST(CacheKey, SplitRejectsPlainString) {
+  std::string_view path = "unchanged";
+  std::string_view spec = "unchanged";
+  EXPECT_FALSE(SplitCacheKey("/bin/ls", &path, &spec));
+  EXPECT_EQ(path, "unchanged");
+  EXPECT_EQ(spec, "unchanged");
+}
+
+TEST(CacheKey, SplitWithNullOutputs) {
+  std::string key = MakeCacheKey("/bin/ls", "x");
+  std::string_view path;
+  ASSERT_TRUE(SplitCacheKey(key, &path, nullptr));
+  EXPECT_EQ(path, "/bin/ls");
+  EXPECT_TRUE(SplitCacheKey(key, nullptr, nullptr));
 }
 
 // ---- Specialization keys -----------------------------------------------------------

@@ -1,0 +1,153 @@
+// Byte-identity goldens for the link path.
+//
+// The interned-symbol/flat-table resolution path must produce exactly the
+// LinkedImage (text, data, symbols, entry) the original string-keyed linker
+// produced. Each scenario links a workload-suite module and folds the full
+// image — section bytes, layout, exported symbols in order, unresolved list —
+// into one fingerprint. The constants below were captured from the
+// pre-refactor seed linker; a mismatch means the link output changed, which
+// is an output-compatibility break, not a perf regression.
+//
+// To regenerate after an *intentional* output change, run with
+// OMOS_PRINT_GOLDEN=1 and paste the printed values.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/linker/link.h"
+#include "src/support/strings.h"
+#include "src/vasm/assembler.h"
+#include "src/workloads/workloads.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Everything observable about a linked image, order-sensitive.
+uint64_t Fingerprint(const LinkedImage& image) {
+  uint64_t h = Fnv1aBytes(image.text.data(), image.text.size());
+  h = Mix(h, Fnv1aBytes(image.data.data(), image.data.size()));
+  h = Mix(h, image.text_base);
+  h = Mix(h, image.data_base);
+  h = Mix(h, image.bss_size);
+  h = Mix(h, image.entry);
+  for (const ImageSymbol& sym : image.symbols) {
+    h = Mix(h, Fnv1a(sym.name));
+    h = Mix(h, sym.addr);
+    h = Mix(h, sym.size);
+    h = Mix(h, static_cast<uint64_t>(sym.section));
+  }
+  for (const std::string& name : image.unresolved) {
+    h = Mix(h, Fnv1a(name));
+  }
+  return h;
+}
+
+const Workloads& W() {
+  static const Workloads* workloads = [] {
+    auto result = BuildWorkloads();
+    if (!result.ok()) {
+      ADD_FAILURE() << "BuildWorkloads: " << result.error().ToString();
+      std::abort();
+    }
+    return new Workloads(std::move(result).value());
+  }();
+  return *workloads;
+}
+
+void CheckGolden(const char* name, const LinkedImage& image, uint64_t want) {
+  uint64_t got = Fingerprint(image);
+  if (std::getenv("OMOS_PRINT_GOLDEN") != nullptr) {
+    std::printf("GOLDEN %-16s 0x%016llxull\n", name, static_cast<unsigned long long>(got));
+    return;
+  }
+  EXPECT_EQ(got, want) << name << ": linked image no longer byte-identical to the seed output";
+}
+
+// ls: crt0 + program object + libc, the paper's small-utility shape.
+TEST(GoldenLink, LsStatic) {
+  ASSERT_OK_AND_ASSIGN(Module prog, ModuleFromObjects({W().crt0, W().ls_obj}));
+  ASSERT_OK_AND_ASSIGN(Module libc, ModuleFromArchive(W().libc));
+  ASSERT_OK_AND_ASSIGN(prog, Module::Merge(prog, libc));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(prog, layout, "ls"));
+  CheckGolden("ls-static", image, 0x25eb0de1e2baca67ull);
+}
+
+// codegen: the large program linking six mostly-unused libraries.
+TEST(GoldenLink, CodegenStatic) {
+  std::vector<ObjectFile> objs = W().codegen_objs;
+  objs.insert(objs.begin(), W().crt0);
+  ASSERT_OK_AND_ASSIGN(Module prog, ModuleFromObjects(objs));
+  for (const Archive* lib :
+       {&W().libc, &W().alpha1, &W().alpha2, &W().libm, &W().libl, &W().libcpp}) {
+    ASSERT_OK_AND_ASSIGN(Module m, ModuleFromArchive(*lib));
+    ASSERT_OK_AND_ASSIGN(prog, Module::Merge(prog, m));
+  }
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(prog, layout, "codegen"));
+  CheckGolden("codegen-static", image, 0x2e84c0ac9846bf5eull);
+}
+
+// View-op chain over libc: rename/copy-as/hide/show/freeze/restrict must
+// materialize identically through the precompiled-pattern path.
+TEST(GoldenLink, ViewOps) {
+  ASSERT_OK_AND_ASSIGN(Module libc, ModuleFromArchive(W().libc));
+  Module viewed = libc.CopyAs("^str", "dup_&")
+                      .Rename("^malloc$", "omos_malloc", RenameWhich::kBoth)
+                      .Hide("^f_time$")
+                      .Freeze("^print_")
+                      .Restrict("^peek8$");
+  LayoutSpec layout;
+  layout.allow_unresolved = true;
+  layout.text_base = 0x00400000;
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(viewed, layout, "libc-viewed"));
+  CheckGolden("libc-views", image, 0x76a6a4b50959b515ull);
+}
+
+// show/project keep only a matching slice of the namespace.
+TEST(GoldenLink, ProjectShow) {
+  ASSERT_OK_AND_ASSIGN(Module libc, ModuleFromArchive(W().libc));
+  Module sliced = libc.Show("^(str|mem|malloc|free|print_)").Project("^(str|malloc)");
+  LayoutSpec layout;
+  layout.allow_unresolved = true;
+  layout.text_base = 0x00400000;
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(sliced, layout, "libc-sliced"));
+  CheckGolden("libc-slice", image, 0x7452024b075b02f4ull);
+}
+
+// Interposition via override: the wrapper takes over the name, non-frozen
+// internal callers rebind to it (the paper's Fig. 2 shape).
+TEST(GoldenLink, OverrideInterpose) {
+  ASSERT_OK_AND_ASSIGN(Module libc, ModuleFromArchive(W().libc));
+  Module renamed = libc.CopyAs("^malloc$", "real_malloc").Restrict("^malloc$");
+  ASSERT_OK_AND_ASSIGN(ObjectFile wrapper, Assemble(R"(
+.text
+.global malloc
+malloc:
+  push lr
+  call real_malloc
+  pop lr
+  ret
+)",
+                                                    "wrapper.o"));
+  ASSERT_OK_AND_ASSIGN(
+      Module merged,
+      Module::Override(renamed,
+                       Module::FromObject(std::make_shared<const ObjectFile>(std::move(wrapper)))));
+  LayoutSpec layout;
+  layout.allow_unresolved = true;
+  layout.text_base = 0x00400000;
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(merged, layout, "libc-interposed"));
+  CheckGolden("interpose", image, 0xa31bd4ceaf80ade8ull);
+}
+
+}  // namespace
+}  // namespace omos

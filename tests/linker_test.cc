@@ -40,11 +40,20 @@ Module Leaf(const std::string& name, const std::vector<std::string>& defs,
 BindState StateOfRef(const Module& m, uint32_t fragment, const std::string& name) {
   auto space = m.Space();
   EXPECT_TRUE(space.ok());
-  auto it = (*space)->refs.find(RefKey{fragment, name});
-  if (it == (*space)->refs.end()) {
-    return BindState::kUnbound;
-  }
-  return it->second.state;
+  const RefRecord* ref = (*space)->FindRef(fragment, name);
+  return ref == nullptr ? BindState::kUnbound : ref->state;
+}
+
+const Export& ExportAt(const SymbolSpace* space, std::string_view name) {
+  const Export* exp = space->FindExport(name);
+  EXPECT_NE(exp, nullptr) << "no export named " << name;
+  return *exp;
+}
+
+const RefRecord& RefAt(const SymbolSpace* space, uint32_t fragment, std::string_view name) {
+  const RefRecord* ref = space->FindRef(fragment, name);
+  EXPECT_NE(ref, nullptr) << "no ref (" << fragment << ", " << name << ")";
+  return *ref;
 }
 
 TEST(Module, LeafExportsAndRefs) {
@@ -89,7 +98,7 @@ TEST(Module, WeakYieldsToStrong) {
   for (auto [first, second] : {std::pair{weak, strong}, std::pair{strong, weak}}) {
     ASSERT_OK_AND_ASSIGN(Module merged, Module::Merge(first, second));
     ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, merged.Space());
-    const Export& exp = space->exports.at("f");
+    const Export& exp = ExportAt(space, "f");
     EXPECT_FALSE(exp.weak);
   }
 }
@@ -99,7 +108,7 @@ TEST(Module, TwoWeakDefinitionsFirstWins) {
   Module w2 = Module::FromObject(MakeFragment("w2.o", {{"f", true}}, {}));
   ASSERT_OK_AND_ASSIGN(Module merged, Module::Merge(w1, w2));
   ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, merged.Space());
-  EXPECT_EQ(space->exports.at("f").def.fragment, 0u);
+  EXPECT_EQ(ExportAt(space, "f").def.fragment, 0u);
 }
 
 TEST(Module, OverrideRebindsNonFrozen) {
@@ -113,8 +122,8 @@ TEST(Module, OverrideRebindsNonFrozen) {
   ASSERT_OK_AND_ASSIGN(Module overridden, Module::Override(a, b));
   ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, overridden.Space());
   // a's ref to f now targets b's definition (fragment 1).
-  EXPECT_EQ(space->refs.at(RefKey{0, "f"}).target.fragment, 1u);
-  EXPECT_EQ(space->exports.at("f").def.fragment, 1u);
+  EXPECT_EQ(RefAt(space, 0, "f").target.fragment, 1u);
+  EXPECT_EQ(ExportAt(space, "f").def.fragment, 1u);
 }
 
 TEST(Module, FreezeProtectsFromOverride) {
@@ -127,9 +136,9 @@ TEST(Module, FreezeProtectsFromOverride) {
   ASSERT_OK_AND_ASSIGN(Module overridden, Module::Override(a, b));
   ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, overridden.Space());
   // Frozen binding still targets the original definition...
-  EXPECT_EQ(space->refs.at(RefKey{0, "f"}).target.fragment, 0u);
+  EXPECT_EQ(RefAt(space, 0, "f").target.fragment, 0u);
   // ...even though the export table now shows the override.
-  EXPECT_EQ(space->exports.at("f").def.fragment, 1u);
+  EXPECT_EQ(ExportAt(space, "f").def.fragment, 1u);
 }
 
 TEST(Module, FreezeProtectsFromRestrict) {
@@ -155,7 +164,7 @@ TEST(Module, RestrictUnbindsAndRemoves) {
   Module c = Leaf("c.o", {"util"}, {});
   ASSERT_OK_AND_ASSIGN(Module again, Module::Merge(restricted, c));
   ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, again.Space());
-  EXPECT_EQ(space->refs.at(RefKey{0, "util"}).target.fragment, 2u);
+  EXPECT_EQ(RefAt(space, 0, "util").target.fragment, 2u);
 }
 
 TEST(Module, ProjectKeepsOnlyMatching) {
@@ -211,7 +220,7 @@ TEST(Module, CopyAsDuplicatesDefinition) {
   Module m = Leaf("a.o", {"malloc"}, {});
   Module copied = m.CopyAs("^malloc$", "_REAL_malloc");
   ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, copied.Space());
-  EXPECT_EQ(space->exports.at("malloc").def, space->exports.at("_REAL_malloc").def);
+  EXPECT_EQ(ExportAt(space, "malloc").def, ExportAt(space, "_REAL_malloc").def);
 }
 
 TEST(Module, ViewOpsAreLazy) {
@@ -231,10 +240,10 @@ TEST(Module, ReorderFragmentsPreservesSemantics) {
   ASSERT_OK_AND_ASSIGN(m, Module::Merge(m, c));
   ASSERT_OK_AND_ASSIGN(Module reordered, m.ReorderFragments({2, 0, 1}));
   ASSERT_OK_AND_ASSIGN(const SymbolSpace* space, reordered.Space());
-  EXPECT_EQ(space->exports.at("h").def.fragment, 0u);
-  EXPECT_EQ(space->exports.at("f").def.fragment, 1u);
+  EXPECT_EQ(ExportAt(space, "h").def.fragment, 0u);
+  EXPECT_EQ(ExportAt(space, "f").def.fragment, 1u);
   // f's ref to g follows its fragment.
-  EXPECT_EQ(space->refs.at(RefKey{1, "g"}).target.fragment, 2u);
+  EXPECT_EQ(RefAt(space, 1, "g").target.fragment, 2u);
 }
 
 TEST(Module, ReorderRejectsBadPermutation) {

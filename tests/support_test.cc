@@ -6,6 +6,8 @@
 
 #include "src/support/error.h"
 #include "src/support/faultsim.h"
+#include "src/support/flat_map.h"
+#include "src/support/interner.h"
 #include "src/support/log.h"
 #include "src/support/result.h"
 #include "src/support/strings.h"
@@ -203,6 +205,104 @@ TEST(Log, LevelGate) {
   SetLogLevel(LogLevel::kNone);
   LogMessage(LogLevel::kError, "test", "should be dropped silently");
   SetLogLevel(old);
+}
+
+// ---- Symbol interner -------------------------------------------------------------
+
+TEST(Interner, SameStringSameId) {
+  SymbolInterner& interner = SymbolInterner::Global();
+  SymId a = interner.Intern("interner_test_sym_a");
+  EXPECT_EQ(interner.Intern("interner_test_sym_a"), a);
+  EXPECT_NE(interner.Intern("interner_test_sym_b"), a);
+  EXPECT_EQ(interner.Name(a), "interner_test_sym_a");
+}
+
+TEST(Interner, FindDoesNotInsert) {
+  SymbolInterner& interner = SymbolInterner::Global();
+  size_t before = interner.size();
+  EXPECT_EQ(interner.Find("interner_test_never_interned_xyzzy"), kNoSymId);
+  EXPECT_EQ(interner.size(), before);
+  SymId id = interner.Intern("interner_test_find_me");
+  EXPECT_EQ(interner.Find("interner_test_find_me"), id);
+}
+
+TEST(Interner, NamesStableAcrossGrowth) {
+  SymbolInterner& interner = SymbolInterner::Global();
+  SymId first = interner.Intern("interner_test_stable");
+  std::string_view name = interner.Name(first);
+  for (int i = 0; i < 1000; ++i) {
+    interner.Intern(StrCat("interner_test_growth_", i));
+  }
+  EXPECT_EQ(name.data(), interner.Name(first).data());  // no reallocation
+}
+
+// ---- Flat hash map ---------------------------------------------------------------
+
+TEST(FlatMap, InsertFindEraseChurn) {
+  FlatMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(map.try_emplace(i * 7919, static_cast<int>(i)).second);
+  }
+  EXPECT_EQ(map.size(), 500u);
+  EXPECT_FALSE(map.try_emplace(0, 99).second);  // already present
+  for (uint64_t i = 0; i < 500; i += 2) {
+    EXPECT_TRUE(map.erase(i * 7919));
+  }
+  EXPECT_EQ(map.size(), 250u);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(map.contains(i * 7919), i % 2 == 1) << i;
+  }
+  // Re-insert into tombstoned slots.
+  for (uint64_t i = 0; i < 500; i += 2) {
+    EXPECT_TRUE(map.try_emplace(i * 7919, -1).second);
+  }
+  EXPECT_EQ(map.size(), 500u);
+  EXPECT_EQ(map.at(0), -1);
+  EXPECT_EQ(map.at(3 * 7919), 3);
+}
+
+TEST(FlatMap, IterationVisitsEveryLiveEntry) {
+  FlatMap<uint64_t, uint64_t> map;
+  uint64_t want_sum = 0;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    map.insert_or_assign(i, i * 10);
+    want_sum += i * 10;
+  }
+  map.erase(50);
+  want_sum -= 500;
+  uint64_t sum = 0;
+  size_t count = 0;
+  for (const auto& [key, value] : map) {
+    sum += value;
+    ++count;
+  }
+  EXPECT_EQ(count, 99u);
+  EXPECT_EQ(sum, want_sum);
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap<uint64_t, std::string> map;
+  map.insert_or_assign(1, "first");
+  map.insert_or_assign(1, "second");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(1), "second");
+}
+
+// ---- Fast byte hashing -----------------------------------------------------------
+
+TEST(HashBytes, SensitiveToEveryByte) {
+  std::vector<uint8_t> buf(4096, 0xAB);
+  uint64_t base = HashBytes(buf.data(), buf.size());
+  EXPECT_EQ(HashBytes(buf.data(), buf.size()), base);  // deterministic
+  for (size_t at : {size_t{0}, size_t{7}, size_t{4090}, size_t{4095}}) {
+    buf[at] ^= 1;
+    EXPECT_NE(HashBytes(buf.data(), buf.size()), base) << "byte " << at;
+    buf[at] ^= 1;
+  }
+  // Length is part of the digest (trailing zero byte is not free).
+  EXPECT_NE(HashBytes(buf.data(), buf.size() - 1), base);
+  // Seed separates streams.
+  EXPECT_NE(HashBytes(buf.data(), buf.size(), 1), base);
 }
 
 }  // namespace
