@@ -104,44 +104,77 @@ bool CachedImage::VerifyAll() const {
   return true;
 }
 
+ImageCache::Shard& ImageCache::ShardFor(const std::string& key) {
+  return shards_[Fnv1a(key) & (kShards - 1)];
+}
+
+const ImageCache::Shard& ImageCache::ShardFor(const std::string& key) const {
+  return shards_[Fnv1a(key) & (kShards - 1)];
+}
+
 const CachedImage* ImageCache::Get(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  Entry& entry = it->second;
-  CachedImage& stored = *entry.image;
-  // Fault site: bit-rot in the cached copy's backing store.
-  uint32_t knob = 0;
-  if (FaultSim::Trip("cache.bitrot", &knob)) {
-    std::vector<uint8_t>& victim =
-        stored.image.text.empty() ? stored.image.data : stored.image.text;
-    if (!victim.empty()) {
-      victim[knob % victim.size()] ^= static_cast<uint8_t>(1u << (1 + knob % 7));
+  Shard& shard = ShardFor(key);
+  // Pin the image and copy the verification plan under the shard lock, then
+  // hash pages outside it: the checksum walk is the expensive part of a warm
+  // hit, and it only reads immutable bytes (the pin keeps them alive even if
+  // a concurrent Evict wins the race).
+  std::shared_ptr<CachedImage> pinned;
+  bool full = false;
+  size_t probe_begin = 0;
+  size_t probes = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      ++stats_.misses;
+      return nullptr;
     }
+    Entry& entry = it->second;
+    CachedImage& stored = *entry.image;
+    // Fault site: bit-rot in the cached copy's backing store.
+    uint32_t knob = 0;
+    if (FaultSim::Trip("cache.bitrot", &knob)) {
+      std::vector<uint8_t>& victim =
+          stored.image.text.empty() ? stored.image.data : stored.image.text;
+      if (!victim.empty()) {
+        victim[knob % victim.size()] ^= static_cast<uint8_t>(1u << (1 + knob % 7));
+      }
+    }
+    // Verification policy: the first Get after Put pays a full walk; later
+    // warm hits probe a constant number of pages round-robin, so a resident
+    // corruption is still caught within size/kProbesPerGet hits. While a
+    // bit-rot fault plan is armed we keep full verification so injected
+    // corruption is detected on the same Get that trips it.
+    size_t pages = stored.page_sums.size();
+    if (!entry.verified_once || FaultSim::Armed("cache.bitrot")) {
+      full = true;
+      entry.verified_once = true;
+    } else {
+      probes = std::min(kProbesPerGet, pages);
+      probe_begin = entry.probe_cursor;
+      entry.probe_cursor = pages == 0 ? 0 : (entry.probe_cursor + probes) % pages;
+    }
+    // Bump LRU while we hold the shard lock (lock order: shard, then LRU).
+    {
+      std::lock_guard<std::mutex> lru_lock(lru_mu_);
+      lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    }
+    pinned = entry.image;
   }
-  // Verification policy: the first Get after Put pays a full walk; later
-  // warm hits probe a constant number of pages round-robin, so a resident
-  // corruption is still caught within size/kProbesPerGet hits. While a
-  // bit-rot fault plan is armed we keep full verification so injected
-  // corruption is detected on the same Get that trips it.
+
   bool ok;
-  if (!entry.verified_once || FaultSim::Armed("cache.bitrot")) {
-    ok = stored.VerifyAll();
+  if (full) {
+    ok = pinned->VerifyAll();
     ++stats_.full_verifies;
-    stats_.pages_verified += stored.page_sums.size();
-    entry.verified_once = true;
+    stats_.pages_verified += pinned->page_sums.size();
   } else {
     ok = true;
-    size_t pages = stored.page_sums.size();
-    size_t probes = std::min(kProbesPerGet, pages);
+    size_t pages = pinned->page_sums.size();
     for (size_t i = 0; i < probes && ok; ++i) {
-      ok = stored.VerifyPage(entry.probe_cursor);
-      entry.probe_cursor = pages == 0 ? 0 : (entry.probe_cursor + 1) % pages;
+      ok = pinned->VerifyPage((probe_begin + i) % pages);
     }
     if (pages == 0) {
-      ok = ok && stored.layout_sum == stored.LayoutSum();
+      ok = ok && pinned->layout_sum == pinned->LayoutSum();
     }
     stats_.pages_verified += probes;
   }
@@ -156,57 +189,189 @@ const CachedImage* ImageCache::Get(const std::string& key) {
     return nullptr;
   }
   ++stats_.hits;
-  lru_.erase(entry.lru_it);
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
-  return entry.image.get();
+  return pinned.get();
 }
 
 const CachedImage* ImageCache::Peek(const std::string& key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : it->second.image.get();
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : it->second.image.get();
+}
+
+bool ImageCache::Contains(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(key) != 0;
 }
 
 std::vector<std::string> ImageCache::Keys() const {
   std::vector<std::string> keys;
-  keys.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) {
-    keys.push_back(key);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      keys.push_back(key);
+    }
   }
+  std::sort(keys.begin(), keys.end());  // shard order is hash order; stabilize
   return keys;
 }
 
+size_t ImageCache::entry_count() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.entries.size();
+  }
+  return count;
+}
+
 const CachedImage* ImageCache::Put(std::string key, CachedImage image) {
-  Evict(key);
-  auto owned = std::make_unique<CachedImage>(std::move(image));
+  auto owned = std::make_shared<CachedImage>(std::move(image));
   owned->key = key;
+  // Sums and the symbol index are built outside any lock: both are O(image)
+  // and touch only the new entry.
   owned->ComputeSums();
-  stats_.bytes_cached += owned->bytes();
-  lru_.push_front(key);
+  owned->image.BuildSymbolIndex();
   const CachedImage* result = owned.get();
-  entries_.emplace(std::move(key), Entry{std::move(owned), lru_.begin(),
-                                         /*verified_once=*/false, /*probe_cursor=*/0});
+
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<CachedImage> replaced;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Replacement is an eviction of the old bytes.
+      stats_.bytes_cached -= it->second.image->bytes();
+      ++stats_.evictions;
+      replaced = std::move(it->second.image);
+      it->second.image = std::move(owned);
+      it->second.verified_once = false;
+      it->second.probe_cursor = 0;
+      std::lock_guard<std::mutex> lru_lock(lru_mu_);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    } else {
+      std::list<std::string>::iterator lru_it;
+      {
+        std::lock_guard<std::mutex> lru_lock(lru_mu_);
+        lru_.push_front(key);
+        lru_it = lru_.begin();
+      }
+      shard.entries.emplace(key, Entry{std::move(owned), lru_it,
+                                       /*verified_once=*/false, /*probe_cursor=*/0});
+    }
+    stats_.bytes_cached += result->bytes();
+    ++stats_.inserts;
+  }
+  Retire(std::move(replaced));
   TrimToCapacity();
   return result;
 }
 
 void ImageCache::Evict(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<CachedImage> victim;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      return;
+    }
+    stats_.bytes_cached -= it->second.image->bytes();
+    ++stats_.evictions;
+    {
+      std::lock_guard<std::mutex> lru_lock(lru_mu_);
+      lru_.erase(it->second.lru_it);
+    }
+    victim = std::move(it->second.image);
+    shard.entries.erase(it);
+  }
+  Retire(std::move(victim));
+}
+
+void ImageCache::Retire(std::shared_ptr<CachedImage> image) {
+  if (image == nullptr) {
     return;
   }
-  stats_.bytes_cached -= it->second.image->bytes();
-  ++stats_.evictions;
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+  // A lease opened before this eviction may still hold the raw pointer;
+  // park the image until every lease closes. With no lease open the image
+  // dies here (single-threaded behavior unchanged).
+  if (readers_.load(std::memory_order_acquire) != 0) {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(std::move(image));
+  }
+}
+
+void ImageCache::DrainRetired() const {
+  std::vector<std::shared_ptr<CachedImage>> drop;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    if (readers_.load(std::memory_order_acquire) != 0) {
+      return;  // someone re-opened a lease; they will drain
+    }
+    drop.swap(retired_);
+  }
+  // Destroyed outside the lock.
 }
 
 void ImageCache::TrimToCapacity() {
-  while (stats_.bytes_cached > capacity_bytes_ && lru_.size() > 1) {
-    // Evict least-recently-used (never the entry just inserted).
-    std::string victim = lru_.back();
+  while (stats_.bytes_cached.load(std::memory_order_acquire) > capacity_bytes_) {
+    std::string victim;
+    {
+      std::lock_guard<std::mutex> lru_lock(lru_mu_);
+      if (lru_.size() <= 1) {
+        return;  // never evict the entry just inserted
+      }
+      victim = lru_.back();
+    }
     Evict(victim);
   }
+}
+
+ImageCache::MissJoin ImageCache::JoinBuild(const std::string& key) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      auto fresh = std::make_shared<InFlight>();
+      fresh->leader = std::this_thread::get_id();
+      fresh->depth = 1;
+      inflight_.emplace(key, std::move(fresh));
+      return MissJoin{/*leader=*/true, nullptr};
+    }
+    if (it->second->leader == std::this_thread::get_id()) {
+      ++it->second->depth;  // recursive build of the same key stays leader
+      return MissJoin{/*leader=*/true, nullptr};
+    }
+    flight = it->second;
+  }
+  ++stats_.single_flight_waits;
+  std::unique_lock<std::mutex> wait_lock(flight->mu);
+  flight->cv.wait(wait_lock, [&] { return flight->done; });
+  return MissJoin{/*leader=*/false, flight->image};
+}
+
+void ImageCache::FinishBuild(const std::string& key, const CachedImage* image) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      return;
+    }
+    if (--it->second->depth > 0) {
+      return;  // a recursive leader frame; the outermost publishes
+    }
+    flight = std::move(it->second);
+    inflight_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> done_lock(flight->mu);
+    flight->done = true;
+    flight->image = image;
+  }
+  flight->cv.notify_all();
 }
 
 }  // namespace omos

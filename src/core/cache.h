@@ -2,16 +2,43 @@
 // (meta-object, specialization, placement). "By treating executables as a
 // cache, OMOS avoids unnecessary repetition of work" (§1); cache hits are
 // the entire speed story of the self-contained scheme.
+//
+// Concurrency model (PR 3): the cache is internally synchronized so many
+// server worker threads can Get/Put/Evict at once.
+//
+//  * Entries are sharded by cache-key hash; each shard has its own mutex,
+//    so lookups for different keys rarely contend. Eviction order is still
+//    a single global LRU list (its own mutex; critical sections are one
+//    list splice), because the byte budget is global — see
+//    `Cache.LruEvictionByBytes`.
+//  * `CacheStats` counters are atomics; read them individually.
+//  * Checksum verification — the expensive part of a warm Get — runs
+//    *outside* any lock, on a shared_ptr-pinned entry, so concurrent warm
+//    hits on the same key scale.
+//  * Single-flight miss deduplication: concurrent misses on the same key
+//    elect one builder via JoinBuild/FinishBuild; the rest wait and share
+//    the built image (`CacheStats::single_flight_waits`).
+//
+// Pointer lifetime: a `const CachedImage*` from Get/Put/Peek stays valid
+// until the entry is evicted — and, under concurrency, for as long as any
+// ReadLease opened before the Get is still alive: eviction moves entries
+// with open leases to a retired list drained only when every lease closes.
+// Single-threaded callers need no lease. Concurrent callers must hold one
+// across the Get and every use of the returned pointer.
 #ifndef OMOS_SRC_CORE_CACHE_H_
 #define OMOS_SRC_CORE_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/linker/image.h"
@@ -81,54 +108,132 @@ struct CachedImage {
   }
 };
 
+// All counters atomic: worker threads bump them without the shard locks.
 struct CacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t bytes_cached = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> bytes_cached{0};
   // Entries that failed checksum verification on Get; each is evicted and
   // counts as a miss, so the caller transparently rebuilds it.
-  uint64_t corruption_rebuilds = 0;
+  std::atomic<uint64_t> corruption_rebuilds{0};
   // Full-image verifications (first Get after Put, and fault-sim runs).
-  uint64_t full_verifies = 0;
+  std::atomic<uint64_t> full_verifies{0};
   // Total pages checked across all Gets, full or amortized.
-  uint64_t pages_verified = 0;
+  std::atomic<uint64_t> pages_verified{0};
+  // Entries inserted by Put. Under single-flight, N concurrent misses on
+  // one key still insert exactly once (tests/concurrency_test.cc asserts).
+  std::atomic<uint64_t> inserts{0};
+  // Misses that joined another thread's in-flight build instead of
+  // building themselves.
+  std::atomic<uint64_t> single_flight_waits{0};
 };
 
-// LRU image cache with a byte budget. Entries are heap-allocated and stable:
-// pointers returned by Get/Put remain valid until eviction.
+// Sharded, internally synchronized LRU image cache with a global byte
+// budget. See the file comment for the locking and lifetime story.
 class ImageCache {
  public:
   explicit ImageCache(uint64_t capacity_bytes = 256ull << 20)
       : capacity_bytes_(capacity_bytes) {}
 
-  // Lookup; bumps LRU and hit/miss counters.
+  // Pins entry pointers: entries evicted while any lease is open are
+  // retired, not destroyed, until the last lease closes.
+  class ReadLease {
+   public:
+    explicit ReadLease(const ImageCache& cache) : cache_(&cache) {
+      cache_->readers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ReadLease() {
+      if (cache_->readers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        cache_->DrainRetired();
+      }
+    }
+    ReadLease(const ReadLease&) = delete;
+    ReadLease& operator=(const ReadLease&) = delete;
+
+   private:
+    const ImageCache* cache_;
+  };
+
+  // Lookup; bumps LRU and hit/miss counters. Verification runs unlocked.
   const CachedImage* Get(const std::string& key);
   // Lookup without touching LRU or statistics (introspection/invalidation).
   const CachedImage* Peek(const std::string& key) const;
-  bool Contains(const std::string& key) const { return entries_.count(key) != 0; }
+  bool Contains(const std::string& key) const;
   std::vector<std::string> Keys() const;
 
   const CachedImage* Put(std::string key, CachedImage image);
   void Evict(const std::string& key);
 
+  // ---- Single-flight miss deduplication -----------------------------------
+  // After a missed Get, call JoinBuild: the first caller becomes the
+  // *leader* (must build the image, Put it, then call FinishBuild exactly
+  // once — on failure too, with nullptr). Later callers block until the
+  // leader finishes and receive its result. Re-entrant on the leader
+  // thread: a recursive JoinBuild on the same key stays leader (dependency
+  // cycles surface as eval errors, not deadlocks).
+  struct MissJoin {
+    bool leader = false;
+    // Follower only: the leader's published image; nullptr when the
+    // leader's build failed (caller retries or reports its own error).
+    const CachedImage* image = nullptr;
+  };
+  MissJoin JoinBuild(const std::string& key);
+  void FinishBuild(const std::string& key, const CachedImage* image);
+
   const CacheStats& stats() const { return stats_; }
-  size_t entry_count() const { return entries_.size(); }
+  size_t entry_count() const;
 
  private:
-  void TrimToCapacity();
+  // Shard count: cache-key hash & (16 - 1). 16 shards keep the per-shard
+  // mutexes all but uncontended at the 8-worker pool size while costing
+  // one cache line of mutex each; see docs/perf.md.
+  static constexpr size_t kShards = 16;
 
-  uint64_t capacity_bytes_;
-  std::list<std::string> lru_;  // front = most recent
   struct Entry {
-    std::unique_ptr<CachedImage> image;
+    std::shared_ptr<CachedImage> image;
     std::list<std::string>::iterator lru_it;
     // Verification state: the first Get after Put walks every page; later
     // Gets round-robin a constant number of pages from probe_cursor.
     bool verified_once = false;
     size_t probe_cursor = 0;
   };
-  std::map<std::string, Entry> entries_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> entries;
+  };
+
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    const CachedImage* image = nullptr;
+    std::thread::id leader;
+    int depth = 0;  // leader re-entrancy
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  void TrimToCapacity();
+  // Parks an evicted image on the retired list while any lease is open
+  // (destroys it immediately otherwise). Null is a no-op.
+  void Retire(std::shared_ptr<CachedImage> image);
+  void DrainRetired() const;
+
+  uint64_t capacity_bytes_;
+  Shard shards_[kShards];
+
+  // Global eviction order; lock after a shard mutex, never before.
+  mutable std::mutex lru_mu_;
+  std::list<std::string> lru_;  // front = most recent
+
+  std::mutex inflight_mu_;
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+
+  mutable std::atomic<size_t> readers_{0};
+  mutable std::mutex retired_mu_;
+  mutable std::vector<std::shared_ptr<CachedImage>> retired_;
+
   CacheStats stats_;
 };
 

@@ -65,8 +65,7 @@ Result<void> OmosNamespace::DefineMeta(std::string_view path, std::string_view b
                       construction.size()));
   }
   entry.construction = std::move(construction[0]);
-  entries_.insert_or_assign(Normalize(path), std::move(entry));
-  return OkResult();
+  return Publish(Normalize(path), std::move(entry));
 }
 
 Result<void> OmosNamespace::AddFragment(std::string_view path, ObjectFile object) {
@@ -74,16 +73,50 @@ Result<void> OmosNamespace::AddFragment(std::string_view path, ObjectFile object
   NamespaceEntry entry;
   entry.kind = EntryKind::kFragment;
   entry.fragment = std::make_shared<const ObjectFile>(std::move(object));
-  entries_.insert_or_assign(Normalize(path), std::move(entry));
+  return Publish(Normalize(path), std::move(entry));
+}
+
+Result<void> OmosNamespace::Publish(std::string path, NamespaceEntry entry) {
+  auto fresh = std::make_shared<const NamespaceEntry>(std::move(entry));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::move(path), fresh);
+  if (!inserted) {
+    // Redefinition: retire the old version so pointers handed out by
+    // earlier Lookups stay valid (in-flight builds finish against it).
+    graveyard_.push_back(std::move(it->second));
+    it->second = std::move(fresh);
+  }
   return OkResult();
 }
 
 Result<const NamespaceEntry*> OmosNamespace::Lookup(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(Normalize(path));
   if (it == entries_.end()) {
     return Err(ErrorCode::kNotFound, StrCat("no such object: ", path));
   }
-  return &it->second;
+  return it->second.get();
+}
+
+bool OmosNamespace::Exists(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.count(Normalize(path)) != 0;
+}
+
+size_t OmosNamespace::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const NamespaceEntry>>>
+OmosNamespace::SnapshotEntries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::shared_ptr<const NamespaceEntry>>> out;
+  out.reserve(entries_.size());
+  for (const auto& [path, entry] : entries_) {
+    out.emplace_back(path, entry);
+  }
+  return out;
 }
 
 std::vector<std::string> OmosNamespace::List(std::string_view path) const {
@@ -91,6 +124,7 @@ std::vector<std::string> OmosNamespace::List(std::string_view path) const {
   if (prefix.back() != '/') {
     prefix.push_back('/');
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
     if (!StartsWith(it->first, prefix)) {

@@ -1,12 +1,23 @@
 // OMOS's hierarchical namespace: "names represent meta-objects, executable
 // code fragments, or directories of other objects" (§3.2).
+//
+// Internally synchronized (PR 3): many server worker threads Lookup/List
+// concurrently while administrative requests redefine entries. Entries are
+// immutable once published and held by shared_ptr; a redefinition swaps in
+// a new entry and retires the old one to a graveyard kept until the
+// namespace dies, so a `const NamespaceEntry*` from Lookup stays valid for
+// the namespace's lifetime even across concurrent redefinition (builds in
+// flight keep linking against the blueprint version they looked up).
 #ifndef OMOS_SRC_CORE_NAMESPACE_H_
 #define OMOS_SRC_CORE_NAMESPACE_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/constraints.h"
@@ -40,22 +51,33 @@ class OmosNamespace {
   // Register a relocatable object fragment (a leaf operand, e.g. /obj/ls.o).
   Result<void> AddFragment(std::string_view path, ObjectFile object);
 
+  // The pointer stays valid for the namespace's lifetime (see file comment),
+  // but names the entry version current at lookup time.
   Result<const NamespaceEntry*> Lookup(std::string_view path) const;
-  bool Exists(std::string_view path) const { return entries_.count(Normalize(path)) != 0; }
+  bool Exists(std::string_view path) const;
 
   // Immediate children of `path` (directory listing of the exported
   // namespace — what /bin backed by OMOS would enumerate, §5).
   std::vector<std::string> List(std::string_view path) const;
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
-  // Every entry keyed by normalized path, in path order (snapshot support).
-  const std::map<std::string, NamespaceEntry, std::less<>>& entries() const { return entries_; }
+  // A point-in-time copy of every entry, keyed by normalized path, in path
+  // order (snapshot support). Each shared_ptr keeps its entry alive
+  // independent of later redefinitions.
+  std::vector<std::pair<std::string, std::shared_ptr<const NamespaceEntry>>> SnapshotEntries()
+      const;
 
   static std::string Normalize(std::string_view path);
 
  private:
-  std::map<std::string, NamespaceEntry, std::less<>> entries_;
+  Result<void> Publish(std::string path, NamespaceEntry entry);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const NamespaceEntry>, std::less<>> entries_;
+  // Redefined entries, kept so Lookup pointers handed out before the
+  // redefinition never dangle. Bounded by the number of redefinitions.
+  std::vector<std::shared_ptr<const NamespaceEntry>> graveyard_;
 };
 
 }  // namespace omos

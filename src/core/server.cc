@@ -9,6 +9,7 @@
 #include "src/objfmt/backend.h"
 #include "src/support/log.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 #include "src/vasm/assembler.h"
 
 namespace omos {
@@ -68,7 +69,8 @@ Specialization Specialization::FromKeyString(std::string_view text) {
 // ---- Construction -----------------------------------------------------------
 
 OmosServer::OmosServer(Kernel& kernel, Config config)
-    : kernel_(&kernel), config_(config), solver_(config.arenas), cache_(config.cache_capacity_bytes) {
+    : kernel_(&kernel), config_(config), cache_(config.cache_capacity_bytes),
+      solver_(config.arenas) {
   kernel_->SetSysHook(kSysDload,
                       [this](Kernel& k, Task& t) { return HandleDload(k, t); });
   kernel_->SetSysHook(kSysMonLog,
@@ -77,6 +79,15 @@ OmosServer::OmosServer(Kernel& kernel, Config config)
                       [this](Kernel& k, Task& t) { return HandleOmosLoadSys(k, t); });
   kernel_->SetSysHook(kSysOmosUnload,
                       [this](Kernel& k, Task& t) { return HandleOmosUnloadSys(k, t); });
+  optimizer_->server = this;
+}
+
+OmosServer::~OmosServer() {
+  // Background jobs hold a shared_ptr to optimizer_, not to the server;
+  // blank the back-pointer (waiting out any job mid-run) so jobs that fire
+  // after this point are no-ops.
+  std::lock_guard<std::mutex> lock(optimizer_->job_mu);
+  optimizer_->server = nullptr;
 }
 
 void OmosServer::InvalidateImagesOf(std::string_view path) {
@@ -128,28 +139,47 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
     SplitCacheKey(key, &path_part, nullptr);
     std::string key_path(path_part);
     if (victim_paths.count(key_path) != 0) {
-      solver_.Release(key);
+      {
+        std::lock_guard<std::mutex> lock(solver_mu_);
+        solver_.Release(key);
+      }
       cache_.Evict(key);
+    }
+  }
+  // Optimizer bookkeeping for invalidated images is stale: drop hit counts
+  // and aliases so the rebuilt image earns optimization afresh.
+  {
+    std::lock_guard<std::mutex> lock(optimizer_->mu);
+    for (const std::string& victim : victim_paths) {
+      std::string prefix = victim + std::string(kCacheKeySep);
+      auto stale = [&](const std::string& key) { return StartsWith(key, prefix); };
+      std::erase_if(optimizer_->warm_hits, [&](const auto& kv) { return stale(kv.first); });
+      std::erase_if(optimizer_->attempted, stale);
+      std::erase_if(optimizer_->alias, [&](const auto& kv) { return stale(kv.first); });
     }
   }
 }
 
 Result<void> OmosServer::DefineMeta(std::string_view path, std::string_view blueprint) {
+  std::lock_guard<std::mutex> lock(admin_mu_);
   InvalidateImagesOf(path);
   return namespace_.DefineMeta(path, blueprint, EntryKind::kMeta);
 }
 
 Result<void> OmosServer::DefineLibrary(std::string_view path, std::string_view blueprint) {
+  std::lock_guard<std::mutex> lock(admin_mu_);
   InvalidateImagesOf(path);
   return namespace_.DefineMeta(path, blueprint, EntryKind::kLibrary);
 }
 
 Result<void> OmosServer::AddFragment(std::string_view path, ObjectFile object) {
+  std::lock_guard<std::mutex> lock(admin_mu_);
   InvalidateImagesOf(path);
   return namespace_.AddFragment(path, std::move(object));
 }
 
 Result<void> OmosServer::AddArchive(std::string_view dir, const Archive& archive) {
+  std::lock_guard<std::mutex> lock(admin_mu_);
   std::string meta = "(merge";
   for (const ObjectFile& member : archive.members()) {
     std::string path = StrCat(dir, "/", member.name());
@@ -491,16 +521,142 @@ Result<Module> OmosServer::BuildMonolithicModule(const std::string& path, BuildT
 Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
                                                    const Specialization& spec,
                                                    uint64_t* work_cycles) {
-  std::string key = MakeCacheKey(OmosNamespace::Normalize(path), spec.ToKeyString());
+  std::string norm = OmosNamespace::Normalize(path);
+  std::string key = MakeCacheKey(norm, spec.ToKeyString());
+  // Idle-time optimizer: a hot default-spec image may have a reorder-built
+  // twin; serve it instead (the "atomic swap-in on next Get").
+  if (const CachedImage* optimized = OptimizedAlias(key)) {
+    return optimized;
+  }
   if (const CachedImage* hit = cache_.Get(key)) {
+    NoteWarmHit(key, norm, spec);
     return hit;
+  }
+  // Miss: elect one builder per key. Followers block until the leader
+  // publishes, so N concurrent misses of one key do the construction work
+  // once and share the image (CacheStats::single_flight_waits counts the
+  // followers; inserts stays 1).
+  ImageCache::MissJoin join = cache_.JoinBuild(key);
+  if (!join.leader) {
+    if (join.image != nullptr) {
+      return join.image;
+    }
+    // The leader's build failed. Build it ourselves so this caller gets a
+    // first-hand error — or a success, if the failure was transient (e.g. a
+    // redefinition raced the build).
   }
   BuildTracker tracker;
   auto result = BuildImage(path, spec, key, tracker);
+  if (join.leader) {
+    cache_.FinishBuild(key, result.ok() ? *result : nullptr);
+  }
   if (work_cycles != nullptr) {
     *work_cycles += tracker.work;
   }
   return result;
+}
+
+// ---- Idle-time background optimization --------------------------------------
+
+void OmosServer::EnableBackgroundOptimizer(uint64_t hot_threshold) {
+  std::lock_guard<std::mutex> lock(optimizer_->mu);
+  optimizer_->enabled = true;
+  optimizer_->hot_threshold = hot_threshold == 0 ? 1 : hot_threshold;
+}
+
+size_t OmosServer::DrainBackgroundWork() {
+  size_t ran = ThreadPool::Global().DrainBackground();
+  // A worker may have grabbed a job just before the drain; wait it out so
+  // callers observe a stable post-optimization state.
+  ThreadPool::Global().WaitIdle();
+  return ran;
+}
+
+const CachedImage* OmosServer::OptimizedAlias(const std::string& key) {
+  std::string optimized_key;
+  {
+    std::lock_guard<std::mutex> lock(optimizer_->mu);
+    if (!optimizer_->enabled) {
+      return nullptr;
+    }
+    auto it = optimizer_->alias.find(key);
+    if (it == optimizer_->alias.end()) {
+      return nullptr;
+    }
+    optimized_key = it->second;
+  }
+  if (const CachedImage* optimized = cache_.Get(optimized_key)) {
+    return optimized;
+  }
+  // The optimized twin fell out of the cache; forget it and let the hit
+  // counter earn a fresh optimization pass.
+  std::lock_guard<std::mutex> lock(optimizer_->mu);
+  auto it = optimizer_->alias.find(key);
+  if (it != optimizer_->alias.end() && it->second == optimized_key) {
+    optimizer_->alias.erase(it);
+    optimizer_->attempted.erase(key);
+    optimizer_->warm_hits.erase(key);
+  }
+  return nullptr;
+}
+
+void OmosServer::NoteWarmHit(const std::string& key, const std::string& norm,
+                             const Specialization& spec) {
+  if (!spec.name.empty()) {
+    return;  // only default-spec images are candidates for a reorder twin
+  }
+  {
+    std::lock_guard<std::mutex> lock(optimizer_->mu);
+    if (!optimizer_->enabled) {
+      return;
+    }
+    if (++optimizer_->warm_hits[key] < optimizer_->hot_threshold ||
+        optimizer_->attempted.count(key) != 0) {
+      return;
+    }
+    optimizer_->attempted.insert(key);
+  }
+  // Queue on the background lane: the pool runs it only when no foreground
+  // request is pending — the paper's "during idle time". The job holds the
+  // shared state, not the server, so it degrades to a no-op if the server
+  // is gone by the time it runs.
+  std::shared_ptr<OptimizerState> state = optimizer_;
+  ThreadPool::Global().SubmitBackground([state, key, norm] {
+    std::lock_guard<std::mutex> alive(state->job_mu);
+    if (state->server != nullptr) {
+      state->server->RunOptimizeJob(key, norm);
+    }
+  });
+}
+
+void OmosServer::RunOptimizeJob(const std::string& key, const std::string& norm) {
+  // Speculatively re-instantiate the hot image's declared library deps so
+  // they are warm for the next cold client (cheap: usually all cache hits).
+  {
+    ImageCache::ReadLease lease(cache_);
+    if (const CachedImage* hot = cache_.Peek(key)) {
+      std::vector<LibDep> deps = hot->deps;
+      for (const LibDep& dep : deps) {
+        uint64_t scratch = 0;
+        (void)GetOrRebuild(dep.cache_key, &scratch);
+      }
+    }
+  }
+  // Re-link under the reorder specialization when profile data exists.
+  if (!HasPreferredOrder(norm)) {
+    return;
+  }
+  Specialization reorder;
+  reorder.name = "reorder";
+  uint64_t scratch = 0;
+  auto optimized = Instantiate(norm, reorder, &scratch);
+  if (!optimized.ok()) {
+    LogMessage(LogLevel::kDebug, "optimizer",
+               StrCat("reorder of ", norm, " failed: ", optimized.error().ToString()));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(optimizer_->mu);
+  optimizer_->alias[key] = (*optimized)->key;
 }
 
 Result<const CachedImage*> OmosServer::GetOrRebuild(const std::string& cache_key,
@@ -550,18 +706,25 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
       OMOS_TRY(Module merged,
                Module::Merge(wrapped, Module::FromObject(std::make_shared<const ObjectFile>(
                                           std::move(wrappers)))));
-      monitor_names_[OmosNamespace::Normalize(path)] = names;
-      monitor_counts_[OmosNamespace::Normalize(path)].assign(names.size(), 0);
+      {
+        std::lock_guard<std::mutex> lock(monitor_mu_);
+        monitor_names_[OmosNamespace::Normalize(path)] = names;
+        monitor_counts_[OmosNamespace::Normalize(path)].assign(names.size(), 0);
+      }
       value.module = std::move(merged);
     } else {
-      auto order_it = preferred_order_.find(OmosNamespace::Normalize(path));
-      if (order_it == preferred_order_.end()) {
-        return Err(ErrorCode::kNotFound,
-                   StrCat(path, ": no recorded routine order; run a monitor pass first"));
+      std::vector<std::string> hot;
+      {
+        std::lock_guard<std::mutex> lock(monitor_mu_);
+        auto order_it = preferred_order_.find(OmosNamespace::Normalize(path));
+        if (order_it == preferred_order_.end()) {
+          return Err(ErrorCode::kNotFound,
+                     StrCat(path, ": no recorded routine order; run a monitor pass first"));
+        }
+        hot = order_it->second;
       }
       // Rank fragments by the hottest routine they define and lay hot ones
       // out first.
-      const std::vector<std::string>& hot = order_it->second;
       OMOS_TRY(const SymbolSpace* space, mono.Space());
       size_t n = mono.fragments().size();
       std::vector<size_t> rank(n, hot.size());
@@ -662,7 +825,11 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
   if (spec.hints.data_base.has_value()) {
     hints.data_base = spec.hints.data_base;
   }
-  OMOS_TRY(Placement placement, solver_.Place(key, text_size, data_size + bss_size, hints));
+  Placement placement;
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    OMOS_TRY(placement, solver_.Place(key, text_size, data_size + bss_size, hints));
+  }
 
   LayoutSpec layout;
   layout.text_base = placement.text_base;
@@ -681,6 +848,7 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
   CachedImage cached;
   cached.image = std::move(image);
   if (!cached.image.text.empty()) {
+    std::lock_guard<std::mutex> lock(kernel_mu_);  // phys-memory allocation
     OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.text));
     cached.text_seg = std::move(seg);
   }
@@ -695,10 +863,13 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
 // ---- Exec paths -------------------------------------------------------------
 
 Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) {
-  if (program.text_seg.has_value()) {
-    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, program.image, *program.text_seg));
-  } else {
-    OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, program.image, ""));
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    if (program.text_seg.has_value()) {
+      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, program.image, *program.text_seg));
+    } else {
+      OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, program.image, ""));
+    }
   }
   TaskRuntime runtime;
   runtime.program_key = program.key;
@@ -718,6 +889,7 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
     // rebuild reuses the old placement so the program's references stay valid.
     uint64_t rebuild_work = 0;
     OMOS_TRY(const CachedImage* lib, GetOrRebuild(dep.cache_key, &rebuild_work));
+    std::lock_guard<std::mutex> lock(kernel_mu_);
     task.BillSys(rebuild_work);
     if (lib->text_seg.has_value()) {
       OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, lib->image, *lib->text_seg));
@@ -732,42 +904,62 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
     }
     runtime.slots.push_back(TaskRuntime::Slot{sym->addr, slot.lib_path, slot.symbol});
   }
+  std::lock_guard<std::mutex> lock(runtimes_mu_);
   runtimes_[task.id()] = std::move(runtime);
   return program.image.entry;
 }
 
-void OmosServer::ReleaseTask(TaskId id) { runtimes_.erase(id); }
+void OmosServer::ReleaseTask(TaskId id) {
+  std::lock_guard<std::mutex> lock(runtimes_mu_);
+  runtimes_.erase(id);
+}
 
 Result<TaskId> OmosServer::BootstrapExec(const std::string& path, std::vector<std::string> args,
                                          const Specialization& spec) {
-  Task& task = kernel_->CreateTask(StrCat("omos-boot:", path));
-  const CostModel& costs = kernel_->costs();
-  // Load and run the tiny bootstrap loader program (#! /bin/omos).
-  task.BillSys(costs.file_open + costs.header_parse + costs.file_read_page);
-  task.BillUser(config_.bootstrap_user_cycles);
+  TaskId task_id;
+  Task* task;
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    task = &kernel_->CreateTask(StrCat("omos-boot:", path));
+    task_id = task->id();
+    const CostModel& costs = kernel_->costs();
+    // Load and run the tiny bootstrap loader program (#! /bin/omos).
+    task->BillSys(costs.file_open + costs.header_parse + costs.file_read_page);
+    task->BillUser(config_.bootstrap_user_cycles);
+  }
   Channel channel = MakeChannel();
   OmosRequest request;
   request.op = OmosOp::kInstantiate;
   request.path = path;
   request.specialization = spec.ToKeyString();
-  request.task_handle = task.id();
-  OMOS_TRY(OmosReply reply, channel.Call(request, &task));
+  request.task_handle = task_id;
+  OMOS_TRY(OmosReply reply, channel.Call(request, task));
   if (!reply.ok) {
     return Err(ErrorCode::kNotFound, reply.error);
   }
-  OMOS_TRY_VOID(StartTask(*kernel_, task, reply.entry, args));
-  return task.id();
+  std::lock_guard<std::mutex> lock(kernel_mu_);
+  OMOS_TRY_VOID(StartTask(*kernel_, *task, reply.entry, args));
+  return task_id;
 }
 
 Result<TaskId> OmosServer::IntegratedExec(const std::string& path, std::vector<std::string> args,
                                           const Specialization& spec) {
-  Task& task = kernel_->CreateTask(StrCat("omos-exec:", path));
+  Task* task;
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    task = &kernel_->CreateTask(StrCat("omos-exec:", path));
+  }
+  ImageCache::ReadLease lease(cache_);  // pins *image across mapping
   uint64_t work = 0;
   OMOS_TRY(const CachedImage* image, Instantiate(path, spec, &work));
-  task.BillSys(work + kernel_->costs().omos_cache_lookup);
-  OMOS_TRY(uint32_t entry, MapProgram(task, *image));
-  OMOS_TRY_VOID(StartTask(*kernel_, task, entry, args));
-  return task.id();
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    task->BillSys(work + kernel_->costs().omos_cache_lookup);
+  }
+  OMOS_TRY(uint32_t entry, MapProgram(*task, *image));
+  std::lock_guard<std::mutex> lock(kernel_mu_);
+  OMOS_TRY_VOID(StartTask(*kernel_, *task, entry, args));
+  return task->id();
 }
 
 Result<int> OmosServer::ExportNamespaceToFs(std::string_view namespace_dir,
@@ -780,6 +972,7 @@ Result<int> OmosServer::ExportNamespaceToFs(std::string_view namespace_dir,
     if (!entry.ok() || (*entry)->kind == EntryKind::kFragment) {
       continue;  // only executable meta-objects are exported
     }
+    std::lock_guard<std::mutex> lock(kernel_mu_);
     OMOS_TRY_VOID(kernel_->fs().TryWriteFile(StrCat(fs_dir, "/", name),
                                              StrCat("#!omos ", meta_path, "\n"), 0755));
     ++exported;
@@ -805,19 +998,33 @@ Result<TaskId> OmosServer::ExecFile(const std::string& fs_path, std::vector<std:
 
 Result<void> OmosServer::HandleDload(Kernel& kernel, Task& task) {
   uint32_t index = task.reg(12);
-  auto it = runtimes_.find(task.id());
-  if (it == runtimes_.end() || index >= it->second.slots.size()) {
-    return Err(ErrorCode::kExecFault, StrCat(task.name(), ": bad dload slot ", index));
+  TaskRuntime::Slot slot;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it == runtimes_.end() || index >= it->second.slots.size()) {
+      return Err(ErrorCode::kExecFault, StrCat(task.name(), ": bad dload slot ", index));
+    }
+    slot = it->second.slots[index];
   }
-  TaskRuntime& runtime = it->second;
-  const TaskRuntime::Slot& slot = runtime.slots[index];
+  ImageCache::ReadLease lease(cache_);  // pins *impl across the mapping below
   uint64_t rebuild_work = 0;
   OMOS_TRY(const CachedImage* impl, GetOrRebuild(slot.lib_path, &rebuild_work));
   task.BillSys(rebuild_work);
-  if (runtime.mapped_libs.insert(slot.lib_path).second) {
+  bool first_use = false;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it == runtimes_.end()) {
+      return Err(ErrorCode::kExecFault, StrCat(task.name(), ": task released during dload"));
+    }
+    first_use = it->second.mapped_libs.insert(slot.lib_path).second;
+  }
+  if (first_use) {
     // First use in this task: the stub "contacts OMOS and loads in the
     // library" (§4.2) — one IPC round trip plus the mapping work.
     task.BillSys(kernel.costs().ipc_round_trip + kernel.costs().omos_cache_lookup);
+    std::lock_guard<std::mutex> lock(kernel_mu_);
     if (impl->text_seg.has_value()) {
       OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, impl->image, *impl->text_seg));
     } else {
@@ -842,15 +1049,20 @@ Result<void> OmosServer::HandleDload(Kernel& kernel, Task& task) {
 Result<void> OmosServer::HandleMonLog(Kernel& kernel, Task& task) {
   (void)kernel;
   uint32_t index = task.reg(12);
-  auto it = runtimes_.find(task.id());
-  if (it == runtimes_.end()) {
-    return OkResult();  // Unmonitored task; ignore.
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it == runtimes_.end()) {
+      return OkResult();  // Unmonitored task; ignore.
+    }
+    key = it->second.program_key;
   }
   // program_key = "<path>§<spec>"; recover the path.
-  const std::string& key = it->second.program_key;
   std::string_view path_part = key;
   SplitCacheKey(key, &path_part, nullptr);
   std::string path(path_part);
+  std::lock_guard<std::mutex> lock(monitor_mu_);
   auto counts = monitor_counts_.find(path);
   if (counts != monitor_counts_.end() && index < counts->second.size()) {
     ++counts->second[index];
@@ -861,6 +1073,7 @@ Result<void> OmosServer::HandleMonLog(Kernel& kernel, Task& task) {
 Result<std::vector<std::pair<std::string, uint64_t>>> OmosServer::MonitorCounts(
     const std::string& path) const {
   std::string norm = OmosNamespace::Normalize(path);
+  std::lock_guard<std::mutex> lock(monitor_mu_);
   auto names = monitor_names_.find(norm);
   auto counts = monitor_counts_.find(norm);
   if (names == monitor_names_.end() || counts == monitor_counts_.end()) {
@@ -874,6 +1087,7 @@ Result<std::vector<std::pair<std::string, uint64_t>>> OmosServer::MonitorCounts(
 }
 
 Result<void> OmosServer::DerivePreferredOrder(const std::string& path) {
+  // MonitorCounts takes monitor_mu_ itself; lock only for the final write.
   OMOS_TRY(auto counts, MonitorCounts(path));
   std::stable_sort(counts.begin(), counts.end(),
                    [](const auto& a, const auto& b) { return a.second > b.second; });
@@ -882,8 +1096,14 @@ Result<void> OmosServer::DerivePreferredOrder(const std::string& path) {
   for (const auto& [name, count] : counts) {
     order.push_back(name);
   }
+  std::lock_guard<std::mutex> lock(monitor_mu_);
   preferred_order_[OmosNamespace::Normalize(path)] = std::move(order);
   return OkResult();
+}
+
+bool OmosServer::HasPreferredOrder(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return preferred_order_.count(OmosNamespace::Normalize(path)) != 0;
 }
 
 // ---- Dynamic loading ----------------------------------------------------------
@@ -900,12 +1120,23 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
   }
   OMOS_TRY(Module module, RequireModule(std::move(value), "dynamic-load"));
 
+  // Pin every cache pointer used below (the program image and the loaded
+  // class) so a concurrent eviction cannot free them mid-map.
+  ImageCache::ReadLease lease(cache_);
+
   // The loaded class may refer to procedures and data within the client
   // (§5): the running program's exported symbols become externals.
   std::map<std::string, uint32_t> externals;
-  auto rt = runtimes_.find(task.id());
-  if (rt != runtimes_.end()) {
-    if (const CachedImage* program = cache_.Get(rt->second.program_key)) {
+  std::string program_key;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto rt = runtimes_.find(task.id());
+    if (rt != runtimes_.end()) {
+      program_key = rt->second.program_key;
+    }
+  }
+  if (!program_key.empty()) {
+    if (const CachedImage* program = cache_.Get(program_key)) {
       for (const ImageSymbol& sym : program->image.symbols) {
         externals.emplace(sym.name, sym.addr);
       }
@@ -923,7 +1154,11 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
       data_size = AlignTo(data_size, 4) + frag->section(SectionKind::kData).size();
       bss_size = AlignTo(bss_size, 4) + frag->section(SectionKind::kBss).size();
     }
-    OMOS_TRY(Placement placement, solver_.Place(key, text_size, data_size + bss_size, {}));
+    Placement placement;
+    {
+      std::lock_guard<std::mutex> lock(solver_mu_);
+      OMOS_TRY(placement, solver_.Place(key, text_size, data_size + bss_size, {}));
+    }
     LayoutSpec layout;
     layout.text_base = placement.text_base;
     layout.data_base = placement.data_base;
@@ -932,6 +1167,7 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
     CachedImage ci;
     ci.image = std::move(image);
     if (!ci.image.text.empty()) {
+      std::lock_guard<std::mutex> lock(kernel_mu_);
       OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), ci.image.text));
       ci.text_seg = std::move(seg);
     }
@@ -939,10 +1175,13 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
     cached = cache_.Put(key, std::move(ci));
   }
   task.BillSys(tracker.work + kernel_->costs().omos_cache_lookup);
-  if (cached->text_seg.has_value()) {
-    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, cached->image, *cached->text_seg));
-  } else {
-    OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, cached->image, ""));
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    if (cached->text_seg.has_value()) {
+      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, cached->image, *cached->text_seg));
+    } else {
+      OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, cached->image, ""));
+    }
   }
   // Remember the mapped regions so the class can be dynamically unlinked.
   TaskRuntime::DynRegion region;
@@ -950,7 +1189,10 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
   region.has_text = !cached->image.text.empty();
   region.data_base = cached->image.data_base;
   region.has_data = cached->image.data.size() + cached->image.bss_size > 0;
-  runtimes_[task.id()].dyn_loaded.push_back(region);
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    runtimes_[task.id()].dyn_loaded.push_back(region);
+  }
 
   DynLoadResult result;
   result.text_base = cached->image.text_base;
@@ -962,6 +1204,7 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
 }
 
 Result<void> OmosServer::DynamicUnload(Task& task, uint32_t text_base) {
+  std::lock_guard<std::mutex> rt_lock(runtimes_mu_);
   auto rt = runtimes_.find(task.id());
   if (rt == runtimes_.end()) {
     return Err(ErrorCode::kNotFound, StrCat(task.name(), ": no OMOS runtime state"));
@@ -971,6 +1214,7 @@ Result<void> OmosServer::DynamicUnload(Task& task, uint32_t text_base) {
     if (it->text_base != text_base) {
       continue;
     }
+    std::lock_guard<std::mutex> lock(kernel_mu_);  // runtimes_mu_ -> kernel_mu_ is in order
     if (it->has_text) {
       OMOS_TRY_VOID(task.space().Unmap(it->text_base));
     }
@@ -1119,23 +1363,31 @@ Result<uint64_t> PopNumber(std::string_view& line) {
 std::string OmosServer::Snapshot() const {
   std::string out(kSnapshotMagic);
   out.push_back('\n');
-  for (const auto& [path, entry] : namespace_.entries()) {
-    if (entry.kind == EntryKind::kFragment) {
-      std::string hex = HexEncode(EncodeObject(*entry.fragment));
+  for (const auto& [path, entry] : namespace_.SnapshotEntries()) {
+    if (entry->kind == EntryKind::kFragment) {
+      std::string hex = HexEncode(EncodeObject(*entry->fragment));
       out += StrCat("frag ", hex.size(), " ", path, "\n", hex, "\n");
     } else {
-      out += StrCat("meta ", entry.kind == EntryKind::kLibrary ? 1 : 0, " ",
-                    entry.blueprint_text.size(), " ", path, "\n", entry.blueprint_text, "\n");
+      out += StrCat("meta ", entry->kind == EntryKind::kLibrary ? 1 : 0, " ",
+                    entry->blueprint_text.size(), " ", path, "\n", entry->blueprint_text, "\n");
     }
   }
-  for (const auto& [path, order] : preferred_order_) {
-    out += StrCat("order ", order.size(), " ", path, "\n");
-    for (const std::string& name : order) {
-      out += name;
-      out.push_back('\n');
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    for (const auto& [path, order] : preferred_order_) {
+      out += StrCat("order ", order.size(), " ", path, "\n");
+      for (const std::string& name : order) {
+        out += name;
+        out.push_back('\n');
+      }
     }
   }
-  for (const PlacementRecord& record : solver_.ExportPlacements()) {
+  std::vector<PlacementRecord> placements;
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    placements = solver_.ExportPlacements();
+  }
+  for (const PlacementRecord& record : placements) {
     out += StrCat("place ", record.placement.text_base, " ", record.text_size, " ",
                   record.placement.data_base, " ", record.data_size, " ", record.object, "\n");
   }
@@ -1144,6 +1396,9 @@ std::string OmosServer::Snapshot() const {
 }
 
 Result<void> OmosServer::Restore(std::string_view snapshot) {
+  // Serialize against concurrent Define*/Restore; per-structure locks below
+  // keep readers (Lookup, HasPreferredOrder) safe while we repopulate.
+  std::lock_guard<std::mutex> admin_lock(admin_mu_);
   // Integrity first: the trailing check line must hash everything before it.
   size_t check_at = snapshot.rfind("check ");
   if (check_at == std::string_view::npos || check_at == 0 || snapshot[check_at - 1] != '\n') {
@@ -1183,6 +1438,7 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
         OMOS_TRY(std::string_view name, cursor.Line());
         order.emplace_back(name);
       }
+      std::lock_guard<std::mutex> lock(monitor_mu_);
       preferred_order_[OmosNamespace::Normalize(line)] = std::move(order);
     } else if (tag == "place") {
       PlacementRecord record;
@@ -1195,6 +1451,7 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
       record.text_size = static_cast<uint32_t>(text_size);
       record.data_size = static_cast<uint32_t>(data_size);
       record.object = std::string(line);
+      std::lock_guard<std::mutex> lock(solver_mu_);
       OMOS_TRY_VOID(solver_.AdoptPlacement(record));
     } else {
       return Err(ErrorCode::kParseError, StrCat("snapshot: unknown record '", tag, "'"));
@@ -1206,7 +1463,12 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
 // ---- Administration -----------------------------------------------------------
 
 int OmosServer::OptimizePlacements() {
-  std::vector<std::string> changed = solver_.OptimizePlacements();
+  std::lock_guard<std::mutex> admin_lock(admin_mu_);
+  std::vector<std::string> changed;
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    changed = solver_.OptimizePlacements();
+  }
   int evicted = 0;
   for (const std::string& key : changed) {
     if (cache_.Contains(key)) {
@@ -1215,6 +1477,7 @@ int OmosServer::OptimizePlacements() {
     }
   }
   // Any image that depended on a moved library is stale too.
+  ImageCache::ReadLease lease(cache_);  // keeps Peek pointers valid across Evict
   for (const std::string& moved : changed) {
     for (const std::string& key : cache_.Keys()) {
       const CachedImage* image = cache_.Peek(key);
@@ -1234,10 +1497,18 @@ int OmosServer::OptimizePlacements() {
 }
 
 Result<std::vector<ImageSymbol>> OmosServer::SymbolsForTask(TaskId id) const {
-  auto it = runtimes_.find(id);
-  if (it == runtimes_.end()) {
-    return Err(ErrorCode::kNotFound, StrCat("no OMOS runtime state for task ", id));
+  std::string program_key;
+  std::set<std::string> mapped_libs;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(id);
+    if (it == runtimes_.end()) {
+      return Err(ErrorCode::kNotFound, StrCat("no OMOS runtime state for task ", id));
+    }
+    program_key = it->second.program_key;
+    mapped_libs = it->second.mapped_libs;
   }
+  ImageCache::ReadLease lease(cache_);  // keeps Peek pointers valid while we copy
   std::vector<ImageSymbol> symbols;
   auto append = [&](const std::string& key) {
     const CachedImage* image = cache_.Peek(key);
@@ -1245,14 +1516,14 @@ Result<std::vector<ImageSymbol>> OmosServer::SymbolsForTask(TaskId id) const {
       symbols.insert(symbols.end(), image->image.symbols.begin(), image->image.symbols.end());
     }
   };
-  append(it->second.program_key);
-  const CachedImage* program = cache_.Peek(it->second.program_key);
+  append(program_key);
+  const CachedImage* program = cache_.Peek(program_key);
   if (program != nullptr) {
     for (const LibDep& dep : program->deps) {
       append(dep.cache_key);
     }
   }
-  for (const std::string& lib_key : it->second.mapped_libs) {
+  for (const std::string& lib_key : mapped_libs) {
     append(lib_key);
   }
   return symbols;
@@ -1269,19 +1540,27 @@ OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
   OmosReply reply;
   switch (request.op) {
     case OmosOp::kInstantiate: {
-      Task* task = kernel_->FindTask(request.task_handle);
+      Task* task;
+      {
+        std::lock_guard<std::mutex> lock(kernel_mu_);
+        task = kernel_->FindTask(request.task_handle);
+      }
       if (task == nullptr) {
         reply.error = "bad task handle";
         return reply;
       }
       Specialization spec = Specialization::FromKeyString(request.specialization);
+      ImageCache::ReadLease lease(cache_);  // pins *image across MapProgram
       uint64_t work = 0;
       auto image = Instantiate(request.path, spec, &work);
       if (!image.ok()) {
         reply.error = image.error().ToString();
         return reply;
       }
-      task->BillSys(work + kernel_->costs().omos_cache_lookup);
+      {
+        std::lock_guard<std::mutex> lock(kernel_mu_);
+        task->BillSys(work + kernel_->costs().omos_cache_lookup);
+      }
       auto entry = MapProgram(*task, **image);
       if (!entry.ok()) {
         reply.error = entry.error().ToString();
@@ -1289,6 +1568,7 @@ OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
       }
       reply.ok = true;
       reply.entry = *entry;
+      std::lock_guard<std::mutex> lock(kernel_mu_);
       for (const auto& region : task->space().Regions()) {
         reply.segments.push_back(SegmentDesc{region.base, region.size, region.prot, region.name});
       }
@@ -1309,7 +1589,11 @@ OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
       reply.names = ListNamespace(request.path);
       return reply;
     case OmosOp::kDynamicLoad: {
-      Task* task = kernel_->FindTask(request.task_handle);
+      Task* task;
+      {
+        std::lock_guard<std::mutex> lock(kernel_mu_);
+        task = kernel_->FindTask(request.task_handle);
+      }
       if (task == nullptr) {
         reply.error = "bad task handle";
         return reply;
@@ -1343,6 +1627,14 @@ std::vector<uint8_t> OmosServer::ServeMessage(const std::vector<uint8_t>& reques
     reply = HandleRequest(*request);
   }
   return EncodeReply(reply);
+}
+
+void OmosServer::ServeAsync(std::vector<uint8_t> request_bytes,
+                            std::function<void(std::vector<uint8_t>)> done) {
+  ThreadPool::Global().Submit(
+      [this, bytes = std::move(request_bytes), done = std::move(done)]() mutable {
+        done(ServeMessage(bytes));
+      });
 }
 
 }  // namespace omos

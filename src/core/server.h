@@ -17,8 +17,10 @@
 #define OMOS_SRC_CORE_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -63,11 +65,34 @@ struct OmosServerConfig {
   uint64_t bootstrap_user_cycles = 300;
 };
 
+// Concurrency model (PR 3): many worker threads may call Instantiate /
+// GetOrRebuild / ServeMessage / the exec paths at once. The cache and the
+// namespace synchronize themselves; the server's own state is guarded by a
+// strict lock hierarchy (acquire downward only, release before recursing
+// into Instantiate):
+//
+//   admin_mu_    — serializes administrative writers (Define*, AddFragment,
+//                  Restore, OptimizePlacements) against each other
+//   monitor_mu_  — monitor_names_ / monitor_counts_ / preferred_order_
+//   solver_mu_   — every ConstraintSolver call
+//   runtimes_mu_ — runtimes_ (per-task stub/dyn state)
+//   kernel_mu_   — kernel and task mutation (CreateTask, mapping, billing,
+//                  SimFs writes); never held across a build
+//
+// Cache misses are single-flight: concurrent Instantiates of one key elect
+// a leader via ImageCache::JoinBuild and everyone shares its image. Callers
+// that use a returned CachedImage* concurrently with possible eviction
+// (redefinition under load) must hold an ImageCache::ReadLease across the
+// call and every use of the pointer; the request paths below do.
+//
+// `solver()`, `cache()` and `conflicts()` hand out raw references for tests
+// and tools — use them only while no worker threads are in flight.
 class OmosServer {
  public:
   using Config = OmosServerConfig;
 
   OmosServer(Kernel& kernel, Config config = Config());
+  ~OmosServer();
 
   Kernel& kernel() { return *kernel_; }
 
@@ -144,9 +169,26 @@ class OmosServer {
   // Record the preferred routine order for `path` from monitor counts; the
   // "reorder" specialization consumes it.
   Result<void> DerivePreferredOrder(const std::string& path);
-  bool HasPreferredOrder(const std::string& path) const {
-    return preferred_order_.count(path) != 0;
-  }
+  bool HasPreferredOrder(const std::string& path) const;
+
+  // ---- Idle-time background optimization (§4.1) -----------------------------
+  // "During idle periods, OMOS may re-link the module using the profile
+  // information gathered in monitoring mode." When enabled, the server
+  // counts warm hits per cached image; once an image with a recorded
+  // routine order (DerivePreferredOrder) reaches `hot_threshold` hits, a
+  // low-priority job is queued on the shared pool's background lane — it
+  // runs only when no foreground request is waiting. The job re-links the
+  // image under the "reorder" specialization and registers an alias; the
+  // next Instantiate of the original key atomically swaps to the optimized
+  // image. The job also speculatively re-instantiates the hot image's
+  // declared library dependencies so they are warm in the cache.
+  // Redefinition of the underlying path drops the alias with the images.
+  void EnableBackgroundOptimizer(uint64_t hot_threshold = 8);
+
+  // Runs queued idle-time jobs on the caller and waits for any a worker
+  // already picked up; returns how many the caller ran. Gives tests (and
+  // shutdown) a deterministic "all background work done" point.
+  size_t DrainBackgroundWork();
 
   // ---- Crash / recovery -----------------------------------------------------
   // Serialize the server's durable state — the namespace (blueprints and
@@ -175,6 +217,12 @@ class OmosServer {
 
   // ---- IPC ------------------------------------------------------------------
   std::vector<uint8_t> ServeMessage(const std::vector<uint8_t>& request_bytes);
+  // Request executor: decode + handle + encode on the shared thread pool, so
+  // multiple clients' Instantiate/Get calls proceed in parallel. `done` is
+  // invoked with the encoded reply on a pool thread (or inline when the
+  // pool has no workers). Safe to call from many threads.
+  void ServeAsync(std::vector<uint8_t> request_bytes,
+                  std::function<void(std::vector<uint8_t>)> done);
   // A client channel bound to this server, billing the kernel's IPC cost.
   Channel MakeChannel();
 
@@ -248,17 +296,56 @@ class OmosServer {
 
   OmosReply HandleRequest(const OmosRequest& request);
 
+  // Shared between the server and its queued background jobs, so a job that
+  // outlives the server (still parked on the pool's background lane) sees
+  // server == nullptr and becomes a no-op. job_mu serializes job execution
+  // against server destruction (and jobs against each other — idle-time
+  // work has no concurrency claim to make).
+  struct OptimizerState {
+    std::mutex job_mu;
+    OmosServer* server = nullptr;
+
+    std::mutex mu;  // guards everything below
+    bool enabled = false;
+    uint64_t hot_threshold = 8;
+    std::map<std::string, uint64_t> warm_hits;     // original key -> hits
+    std::set<std::string> attempted;               // keys already queued
+    std::map<std::string, std::string> alias;      // original -> optimized key
+  };
+
+  // Warm-hit bookkeeping for `key` (path `norm`, default spec only); queues
+  // an optimization job at the hot threshold.
+  void NoteWarmHit(const std::string& key, const std::string& norm, const Specialization& spec);
+  // The optimized image to serve instead of `key`, or nullptr. Drops the
+  // alias if the optimized image fell out of the cache.
+  const CachedImage* OptimizedAlias(const std::string& key);
+  // Body of one background job: reorder-relink `norm` and alias it to
+  // `key`; speculatively re-instantiate the image's library deps.
+  void RunOptimizeJob(const std::string& key, const std::string& norm);
+
   Kernel* kernel_;
   Config config_;
-  OmosNamespace namespace_;
-  ConstraintSolver solver_;
-  ImageCache cache_;
-  std::map<TaskId, TaskRuntime> runtimes_;
+  OmosNamespace namespace_;   // internally synchronized
+  ImageCache cache_;          // internally synchronized
+
+  // Lock hierarchy (see class comment): acquire strictly downward, never
+  // hold any of these across a recursive Instantiate or a cache call that
+  // can build (JoinBuild leadership is not a lock).
+  mutable std::mutex admin_mu_;
+  mutable std::mutex monitor_mu_;
+  mutable std::mutex solver_mu_;
+  mutable std::mutex runtimes_mu_;
+  mutable std::mutex kernel_mu_;
+
+  ConstraintSolver solver_;             // guarded by solver_mu_
+  std::map<TaskId, TaskRuntime> runtimes_;  // guarded by runtimes_mu_
   // Monitoring: program path -> function names (slot order) and counts.
+  // All three guarded by monitor_mu_.
   std::map<std::string, std::vector<std::string>> monitor_names_;
   std::map<std::string, std::vector<uint64_t>> monitor_counts_;
   std::map<std::string, std::vector<std::string>> preferred_order_;
-  uint32_t dynload_counter_ = 0;
+
+  std::shared_ptr<OptimizerState> optimizer_ = std::make_shared<OptimizerState>();
 };
 
 }  // namespace omos

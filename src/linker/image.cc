@@ -2,25 +2,36 @@
 
 namespace omos {
 
+void LinkedImage::BuildSymbolIndex() {
+  symbol_index.clear();
+  symbol_index.reserve(symbols.size());
+  for (uint32_t i = 0; i < symbols.size(); ++i) {
+    // First occurrence wins, like the linear scan this replaces.
+    symbol_index.try_emplace(SymbolInterner::Global().Intern(symbols[i].name), i);
+  }
+  indexed_count = symbols.size();
+}
+
 namespace {
 
-void EnsureIndex(const LinkedImage& image) {
-  if (image.indexed_count == image.symbols.size()) {
-    return;
+// Stale-index fallback: an image mutated after its last BuildSymbolIndex
+// (or never indexed) is scanned linearly. No lazy rebuild here — FindSymbol
+// is const and may run from many threads at once on a cached image.
+const ImageSymbol* ScanForSymbol(const LinkedImage& image, std::string_view name) {
+  for (const ImageSymbol& symbol : image.symbols) {
+    if (symbol.name == name) {
+      return &symbol;
+    }
   }
-  image.symbol_index.clear();
-  image.symbol_index.reserve(image.symbols.size());
-  for (uint32_t i = 0; i < image.symbols.size(); ++i) {
-    // First occurrence wins, like the linear scan this replaces.
-    image.symbol_index.try_emplace(SymbolInterner::Global().Intern(image.symbols[i].name), i);
-  }
-  image.indexed_count = image.symbols.size();
+  return nullptr;
 }
 
 }  // namespace
 
 const ImageSymbol* LinkedImage::FindSymbol(std::string_view name) const {
-  EnsureIndex(*this);  // first, so a decoded image's names are interned
+  if (indexed_count != symbols.size()) {
+    return ScanForSymbol(*this, name);
+  }
   SymId id = SymbolInterner::Global().Find(name);
   if (id == kNoSymId) {
     return nullptr;
@@ -30,7 +41,9 @@ const ImageSymbol* LinkedImage::FindSymbol(std::string_view name) const {
 }
 
 const ImageSymbol* LinkedImage::FindSymbol(SymId id) const {
-  EnsureIndex(*this);
+  if (indexed_count != symbols.size()) {
+    return ScanForSymbol(*this, SymbolInterner::Global().Name(id));
+  }
   auto it = symbol_index.find(id);
   return it == symbol_index.end() ? nullptr : &symbols[it->second];
 }

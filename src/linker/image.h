@@ -57,15 +57,20 @@ struct LinkedImage {
   uint32_t text_end() const { return text_base + static_cast<uint32_t>(text.size()); }
   uint32_t data_end() const { return data_base + static_cast<uint32_t>(data.size()) + bss_size; }
 
-  // O(1) via a lazily-built hash index (this used to be a linear scan, paid
-  // per dynamic-load fixup and per lazy stub resolution).
+  // O(1) when the hash index is current (BuildSymbolIndex after the image
+  // stops changing — LinkImage and cache Put both do); otherwise a linear
+  // scan. FindSymbol never mutates the image, so concurrent lookups on a
+  // published (cached) image are race-free.
   const ImageSymbol* FindSymbol(std::string_view name) const;
   const ImageSymbol* FindSymbol(SymId id) const;
 
-  // FindSymbol's index: interned name -> symbols slot. Built on first
-  // lookup, rebuilt when symbols.size() changes.
-  mutable FlatMap<SymId, uint32_t> symbol_index;
-  mutable size_t indexed_count = ~size_t{0};
+  // (Re)builds the FindSymbol index: interned name -> symbols slot. Call
+  // once after `symbols` reaches its final state and before the image is
+  // shared across threads; not thread-safe against concurrent FindSymbol.
+  void BuildSymbolIndex();
+
+  FlatMap<SymId, uint32_t> symbol_index;
+  size_t indexed_count = ~size_t{0};
 };
 
 }  // namespace omos

@@ -70,6 +70,9 @@ Result<LinkedImage> DecodeImage(const std::vector<uint8_t>& bytes) {
     OMOS_TRY(std::string name, r.Str());
     image.unresolved.push_back(std::move(name));
   }
+  // Index now: the decoded table is final, and indexing here keeps
+  // FindSymbol O(1) (and read-only) however the image is used.
+  image.BuildSymbolIndex();
   return image;
 }
 

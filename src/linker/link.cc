@@ -1,8 +1,10 @@
 #include "src/linker/link.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 #include "src/vm/phys_memory.h"
 
 namespace omos {
@@ -80,20 +82,34 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
     return 0;
   };
 
-  // Pass 2: copy section bytes.
+  // Passes 2+3, fanned out per fragment: copy the fragment's section bytes
+  // and apply its relocations. Each fragment writes only its own disjoint
+  // [offsets[i], offsets[i] + size) spans of image.text/image.data, so
+  // fragments are independent; everything order-sensitive (stats, logs,
+  // unresolved names, the first error) accumulates in a per-fragment result
+  // and is reduced in fragment order below. Output bytes land at positions
+  // that depend only on the layout, never on scheduling, so the image —
+  // and the golden fingerprints over it — is byte-identical to the serial
+  // link.
+  struct FragmentResult {
+    uint32_t relocations_applied = 0;
+    uint32_t refs_bound = 0;
+    std::vector<std::string> unresolved;
+    std::vector<RelocRecord> reloc_log;
+    std::optional<Error> error;  // first failed reloc of this fragment
+  };
+  std::vector<FragmentResult> results(fragments.size());
   image.text.assign(text_size, 0);
   image.data.assign(data_size, 0);
-  for (size_t i = 0; i < fragments.size(); ++i) {
+
+  auto link_fragment = [&](uint32_t i) {
     const ObjectFile& frag = *fragments[i];
+    FragmentResult& res = results[i];
     const auto& text = frag.section(SectionKind::kText).bytes;
     std::copy(text.begin(), text.end(), image.text.begin() + offsets[i].text);
     const auto& data = frag.section(SectionKind::kData).bytes;
     std::copy(data.begin(), data.end(), image.data.begin() + offsets[i].data);
-  }
 
-  // Pass 3: apply relocations.
-  for (uint32_t i = 0; i < fragments.size(); ++i) {
-    const ObjectFile& frag = *fragments[i];
     for (int s = 0; s < 2; ++s) {  // text and data carry relocations
       SectionKind section = static_cast<SectionKind>(s);
       std::vector<uint8_t>& out = section == SectionKind::kText ? image.text : image.data;
@@ -103,8 +119,9 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
       for (const Relocation& reloc : frag.section(section).relocs) {
         const Symbol* sym = frag.FindSymbol(reloc.sid());
         if (sym == nullptr) {
-          return Err(ErrorCode::kRelocationError,
-                     StrCat(frag.name(), ": reloc names unknown symbol ", reloc.symbol));
+          res.error = Error{ErrorCode::kRelocationError,
+                            StrCat(frag.name(), ": reloc names unknown symbol ", reloc.symbol)};
+          return;
         }
         uint32_t target = 0;
         bool resolved = false;
@@ -119,7 +136,7 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
             const Symbol& def_sym = fragments[def.fragment]->symbols()[def.symbol];
             target = address_of(def.fragment, def_sym.section, def_sym.value);
             resolved = true;
-            ++image.stats.refs_bound;
+            ++res.refs_bound;
           }
         }
         if (!resolved) {
@@ -128,16 +145,17 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
           if (ext != externals.end()) {
             target = ext->second;
             resolved = true;
-            ++image.stats.refs_bound;
+            ++res.refs_bound;
           }
           if (!resolved) {
             std::string_view want_name = SymbolInterner::Global().Name(want);
             if (!layout.allow_unresolved) {
-              return Err(ErrorCode::kUnresolvedSymbol,
-                         StrCat(image.name, ": unresolved reference to ", want_name, " from ",
-                                frag.name()));
+              res.error = Error{ErrorCode::kUnresolvedSymbol,
+                                StrCat(image.name, ": unresolved reference to ", want_name,
+                                       " from ", frag.name())};
+              return;
             }
-            image.unresolved.emplace_back(want_name);
+            res.unresolved.emplace_back(want_name);
             continue;
           }
         }
@@ -153,13 +171,36 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
         out[at + 1] = static_cast<uint8_t>(value >> 8);
         out[at + 2] = static_cast<uint8_t>(value >> 16);
         out[at + 3] = static_cast<uint8_t>(value >> 24);
-        ++image.stats.relocations_applied;
+        ++res.relocations_applied;
         if (layout.record_relocs) {
           bool cross = !(sym->defined && sym->binding == SymbolBinding::kLocal);
-          image.reloc_log.push_back(RelocRecord{section, field_addr, value, reloc.symbol,
-                                                reloc.kind == RelocKind::kPcRel32, cross});
+          res.reloc_log.push_back(RelocRecord{section, field_addr, value, reloc.symbol,
+                                              reloc.kind == RelocKind::kPcRel32, cross});
         }
       }
+    }
+  };
+  ThreadPool::Global().ParallelFor(
+      fragments.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          link_fragment(static_cast<uint32_t>(i));
+        }
+      });
+
+  // Ordered reduce: the lowest-numbered fragment's error is the one the
+  // serial link would have hit first; logs and counters concatenate in
+  // fragment order, matching the serial pass exactly.
+  for (FragmentResult& res : results) {
+    if (res.error.has_value()) {
+      return *std::move(res.error);
+    }
+    image.stats.relocations_applied += res.relocations_applied;
+    image.stats.refs_bound += res.refs_bound;
+    for (std::string& unresolved_name : res.unresolved) {
+      image.unresolved.push_back(std::move(unresolved_name));
+    }
+    for (RelocRecord& record : res.reloc_log) {
+      image.reloc_log.push_back(std::move(record));
     }
   }
 
@@ -180,6 +221,10 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
                     sym.size, sym.section});
   }
   image.stats.symbols_exported = static_cast<uint32_t>(image.symbols.size());
+  // The symbol table is final; build the lookup index before the image is
+  // published (FindSymbol on an indexed image is read-only and so safe to
+  // call from many threads at once).
+  image.BuildSymbolIndex();
 
   if (!layout.entry_symbol.empty()) {
     const ImageSymbol* entry = image.FindSymbol(layout.entry_symbol);

@@ -10,6 +10,7 @@
 #ifndef OMOS_SRC_OBJFMT_OBJECT_FILE_H_
 #define OMOS_SRC_OBJFMT_OBJECT_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -40,6 +41,29 @@ enum class RelocKind : uint8_t {
 
 std::string_view RelocKindName(RelocKind kind);
 
+// A copyable atomic SymId cell. Fragments are shared (shared_ptr) across
+// concurrently-linked modules, so the lazily-cached interned id below is
+// written from several threads at once; relaxed atomics make that an
+// idempotent cache fill instead of a data race. Copy reads relaxed, so the
+// type stays usable in aggregate-initialized structs and std::vector.
+struct AtomicSymId {
+  std::atomic<SymId> value{kNoSymId};
+
+  AtomicSymId() = default;
+  AtomicSymId(SymId id) : value(id) {}
+  AtomicSymId(const AtomicSymId& other)
+      : value(other.value.load(std::memory_order_relaxed)) {}
+  AtomicSymId& operator=(const AtomicSymId& other) {
+    value.store(other.value.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicSymId& operator=(SymId id) {
+    value.store(id, std::memory_order_relaxed);
+    return *this;
+  }
+  SymId load() const { return value.load(std::memory_order_relaxed); }
+};
+
 // One fixup: patch the 32-bit field at `offset` in the owning section with
 // the value of `symbol` (+ addend), absolute or pc-relative.
 struct Relocation {
@@ -49,14 +73,18 @@ struct Relocation {
   int32_t addend = 0;
   // Interned id of `symbol`, resolved lazily and cached; reset by
   // ObjectFile::RebuildSymbolIndex after renames. Not part of identity.
-  mutable SymId symbol_id = kNoSymId;
+  mutable AtomicSymId symbol_id;
 
   // Interned id of `symbol` (cached so repeated links don't re-hash names).
+  // Safe to call concurrently: every racer interns the same string and gets
+  // the same id, so the cache fill is idempotent.
   SymId sid() const {
-    if (symbol_id == kNoSymId) {
-      symbol_id = SymbolInterner::Global().Intern(symbol);
+    SymId id = symbol_id.load();
+    if (id == kNoSymId) {
+      id = SymbolInterner::Global().Intern(symbol);
+      symbol_id = id;
     }
-    return symbol_id;
+    return id;
   }
 
   bool operator==(const Relocation& other) const {

@@ -1,5 +1,8 @@
 #include "src/support/faultsim.h"
 
+#include <atomic>
+#include <mutex>
+
 #include "src/support/log.h"
 #include "src/support/strings.h"
 
@@ -13,9 +16,23 @@ struct SiteState {
   uint64_t fires = 0;
 };
 
+// Thread-safety: `mu` guards the site map and all counters. The unarmed
+// fast path — the only one production code pays when no plan is installed —
+// is a single relaxed atomic load, so fault sites stay ~free under
+// concurrency. With a plan installed, per-site hit counters are shared
+// across threads: the total counts stay exact (mutex), but *which* thread's
+// hit trips an nth/every trigger depends on scheduling. Deterministic fault
+// schedules (the sweep harness, replayable seeds) therefore assume a single
+// tripping thread; concurrent tests should assert totals, not which caller
+// observed the fire. Install/Reset are single-writer operations: arming or
+// clearing a plan while worker threads are mid-request is not supported
+// (quiesce the pool first), matching how every sweep and test uses it.
 struct SimState {
+  std::mutex mu;
   std::map<std::string, SiteState, std::less<>> sites;
   uint64_t total_fires = 0;
+  // True whenever `sites` is non-empty; readable without `mu`.
+  std::atomic<bool> any_armed{false};
 };
 
 SimState& State() {
@@ -57,60 +74,81 @@ bool TriggerFires(const SiteState& site) {
 
 void FaultSim::Install(FaultPlan plan) {
   SimState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
   state.sites.clear();
   state.total_fires = 0;
   for (const auto& [site, spec] : plan.sites()) {
     state.sites.emplace(site, SiteState{spec, 0, 0});
   }
+  state.any_armed.store(!state.sites.empty(), std::memory_order_release);
 }
 
 void FaultSim::Reset() {
   SimState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
   state.sites.clear();
   state.total_fires = 0;
+  state.any_armed.store(false, std::memory_order_release);
 }
 
 bool FaultSim::Trip(std::string_view site, uint32_t* payload_out) {
   SimState& state = State();
-  if (state.sites.empty()) {
+  if (!state.any_armed.load(std::memory_order_acquire)) {
     return false;  // fast path: no plan installed
   }
-  auto it = state.sites.find(site);
-  if (it == state.sites.end()) {
-    return false;
-  }
-  SiteState& armed = it->second;
-  ++armed.hits;
-  if (!TriggerFires(armed)) {
-    return false;
-  }
-  ++armed.fires;
-  ++state.total_fires;
-  if (payload_out != nullptr) {
-    *payload_out = armed.spec.payload;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.sites.find(site);
+    if (it == state.sites.end()) {
+      return false;
+    }
+    SiteState& armed = it->second;
+    ++armed.hits;
+    if (!TriggerFires(armed)) {
+      return false;
+    }
+    ++armed.fires;
+    ++state.total_fires;
+    if (payload_out != nullptr) {
+      *payload_out = armed.spec.payload;
+    }
+    hits = armed.hits;
+    fires = armed.fires;
   }
   LogMessage(LogLevel::kDebug, "faultsim",
-             StrCat("fired ", site, " (hit ", armed.hits, ", fire ", armed.fires, ")"));
+             StrCat("fired ", site, " (hit ", hits, ", fire ", fires, ")"));
   return true;
 }
 
 bool FaultSim::Armed(std::string_view site) {
   SimState& state = State();
-  return !state.sites.empty() && state.sites.find(site) != state.sites.end();
+  if (!state.any_armed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.sites.find(site) != state.sites.end();
 }
 
 uint64_t FaultSim::Hits(std::string_view site) {
   SimState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
   auto it = state.sites.find(site);
   return it == state.sites.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultSim::Fires(std::string_view site) {
   SimState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
   auto it = state.sites.find(site);
   return it == state.sites.end() ? 0 : it->second.fires;
 }
 
-uint64_t FaultSim::TotalFires() { return State().total_fires; }
+uint64_t FaultSim::TotalFires() {
+  SimState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.total_fires;
+}
 
 }  // namespace omos

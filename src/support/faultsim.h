@@ -78,7 +78,12 @@ class FaultPlan {
   std::map<std::string, FaultSpec, std::less<>> sites_;
 };
 
-// Process-global fault controller (the simulator is single-threaded).
+// Process-global fault controller. Thread-safe: the unarmed fast path is
+// one relaxed atomic load; armed state is mutex-guarded. Counters stay
+// exact under concurrent trips, but nth/every schedules are only
+// deterministic when one thread trips the site — and Install/Reset assume
+// no trips are in flight (single-writer; quiesce worker threads first).
+// See the SimState comment in faultsim.cc.
 class FaultSim {
  public:
   // Replace the active plan and zero all counters.

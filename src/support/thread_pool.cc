@@ -1,0 +1,224 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace omos {
+
+ThreadPool::ThreadPool(size_t threads) {
+  worker_state_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    worker_state_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally so pool workers never race static destruction.
+  static ThreadPool* pool = new ThreadPool(
+      std::min<size_t>(8, std::max<size_t>(1, std::thread::hardware_concurrency())));
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  size_t index = next_worker_.fetch_add(1, std::memory_order_relaxed) % worker_state_.size();
+  {
+    std::lock_guard<std::mutex> lock(worker_state_[index]->mu);
+    worker_state_[index]->deque.push_back(std::move(fn));
+  }
+  foreground_pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::SubmitBackground(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(background_mu_);
+    background_.push_back(std::move(fn));
+  }
+  if (!workers_.empty()) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::TakeForeground(size_t preferred, std::function<void()>& out) {
+  size_t count = worker_state_.size();
+  // Own deque first (newest first, for locality), then steal oldest work
+  // from the others.
+  for (size_t attempt = 0; attempt < count; ++attempt) {
+    size_t index = (preferred + attempt) % count;
+    Worker& worker = *worker_state_[index];
+    std::lock_guard<std::mutex> lock(worker.mu);
+    if (worker.deque.empty()) {
+      continue;
+    }
+    if (attempt == 0) {
+      out = std::move(worker.deque.back());
+      worker.deque.pop_back();
+    } else {
+      out = std::move(worker.deque.front());
+      worker.deque.pop_front();
+    }
+    foreground_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::TakeBackground(std::function<void()>& out) {
+  // Idle gate: background work runs only when no foreground task waits.
+  if (foreground_pending_.load(std::memory_order_acquire) != 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(background_mu_);
+  if (background_.empty()) {
+    return false;
+  }
+  out = std::move(background_.front());
+  background_.pop_front();
+  return true;
+}
+
+bool ThreadPool::TakeTask(size_t worker_index, std::function<void()>& out) {
+  return TakeForeground(worker_index, out) || TakeBackground(out);
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  for (;;) {
+    // `active_` rises before the queue counters drop, so WaitIdle never
+    // observes "no work anywhere" while a task is in hand but not yet run.
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    std::function<void()> task;
+    bool got = TakeTask(index, task);
+    if (got) {
+      task();
+      task = nullptr;
+    }
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      idle_cv_.notify_all();
+    }
+    if (got) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+    wake_cv_.wait(lock, [this] {
+      if (stop_.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      if (foreground_pending_.load(std::memory_order_acquire) != 0) {
+        return true;
+      }
+      std::lock_guard<std::mutex> bg_lock(background_mu_);
+      return !background_.empty();
+    });
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  grain = std::max<size_t>(1, grain);
+  size_t chunks = (n + grain - 1) / grain;
+  if (workers_.empty() || chunks <= 1) {
+    body(0, n);
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+  auto state = std::make_shared<SharedState>();
+  auto run_chunks = [state, chunks, grain, n, &body] {
+    for (;;) {
+      size_t chunk = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) {
+        return;
+      }
+      size_t begin = chunk * grain;
+      body(begin, std::min(n, begin + grain));
+      state->done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  };
+  // Helpers beyond the caller; each exits as soon as the chunk counter is
+  // exhausted, so an oversubmitted helper costs one atomic increment. The
+  // `body` reference stays valid: no helper dereferences it after every
+  // chunk is claimed, and the caller blocks below until all chunks finished.
+  size_t helpers = std::min(workers_.size(), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit(run_chunks);
+  }
+  run_chunks();
+  // Spin-yield: chunks are short (link work) and the caller usually drains
+  // most of them itself, so a futex-style wait is not worth the bookkeeping.
+  while (state->done.load(std::memory_order_acquire) < chunks) {
+    std::this_thread::yield();
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  if (workers_.empty()) {
+    DrainBackground();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    if (foreground_pending_.load(std::memory_order_acquire) != 0 ||
+        active_.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+    std::lock_guard<std::mutex> bg_lock(background_mu_);
+    return background_.empty();
+  });
+}
+
+size_t ThreadPool::DrainBackground() {
+  size_t ran = 0;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(background_mu_);
+      if (background_.empty()) {
+        return ran;
+      }
+      task = std::move(background_.front());
+      background_.pop_front();
+    }
+    task();
+    ++ran;
+  }
+}
+
+size_t ThreadPool::ForegroundPending() const {
+  return foreground_pending_.load(std::memory_order_acquire);
+}
+
+}  // namespace omos

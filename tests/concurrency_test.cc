@@ -1,0 +1,392 @@
+// Concurrency tests for the multi-threaded OMOS server (PR 3): parallel
+// warm hits, single-flight miss deduplication, sharded-cache lifetime under
+// eviction, redefinition and snapshot under load, parallel-relocation
+// determinism, the idle-time background optimizer, and fault-sim counter
+// exactness. Everything uses fixed thread counts and iteration counts so
+// failures reproduce.
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cache.h"
+#include "src/core/server.h"
+#include "src/ipc/message.h"
+#include "src/support/faultsim.h"
+#include "src/support/strings.h"
+#include "src/support/thread_pool.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+constexpr int kThreads = 8;
+
+// Start `n` threads, release them through a spin barrier so they contend
+// for real, and join them all.
+void RunThreads(int n, const std::function<void(int)>& fn) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      fn(i);
+    });
+  }
+  while (ready.load(std::memory_order_relaxed) < n) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+constexpr char kAddLib[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 2
+  ret
+.global mul3
+mul3:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)";
+
+constexpr char kCrt0[] = R"(
+.text
+.global _start
+_start:
+  call main
+  sys 0
+)";
+
+constexpr char kClient[] = R"(
+.text
+.global main
+main:
+  push lr
+  movi r0, 5
+  call add2
+  call mul3
+  pop lr
+  ret
+)";
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<OmosServer>(kernel_);
+    ASSERT_OK_AND_ASSIGN(ObjectFile crt0, Assemble(kCrt0, "crt0.o"));
+    ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(kAddLib, "addlib.o"));
+    ASSERT_OK_AND_ASSIGN(ObjectFile client, Assemble(kClient, "client.o"));
+    ASSERT_OK(server_->AddFragment("/lib/crt0.o", std::move(crt0)));
+    ASSERT_OK(server_->AddFragment("/obj/addlib.o", std::move(lib)));
+    ASSERT_OK(server_->AddFragment("/obj/client.o", std::move(client)));
+  }
+
+  Result<RunOutcome> RunTaskById(TaskId id) {
+    Task* task = kernel_.FindTask(id);
+    if (task == nullptr) {
+      return Err(ErrorCode::kNotFound, "no task");
+    }
+    OMOS_TRY_VOID(kernel_.RunTask(*task));
+    RunOutcome out;
+    out.exit_code = task->exit_code();
+    out.output = task->output();
+    return out;
+  }
+
+  Kernel kernel_;
+  std::unique_ptr<OmosServer> server_;
+};
+
+TEST_F(ConcurrencyTest, WarmHitsScaleAcrossThreads) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  ASSERT_OK(server_->Instantiate("/bin/prog", {}, nullptr));  // warm the cache
+  uint64_t inserts_before = server_->cache_stats().inserts.load();
+
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int) {
+    for (int i = 0; i < kIters; ++i) {
+      ImageCache::ReadLease lease(server_->cache());
+      auto image = server_->Instantiate("/bin/prog", {}, nullptr);
+      if (!image.ok() || (*image)->image.entry == 0u) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->cache_stats().hits.load(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  // Warm hits never rebuild: no new insertions.
+  EXPECT_EQ(server_->cache_stats().inserts.load(), inserts_before);
+}
+
+TEST_F(ConcurrencyTest, SingleFlightColdMissBuildsExactlyOnce) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int) {
+    ImageCache::ReadLease lease(server_->cache());
+    auto image = server_->Instantiate("/bin/prog", {}, nullptr);
+    if (!image.ok()) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  // All eight concurrent misses resolve to one build: exactly one insert.
+  EXPECT_EQ(server_->cache_stats().inserts.load(), 1u);
+}
+
+TEST_F(ConcurrencyTest, DistinctKeysBuildIndependently) {
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_OK(server_->DefineMeta(StrCat("/bin/prog", i),
+                                  "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  }
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int i) {
+    ImageCache::ReadLease lease(server_->cache());
+    auto image = server_->Instantiate(StrCat("/bin/prog", i), {}, nullptr);
+    if (!image.ok()) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->cache_stats().inserts.load(), static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(ConcurrencyTest, RedefinitionUnderLoad) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ImageCache::ReadLease lease(server_->cache());
+        auto image = server_->Instantiate("/bin/prog", {}, nullptr);
+        if (!image.ok() || (*image)->image.entry == 0u) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Redefine the program (same two valid blueprints back and forth) while
+  // the readers instantiate it. Every reader must see one or the other.
+  for (int round = 0; round < 25; ++round) {
+    const char* blueprint = (round % 2 == 0)
+                                ? "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"
+                                : "(merge /lib/crt0.o /obj/addlib.o /obj/client.o)";
+    ASSERT_OK(server_->DefineMeta("/bin/prog", blueprint));
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_OK_AND_ASSIGN(const CachedImage* last, server_->Instantiate("/bin/prog", {}, nullptr));
+  EXPECT_NE(last->image.entry, 0u);
+}
+
+TEST_F(ConcurrencyTest, SnapshotWhileServing) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  ASSERT_OK(server_->Instantiate("/bin/prog", {}, nullptr));
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ImageCache::ReadLease lease(server_->cache());
+        if (!server_->Instantiate("/bin/prog", {}, nullptr).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::string snapshot;
+  for (int i = 0; i < 10; ++i) {
+    snapshot = server_->Snapshot();
+    EXPECT_FALSE(snapshot.empty());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // The snapshot taken under load restores into a working server.
+  Kernel fresh_kernel;
+  OmosServer restored(fresh_kernel);
+  ASSERT_OK(restored.Restore(snapshot));
+  ASSERT_OK_AND_ASSIGN(TaskId id, restored.IntegratedExec("/bin/prog", {"prog"}));
+  Task* task = fresh_kernel.FindTask(id);
+  ASSERT_NE(task, nullptr);
+  ASSERT_OK(fresh_kernel.RunTask(*task));
+  EXPECT_EQ(task->exit_code(), 21);
+}
+
+TEST_F(ConcurrencyTest, ParallelRelocationIsDeterministic) {
+  // Two servers over two kernels build the same meta-object with the global
+  // thread pool active; the parallel link fan-out must produce the same
+  // bytes (disjoint fragment spans + ordered reduce).
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  ASSERT_OK_AND_ASSIGN(const CachedImage* first, server_->Instantiate("/bin/prog", {}, nullptr));
+  std::vector<uint8_t> text = first->image.text;
+  std::vector<uint8_t> data = first->image.data;
+  uint32_t entry = first->image.entry;
+
+  for (int round = 0; round < 4; ++round) {
+    Kernel other_kernel;
+    OmosServer other(other_kernel);
+    ASSERT_OK_AND_ASSIGN(ObjectFile crt0, Assemble(kCrt0, "crt0.o"));
+    ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(kAddLib, "addlib.o"));
+    ASSERT_OK_AND_ASSIGN(ObjectFile client, Assemble(kClient, "client.o"));
+    ASSERT_OK(other.AddFragment("/lib/crt0.o", std::move(crt0)));
+    ASSERT_OK(other.AddFragment("/obj/addlib.o", std::move(lib)));
+    ASSERT_OK(other.AddFragment("/obj/client.o", std::move(client)));
+    ASSERT_OK(other.DefineMeta("/bin/prog",
+                               "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+    ASSERT_OK_AND_ASSIGN(const CachedImage* image, other.Instantiate("/bin/prog", {}, nullptr));
+    EXPECT_EQ(image->image.text, text);
+    EXPECT_EQ(image->image.data, data);
+    EXPECT_EQ(image->image.entry, entry);
+  }
+}
+
+TEST_F(ConcurrencyTest, BackgroundOptimizerSwapsInReorderedImage) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  // Gather a call-frequency profile the way the paper does (§4.1): run a
+  // monitored instance, then derive the preferred routine order.
+  Specialization monitor{"monitor", {}};
+  ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/prog", {"prog"}, monitor));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, RunTaskById(id));
+  EXPECT_EQ(out.exit_code, 21);
+  ASSERT_OK(server_->DerivePreferredOrder("/bin/prog"));
+
+  server_->EnableBackgroundOptimizer(/*hot_threshold=*/3);
+  ASSERT_OK(server_->Instantiate("/bin/prog", {}, nullptr));  // cold build
+  for (int i = 0; i < 3; ++i) {                               // warm hits -> hot
+    ASSERT_OK(server_->Instantiate("/bin/prog", {}, nullptr));
+  }
+  server_->DrainBackgroundWork();  // idle time: the optimizer re-links
+
+  // The next instantiation is transparently served by the reordered image.
+  ImageCache::ReadLease lease(server_->cache());
+  ASSERT_OK_AND_ASSIGN(const CachedImage* after, server_->Instantiate("/bin/prog", {}, nullptr));
+  EXPECT_NE(after->key.find("reorder"), std::string::npos)
+      << "expected the optimizer to alias the hot image to its reordered "
+         "re-link, got key " << after->key;
+  EXPECT_NE(after->image.entry, 0u);
+}
+
+TEST_F(ConcurrencyTest, ReadLeaseKeepsEvictedEntryAlive) {
+  ImageCache cache(1 << 20);
+  CachedImage ci;
+  ci.key = "a";
+  ci.image.name = "a";
+  ci.image.text.assign(8192, 0xAB);
+  {
+    ImageCache::ReadLease lease(cache);
+    const CachedImage* pinned = cache.Put("a", std::move(ci));
+    ASSERT_NE(pinned, nullptr);
+    cache.Evict("a");
+    EXPECT_FALSE(cache.Contains("a"));
+    // The pointer must stay dereferenceable until the lease closes.
+    EXPECT_EQ(pinned->image.text.size(), 8192u);
+    EXPECT_EQ(pinned->image.text[0], 0xAB);
+  }
+  EXPECT_EQ(cache.stats().evictions.load(), 1u);
+}
+
+TEST_F(ConcurrencyTest, CacheHammerMixedOperations) {
+  ImageCache cache(64 << 10);  // small budget: constant eviction pressure
+  auto make_image = [](const std::string& key) {
+    CachedImage ci;
+    ci.key = key;
+    ci.image.name = key;
+    ci.image.text.assign(4096, static_cast<uint8_t>(key.back()));
+    return ci;
+  };
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < 300; ++i) {
+      std::string key = StrCat("img", (t * 7 + i) % 24);
+      ImageCache::ReadLease lease(cache);
+      const CachedImage* got = cache.Get(key);
+      if (got == nullptr) {
+        got = cache.Put(key, make_image(key));
+      }
+      if (got == nullptr || got->image.text.size() != 4096) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (i % 37 == 0) {
+        cache.Evict(key);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  // The global byte budget held under concurrent insertion.
+  EXPECT_LE(cache.stats().bytes_cached.load(), 64u << 10);
+}
+
+TEST_F(ConcurrencyTest, FaultSimTotalsExactUnderConcurrentTrips) {
+  FaultPlan plan;
+  plan.Arm("test.site", FaultSpec::Every(1));
+  ScopedFaultPlan scoped(std::move(plan));
+  constexpr int kTrips = 1000;
+  RunThreads(kThreads, [&](int) {
+    for (int i = 0; i < kTrips; ++i) {
+      FaultSim::Trip("test.site");
+    }
+  });
+  // Which thread observes a given fire is scheduling-dependent, but the
+  // totals are exact (see the SimState comment in faultsim.cc).
+  EXPECT_EQ(FaultSim::Hits("test.site"), static_cast<uint64_t>(kThreads) * kTrips);
+  EXPECT_EQ(FaultSim::TotalFires(), static_cast<uint64_t>(kThreads) * kTrips);
+}
+
+TEST_F(ConcurrencyTest, ServeAsyncAnswersOnPoolThread) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog",
+                                "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));
+  constexpr int kRequests = 16;
+  std::atomic<int> done{0};
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kRequests; ++i) {
+    OmosRequest request;
+    request.op = OmosOp::kListNamespace;
+    request.path = "/bin";
+    server_->ServeAsync(EncodeRequest(request), [&](std::vector<uint8_t> bytes) {
+      auto reply = DecodeReply(bytes);
+      if (!reply.ok() || !reply->ok || reply->names.empty()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  ThreadPool::Global().WaitIdle();
+  EXPECT_EQ(done.load(std::memory_order_acquire), kRequests);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace omos

@@ -69,7 +69,7 @@ TEST(Coverage, RelocationAddendApplied) {
   text.insert(text.end(), insn, insn + 8);
   obj.section(SectionKind::kData).bytes.resize(16);
   ASSERT_OK(obj.DefineSymbol("d", SymbolBinding::kGlobal, SectionKind::kData, 0));
-  obj.AddReloc(SectionKind::kText, Relocation{4, RelocKind::kAbs32, "d", 8});
+  obj.AddReloc(SectionKind::kText, Relocation{4, RelocKind::kAbs32, "d", 8, {}});
   Module m = Module::FromObject(object);
   LayoutSpec layout;
   ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(m, layout, "p"));

@@ -84,7 +84,7 @@ TEST_P(ParserFuzz, ObjectCodecSurvivesBitFlips) {
   object.section(SectionKind::kText).bytes.resize(64);
   EXPECT_OK(object.DefineSymbol("f", SymbolBinding::kGlobal, SectionKind::kText, 0));
   object.ReferenceSymbol("g");
-  object.AddReloc(SectionKind::kText, Relocation{4, RelocKind::kAbs32, "g", 0});
+  object.AddReloc(SectionKind::kText, Relocation{4, RelocKind::kAbs32, "g", 0, {}});
   std::vector<uint8_t> bytes = EncodeObject(object);
   // Flip a handful of random bytes; decode must not crash. (It may still
   // succeed when the flips land in section payload bytes.)

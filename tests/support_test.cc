@@ -4,6 +4,9 @@
 
 #include <set>
 
+#include <atomic>
+#include <vector>
+
 #include "src/support/error.h"
 #include "src/support/faultsim.h"
 #include "src/support/flat_map.h"
@@ -11,6 +14,7 @@
 #include "src/support/log.h"
 #include "src/support/result.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 
 namespace omos {
 namespace {
@@ -303,6 +307,79 @@ TEST(HashBytes, SensitiveToEveryByte) {
   EXPECT_NE(HashBytes(buf.data(), buf.size() - 1), base);
   // Seed separates streams.
   EXPECT_NE(HashBytes(buf.data(), buf.size(), 1), base);
+}
+
+// ---- Thread pool -----------------------------------------------------------------
+
+TEST(ThreadPool, SubmitRunsEverythingBeforeWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, 7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(8, 1, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b), std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInlineAndDefersBackground) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  int inline_ran = 0;
+  pool.Submit([&] { ++inline_ran; });
+  EXPECT_EQ(inline_ran, 1);  // Submit ran on the caller, immediately
+
+  int background_ran = 0;
+  pool.SubmitBackground([&] { ++background_ran; });
+  EXPECT_EQ(background_ran, 0);  // deferred until idle-time drain
+  EXPECT_EQ(pool.DrainBackground(), 1u);
+  EXPECT_EQ(background_ran, 1);
+}
+
+TEST(ThreadPool, BackgroundRunsAfterForegroundDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> foreground{0};
+  std::atomic<int> background{0};
+  pool.SubmitBackground([&] { background.fetch_add(1, std::memory_order_relaxed); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] { foreground.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();  // idle = both lanes empty, so background ran too
+  EXPECT_EQ(foreground.load(), 20);
+  EXPECT_EQ(background.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsCappedAndStable) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_LE(a.thread_count(), 8u);
 }
 
 }  // namespace
