@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_metrics.h"
 #include "src/core/cache.h"
 #include "src/ipc/message.h"
 #include "src/support/thread_pool.h"
@@ -20,11 +21,13 @@ namespace {
 // One shared world per benchmark run; built on the first thread in, torn
 // down by the last one out (benchmark threads all enter the function).
 OmosWorld* g_world = nullptr;
+MetricsDelta* g_delta = nullptr;
 
 void BM_WarmInstantiateThreads(benchmark::State& state) {
   if (state.thread_index() == 0) {
     g_world = new OmosWorld(MakeOmosWorld());
     g_world->Warm();
+    g_delta = new MetricsDelta();
   }
   // google-benchmark barriers threads between setup and the loop.
   for (auto _ : state) {
@@ -33,8 +36,9 @@ void BM_WarmInstantiateThreads(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   if (state.thread_index() == 0) {
-    state.counters["cache_hits"] =
-        benchmark::Counter(static_cast<double>(g_world->server->cache_stats().hits));
+    g_delta->Export(state, {"cache.hits"});
+    delete g_delta;
+    g_delta = nullptr;
     delete g_world;
     g_world = nullptr;
   }
@@ -46,6 +50,7 @@ BENCHMARK(BM_WarmInstantiateThreads)->ThreadRange(1, 8)->UseRealTime();
 void BM_ColdMissSingleFlight(benchmark::State& state) {
   if (state.thread_index() == 0) {
     g_world = new OmosWorld(MakeOmosWorld());
+    g_delta = new MetricsDelta();
   }
   uint64_t round = 0;
   for (auto _ : state) {
@@ -61,10 +66,9 @@ void BM_ColdMissSingleFlight(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   if (state.thread_index() == 0) {
-    state.counters["inserts"] =
-        benchmark::Counter(static_cast<double>(g_world->server->cache_stats().inserts));
-    state.counters["single_flight_waits"] = benchmark::Counter(
-        static_cast<double>(g_world->server->cache_stats().single_flight_waits));
+    g_delta->Export(state, {"cache.inserts", "cache.single_flight_waits"});
+    delete g_delta;
+    g_delta = nullptr;
     delete g_world;
     g_world = nullptr;
   }
@@ -79,6 +83,7 @@ void BM_ServeAsyncListNamespace(benchmark::State& state) {
   request.op = OmosOp::kListNamespace;
   request.path = "/bin";
   std::vector<uint8_t> bytes = EncodeRequest(request);
+  MetricsDelta delta;
   for (auto _ : state) {
     std::atomic<bool> done{false};
     world.server->ServeAsync(bytes, [&](std::vector<uint8_t> reply) {
@@ -89,6 +94,7 @@ void BM_ServeAsyncListNamespace(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
+  delta.Export(state, {"server.requests", "pool.tasks_submitted", "pool.steals"});
 }
 BENCHMARK(BM_ServeAsyncListNamespace)->UseRealTime();
 

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_metrics.h"
 #include "src/ipc/channel.h"
 #include "src/support/faultsim.h"
 #include "src/support/log.h"
@@ -62,12 +63,11 @@ void BM_StreamCallLossyWire(benchmark::State& state) {
   request.op = OmosOp::kInstantiate;
   request.path = "/bin/ls";
   ScopedFaultPlan plan(FaultPlan().Arm("pipe.drop", FaultSpec::Every(4)));
+  MetricsDelta delta;
   for (auto _ : state) {
     benchmark::DoNotOptimize(BENCH_UNWRAP(channel.Call(request, nullptr)));
   }
-  state.counters["retries"] = benchmark::Counter(static_cast<double>(channel.retries_made()));
-  state.counters["sim_backoff_cycles"] =
-      benchmark::Counter(static_cast<double>(channel.backoff_cycles_billed()));
+  delta.Export(state, {"ipc.retries", "ipc.backoff_cycles", "fault.total_fires"});
 }
 BENCHMARK(BM_StreamCallLossyWire)->Unit(benchmark::kMicrosecond);
 
@@ -78,6 +78,7 @@ void BM_CorruptionRebuild(benchmark::State& state) {
   // Every iteration deliberately rots the cache; silence the per-rebuild log.
   LogLevel old_level = GetLogLevel();
   SetLogLevel(LogLevel::kError);
+  MetricsDelta delta;
   uint64_t work = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -89,8 +90,7 @@ void BM_CorruptionRebuild(benchmark::State& state) {
   }
   state.counters["sim_rebuild_cycles"] = benchmark::Counter(
       static_cast<double>(work) / static_cast<double>(state.iterations()));
-  state.counters["rebuilds"] = benchmark::Counter(
-      static_cast<double>(world.server->cache_stats().corruption_rebuilds));
+  delta.Export(state, {"cache.corruption_rebuilds", "fault.total_fires"});
   SetLogLevel(old_level);
 }
 BENCHMARK(BM_CorruptionRebuild)->Unit(benchmark::kMillisecond);

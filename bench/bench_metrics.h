@@ -1,0 +1,61 @@
+// Bench-side bridge to the omtrace metrics registry: capture a snapshot at
+// a known point, then publish the delta of selected metrics as
+// google-benchmark counters. Replaces hand-rolled `state.counters[...] =`
+// reads of per-object stats structs — benches report the same registry
+// numbers the server exports over Introspect.
+#ifndef OMOS_BENCH_BENCH_METRICS_H_
+#define OMOS_BENCH_BENCH_METRICS_H_
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include <benchmark/benchmark.h>
+
+#include "src/support/metrics.h"
+
+namespace omos {
+
+class MetricsDelta {
+ public:
+  MetricsDelta() : base_(Snap()) {}
+
+  // Current value minus value at construction (0 if the metric was absent).
+  uint64_t Delta(std::string_view metric) const {
+    std::map<std::string, uint64_t, std::less<>> now = Snap();
+    auto it = now.find(metric);
+    uint64_t current = it == now.end() ? 0 : it->second;
+    auto base = base_.find(metric);
+    uint64_t before = base == base_.end() ? 0 : base->second;
+    return current - before;
+  }
+
+  // Publish each metric's delta as a benchmark counter under its own name.
+  void Export(benchmark::State& state, std::initializer_list<std::string_view> metrics) const {
+    std::map<std::string, uint64_t, std::less<>> now = Snap();
+    for (std::string_view metric : metrics) {
+      auto it = now.find(metric);
+      uint64_t current = it == now.end() ? 0 : it->second;
+      auto base = base_.find(metric);
+      uint64_t before = base == base_.end() ? 0 : base->second;
+      state.counters[std::string(metric)] =
+          benchmark::Counter(static_cast<double>(current - before));
+    }
+  }
+
+ private:
+  static std::map<std::string, uint64_t, std::less<>> Snap() {
+    std::map<std::string, uint64_t, std::less<>> out;
+    for (const auto& [name, value] : MetricsRegistry::Global().Snapshot()) {
+      out[name] = value;
+    }
+    return out;
+  }
+
+  std::map<std::string, uint64_t, std::less<>> base_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_BENCH_BENCH_METRICS_H_

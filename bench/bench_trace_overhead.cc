@@ -1,0 +1,152 @@
+// omtrace overhead: what the always-compiled-in instrumentation costs on
+// the hot path. Budgets (checked after the google-benchmark run, printed
+// as BUDGET lines and written next to a sample trace artifact):
+//   - tracing enabled:  <= 5% on a warm Instantiate
+//   - tracing disabled: <= 1% on a warm Instantiate (the disarmed spans)
+//
+// This binary has a custom main (links benchmark::benchmark, not
+// benchmark_main): after the benchmarks it measures the budgets directly
+// and dumps a sample Chrome trace JSON for the CI artifact.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/support/trace.h"
+
+namespace omos {
+namespace {
+
+// The disarmed fast path in isolation: one relaxed load per span.
+void BM_SpanDisabled(benchmark::State& state) {
+  TraceSetEnabled(false);
+  for (auto _ : state) {
+    TraceSpan span("bench.disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  TraceSetEnabled(true);
+  for (auto _ : state) {
+    TraceSpan span("bench.enabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  TraceSetEnabled(false);
+  TraceClear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_InstantiateWarmTraceOff(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  TraceSetEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BENCH_UNWRAP(world.server->Instantiate("/bin/ls", {}, nullptr)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstantiateWarmTraceOff);
+
+void BM_InstantiateWarmTraceOn(benchmark::State& state) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  TraceSetEnabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BENCH_UNWRAP(world.server->Instantiate("/bin/ls", {}, nullptr)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  TraceSetEnabled(false);
+  TraceClear();
+}
+BENCHMARK(BM_InstantiateWarmTraceOn);
+
+// Direct budget measurement, independent of benchmark's own statistics.
+double TimeWarmLoopOnce(OmosWorld& world, int iters) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(
+        BENCH_UNWRAP(world.server->Instantiate("/bin/ls", {}, nullptr)));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+int CheckBudgetsAndWriteSample(const char* sample_path) {
+  OmosWorld world = MakeOmosWorld();
+  world.Warm();
+  constexpr int kIters = 10000;
+  constexpr int kReps = 25;
+
+  // Interleave on/off reps and keep the best of each, so scheduler noise
+  // and frequency drift hit both sides evenly. Many short reps beat few
+  // long ones: the min estimator converges with the number of draws, and a
+  // 12ms rep is long enough to amortize the clock reads around it.
+  TraceSetEnabled(false);
+  TimeWarmLoopOnce(world, kIters);  // warm the loop itself
+  double off_s = 1e300;
+  double on_s = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    TraceSetEnabled(false);
+    off_s = std::min(off_s, TimeWarmLoopOnce(world, kIters));
+    TraceSetEnabled(true);
+    on_s = std::min(on_s, TimeWarmLoopOnce(world, kIters));
+  }
+  TraceSetEnabled(false);
+
+  // "Disabled" overhead cannot be measured against an uninstrumented build
+  // from inside this one; bound it instead by the cost of the disarmed
+  // spans a warm Instantiate executes (span ctor+dtor is one relaxed load).
+  auto span_start = std::chrono::steady_clock::now();
+  constexpr int kSpanIters = 1 << 20;
+  for (int i = 0; i < kSpanIters; ++i) {
+    TraceSpan span("budget.probe");
+    benchmark::DoNotOptimize(&span);
+  }
+  double span_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - span_start).count();
+  constexpr double kSpansPerWarmInstantiate = 4;  // instantiate + cache.get + lease path
+  double disabled_pct =
+      100.0 * (span_s / kSpanIters) * kSpansPerWarmInstantiate / (off_s / kIters);
+  double enabled_pct = 100.0 * (on_s - off_s) / off_s;
+
+  std::printf("BUDGET trace-enabled overhead on warm Instantiate: %.2f%% (budget 5%%) %s\n",
+              enabled_pct, enabled_pct <= 5.0 ? "OK" : "EXCEEDED");
+  std::printf("BUDGET trace-disabled overhead bound: %.3f%% (budget 1%%) %s\n", disabled_pct,
+              disabled_pct <= 1.0 ? "OK" : "EXCEEDED");
+
+  // Sample artifact: a short traced session, exported as Chrome JSON.
+  TraceClear();
+  TraceSetEnabled(true);
+  for (int i = 0; i < 8; ++i) {
+    benchmark::DoNotOptimize(BENCH_UNWRAP(world.server->Instantiate("/bin/ls", {}, nullptr)));
+  }
+  std::string json = TraceToChromeJson();
+  TraceSetEnabled(false);
+  if (std::FILE* f = std::fopen(sample_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote sample trace: %s (%zu bytes)\n", sample_path, json.size());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", sample_path);
+    return 1;
+  }
+  // Budgets are reported, not asserted: shared CI runners are too noisy for
+  // a hard perf gate, and the sample artifact preserves the evidence.
+  return 0;
+}
+
+}  // namespace
+}  // namespace omos
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return omos::CheckBudgetsAndWriteSample("bench_trace_sample.trace.json");
+}

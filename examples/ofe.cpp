@@ -15,6 +15,7 @@
 //   ofe weaken   <pattern> <in> <out>           demote globals to weak
 //   ofe strip    <in> <out>                     drop unreferenced locals
 //   ofe link     <in1.xo> <in2.xo>...           trial link, report stats
+//   ofe report   <trace.json>                   aggregate an omtrace dump
 //
 // With no arguments it runs a self-demonstration in $TMPDIR.
 #include <cstdio>
@@ -101,6 +102,14 @@ Result<int> RunCommand(int argc, char** argv) {
     OMOS_TRY(ObjectFile object, LoadObjectFile(argv[2]));
     OMOS_TRY(ObjectFile stripped, OfeStripLocals(object));
     OMOS_TRY_VOID(SaveObjectFile(stripped, argv[3]));
+    return 0;
+  }
+  if (cmd == "report" && argc == 3) {
+    OMOS_TRY(std::vector<uint8_t> bytes, ReadHostFile(argv[2]));
+    OMOS_TRY(std::string report,
+             OfeTraceReport(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                             bytes.size())));
+    std::fputs(report.c_str(), stdout);
     return 0;
   }
   if (cmd == "link" && argc >= 3) {

@@ -5,11 +5,21 @@
 // cache — the persistent-linker experience.
 //
 // Build & run:  ./build/examples/omos_shell
+//
+// Observability (omtrace): the session runs with tracing and the SimISA
+// cycle profiler enabled. Three built-in commands talk to the server over
+// the same IPC channel a remote system manager would use (kIntrospect):
+//   stats              print the unified metrics snapshot
+//   trace <file>       dump Chrome trace_event JSON (chrome://tracing)
+//   profile            symbol-level profile of the last client that ran
 #include <cstdio>
 #include <sstream>
 
 #include "src/core/server.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/message.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 #include "src/vasm/assembler.h"
 #include "src/workloads/workloads.h"
 
@@ -36,6 +46,11 @@ int main() {
   Kernel kernel;
   OmosServer server(kernel);
   PopulateLsData(kernel.fs());
+
+  // Observe the whole session: spans from every layer, plus PC samples
+  // every 16 retired instructions of any client that runs.
+  TraceSetEnabled(true);
+  CycleProfiler::Start(/*period=*/16);
 
   // Stock the world: libc + three little utilities, all OMOS meta-objects.
   WorkloadParams params;
@@ -109,17 +124,70 @@ main:
   int exported = Check(server.ExportNamespaceToFs("/bin", "/bin"), "export /bin");
   std::printf("exported %d OMOS meta-objects into /bin\n\n", exported);
 
-  // The "session": each line is tokenized and exec'd through /bin.
+  // Introspection goes over the wire, like a remote system manager would.
+  Channel channel = server.MakeChannel();
+  auto introspect = [&](const std::string& cmd, uint32_t handle) -> OmosReply {
+    OmosRequest request;
+    request.op = OmosOp::kIntrospect;
+    request.path = cmd;
+    request.task_handle = handle;
+    OmosReply reply = Check(channel.Call(request, nullptr), "introspect");
+    if (!reply.ok) {
+      std::printf("sh: introspect %s: %s\n", cmd.c_str(), reply.error.c_str());
+    }
+    return reply;
+  };
+
+  // The last-run task stays alive until the next exec (or shell exit), so
+  // `profile` can resolve its PCs through the server's runtime state.
+  TaskId last_task = 0;
+  bool have_last = false;
+  auto retire_last = [&] {
+    if (have_last) {
+      server.ReleaseTask(last_task);
+      kernel.DestroyTask(last_task);
+      have_last = false;
+    }
+  };
+
+  // The "session": each line is tokenized; built-ins run here, everything
+  // else execs through /bin.
   const char* script[] = {
       "true",
       "echo hello from the omos shell",
       "ls /data",
       "echo second ls is served from the image cache",
       "ls /data",
+      "stats",
+      "trace omos_shell.trace.json",
+      "profile",
   };
   for (const char* line : script) {
     std::vector<std::string> args = SplitString(line, ' ');
     std::printf("$ %s\n", line);
+    if (args[0] == "stats") {
+      OmosReply reply = introspect("stats-text", 0);
+      std::fputs(reply.payload.c_str(), stdout);
+      continue;
+    }
+    if (args[0] == "trace") {
+      OmosReply reply = introspect("trace", 0);
+      const char* path = args.size() > 1 ? args[1].c_str() : "omos_shell.trace.json";
+      if (std::FILE* f = std::fopen(path, "w")) {
+        std::fwrite(reply.payload.data(), 1, reply.payload.size(), f);
+        std::fclose(f);
+      }
+      auto parsed = ParseChromeTrace(reply.payload);
+      std::printf("wrote %s (%zu events; open in chrome://tracing)\n", path,
+                  parsed.ok() ? parsed->size() : 0);
+      continue;
+    }
+    if (args[0] == "profile") {
+      OmosReply reply = introspect("profile", have_last ? last_task : 0);
+      std::fputs(reply.payload.c_str(), stdout);
+      continue;
+    }
+    retire_last();
     auto exec = server.ExecFile(StrCat("/bin/", args[0]), args, /*integrated=*/true);
     if (!exec.ok()) {
       std::printf("sh: %s\n", exec.error().ToString().c_str());
@@ -134,9 +202,10 @@ main:
     if (task->exit_code() != 0) {
       std::printf("[exit %d]\n", task->exit_code());
     }
-    server.ReleaseTask(*exec);
-    kernel.DestroyTask(*exec);
+    last_task = *exec;
+    have_last = true;
   }
+  retire_last();
 
   const CacheStats& stats = server.cache_stats();
   std::printf("\ncache after session: %llu hits, %llu misses\n",

@@ -4,7 +4,9 @@
 
 #include "src/support/faultsim.h"
 #include "src/support/log.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace omos {
 
@@ -104,6 +106,28 @@ bool CachedImage::VerifyAll() const {
   return true;
 }
 
+ImageCache::ImageCache(uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  metrics_token_ = MetricsRegistry::Global().AddSource(
+      [this](std::vector<std::pair<std::string, uint64_t>>& out) {
+        out.emplace_back("cache.hits", stats_.hits.load(std::memory_order_relaxed));
+        out.emplace_back("cache.misses", stats_.misses.load(std::memory_order_relaxed));
+        out.emplace_back("cache.evictions", stats_.evictions.load(std::memory_order_relaxed));
+        out.emplace_back("cache.bytes_cached",
+                         stats_.bytes_cached.load(std::memory_order_relaxed));
+        out.emplace_back("cache.corruption_rebuilds",
+                         stats_.corruption_rebuilds.load(std::memory_order_relaxed));
+        out.emplace_back("cache.full_verifies",
+                         stats_.full_verifies.load(std::memory_order_relaxed));
+        out.emplace_back("cache.pages_verified",
+                         stats_.pages_verified.load(std::memory_order_relaxed));
+        out.emplace_back("cache.inserts", stats_.inserts.load(std::memory_order_relaxed));
+        out.emplace_back("cache.single_flight_waits",
+                         stats_.single_flight_waits.load(std::memory_order_relaxed));
+      });
+}
+
+ImageCache::~ImageCache() { MetricsRegistry::Global().RemoveSource(metrics_token_); }
+
 ImageCache::Shard& ImageCache::ShardFor(const std::string& key) {
   return shards_[Fnv1a(key) & (kShards - 1)];
 }
@@ -113,6 +137,12 @@ const ImageCache::Shard& ImageCache::ShardFor(const std::string& key) const {
 }
 
 const CachedImage* ImageCache::Get(const std::string& key) {
+  // Tracing here covers only the interesting outcomes: cache.miss /
+  // cache.corrupt instants and a cache.verify span around the full
+  // checksum walk. A probe-verified warm hit emits nothing — even one
+  // timestamp read per hit would blow the tracing overhead budget, and
+  // hits stay visible through cache.hits and the enclosing
+  // server.instantiate span.
   Shard& shard = ShardFor(key);
   // Pin the image and copy the verification plan under the shard lock, then
   // hash pages outside it: the checksum walk is the expensive part of a warm
@@ -127,6 +157,7 @@ const CachedImage* ImageCache::Get(const std::string& key) {
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       ++stats_.misses;
+      TraceInstant("cache.miss", key);
       return nullptr;
     }
     Entry& entry = it->second;
@@ -164,6 +195,7 @@ const CachedImage* ImageCache::Get(const std::string& key) {
 
   bool ok;
   if (full) {
+    TraceSpan verify("cache.verify", key);
     ok = pinned->VerifyAll();
     ++stats_.full_verifies;
     stats_.pages_verified += pinned->page_sums.size();
@@ -185,6 +217,7 @@ const CachedImage* ImageCache::Get(const std::string& key) {
     LogMessage(LogLevel::kWarning, "cache", StrCat("checksum mismatch, rebuilding: ", key));
     ++stats_.corruption_rebuilds;
     ++stats_.misses;
+    TraceInstant("cache.corrupt", key);
     Evict(key);
     return nullptr;
   }
@@ -279,6 +312,7 @@ void ImageCache::Evict(const std::string& key) {
     }
     stats_.bytes_cached -= it->second.image->bytes();
     ++stats_.evictions;
+    TraceInstant("cache.evict", key);
     {
       std::lock_guard<std::mutex> lru_lock(lru_mu_);
       lru_.erase(it->second.lru_it);
@@ -347,6 +381,7 @@ ImageCache::MissJoin ImageCache::JoinBuild(const std::string& key) {
     flight = it->second;
   }
   ++stats_.single_flight_waits;
+  TraceInstant("cache.single_flight_wait", key);
   std::unique_lock<std::mutex> wait_lock(flight->mu);
   flight->cv.wait(wait_lock, [&] { return flight->done; });
   return MissJoin{/*leader=*/false, flight->image};

@@ -133,8 +133,10 @@ struct CacheStats {
 // budget. See the file comment for the locking and lifetime story.
 class ImageCache {
  public:
-  explicit ImageCache(uint64_t capacity_bytes = 256ull << 20)
-      : capacity_bytes_(capacity_bytes) {}
+  // Registers this cache as a metrics-registry source (cache.* names);
+  // the destructor unregisters it. CacheStats stays authoritative here.
+  explicit ImageCache(uint64_t capacity_bytes = 256ull << 20);
+  ~ImageCache();
 
   // Pins entry pointers: entries evicted while any lease is open are
   // retired, not destroyed, until the last lease closes.
@@ -235,6 +237,7 @@ class ImageCache {
   mutable std::vector<std::shared_ptr<CachedImage>> retired_;
 
   CacheStats stats_;
+  uint64_t metrics_token_ = 0;
 };
 
 }  // namespace omos

@@ -4,12 +4,16 @@
 #include <charconv>
 #include <sstream>
 
+#include <chrono>
+
 #include "src/cc/compiler.h"
 #include "src/core/stubgen.h"
 #include "src/objfmt/backend.h"
 #include "src/support/log.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 #include "src/vasm/assembler.h"
 
 namespace omos {
@@ -518,6 +522,21 @@ Result<Module> OmosServer::BuildMonolithicModule(const std::string& path, BuildT
   return m;
 }
 
+namespace {
+
+// Warm hits emit a one-timestamp instant, 1-in-8 sampled per thread (the
+// first hit always emits). At warm-hit rates the unsampled stream would
+// cycle the whole trace ring in milliseconds and its emit cost would
+// rival the rest of the hit path; exact hit counts live in cache.hits.
+void TraceWarmHitSampled(const std::string& norm) {
+  thread_local uint32_t hit_count = 0;
+  if ((hit_count++ & 7) == 0) {
+    TraceInstant("server.instantiate.hit", norm);
+  }
+}
+
+}  // namespace
+
 Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
                                                    const Specialization& spec,
                                                    uint64_t* work_cycles) {
@@ -526,12 +545,16 @@ Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
   // Idle-time optimizer: a hot default-spec image may have a reorder-built
   // twin; serve it instead (the "atomic swap-in on next Get").
   if (const CachedImage* optimized = OptimizedAlias(key)) {
+    TraceWarmHitSampled(norm);
     return optimized;
   }
   if (const CachedImage* hit = cache_.Get(key)) {
     NoteWarmHit(key, norm, spec);
+    TraceWarmHitSampled(norm);
     return hit;
   }
+  // Cold path: the span covers single-flight election and the build.
+  TraceSpan trace("server.instantiate", norm);
   // Miss: elect one builder per key. Followers block until the leader
   // publishes, so N concurrent misses of one key do the construction work
   // once and share the image (CacheStats::single_flight_waits counts the
@@ -553,6 +576,7 @@ Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
   if (work_cycles != nullptr) {
     *work_cycles += tracker.work;
   }
+  trace.AddSimCycles(0, tracker.work);
   return result;
 }
 
@@ -679,6 +703,7 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
                                                   const Specialization& spec,
                                                   const std::string& key,
                                                   BuildTracker& tracker) {
+  TraceSpan trace("server.build_image", key);
   OMOS_TRY(const NamespaceEntry* entry, namespace_.Lookup(path));
 
   EvalValue value;
@@ -863,6 +888,7 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
 // ---- Exec paths -------------------------------------------------------------
 
 Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) {
+  TraceSpan trace("server.map_program", program.key);
   {
     std::lock_guard<std::mutex> lock(kernel_mu_);
     if (program.text_seg.has_value()) {
@@ -916,6 +942,7 @@ void OmosServer::ReleaseTask(TaskId id) {
 
 Result<TaskId> OmosServer::BootstrapExec(const std::string& path, std::vector<std::string> args,
                                          const Specialization& spec) {
+  TraceSpan trace("server.exec_bootstrap", path);
   TaskId task_id;
   Task* task;
   {
@@ -944,6 +971,7 @@ Result<TaskId> OmosServer::BootstrapExec(const std::string& path, std::vector<st
 
 Result<TaskId> OmosServer::IntegratedExec(const std::string& path, std::vector<std::string> args,
                                           const Specialization& spec) {
+  TraceSpan trace("server.exec_integrated", path);
   Task* task;
   {
     std::lock_guard<std::mutex> lock(kernel_mu_);
@@ -1529,6 +1557,132 @@ Result<std::vector<ImageSymbol>> OmosServer::SymbolsForTask(TaskId id) const {
   return symbols;
 }
 
+Result<std::string> OmosServer::ProfileForTask(TaskId id) const {
+  std::vector<CycleProfiler::Sample> samples = CycleProfiler::Samples();
+
+  // Which tasks to attribute: the requested one, or every task with runtime
+  // state when id == 0 (the flat, cross-task profile).
+  std::vector<TaskId> ids;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    if (id != 0) {
+      if (runtimes_.find(id) == runtimes_.end()) {
+        return Err(ErrorCode::kNotFound, StrCat("no OMOS runtime state for task ", id));
+      }
+      ids.push_back(id);
+    } else {
+      for (const auto& [task_id, runtime] : runtimes_) {
+        (void)runtime;
+        ids.push_back(task_id);
+      }
+    }
+  }
+
+  std::string out;
+  for (TaskId task_id : ids) {
+    std::string program_key;
+    std::set<std::string> mapped_libs;
+    {
+      std::lock_guard<std::mutex> lock(runtimes_mu_);
+      auto it = runtimes_.find(task_id);
+      if (it == runtimes_.end()) {
+        continue;  // released since we listed it
+      }
+      program_key = it->second.program_key;
+      mapped_libs = it->second.mapped_libs;
+    }
+
+    // Address-sorted text symbols across the task's program + library images,
+    // each tagged with the image it came from (the per-image dimension).
+    struct Row {
+      uint32_t addr;
+      uint32_t size;
+      const std::string* name;
+      const std::string* image;
+    };
+    ImageCache::ReadLease lease(cache_);  // keeps Peek pointers valid
+    std::set<std::string> keys{program_key};
+    const CachedImage* program = cache_.Peek(program_key);
+    if (program != nullptr) {
+      for (const LibDep& dep : program->deps) {
+        keys.insert(dep.cache_key);
+      }
+    }
+    for (const std::string& lib_key : mapped_libs) {
+      keys.insert(lib_key);
+    }
+    std::vector<Row> rows;
+    for (const std::string& image_key : keys) {
+      const CachedImage* image = cache_.Peek(image_key);
+      if (image == nullptr) {
+        continue;
+      }
+      for (const ImageSymbol& sym : image->image.symbols) {
+        if (sym.section == SectionKind::kText) {
+          rows.push_back(Row{sym.addr, sym.size, &sym.name, &image->image.name});
+        }
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.addr < b.addr; });
+
+    // Resolve each of this task's samples to the covering symbol: greatest
+    // addr <= pc, respecting the symbol size when it has one.
+    auto resolve = [&](uint32_t pc) -> const Row* {
+      auto it = std::upper_bound(rows.begin(), rows.end(), pc,
+                                 [](uint32_t value, const Row& row) { return value < row.addr; });
+      if (it == rows.begin()) {
+        return nullptr;
+      }
+      --it;
+      if (it->size != 0 && pc >= it->addr + it->size) {
+        return nullptr;
+      }
+      return &*it;
+    };
+
+    uint64_t task_samples = 0;
+    uint64_t unresolved = 0;
+    std::map<std::pair<std::string, std::string>, uint64_t> by_symbol;  // (sym, image) -> n
+    std::map<std::string, uint64_t> by_image;
+    for (const CycleProfiler::Sample& sample : samples) {
+      if (sample.task_id != task_id) {
+        continue;
+      }
+      ++task_samples;
+      const Row* row = resolve(sample.pc);
+      if (row == nullptr) {
+        ++unresolved;
+        continue;
+      }
+      ++by_symbol[{*row->name, *row->image}];
+      ++by_image[*row->image];
+    }
+
+    out += StrCat("profile task=", task_id, " samples=", task_samples, "\n");
+    std::vector<std::pair<std::pair<std::string, std::string>, uint64_t>> flat(
+        by_symbol.begin(), by_symbol.end());
+    std::sort(flat.begin(), flat.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    for (const auto& [key, count] : flat) {
+      uint64_t pct = task_samples == 0 ? 0 : count * 100 / task_samples;
+      out += StrCat("  ", count, " ", pct, "% ", key.first, " (", key.second, ")\n");
+    }
+    if (unresolved > 0) {
+      out += StrCat("  ", unresolved, " ", task_samples == 0 ? 0 : unresolved * 100 / task_samples,
+                    "% [unresolved]\n");
+    }
+    for (const auto& [image, count] : by_image) {
+      out += StrCat("image ", image, " samples=", count, "\n");
+    }
+  }
+  if (out.empty()) {
+    out = "profile: no samples\n";
+  }
+  return out;
+}
+
 // ---- IPC --------------------------------------------------------------------
 
 Channel OmosServer::MakeChannel() {
@@ -1536,7 +1690,45 @@ Channel OmosServer::MakeChannel() {
                  kernel_->costs().ipc_round_trip);
 }
 
+namespace {
+
+const char* OpName(OmosOp op) {
+  switch (op) {
+    case OmosOp::kInstantiate:
+      return "instantiate";
+    case OmosOp::kDefineMeta:
+      return "define-meta";
+    case OmosOp::kListNamespace:
+      return "list-namespace";
+    case OmosOp::kDynamicLoad:
+      return "dynamic-load";
+    case OmosOp::kStats:
+      return "stats";
+    case OmosOp::kIntrospect:
+      return "introspect";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
+  TraceSpan trace("server.request", OpName(request.op));
+  // Request-latency histogram + counter; pointers cached after first lookup.
+  // Counted on entry so an Introspect snapshot sees its own request.
+  static Counter* requests = MetricsRegistry::Global().GetCounter("server.requests");
+  static Histogram* request_ns = MetricsRegistry::Global().GetHistogram("server.request_ns");
+  requests->Add();
+  auto start = std::chrono::steady_clock::now();
+  OmosReply reply = HandleRequestImpl(request);
+  request_ns->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count()));
+  return reply;
+}
+
+OmosReply OmosServer::HandleRequestImpl(const OmosRequest& request) {
   OmosReply reply;
   switch (request.op) {
     case OmosOp::kInstantiate: {
@@ -1613,8 +1805,76 @@ OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
       reply.stat_hits = cache_.stats().hits;
       reply.stat_misses = cache_.stats().misses;
       return reply;
+    case OmosOp::kIntrospect:
+      return HandleIntrospect(request);
   }
   reply.error = "unknown op";
+  return reply;
+}
+
+OmosReply OmosServer::HandleIntrospect(const OmosRequest& request) {
+  OmosReply reply;
+  const std::string& cmd = request.path;
+  if (cmd == "stats") {
+    reply.ok = true;
+    reply.metrics = MetricsRegistry::Global().Snapshot();
+    reply.stat_hits = cache_.stats().hits;
+    reply.stat_misses = cache_.stats().misses;
+    return reply;
+  }
+  if (cmd == "stats-text") {
+    reply.ok = true;
+    reply.payload = MetricsRegistry::Global().TextSummary();
+    return reply;
+  }
+  if (cmd == "trace") {
+    reply.ok = true;
+    reply.payload = TraceToChromeJson();
+    return reply;
+  }
+  if (cmd == "trace-summary") {
+    reply.ok = true;
+    reply.payload = TraceTextSummary();
+    return reply;
+  }
+  if (cmd == "trace-start") {
+    TraceSetEnabled(true);
+    reply.ok = true;
+    return reply;
+  }
+  if (cmd == "trace-stop") {
+    TraceSetEnabled(false);
+    reply.ok = true;
+    return reply;
+  }
+  if (cmd == "trace-clear") {
+    TraceClear();
+    reply.ok = true;
+    return reply;
+  }
+  if (cmd == "profile-start") {
+    // task_handle doubles as the sampling period here (0 = default).
+    CycleProfiler::Clear();
+    CycleProfiler::Start(request.task_handle == 0 ? 64 : request.task_handle);
+    reply.ok = true;
+    return reply;
+  }
+  if (cmd == "profile-stop") {
+    CycleProfiler::Stop();
+    reply.ok = true;
+    return reply;
+  }
+  if (cmd == "profile") {
+    auto profile = ProfileForTask(request.task_handle);
+    if (!profile.ok()) {
+      reply.error = profile.error().ToString();
+      return reply;
+    }
+    reply.ok = true;
+    reply.payload = *profile;
+    return reply;
+  }
+  reply.error = StrCat("unknown introspect subcommand: ", cmd);
   return reply;
 }
 

@@ -215,6 +215,11 @@ class OmosServer {
   // image plus every library image mapped so far.
   Result<std::vector<ImageSymbol>> SymbolsForTask(TaskId id) const;
 
+  // Symbol-level profile of the CycleProfiler samples attributed to `id`
+  // (0 = every task with runtime state), resolved through the cached
+  // images' symbol indexes. Human-readable text; see docs/observability.md.
+  Result<std::string> ProfileForTask(TaskId id) const;
+
   // ---- IPC ------------------------------------------------------------------
   std::vector<uint8_t> ServeMessage(const std::vector<uint8_t>& request_bytes);
   // Request executor: decode + handle + encode on the shared thread pool, so
@@ -295,6 +300,8 @@ class OmosServer {
   Result<void> HandleOmosUnloadSys(Kernel& kernel, Task& task);
 
   OmosReply HandleRequest(const OmosRequest& request);
+  OmosReply HandleRequestImpl(const OmosRequest& request);
+  OmosReply HandleIntrospect(const OmosRequest& request);
 
   // Shared between the server and its queued background jobs, so a job that
   // outlives the server (still parked on the pool's background lane) sees

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "src/os/task.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace omos {
 
@@ -20,8 +22,28 @@ bool IsRetryableError(ErrorCode code) {
   }
 }
 
+namespace {
+
+// Registry counters mirror the per-channel totals process-wide; looked up
+// once (pointers are stable for the process lifetime).
+struct ChannelMetrics {
+  Counter* calls = MetricsRegistry::Global().GetCounter("ipc.calls");
+  Counter* retries = MetricsRegistry::Global().GetCounter("ipc.retries");
+  Counter* backoff_cycles = MetricsRegistry::Global().GetCounter("ipc.backoff_cycles");
+  Counter* failures = MetricsRegistry::Global().GetCounter("ipc.failures");
+};
+
+ChannelMetrics& Metrics() {
+  static ChannelMetrics* metrics = new ChannelMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
 Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
+  TraceSpan trace("ipc.call");
   ++calls_made_;
+  Metrics().calls->Add();
   std::vector<uint8_t> wire = EncodeRequest(request);
   uint64_t cost = 0;
   int attempts = std::max(1, retry_.max_attempts);
@@ -34,6 +56,9 @@ Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
       cost += backoff;
       backoff_cycles_billed_ += backoff;
       ++retries_made_;
+      Metrics().retries->Add();
+      Metrics().backoff_cycles->Add(backoff);
+      TraceInstant("ipc.retry", last_error ? ErrorCodeName(last_error->code()) : "");
     }
     auto reply_bytes = transport_->RoundTrip(wire, &cost);
     if (reply_bytes.ok()) {
@@ -45,6 +70,7 @@ Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
         } else {
           cycles_billed_ += cost;
         }
+        trace.AddSimCycles(0, cost);
         return std::move(reply).value();
       }
       // A reply that unmarshals wrong is as retryable as a damaged frame.
@@ -62,6 +88,9 @@ Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
   } else {
     cycles_billed_ += cost;
   }
+  trace.AddSimCycles(0, cost);
+  trace.SetDetail(ErrorCodeName(last_error->code()));
+  Metrics().failures->Add();
   return *last_error;
 }
 

@@ -32,7 +32,7 @@ Result<OmosRequest> DecodeRequest(const std::vector<uint8_t>& bytes) {
   }
   OmosRequest request;
   OMOS_TRY(uint32_t op, r.U32());
-  if (op < 1 || op > 5) {
+  if (op < 1 || op > 6) {
     return Err(ErrorCode::kProtocolError, StrCat("bad op ", op));
   }
   request.op = static_cast<OmosOp>(op);
@@ -70,6 +70,12 @@ std::vector<uint8_t> EncodeReply(const OmosReply& reply) {
   }
   w.U64(reply.stat_hits);
   w.U64(reply.stat_misses);
+  w.Str(reply.payload);
+  w.U32(static_cast<uint32_t>(reply.metrics.size()));
+  for (const auto& [name, value] : reply.metrics) {
+    w.Str(name);
+    w.U64(value);
+  }
   return w.Take();
 }
 
@@ -105,6 +111,13 @@ Result<OmosReply> DecodeReply(const std::vector<uint8_t>& bytes) {
   }
   OMOS_TRY(reply.stat_hits, r.U64());
   OMOS_TRY(reply.stat_misses, r.U64());
+  OMOS_TRY(reply.payload, r.Str());
+  OMOS_TRY(uint32_t nmetrics, r.U32());
+  for (uint32_t i = 0; i < nmetrics; ++i) {
+    OMOS_TRY(std::string name, r.Str());
+    OMOS_TRY(uint64_t value, r.U64());
+    reply.metrics.emplace_back(std::move(name), value);
+  }
   return reply;
 }
 

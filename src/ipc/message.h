@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/support/result.h"
@@ -24,6 +25,16 @@ enum class OmosOp : uint32_t {
   kListNamespace = 3, // path -> child names
   kDynamicLoad = 4,   // blueprint or path + wanted symbols -> bound values
   kStats = 5,         // -> cache statistics
+  // Observability (omtrace). request.path selects the subcommand:
+  //   "stats"          -> `metrics` holds the unified registry snapshot
+  //   "stats-text"     -> `payload` holds the metrics text summary
+  //   "trace"          -> `payload` holds Chrome trace_event JSON
+  //   "trace-summary"  -> `payload` holds the trace text summary
+  //   "trace-start" / "trace-stop" / "trace-clear" -> toggle tracing
+  //   "profile-start" / "profile-stop"             -> toggle the profiler
+  //   "profile"        -> `payload` holds a symbol-level profile of
+  //                       request.task_handle (or flat across tasks when 0)
+  kIntrospect = 6,
 };
 
 struct SegmentDesc {
@@ -50,6 +61,10 @@ struct OmosReply {
   std::vector<uint32_t> symbol_values;     // kDynamicLoad, parallel to request.symbols
   uint64_t stat_hits = 0;
   uint64_t stat_misses = 0;
+  // kIntrospect: free-form text payload (trace JSON, summaries, profiles)
+  // and the structured metrics snapshot.
+  std::string payload;
+  std::vector<std::pair<std::string, uint64_t>> metrics;
 };
 
 std::vector<uint8_t> EncodeRequest(const OmosRequest& request);

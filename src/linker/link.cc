@@ -5,6 +5,7 @@
 
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 #include "src/vm/phys_memory.h"
 
 namespace omos {
@@ -26,7 +27,13 @@ struct FragmentLayout {
 }  // namespace
 
 Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, std::string name) {
-  OMOS_TRY(Module bound, module.Bind());
+  TraceSpan trace("link.image", name);
+  // Merge phase: bind the module's symbol spaces into one namespace.
+  auto bind_traced = [&] {
+    TraceSpan merge("link.merge");
+    return module.Bind();
+  };
+  OMOS_TRY(Module bound, bind_traced());
   OMOS_TRY(const SymbolSpace* space, bound.Space());
   const std::vector<FragmentPtr>& fragments = bound.fragments();
 
@@ -180,12 +187,15 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
       }
     }
   };
-  ThreadPool::Global().ParallelFor(
-      fragments.size(), /*grain=*/1, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          link_fragment(static_cast<uint32_t>(i));
-        }
-      });
+  {
+    TraceSpan relocate("link.relocate");
+    ThreadPool::Global().ParallelFor(
+        fragments.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            link_fragment(static_cast<uint32_t>(i));
+          }
+        });
+  }
 
   // Ordered reduce: the lowest-numbered fragment's error is the one the
   // serial link would have hit first; logs and counters concatenate in
@@ -204,9 +214,10 @@ Result<LinkedImage> LinkImage(const Module& module, const LayoutSpec& layout, st
     }
   }
 
-  // Exported symbols at their final addresses, in name order (the flat
-  // table has no intrinsic order; emission must stay byte-identical to the
-  // ordered-map output).
+  // Emit phase: exported symbols at their final addresses, in name order
+  // (the flat table has no intrinsic order; emission must stay
+  // byte-identical to the ordered-map output).
+  TraceSpan emit("link.emit");
   std::vector<std::pair<std::string_view, const Export*>> sorted_exports;
   sorted_exports.reserve(space->exports.size());
   for (const auto& [export_id, exp] : space->exports) {

@@ -4,6 +4,7 @@
 #include "src/os/kernel.h"
 #include "src/os/task.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace omos {
 
@@ -13,6 +14,13 @@ Result<void> CpuStep(Kernel& kernel, Task& task) {
   OMOS_TRY_VOID(task.space().FetchBytes(pc, raw, kInsnSize));
   OMOS_TRY(Instruction insn, DecodeInsn(raw));
   task.CountInstruction();
+  // Cycle-sampling profiler hook: every (mask+1) retired instructions,
+  // record (task, pc) for symbol-level attribution. Disabled cost: one
+  // relaxed atomic load.
+  if (CycleProfiler::enabled() &&
+      (task.instructions_retired() & CycleProfiler::mask()) == 0) {
+    CycleProfiler::RecordSample(task.id(), pc);
+  }
   if (task.TouchTextPage(pc / kPageSize)) {
     task.BillSys(kernel.costs().page_fault);
   }

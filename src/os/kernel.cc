@@ -4,6 +4,7 @@
 
 #include "src/os/cpu.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace omos {
 
@@ -54,6 +55,9 @@ Result<void> Kernel::SetupStack(Task& task, std::span<const std::string> args) {
 
 Result<void> Kernel::MapShared(Task& task, uint32_t base, const SegmentImage& image, uint8_t prot,
                                std::string name) {
+  if (TraceEnabled()) {
+    TraceInstant("kernel.map_shared", name, 0, costs_.page_map);
+  }
   OMOS_TRY(uint32_t pages, task.space().MapShared(base, image, prot, std::move(name)));
   task.BillSys(costs_.page_map * pages);
   return OkResult();
@@ -61,6 +65,9 @@ Result<void> Kernel::MapShared(Task& task, uint32_t base, const SegmentImage& im
 
 Result<void> Kernel::MapPrivate(Task& task, uint32_t base, uint32_t size,
                                 std::span<const uint8_t> init, uint8_t prot, std::string name) {
+  if (TraceEnabled()) {
+    TraceInstant("kernel.map_private", name, 0, costs_.page_map + costs_.page_copy);
+  }
   OMOS_TRY(uint32_t pages, task.space().MapPrivate(base, size, init, prot, std::move(name)));
   task.BillSys((costs_.page_map + costs_.page_copy) * pages);
   return OkResult();
@@ -80,6 +87,20 @@ Result<const SegmentImage*> Kernel::PageCachePut(std::string key, std::span<cons
 void Kernel::SetSysHook(uint32_t sysno, SysHook hook) { sys_hooks_[sysno] = std::move(hook); }
 
 Result<void> Kernel::RunTask(Task& task, uint64_t max_instructions) {
+  // Span annotated with the simulated user/sys cycles this run consumed
+  // (delta of the task's accounting across the run).
+  TraceSpan trace("kernel.run_task", task.name());
+  uint64_t user_before = task.user_cycles();
+  uint64_t sys_before = task.sys_cycles();
+  struct SimBill {
+    TraceSpan& span;
+    Task& task;
+    uint64_t user_before;
+    uint64_t sys_before;
+    ~SimBill() {
+      span.AddSimCycles(task.user_cycles() - user_before, task.sys_cycles() - sys_before);
+    }
+  } bill{trace, task, user_before, sys_before};
   uint64_t executed = 0;
   while (task.state() == TaskState::kRunnable) {
     if (executed >= max_instructions) {

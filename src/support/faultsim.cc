@@ -4,7 +4,9 @@
 #include <mutex>
 
 #include "src/support/log.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace omos {
 
@@ -37,6 +39,19 @@ struct SimState {
 
 SimState& State() {
   static SimState state;
+  // FaultSim totals join the unified metrics snapshot; registered once on
+  // first use (the callback itself only runs at snapshot time).
+  static bool metrics_registered = [] {
+    MetricsRegistry::Global().AddSource(
+        [](std::vector<std::pair<std::string, uint64_t>>& out) {
+          out.emplace_back("fault.total_fires", FaultSim::TotalFires());
+          for (auto& [site, fires] : FaultSim::FireCounts()) {
+            out.emplace_back("fault.fires." + site, fires);
+          }
+        });
+    return true;
+  }();
+  (void)metrics_registered;
   return state;
 }
 
@@ -117,6 +132,7 @@ bool FaultSim::Trip(std::string_view site, uint32_t* payload_out) {
     hits = armed.hits;
     fires = armed.fires;
   }
+  TraceInstant("fault.fire", site);
   LogMessage(LogLevel::kDebug, "faultsim",
              StrCat("fired ", site, " (hit ", hits, ", fire ", fires, ")"));
   return true;
@@ -149,6 +165,17 @@ uint64_t FaultSim::TotalFires() {
   SimState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   return state.total_fires;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultSim::FireCounts() {
+  SimState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::pair<std::string, uint64_t>> counts;
+  counts.reserve(state.sites.size());
+  for (const auto& [site, site_state] : state.sites) {
+    counts.emplace_back(site, site_state.fires);
+  }
+  return counts;
 }
 
 }  // namespace omos

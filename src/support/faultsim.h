@@ -25,6 +25,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace omos {
 
@@ -106,6 +108,8 @@ class FaultSim {
   static uint64_t Fires(std::string_view site);
   // Total fires across all sites since the last Install/Reset.
   static uint64_t TotalFires();
+  // (site, fires) for every armed site — the metrics-registry view.
+  static std::vector<std::pair<std::string, uint64_t>> FireCounts();
 };
 
 // RAII plan installer for tests: installs on construction, resets on exit.

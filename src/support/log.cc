@@ -2,12 +2,42 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <string>
+
+#include "src/support/trace.h"
 
 namespace omos {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// One-time OMOS_LOG environment override: OMOS_LOG=debug|info|warning|error|none.
+// Applied lazily on first use so tests and tools get it without boilerplate;
+// an explicit SetLogLevel afterwards still wins.
+std::once_flag g_env_once;
+
+void ApplyEnvOverride() {
+  const char* env = std::getenv("OMOS_LOG");
+  if (env == nullptr) {
+    return;
+  }
+  std::string value(env);
+  if (value == "debug") {
+    g_level.store(LogLevel::kDebug, std::memory_order_relaxed);
+  } else if (value == "info") {
+    g_level.store(LogLevel::kInfo, std::memory_order_relaxed);
+  } else if (value == "warning" || value == "warn") {
+    g_level.store(LogLevel::kWarning, std::memory_order_relaxed);
+  } else if (value == "error") {
+    g_level.store(LogLevel::kError, std::memory_order_relaxed);
+  } else if (value == "none") {
+    g_level.store(LogLevel::kNone, std::memory_order_relaxed);
+  }
+}
+
+void EnsureEnvApplied() { std::call_once(g_env_once, ApplyEnvOverride); }
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -26,11 +56,37 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  EnsureEnvApplied();  // consume the env override so it cannot clobber this later
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+LogLevel GetLogLevel() {
+  EnsureEnvApplied();
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, std::string_view module, std::string_view message) {
+  // Log records double as trace instants ("log.<tag>"), so a trace dump
+  // interleaves server logs with spans regardless of the stderr level.
+  if (TraceEnabled()) {
+    switch (level) {
+      case LogLevel::kDebug:
+        TraceInstant("log.debug", message);
+        break;
+      case LogLevel::kInfo:
+        TraceInstant("log.info", message);
+        break;
+      case LogLevel::kWarning:
+        TraceInstant("log.warning", message);
+        break;
+      case LogLevel::kError:
+        TraceInstant("log.error", message);
+        break;
+      case LogLevel::kNone:
+        break;
+    }
+  }
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
     return;
   }

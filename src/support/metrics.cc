@@ -1,0 +1,170 @@
+#include "src/support/metrics.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace omos {
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  // Rank of the p-th percentile, 1-based; clamp into [1, total].
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total) + 0.5);
+  rank = std::max<uint64_t>(1, std::min(rank, total));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Upper boundary of bucket i: values v have bit_width(v) == i,
+      // i.e. v < 2^i (bucket 0 holds only v == 0).
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return (uint64_t{1} << (kBuckets - 1));
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::AddSource(SourceFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t token = next_source_token_++;
+  sources_[token] = std::move(fn);
+  return token;
+}
+
+void MetricsRegistry::RemoveSource(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(token);
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, uint64_t>> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      raw.emplace_back(name, counter->value());
+    }
+    for (const auto& [name, hist] : histograms_) {
+      raw.emplace_back(name + ".count", hist->count());
+      raw.emplace_back(name + ".sum", hist->sum());
+      raw.emplace_back(name + ".p50", hist->Percentile(50));
+      raw.emplace_back(name + ".p90", hist->Percentile(90));
+      raw.emplace_back(name + ".p99", hist->Percentile(99));
+    }
+    for (const auto& [token, source] : sources_) {
+      (void)token;
+      source(raw);
+    }
+  }
+  // Sum duplicates (e.g. two ImageCache instances both reporting cache.hits).
+  std::sort(raw.begin(), raw.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, uint64_t>> merged;
+  for (auto& entry : raw) {
+    if (!merged.empty() && merged.back().first == entry.first) {
+      merged.back().second += entry.second;
+    } else {
+      merged.push_back(std::move(entry));
+    }
+  }
+  return merged;
+}
+
+std::string MetricsRegistry::TextSummary() const {
+  // Histogram names get "hist" lines; everything else (counters + sources)
+  // gets "counter" lines. Build the hist set first so snapshot expansions of
+  // a histogram are folded into its one line.
+  std::vector<std::pair<std::string, uint64_t>> snapshot = Snapshot();
+  std::vector<std::string> hist_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, hist] : histograms_) {
+      (void)hist;
+      hist_names.push_back(name);
+    }
+  }
+  auto is_hist_expansion = [&](const std::string& name) {
+    for (const std::string& hist : hist_names) {
+      if (name.size() > hist.size() && name.compare(0, hist.size(), hist) == 0 &&
+          name[hist.size()] == '.') {
+        std::string_view suffix(name.c_str() + hist.size() + 1);
+        if (suffix == "count" || suffix == "sum" || suffix == "p50" || suffix == "p90" ||
+            suffix == "p99") {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  auto lookup = [&](const std::string& name) -> uint64_t {
+    for (const auto& [key, value] : snapshot) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return 0;
+  };
+
+  std::vector<std::string> lines;
+  for (const auto& [name, value] : snapshot) {
+    if (!is_hist_expansion(name)) {
+      lines.push_back(StrCat("counter ", name, " ", std::to_string(value)));
+    }
+  }
+  for (const std::string& name : hist_names) {
+    lines.push_back(StrCat("hist ", name, " count=", std::to_string(lookup(name + ".count")),
+                           " sum=", std::to_string(lookup(name + ".sum")),
+                           " p50=", std::to_string(lookup(name + ".p50")),
+                           " p90=", std::to_string(lookup(name + ".p90")),
+                           " p99=", std::to_string(lookup(name + ".p99"))));
+  }
+  std::sort(lines.begin(), lines.end(), [](const std::string& a, const std::string& b) {
+    // Sort by metric name (second token), so counters and hists interleave.
+    return a.substr(a.find(' ') + 1) < b.substr(b.find(' ') + 1);
+  });
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace omos

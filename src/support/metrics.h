@@ -1,0 +1,111 @@
+// omtrace metrics: process-wide counters and fixed-bucket latency histograms.
+//
+// The registry is the single pane of glass the Introspect IPC request reads
+// from: subsystems either own registry counters directly (Counter/Histogram
+// pointers are stable for the life of the process, updates are lock-free) or
+// register a *source* callback that contributes (name, value) pairs computed
+// from their own internal state at snapshot time (CacheStats, FaultSim,
+// ThreadPool). Duplicate names across sources are summed, so two ImageCache
+// instances report one combined "cache.hits".
+//
+// Naming convention (docs/observability.md): dotted lowercase
+// "<subsystem>.<metric>", e.g. "cache.hits", "ipc.retries",
+// "server.request_ns". Histogram expansions append ".count", ".sum", ".p50",
+// ".p90", ".p99".
+#ifndef OMOS_SRC_SUPPORT_METRICS_H_
+#define OMOS_SRC_SUPPORT_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace omos {
+
+// A monotonically increasing counter. Add() is a single relaxed atomic add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed-bucket histogram with power-of-two bucket boundaries: bucket i counts
+// values v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0 and v == 1...
+// precisely: bucket = bit_width(v)). Record() is two relaxed atomic adds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Upper bucket boundary containing the p-th percentile (p in [0,100]).
+  // An estimate: exact within a factor of 2 (the bucket width).
+  uint64_t Percentile(double p) const;
+
+  static int BucketFor(uint64_t value) {
+    int bucket = 0;
+    while (value > 0) {
+      ++bucket;
+      value >>= 1;
+    }
+    return bucket < kBuckets ? bucket : kBuckets - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Process-global registry. GetCounter/GetHistogram return stable pointers
+// (never freed); callers look up once and cache the pointer on their hot
+// paths. Sources let per-instance subsystem stats join the snapshot without
+// moving their authoritative storage.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // A source appends (name, value) pairs to the snapshot. Returns a token
+  // for RemoveSource (call from the owning object's destructor).
+  using SourceFn = std::function<void(std::vector<std::pair<std::string, uint64_t>>&)>;
+  uint64_t AddSource(SourceFn fn);
+  void RemoveSource(uint64_t token);
+
+  // All counters, histogram expansions, and source contributions, summed by
+  // name and sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  // Machine-parseable text: one "counter <name> <value>" line per counter or
+  // source metric, one "hist <name> count=... sum=... p50=... p90=... p99=..."
+  // line per histogram; sorted by name.
+  std::string TextSummary() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<uint64_t, SourceFn> sources_;
+  uint64_t next_source_token_ = 1;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_SUPPORT_METRICS_H_

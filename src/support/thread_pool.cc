@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/support/metrics.h"
+
 namespace omos {
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -14,9 +16,17 @@ ThreadPool::ThreadPool(size_t threads) {
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  metrics_token_ = MetricsRegistry::Global().AddSource(
+      [this](std::vector<std::pair<std::string, uint64_t>>& out) {
+        out.emplace_back("pool.steals", steals());
+        out.emplace_back("pool.tasks_submitted", tasks_submitted());
+        out.emplace_back("pool.queue_depth", ForegroundPending());
+        out.emplace_back("pool.threads", thread_count());
+      });
 }
 
 ThreadPool::~ThreadPool() {
+  MetricsRegistry::Global().RemoveSource(metrics_token_);
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     stop_.store(true, std::memory_order_relaxed);
@@ -35,6 +45,7 @@ ThreadPool& ThreadPool::Global() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   if (workers_.empty()) {
     fn();
     return;
@@ -79,6 +90,7 @@ bool ThreadPool::TakeForeground(size_t preferred, std::function<void()>& out) {
     } else {
       out = std::move(worker.deque.front());
       worker.deque.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
     }
     foreground_pending_.fetch_sub(1, std::memory_order_acq_rel);
     return true;

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -76,6 +77,11 @@ class ThreadPool {
   // gate. Approximate under concurrency.
   size_t ForegroundPending() const;
 
+  // Observability counters (authoritative here; mirrored into the metrics
+  // registry as pool.* via a per-pool source).
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  uint64_t tasks_submitted() const { return submitted_.load(std::memory_order_relaxed); }
+
  private:
   struct Worker {
     std::deque<std::function<void()>> deque;  // back = newest
@@ -102,6 +108,9 @@ class ThreadPool {
   std::atomic<size_t> active_{0};  // tasks currently executing
   std::atomic<size_t> next_worker_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> steals_{0};     // foreground tasks taken from another worker's deque
+  std::atomic<uint64_t> submitted_{0};  // foreground tasks ever submitted
+  uint64_t metrics_token_ = 0;          // this pool's registry source
 };
 
 }  // namespace omos

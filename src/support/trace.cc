@@ -1,0 +1,786 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/support/strings.h"
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace omos {
+namespace trace_internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+uint64_t ClockTicks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+namespace {
+
+uint64_t ClockNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Small dense thread ids for event attribution (std::thread::id is opaque
+// and wide; Chrome's tid field wants a small integer).
+std::atomic<uint32_t> g_next_tid{1};
+
+// One ring slot: a per-slot seqlock over all-atomic payload words. The
+// writer marks the slot odd, stores the payload with relaxed atomic writes,
+// then publishes with a release store of the even sequence; readers validate
+// the sequence on both sides of the payload read and discard torn slots.
+// Because every access is atomic, concurrent emit + snapshot is race-free
+// under TSan without locking the emit path.
+constexpr size_t kDetailWords = kTraceDetailBytes / 8;
+
+// Cache-line aligned so the common emit (name + short detail: the first 8
+// words) dirties exactly one line; long details spill into the second.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> seq{0};  // 2*index+2 when slot `index` is readable
+  std::atomic<uint64_t> ts_ticks{0};
+  std::atomic<uint64_t> dur_ticks{0};
+  std::atomic<uint64_t> sim_user{0};
+  std::atomic<uint64_t> sim_sys{0};
+  std::atomic<uint64_t> name{0};        // const char* to a string literal
+  std::atomic<uint64_t> phase_tid{0};   // phase<<56 | detail_len<<32 | tid
+  std::atomic<uint64_t> detail[kDetailWords] = {};
+};
+
+struct Ring {
+  // Next slot index to write; monotonically increasing, owner-thread only
+  // writes. floor marks the oldest index still visible (TraceClear).
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> floor{0};
+  Slot slots[kTraceRingCapacity];
+};
+
+// All rings ever created; never freed. A thread that exits parks its ring on
+// the free list (events retained, still visible to snapshots) for reuse.
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::vector<Ring*> free_rings;
+
+  Ring* Acquire() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_rings.empty()) {
+      Ring* ring = free_rings.back();
+      free_rings.pop_back();
+      return ring;
+    }
+    rings.push_back(std::make_unique<Ring>());
+    return rings.back().get();
+  }
+
+  void Release(Ring* ring) {
+    std::lock_guard<std::mutex> lock(mu);
+    free_rings.push_back(ring);
+  }
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* registry = new RingRegistry();  // leaked: outlives all threads
+  return *registry;
+}
+
+// One TLS access covers both the ring and the dense tid on the emit path.
+struct RingHolder {
+  Ring* ring = nullptr;
+  uint32_t tid = 0;
+  ~RingHolder() {
+    if (ring != nullptr) {
+      Registry().Release(ring);
+    }
+  }
+};
+thread_local RingHolder t_ring;
+
+RingHolder& LocalRingHolder() {
+  RingHolder& holder = t_ring;
+  if (holder.ring == nullptr) {
+    holder.ring = Registry().Acquire();
+    holder.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return holder;
+}
+
+// ticks -> ns calibration: one (ticks, ns) pair captured the first time
+// tracing is enabled, a second at export time. Between the two points the
+// mapping is linear; with zero elapsed ticks (back-to-back calls) fall back
+// to 1 tick == 1 ns.
+struct Calibration {
+  std::atomic<uint64_t> base_ticks{0};
+  std::atomic<uint64_t> base_ns{0};
+  std::atomic<bool> have_base{false};
+};
+Calibration g_calibration;
+
+void EnsureCalibrationBase() {
+  if (!g_calibration.have_base.load(std::memory_order_acquire)) {
+    uint64_t ticks = ClockTicks();
+    uint64_t ns = ClockNs();
+    g_calibration.base_ticks.store(ticks, std::memory_order_relaxed);
+    g_calibration.base_ns.store(ns, std::memory_order_relaxed);
+    g_calibration.have_base.store(true, std::memory_order_release);
+  }
+}
+
+double TicksPerNs() {
+  EnsureCalibrationBase();
+  uint64_t now_ticks = ClockTicks();
+  uint64_t now_ns = ClockNs();
+  uint64_t base_ticks = g_calibration.base_ticks.load(std::memory_order_relaxed);
+  uint64_t base_ns = g_calibration.base_ns.load(std::memory_order_relaxed);
+  if (now_ns <= base_ns || now_ticks <= base_ticks) {
+    return 1.0;
+  }
+  return static_cast<double>(now_ticks - base_ticks) /
+         static_cast<double>(now_ns - base_ns);
+}
+
+}  // namespace
+
+void EmitSlot(const char* name, char phase, uint64_t start_ticks, uint64_t dur_ticks,
+              uint64_t sim_user, uint64_t sim_sys, const char* detail, size_t detail_len) {
+  RingHolder& holder = LocalRingHolder();
+  Ring* ring = holder.ring;
+  uint64_t index = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[index % kTraceRingCapacity];
+
+  if (detail_len > kTraceDetailBytes) {
+    detail_len = kTraceDetailBytes;
+  }
+  // Stores beyond what this event uses are skipped: the reader decodes
+  // detail_len and the sim-words flag (bit 55) from the same seqlock
+  // generation, so stale words from an earlier lap are never interpreted.
+  bool has_sim = (sim_user | sim_sys) != 0;
+  uint64_t packed = (static_cast<uint64_t>(static_cast<uint8_t>(phase)) << 56) |
+                    (has_sim ? (1ull << 55) : 0) |
+                    (static_cast<uint64_t>(detail_len) << 32) |
+                    static_cast<uint64_t>(holder.tid);
+
+  slot.seq.store(2 * index + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ts_ticks.store(start_ticks, std::memory_order_relaxed);
+  slot.dur_ticks.store(dur_ticks, std::memory_order_relaxed);
+  if (has_sim) {
+    slot.sim_user.store(sim_user, std::memory_order_relaxed);
+    slot.sim_sys.store(sim_sys, std::memory_order_relaxed);
+  }
+  slot.name.store(reinterpret_cast<uint64_t>(name), std::memory_order_relaxed);
+  slot.phase_tid.store(packed, std::memory_order_relaxed);
+  for (size_t offset = 0; offset < detail_len; offset += 8) {
+    uint64_t word = 0;
+    size_t n = detail_len - offset < 8 ? detail_len - offset : 8;
+    std::memcpy(&word, detail + offset, n);
+    slot.detail[offset / 8].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * index + 2, std::memory_order_release);
+  ring->head.store(index + 1, std::memory_order_release);
+  // Warm the next slot: by the time this thread emits again, the ring has
+  // cycled far enough that the slot's lines have fallen out of L1. The
+  // second line holds detail words 2+; only pull it in when this event
+  // shape used it — a short-detail instant then costs one line of cache
+  // pollution per emit, not two.
+  Slot& next = ring->slots[(index + 1) % kTraceRingCapacity];
+  __builtin_prefetch(&next, 1);
+  if (detail_len > 8) {
+    __builtin_prefetch(reinterpret_cast<const char*>(&next) + 64, 1);
+  }
+}
+
+}  // namespace trace_internal
+
+using trace_internal::ClockTicks;
+using trace_internal::EmitSlot;
+
+void TraceSetEnabled(bool enabled) {
+  if (enabled) {
+    trace_internal::EnsureCalibrationBase();
+  }
+  trace_internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceSpan::Finish() {
+  uint64_t end = ClockTicks();
+  EmitSlot(name_, 'X', start_ticks_, end - start_ticks_, sim_user_, sim_sys_, detail_,
+           detail_len_);
+}
+
+void TraceInstant(const char* name) { TraceInstant(name, std::string_view(), 0, 0); }
+
+void TraceInstant(const char* name, std::string_view detail) {
+  TraceInstant(name, detail, 0, 0);
+}
+
+void TraceInstant(const char* name, std::string_view detail, uint64_t sim_user,
+                  uint64_t sim_sys) {
+  if (!TraceEnabled()) {
+    return;
+  }
+  EmitSlot(name, 'i', ClockTicks(), 0, sim_user, sim_sys, detail.data(), detail.size());
+}
+
+std::vector<TraceEvent> TraceSnapshot() {
+  using trace_internal::Registry;
+  auto& registry = Registry();
+  std::vector<trace_internal::Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    rings.reserve(registry.rings.size());
+    for (const auto& ring : registry.rings) {
+      rings.push_back(ring.get());
+    }
+  }
+
+  double ticks_per_ns = trace_internal::TicksPerNs();
+  uint64_t base_ticks =
+      trace_internal::g_calibration.base_ticks.load(std::memory_order_relaxed);
+  auto to_ns = [&](uint64_t ticks) -> uint64_t {
+    if (ticks <= base_ticks) {
+      return 0;
+    }
+    return static_cast<uint64_t>(static_cast<double>(ticks - base_ticks) / ticks_per_ns);
+  };
+  auto dur_ns = [&](uint64_t ticks) -> uint64_t {
+    return static_cast<uint64_t>(static_cast<double>(ticks) / ticks_per_ns);
+  };
+
+  std::vector<TraceEvent> events;
+  for (trace_internal::Ring* ring : rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t floor = ring->floor.load(std::memory_order_acquire);
+    uint64_t begin = head > kTraceRingCapacity ? head - kTraceRingCapacity : 0;
+    if (floor > begin) {
+      begin = floor;
+    }
+    for (uint64_t index = begin; index < head; ++index) {
+      trace_internal::Slot& slot = ring->slots[index % kTraceRingCapacity];
+      uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+      if (seq1 != 2 * index + 2) {
+        continue;  // overwritten or mid-write
+      }
+      TraceEvent event;
+      uint64_t ts = slot.ts_ticks.load(std::memory_order_relaxed);
+      uint64_t dur = slot.dur_ticks.load(std::memory_order_relaxed);
+      uint64_t sim_user = slot.sim_user.load(std::memory_order_relaxed);
+      uint64_t sim_sys = slot.sim_sys.load(std::memory_order_relaxed);
+      uint64_t name = slot.name.load(std::memory_order_relaxed);
+      uint64_t packed = slot.phase_tid.load(std::memory_order_relaxed);
+      uint64_t detail_words[trace_internal::kDetailWords];
+      for (size_t w = 0; w < trace_internal::kDetailWords; ++w) {
+        detail_words[w] = slot.detail[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      uint64_t seq2 = slot.seq.load(std::memory_order_relaxed);
+      if (seq2 != seq1) {
+        continue;  // torn read: writer lapped us mid-slot
+      }
+      event.name = reinterpret_cast<const char*>(name);
+      event.phase = static_cast<char>((packed >> 56) & 0xFF);
+      event.tid = static_cast<uint32_t>(packed & 0xFFFFFFFF);
+      if ((packed & (1ull << 55)) != 0) {  // sim words were written
+        event.sim_user = sim_user;
+        event.sim_sys = sim_sys;
+      }
+      size_t detail_len = (packed >> 32) & 0xFF;
+      if (detail_len > kTraceDetailBytes) {
+        detail_len = kTraceDetailBytes;
+      }
+      if (detail_len > 0) {
+        char buffer[kTraceDetailBytes];
+        std::memcpy(buffer, detail_words, sizeof(detail_words));
+        event.detail.assign(buffer, detail_len);
+      }
+      event.ts_ns = to_ns(ts);
+      event.dur_ns = dur_ns(dur);
+      events.push_back(std::move(event));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return events;
+}
+
+void TraceClear() {
+  auto& registry = trace_internal::Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    // Foreign-thread store is fine: floor is only read by snapshots and only
+    // monotonically raised here; the owning writer never touches it.
+    ring->floor.store(ring->head.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  }
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string_view CategoryOf(std::string_view name) {
+  size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+void AppendMicros(std::string& out, uint64_t ns) {
+  // Microseconds with fractional nanoseconds, e.g. 1234 ns -> "1.234".
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buffer;
+}
+
+}  // namespace
+
+std::string TraceToChromeJson() {
+  std::vector<TraceEvent> events = TraceSnapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, event.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, CategoryOf(event.name));
+    out += "\",\"ph\":\"";
+    out += event.phase == 'i' ? 'i' : 'X';
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    AppendMicros(out, event.ts_ns);
+    if (event.phase != 'i') {
+      out += ",\"dur\":";
+      AppendMicros(out, event.dur_ns);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"args\":{\"detail\":\"";
+    AppendJsonEscaped(out, event.detail);
+    out += "\",\"sim_user\":";
+    out += std::to_string(event.sim_user);
+    out += ",\"sim_sys\":";
+    out += std::to_string(event.sim_sys);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceTextSummary() {
+  std::vector<TraceEvent> events = TraceSnapshot();
+  struct Aggregate {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t sim_user = 0;
+    uint64_t sim_sys = 0;
+  };
+  std::map<std::string, Aggregate> spans;
+  std::map<std::string, uint64_t> instants;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'i') {
+      ++instants[event.name];
+    } else {
+      Aggregate& agg = spans[event.name];
+      ++agg.count;
+      agg.total_ns += event.dur_ns;
+      agg.sim_user += event.sim_user;
+      agg.sim_sys += event.sim_sys;
+    }
+  }
+  std::string out;
+  for (const auto& [name, agg] : spans) {
+    out += StrCat("span ", name, " count=", agg.count, " total_ns=", agg.total_ns,
+                  " avg_ns=", agg.count == 0 ? 0 : agg.total_ns / agg.count,
+                  " sim_user=", agg.sim_user, " sim_sys=", agg.sim_sys, "\n");
+  }
+  for (const auto& [name, count] : instants) {
+    out += StrCat("instant ", name, " count=", count, "\n");
+  }
+  return out;
+}
+
+// --- Minimal JSON reader ----------------------------------------------------
+//
+// Parses just enough JSON for the documents TraceToChromeJson produces (and
+// reasonable hand-written variants): objects, arrays, strings with the
+// escapes we emit, numbers, true/false/null.
+namespace {
+
+struct JsonParser {
+  std::string_view input;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(std::string message) {
+    if (error.empty()) {
+      error = StrCat(message, " at offset ", pos);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < input.size() && (input[pos] == ' ' || input[pos] == '\t' ||
+                                  input[pos] == '\n' || input[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < input.size() && input[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos < input.size() ? input[pos] : '\0';
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos < input.size()) {
+      char c = input[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos >= input.size()) {
+          return Fail("bad escape");
+        }
+        char e = input[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > input.size()) {
+              return Fail("bad \\u escape");
+            }
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = input[pos++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            // We only emit control characters this way; keep the low byte.
+            *out += static_cast<char>(value & 0xFF);
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    size_t start = pos;
+    if (pos < input.size() && (input[pos] == '-' || input[pos] == '+')) {
+      ++pos;
+    }
+    while (pos < input.size() &&
+           ((input[pos] >= '0' && input[pos] <= '9') || input[pos] == '.' ||
+            input[pos] == 'e' || input[pos] == 'E' || input[pos] == '-' ||
+            input[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Fail("expected number");
+    }
+    *out = std::strtod(std::string(input.substr(start, pos - start)).c_str(), nullptr);
+    return true;
+  }
+
+  // Parse any value, discarding contents except when captured by callers.
+  bool SkipValue() {
+    char c = Peek();
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{') {
+      return ParseFlatObject(nullptr);
+    }
+    if (c == '[') {
+      ++pos;
+      if (Consume(']')) {
+        return true;
+      }
+      do {
+        if (!SkipValue()) {
+          return false;
+        }
+      } while (Consume(','));
+      return Consume(']') || Fail("expected ]");
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      while (pos < input.size() && input[pos] >= 'a' && input[pos] <= 'z') {
+        ++pos;
+      }
+      return true;
+    }
+    double ignored;
+    return ParseNumber(&ignored);
+  }
+
+  // Parse an object; if `fields` is non-null, leaf string/number values are
+  // recorded as strings keyed by name (nested objects flatten one level with
+  // their own keys — enough for trace events whose only nesting is "args").
+  bool ParseFlatObject(std::map<std::string, std::string>* fields) {
+    if (!Consume('{')) {
+      return Fail("expected {");
+    }
+    if (Consume('}')) {
+      return true;
+    }
+    do {
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (!Consume(':')) {
+        return Fail("expected :");
+      }
+      char c = Peek();
+      if (c == '"') {
+        std::string value;
+        if (!ParseString(&value)) {
+          return false;
+        }
+        if (fields != nullptr) {
+          (*fields)[key] = std::move(value);
+        }
+      } else if (c == '{') {
+        if (!ParseFlatObject(fields)) {
+          return false;
+        }
+      } else if (c == '[') {
+        if (!SkipValue()) {
+          return false;
+        }
+      } else if (c == 't' || c == 'f' || c == 'n') {
+        if (!SkipValue()) {
+          return false;
+        }
+      } else {
+        double value;
+        if (!ParseNumber(&value)) {
+          return false;
+        }
+        if (fields != nullptr) {
+          char buffer[64];
+          std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+          (*fields)[key] = buffer;
+        }
+      }
+    } while (Consume(','));
+    return Consume('}') || Fail("expected }");
+  }
+};
+
+uint64_t FieldU64(const std::map<std::string, std::string>& fields, const std::string& key) {
+  auto it = fields.find(key);
+  return it == fields.end() ? 0 : static_cast<uint64_t>(std::strtod(it->second.c_str(), nullptr));
+}
+
+double FieldF64(const std::map<std::string, std::string>& fields, const std::string& key) {
+  auto it = fields.find(key);
+  return it == fields.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string FieldStr(const std::map<std::string, std::string>& fields, const std::string& key) {
+  auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+Result<std::vector<ParsedTraceEvent>> ParseChromeTrace(std::string_view json) {
+  JsonParser parser{json, 0, {}};
+  if (!parser.Consume('{')) {
+    return Err(ErrorCode::kParseError, "trace JSON: expected top-level object");
+  }
+  std::vector<ParsedTraceEvent> events;
+  bool saw_trace_events = false;
+  if (!parser.Consume('}')) {
+    do {
+      std::string key;
+      if (!parser.ParseString(&key)) {
+        return Err(ErrorCode::kParseError, StrCat("trace JSON: ", parser.error));
+      }
+      if (!parser.Consume(':')) {
+        return Err(ErrorCode::kParseError, "trace JSON: expected ':'");
+      }
+      if (key == "traceEvents") {
+        saw_trace_events = true;
+        if (!parser.Consume('[')) {
+          return Err(ErrorCode::kParseError, "trace JSON: traceEvents must be an array");
+        }
+        if (!parser.Consume(']')) {
+          do {
+            std::map<std::string, std::string> fields;
+            if (!parser.ParseFlatObject(&fields)) {
+              return Err(ErrorCode::kParseError, StrCat("trace JSON: ", parser.error));
+            }
+            ParsedTraceEvent event;
+            event.name = FieldStr(fields, "name");
+            event.cat = FieldStr(fields, "cat");
+            event.ph = FieldStr(fields, "ph");
+            event.ts_us = FieldF64(fields, "ts");
+            event.dur_us = FieldF64(fields, "dur");
+            event.tid = FieldU64(fields, "tid");
+            event.detail = FieldStr(fields, "detail");
+            event.sim_user = FieldU64(fields, "sim_user");
+            event.sim_sys = FieldU64(fields, "sim_sys");
+            if (event.name.empty() || event.ph.empty()) {
+              return Err(ErrorCode::kParseError,
+                         "trace JSON: event missing required name/ph fields");
+            }
+            events.push_back(std::move(event));
+          } while (parser.Consume(','));
+          if (!parser.Consume(']')) {
+            return Err(ErrorCode::kParseError, "trace JSON: expected ']'");
+          }
+        }
+      } else {
+        if (!parser.SkipValue()) {
+          return Err(ErrorCode::kParseError, StrCat("trace JSON: ", parser.error));
+        }
+      }
+    } while (parser.Consume(','));
+    if (!parser.Consume('}')) {
+      return Err(ErrorCode::kParseError, "trace JSON: expected '}'");
+    }
+  }
+  if (!saw_trace_events) {
+    return Err(ErrorCode::kParseError, "trace JSON: no traceEvents array");
+  }
+  return events;
+}
+
+// --- CycleProfiler ----------------------------------------------------------
+
+std::atomic<bool> CycleProfiler::enabled_{false};
+std::atomic<uint64_t> CycleProfiler::mask_{63};
+
+namespace {
+
+constexpr size_t kProfilerCapacity = 1 << 16;
+std::atomic<uint64_t> g_profiler_head{0};
+std::atomic<uint64_t> g_profiler_slots[kProfilerCapacity];
+
+}  // namespace
+
+void CycleProfiler::Start(uint64_t period) {
+  if (period < 1) {
+    period = 1;
+  }
+  // Round down to a power of two so the hot-path check is a mask.
+  uint64_t pow2 = 1;
+  while (pow2 * 2 <= period) {
+    pow2 *= 2;
+  }
+  mask_.store(pow2 - 1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void CycleProfiler::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void CycleProfiler::Clear() {
+  g_profiler_head.store(0, std::memory_order_relaxed);
+}
+
+void CycleProfiler::RecordSample(uint32_t task_id, uint32_t pc) {
+  uint64_t index = g_profiler_head.fetch_add(1, std::memory_order_relaxed);
+  uint64_t packed = (static_cast<uint64_t>(task_id) << 32) | static_cast<uint64_t>(pc);
+  g_profiler_slots[index % kProfilerCapacity].store(packed, std::memory_order_relaxed);
+}
+
+std::vector<CycleProfiler::Sample> CycleProfiler::Samples() {
+  uint64_t head = g_profiler_head.load(std::memory_order_relaxed);
+  uint64_t begin = head > kProfilerCapacity ? head - kProfilerCapacity : 0;
+  std::vector<Sample> samples;
+  samples.reserve(head - begin);
+  for (uint64_t index = begin; index < head; ++index) {
+    uint64_t packed = g_profiler_slots[index % kProfilerCapacity].load(std::memory_order_relaxed);
+    Sample sample;
+    sample.task_id = static_cast<uint32_t>(packed >> 32);
+    sample.pc = static_cast<uint32_t>(packed & 0xFFFFFFFF);
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace omos

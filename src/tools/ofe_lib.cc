@@ -1,7 +1,10 @@
 #include "src/tools/ofe_lib.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -10,6 +13,7 @@
 #include "src/linker/module.h"
 #include "src/objfmt/backend.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace omos {
 
@@ -188,6 +192,51 @@ Result<void> WriteHostFile(const std::string& path, const std::vector<uint8_t>& 
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   return OkResult();
+}
+
+Result<std::string> OfeTraceReport(std::string_view json) {
+  OMOS_TRY(std::vector<ParsedTraceEvent> events, ParseChromeTrace(json));
+  struct Row {
+    uint64_t count = 0;
+    double total_us = 0;
+    uint64_t sim_user = 0;
+    uint64_t sim_sys = 0;
+    bool instant = false;
+  };
+  std::map<std::string, Row> rows;
+  for (const ParsedTraceEvent& ev : events) {
+    Row& row = rows[ev.name];
+    ++row.count;
+    row.total_us += ev.dur_us;
+    row.sim_user += ev.sim_user;
+    row.sim_sys += ev.sim_sys;
+    row.instant = ev.ph == "i";
+  }
+  std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us) {
+      return a.second.total_us > b.second.total_us;
+    }
+    return a.first < b.first;
+  });
+  std::ostringstream out;
+  out << "trace report: " << events.size() << " events, " << rows.size() << " span kinds\n";
+  char line[256];
+  for (const auto& [name, row] : sorted) {
+    if (row.instant) {
+      std::snprintf(line, sizeof(line), "  %-28s x%-6llu (instant)\n", name.c_str(),
+                    static_cast<unsigned long long>(row.count));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-28s x%-6llu total %10.1fus  avg %8.1fus  sim %llu+%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(row.count), row.total_us,
+                    row.total_us / static_cast<double>(row.count),
+                    static_cast<unsigned long long>(row.sim_user),
+                    static_cast<unsigned long long>(row.sim_sys));
+    }
+    out << line;
+  }
+  return out.str();
 }
 
 Result<ObjectFile> LoadObjectFile(const std::string& path) {

@@ -43,6 +43,11 @@ Result<ObjectFile> OfeStripLocals(const ObjectFile& object);
 Result<LinkedImage> OfeLink(const std::vector<ObjectFile>& objects, uint32_t text_base,
                             bool allow_unresolved);
 
+// Aggregate an omtrace Chrome-trace JSON document (as written by the
+// server's Introspect "trace" subcommand or omos_shell's `trace` built-in)
+// into a per-span report: count, total/avg wall time, simulated cycles.
+Result<std::string> OfeTraceReport(std::string_view json);
+
 // Host filesystem I/O (the OFE "manipulates files in the normal Unix file
 // namespace").
 Result<std::vector<uint8_t>> ReadHostFile(const std::string& path);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 #include "src/tools/ofe_lib.h"
 #include "src/vasm/assembler.h"
 #include "tests/helpers.h"
@@ -155,6 +156,28 @@ TEST(Ofe, MissingHostFileIsIoError) {
   auto result = LoadObjectFile("/definitely/not/here.xo");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code(), ErrorCode::kIoError);
+}
+
+TEST(Ofe, TraceReportAggregatesSpans) {
+  TraceSetEnabled(true);
+  TraceClear();
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span("report.work");
+    span.AddSimCycles(10, 5);
+  }
+  TraceInstant("report.mark");
+  std::string json = TraceToChromeJson();
+  TraceSetEnabled(false);
+  TraceClear();
+
+  ASSERT_OK_AND_ASSIGN(std::string report, OfeTraceReport(json));
+  EXPECT_NE(report.find("report.work"), std::string::npos);
+  EXPECT_NE(report.find("x3"), std::string::npos);
+  EXPECT_NE(report.find("sim 30+15"), std::string::npos);
+  EXPECT_NE(report.find("report.mark"), std::string::npos);
+  EXPECT_NE(report.find("(instant)"), std::string::npos);
+
+  EXPECT_FALSE(OfeTraceReport("{not a trace}").ok());
 }
 
 }  // namespace
