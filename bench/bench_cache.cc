@@ -5,6 +5,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/cache.h"
+#include "src/os/loader.h"
 
 namespace omos {
 namespace {
@@ -64,6 +65,52 @@ BENCHMARK(BM_WarmGetBySize)
     ->Arg(4096)
     ->Complexity()
     ->Unit(benchmark::kNanosecond);
+
+// Warm-exec data mapping cost as a function of data-segment size. Eager
+// mapping copies every initialized-data byte per exec (O(bytes)); CoW maps
+// the cached master's frames read-only-shared and only pays per-page
+// bookkeeping plus the pages the task actually writes, so its per-exec cost
+// stays flat as the data segment grows.
+void RunWarmExec(benchmark::State& state, bool cow) {
+  Kernel kernel;
+  LinkedImage image;
+  image.name = "warm";
+  image.text_base = 0x00100000;
+  image.text.assign(kPageSize, 0x90);
+  image.data_base = 0x00200000;
+  image.data.assign(static_cast<size_t>(state.range(0)) * 1024, 0xCD);
+  SegmentImage text = BENCH_UNWRAP(SegmentImage::Create(kernel.phys(), image.text));
+  SegmentImage data = BENCH_UNWRAP(SegmentImage::Create(kernel.phys(), image.data));
+  int n = 0;
+  for (auto _ : state) {
+    Task& task = kernel.CreateTask(StrCat("warm", n++));
+    BENCH_CHECK(MapImageWithSharedText(kernel, task, image, text, cow ? &data : nullptr));
+    // The realistic warm-exec write pattern: a few dirtied data pages, the
+    // rest of the segment untouched.
+    BENCH_CHECK(task.space().Write8(image.data_base, 1));
+    BENCH_CHECK(
+        task.space().Write8(image.data_base + static_cast<uint32_t>(image.data.size()) - 1, 2));
+    kernel.DestroyTask(task.id());
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["data_kib"] = static_cast<double>(state.range(0));
+}
+
+void BM_ExecWarmCoW(benchmark::State& state) { RunWarmExec(state, true); }
+BENCHMARK(BM_ExecWarmCoW)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExecWarmEager(benchmark::State& state) { RunWarmExec(state, false); }
+BENCHMARK(BM_ExecWarmEager)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Complexity()
+    ->Unit(benchmark::kMicrosecond);
 
 // Specializations are separate cache entries: flipping between two
 // specializations of the same meta-object must not thrash.

@@ -40,6 +40,31 @@ InvocationCost OmosWorld::Run(const std::string& meta, std::vector<std::string> 
   return cost;
 }
 
+PageSharing BaselineWorld::SampleSharing(const std::string& prog,
+                                         std::vector<std::string> args) {
+  TaskId id = BENCH_UNWRAP(rtld->Exec(prog, std::move(args)));
+  Task* task = kernel->FindTask(id);
+  BENCH_CHECK(kernel->RunTask(*task));
+  PageSharing sharing{task->space().shared_pages(), task->space().private_pages(),
+                      kernel->phys().frames_in_use()};
+  rtld->ReleaseTask(id);
+  kernel->DestroyTask(id);
+  return sharing;
+}
+
+PageSharing OmosWorld::SampleSharing(const std::string& meta, std::vector<std::string> args,
+                                     bool integrated) {
+  TaskId id = integrated ? BENCH_UNWRAP(server->IntegratedExec(meta, std::move(args)))
+                         : BENCH_UNWRAP(server->BootstrapExec(meta, std::move(args)));
+  Task* task = kernel->FindTask(id);
+  BENCH_CHECK(kernel->RunTask(*task));
+  PageSharing sharing{task->space().shared_pages(), task->space().private_pages(),
+                      kernel->phys().frames_in_use()};
+  server->ReleaseTask(id);
+  kernel->DestroyTask(id);
+  return sharing;
+}
+
 void OmosWorld::Warm() {
   BENCH_UNWRAP(server->Instantiate("/bin/ls", {}, nullptr));
   BENCH_UNWRAP(server->Instantiate("/bin/codegen", {}, nullptr));

@@ -48,6 +48,17 @@ struct InvocationCost {
   uint64_t elapsed() const { return user + sys; }
 };
 
+// Page-sharing snapshot of one task sampled after it ran to completion but
+// before teardown: shared = pages still referencing cached master frames
+// (text + unbroken CoW data), private = per-task frames (stack, heap,
+// CoW-broken and demand-filled pages), frames_in_use = pool-wide frames
+// with the task still resident.
+struct PageSharing {
+  uint32_t shared_pages = 0;
+  uint32_t private_pages = 0;
+  uint32_t frames_in_use = 0;
+};
+
 // A world with the traditional shared-library scheme installed.
 struct BaselineWorld {
   std::unique_ptr<Kernel> kernel;
@@ -55,6 +66,7 @@ struct BaselineWorld {
 
   // Programs installed: "ls" and "codegen".
   InvocationCost Run(const std::string& prog, std::vector<std::string> args);
+  PageSharing SampleSharing(const std::string& prog, std::vector<std::string> args);
 };
 
 // A world with an OMOS server installed; meta-objects /bin/ls, /bin/codegen.
@@ -63,6 +75,8 @@ struct OmosWorld {
   std::unique_ptr<OmosServer> server;
 
   InvocationCost Run(const std::string& meta, std::vector<std::string> args, bool integrated);
+  PageSharing SampleSharing(const std::string& meta, std::vector<std::string> args,
+                            bool integrated);
   // Pre-build all images so timed runs measure the warm path (the paper
   // generates fixed versions "at installation time", §4.1).
   void Warm();

@@ -44,11 +44,29 @@ Module SelectiveStaticModule() {
 
 struct SchemeNumbers {
   uint64_t phys_bytes[5];  // measured at N = 1, 2, 4, 8, 16
+  // Page-sharing split summed across the N live clients at each checkpoint:
+  // shared = text/data pages still referencing cached master frames (CoW
+  // pages count as shared until written), private = per-task frames.
+  uint32_t shared_pages[5] = {};
+  uint32_t private_pages[5] = {};
   uint32_t text_bytes = 0;
   uint32_t dispatch_bytes = 0;
 };
 
 constexpr int kClientCounts[5] = {1, 2, 4, 8, 16};
+
+void SumPages(Kernel& kernel, const std::vector<TaskId>& ids, uint32_t* shared,
+              uint32_t* priv) {
+  *shared = 0;
+  *priv = 0;
+  for (TaskId id : ids) {
+    Task* task = kernel.FindTask(id);
+    if (task != nullptr) {
+      *shared += task->space().shared_pages();
+      *priv += task->space().private_pages();
+    }
+  }
+}
 
 }  // namespace
 }  // namespace omos
@@ -74,8 +92,11 @@ int main() {
       BENCH_CHECK(MapLinkedImage(kernel, task, exe.image, ""));
       std::vector<std::string> args{"ls", "/data"};
       BENCH_CHECK(StartTask(kernel, task, exe.image.entry, args));
+      ids.push_back(task.id());
       if (idx < 5 && n == kClientCounts[idx]) {
-        stat.phys_bytes[idx++] = kernel.phys().bytes_in_use();
+        stat.phys_bytes[idx] = kernel.phys().bytes_in_use();
+        SumPages(kernel, ids, &stat.shared_pages[idx], &stat.private_pages[idx]);
+        ++idx;
       }
     }
   }
@@ -89,11 +110,14 @@ int main() {
     uint64_t setup = world.kernel->phys().bytes_in_use();
     (void)setup;
     int idx = 0;
+    std::vector<TaskId> ids;
     for (int n = 1; n <= 16; ++n) {
       TaskId id = BENCH_UNWRAP(world.rtld->Exec("ls", {"ls", "/data"}));
-      (void)id;
+      ids.push_back(id);
       if (idx < 5 && n == kClientCounts[idx]) {
-        trad.phys_bytes[idx++] = world.kernel->phys().bytes_in_use();
+        trad.phys_bytes[idx] = world.kernel->phys().bytes_in_use();
+        SumPages(*world.kernel, ids, &trad.shared_pages[idx], &trad.private_pages[idx]);
+        ++idx;
       }
     }
   }
@@ -106,11 +130,14 @@ int main() {
         BENCH_UNWRAP(world.server->Instantiate("/lib/libc", {"lib-constrained", {}}, nullptr));
     omos_n.text_bytes = static_cast<uint32_t>(libc->image.text.size());
     int idx = 0;
+    std::vector<TaskId> ids;
     for (int n = 1; n <= 16; ++n) {
       TaskId id = BENCH_UNWRAP(world.server->IntegratedExec("/bin/ls", {"ls", "/data"}));
-      (void)id;
+      ids.push_back(id);
       if (idx < 5 && n == kClientCounts[idx]) {
-        omos_n.phys_bytes[idx++] = world.kernel->phys().bytes_in_use();
+        omos_n.phys_bytes[idx] = world.kernel->phys().bytes_in_use();
+        SumPages(*world.kernel, ids, &omos_n.shared_pages[idx], &omos_n.private_pages[idx]);
+        ++idx;
       }
     }
   }
@@ -128,6 +155,21 @@ int main() {
                 static_cast<unsigned long long>(stat.phys_bytes[i]),
                 static_cast<unsigned long long>(trad.phys_bytes[i]),
                 static_cast<unsigned long long>(omos_n.phys_bytes[i]));
+  }
+  std::printf("\npage sharing across the N clients (shared/private 4KB pages; CoW data\n");
+  std::printf("pages stay shared until written, untouched demand pages have no frame):\n");
+  std::printf("%10s %16s %16s %16s %16s\n", "clients", "static", "traditional", "omos",
+              "frames_in_use");
+  for (int i = 0; i < 5; ++i) {
+    char stat_buf[32], trad_buf[32], omos_buf[32];
+    std::snprintf(stat_buf, sizeof stat_buf, "%u/%u", stat.shared_pages[i],
+                  stat.private_pages[i]);
+    std::snprintf(trad_buf, sizeof trad_buf, "%u/%u", trad.shared_pages[i],
+                  trad.private_pages[i]);
+    std::snprintf(omos_buf, sizeof omos_buf, "%u/%u", omos_n.shared_pages[i],
+                  omos_n.private_pages[i]);
+    std::printf("%10d %16s %16s %16s %16llu\n", kClientCounts[i], stat_buf, trad_buf, omos_buf,
+                static_cast<unsigned long long>(omos_n.phys_bytes[i] / kPageSize));
   }
   std::printf(
       "\nShape: for one small client, static linking beats the traditional shared\n"

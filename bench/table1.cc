@@ -31,6 +31,9 @@ struct Row {
   InvocationCost baseline;
   InvocationCost bootstrap;
   InvocationCost integrated;
+  PageSharing baseline_pages;
+  PageSharing bootstrap_pages;
+  PageSharing integrated_pages;
 };
 
 InvocationCost Median3(InvocationCost a, InvocationCost b, InvocationCost c) {
@@ -53,23 +56,33 @@ InvocationCost Measure(RunFn run) {
   return Median3(costs[0], costs[1], costs[2]);
 }
 
-void PrintRow(const char* scheme, InvocationCost cost, double ratio_vs_baseline) {
+void PrintRow(const char* scheme, InvocationCost cost, double ratio_vs_baseline,
+              PageSharing pages) {
   std::printf("  %-28s %8.2f %8.2f %9.2f", scheme, Seconds(cost.user * kIterations),
               Seconds(cost.sys * kIterations), Seconds(cost.elapsed() * kIterations));
   if (ratio_vs_baseline > 0) {
     std::printf("   %5.3f", ratio_vs_baseline);
+  } else {
+    std::printf("   %5s", "");
   }
-  std::printf("\n");
+  // Per-task page sharing after one full run: shared pages still reference
+  // cached master frames (text + unbroken CoW data); private pages are the
+  // task's own (stack, heap, CoW-broken, demand-filled).
+  std::printf("   %6u/%-6u %8u\n", pages.shared_pages, pages.private_pages,
+              pages.frames_in_use);
 }
 
 void PrintTest(const Row& row) {
   std::printf("Test: %s (%d iterations)\n", row.test, kIterations);
-  std::printf("  %-28s %8s %8s %9s   %5s\n", "", "User", "System", "Elapsed", "Ratio");
-  PrintRow("Traditional Shared Lib", row.baseline, 0);
+  std::printf("  %-28s %8s %8s %9s   %5s   %13s %8s\n", "", "User", "System", "Elapsed", "Ratio",
+              "Shared/Priv", "Frames");
+  PrintRow("Traditional Shared Lib", row.baseline, 0, row.baseline_pages);
   PrintRow("OMOS bootstrap exec", row.bootstrap,
-           static_cast<double>(row.bootstrap.elapsed()) / row.baseline.elapsed());
+           static_cast<double>(row.bootstrap.elapsed()) / row.baseline.elapsed(),
+           row.bootstrap_pages);
   PrintRow("OMOS integrated exec", row.integrated,
-           static_cast<double>(row.integrated.elapsed()) / row.baseline.elapsed());
+           static_cast<double>(row.integrated.elapsed()) / row.baseline.elapsed(),
+           row.integrated_pages);
   std::printf("\n");
 }
 
@@ -127,27 +140,36 @@ int main(int argc, char** argv) {
   (void)world.Run("/bin/ls", {"ls", "/data"}, false);
   (void)world.Run("/bin/ls", {"ls", "/data"}, true);
 
-  Row ls_row{"ls", {}, {}, {}};
+  Row ls_row{"ls"};
   ls_row.baseline = Measure([&] { return baseline.Run("ls", {"ls", "/data"}); });
   ls_row.bootstrap = Measure([&] { return world.Run("/bin/ls", {"ls", "/data"}, false); });
   ls_row.integrated = Measure([&] { return world.Run("/bin/ls", {"ls", "/data"}, true); });
+  ls_row.baseline_pages = baseline.SampleSharing("ls", {"ls", "/data"});
+  ls_row.bootstrap_pages = world.SampleSharing("/bin/ls", {"ls", "/data"}, false);
+  ls_row.integrated_pages = world.SampleSharing("/bin/ls", {"ls", "/data"}, true);
   PrintTest(ls_row);
 
-  Row laf_row{"ls -laF", {}, {}, {}};
+  Row laf_row{"ls -laF"};
   laf_row.baseline = Measure([&] { return baseline.Run("ls", {"ls", "-laF", "/data"}); });
   laf_row.bootstrap =
       Measure([&] { return world.Run("/bin/ls", {"ls", "-laF", "/data"}, false); });
   laf_row.integrated =
       Measure([&] { return world.Run("/bin/ls", {"ls", "-laF", "/data"}, true); });
+  laf_row.baseline_pages = baseline.SampleSharing("ls", {"ls", "-laF", "/data"});
+  laf_row.bootstrap_pages = world.SampleSharing("/bin/ls", {"ls", "-laF", "/data"}, false);
+  laf_row.integrated_pages = world.SampleSharing("/bin/ls", {"ls", "-laF", "/data"}, true);
   PrintTest(laf_row);
 
   (void)baseline.Run("codegen", {"codegen"});
   (void)world.Run("/bin/codegen", {"codegen"}, false);
   (void)world.Run("/bin/codegen", {"codegen"}, true);
-  Row cg_row{"codegen", {}, {}, {}};
+  Row cg_row{"codegen"};
   cg_row.baseline = Measure([&] { return baseline.Run("codegen", {"codegen"}); });
   cg_row.bootstrap = Measure([&] { return world.Run("/bin/codegen", {"codegen"}, false); });
   cg_row.integrated = Measure([&] { return world.Run("/bin/codegen", {"codegen"}, true); });
+  cg_row.baseline_pages = baseline.SampleSharing("codegen", {"codegen"});
+  cg_row.bootstrap_pages = world.SampleSharing("/bin/codegen", {"codegen"}, false);
+  cg_row.integrated_pages = world.SampleSharing("/bin/codegen", {"codegen"}, true);
   PrintTest(cg_row);
 
   std::printf("Paper shapes: ls ratio ~1.0; ls -laF < 1 (OMOS wins as syscalls grow);\n");

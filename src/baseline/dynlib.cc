@@ -178,6 +178,10 @@ Result<void> Rtld::Install(DynImage image) {
     OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), image.image.text));
     installed.text_seg = std::move(seg);
   }
+  if (!image.image.data.empty()) {
+    OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), image.image.data));
+    installed.data_seg = std::move(seg);
+  }
   std::string name = image.name;
   installed.dyn = std::move(image);
   images_.insert_or_assign(std::move(name), std::move(installed));
@@ -196,7 +200,8 @@ Result<void> Rtld::MapInstalled(Task& task, const Installed& installed, TaskStat
   task.BillSys(costs.file_open + costs.header_parse);
   task.BillUser(costs.symbol_parse * dyn.image.symbols.size());
   if (installed.text_seg.has_value()) {
-    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, dyn.image, *installed.text_seg));
+    OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, dyn.image, *installed.text_seg,
+                                         installed.data_seg ? &*installed.data_seg : nullptr));
   } else {
     OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, dyn.image, ""));
   }

@@ -114,6 +114,9 @@ class Rtld {
   struct Installed {
     DynImage dyn;
     std::optional<SegmentImage> text_seg;
+    // Master copy of initialized data, mapped CoW per exec. The per-task GOT
+    // priming and data relocations below break exactly the pages they touch.
+    std::optional<SegmentImage> data_seg;
   };
   struct TaskState {
     // got slot address -> symbol to resolve; which images are loaded.

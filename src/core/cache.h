@@ -81,6 +81,10 @@ struct CachedImage {
   std::string key;
   LinkedImage image;
   std::optional<SegmentImage> text_seg;
+  // Frame-backed master copy of the initialized data segment, mapped CoW
+  // into each client task (the paper's vm_map exec path). Absent when the
+  // image has no data or the server runs with eager_data_copy.
+  std::optional<SegmentImage> data_seg;
   std::vector<LibDep> deps;
   std::vector<StubSlot> stub_slots;
   uint64_t build_cost = 0;  // simulated cycles spent constructing this image

@@ -872,10 +872,16 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
 
   CachedImage cached;
   cached.image = std::move(image);
-  if (!cached.image.text.empty()) {
+  if (!cached.image.text.empty() || (!config_.eager_data_copy && !cached.image.data.empty())) {
     std::lock_guard<std::mutex> lock(kernel_mu_);  // phys-memory allocation
-    OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.text));
-    cached.text_seg = std::move(seg);
+    if (!cached.image.text.empty()) {
+      OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.text));
+      cached.text_seg = std::move(seg);
+    }
+    if (!config_.eager_data_copy && !cached.image.data.empty()) {
+      OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.data));
+      cached.data_seg = std::move(seg);
+    }
   }
   cached.deps = std::move(deps);
   if (has_lazy) {
@@ -892,7 +898,8 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
   {
     std::lock_guard<std::mutex> lock(kernel_mu_);
     if (program.text_seg.has_value()) {
-      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, program.image, *program.text_seg));
+      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, program.image, *program.text_seg,
+                                           program.data_seg ? &*program.data_seg : nullptr));
     } else {
       OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, program.image, ""));
     }
@@ -918,7 +925,8 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
     std::lock_guard<std::mutex> lock(kernel_mu_);
     task.BillSys(rebuild_work);
     if (lib->text_seg.has_value()) {
-      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, lib->image, *lib->text_seg));
+      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, lib->image, *lib->text_seg,
+                                           lib->data_seg ? &*lib->data_seg : nullptr));
     } else {
       OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, lib->image, ""));
     }
@@ -1054,7 +1062,8 @@ Result<void> OmosServer::HandleDload(Kernel& kernel, Task& task) {
     task.BillSys(kernel.costs().ipc_round_trip + kernel.costs().omos_cache_lookup);
     std::lock_guard<std::mutex> lock(kernel_mu_);
     if (impl->text_seg.has_value()) {
-      OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, impl->image, *impl->text_seg));
+      OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, impl->image, *impl->text_seg,
+                                           impl->data_seg ? &*impl->data_seg : nullptr));
     } else {
       OMOS_TRY_VOID(MapLinkedImage(kernel, task, impl->image, ""));
     }
@@ -1194,10 +1203,16 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
     OMOS_TRY(LinkedImage image, LinkImage(module, layout, key));
     CachedImage ci;
     ci.image = std::move(image);
-    if (!ci.image.text.empty()) {
+    if (!ci.image.text.empty() || (!config_.eager_data_copy && !ci.image.data.empty())) {
       std::lock_guard<std::mutex> lock(kernel_mu_);
-      OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), ci.image.text));
-      ci.text_seg = std::move(seg);
+      if (!ci.image.text.empty()) {
+        OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), ci.image.text));
+        ci.text_seg = std::move(seg);
+      }
+      if (!config_.eager_data_copy && !ci.image.data.empty()) {
+        OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), ci.image.data));
+        ci.data_seg = std::move(seg);
+      }
     }
     ci.build_cost = tracker.work;
     cached = cache_.Put(key, std::move(ci));
@@ -1206,7 +1221,8 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
   {
     std::lock_guard<std::mutex> lock(kernel_mu_);
     if (cached->text_seg.has_value()) {
-      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, cached->image, *cached->text_seg));
+      OMOS_TRY_VOID(MapImageWithSharedText(*kernel_, task, cached->image, *cached->text_seg,
+                                           cached->data_seg ? &*cached->data_seg : nullptr));
     } else {
       OMOS_TRY_VOID(MapLinkedImage(*kernel_, task, cached->image, ""));
     }

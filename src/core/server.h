@@ -63,6 +63,9 @@ struct OmosServerConfig {
   uint64_t cache_capacity_bytes = 256ull << 20;
   // Extra user cycles modelling the bootstrap program's own execution.
   uint64_t bootstrap_user_cycles = 300;
+  // Copy initialized data eagerly at exec instead of mapping it CoW against
+  // the cached master (the pre-CoW behavior; kept for A/B benchmarking).
+  bool eager_data_copy = false;
 };
 
 // Concurrency model (PR 3): many worker threads may call Instantiate /

@@ -52,6 +52,13 @@ struct CostModel {
   // cold i-cache). This is what the §4.1 reordering optimization reduces:
   // clustering hot routines shrinks the set of touched pages.
   uint64_t page_fault = 1500;
+  // Kernel entry/exit + page-table update for a minor (soft) data fault —
+  // no disk involved. Both demand-zero fills and CoW breaks pay this; the
+  // fill/copy work is billed on top (zero_fill_page / page_copy).
+  uint64_t soft_fault = 250;
+  // Zero one demand page at first touch. Cheaper than page_copy: one-sided
+  // store stream, no source read.
+  uint64_t zero_fill_page = 120;
   // One client<->OMOS IPC round trip (request + mapped reply). The paper's
   // bootstrap scheme pays this per exec; integrated exec does not (§5). The
   // HP-UX timings used System V messages — slow IPC — which is why Table 1

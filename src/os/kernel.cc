@@ -3,12 +3,18 @@
 #include <cstring>
 
 #include "src/os/cpu.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 
 namespace omos {
 
-Kernel::Kernel(CostModel costs) : costs_(costs) {}
+Kernel::Kernel(CostModel costs)
+    : costs_(costs),
+      cow_faults_(MetricsRegistry::Global().GetCounter("vm.cow_faults")),
+      demand_zero_fills_(MetricsRegistry::Global().GetCounter("vm.demand_zero_fills")),
+      cow_broken_pages_(MetricsRegistry::Global().GetCounter("vm.cow_broken_pages")),
+      frames_saved_(MetricsRegistry::Global().GetCounter("vm.frames_saved")) {}
 
 Task& Kernel::CreateTask(std::string name) {
   TaskId id = next_task_id_++;
@@ -16,6 +22,10 @@ Task& Kernel::CreateTask(std::string name) {
   Task& ref = *task;
   tasks_.emplace(id, std::move(task));
   ref.BillSys(costs_.exec_base);
+  // Route page faults from any access path (interpreter, syscalls, server
+  // patching) through the billing/metrics handler.
+  ref.space().SetFaultHandler(
+      [this, task_ptr = &ref](const PageFaultInfo& info) { return HandleFault(*task_ptr, info); });
   return ref;
 }
 
@@ -28,9 +38,7 @@ Task* Kernel::FindTask(TaskId id) {
 
 Result<void> Kernel::SetupStack(Task& task, std::span<const std::string> args) {
   uint32_t base = kStackTop - kStackSize;
-  OMOS_TRY(uint32_t pages,
-           task.space().MapZero(base, kStackSize, kProtRead | kProtWrite, "stack"));
-  task.BillSys(costs_.page_map * pages);
+  OMOS_TRY_VOID(MapDemandZero(task, base, kStackSize, kProtRead | kProtWrite, "stack"));
 
   // Write argv strings at the top of the stack, pointers below them.
   uint32_t cursor = kStackTop;
@@ -70,6 +78,60 @@ Result<void> Kernel::MapPrivate(Task& task, uint32_t base, uint32_t size,
   }
   OMOS_TRY(uint32_t pages, task.space().MapPrivate(base, size, init, prot, std::move(name)));
   task.BillSys((costs_.page_map + costs_.page_copy) * pages);
+  return OkResult();
+}
+
+Result<void> Kernel::MapCoW(Task& task, uint32_t base, const SegmentImage& image, uint32_t size,
+                            uint8_t prot, std::string name) {
+  if (TraceEnabled()) {
+    TraceInstant("kernel.map_cow", name, 0, costs_.page_map);
+  }
+  OMOS_TRY(uint32_t pages, task.space().MapCoW(base, image, size, prot, std::move(name)));
+  task.BillSys(costs_.page_map * pages);
+  // Every page mapped here avoided an eager private-frame copy; the ones
+  // that are later written show up in vm.cow_broken_pages / demand_zero_fills.
+  frames_saved_->Add(pages);
+  return OkResult();
+}
+
+Result<void> Kernel::MapDemandZero(Task& task, uint32_t base, uint32_t size, uint8_t prot,
+                                   std::string name) {
+  OMOS_TRY(uint32_t pages, task.space().MapDemandZero(base, size, prot, std::move(name)));
+  task.BillSys(costs_.page_map * pages);
+  frames_saved_->Add(pages);
+  return OkResult();
+}
+
+Result<void> Kernel::HandleFault(Task& task, const PageFaultInfo& info) {
+  OMOS_TRY(FaultResolution resolution, task.space().HandleFault(info.addr, info.is_write));
+  uint64_t cost = 0;
+  const char* kind = nullptr;
+  switch (resolution) {
+    case FaultResolution::kDemandZeroFill:
+      cost = costs_.soft_fault + costs_.zero_fill_page;
+      demand_zero_fills_->Add(1);
+      kind = "zero_fill";
+      break;
+    case FaultResolution::kCowCopy:
+      cost = costs_.soft_fault + costs_.page_copy;
+      cow_faults_->Add(1);
+      cow_broken_pages_->Add(1);
+      kind = "cow_copy";
+      break;
+    case FaultResolution::kCowAdopt:
+      // Last owner of the frame: no copy, just flip it private.
+      cost = costs_.soft_fault;
+      cow_faults_->Add(1);
+      cow_broken_pages_->Add(1);
+      kind = "cow_adopt";
+      break;
+    case FaultResolution::kAlreadyResolved:
+      return OkResult();
+  }
+  task.BillSys(cost);
+  if (TraceEnabled()) {
+    TraceInstant("kernel.fault", kind, 0, cost);
+  }
   return OkResult();
 }
 
@@ -285,9 +347,7 @@ Result<void> Kernel::SysBrk(Task& task) {
   uint32_t old_end = PageAlignUp(task.brk());
   uint32_t new_end = PageAlignUp(request);
   if (new_end > old_end) {
-    OMOS_TRY(uint32_t pages, task.space().MapZero(old_end, new_end - old_end,
-                                                  kProtRead | kProtWrite, "heap"));
-    task.BillSys(costs_.page_map * pages);
+    OMOS_TRY_VOID(MapDemandZero(task, old_end, new_end - old_end, kProtRead | kProtWrite, "heap"));
   }
   task.set_brk(request);
   task.set_reg(0, request);

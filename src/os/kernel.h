@@ -71,6 +71,21 @@ class Kernel {
                          std::string name);
   Result<void> MapPrivate(Task& task, uint32_t base, uint32_t size, std::span<const uint8_t> init,
                           uint8_t prot, std::string name);
+  // Map a cached image copy-on-write: its pages stay shared until first
+  // write; [image pages, size) is demand-zero bss. Per-exec cost is the
+  // mappings, not a byte copy — the paper's vm_map CoW exec path (§5).
+  Result<void> MapCoW(Task& task, uint32_t base, const SegmentImage& image, uint32_t size,
+                      uint8_t prot, std::string name);
+  // Map demand-zero pages (stack, heap, bss): frames materialize on first
+  // touch through the fault path.
+  Result<void> MapDemandZero(Task& task, uint32_t base, uint32_t size, uint8_t prot,
+                             std::string name);
+
+  // Page-fault entry point: resolves the fault in the task's address space,
+  // bills simulated cycles, and counts vm.* metrics. Installed as the
+  // space's fault handler by CreateTask, so interpreter loads/stores/fetches
+  // and kernel accesses all trap here.
+  Result<void> HandleFault(Task& task, const PageFaultInfo& info);
 
   // Page cache: read-only text images shared across invocations, keyed by
   // path+generation. This is how the *baseline* gets text sharing; OMOS's
@@ -98,6 +113,11 @@ class Kernel {
   Result<void> SysBrk(Task& task);
 
   CostModel costs_;
+  // vm.* fault metrics (stable registry pointers, looked up once).
+  class Counter* cow_faults_;
+  class Counter* demand_zero_fills_;
+  class Counter* cow_broken_pages_;
+  class Counter* frames_saved_;
   PhysMemory phys_;
   SimFs fs_;
   std::map<TaskId, std::unique_ptr<Task>> tasks_;

@@ -14,15 +14,22 @@ namespace omos {
 // Map `image` into `task`:
 //  * text  — shared via the kernel page cache under `text_cache_key` when
 //            nonempty (first call populates the cache), else private.
-//  * data  — always a private copy (initialized bytes + zeroed bss).
+//  * data  — copy-on-write against a cached master image when
+//            `text_cache_key` is nonempty (cached under key + "#data"; bss
+//            is demand-zero), else an eager private copy (bootstrap paths
+//            with no cache to share from).
 // Sets the task brk to the image's data end if beyond the current brk.
 Result<void> MapLinkedImage(Kernel& kernel, Task& task, const LinkedImage& image,
                             const std::string& text_cache_key);
 
 // Map text from an already-built shared SegmentImage (OMOS's cache holds
-// these directly; no kernel page cache involved).
+// these directly; no kernel page cache involved). When `data_master` is
+// nonnull the data segment maps copy-on-write against it (bss demand-zero);
+// when null, initialized data is copied eagerly and a pure-bss segment maps
+// demand-zero.
 Result<void> MapImageWithSharedText(Kernel& kernel, Task& task, const LinkedImage& image,
-                                    const SegmentImage& text);
+                                    const SegmentImage& text,
+                                    const SegmentImage* data_master = nullptr);
 
 // Point the task at `entry` and give it a stack with `args`.
 Result<void> StartTask(Kernel& kernel, Task& task, uint32_t entry,

@@ -18,6 +18,9 @@
 //   pipe.oversize  WriteFrame writes an absurd length header
 //   port.drop      PortTransport loses the message (kTimeout)
 //   cache.bitrot   ImageCache::Get corrupts a stored image byte
+//   vm.fault       AddressSpace::HandleFault fails mid-resolution (demand-
+//                  zero fill or CoW break) with kIoError, before any state
+//                  is mutated — faulted pages stay absent/shared
 #ifndef OMOS_SRC_SUPPORT_FAULTSIM_H_
 #define OMOS_SRC_SUPPORT_FAULTSIM_H_
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/support/faultsim.h"
 #include "src/support/strings.h"
 
 namespace omos {
@@ -35,9 +36,11 @@ Result<SegmentImage> SegmentImage::Create(PhysMemory& phys, std::span<const uint
   image.size_bytes_ = static_cast<uint32_t>(bytes.size());
   uint32_t pages = PageAlignUp(image.size_bytes_) / kPageSize;
   for (uint32_t i = 0; i < pages; ++i) {
-    OMOS_TRY(FrameId frame, phys.Allocate());
     uint32_t offset = i * kPageSize;
     uint32_t chunk = std::min<uint32_t>(kPageSize, image.size_bytes_ - offset);
+    // A full page overwrites every byte; a partial tail page needs the
+    // allocator's zeroing for the remainder.
+    OMOS_TRY(FrameId frame, chunk == kPageSize ? phys.AllocateUninit() : phys.Allocate());
     std::memcpy(phys.FrameData(frame), bytes.data() + offset, chunk);
     image.frames_.push_back(frame);
   }
@@ -46,8 +49,22 @@ Result<SegmentImage> SegmentImage::Create(PhysMemory& phys, std::span<const uint
 
 AddressSpace::~AddressSpace() {
   for (auto& [base, region] : regions_) {
-    for (FrameId frame : region.frames) {
-      phys_->Unref(frame);
+    ReleasePages(region);
+  }
+}
+
+void AddressSpace::ReleasePages(Region& region) {
+  uint32_t pages = region.size / kPageSize;
+  for (uint32_t i = 0; i < pages; ++i) {
+    if (region.page_data[i] == nullptr) {
+      --demand_pages_;
+      continue;
+    }
+    phys_->Unref(region.frames[i]);
+    if ((region.page_flags[i] & (kPageCow | kPageShared)) != 0) {
+      --shared_pages_;
+    } else {
+      --private_pages_;
     }
   }
 }
@@ -93,11 +110,41 @@ Result<uint32_t> AddressSpace::MapShared(uint32_t base, const SegmentImage& imag
   for (FrameId frame : image.frames()) {
     phys_->Ref(frame);
     region.frames.push_back(frame);
+    region.page_data.push_back(phys_->FrameData(frame));
+    region.page_flags.push_back(kPageShared);
   }
   shared_pages_ += image.num_pages();
   last_region_ = nullptr;
   regions_.emplace(base, std::move(region));
   return image.num_pages();
+}
+
+Result<uint32_t> AddressSpace::MapCoW(uint32_t base, const SegmentImage& image, uint32_t size,
+                                      uint8_t prot, std::string name) {
+  size = PageAlignUp(std::max(size, image.num_pages() * kPageSize));
+  OMOS_TRY_VOID(CheckFree(base, size, name));
+  Region region;
+  region.base = base;
+  region.size = size;
+  region.prot = prot;
+  region.shared = false;
+  region.name = std::move(name);
+  uint32_t pages = size / kPageSize;
+  region.frames.resize(pages, 0);
+  region.page_data.resize(pages, nullptr);
+  region.page_flags.resize(pages, 0);
+  for (uint32_t i = 0; i < image.num_pages(); ++i) {
+    FrameId frame = image.frames()[i];
+    phys_->Ref(frame);
+    region.frames[i] = frame;
+    region.page_data[i] = phys_->FrameData(frame);
+    region.page_flags[i] = kPageCow;
+  }
+  shared_pages_ += image.num_pages();
+  demand_pages_ += pages - image.num_pages();
+  last_region_ = nullptr;
+  regions_.emplace(base, std::move(region));
+  return pages;
 }
 
 Result<uint32_t> AddressSpace::MapPrivate(uint32_t base, uint32_t size,
@@ -113,13 +160,23 @@ Result<uint32_t> AddressSpace::MapPrivate(uint32_t base, uint32_t size,
   region.name = std::move(name);
   uint32_t pages = size / kPageSize;
   for (uint32_t i = 0; i < pages; ++i) {
-    OMOS_TRY(FrameId frame, phys_->Allocate());
     uint32_t offset = i * kPageSize;
-    if (offset < init.size()) {
-      uint32_t chunk = std::min<uint32_t>(kPageSize, static_cast<uint32_t>(init.size()) - offset);
-      std::memcpy(phys_->FrameData(frame), init.data() + offset, chunk);
+    uint32_t covered =
+        offset < init.size() ? std::min<uint32_t>(kPageSize, static_cast<uint32_t>(init.size()) - offset)
+                             : 0;
+    // Fully-initialized pages skip the allocator's zero fill (every byte is
+    // about to be overwritten); partially-covered pages zero only the tail.
+    OMOS_TRY(FrameId frame, phys_->AllocateUninit());
+    uint8_t* data = phys_->FrameData(frame);
+    if (covered > 0) {
+      std::memcpy(data, init.data() + offset, covered);
+    }
+    if (covered < kPageSize) {
+      std::memset(data + covered, 0, kPageSize - covered);
     }
     region.frames.push_back(frame);
+    region.page_data.push_back(data);
+    region.page_flags.push_back(0);
   }
   private_pages_ += pages;
   last_region_ = nullptr;
@@ -127,9 +184,29 @@ Result<uint32_t> AddressSpace::MapPrivate(uint32_t base, uint32_t size,
   return pages;
 }
 
+Result<uint32_t> AddressSpace::MapDemandZero(uint32_t base, uint32_t size, uint8_t prot,
+                                             std::string name) {
+  size = PageAlignUp(size);
+  OMOS_TRY_VOID(CheckFree(base, size, name));
+  Region region;
+  region.base = base;
+  region.size = size;
+  region.prot = prot;
+  region.shared = false;
+  region.name = std::move(name);
+  uint32_t pages = size / kPageSize;
+  region.frames.resize(pages, 0);
+  region.page_data.resize(pages, nullptr);
+  region.page_flags.resize(pages, 0);
+  demand_pages_ += pages;
+  last_region_ = nullptr;
+  regions_.emplace(base, std::move(region));
+  return pages;
+}
+
 Result<uint32_t> AddressSpace::MapZero(uint32_t base, uint32_t size, uint8_t prot,
                                        std::string name) {
-  return MapPrivate(base, size, {}, prot, std::move(name));
+  return MapDemandZero(base, size, prot, std::move(name));
 }
 
 Result<void> AddressSpace::Unmap(uint32_t base) {
@@ -137,15 +214,7 @@ Result<void> AddressSpace::Unmap(uint32_t base) {
   if (it == regions_.end()) {
     return Err(ErrorCode::kNotFound, StrCat("unmap: no region at ", Hex32(base)));
   }
-  uint32_t pages = it->second.size / kPageSize;
-  for (FrameId frame : it->second.frames) {
-    phys_->Unref(frame);
-  }
-  if (it->second.shared) {
-    shared_pages_ -= pages;
-  } else {
-    private_pages_ -= pages;
-  }
+  ReleasePages(it->second);
   last_region_ = nullptr;
   regions_.erase(it);
   return OkResult();
@@ -169,6 +238,65 @@ const AddressSpace::Region* AddressSpace::FindRegion(uint32_t addr) const {
   return &region;
 }
 
+AddressSpace::Region* AddressSpace::FindRegionMutable(uint32_t addr) {
+  return const_cast<Region*>(FindRegion(addr));
+}
+
+Result<FaultResolution> AddressSpace::HandleFault(uint32_t addr, bool is_write) {
+  Region* region = FindRegionMutable(addr);
+  if (region == nullptr) {
+    return Err(ErrorCode::kExecFault, StrCat("page fault outside mapped region at ", Hex32(addr)));
+  }
+  uint32_t page = (addr - region->base) / kPageSize;
+  if (region->page_data[page] == nullptr) {
+    // Demand-zero fill (the first touch, read or write, materializes the page).
+    if (FaultSim::Trip("vm.fault")) {
+      return Err(ErrorCode::kIoError, StrCat("simulated fault during demand-zero fill at ",
+                                             Hex32(addr), " in ", region->name));
+    }
+    OMOS_TRY(FrameId frame, phys_->Allocate());
+    region->frames[page] = frame;
+    region->page_data[page] = phys_->FrameData(frame);
+    --demand_pages_;
+    ++private_pages_;
+    return FaultResolution::kDemandZeroFill;
+  }
+  if (is_write && (region->page_flags[page] & kPageCow) != 0) {
+    FrameId old_frame = region->frames[page];
+    if (phys_->RefCount(old_frame) == 1) {
+      // We are the frame's last owner (the cached image was evicted); adopt
+      // it as private instead of copying. No one else can gain a reference
+      // to a frame they don't already hold, so this cannot race.
+      region->page_flags[page] &= static_cast<uint8_t>(~kPageCow);
+      --shared_pages_;
+      ++private_pages_;
+      return FaultResolution::kCowAdopt;
+    }
+    if (FaultSim::Trip("vm.fault")) {
+      return Err(ErrorCode::kIoError, StrCat("simulated fault during CoW break at ", Hex32(addr),
+                                             " in ", region->name));
+    }
+    OMOS_TRY(FrameId fresh, phys_->AllocateUninit());
+    std::memcpy(phys_->FrameData(fresh), phys_->FrameData(old_frame), kPageSize);
+    region->frames[page] = fresh;
+    region->page_data[page] = phys_->FrameData(fresh);
+    region->page_flags[page] &= static_cast<uint8_t>(~kPageCow);
+    phys_->Unref(old_frame);
+    --shared_pages_;
+    ++private_pages_;
+    return FaultResolution::kCowCopy;
+  }
+  return FaultResolution::kAlreadyResolved;
+}
+
+Result<void> AddressSpace::RaiseFault(uint32_t addr, bool is_write) {
+  if (fault_handler_) {
+    return fault_handler_(PageFaultInfo{addr, is_write});
+  }
+  OMOS_TRY_VOID(HandleFault(addr, is_write));
+  return OkResult();
+}
+
 Result<void> AddressSpace::Access(uint32_t addr, void* buf, uint32_t size, bool write,
                                   bool exec) const {
   auto* out = static_cast<uint8_t*>(buf);
@@ -189,9 +317,20 @@ Result<void> AddressSpace::Access(uint32_t addr, void* buf, uint32_t size, bool 
     uint32_t page = offset / kPageSize;
     uint32_t in_page = offset % kPageSize;
     uint32_t chunk = std::min(size - done, kPageSize - in_page);
-    // Clamp to the region end as well (regions are whole pages, so the page
-    // clamp suffices, but keep it explicit).
-    uint8_t* frame_data = phys_->FrameData(region->frames[page]);
+    uint8_t* frame_data = region->page_data[page];
+    if (frame_data == nullptr || (write && (region->page_flags[page] & kPageCow) != 0)) {
+      // Fault: absent page (demand-zero) or write to a CoW page. Access() is
+      // logically const — faulting in a page doesn't change the space's
+      // observable contents — so the mutation is routed through a non-const
+      // alias of this.
+      auto* self = const_cast<AddressSpace*>(this);
+      OMOS_TRY_VOID(self->RaiseFault(cur, write));
+      frame_data = region->page_data[page];
+      if (frame_data == nullptr) {
+        return Err(ErrorCode::kExecFault,
+                   StrCat("fault handler left page absent at ", Hex32(cur)));
+      }
+    }
     if (write) {
       std::memcpy(frame_data + in_page, out + done, chunk);
     } else {
@@ -253,7 +392,15 @@ std::vector<AddressSpace::RegionInfo> AddressSpace::Regions() const {
   std::vector<RegionInfo> out;
   out.reserve(regions_.size());
   for (const auto& [base, region] : regions_) {
-    out.push_back({region.base, region.size, region.prot, region.shared, region.name});
+    RegionInfo info{region.base, region.size, region.prot, region.shared, region.name};
+    for (uint32_t i = 0; i < region.size / kPageSize; ++i) {
+      if (region.page_data[i] == nullptr) {
+        ++info.absent_pages;
+      } else if ((region.page_flags[i] & kPageCow) != 0) {
+        ++info.cow_pages;
+      }
+    }
+    out.push_back(std::move(info));
   }
   return out;
 }

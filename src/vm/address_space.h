@@ -2,10 +2,27 @@
 // from the shared PhysMemory pool. This is the mini analog of Mach's
 // vm_map() that the paper's OMOS uses to map cached segments into client
 // tasks (§5, §7).
+//
+// Pages come in four states:
+//   - present/private: this space owns the frame (MapPrivate, or a resolved
+//     fault below).
+//   - present/shared:  the frame belongs to a cached SegmentImage and is
+//     mapped directly (MapShared — read/exec text).
+//   - present/CoW:     the frame belongs to a cached SegmentImage but the
+//     region is writable; the first write faults, copies the page into a
+//     private frame (or adopts the frame outright if this space is its last
+//     owner) and re-points the mapping (MapCoW — data segments).
+//   - absent/demand-zero: no frame yet; the first touch faults in a zeroed
+//     frame (MapDemandZero / MapZero — bss, stack, heap).
+// Faults raised by any access path (interpreter loads/stores/fetches, kernel
+// syscalls, server patching) funnel through HandleFault(). A kernel can
+// interpose with SetFaultHandler() to bill simulated cycles and count
+// metrics; a bare AddressSpace resolves faults inline, unbilled.
 #ifndef OMOS_SRC_VM_ADDRESS_SPACE_H_
 #define OMOS_SRC_VM_ADDRESS_SPACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <string>
@@ -23,7 +40,7 @@ enum ProtBits : uint8_t {
 };
 
 // A cached, shareable image of a loaded segment: frames owned by the cache
-// (refcount held), mapped read-only into any number of tasks.
+// (refcount held), mapped read-only or CoW into any number of tasks.
 class SegmentImage {
  public:
   SegmentImage() = default;
@@ -47,6 +64,19 @@ class SegmentImage {
   uint32_t size_bytes_ = 0;
 };
 
+// How a page fault was resolved (for metrics/billing in the kernel).
+enum class FaultResolution : uint8_t {
+  kDemandZeroFill,   // absent page filled with a zeroed frame
+  kCowCopy,          // shared frame copied into a private frame
+  kCowAdopt,         // this space was the frame's last owner; no copy needed
+  kAlreadyResolved,  // page was present and writable by the time we got here
+};
+
+struct PageFaultInfo {
+  uint32_t addr = 0;
+  bool is_write = false;
+};
+
 class AddressSpace {
  public:
   explicit AddressSpace(PhysMemory& phys) : phys_(&phys) {}
@@ -59,17 +89,38 @@ class AddressSpace {
   Result<uint32_t> MapShared(uint32_t base, const SegmentImage& image, uint8_t prot,
                              std::string name);
 
+  // Map `image`'s frames copy-on-write at `base`: the image's pages are
+  // shared until first write; [image pages, size) is demand-zero (bss).
+  // `size` covers the whole region (initialized data + bss) and may exceed
+  // the image; it is page-aligned up. Returns total pages mapped.
+  Result<uint32_t> MapCoW(uint32_t base, const SegmentImage& image, uint32_t size, uint8_t prot,
+                          std::string name);
+
   // Map fresh private frames at `base` initialized from `init` (rest zero).
   Result<uint32_t> MapPrivate(uint32_t base, uint32_t size, std::span<const uint8_t> init,
                               uint8_t prot, std::string name);
 
-  // Map fresh zeroed frames (bss, stack, heap).
+  // Map demand-zero pages: no frames are allocated until first touch.
+  Result<uint32_t> MapDemandZero(uint32_t base, uint32_t size, uint8_t prot, std::string name);
+
+  // Map zeroed pages (bss, stack, heap). Demand-paged: alias of MapDemandZero.
   Result<uint32_t> MapZero(uint32_t base, uint32_t size, uint8_t prot, std::string name);
 
   Result<void> Unmap(uint32_t base);
 
+  // Resolve a page fault at `addr`: fill a demand-zero page or break a CoW
+  // page for writing. Returns how it was resolved. Errors if `addr` is not
+  // mapped (or a fault-injection plan trips the "vm.fault" site).
+  Result<FaultResolution> HandleFault(uint32_t addr, bool is_write);
+
+  // Interpose on fault resolution (the kernel installs one per task to bill
+  // simulated cycles and count vm.* metrics). The handler must call back
+  // into HandleFault() to actually resolve the page.
+  using FaultHandler = std::function<Result<void>(const PageFaultInfo&)>;
+  void SetFaultHandler(FaultHandler handler) { fault_handler_ = std::move(handler); }
+
   // Memory access used by the interpreter and the kernel. Checks protection;
-  // handles page-crossing transfers.
+  // handles page-crossing transfers; faults in absent/CoW pages as needed.
   Result<void> ReadBytes(uint32_t addr, void* out, uint32_t size) const;
   Result<void> WriteBytes(uint32_t addr, const void* data, uint32_t size);
   Result<uint32_t> Read32(uint32_t addr) const;
@@ -85,10 +136,12 @@ class AddressSpace {
   // True if [base, base+size) overlaps an existing region.
   bool Overlaps(uint32_t base, uint32_t size) const;
 
-  // Accounting.
+  // Accounting. Pages move between buckets as faults resolve: a demand-zero
+  // fill moves demand→private, a CoW break moves shared→private.
   uint32_t private_pages() const { return private_pages_; }
   uint32_t shared_pages() const { return shared_pages_; }
-  uint32_t total_pages() const { return private_pages_ + shared_pages_; }
+  uint32_t demand_pages() const { return demand_pages_; }
+  uint32_t total_pages() const { return private_pages_ + shared_pages_ + demand_pages_; }
 
   struct RegionInfo {
     uint32_t base;
@@ -96,28 +149,49 @@ class AddressSpace {
     uint8_t prot;
     bool shared;
     std::string name;
+    uint32_t cow_pages = 0;     // present, still sharing an image frame
+    uint32_t absent_pages = 0;  // demand-zero, not yet touched
   };
   std::vector<RegionInfo> Regions() const;
 
  private:
+  // Per-page state flags (Region::page_flags).
+  enum PageFlags : uint8_t {
+    kPageCow = 1,     // present; frame shared with an image; copy on write
+    kPageShared = 2,  // present; frame shared via MapShared (never broken)
+  };
+
   struct Region {
     uint32_t base = 0;
     uint32_t size = 0;  // page aligned
     uint8_t prot = 0;
     bool shared = false;
     std::string name;
+    // Parallel per-page arrays. page_data[i] == nullptr means the page is
+    // absent (demand-zero); frames[i] is only meaningful when present. The
+    // cached data pointer is safe because PhysMemory never frees frame
+    // buffers, only recycles them, and this space holds a ref while mapped.
     std::vector<FrameId> frames;
+    std::vector<uint8_t*> page_data;
+    std::vector<uint8_t> page_flags;
   };
 
   const Region* FindRegion(uint32_t addr) const;
+  Region* FindRegionMutable(uint32_t addr);
   Result<void> Access(uint32_t addr, void* buf, uint32_t size, bool write, bool exec) const;
   Result<void> CheckFree(uint32_t base, uint32_t size, std::string_view name) const;
+  // Route a fault through the installed handler (kernel billing path) or
+  // resolve it inline for bare spaces.
+  Result<void> RaiseFault(uint32_t addr, bool is_write);
+  void ReleasePages(Region& region);
 
   PhysMemory* phys_;
   std::map<uint32_t, Region> regions_;  // keyed by base
+  FaultHandler fault_handler_;
   mutable const Region* last_region_ = nullptr;
   uint32_t private_pages_ = 0;
   uint32_t shared_pages_ = 0;
+  uint32_t demand_pages_ = 0;
 };
 
 }  // namespace omos

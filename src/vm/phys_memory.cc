@@ -6,51 +6,92 @@
 
 namespace omos {
 
-PhysMemory::PhysMemory(uint32_t max_frames) : max_frames_(max_frames) {}
-
-Result<FrameId> PhysMemory::Allocate() {
-  FrameId id;
-  if (!free_list_.empty()) {
-    id = free_list_.back();
-    free_list_.pop_back();
-    std::memset(frames_[id].data.get(), 0, kPageSize);
-    frames_[id].refs = 1;
-  } else {
-    if (frames_.size() >= max_frames_) {
-      return Err(ErrorCode::kOutOfRange, StrCat("physical memory exhausted (", max_frames_, " frames)"));
-    }
-    id = static_cast<FrameId>(frames_.size());
-    Frame frame;
-    frame.data = std::make_unique<uint8_t[]>(kPageSize);
-    std::memset(frame.data.get(), 0, kPageSize);
-    frame.refs = 1;
-    frames_.push_back(std::move(frame));
+PhysMemory::PhysMemory(uint32_t max_frames) : max_frames_(max_frames) {
+  num_blocks_ = (max_frames_ + kFramesPerBlock - 1) / kFramesPerBlock;
+  blocks_ = std::make_unique<std::atomic<Frame*>[]>(num_blocks_);
+  for (uint32_t i = 0; i < num_blocks_; ++i) {
+    blocks_[i].store(nullptr, std::memory_order_relaxed);
   }
-  ++frames_in_use_;
-  ++total_allocations_;
-  if (frames_in_use_ > peak_frames_) {
-    peak_frames_ = frames_in_use_;
+}
+
+PhysMemory::~PhysMemory() {
+  for (uint32_t i = 0; i < num_blocks_; ++i) {
+    delete[] blocks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+PhysMemory::Frame& PhysMemory::FrameRef(FrameId frame) const {
+  Frame* block = blocks_[frame / kFramesPerBlock].load(std::memory_order_acquire);
+  return block[frame % kFramesPerBlock];
+}
+
+Result<FrameId> PhysMemory::AllocateInternal(bool zero) {
+  FrameId id;
+  bool recycled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      recycled = true;
+    } else {
+      if (next_frame_ >= max_frames_) {
+        return Err(ErrorCode::kOutOfRange,
+                   StrCat("physical memory exhausted (", max_frames_, " frames)"));
+      }
+      id = next_frame_++;
+      uint32_t block_idx = id / kFramesPerBlock;
+      if (blocks_[block_idx].load(std::memory_order_relaxed) == nullptr) {
+        blocks_[block_idx].store(new Frame[kFramesPerBlock], std::memory_order_release);
+      }
+    }
+  }
+  Frame& f = FrameRef(id);
+  if (f.data == nullptr) {
+    // make_unique value-initializes, so a fresh buffer is already zeroed.
+    f.data = std::make_unique<uint8_t[]>(kPageSize);
+  } else if (zero && recycled) {
+    std::memset(f.data.get(), 0, kPageSize);
+  }
+  f.refs.store(1, std::memory_order_relaxed);
+  uint32_t in_use = frames_in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+  total_allocations_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t peak = peak_frames_.load(std::memory_order_relaxed);
+  while (in_use > peak &&
+         !peak_frames_.compare_exchange_weak(peak, in_use, std::memory_order_relaxed)) {
   }
   return id;
 }
 
-void PhysMemory::Ref(FrameId frame) { ++frames_[frame].refs; }
+Result<FrameId> PhysMemory::Allocate() { return AllocateInternal(/*zero=*/true); }
+
+Result<FrameId> PhysMemory::AllocateUninit() { return AllocateInternal(/*zero=*/false); }
+
+void PhysMemory::Ref(FrameId frame) {
+  FrameRef(frame).refs.fetch_add(1, std::memory_order_relaxed);
+}
 
 void PhysMemory::Unref(FrameId frame) {
-  Frame& f = frames_[frame];
-  if (f.refs == 0) {
-    return;  // Double-unref is a bug, but keep the simulator alive.
-  }
-  if (--f.refs == 0) {
+  Frame& f = FrameRef(frame);
+  uint32_t prev = f.refs.load(std::memory_order_relaxed);
+  do {
+    if (prev == 0) {
+      return;  // Double-unref is a bug, but keep the simulator alive.
+    }
+  } while (!f.refs.compare_exchange_weak(prev, prev - 1, std::memory_order_acq_rel));
+  if (prev == 1) {
+    frames_in_use_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
     free_list_.push_back(frame);
-    --frames_in_use_;
   }
 }
 
-uint8_t* PhysMemory::FrameData(FrameId frame) { return frames_[frame].data.get(); }
+uint8_t* PhysMemory::FrameData(FrameId frame) { return FrameRef(frame).data.get(); }
 
-const uint8_t* PhysMemory::FrameData(FrameId frame) const { return frames_[frame].data.get(); }
+const uint8_t* PhysMemory::FrameData(FrameId frame) const { return FrameRef(frame).data.get(); }
 
-uint32_t PhysMemory::RefCount(FrameId frame) const { return frames_[frame].refs; }
+uint32_t PhysMemory::RefCount(FrameId frame) const {
+  return FrameRef(frame).refs.load(std::memory_order_relaxed);
+}
 
 }  // namespace omos

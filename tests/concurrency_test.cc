@@ -365,6 +365,69 @@ TEST_F(ConcurrencyTest, FaultSimTotalsExactUnderConcurrentTrips) {
   EXPECT_EQ(FaultSim::TotalFires(), static_cast<uint64_t>(kThreads) * kTrips);
 }
 
+// CoW exec under threads (PR 5): all tasks map the same cached data master
+// and every one of them writes it, so the interpreter threads race to break
+// the very same master frames (atomic refcounts in PhysMemory) while their
+// stacks demand-fill concurrently. Exit codes prove per-task isolation;
+// frame accounting proves the concurrent breaks leaked nothing.
+TEST_F(ConcurrencyTest, ConcurrentCowBreaksOnSharedImage) {
+  constexpr char kCounter[] = R"(
+.text
+.global main
+main:
+  lea r1, counter
+  ld r0, [r1+0]
+  addi r0, r0, 1
+  st r0, [r1+0]      ; CoW break on the shared master data frame
+  lea r2, scratch
+  st r0, [r2+0]      ; demand-zero fill in bss
+  ld r0, [r1+0]
+  ret
+.data
+.align 4
+counter: .word 7
+.bss
+scratch: .space 64
+)";
+  ASSERT_OK_AND_ASSIGN(ObjectFile counter, Assemble(kCounter, "counter.o"));
+  ASSERT_OK(server_->AddFragment("/obj/counter.o", std::move(counter)));
+  ASSERT_OK(server_->DefineMeta("/bin/count", "(merge /lib/crt0.o /obj/counter.o)"));
+
+  // Warm the cache so every round below maps the same master image.
+  ASSERT_OK_AND_ASSIGN(TaskId warm, server_->IntegratedExec("/bin/count", {"count"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome w, RunTaskById(warm));
+  ASSERT_EQ(w.exit_code, 8);
+  server_->ReleaseTask(warm);
+  kernel_.DestroyTask(warm);
+  uint32_t baseline = kernel_.phys().frames_in_use();
+
+  constexpr int kRounds = 6;
+  std::atomic<int> failures{0};
+  for (int round = 0; round < kRounds; ++round) {
+    // Exec on the main thread (server-side mapping), run on worker threads
+    // (interpreter faults race on the shared frames), destroy on the main
+    // thread again.
+    std::vector<TaskId> ids;
+    for (int i = 0; i < kThreads; ++i) {
+      ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/count", {"count"}));
+      ids.push_back(id);
+    }
+    RunThreads(kThreads, [&](int i) {
+      Task* task = kernel_.FindTask(ids[i]);
+      if (task == nullptr || !kernel_.RunTask(*task).ok() || task->exit_code() != 8) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (TaskId id : ids) {
+      server_->ReleaseTask(id);
+      kernel_.DestroyTask(id);
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Every privatized frame went back to the pool.
+  EXPECT_EQ(kernel_.phys().frames_in_use(), baseline);
+}
+
 TEST_F(ConcurrencyTest, ServeAsyncAnswersOnPoolThread) {
   ASSERT_OK(server_->DefineMeta("/bin/prog",
                                 "(merge /lib/crt0.o /obj/client.o /obj/addlib.o)"));

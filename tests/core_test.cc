@@ -5,6 +5,7 @@
 
 #include "src/core/server.h"
 #include "src/core/sexpr.h"
+#include "src/support/metrics.h"
 #include "tests/helpers.h"
 
 namespace omos {
@@ -134,6 +135,64 @@ TEST_F(ServerTest, SelfContainedLibraryIsSharedBetweenTasks) {
                        server_->Instantiate("/lib/addlib",
                                             Specialization{"lib-constrained", {}}, nullptr));
   EXPECT_EQ(lib->image.text_base, 0x1000000u);
+}
+
+// The vm_map CoW exec path (§5): each task's data segment maps copy-on-write
+// against the cached master, so one task's writes are invisible to other
+// tasks and to the cache, and teardown returns every privatized frame.
+TEST_F(ServerTest, CowExecIsolatesDataWritesBetweenTasks) {
+  // main: counter += 1; exit(counter). Starts at 7, so every task that gets
+  // its own pristine copy exits 8; shared writes would leak to 9.
+  constexpr char kCounter[] = R"(
+.text
+.global main
+main:
+  lea r1, counter
+  ld r0, [r1+0]
+  addi r0, r0, 1
+  st r0, [r1+0]
+  ld r0, [r1+0]
+  ret
+.data
+.align 4
+counter: .word 7
+)";
+  ASSERT_OK_AND_ASSIGN(ObjectFile counter, Assemble(kCounter, "counter.o"));
+  ASSERT_OK(server_->AddFragment("/obj/counter.o", std::move(counter)));
+  ASSERT_OK(server_->DefineMeta("/bin/count", "(merge /lib/crt0.o /obj/counter.o)"));
+
+  // Warm the cache, then capture the frame baseline with only masters live.
+  ASSERT_OK_AND_ASSIGN(TaskId warm, server_->IntegratedExec("/bin/count", {"count"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome w, RunTaskById(warm));
+  EXPECT_EQ(w.exit_code, 8);
+  server_->ReleaseTask(warm);
+  kernel_.DestroyTask(warm);
+  uint32_t baseline = kernel_.phys().frames_in_use();
+  uint64_t cow_before = MetricsRegistry::Global().GetCounter("vm.cow_faults")->value();
+
+  ASSERT_OK_AND_ASSIGN(TaskId id1, server_->IntegratedExec("/bin/count", {"count"}));
+  ASSERT_OK_AND_ASSIGN(TaskId id2, server_->IntegratedExec("/bin/count", {"count"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome o1, RunTaskById(id1));
+  EXPECT_EQ(o1.exit_code, 8);
+  // Task 2 runs after task 1 already wrote its counter — still sees 7+1.
+  ASSERT_OK_AND_ASSIGN(RunOutcome o2, RunTaskById(id2));
+  EXPECT_EQ(o2.exit_code, 8);
+  EXPECT_GT(MetricsRegistry::Global().GetCounter("vm.cow_faults")->value(), cow_before);
+
+  // The cached master's bytes are untouched: a fresh instantiate still sees 7.
+  ASSERT_OK_AND_ASSIGN(const CachedImage* cached,
+                       server_->Instantiate("/bin/count", {}, nullptr));
+  ASSERT_TRUE(cached->data_seg.has_value());
+  const uint8_t* master_page = kernel_.phys().FrameData(cached->data_seg->frames()[0]);
+  EXPECT_EQ(master_page[0], 7);
+  EXPECT_EQ(cached->image.data[0], 7);
+
+  // Exits return every CoW-broken and demand-filled frame to the pool.
+  server_->ReleaseTask(id1);
+  kernel_.DestroyTask(id1);
+  server_->ReleaseTask(id2);
+  kernel_.DestroyTask(id2);
+  EXPECT_EQ(kernel_.phys().frames_in_use(), baseline);
 }
 
 // Figure 2 of the paper: interpose on a routine, preserving access to the
