@@ -6,6 +6,8 @@
 #include "bench/bench_common.h"
 #include "src/core/cache.h"
 #include "src/os/loader.h"
+#include "src/os/sim_fs.h"
+#include "src/store/image_store.h"
 
 namespace omos {
 namespace {
@@ -130,6 +132,44 @@ void BM_InstantiateTwoSpecializations(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InstantiateTwoSpecializations)->Unit(benchmark::kMicrosecond);
+
+// Store-backed restart (PR 6): time a cold server coming back from the
+// persistent image store — replay the journal, restore the meta-snapshot,
+// and serve "/bin/ls" by adopting its stored image instead of re-linking.
+// Compare against BM_InstantiateCold: recovery should cost a fraction of a
+// full construct+link+place.
+void BM_RestartRecovery(benchmark::State& state) {
+  SimFs disk;  // the disk outlives every server generation
+  {
+    OmosWorld seed = MakeOmosWorld();
+    ImageStore store(disk, "/omos/store", &seed.kernel->costs());
+    BENCH_CHECK(store.Open());
+    seed.server->AttachStore(&store);
+    seed.Warm();
+    BENCH_CHECK(seed.server->PersistTo(store));
+  }
+  uint64_t work = 0;
+  uint64_t restarts = 0;
+  uint64_t store_hits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    OmosWorld world = MakeOmosWorld();
+    state.ResumeTiming();
+    ImageStore store(disk, "/omos/store", &world.kernel->costs());
+    BENCH_CHECK(store.Open());
+    BENCH_CHECK(world.server->RestoreFromStore(store));
+    uint64_t w = 0;
+    benchmark::DoNotOptimize(BENCH_UNWRAP(world.server->Instantiate("/bin/ls", {}, &w)));
+    work += w;
+    store_hits += store.stats().hits.load();
+    ++restarts;
+  }
+  state.counters["sim_work_cycles"] =
+      benchmark::Counter(static_cast<double>(work) / static_cast<double>(restarts));
+  state.counters["store_hits_per_restart"] =
+      benchmark::Counter(static_cast<double>(store_hits) / static_cast<double>(restarts));
+}
+BENCHMARK(BM_RestartRecovery)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace omos

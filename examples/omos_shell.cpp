@@ -18,6 +18,8 @@
 #include "src/core/server.h"
 #include "src/ipc/channel.h"
 #include "src/ipc/message.h"
+#include "src/os/sim_fs.h"
+#include "src/store/image_store.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 #include "src/vasm/assembler.h"
@@ -46,6 +48,14 @@ int main() {
   Kernel kernel;
   OmosServer server(kernel);
   PopulateLsData(kernel.fs());
+
+  // Persistence (PR 6): every image built this session is published to a
+  // crash-safe on-disk store; a restarted shell would adopt them instead of
+  // re-linking. The `stats` builtin reports the store counters.
+  SimFs disk;
+  ImageStore store(disk, "/omos/store", &kernel.costs());
+  Check(store.Open(), "open image store");
+  server.AttachStore(&store);
 
   // Observe the whole session: spans from every layer, plus PC samples
   // every 16 retired instructions of any client that runs.
@@ -168,6 +178,15 @@ main:
     if (args[0] == "stats") {
       OmosReply reply = introspect("stats-text", 0);
       std::fputs(reply.payload.c_str(), stdout);
+      // The store.* counters ride in the same wire snapshot.
+      OmosReply metrics = introspect("stats", 0);
+      std::printf("persistence:\n");
+      for (const auto& [name, value] : metrics.metrics) {
+        if (StartsWith(name, "store.")) {
+          std::printf("  %-24s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
       continue;
     }
     if (args[0] == "trace") {
@@ -207,9 +226,16 @@ main:
   }
   retire_last();
 
+  // A real session would end with a durable snapshot so the next boot
+  // restores the namespace and adopts every image without re-linking.
+  Check(server.PersistTo(store), "persist session");
+
   const CacheStats& stats = server.cache_stats();
   std::printf("\ncache after session: %llu hits, %llu misses\n",
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses));
+  std::printf("store after session: %llu images published, %zu live\n",
+              static_cast<unsigned long long>(store.stats().puts.load()),
+              store.entry_count());
   return 0;
 }

@@ -150,6 +150,14 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
       cache_.Evict(key);
     }
   }
+  // Persisted images of the victims are stale too. Space management only:
+  // a stale record is already unreachable (its fingerprint covers the old
+  // inputs), so a failed tombstone costs bytes, not correctness.
+  if (store_ != nullptr) {
+    for (const std::string& victim : victim_paths) {
+      (void)store_->InvalidatePrefix(victim + std::string(kCacheKeySep));
+    }
+  }
   // Optimizer bookkeeping for invalidated images is stale: drop hit counts
   // and aliases so the rebuilt image earns optimization afresh.
   {
@@ -569,7 +577,23 @@ Result<const CachedImage*> OmosServer::Instantiate(const std::string& path,
     // redefinition raced the build).
   }
   BuildTracker tracker;
-  auto result = BuildImage(path, spec, key, tracker);
+  auto result = [&]() -> Result<const CachedImage*> {
+    // Second tier: a persisted image linked from identical inputs adopts
+    // straight into the cache — no evaluation, no relocation.
+    if (store_ != nullptr && StorableSpec(spec)) {
+      if (const CachedImage* adopted = TryAdoptFromStore(norm, spec, key, tracker)) {
+        return adopted;
+      }
+    }
+    auto built = BuildImage(path, spec, key, tracker);
+    if (built.ok() && store_ != nullptr && StorableSpec(spec)) {
+      // The lease keeps *built valid across the publish even if a racing
+      // redefinition evicts the entry underneath us.
+      ImageCache::ReadLease lease(cache_);
+      PublishToStore(norm, spec, **built, tracker);
+    }
+    return built;
+  }();
   if (join.leader) {
     cache_.FinishBuild(key, result.ok() ? *result : nullptr);
   }
@@ -872,23 +896,217 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
 
   CachedImage cached;
   cached.image = std::move(image);
-  if (!cached.image.text.empty() || (!config_.eager_data_copy && !cached.image.data.empty())) {
-    std::lock_guard<std::mutex> lock(kernel_mu_);  // phys-memory allocation
-    if (!cached.image.text.empty()) {
-      OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.text));
-      cached.text_seg = std::move(seg);
-    }
-    if (!config_.eager_data_copy && !cached.image.data.empty()) {
-      OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.data));
-      cached.data_seg = std::move(seg);
-    }
-  }
+  OMOS_TRY_VOID(MaterializeSegments(cached));
   cached.deps = std::move(deps);
   if (has_lazy) {
     cached.stub_slots = std::move(slots);
   }
   cached.build_cost = tracker.work;
   return cache_.Put(key, std::move(cached));
+}
+
+Result<void> OmosServer::MaterializeSegments(CachedImage& cached) {
+  if (cached.image.text.empty() && (config_.eager_data_copy || cached.image.data.empty())) {
+    return OkResult();
+  }
+  std::lock_guard<std::mutex> lock(kernel_mu_);  // phys-memory allocation
+  if (!cached.image.text.empty()) {
+    OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.text));
+    cached.text_seg = std::move(seg);
+  }
+  if (!config_.eager_data_copy && !cached.image.data.empty()) {
+    OMOS_TRY(SegmentImage seg, SegmentImage::Create(kernel_->phys(), cached.image.data));
+    cached.data_seg = std::move(seg);
+  }
+  return OkResult();
+}
+
+// ---- Persistent image store -------------------------------------------------
+
+bool OmosServer::StorableSpec(const Specialization& spec) {
+  return spec.name != "monitor" && spec.name != "reorder";
+}
+
+namespace {
+
+// Incremental FNV-1a stream for the store fingerprint. Fields are
+// length-prefixed so adjacent strings cannot alias.
+struct FingerprintStream {
+  uint64_t h = 1469598103934665603ULL;
+  void Bytes(const void* data, size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+};
+
+// Names a blueprint expression can pull out of the namespace: any atom that
+// looks like an absolute path. Over-approximating is safe — an unused or
+// undefined name changes nothing (undefined names hash as absent), it can
+// only make the fingerprint conservative.
+void CollectMentionedPaths(const Sexpr& expr, std::vector<std::string>& out) {
+  if (expr.IsAtom()) {
+    if ((expr.kind == Sexpr::Kind::kSymbol || expr.kind == Sexpr::Kind::kString) &&
+        !expr.atom.empty() && expr.atom.front() == '/') {
+      out.push_back(expr.atom);
+    }
+    return;
+  }
+  for (const Sexpr& child : expr.children) {
+    CollectMentionedPaths(child, out);
+  }
+}
+
+}  // namespace
+
+Result<uint64_t> OmosServer::StoreFingerprint(const std::string& norm,
+                                              const Specialization& spec) const {
+  FingerprintStream fp;
+  fp.Str("omos-store-v1");
+  fp.Str(norm);
+  fp.Str(spec.ToKeyString());
+  // Deterministic DFS over every namespace entry the construction can
+  // reach: blueprint text for metas/libraries (covers constraints, default
+  // specs and operator structure), encoded object bytes for fragments.
+  std::set<std::string> seen;
+  std::vector<std::string> work{norm};
+  while (!work.empty()) {
+    std::string path = OmosNamespace::Normalize(work.back());
+    work.pop_back();
+    if (!seen.insert(path).second) {
+      continue;
+    }
+    auto entry_or = namespace_.Lookup(path);
+    if (!entry_or.ok()) {
+      continue;  // absent names contribute nothing (and change the hash when defined later)
+    }
+    const NamespaceEntry* entry = *entry_or;
+    fp.Str(path);
+    fp.U64(static_cast<uint64_t>(entry->kind));
+    if (entry->kind == EntryKind::kFragment) {
+      std::vector<uint8_t> object = EncodeObject(*entry->fragment);
+      fp.U64(object.size());
+      fp.Bytes(object.data(), object.size());
+    } else {
+      fp.Str(entry->blueprint_text);
+      CollectMentionedPaths(entry->construction, work);
+    }
+  }
+  return fp.h;
+}
+
+const CachedImage* OmosServer::TryAdoptFromStore(const std::string& norm,
+                                                 const Specialization& spec,
+                                                 const std::string& key,
+                                                 BuildTracker& tracker) {
+  auto fingerprint = StoreFingerprint(norm, spec);
+  if (!fingerprint.ok()) {
+    return nullptr;
+  }
+  auto probe = store_->Get(key, *fingerprint, &tracker.work);
+  if (!probe.ok() || !probe->has_value()) {
+    return nullptr;
+  }
+  StoreRecord record = std::move(**probe);
+  // The stored program bytes bake in each dependency's addresses; every dep
+  // must land exactly where it was when the record was written. A restored
+  // placement snapshot makes this deterministic; anything else falls back
+  // to a cold build.
+  for (const StoredDep& dep : record.deps) {
+    uint64_t dep_work = 0;
+    auto lib = GetOrRebuild(dep.cache_key, &dep_work);
+    tracker.work += dep_work;
+    if (!lib.ok() || (*lib)->image.text_base != dep.text_base ||
+        (*lib)->image.data_base != dep.data_base) {
+      MetricsRegistry::Global().GetCounter("store.dep_mismatches")->Add();
+      return nullptr;
+    }
+  }
+  // Re-reserve the image's own bases. Place() reuses an existing placement
+  // record for the same object and sizes, so after RestoreFromStore this is
+  // exactly the snapshot's assignment; a disagreement means the layout
+  // world moved and the stored bytes would be wrong at the new address.
+  PlacementHints hints;
+  hints.text_base = record.image.text_base;
+  hints.data_base = record.image.data_base;
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    auto placed = solver_.Place(key, static_cast<uint32_t>(record.image.text.size()),
+                                static_cast<uint32_t>(record.image.data.size()) +
+                                    record.image.bss_size,
+                                hints);
+    if (!placed.ok() || placed->text_base != record.image.text_base ||
+        placed->data_base != record.image.data_base) {
+      MetricsRegistry::Global().GetCounter("store.placement_mismatches")->Add();
+      return nullptr;
+    }
+  }
+  CachedImage cached;
+  cached.image = std::move(record.image);
+  cached.deps.reserve(record.deps.size());
+  for (const StoredDep& dep : record.deps) {
+    cached.deps.push_back(LibDep{dep.cache_key, dep.lib_path});
+  }
+  cached.stub_slots.reserve(record.stub_slots.size());
+  for (const StoredStubSlot& slot : record.stub_slots) {
+    cached.stub_slots.push_back(StubSlot{slot.index, slot.slot_symbol, slot.lib_path, slot.symbol});
+  }
+  cached.build_cost = record.build_cost;
+  if (!MaterializeSegments(cached).ok()) {
+    return nullptr;  // out of frames; the cold path will report properly
+  }
+  TraceInstant("store.adopt", key);
+  return cache_.Put(key, std::move(cached));
+}
+
+void OmosServer::PublishToStore(const std::string& norm, const Specialization& spec,
+                                const CachedImage& image, BuildTracker& tracker) {
+  auto fingerprint = StoreFingerprint(norm, spec);
+  if (!fingerprint.ok()) {
+    return;
+  }
+  StoreRecord record;
+  record.cache_key = image.key;
+  record.fingerprint = *fingerprint;
+  record.image = image.image;
+  record.deps.reserve(image.deps.size());
+  for (const LibDep& dep : image.deps) {
+    StoredDep stored{dep.cache_key, dep.lib_path, 0, 0};
+    // Lazy deps are keyed by the impl image; either way the dep's cached
+    // image carries the bases the program was linked against.
+    if (const CachedImage* lib = cache_.Peek(dep.cache_key)) {
+      stored.text_base = lib->image.text_base;
+      stored.data_base = lib->image.data_base;
+    }
+    record.deps.push_back(std::move(stored));
+  }
+  record.stub_slots.reserve(image.stub_slots.size());
+  for (const StubSlot& slot : image.stub_slots) {
+    record.stub_slots.push_back(StoredStubSlot{slot.index, slot.slot_symbol, slot.lib_path,
+                                               slot.symbol});
+  }
+  record.build_cost = image.build_cost;
+  auto put = store_->Put(record, &tracker.work);
+  if (!put.ok()) {
+    LogMessage(LogLevel::kDebug, "store",
+               StrCat("publish of ", image.key, " failed: ", put.error().ToString()));
+  }
+}
+
+Result<void> OmosServer::PersistTo(ImageStore& store) { return store.PutSnapshot(Snapshot()); }
+
+Result<void> OmosServer::RestoreFromStore(ImageStore& store) {
+  OMOS_TRY(std::string snapshot, store.LoadSnapshot());
+  OMOS_TRY_VOID(Restore(snapshot));
+  store_ = &store;
+  return OkResult();
 }
 
 // ---- Exec paths -------------------------------------------------------------

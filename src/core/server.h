@@ -38,6 +38,7 @@
 #include "src/objfmt/archive.h"
 #include "src/os/kernel.h"
 #include "src/os/loader.h"
+#include "src/store/image_store.h"
 #include "src/support/result.h"
 
 namespace omos {
@@ -197,14 +198,32 @@ class OmosServer {
   // Serialize the server's durable state — the namespace (blueprints and
   // fragments), preferred routine orders, and the constraint solver's
   // placement assignments — into a self-checking text snapshot. The image
-  // cache is deliberately NOT serialized: a restarted server repopulates it
-  // lazily on demand, and because the placements are restored, every rebuilt
-  // image is byte-identical (same bases, same entry points) to its
-  // pre-crash counterpart.
+  // cache is deliberately NOT serialized here: a restarted server
+  // repopulates it on demand — from the attached ImageStore when one holds
+  // a matching record (no re-link), or by rebuilding from the blueprint.
+  // Because the placements are restored, both paths produce images
+  // byte-identical (same bases, same entry points) to the pre-crash
+  // counterparts. Snapshot()/Restore() are the inner codec of the
+  // store-backed restart (PersistTo/RestoreFromStore).
   std::string Snapshot() const;
   // Repopulate a (typically fresh) server from Snapshot() output. Damaged
   // snapshots are rejected with kCorrupted before any state is applied.
   Result<void> Restore(std::string_view snapshot);
+
+  // ---- Persistent image store (PR 6) ----------------------------------------
+  // Attach an opened ImageStore as the image cache's second tier: cache
+  // misses probe the store by (cache key, content fingerprint) and adopt
+  // hits without re-linking; successful cold builds are published back.
+  // Call at startup, before serving traffic; the store must outlive the
+  // server. Pass nullptr to detach.
+  void AttachStore(ImageStore* store) { store_ = store; }
+  ImageStore* store() const { return store_; }
+  // Durably persist Snapshot() into `store` (tmp + fsync + atomic rename).
+  Result<void> PersistTo(ImageStore& store);
+  // Store-backed restart: load the persisted snapshot out of `store`,
+  // Restore() it, and attach the store so instantiations re-use the
+  // persisted images. kNotFound when the store holds no snapshot yet.
+  Result<void> RestoreFromStore(ImageStore& store);
 
   // ---- Administration ---------------------------------------------------------
   // Feed recorded placement conflicts back into the constraint system
@@ -285,6 +304,30 @@ class OmosServer {
   Result<const CachedImage*> BuildImage(const std::string& path, const Specialization& spec,
                                         const std::string& key, BuildTracker& tracker);
 
+  // Frame-backed master segments (shared text + CoW data) for a freshly
+  // linked or store-adopted image. One copy into phys memory; every client
+  // task maps against these masters.
+  Result<void> MaterializeSegments(CachedImage& cached);
+
+  // ---- Persistent store plumbing (all no-ops when store_ == nullptr) -------
+  // Whether (path, spec) links from deterministic inputs only. Monitor and
+  // reorder builds depend on runtime profile state, so they are never
+  // stored or adopted.
+  static bool StorableSpec(const Specialization& spec);
+  // Content fingerprint over everything that goes into the link: the path,
+  // the spec string, and the transitive closure of blueprint texts and
+  // object-file bytes reachable from the construction expression. Matching
+  // fingerprints ⇒ a stored image was linked from identical inputs.
+  Result<uint64_t> StoreFingerprint(const std::string& norm, const Specialization& spec) const;
+  // Probe the store on a cache miss; on a hit, verify dependency placements,
+  // re-reserve the stored bases, materialize segments and insert into the
+  // cache. nullptr on miss or any verification failure (caller cold-builds).
+  const CachedImage* TryAdoptFromStore(const std::string& norm, const Specialization& spec,
+                                       const std::string& key, BuildTracker& tracker);
+  // Publish a freshly built image; failures are counted, never fatal.
+  void PublishToStore(const std::string& norm, const Specialization& spec,
+                      const CachedImage& image, BuildTracker& tracker);
+
   // Cache lookup that survives eviction and bit-rot: a missing or corrupted
   // entry is transparently rebuilt from its blueprint via the cache key
   // ("<path>§<spec>"). Work cycles for a rebuild accumulate in *work.
@@ -337,6 +380,9 @@ class OmosServer {
   Config config_;
   OmosNamespace namespace_;   // internally synchronized
   ImageCache cache_;          // internally synchronized
+  // Second cache tier; set at startup (AttachStore/RestoreFromStore), read
+  // on miss paths. Not owned.
+  ImageStore* store_ = nullptr;
 
   // Lock hierarchy (see class comment): acquire strictly downward, never
   // hold any of these across a recursive Instantiate or a cache call that

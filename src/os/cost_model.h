@@ -59,6 +59,15 @@ struct CostModel {
   // Zero one demand page at first touch. Cheaper than page_copy: one-sided
   // store stream, no source read.
   uint64_t zero_fill_page = 120;
+  // Write one 4KB page to "disk" (journal appends, image-store data files).
+  // Slightly above file_read_page: allocation + writeback setup.
+  uint64_t file_write_page = 300;
+  // fsync(): flush dirty pages plus a device write barrier. Dominates the
+  // durable-publish path, which is why the store batches one fsync per
+  // journal step rather than per record field.
+  uint64_t fsync = 6000;
+  // Atomic rename (journaled metadata update: two directory blocks).
+  uint64_t rename = 700;
   // One client<->OMOS IPC round trip (request + mapped reply). The paper's
   // bootstrap scheme pays this per exec; integrated exec does not (§5). The
   // HP-UX timings used System V messages — slow IPC — which is why Table 1

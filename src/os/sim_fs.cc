@@ -49,24 +49,46 @@ void SimFs::Mkdir(std::string_view path) {
   }
 }
 
-void SimFs::WriteFile(std::string_view path, std::vector<uint8_t> bytes, uint32_t perm) {
-  std::string norm = Normalize(path);
+void SimFs::PutBytes(std::string_view norm_path, std::vector<uint8_t> bytes, uint32_t perm,
+                     bool durable) {
+  std::string norm(norm_path);
   size_t slash = norm.rfind('/');
   if (slash > 0) {
     Mkdir(std::string_view(norm).substr(0, slash));
+  }
+  auto it = files_.find(norm);
+  if (it != files_.end()) {
+    SimFile& file = it->second;
+    if (durable) {
+      file.bytes = std::move(bytes);
+      file.dirty = false;
+      file.exists_durably = true;
+      file.synced_bytes.clear();
+      file.synced_bytes.shrink_to_fit();
+    } else {
+      // First unsynced touch of a clean file: remember the durable content
+      // the crash would revert to.
+      if (!file.dirty && file.exists_durably) {
+        file.synced_bytes = file.bytes;
+      }
+      file.bytes = std::move(bytes);
+      file.dirty = true;
+    }
+    file.mode = kModeFile | (perm & 07777);
+    return;
   }
   SimFile file;
   file.bytes = std::move(bytes);
   file.mode = kModeFile | (perm & 07777);
   file.mtime = static_cast<uint32_t>(700000000 + files_.size());  // deterministic, distinct
-  auto it = files_.find(norm);
-  if (it != files_.end()) {
-    file.inode = it->second.inode;
-    it->second = std::move(file);
-  } else {
-    file.inode = next_inode_++;
-    files_.emplace(norm, std::move(file));
-  }
+  file.inode = next_inode_++;
+  file.dirty = !durable;
+  file.exists_durably = durable;
+  files_.emplace(std::move(norm), std::move(file));
+}
+
+void SimFs::WriteFile(std::string_view path, std::vector<uint8_t> bytes, uint32_t perm) {
+  PutBytes(Normalize(path), std::move(bytes), perm, /*durable=*/true);
 }
 
 void SimFs::WriteFile(std::string_view path, std::string_view text, uint32_t perm) {
@@ -84,6 +106,109 @@ Result<void> SimFs::TryWriteFile(std::string_view path, std::vector<uint8_t> byt
 
 Result<void> SimFs::TryWriteFile(std::string_view path, std::string_view text, uint32_t perm) {
   return TryWriteFile(path, std::vector<uint8_t>(text.begin(), text.end()), perm);
+}
+
+Result<void> SimFs::TryWriteUnsynced(std::string_view path, std::vector<uint8_t> bytes,
+                                     uint32_t perm) {
+  if (FaultSim::Trip("fs.write")) {
+    return Err(ErrorCode::kIoError, StrCat("simulated write failure: ", path));
+  }
+  PutBytes(Normalize(path), std::move(bytes), perm, /*durable=*/false);
+  return OkResult();
+}
+
+Result<void> SimFs::TryAppendUnsynced(std::string_view path, const std::vector<uint8_t>& bytes) {
+  if (FaultSim::Trip("fs.write")) {
+    return Err(ErrorCode::kIoError, StrCat("simulated write failure: ", path));
+  }
+  std::string norm = Normalize(path);
+  auto it = files_.find(norm);
+  if (it == files_.end()) {
+    PutBytes(norm, bytes, 0644, /*durable=*/false);
+    return OkResult();
+  }
+  SimFile& file = it->second;
+  if ((file.mode & kModeDir) != 0) {
+    return Err(ErrorCode::kInvalidArgument, StrCat("cannot append to directory: ", path));
+  }
+  if (!file.dirty && file.exists_durably) {
+    file.synced_bytes = file.bytes;
+  }
+  file.bytes.insert(file.bytes.end(), bytes.begin(), bytes.end());
+  file.dirty = true;
+  return OkResult();
+}
+
+Result<void> SimFs::Fsync(std::string_view path) {
+  if (FaultSim::Trip("fs.fsync")) {
+    return Err(ErrorCode::kIoError, StrCat("simulated fsync failure: ", path));
+  }
+  auto it = files_.find(Normalize(path));
+  if (it == files_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("fsync: no such file: ", path));
+  }
+  SimFile& file = it->second;
+  file.dirty = false;
+  file.exists_durably = true;
+  file.synced_bytes.clear();
+  file.synced_bytes.shrink_to_fit();
+  return OkResult();
+}
+
+Result<void> SimFs::Rename(std::string_view from, std::string_view to) {
+  if (FaultSim::Trip("fs.rename")) {
+    return Err(ErrorCode::kIoError, StrCat("simulated rename failure: ", from, " -> ", to));
+  }
+  std::string norm_from = Normalize(from);
+  std::string norm_to = Normalize(to);
+  auto it = files_.find(norm_from);
+  if (it == files_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("rename: no such file: ", from));
+  }
+  if ((it->second.mode & kModeDir) != 0) {
+    return Err(ErrorCode::kInvalidArgument, StrCat("rename: is a directory: ", from));
+  }
+  if (norm_from == norm_to) {
+    return OkResult();
+  }
+  SimFile file = std::move(it->second);
+  files_.erase(it);
+  size_t slash = norm_to.rfind('/');
+  if (slash > 0) {
+    Mkdir(std::string_view(norm_to).substr(0, slash));
+  }
+  files_.insert_or_assign(std::move(norm_to), std::move(file));
+  return OkResult();
+}
+
+Result<void> SimFs::Remove(std::string_view path) {
+  auto it = files_.find(Normalize(path));
+  if (it == files_.end()) {
+    return Err(ErrorCode::kNotFound, StrCat("remove: no such file: ", path));
+  }
+  if ((it->second.mode & kModeDir) != 0) {
+    return Err(ErrorCode::kInvalidArgument, StrCat("remove: is a directory: ", path));
+  }
+  files_.erase(it);
+  return OkResult();
+}
+
+void SimFs::DropUnsynced() {
+  for (auto it = files_.begin(); it != files_.end();) {
+    SimFile& file = it->second;
+    if (!file.dirty) {
+      ++it;
+      continue;
+    }
+    if (!file.exists_durably) {
+      it = files_.erase(it);
+      continue;
+    }
+    file.bytes = std::move(file.synced_bytes);
+    file.synced_bytes.clear();
+    file.dirty = false;
+    ++it;
+  }
 }
 
 bool SimFs::Exists(std::string_view path) const {

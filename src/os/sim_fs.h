@@ -2,6 +2,18 @@
 //
 // Workload programs (`ls` variants) list and stat these files; loaders read
 // executables and libraries out of them.
+//
+// Durability model (PR 6). Each file tracks which content is *durable* —
+// guaranteed to survive a simulated power loss. The legacy WriteFile/
+// TryWriteFile paths are immediately durable (the historical behavior, and
+// what workload installation wants). The unsynced write paths model a page
+// cache: new bytes are visible to readers at once but revert to the last
+// fsynced content on crash — a file never fsynced since creation vanishes
+// entirely. `Fsync` makes the current bytes durable; `Rename` is an atomic,
+// journaled metadata operation (the classic publish step: write tmp, fsync,
+// rename). `DropUnsynced` is the crash itself: tests call it to model the
+// kernel's dirty pages dying with the machine. The persistent image store
+// (src/store/) is built on exactly these primitives.
 #ifndef OMOS_SRC_OS_SIM_FS_H_
 #define OMOS_SRC_OS_SIM_FS_H_
 
@@ -24,6 +36,13 @@ struct SimFile {
   uint32_t mode = kModeFile | 0644;
   uint32_t mtime = 0;
   uint32_t inode = 0;
+  // Durability state. `dirty` means `bytes` differ from the durable content;
+  // `exists_durably` false means no fsync ever covered this file (it
+  // vanishes on crash). `synced_bytes` holds the durable content only while
+  // dirty && exists_durably.
+  bool dirty = false;
+  bool exists_durably = true;
+  std::vector<uint8_t> synced_bytes;
 };
 
 class SimFs {
@@ -31,6 +50,7 @@ class SimFs {
   SimFs();
 
   // Create or replace a regular file; parent directories are created.
+  // Immediately durable (legacy semantics — installation-time writes).
   void WriteFile(std::string_view path, std::vector<uint8_t> bytes, uint32_t perm = 0644);
   void WriteFile(std::string_view path, std::string_view text, uint32_t perm = 0644);
 
@@ -40,6 +60,34 @@ class SimFs {
   Result<void> TryWriteFile(std::string_view path, std::vector<uint8_t> bytes,
                             uint32_t perm = 0644);
   Result<void> TryWriteFile(std::string_view path, std::string_view text, uint32_t perm = 0644);
+
+  // Page-cache write: visible immediately, durable only after Fsync. Trips
+  // "fs.write". The durability-aware callers (the image store) use these.
+  Result<void> TryWriteUnsynced(std::string_view path, std::vector<uint8_t> bytes,
+                                uint32_t perm = 0644);
+  // Append to a file (created empty first if absent), unsynced. Trips
+  // "fs.write".
+  Result<void> TryAppendUnsynced(std::string_view path, const std::vector<uint8_t>& bytes);
+
+  // Make `path`'s current bytes durable. Trips "fs.fsync" (an fsync that
+  // returns EIO leaves the durable content unchanged — the writeback
+  // failed). kNotFound for missing files.
+  Result<void> Fsync(std::string_view path);
+
+  // Atomically rename `from` to `to` (replacing `to` if present). The
+  // rename itself is journaled metadata — durable immediately — but the
+  // file's *content* durability travels with it: renaming a never-synced
+  // file publishes a name whose bytes still die on crash (the classic
+  // zero-length-file bug; the store fsyncs before renaming). Trips
+  // "fs.rename" before any mutation.
+  Result<void> Rename(std::string_view from, std::string_view to);
+
+  // Delete a regular file (durable immediately). kNotFound if absent.
+  Result<void> Remove(std::string_view path);
+
+  // Simulated power loss: every dirty file reverts to its durable content;
+  // files that were never fsynced disappear. Directories survive.
+  void DropUnsynced();
 
   void Mkdir(std::string_view path);
 
@@ -53,6 +101,9 @@ class SimFs {
 
  private:
   static std::string Normalize(std::string_view path);
+  // Shared body of the write paths.
+  void PutBytes(std::string_view norm_path, std::vector<uint8_t> bytes, uint32_t perm,
+                bool durable);
 
   std::map<std::string, SimFile, std::less<>> files_;
   uint32_t next_inode_ = 2;

@@ -11,7 +11,10 @@
 //
 // Site names wired into the tree (see docs/robustness.md):
 //   fs.read        SimFs::Lookup fails with kIoError
-//   fs.write       SimFs::TryWriteFile fails with kIoError
+//   fs.write       SimFs::TryWriteFile / the unsynced write paths fail with
+//                  kIoError
+//   fs.fsync       SimFs::Fsync fails with kIoError (content stays volatile)
+//   fs.rename      SimFs::Rename fails with kIoError before any mutation
 //   pipe.drop      WriteFrame drops the whole frame (client sees kTimeout)
 //   pipe.truncate  WriteFrame writes only half the payload
 //   pipe.bitflip   WriteFrame flips a bit in the written payload
@@ -21,6 +24,10 @@
 //   vm.fault       AddressSpace::HandleFault fails mid-resolution (demand-
 //                  zero fill or CoW break) with kIoError, before any state
 //                  is mutated — faulted pages stay absent/shared
+//   store.crash    ImageStore kills the "process" between journal steps:
+//                  the store fails the operation, enters a sticky crashed
+//                  state (nothing further is written), and the test models
+//                  the power loss with SimFs::DropUnsynced before reopening
 #ifndef OMOS_SRC_SUPPORT_FAULTSIM_H_
 #define OMOS_SRC_SUPPORT_FAULTSIM_H_
 
