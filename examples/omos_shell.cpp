@@ -187,6 +187,14 @@ main:
                       static_cast<unsigned long long>(value));
         }
       }
+      // Wire traffic: every exec-protocol byte this shell exchanged.
+      std::printf("ipc:\n");
+      for (const auto& [name, value] : metrics.metrics) {
+        if (name == "ipc.bytes_sent" || name == "ipc.bytes_received") {
+          std::printf("  %-24s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
       continue;
     }
     if (args[0] == "trace") {

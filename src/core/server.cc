@@ -8,6 +8,7 @@
 
 #include "src/cc/compiler.h"
 #include "src/core/stubgen.h"
+#include "src/ipc/ring_transport.h"
 #include "src/objfmt/backend.h"
 #include "src/support/log.h"
 #include "src/support/metrics.h"
@@ -175,23 +176,27 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
 Result<void> OmosServer::DefineMeta(std::string_view path, std::string_view blueprint) {
   std::lock_guard<std::mutex> lock(admin_mu_);
   InvalidateImagesOf(path);
+  BumpNamespaceGeneration();
   return namespace_.DefineMeta(path, blueprint, EntryKind::kMeta);
 }
 
 Result<void> OmosServer::DefineLibrary(std::string_view path, std::string_view blueprint) {
   std::lock_guard<std::mutex> lock(admin_mu_);
   InvalidateImagesOf(path);
+  BumpNamespaceGeneration();
   return namespace_.DefineMeta(path, blueprint, EntryKind::kLibrary);
 }
 
 Result<void> OmosServer::AddFragment(std::string_view path, ObjectFile object) {
   std::lock_guard<std::mutex> lock(admin_mu_);
   InvalidateImagesOf(path);
+  BumpNamespaceGeneration();
   return namespace_.AddFragment(path, std::move(object));
 }
 
 Result<void> OmosServer::AddArchive(std::string_view dir, const Archive& archive) {
   std::lock_guard<std::mutex> lock(admin_mu_);
+  BumpNamespaceGeneration();
   std::string meta = "(merge";
   for (const ObjectFile& member : archive.members()) {
     std::string path = StrCat(dir, "/", member.name());
@@ -1661,6 +1666,7 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
   // Serialize against concurrent Define*/Restore; per-structure locks below
   // keep readers (Lookup, HasPreferredOrder) safe while we repopulate.
   std::lock_guard<std::mutex> admin_lock(admin_mu_);
+  BumpNamespaceGeneration();
   // Integrity first: the trailing check line must hash everything before it.
   size_t check_at = snapshot.rfind("check ");
   if (check_at == std::string_view::npos || check_at == 0 || snapshot[check_at - 1] != '\n') {
@@ -1726,6 +1732,8 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
 
 int OmosServer::OptimizePlacements() {
   std::lock_guard<std::mutex> admin_lock(admin_mu_);
+  // Cached client replies carry segment addresses; a re-pack moves them.
+  BumpNamespaceGeneration();
   std::vector<std::string> changed;
   {
     std::lock_guard<std::mutex> lock(solver_mu_);
@@ -1919,9 +1927,25 @@ Result<std::string> OmosServer::ProfileForTask(TaskId id) const {
 
 // ---- IPC --------------------------------------------------------------------
 
-Channel OmosServer::MakeChannel() {
-  return Channel([this](const std::vector<uint8_t>& bytes) { return ServeMessage(bytes); },
-                 kernel_->costs().ipc_round_trip);
+Channel OmosServer::MakeChannel() { return MakeChannel(exec_transport()); }
+
+Channel OmosServer::MakeChannel(ExecTransport transport) {
+  ServeFn serve = [this](const std::vector<uint8_t>& bytes) { return ServeMessage(bytes); };
+  const CostModel& costs = kernel_->costs();
+  switch (transport) {
+    case ExecTransport::kStream:
+      // SysV-message shape: queue round trip plus per-byte framing.
+      return Channel(MakeStreamTransport(std::move(serve), costs.ipc_round_trip, 2));
+    case ExecTransport::kRing: {
+      RingConfig config;
+      config.handoff_cost = costs.ring_handoff;
+      config.slot_cost = costs.ring_slot;
+      return Channel(MakeRingTransport(std::move(serve), config));
+    }
+    case ExecTransport::kPort:
+      break;
+  }
+  return Channel(std::move(serve), costs.ipc_round_trip);
 }
 
 namespace {
@@ -1955,6 +1979,9 @@ OmosReply OmosServer::HandleRequest(const OmosRequest& request) {
   requests->Add();
   auto start = std::chrono::steady_clock::now();
   OmosReply reply = HandleRequestImpl(request);
+  // Every reply piggybacks the namespace generation so client stub caches
+  // learn about redefinitions at their next server contact.
+  reply.generation = namespace_generation();
   request_ns->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
                                                            start)
@@ -2113,14 +2140,45 @@ OmosReply OmosServer::HandleIntrospect(const OmosRequest& request) {
 }
 
 std::vector<uint8_t> OmosServer::ServeMessage(const std::vector<uint8_t>& request_bytes) {
+  if (IsBatchRequest(request_bytes)) {
+    return ServeBatch(request_bytes);
+  }
   auto request = DecodeRequest(request_bytes);
   OmosReply reply;
   if (!request.ok()) {
     reply.error = request.error().ToString();
+    reply.generation = namespace_generation();
   } else {
     reply = HandleRequest(*request);
   }
   return EncodeReply(reply);
+}
+
+std::vector<uint8_t> OmosServer::ServeBatch(const std::vector<uint8_t>& request_bytes) {
+  static Counter* batches = MetricsRegistry::Global().GetCounter("server.batches");
+  static Counter* batched = MetricsRegistry::Global().GetCounter("server.batched_requests");
+  auto requests = DecodeRequestBatch(request_bytes);
+  if (!requests.ok()) {
+    // The whole envelope is unreadable; a single error reply tells the
+    // client to retry (framing damage is retryable).
+    OmosReply reply;
+    reply.error = requests.error().ToString();
+    reply.generation = namespace_generation();
+    return EncodeReply(reply);
+  }
+  batches->Add();
+  batched->Add(requests->size());
+  TraceSpan trace("server.batch", StrCat(requests->size(), " requests"));
+  std::vector<OmosReply> replies(requests->size());
+  // Members are independent; fan out on the request pool. A member that
+  // fails produces an ok=false reply in its slot and nothing else.
+  ThreadPool::Global().ParallelFor(requests->size(), /*grain=*/1,
+                                   [&](size_t begin, size_t end) {
+                                     for (size_t i = begin; i < end; ++i) {
+                                       replies[i] = HandleRequest((*requests)[i]);
+                                     }
+                                   });
+  return EncodeReplyBatch(replies);
 }
 
 void OmosServer::ServeAsync(std::vector<uint8_t> request_bytes,

@@ -16,6 +16,7 @@
 #ifndef OMOS_SRC_CORE_SERVER_H_
 #define OMOS_SRC_CORE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -243,6 +244,31 @@ class OmosServer {
   Result<std::string> ProfileForTask(TaskId id) const;
 
   // ---- IPC ------------------------------------------------------------------
+  // Which transport exec-protocol clients (BootstrapExec, MakeChannel)
+  // speak. The cost shapes differ by ~20x (docs/perf.md#transports):
+  //   kPort   — message queue, flat ipc_round_trip per trip (the default;
+  //             the paper's measured configuration)
+  //   kStream — byte stream, ipc_round_trip base + per-byte framing
+  //   kRing   — doors-style shared-memory ring, ring_handoff + per-slot
+  enum class ExecTransport { kPort, kStream, kRing };
+  void SetExecTransport(ExecTransport transport) {
+    exec_transport_.store(transport, std::memory_order_relaxed);
+  }
+  ExecTransport exec_transport() const {
+    return exec_transport_.load(std::memory_order_relaxed);
+  }
+
+  // Monotonic namespace generation: bumped by every mutation that can
+  // change what Instantiate returns (Define*, AddFragment/Archive,
+  // Restore, OptimizePlacements). Piggybacked on every IPC reply so
+  // client-side stub caches invalidate on redefinition.
+  uint64_t namespace_generation() const {
+    return namespace_generation_.load(std::memory_order_acquire);
+  }
+
+  // Handles single-message frames AND batch frames (EncodeRequestBatch):
+  // batch members execute in parallel on the shared pool and their replies
+  // come back in one frame, so a batch costs its clients one round trip.
   std::vector<uint8_t> ServeMessage(const std::vector<uint8_t>& request_bytes);
   // Request executor: decode + handle + encode on the shared thread pool, so
   // multiple clients' Instantiate/Get calls proceed in parallel. `done` is
@@ -250,8 +276,11 @@ class OmosServer {
   // pool has no workers). Safe to call from many threads.
   void ServeAsync(std::vector<uint8_t> request_bytes,
                   std::function<void(std::vector<uint8_t>)> done);
-  // A client channel bound to this server, billing the kernel's IPC cost.
+  // A client channel bound to this server over exec_transport(), billing
+  // that transport's cost shape from the kernel's cost model.
   Channel MakeChannel();
+  // Same, with an explicit transport choice (benches compare all three).
+  Channel MakeChannel(ExecTransport transport);
 
   const CacheStats& cache_stats() const { return cache_.stats(); }
   const std::vector<ConflictRecord>& conflicts() const { return solver_.conflicts(); }
@@ -348,6 +377,13 @@ class OmosServer {
   OmosReply HandleRequest(const OmosRequest& request);
   OmosReply HandleRequestImpl(const OmosRequest& request);
   OmosReply HandleIntrospect(const OmosRequest& request);
+  // Decode + execute a batch frame: members run in parallel on the shared
+  // pool (ParallelFor, caller participates); a bad member yields an
+  // ok=false reply in its slot without touching the other N-1.
+  std::vector<uint8_t> ServeBatch(const std::vector<uint8_t>& request_bytes);
+  void BumpNamespaceGeneration() {
+    namespace_generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   // Shared between the server and its queued background jobs, so a job that
   // outlives the server (still parked on the pool's background lane) sees
@@ -402,6 +438,10 @@ class OmosServer {
   std::map<std::string, std::vector<std::string>> preferred_order_;
 
   std::shared_ptr<OptimizerState> optimizer_ = std::make_shared<OptimizerState>();
+
+  // See namespace_generation(); starts at 1 so "0" is always stale.
+  std::atomic<uint64_t> namespace_generation_{1};
+  std::atomic<ExecTransport> exec_transport_{ExecTransport::kPort};
 };
 
 }  // namespace omos

@@ -5,6 +5,7 @@
 
 #include "src/os/task.h"
 #include "src/support/metrics.h"
+#include "src/support/strings.h"
 #include "src/support/trace.h"
 
 namespace omos {
@@ -31,6 +32,13 @@ struct ChannelMetrics {
   Counter* retries = MetricsRegistry::Global().GetCounter("ipc.retries");
   Counter* backoff_cycles = MetricsRegistry::Global().GetCounter("ipc.backoff_cycles");
   Counter* failures = MetricsRegistry::Global().GetCounter("ipc.failures");
+  Counter* bytes_sent = MetricsRegistry::Global().GetCounter("ipc.bytes_sent");
+  Counter* bytes_received = MetricsRegistry::Global().GetCounter("ipc.bytes_received");
+  Counter* batch_calls = MetricsRegistry::Global().GetCounter("ipc.batch.calls");
+  Counter* batch_requests = MetricsRegistry::Global().GetCounter("ipc.batch.requests");
+  Counter* stub_hits = MetricsRegistry::Global().GetCounter("ipc.stub_cache.hits");
+  Counter* stub_invalidations =
+      MetricsRegistry::Global().GetCounter("ipc.stub_cache.invalidations");
 };
 
 ChannelMetrics& Metrics() {
@@ -40,14 +48,73 @@ ChannelMetrics& Metrics() {
 
 }  // namespace
 
-Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
-  TraceSpan trace("ipc.call");
+void Channel::EnableStubCache(size_t max_entries) {
+  stub_capacity_ = max_entries;
+  if (stub_cache_.size() > stub_capacity_) {
+    stub_cache_.clear();
+  }
+}
+
+std::string Channel::StubKey(const OmosRequest& request) {
+  // 0x1f (unit separator) cannot appear in namespace paths or spec strings.
+  return StrCat(request.path, "\x1f", request.specialization, "\x1f", request.task_handle);
+}
+
+void Channel::ObserveGeneration(uint64_t generation) {
+  if (generation <= observed_generation_) {
+    return;
+  }
+  observed_generation_ = generation;
+  if (stub_cache_.empty()) {
+    return;
+  }
+  size_t dropped = 0;
+  for (auto it = stub_cache_.begin(); it != stub_cache_.end();) {
+    if (it->second.generation < generation) {
+      it = stub_cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    Metrics().stub_invalidations->Add(dropped);
+    TraceInstant("ipc.stub_invalidate", "");
+  }
+}
+
+const OmosReply* Channel::StubLookup(const OmosRequest& request) {
+  if (stub_capacity_ == 0 || !Cacheable(request)) {
+    return nullptr;
+  }
+  auto it = stub_cache_.find(StubKey(request));
+  if (it == stub_cache_.end() || it->second.generation != observed_generation_) {
+    return nullptr;
+  }
+  ++stub_hits_;
+  Metrics().stub_hits->Add();
+  return &it->second.reply;
+}
+
+void Channel::StubInsert(const OmosRequest& request, const OmosReply& reply) {
+  if (stub_capacity_ == 0 || !Cacheable(request) || !reply.ok) {
+    return;
+  }
+  if (stub_cache_.size() >= stub_capacity_) {
+    stub_cache_.erase(stub_cache_.begin());  // bounded: drop the oldest key
+  }
+  stub_cache_[StubKey(request)] = StubEntry{reply, reply.generation};
+}
+
+Result<void> Channel::ExchangeWithRetry(
+    const std::vector<uint8_t>& wire, Task* task, TraceSpan& trace,
+    const std::function<Result<void>(const std::vector<uint8_t>&)>& decode) {
   ++calls_made_;
   Metrics().calls->Add();
-  std::vector<uint8_t> wire = EncodeRequest(request);
   uint64_t cost = 0;
   int attempts = std::max(1, retry_.max_attempts);
   std::optional<Error> last_error;
+  bool delivered = false;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       // Capped exponential backoff, billed like any other simulated wait.
@@ -60,21 +127,20 @@ Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
       Metrics().backoff_cycles->Add(backoff);
       TraceInstant("ipc.retry", last_error ? ErrorCodeName(last_error->code()) : "");
     }
+    bytes_sent_ += wire.size();
+    Metrics().bytes_sent->Add(wire.size());
     auto reply_bytes = transport_->RoundTrip(wire, &cost);
     if (reply_bytes.ok()) {
-      auto reply = DecodeReply(*reply_bytes);
-      if (reply.ok()) {
+      bytes_received_ += reply_bytes->size();
+      Metrics().bytes_received->Add(reply_bytes->size());
+      auto decoded = decode(*reply_bytes);
+      if (decoded.ok()) {
         last_error.reset();
-        if (task != nullptr) {
-          task->BillSys(cost);
-        } else {
-          cycles_billed_ += cost;
-        }
-        trace.AddSimCycles(0, cost);
-        return std::move(reply).value();
+        delivered = true;
+        break;
       }
       // A reply that unmarshals wrong is as retryable as a damaged frame.
-      last_error = reply.error();
+      last_error = decoded.error();
     } else {
       last_error = reply_bytes.error();
     }
@@ -89,9 +155,87 @@ Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
     cycles_billed_ += cost;
   }
   trace.AddSimCycles(0, cost);
-  trace.SetDetail(ErrorCodeName(last_error->code()));
+  if (delivered) {
+    return OkResult();
+  }
   Metrics().failures->Add();
   return *last_error;
+}
+
+Result<OmosReply> Channel::Call(const OmosRequest& request, Task* task) {
+  if (const OmosReply* cached = StubLookup(request)) {
+    TraceInstant("ipc.stub_hit", request.path);
+    return *cached;  // zero server round trips
+  }
+  TraceSpan trace("ipc.call");
+  std::vector<uint8_t> wire = EncodeRequest(request);
+  OmosReply reply;
+  auto status = ExchangeWithRetry(
+      wire, task, trace, [&](const std::vector<uint8_t>& bytes) -> Result<void> {
+        OMOS_TRY(reply, DecodeReply(bytes));
+        return OkResult();
+      });
+  if (!status.ok()) {
+    trace.SetDetail(ErrorCodeName(status.error().code()));
+    return status.error();
+  }
+  ObserveGeneration(reply.generation);
+  StubInsert(request, reply);
+  return reply;
+}
+
+Result<std::vector<OmosReply>> Channel::CallBatch(const std::vector<OmosRequest>& requests,
+                                                  Task* task) {
+  if (requests.empty()) {
+    return Err(ErrorCode::kInvalidArgument, "empty batch");
+  }
+  std::vector<OmosReply> replies(requests.size());
+  // Serve stub-cache hits locally; only misses cross the wire.
+  std::vector<size_t> miss_index;
+  miss_index.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (const OmosReply* cached = StubLookup(requests[i])) {
+      replies[i] = *cached;
+    } else {
+      miss_index.push_back(i);
+    }
+  }
+  if (miss_index.empty()) {
+    TraceInstant("ipc.stub_hit", "whole batch");
+    return replies;  // fully cached: no round trip at all
+  }
+  TraceSpan trace("ipc.call_batch");
+  std::vector<OmosRequest> misses;
+  misses.reserve(miss_index.size());
+  for (size_t index : miss_index) {
+    misses.push_back(requests[index]);
+  }
+  Metrics().batch_calls->Add();
+  Metrics().batch_requests->Add(misses.size());
+  std::vector<uint8_t> wire = EncodeRequestBatch(misses);
+  std::vector<OmosReply> miss_replies;
+  auto status = ExchangeWithRetry(
+      wire, task, trace, [&](const std::vector<uint8_t>& bytes) -> Result<void> {
+        OMOS_TRY(miss_replies, DecodeReplyBatch(bytes));
+        if (miss_replies.size() != misses.size()) {
+          return Err(ErrorCode::kProtocolError,
+                     StrCat("batch reply count ", miss_replies.size(), " != request count ",
+                            misses.size()));
+        }
+        return OkResult();
+      });
+  if (!status.ok()) {
+    trace.SetDetail(ErrorCodeName(status.error().code()));
+    return status.error();
+  }
+  for (size_t i = 0; i < miss_replies.size(); ++i) {
+    ObserveGeneration(miss_replies[i].generation);
+  }
+  for (size_t i = 0; i < miss_replies.size(); ++i) {
+    StubInsert(misses[i], miss_replies[i]);
+    replies[miss_index[i]] = std::move(miss_replies[i]);
+  }
+  return replies;
 }
 
 }  // namespace omos

@@ -6,8 +6,18 @@
 namespace omos {
 
 namespace {
-constexpr uint32_t kRequestMagic = 0x4f524551;  // "OREQ"
-constexpr uint32_t kReplyMagic = 0x4f525040;    // "ORP@"
+constexpr uint32_t kRequestMagic = 0x4f524551;       // "OREQ"
+constexpr uint32_t kReplyMagic = 0x4f525040;         // "ORP@"
+constexpr uint32_t kBatchRequestMagic = 0x4f425251;  // "OBRQ"
+constexpr uint32_t kBatchReplyMagic = 0x4f425250;    // "OBRP"
+
+uint32_t PeekMagic(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4) {
+    return 0;
+  }
+  return static_cast<uint32_t>(bytes[0]) | static_cast<uint32_t>(bytes[1]) << 8 |
+         static_cast<uint32_t>(bytes[2]) << 16 | static_cast<uint32_t>(bytes[3]) << 24;
+}
 }  // namespace
 
 std::vector<uint8_t> EncodeRequest(const OmosRequest& request) {
@@ -76,6 +86,7 @@ std::vector<uint8_t> EncodeReply(const OmosReply& reply) {
     w.Str(name);
     w.U64(value);
   }
+  w.U64(reply.generation);
   return w.Take();
 }
 
@@ -118,7 +129,81 @@ Result<OmosReply> DecodeReply(const std::vector<uint8_t>& bytes) {
     OMOS_TRY(uint64_t value, r.U64());
     reply.metrics.emplace_back(std::move(name), value);
   }
+  OMOS_TRY(reply.generation, r.U64());
   return reply;
+}
+
+// ---- Request batching -------------------------------------------------------
+// Envelope: magic + count + one length-prefixed encoded message per member.
+// Members reuse the single-message codecs, so every existing malformed-
+// message defence applies per member.
+
+std::vector<uint8_t> EncodeRequestBatch(const std::vector<OmosRequest>& requests) {
+  ByteWriter w;
+  w.U32(kBatchRequestMagic);
+  w.U32(static_cast<uint32_t>(requests.size()));
+  for (const OmosRequest& request : requests) {
+    w.Raw(EncodeRequest(request));
+  }
+  return w.Take();
+}
+
+Result<std::vector<OmosRequest>> DecodeRequestBatch(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  OMOS_TRY(uint32_t magic, r.U32());
+  if (magic != kBatchRequestMagic) {
+    return Err(ErrorCode::kProtocolError, "bad batch request magic");
+  }
+  OMOS_TRY(uint32_t count, r.U32());
+  if (count == 0) {
+    return Err(ErrorCode::kProtocolError, "empty request batch");
+  }
+  std::vector<OmosRequest> requests;
+  requests.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    OMOS_TRY(std::vector<uint8_t> member, r.Raw());
+    OMOS_TRY(OmosRequest request, DecodeRequest(member));
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<uint8_t> EncodeReplyBatch(const std::vector<OmosReply>& replies) {
+  ByteWriter w;
+  w.U32(kBatchReplyMagic);
+  w.U32(static_cast<uint32_t>(replies.size()));
+  for (const OmosReply& reply : replies) {
+    w.Raw(EncodeReply(reply));
+  }
+  return w.Take();
+}
+
+Result<std::vector<OmosReply>> DecodeReplyBatch(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  OMOS_TRY(uint32_t magic, r.U32());
+  if (magic != kBatchReplyMagic) {
+    return Err(ErrorCode::kProtocolError, "bad batch reply magic");
+  }
+  OMOS_TRY(uint32_t count, r.U32());
+  if (count == 0) {
+    return Err(ErrorCode::kProtocolError, "empty reply batch");
+  }
+  std::vector<OmosReply> replies;
+  replies.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    OMOS_TRY(std::vector<uint8_t> member, r.Raw());
+    OMOS_TRY(OmosReply reply, DecodeReply(member));
+    replies.push_back(std::move(reply));
+  }
+  return replies;
+}
+
+bool IsBatchRequest(const std::vector<uint8_t>& bytes) {
+  return PeekMagic(bytes) == kBatchRequestMagic;
+}
+
+bool IsBatchReply(const std::vector<uint8_t>& bytes) {
+  return PeekMagic(bytes) == kBatchReplyMagic;
 }
 
 }  // namespace omos

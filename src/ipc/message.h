@@ -65,12 +65,32 @@ struct OmosReply {
   // and the structured metrics snapshot.
   std::string payload;
   std::vector<std::pair<std::string, uint64_t>> metrics;
+  // The server's namespace generation, piggybacked on every reply (success
+  // or failure). Bumped by any namespace mutation (DefineMeta, AddFragment,
+  // OptimizePlacements, Restore, ...); clients key cached replies on it so
+  // a redefinition invalidates their stub caches on the next contact.
+  uint64_t generation = 0;
 };
 
 std::vector<uint8_t> EncodeRequest(const OmosRequest& request);
 Result<OmosRequest> DecodeRequest(const std::vector<uint8_t>& bytes);
 std::vector<uint8_t> EncodeReply(const OmosReply& reply);
 Result<OmosReply> DecodeReply(const std::vector<uint8_t>& bytes);
+
+// ---- Request batching -------------------------------------------------------
+// N requests marshalled into one frame; the server executes them on its
+// request pool and returns N replies in request order, all for one
+// transport round trip. A malformed or failing member yields a reply with
+// ok=false in its position — it never poisons the other N-1. An empty
+// batch is a protocol error.
+std::vector<uint8_t> EncodeRequestBatch(const std::vector<OmosRequest>& requests);
+Result<std::vector<OmosRequest>> DecodeRequestBatch(const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> EncodeReplyBatch(const std::vector<OmosReply>& replies);
+Result<std::vector<OmosReply>> DecodeReplyBatch(const std::vector<uint8_t>& bytes);
+// Cheap magic peek: does this frame carry a batch? (The server's message
+// entry point dispatches on it.)
+bool IsBatchRequest(const std::vector<uint8_t>& bytes);
+bool IsBatchReply(const std::vector<uint8_t>& bytes);
 
 }  // namespace omos
 

@@ -1,0 +1,285 @@
+#include "src/ipc/ring_transport.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/faultsim.h"
+#include "src/support/metrics.h"
+#include "src/support/strings.h"
+
+namespace omos {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+uint32_t ChunkChecksum(const uint8_t* data, size_t size) {
+  return static_cast<uint32_t>(Fnv1aBytes(data, size));
+}
+
+}  // namespace
+
+SharedMemoryRing::SharedMemoryRing(uint32_t slots, uint32_t slot_bytes)
+    : slots_(std::max<uint32_t>(2, RoundUpPow2(slots))), slot_bytes_(std::max<uint32_t>(16, slot_bytes)) {
+  for (Slot& slot : slots_) {
+    slot.bytes.resize(slot_bytes_);
+  }
+}
+
+Result<void> SharedMemoryRing::Push(const std::vector<uint8_t>& message) {
+  uint32_t needed = SlotsFor(message.size());
+  if (needed > slot_count()) {
+    return Err(ErrorCode::kInvalidArgument,
+               StrCat("message of ", message.size(), " bytes needs ", needed,
+                      " slots; ring has ", slot_count()));
+  }
+  if (live_slots_ + needed > slot_count()) {
+    return Err(ErrorCode::kUnavailable,
+               StrCat("ring full: ", live_slots_, "/", slot_count(), " slots live"));
+  }
+  for (uint32_t i = 0; i < needed; ++i) {
+    uint32_t index = (head_ + i) & Mask();
+    if (index == 0 && slots_published_ + i > 0) {
+      ++wraps_;  // any later landing on slot 0 means the cursor crossed the end
+    }
+    Slot& slot = slots_[index];
+    size_t offset = static_cast<size_t>(i) * slot_bytes_;
+    size_t chunk = std::min<size_t>(slot_bytes_, message.size() - std::min(offset, message.size()));
+    // Seqlock publish: odd while the slot is inconsistent, even when stable.
+    slot.seq.fetch_add(1, std::memory_order_acq_rel);
+    if (chunk > 0) {
+      std::memcpy(slot.bytes.data(), message.data() + offset, chunk);
+    }
+    slot.chunk_len = static_cast<uint32_t>(chunk);
+    slot.total_len = i == 0 ? static_cast<uint32_t>(message.size()) : 0;
+    slot.checksum = ChunkChecksum(slot.bytes.data(), chunk);
+    slot.state = kReady;
+    slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  }
+  head_ = (head_ + needed) & Mask();
+  live_slots_ += needed;
+  ++messages_pushed_;
+  slots_published_ += needed;
+  return OkResult();
+}
+
+Result<std::vector<uint8_t>> SharedMemoryRing::Pop() {
+  if (live_slots_ == 0) {
+    return Err(ErrorCode::kUnavailable, "ring empty: nothing published");
+  }
+  Slot& first = slots_[tail_];
+  uint32_t seq_before = first.seq.load(std::memory_order_acquire);
+  if ((seq_before & 1u) != 0 || first.state != kReady) {
+    // Torn handoff: the writer died (or stalled) mid-publish.
+    Reset();
+    return Err(ErrorCode::kUnavailable, "ring head slot torn mid-publish");
+  }
+  uint32_t total = first.total_len;
+  uint32_t needed = SlotsFor(total);
+  if (needed > live_slots_) {
+    Reset();
+    return Err(ErrorCode::kCorrupted,
+               StrCat("ring head claims ", total, " bytes (", needed, " slots), only ",
+                      live_slots_, " live"));
+  }
+  std::vector<uint8_t> message;
+  message.reserve(total);
+  for (uint32_t i = 0; i < needed; ++i) {
+    Slot& slot = slots_[(tail_ + i) & Mask()];
+    uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0 || slot.state != kReady) {
+      Reset();
+      return Err(ErrorCode::kUnavailable, StrCat("ring slot ", i, " torn mid-publish"));
+    }
+    if (slot.checksum != ChunkChecksum(slot.bytes.data(), slot.chunk_len)) {
+      ++corruptions_seen_;
+      Reset();
+      return Err(ErrorCode::kCorrupted,
+                 StrCat("ring slot ", i, " checksum mismatch over ", slot.chunk_len, " bytes"));
+    }
+    uint32_t s2 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != s2) {
+      Reset();
+      return Err(ErrorCode::kUnavailable, StrCat("ring slot ", i, " republished mid-read"));
+    }
+    message.insert(message.end(), slot.bytes.begin(), slot.bytes.begin() + slot.chunk_len);
+  }
+  if (message.size() != total) {
+    ++corruptions_seen_;
+    Reset();
+    return Err(ErrorCode::kCorrupted,
+               StrCat("ring message reassembled to ", message.size(), " bytes, head claimed ",
+                      total));
+  }
+  // Free the consumed slots.
+  for (uint32_t i = 0; i < needed; ++i) {
+    Slot& slot = slots_[(tail_ + i) & Mask()];
+    slot.seq.fetch_add(1, std::memory_order_acq_rel);
+    slot.state = kFree;
+    slot.chunk_len = 0;
+    slot.total_len = 0;
+    slot.checksum = 0;
+    slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  }
+  tail_ = (tail_ + needed) & Mask();
+  live_slots_ -= needed;
+  return message;
+}
+
+void SharedMemoryRing::Reset() {
+  for (Slot& slot : slots_) {
+    slot.seq.fetch_add(2, std::memory_order_acq_rel);  // stays even: stable-free
+    slot.state = kFree;
+    slot.chunk_len = 0;
+    slot.total_len = 0;
+    slot.checksum = 0;
+  }
+  head_ = 0;
+  tail_ = 0;
+  live_slots_ = 0;
+}
+
+void SharedMemoryRing::CorruptByte(uint32_t slot_offset, uint32_t byte_offset, uint8_t mask) {
+  if (live_slots_ == 0) {
+    return;
+  }
+  Slot& slot = slots_[(tail_ + slot_offset % live_slots_) & Mask()];
+  if (slot.chunk_len == 0) {
+    return;
+  }
+  slot.bytes[byte_offset % slot.chunk_len] ^= mask;
+}
+
+namespace {
+
+// Registry mirrors of the per-ring counters (process-wide totals).
+struct RingMetrics {
+  Counter* handoffs = MetricsRegistry::Global().GetCounter("ipc.ring.handoffs");
+  Counter* slots = MetricsRegistry::Global().GetCounter("ipc.ring.slots");
+  Counter* wraps = MetricsRegistry::Global().GetCounter("ipc.ring.wraps");
+  Counter* corruptions = MetricsRegistry::Global().GetCounter("ipc.ring.corruptions");
+  Counter* stalls = MetricsRegistry::Global().GetCounter("ipc.ring.stalls");
+};
+
+RingMetrics& Metrics() {
+  static RingMetrics* metrics = new RingMetrics();
+  return *metrics;
+}
+
+class RingTransport : public Transport {
+ public:
+  RingTransport(ServeFn server, RingConfig config)
+      : server_(std::move(server)),
+        config_(config),
+        to_server_(config.slots, config.slot_bytes),
+        to_client_(config.slots, config.slot_bytes) {}
+
+  Result<std::vector<uint8_t>> RoundTrip(const std::vector<uint8_t>& request,
+                                         uint64_t* cost_out) override {
+    uint32_t knob = 0;
+    // The doorbell cost is paid whether or not the handoff survives.
+    Bill(cost_out, config_.handoff_cost +
+                       config_.slot_cost * (to_server_.SlotsFor(request.size()) - 1));
+    auto pushed = to_server_.Push(request);
+    if (!pushed.ok()) {
+      Recover();
+      return pushed.error();
+    }
+    Track(to_server_);
+    if (FaultSim::Trip("ring.corrupt", &knob)) {
+      to_server_.CorruptByte(knob >> 8, knob, static_cast<uint8_t>(1u << (knob % 8)));
+    }
+    if (FaultSim::Trip("ring.stall")) {
+      // The server thread never takes the doorbell: burn the spin budget,
+      // reclaim the slots so the ring stays usable, report a timeout.
+      Metrics().stalls->Add();
+      Bill(cost_out, config_.stall_spin_cycles);
+      Recover();
+      return Err(ErrorCode::kTimeout, "ring peer stalled on request handoff");
+    }
+    auto delivered = to_server_.Pop();
+    if (!delivered.ok()) {
+      return Tracked(to_server_, delivered.error());
+    }
+    std::vector<uint8_t> reply = server_(*delivered);
+
+    Bill(cost_out, config_.slot_cost * (to_client_.SlotsFor(reply.size()) - 1));
+    auto reply_pushed = to_client_.Push(reply);
+    if (!reply_pushed.ok()) {
+      Recover();
+      return reply_pushed.error();
+    }
+    Track(to_client_);
+    if (FaultSim::Trip("ring.corrupt", &knob)) {
+      to_client_.CorruptByte(knob >> 8, knob, static_cast<uint8_t>(1u << (knob % 8)));
+    }
+    if (FaultSim::Trip("ring.stall")) {
+      Metrics().stalls->Add();
+      Bill(cost_out, config_.stall_spin_cycles);
+      Recover();
+      return Err(ErrorCode::kTimeout, "ring peer stalled on reply handoff");
+    }
+    auto received = to_client_.Pop();
+    if (!received.ok()) {
+      return Tracked(to_client_, received.error());
+    }
+    Metrics().handoffs->Add();
+    return received;
+  }
+
+ private:
+  static void Bill(uint64_t* cost_out, uint64_t cycles) {
+    if (cost_out != nullptr) {
+      *cost_out += cycles;
+    }
+  }
+
+  // Mirror a ring's per-push deltas into the registry counters.
+  void Track(SharedMemoryRing& ring) {
+    uint64_t& seen_slots = &ring == &to_server_ ? server_slots_seen_ : client_slots_seen_;
+    uint64_t& seen_wraps = &ring == &to_server_ ? server_wraps_seen_ : client_wraps_seen_;
+    Metrics().slots->Add(ring.slots_published() - seen_slots);
+    Metrics().wraps->Add(ring.wraps() - seen_wraps);
+    seen_slots = ring.slots_published();
+    seen_wraps = ring.wraps();
+  }
+
+  // A failed Pop already reset the ring; count the corruption and make sure
+  // both directions start the next attempt clean.
+  Error Tracked(SharedMemoryRing& ring, Error error) {
+    (void)ring;
+    if (error.code() == ErrorCode::kCorrupted) {
+      Metrics().corruptions->Add();
+    }
+    Recover();
+    return error;
+  }
+
+  void Recover() {
+    to_server_.Reset();
+    to_client_.Reset();
+  }
+
+  ServeFn server_;
+  RingConfig config_;
+  SharedMemoryRing to_server_;
+  SharedMemoryRing to_client_;
+  uint64_t server_slots_seen_ = 0;
+  uint64_t client_slots_seen_ = 0;
+  uint64_t server_wraps_seen_ = 0;
+  uint64_t client_wraps_seen_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeRingTransport(ServeFn server, RingConfig config) {
+  return std::make_unique<RingTransport>(std::move(server), config);
+}
+
+}  // namespace omos

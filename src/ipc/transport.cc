@@ -73,8 +73,15 @@ void WriteFrame(BytePipe& pipe, const std::vector<uint8_t>& payload) {
 }
 
 Result<std::vector<uint8_t>> ReadFrame(BytePipe& pipe, uint32_t max_frame) {
-  // Any failure below drains the pipe: once framing is lost, leftover bytes
-  // would be misparsed as the next frame's header (the classic desync bug).
+  // An empty pipe at a frame boundary is a clean EOF — the peer closed (or
+  // the frame never arrived), and stream sync is intact. Report it as
+  // kUnavailable and leave the pipe alone so a reconnecting peer's next
+  // frame parses normally. Only a *partial* read below means framing is
+  // lost; those paths drain the pipe, because leftover bytes would be
+  // misparsed as the next frame's header (the classic desync bug).
+  if (pipe.buffered() == 0) {
+    return Err(ErrorCode::kUnavailable, "peer closed: no frame buffered");
+  }
   uint8_t header[kFrameHeaderSize];
   auto header_read = pipe.ReadExact(header, kFrameHeaderSize);
   if (!header_read.ok()) {
@@ -149,18 +156,19 @@ class StreamTransport : public Transport {
   }
 
  private:
-  // Read one frame; on any framing error, resynchronize BOTH pipes so the
-  // next round trip starts from a clean stream instead of stale bytes.
+  // Read one frame; on a framing error, resynchronize BOTH pipes so the
+  // next round trip starts from a clean stream instead of stale bytes. A
+  // clean EOF (empty pipe: the frame we just wrote was dropped whole)
+  // leaves sync intact — no drain, and the client sees a timeout.
   Result<std::vector<uint8_t>> Receive(BytePipe& pipe, const char* leg) {
-    // A completely empty pipe means the frame never arrived (dropped), which
-    // a real client observes as a timeout rather than a framing error.
     if (pipe.buffered() == 0) {
-      Resync();
       return Err(ErrorCode::kTimeout, StrCat(leg, " lost in transit"));
     }
     auto frame = ReadFrame(pipe);
     if (!frame.ok()) {
-      Resync();
+      if (frame.error().code() != ErrorCode::kUnavailable) {
+        Resync();
+      }
       return frame.error();
     }
     return frame;

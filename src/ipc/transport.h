@@ -71,8 +71,11 @@ class BytePipe {
 // Framing helpers shared by the stream transport and its tests. Each frame
 // is an 8-byte header — 4-byte little-endian length, 4-byte FNV-1a payload
 // checksum — followed by the payload. ReadFrame verifies the checksum
-// (kCorrupted on mismatch) and, on ANY error, drains the pipe: a framing
-// failure means stream sync is lost, so everything buffered is garbage.
+// (kCorrupted on mismatch). A completely empty pipe is a clean EOF at a
+// frame boundary — "peer closed", reported as kUnavailable with the pipe
+// untouched, since sync is intact. Any *partial* read (truncated header or
+// payload, bad length, bad checksum) means framing is lost: those errors
+// drain the pipe, because everything buffered is garbage.
 inline constexpr size_t kFrameHeaderSize = 8;
 void WriteFrame(BytePipe& pipe, const std::vector<uint8_t>& payload);
 Result<std::vector<uint8_t>> ReadFrame(BytePipe& pipe, uint32_t max_frame = 16u << 20);

@@ -73,6 +73,16 @@ struct CostModel {
   // HP-UX timings used System V messages — slow IPC — which is why Table 1
   // shows OMOS's system time far above HP-UX's at similar elapsed time.
   uint64_t ipc_round_trip = 9000;
+  // One doors-style shared-memory ring handoff (src/ipc/ring_transport.h):
+  // write the request into a mapped slot, ring the doorbell, the server
+  // thread picks it up in place — no marshalling copy through the kernel, no
+  // scheduler round trip through a message queue. This is the Solaris-doors
+  // observation: a cross-process call can cost little more than a protected
+  // procedure call. ~20x cheaper than ipc_round_trip.
+  uint64_t ring_handoff = 400;
+  // Per ring slot occupied beyond the first (large messages span slots; the
+  // peer touches one extra cache-line-sized region per slot).
+  uint64_t ring_slot = 40;
   // Server-side work for a cache hit: namespace traversal + cache lookup.
   uint64_t omos_cache_lookup = 700;
 };

@@ -20,6 +20,10 @@
 //   pipe.bitflip   WriteFrame flips a bit in the written payload
 //   pipe.oversize  WriteFrame writes an absurd length header
 //   port.drop      PortTransport loses the message (kTimeout)
+//   ring.corrupt   RingTransport flips a byte in a just-published slot
+//                  (reader sees kCorrupted; ring resets)
+//   ring.stall     RingTransport's peer never takes the handoff (kTimeout
+//                  after a bounded simulated spin; slots reclaimed)
 //   cache.bitrot   ImageCache::Get corrupts a stored image byte
 //   vm.fault       AddressSpace::HandleFault fails mid-resolution (demand-
 //                  zero fill or CoW break) with kIoError, before any state

@@ -6,6 +6,42 @@
 
 namespace omos {
 
+HistogramSnapshot HistogramSnapshot::Since(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    // Buckets only grow; a concurrent Record between the two snapshots can
+    // only make the delta conservative, never negative.
+    delta.buckets[i] = buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+    delta.count += delta.buckets[i];
+  }
+  return delta;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5);
+  rank = std::max<uint64_t>(1, std::min(rank, count));
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return (uint64_t{1} << (kHistogramBuckets - 1));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  return snap;
+}
+
 uint64_t Histogram::count() const {
   uint64_t total = 0;
   for (const auto& bucket : buckets_) {

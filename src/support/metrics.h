@@ -38,12 +38,27 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+inline constexpr int kHistogramBuckets = 64;
+
+// A copy of a histogram's bucket counts at one instant. Benchmarks bracket a
+// phase with two snapshots and subtract (Since) to get percentiles over just
+// that interval, without resetting the live process-wide histogram.
+struct HistogramSnapshot {
+  uint64_t buckets[kHistogramBuckets] = {};
+  uint64_t count = 0;
+
+  // Bucket counts recorded after `earlier` was taken (same histogram).
+  HistogramSnapshot Since(const HistogramSnapshot& earlier) const;
+  // Same bucket-upper-boundary estimate as Histogram::Percentile.
+  uint64_t Percentile(double p) const;
+};
+
 // Fixed-bucket histogram with power-of-two bucket boundaries: bucket i counts
 // values v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0 and v == 1...
 // precisely: bucket = bit_width(v)). Record() is two relaxed atomic adds.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = kHistogramBuckets;
 
   void Record(uint64_t value) {
     buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
@@ -55,6 +70,7 @@ class Histogram {
   // Upper bucket boundary containing the p-th percentile (p in [0,100]).
   // An estimate: exact within a factor of 2 (the bucket width).
   uint64_t Percentile(double p) const;
+  HistogramSnapshot Snapshot() const;
 
   static int BucketFor(uint64_t value) {
     int bucket = 0;

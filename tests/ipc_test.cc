@@ -5,6 +5,7 @@
 #include "src/ipc/channel.h"
 #include "src/core/server.h"
 #include "src/ipc/message.h"
+#include "src/ipc/ring_transport.h"
 #include "src/os/kernel.h"
 #include "src/support/faultsim.h"
 #include "tests/helpers.h"
@@ -32,6 +33,7 @@ OmosReply SampleReply() {
   reply.symbol_values = {0x101010, 0};
   reply.stat_hits = 1234;
   reply.stat_misses = 7;
+  reply.generation = 77;
   return reply;
 }
 
@@ -57,6 +59,7 @@ TEST(IpcMessage, ReplyRoundTrip) {
   EXPECT_EQ(decoded.symbol_values, reply.symbol_values);
   EXPECT_EQ(decoded.stat_hits, 1234u);
   EXPECT_EQ(decoded.stat_misses, 7u);
+  EXPECT_EQ(decoded.generation, 77u);
 }
 
 TEST(IpcMessage, ErrorReplyRoundTrip) {
@@ -307,6 +310,330 @@ TEST(Transport, StreamChannelDeliversAndBillsPerByte) {
   EXPECT_GT(large_cost, small_cost);
   ASSERT_OK(port_channel.Call(large, nullptr));
   EXPECT_EQ(port_channel.cycles_billed(), 2000u);
+}
+
+// The empty pipe and the damaged pipe are different failures: a clean EOF
+// mid-poll is kUnavailable (peer closed, nothing to drain), while a frame
+// that lies about its length is kProtocolError (framing lost, pipe drained).
+TEST(Transport, EmptyPipeReadIsPeerClosed) {
+  BytePipe pipe;
+  auto result = ReadFrame(pipe);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(Transport, PartialHeaderIsFramingLost) {
+  BytePipe pipe;
+  uint8_t stub[3] = {1, 2, 3};  // less than a frame header
+  pipe.Write(stub, 3);
+  auto result = ReadFrame(pipe);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(pipe.buffered(), 0u);  // framing loss drains; EOF would not
+}
+
+// ---- Ring transport -----------------------------------------------------------
+
+TEST(Ring, MessageSpansSlotsAndWraps) {
+  SharedMemoryRing ring(4, 16);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<uint8_t> message(24, static_cast<uint8_t>(round));  // 2 slots
+    ASSERT_OK(ring.Push(message));
+    ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> back, ring.Pop());
+    EXPECT_EQ(back, message);
+  }
+  EXPECT_GT(ring.wraps(), 0u);  // 20 slots through a 4-slot ring
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, BackpressureWhenFull) {
+  SharedMemoryRing ring(4, 16);
+  std::vector<uint8_t> message(16, 7);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(ring.Push(message));
+  }
+  auto full = ring.Push(message);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code(), ErrorCode::kUnavailable);
+  ASSERT_OK(ring.Pop());
+  ASSERT_OK(ring.Push(message));  // the freed slot is reusable
+}
+
+TEST(Ring, OversizedMessageRejected) {
+  SharedMemoryRing ring(2, 16);
+  auto result = ring.Push(std::vector<uint8_t>(64, 1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Ring, EmptyPopUnavailable) {
+  SharedMemoryRing ring(4, 16);
+  auto result = ring.Pop();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(Ring, CorruptionDetectedAndRingRecovers) {
+  SharedMemoryRing ring(4, 16);
+  std::vector<uint8_t> message = {1, 2, 3, 4, 5};
+  ASSERT_OK(ring.Push(message));
+  ring.CorruptByte(0, 2, 0x40);
+  auto result = ring.Pop();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kCorrupted);
+  EXPECT_EQ(ring.corruptions_seen(), 1u);
+  EXPECT_TRUE(ring.empty());  // Reset reclaimed the damaged slots
+  ASSERT_OK(ring.Push(message));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> back, ring.Pop());
+  EXPECT_EQ(back, message);
+}
+
+TEST(Transport, RingChannelDeliversAndBillsHandoff) {
+  RingConfig config;
+  Channel channel(MakeRingTransport(OkServer, config));
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);
+  // One slot each direction: only the doorbell handoff is billed.
+  EXPECT_EQ(channel.cycles_billed(), config.handoff_cost);
+}
+
+TEST(Transport, RingSlotCorruptionRecoveredByRetry) {
+  Channel channel(MakeRingTransport(OkServer, RingConfig()));
+  channel.set_retry_policy(RetryPolicy::Default());
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ScopedFaultPlan plan(FaultPlan().Arm("ring.corrupt", FaultSpec::Nth(1)));
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(channel.retries_made(), 1u);  // kCorrupted is retryable
+}
+
+TEST(Transport, RingStallSurfacesTimeoutThenRecovers) {
+  RingConfig config;
+  Channel channel(MakeRingTransport(OkServer, config));
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  {
+    ScopedFaultPlan plan(FaultPlan().Arm("ring.stall", FaultSpec::Nth(1)));
+    auto stalled = channel.Call(request, nullptr);
+    ASSERT_FALSE(stalled.ok());
+    EXPECT_EQ(stalled.error().code(), ErrorCode::kTimeout);
+    // The bounded spin on the dead doorbell was billed in simulated time.
+    EXPECT_GE(channel.cycles_billed(), config.stall_spin_cycles);
+  }
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);  // slots were reclaimed; the ring is clean
+}
+
+TEST(Transport, OmosServerReachableOverRingTransport) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta(
+      "/bin/thing",
+      "(merge (source \"asm\" \".text\\n.global _start\\n_start:\\n  sys 0\\n\"))"));
+  server.SetExecTransport(OmosServer::ExecTransport::kRing);
+  Channel channel = server.MakeChannel();
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  ASSERT_TRUE(reply.ok);
+  ASSERT_EQ(reply.names.size(), 1u);
+  EXPECT_EQ(reply.names[0], "thing");
+  EXPECT_GT(reply.generation, 0u);  // every reply carries the generation
+}
+
+// ---- Request batching ---------------------------------------------------------
+
+TEST(IpcMessage, BatchRoundTrip) {
+  std::vector<OmosRequest> requests(3, SampleRequest());
+  requests[1].path = "/obj/other.o";
+  std::vector<uint8_t> wire = EncodeRequestBatch(requests);
+  EXPECT_TRUE(IsBatchRequest(wire));
+  EXPECT_FALSE(IsBatchRequest(EncodeRequest(requests[0])));
+  ASSERT_OK_AND_ASSIGN(std::vector<OmosRequest> decoded, DecodeRequestBatch(wire));
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[1].path, "/obj/other.o");
+  EXPECT_EQ(decoded[2].symbols, requests[2].symbols);
+
+  std::vector<OmosReply> replies(2, SampleReply());
+  replies[1].ok = false;
+  replies[1].error = "boom";
+  std::vector<uint8_t> reply_wire = EncodeReplyBatch(replies);
+  EXPECT_TRUE(IsBatchReply(reply_wire));
+  ASSERT_OK_AND_ASSIGN(std::vector<OmosReply> decoded_replies, DecodeReplyBatch(reply_wire));
+  ASSERT_EQ(decoded_replies.size(), 2u);
+  EXPECT_TRUE(decoded_replies[0].ok);
+  EXPECT_FALSE(decoded_replies[1].ok);
+  EXPECT_EQ(decoded_replies[1].error, "boom");
+  EXPECT_EQ(decoded_replies[0].generation, 77u);
+}
+
+TEST(IpcMessage, EmptyBatchIsProtocolError) {
+  auto result = DecodeRequestBatch(EncodeRequestBatch({}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(Channel, BatchSharesOneRoundTrip) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta(
+      "/bin/thing",
+      "(merge (source \"asm\" \".text\\n.global _start\\n_start:\\n  sys 0\\n\"))"));
+  Channel channel = server.MakeChannel(OmosServer::ExecTransport::kRing);
+  OmosRequest ping;
+  ping.op = OmosOp::kListNamespace;
+  ping.path = "/bin";
+  std::vector<OmosRequest> requests(8, ping);
+  ASSERT_OK_AND_ASSIGN(std::vector<OmosReply> replies, channel.CallBatch(requests, nullptr));
+  ASSERT_EQ(replies.size(), 8u);
+  for (const OmosReply& reply : replies) {
+    ASSERT_TRUE(reply.ok);
+    EXPECT_EQ(reply.names, std::vector<std::string>{"thing"});
+  }
+  EXPECT_EQ(channel.calls_made(), 1u);  // one frame, one round trip
+}
+
+// One bad member must not poison the other N-1: it comes back ok=false in
+// its slot while its neighbours succeed.
+TEST(Channel, BatchPartialFailureIsolated) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta(
+      "/bin/thing",
+      "(merge (source \"asm\" \".text\\n.global _start\\n_start:\\n  sys 0\\n\"))"));
+  Channel channel = server.MakeChannel(OmosServer::ExecTransport::kRing);
+  OmosRequest good;
+  good.op = OmosOp::kListNamespace;
+  good.path = "/bin";
+  OmosRequest bad;
+  bad.op = OmosOp::kInstantiate;
+  bad.path = "/bin/thing";
+  bad.task_handle = 9999;  // no such task
+  std::vector<OmosRequest> requests = {good, bad, good};
+  ASSERT_OK_AND_ASSIGN(std::vector<OmosReply> replies, channel.CallBatch(requests, nullptr));
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_TRUE(replies[0].ok);
+  EXPECT_FALSE(replies[1].ok);
+  EXPECT_EQ(replies[1].error, "bad task handle");
+  EXPECT_TRUE(replies[2].ok);
+}
+
+// Seeded fault sweep: under probabilistic slot corruption and stalls the
+// retry machinery must always converge to a fully correct batch reply.
+TEST(Channel, BatchSurvivesSeededFaultSweep) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta(
+      "/bin/thing",
+      "(merge (source \"asm\" \".text\\n.global _start\\n_start:\\n  sys 0\\n\"))"));
+  OmosRequest ping;
+  ping.op = OmosOp::kListNamespace;
+  ping.path = "/bin";
+  std::vector<OmosRequest> requests(5, ping);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Channel channel = server.MakeChannel(OmosServer::ExecTransport::kRing);
+    channel.set_retry_policy(RetryPolicy{/*max_attempts=*/8, /*base=*/100, /*max=*/800});
+    ScopedFaultPlan plan(FaultPlan()
+                             .Arm("ring.corrupt", FaultSpec::Prob(0.2, seed).WithMaxFires(3))
+                             .Arm("ring.stall", FaultSpec::Prob(0.1, seed + 100).WithMaxFires(2)));
+    ASSERT_OK_AND_ASSIGN(std::vector<OmosReply> replies, channel.CallBatch(requests, nullptr));
+    ASSERT_EQ(replies.size(), 5u);
+    for (const OmosReply& reply : replies) {
+      ASSERT_TRUE(reply.ok) << "seed " << seed;
+      EXPECT_EQ(reply.names, std::vector<std::string>{"thing"}) << "seed " << seed;
+    }
+  }
+}
+
+// ---- Stub cache ---------------------------------------------------------------
+
+constexpr const char* kThingBlueprint =
+    "(merge (source \"asm\" \".text\\n.global _start\\n_start:\\n  sys 0\\n\"))";
+
+TEST(Channel, StubCacheWarmRepeatMakesZeroRoundTrips) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta("/bin/thing", kThingBlueprint));
+  Task& task = kernel.CreateTask("client");
+  Channel channel = server.MakeChannel(OmosServer::ExecTransport::kRing);
+  channel.EnableStubCache();
+  OmosRequest request;
+  request.op = OmosOp::kInstantiate;
+  request.path = "/bin/thing";
+  request.specialization = Specialization().ToKeyString();
+  request.task_handle = task.id();
+  ASSERT_OK_AND_ASSIGN(OmosReply cold, channel.Call(request, nullptr));
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(channel.calls_made(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(OmosReply warm, channel.Call(request, nullptr));
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.entry, cold.entry);
+  }
+  EXPECT_EQ(channel.calls_made(), 1u);  // warm repeats never hit the wire
+  EXPECT_EQ(channel.stub_hits(), 5u);
+}
+
+TEST(Channel, RedefinitionInvalidatesStubCache) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta("/bin/thing", kThingBlueprint));
+  Task& task = kernel.CreateTask("client");
+  Channel channel = server.MakeChannel(OmosServer::ExecTransport::kRing);
+  channel.EnableStubCache();
+  OmosRequest request;
+  request.op = OmosOp::kInstantiate;
+  request.path = "/bin/thing";
+  request.specialization = Specialization().ToKeyString();
+  request.task_handle = task.id();
+  ASSERT_OK_AND_ASSIGN(OmosReply first, channel.Call(request, nullptr));
+  ASSERT_TRUE(first.ok);
+  uint64_t old_generation = channel.observed_generation();
+  // Sanity: right now the entry is warm and repeats are served locally.
+  ASSERT_OK(channel.Call(request, nullptr));
+  EXPECT_EQ(channel.stub_hits(), 1u);
+
+  // Redefine on the server: the namespace generation bumps, and the next
+  // server contact on this channel carries it back and purges the cache.
+  ASSERT_OK(server.DefineMeta("/bin/thing", kThingBlueprint));
+  OmosRequest ping;
+  ping.op = OmosOp::kListNamespace;
+  ping.path = "/bin";
+  ASSERT_OK(channel.Call(ping, nullptr));
+  EXPECT_GT(channel.observed_generation(), old_generation);
+
+  // The stale entry is gone: the repeat goes all the way to the server
+  // (which answers authoritatively for the redefined object) instead of
+  // being served from the cache.
+  uint64_t calls_before = channel.calls_made();
+  uint64_t hits_before = channel.stub_hits();
+  ASSERT_OK(channel.Call(request, nullptr));
+  EXPECT_EQ(channel.calls_made(), calls_before + 1);  // wire round trip
+  EXPECT_EQ(channel.stub_hits(), hits_before);        // not a cache answer
+}
+
+TEST(Channel, StubCacheMissesWhenDisabled) {
+  Kernel kernel;
+  OmosServer server(kernel);
+  ASSERT_OK(server.DefineMeta("/bin/thing", kThingBlueprint));
+  Task& task = kernel.CreateTask("client");
+  Channel channel = server.MakeChannel();
+  OmosRequest request;
+  request.op = OmosOp::kInstantiate;
+  request.path = "/bin/thing";
+  request.specialization = Specialization().ToKeyString();
+  request.task_handle = task.id();
+  ASSERT_OK(channel.Call(request, nullptr));
+  ASSERT_OK(channel.Call(request, nullptr));
+  EXPECT_EQ(channel.calls_made(), 2u);  // no cache armed: every call pays
+  EXPECT_EQ(channel.stub_hits(), 0u);
 }
 
 TEST(Transport, OmosServerReachableOverStreamTransport) {
