@@ -70,6 +70,34 @@ void OmosWorld::Warm() {
   BENCH_UNWRAP(server->Instantiate("/bin/codegen", {}, nullptr));
 }
 
+void OmosWorld::Prelink() { BENCH_UNWRAP(server->PrelinkNamespace("/bin")); }
+
+InvocationCost OmosWorld::RunPrelinked(const std::string& meta, std::vector<std::string> args) {
+  TaskId id = BENCH_UNWRAP(server->PrelinkedExec(meta, std::move(args)));
+  Task* task = kernel->FindTask(id);
+  BENCH_CHECK(kernel->RunTask(*task));
+  if (task->exit_code() != 0) {
+    std::fprintf(stderr, "omos prelinked %s exited %d\n", meta.c_str(), task->exit_code());
+    std::abort();
+  }
+  InvocationCost cost{task->user_cycles(), task->sys_cycles()};
+  server->ReleaseTask(id);
+  kernel->DestroyTask(id);
+  return cost;
+}
+
+PageSharing OmosWorld::SampleSharingPrelinked(const std::string& meta,
+                                              std::vector<std::string> args) {
+  TaskId id = BENCH_UNWRAP(server->PrelinkedExec(meta, std::move(args)));
+  Task* task = kernel->FindTask(id);
+  BENCH_CHECK(kernel->RunTask(*task));
+  PageSharing sharing{task->space().shared_pages(), task->space().private_pages(),
+                      kernel->phys().frames_in_use()};
+  server->ReleaseTask(id);
+  kernel->DestroyTask(id);
+  return sharing;
+}
+
 BaselineWorld MakeBaselineWorld() {
   const Workloads& w = FullWorkloads();
   BaselineWorld world;

@@ -181,15 +181,18 @@ void OpenLoopSection(OmosWorld& world) {
                 static_cast<unsigned long long>(points.back().p50_ns),
                 static_cast<unsigned long long>(points.back().p99_ns));
   }
-  // Percentiles are pow2-bucket upper boundaries (2^i - 1); compare the
-  // boundaries' powers of two so "one bucket over" reads as exactly 2x.
-  double first_p99 = static_cast<double>(points.front().p99_ns) + 1.0;
-  double last_p99 = static_cast<double>(points.back().p99_ns) + 1.0;
-  double drift = last_p99 / first_p99;
-  bool flat = drift <= 2.0;
-  std::printf("\n  %s: p99 drift %dk -> %dk clients is %.2fx (budget 2x)\n\n",
+  // Percentiles are pow2-bucket upper boundaries (2^i - 1), so the drift
+  // ratio can only take values 2^k: gate in exact integer arithmetic. A
+  // float `ratio <= 2.0` would sit boundary-exact at one-bucket drift and
+  // flap on rounding; `(last+1) <= 2*(first+1)` admits exactly one bucket
+  // of drift, deterministically.
+  uint64_t first_p99 = points.front().p99_ns + 1;
+  uint64_t last_p99 = points.back().p99_ns + 1;
+  bool flat = last_p99 <= 2 * first_p99;
+  std::printf("\n  %s: p99 drift %dk -> %dk clients is %.2fx (budget: one bucket, 2x)\n\n",
               flat ? "PASS" : "FAIL", points.front().clients / 1000,
-              points.back().clients / 1000, drift);
+              points.back().clients / 1000,
+              static_cast<double>(last_p99) / static_cast<double>(first_p99));
 }
 
 }  // namespace

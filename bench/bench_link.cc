@@ -3,6 +3,8 @@
 // path OMOS's cache amortizes) and gives the cost OMOS pays on a cache miss.
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "bench/bench_common.h"
 #include "src/baseline/static_linker.h"
 
@@ -38,15 +40,67 @@ BENCHMARK(BM_MergeFragments)->Arg(8)->Arg(32)->Arg(128)->Complexity()->Unit(benc
 void BM_LinkImage(benchmark::State& state) {
   Module m = MergePrefix(state.range(0));
   uint32_t relocs = 0;
+  uint32_t exported = 0;
   for (auto _ : state) {
     LayoutSpec layout;
     LinkedImage image = BENCH_UNWRAP(LinkImage(m, layout, "bench"));
     relocs = image.stats.relocations_applied;
+    exported = image.stats.symbols_exported;
     benchmark::DoNotOptimize(image);
   }
   state.counters["relocations"] = relocs;
+  state.counters["symbols_exported"] = exported;
 }
 BENCHMARK(BM_LinkImage)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+// Same link with the members re-annotated default-hidden (only symbols a
+// sibling member references stay exported): the symbol space the linker
+// indexes, and the export table the image carries, shrink to the real API —
+// compare the symbols_exported counter against BM_LinkImage's.
+Module MergePrefixHidden(int64_t n) {
+  const Archive& libc = FullWorkloads().libc;
+  std::set<std::string> wanted;
+  for (const ObjectFile& member : libc.members()) {
+    for (const Symbol* ref : member.References()) {
+      wanted.insert(ref->name);
+    }
+  }
+  Module m;
+  bool first = true;
+  for (int64_t i = 0; i < n && i < static_cast<int64_t>(libc.members().size()); ++i) {
+    ObjectFile copy = libc.members()[static_cast<size_t>(i)];
+    copy.set_default_hidden(true);
+    for (Symbol& sym : copy.mutable_symbols()) {
+      if (sym.defined && sym.binding != SymbolBinding::kLocal && wanted.count(sym.name) != 0) {
+        sym.visibility = SymbolVisibility::kExported;
+      }
+    }
+    Module part = Module::FromObject(std::make_shared<const ObjectFile>(std::move(copy)));
+    if (first) {
+      m = std::move(part);
+      first = false;
+    } else {
+      m = BENCH_UNWRAP(Module::Merge(m, part));
+    }
+  }
+  return m;
+}
+
+void BM_LinkImageDefaultHidden(benchmark::State& state) {
+  Module m = MergePrefixHidden(state.range(0));
+  uint32_t relocs = 0;
+  uint32_t exported = 0;
+  for (auto _ : state) {
+    LayoutSpec layout;
+    LinkedImage image = BENCH_UNWRAP(LinkImage(m, layout, "bench-hidden"));
+    relocs = image.stats.relocations_applied;
+    exported = image.stats.symbols_exported;
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["relocations"] = relocs;
+  state.counters["symbols_exported"] = exported;
+}
+BENCHMARK(BM_LinkImageDefaultHidden)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 
 // Full static link of the codegen application (client + six libraries):
 // the work a traditional development cycle repeats after every edit, and

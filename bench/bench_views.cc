@@ -4,6 +4,8 @@
 // materializing after every operation.
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "bench/bench_common.h"
 
 namespace omos {
@@ -15,6 +17,63 @@ Module BigModule() {
   }();
   return *module;
 }
+
+// libc re-annotated in default-hidden mode: only defined globals some other
+// member actually references stay exported (the cross-member API); every
+// internal helper prunes out of the symbol space at FromObject time.
+std::vector<ObjectFile> DefaultHiddenLibc() {
+  const Archive& libc = FullWorkloads().libc;
+  std::set<std::string> wanted;
+  for (const ObjectFile& member : libc.members()) {
+    for (const Symbol* ref : member.References()) {
+      wanted.insert(ref->name);
+    }
+  }
+  std::vector<ObjectFile> out;
+  for (const ObjectFile& member : libc.members()) {
+    ObjectFile copy = member;
+    copy.set_default_hidden(true);
+    for (Symbol& sym : copy.mutable_symbols()) {
+      if (sym.defined && sym.binding != SymbolBinding::kLocal && wanted.count(sym.name) != 0) {
+        sym.visibility = SymbolVisibility::kExported;
+      }
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+// Symbol-space size with and without visibility pruning: the default-hidden
+// module carries exports/refs tables shrunk to the real API, so every
+// SymbolSpace copy a view chain or merge makes moves fewer entries — the
+// symbol-table analogue of bench_dispatch_memory's static column.
+void BM_SpaceMaterializeAllExported(benchmark::State& state) {
+  Module base = BigModule();
+  size_t exports = 0;
+  for (auto _ : state) {
+    Module m = base.Rename("^c_0$", "r0", RenameWhich::kBoth);  // force a materialization
+    const SymbolSpace* space = BENCH_UNWRAP(m.Space());
+    exports = space->exports.size();
+    benchmark::DoNotOptimize(space);
+  }
+  state.counters["exports"] = static_cast<double>(exports);
+}
+BENCHMARK(BM_SpaceMaterializeAllExported)->Unit(benchmark::kMicrosecond);
+
+void BM_SpaceMaterializeDefaultHidden(benchmark::State& state) {
+  static const Module* hidden_module =
+      new Module(BENCH_UNWRAP(ModuleFromObjects(DefaultHiddenLibc())));
+  Module base = *hidden_module;
+  size_t exports = 0;
+  for (auto _ : state) {
+    Module m = base.Rename("^c_0$", "r0", RenameWhich::kBoth);
+    const SymbolSpace* space = BENCH_UNWRAP(m.Space());
+    exports = space->exports.size();
+    benchmark::DoNotOptimize(space);
+  }
+  state.counters["exports"] = static_cast<double>(exports);
+}
+BENCHMARK(BM_SpaceMaterializeDefaultHidden)->Unit(benchmark::kMicrosecond);
 
 void BM_ViewChainLazy(benchmark::State& state) {
   Module base = BigModule();

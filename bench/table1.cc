@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "bench/bench_common.h"
+#include "src/support/metrics.h"
 
 namespace omos {
 namespace {
@@ -31,9 +32,11 @@ struct Row {
   InvocationCost baseline;
   InvocationCost bootstrap;
   InvocationCost integrated;
+  InvocationCost prelinked;
   PageSharing baseline_pages;
   PageSharing bootstrap_pages;
   PageSharing integrated_pages;
+  PageSharing prelinked_pages;
 };
 
 InvocationCost Median3(InvocationCost a, InvocationCost b, InvocationCost c) {
@@ -83,6 +86,9 @@ void PrintTest(const Row& row) {
   PrintRow("OMOS integrated exec", row.integrated,
            static_cast<double>(row.integrated.elapsed()) / row.baseline.elapsed(),
            row.integrated_pages);
+  PrintRow("OMOS prelinked exec", row.prelinked,
+           static_cast<double>(row.prelinked.elapsed()) / row.baseline.elapsed(),
+           row.prelinked_pages);
   std::printf("\n");
 }
 
@@ -167,19 +173,23 @@ int main(int argc, char** argv) {
   BaselineWorld baseline = MakeBaselineWorld();
   OmosWorld world = MakeOmosWorld();
   world.Warm();
+  world.Prelink();
 
   // Warm both worlds: one throwaway invocation per configuration.
   (void)baseline.Run("ls", {"ls", "/data"});
   (void)world.Run("/bin/ls", {"ls", "/data"}, false);
   (void)world.Run("/bin/ls", {"ls", "/data"}, true);
+  (void)world.RunPrelinked("/bin/ls", {"ls", "/data"});
 
   Row ls_row{"ls"};
   ls_row.baseline = Measure([&] { return baseline.Run("ls", {"ls", "/data"}); });
   ls_row.bootstrap = Measure([&] { return world.Run("/bin/ls", {"ls", "/data"}, false); });
   ls_row.integrated = Measure([&] { return world.Run("/bin/ls", {"ls", "/data"}, true); });
+  ls_row.prelinked = Measure([&] { return world.RunPrelinked("/bin/ls", {"ls", "/data"}); });
   ls_row.baseline_pages = baseline.SampleSharing("ls", {"ls", "/data"});
   ls_row.bootstrap_pages = world.SampleSharing("/bin/ls", {"ls", "/data"}, false);
   ls_row.integrated_pages = world.SampleSharing("/bin/ls", {"ls", "/data"}, true);
+  ls_row.prelinked_pages = world.SampleSharingPrelinked("/bin/ls", {"ls", "/data"});
   PrintTest(ls_row);
 
   Row laf_row{"ls -laF"};
@@ -188,25 +198,50 @@ int main(int argc, char** argv) {
       Measure([&] { return world.Run("/bin/ls", {"ls", "-laF", "/data"}, false); });
   laf_row.integrated =
       Measure([&] { return world.Run("/bin/ls", {"ls", "-laF", "/data"}, true); });
+  laf_row.prelinked =
+      Measure([&] { return world.RunPrelinked("/bin/ls", {"ls", "-laF", "/data"}); });
   laf_row.baseline_pages = baseline.SampleSharing("ls", {"ls", "-laF", "/data"});
   laf_row.bootstrap_pages = world.SampleSharing("/bin/ls", {"ls", "-laF", "/data"}, false);
   laf_row.integrated_pages = world.SampleSharing("/bin/ls", {"ls", "-laF", "/data"}, true);
+  laf_row.prelinked_pages = world.SampleSharingPrelinked("/bin/ls", {"ls", "-laF", "/data"});
   PrintTest(laf_row);
 
   (void)baseline.Run("codegen", {"codegen"});
   (void)world.Run("/bin/codegen", {"codegen"}, false);
   (void)world.Run("/bin/codegen", {"codegen"}, true);
+  (void)world.RunPrelinked("/bin/codegen", {"codegen"});
   Row cg_row{"codegen"};
   cg_row.baseline = Measure([&] { return baseline.Run("codegen", {"codegen"}); });
   cg_row.bootstrap = Measure([&] { return world.Run("/bin/codegen", {"codegen"}, false); });
   cg_row.integrated = Measure([&] { return world.Run("/bin/codegen", {"codegen"}, true); });
+  cg_row.prelinked = Measure([&] { return world.RunPrelinked("/bin/codegen", {"codegen"}); });
   cg_row.baseline_pages = baseline.SampleSharing("codegen", {"codegen"});
   cg_row.bootstrap_pages = world.SampleSharing("/bin/codegen", {"codegen"}, false);
   cg_row.integrated_pages = world.SampleSharing("/bin/codegen", {"codegen"}, true);
+  cg_row.prelinked_pages = world.SampleSharingPrelinked("/bin/codegen", {"codegen"});
   PrintTest(cg_row);
 
   std::printf("Paper shapes: ls ratio ~1.0; ls -laF < 1 (OMOS wins as syscalls grow);\n");
   std::printf("codegen markedly < 1 (per-invocation relocations dominate);\n");
   std::printf("integrated exec strictly faster than bootstrap exec (paper: .44 vs .60).\n");
-  return 0;
+
+  // Prelink gates: a warm prelinked exec maps stamped images as-is — zero
+  // per-exec relocation work (the link.relocations_at_map delta across one
+  // run must be 0; the baseline rtld bumps it every exec) — and, paying
+  // only the prelink-table probe instead of the full namespace + cache
+  // lookup, never costs more than integrated exec.
+  Counter* at_map = MetricsRegistry::Global().GetCounter("link.relocations_at_map");
+  uint64_t map_before = at_map->value();
+  (void)world.RunPrelinked("/bin/ls", {"ls", "/data"});
+  (void)world.RunPrelinked("/bin/codegen", {"codegen"});
+  uint64_t map_delta = at_map->value() - map_before;
+  bool zero_reloc = map_delta == 0;
+  bool no_worse = ls_row.prelinked.elapsed() <= ls_row.integrated.elapsed() &&
+                  laf_row.prelinked.elapsed() <= laf_row.integrated.elapsed() &&
+                  cg_row.prelinked.elapsed() <= cg_row.integrated.elapsed();
+  std::printf("\n  %s: warm prelinked exec applied %llu relocations at map time (want 0)\n",
+              zero_reloc ? "PASS" : "FAIL", static_cast<unsigned long long>(map_delta));
+  std::printf("  %s: prelinked exec <= integrated exec on every test\n",
+              no_worse ? "PASS" : "FAIL");
+  return zero_reloc && no_worse ? 0 : 1;
 }

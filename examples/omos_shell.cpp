@@ -12,6 +12,8 @@
 //   stats              print the unified metrics snapshot
 //   trace <file>       dump Chrome trace_event JSON (chrome://tracing)
 //   profile            symbol-level profile of the last client that ran
+//   placements         global layout: per-object bases, generation stamps,
+//                      the conflict log, and the current layout generation
 #include <cstdio>
 #include <sstream>
 
@@ -169,6 +171,7 @@ main:
       "echo second ls is served from the image cache",
       "ls /data",
       "stats",
+      "placements",
       "trace omos_shell.trace.json",
       "profile",
   };
@@ -211,6 +214,14 @@ main:
     }
     if (args[0] == "profile") {
       OmosReply reply = introspect("profile", have_last ? last_task : 0);
+      std::fputs(reply.payload.c_str(), stdout);
+      continue;
+    }
+    if (args[0] == "placements") {
+      // The namespace-global layout a fleet of clients shares: where every
+      // cached image lives, the stamp prelinked execs validate against, and
+      // any recorded placement conflicts awaiting a re-solve.
+      OmosReply reply = introspect("placements", 0);
       std::fputs(reply.payload.c_str(), stdout);
       continue;
     }

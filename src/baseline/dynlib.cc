@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/os/loader.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/vasm/assembler.h"
 
@@ -212,6 +213,12 @@ Result<void> Rtld::MapInstalled(Task& task, const Installed& installed, TaskStat
     state.pending_slots[slot.got_addr] = slot.symbol;
   }
   // Apply the image's data relocations — every exec, in user-mode rtld code.
+  // relocations_at_map is the per-exec fixup count the prelink scheme drives
+  // to zero: OMOS map paths never touch this (images are relocated once at
+  // build), so a warm prelinked exec shows a delta of exactly 0 here.
+  static Counter* relocations_at_map =
+      MetricsRegistry::Global().GetCounter("link.relocations_at_map");
+  relocations_at_map->Add(dyn.lazy_slots.size() + dyn.data_relocs.size());
   for (const DynReloc& reloc : dyn.data_relocs) {
     OMOS_TRY_VOID(task.space().Write32(reloc.addr, reloc.value));
     task.BillUser(costs.reloc_apply + (reloc.needs_lookup ? costs.symbol_lookup : 0));

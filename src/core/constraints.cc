@@ -1,9 +1,32 @@
 #include "src/core/constraints.h"
 
+#include <algorithm>
+#include <set>
+
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "src/vm/phys_memory.h"
 
 namespace omos {
+
+namespace {
+
+// Registry counters for the layout solver; looked up once (pointers are
+// stable for the process lifetime). docs/observability.md lists them.
+struct SolverMetrics {
+  Counter* places = MetricsRegistry::Global().GetCounter("solver.places");
+  Counter* reuses = MetricsRegistry::Global().GetCounter("solver.reuses");
+  Counter* conflicts = MetricsRegistry::Global().GetCounter("solver.conflicts");
+  Counter* moves = MetricsRegistry::Global().GetCounter("solver.moves");
+  Counter* resolves = MetricsRegistry::Global().GetCounter("solver.resolves");
+};
+
+SolverMetrics& Metrics() {
+  static SolverMetrics* metrics = new SolverMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 ConstraintSolver::ConstraintSolver(Arenas arenas) : arenas_(arenas) {}
 
@@ -50,6 +73,7 @@ Result<uint32_t> ConstraintSolver::Fit(std::map<uint32_t, Range>& ranges, uint32
     got = cursor;
     conflicts_.push_back(
         ConflictRecord{object, *preferred, got, overlap != nullptr ? overlap->owner : "arena"});
+    Metrics().conflicts->Add();
     ranges.emplace(got, Range{got, size, object});
     return got;
   }
@@ -71,15 +95,20 @@ Result<uint32_t> ConstraintSolver::Fit(std::map<uint32_t, Range>& ranges, uint32
 Result<Placement> ConstraintSolver::Place(const std::string& object, uint32_t text_size,
                                           uint32_t data_size, const PlacementHints& hints) {
   auto it = placements_.find(object);
+  bool regrow = false;
   if (it != placements_.end()) {
     // Strong constraint: reuse the existing implementation's placement when
     // it still fits this request.
     if (it->second.text_size >= text_size && it->second.data_size >= data_size) {
       Placement reused = it->second.placement;
       reused.reused = true;
+      Metrics().reuses->Add();
       return reused;
     }
     Release(object);
+    // The object outgrew its home: the refit below moves a live placement,
+    // so it must advance the layout generation like any other move.
+    regrow = true;
   }
   OMOS_TRY(uint32_t text_base, Fit(text_ranges_, arenas_.text_lo, arenas_.text_hi, text_size,
                                    hints.text_base, object));
@@ -90,14 +119,24 @@ Result<Placement> ConstraintSolver::Place(const std::string& object, uint32_t te
     text_ranges_.erase(text_base);
     return data.error();
   }
-  Placement placement{text_base, std::move(data).value(), false};
+  if (regrow) {
+    ++layout_generation_;
+    Metrics().moves->Add();
+  }
+  Placement placement{text_base, std::move(data).value(), false, layout_generation_};
   placements_[object] = Record{placement, text_size, data_size};
+  Metrics().places->Add();
   return placement;
 }
 
 const Placement* ConstraintSolver::Find(const std::string& object) const {
   auto it = placements_.find(object);
   return it == placements_.end() ? nullptr : &it->second.placement;
+}
+
+uint64_t ConstraintSolver::GenerationOf(const std::string& object) const {
+  auto it = placements_.find(object);
+  return it == placements_.end() ? 0 : it->second.placement.generation;
 }
 
 std::vector<std::string> ConstraintSolver::OptimizePlacements() {
@@ -110,6 +149,7 @@ std::vector<std::string> ConstraintSolver::OptimizePlacements() {
   text_ranges_.clear();
   data_ranges_.clear();
   conflicts_.clear();
+  uint64_t next_generation = layout_generation_ + 1;
   for (const auto& [object, record] : old) {
     auto text = Fit(text_ranges_, arenas_.text_lo, arenas_.text_hi, record.text_size,
                     std::nullopt, object);
@@ -118,14 +158,89 @@ std::vector<std::string> ConstraintSolver::OptimizePlacements() {
     if (!text.ok() || !data.ok()) {
       continue;  // arena exhaustion cannot happen while re-packing a subset
     }
-    Placement placement{std::move(text).value(), std::move(data).value(), false};
-    placements_[object] = Record{placement, record.text_size, record.data_size};
-    if (placement.text_base != record.placement.text_base ||
-        placement.data_base != record.placement.data_base) {
+    Placement placement{std::move(text).value(), std::move(data).value(), false,
+                        record.placement.generation};
+    bool moved = placement.text_base != record.placement.text_base ||
+                 placement.data_base != record.placement.data_base;
+    if (moved) {
+      placement.generation = next_generation;
       changed.push_back(object);
     }
+    placements_[object] = Record{placement, record.text_size, record.data_size};
+  }
+  if (!changed.empty()) {
+    layout_generation_ = next_generation;
+    Metrics().moves->Add(changed.size());
   }
   return changed;
+}
+
+std::vector<std::string> ConstraintSolver::SolveNamespace() {
+  Metrics().resolves->Add();
+  if (conflicts_.empty()) {
+    return {};  // the current layout already satisfies every client
+  }
+  // Deterministic order: conflicted objects by name, each handled once even
+  // if it spilled repeatedly.
+  std::set<std::string> pending;
+  std::map<std::string, uint32_t> wanted;
+  for (const ConflictRecord& conflict : conflicts_) {
+    if (placements_.count(conflict.object) > 0 && pending.insert(conflict.object).second) {
+      wanted[conflict.object] = conflict.wanted;
+    }
+  }
+  std::vector<std::string> moved;
+  uint64_t next_generation = layout_generation_ + 1;
+  size_t consumed = conflicts_.size();  // records that drove this pass
+  for (const std::string& object : pending) {
+    Record record = placements_.at(object);
+    Release(object);
+    PlacementHints hints;
+    hints.text_base = wanted.at(object);
+    size_t conflicts_before = conflicts_.size();
+    auto text = Fit(text_ranges_, arenas_.text_lo, arenas_.text_hi, record.text_size,
+                    hints.text_base, object);
+    auto data = Fit(data_ranges_, arenas_.data_lo, arenas_.data_hi, record.data_size,
+                    std::nullopt, object);
+    // Whether the wanted base freed up or not, Fit produced *some* home (the
+    // arenas still held this object a moment ago); a re-spill just re-logs
+    // the conflict for the next pass.
+    if (!text.ok() || !data.ok()) {
+      conflicts_.resize(conflicts_before);
+      // Put the old placement back; nothing changed for this object.
+      text_ranges_.emplace(record.placement.text_base,
+                           Range{record.placement.text_base,
+                                 PageAlignUp(std::max<uint32_t>(record.text_size, 1)), object});
+      data_ranges_.emplace(record.placement.data_base,
+                           Range{record.placement.data_base,
+                                 PageAlignUp(std::max<uint32_t>(record.data_size, 1)), object});
+      placements_[object] = record;
+      continue;
+    }
+    Placement placement{std::move(text).value(), std::move(data).value(), false,
+                        record.placement.generation};
+    if (placement.text_base != record.placement.text_base ||
+        placement.data_base != record.placement.data_base) {
+      placement.generation = next_generation;
+      moved.push_back(object);
+    }
+    placements_[object] = Record{placement, record.text_size, record.data_size};
+  }
+  // Conflicts that drove this pass are resolved; re-spills logged above
+  // (appended past `consumed`, possibly for the same objects) stay for the
+  // next pass. Drop only the records we consumed.
+  std::vector<ConflictRecord> remaining;
+  for (size_t i = 0; i < conflicts_.size(); ++i) {
+    if (i >= consumed || pending.count(conflicts_[i].object) == 0) {
+      remaining.push_back(conflicts_[i]);
+    }
+  }
+  conflicts_ = std::move(remaining);
+  if (!moved.empty()) {
+    layout_generation_ = next_generation;
+    Metrics().moves->Add(moved.size());
+  }
+  return moved;
 }
 
 std::vector<PlacementRecord> ConstraintSolver::ExportPlacements() const {
@@ -155,6 +270,7 @@ Result<void> ConstraintSolver::AdoptPlacement(const PlacementRecord& record) {
                        Range{record.placement.data_base, data_size, record.object});
   Placement placement = record.placement;
   placement.reused = false;
+  placement.generation = layout_generation_;
   placements_[record.object] = Record{placement, record.text_size, record.data_size};
   return OkResult();
 }

@@ -1,4 +1,5 @@
-// The prioritized address-constraint system (§3.5).
+// The prioritized address-constraint system (§3.5), generalized into a
+// namespace-global layout solver.
 //
 // Constraints, strongest first:
 //   1. required — no two placed objects may overlap;
@@ -8,6 +9,15 @@
 //                 not violate 1 (otherwise the solver spills to the next
 //                 free range and records the conflict, which the paper
 //                 suggests feeding back to improve placements).
+//
+// Fleet-wide prelink (§4.1 feedback loop): the solver's placement map IS
+// the global layout — one conflict-free home per image, valid for every
+// client simultaneously. The layout is versioned by a monotonic *layout
+// generation*: fresh placements do not bump it, but any pass that MOVES a
+// live placement (SolveNamespace, OptimizePlacements, a grow-refit) does.
+// Each placement carries the generation it was last (re)assigned at;
+// an image linked against placement P is valid for zero-relocation mapping
+// exactly while GenerationOf(object) still equals the stamp it recorded.
 #ifndef OMOS_SRC_CORE_CONSTRAINTS_H_
 #define OMOS_SRC_CORE_CONSTRAINTS_H_
 
@@ -30,6 +40,10 @@ struct Placement {
   uint32_t text_base = 0;
   uint32_t data_base = 0;
   bool reused = false;  // an existing identical placement was reused
+  // Layout generation this placement was last (re)assigned at. An image
+  // linked at this placement is prelink-valid while the solver still
+  // reports the same generation for the object.
+  uint64_t generation = 0;
 };
 
 struct ConflictRecord {
@@ -76,18 +90,40 @@ class ConstraintSolver {
   // determine better placements, or this could be done fully automatically."
   // Re-packs every known object into a deterministic, conflict-free layout
   // and clears the conflict log. Returns the objects whose placement
-  // changed (their cached images must be rebuilt).
+  // changed (their cached images must be rebuilt). Bumps the layout
+  // generation when anything moved.
   std::vector<std::string> OptimizePlacements();
+
+  // The fleet-wide re-solve: resolve every recorded conflict into a stable
+  // global layout while moving as little as possible. Objects whose hints
+  // lost to the no-overlap constraint are re-placed at their recorded
+  // wanted base when that range has since freed up (first-fit otherwise);
+  // every other placement stays at its current home. Deterministic: the
+  // conflict log is processed in object-name order. Clears the conflict log
+  // and bumps the layout generation iff any placement moved. Returns the
+  // moved objects (their cached images must be re-linked).
+  std::vector<std::string> SolveNamespace();
 
   const std::vector<ConflictRecord>& conflicts() const { return conflicts_; }
   size_t placed_count() const { return placements_.size(); }
   // Current placement of `object`, if any.
   const Placement* Find(const std::string& object) const;
 
+  // The global layout version. Starts at 1; bumped only when a live
+  // placement moves (never by a fresh Place), so store fingerprints stay
+  // stable while the layout is stable.
+  uint64_t layout_generation() const { return layout_generation_; }
+  // The generation `object`'s placement was last assigned at; 0 when the
+  // object is not placed. The prelink validity check.
+  uint64_t GenerationOf(const std::string& object) const;
+  // Restore path: resume the generation counter from a snapshot.
+  void set_layout_generation(uint64_t generation) { layout_generation_ = generation; }
+
   // Snapshot support: export every placement assignment, in object order.
   std::vector<PlacementRecord> ExportPlacements() const;
   // Claim `record`'s ranges for its object (restore path). Fails with
   // kConstraintConflict if the ranges are already owned by another object.
+  // The adopted placement is stamped with the current layout generation.
   Result<void> AdoptPlacement(const PlacementRecord& record);
 
  private:
@@ -113,6 +149,7 @@ class ConstraintSolver {
   std::map<uint32_t, Range> data_ranges_;
   std::map<std::string, Record> placements_;
   std::vector<ConflictRecord> conflicts_;
+  uint64_t layout_generation_ = 1;
 };
 
 }  // namespace omos

@@ -880,9 +880,17 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
     hints.data_base = spec.hints.data_base;
   }
   Placement placement;
+  bool conflict_grew = false;
   {
     std::lock_guard<std::mutex> lock(solver_mu_);
+    size_t conflicts_before = solver_.conflicts().size();
     OMOS_TRY(placement, solver_.Place(key, text_size, data_size + bss_size, hints));
+    conflict_grew = solver_.conflicts().size() > conflicts_before;
+  }
+  if (conflict_grew && prelink_enabled()) {
+    // A weak hint lost to a live placement: the recorded conflict feeds the
+    // namespace re-solve, and prelinked images re-link through the idle lane.
+    SchedulePrelinkRepair();
   }
 
   LayoutSpec layout;
@@ -907,6 +915,7 @@ Result<const CachedImage*> OmosServer::BuildImage(const std::string& path,
     cached.stub_slots = std::move(slots);
   }
   cached.build_cost = tracker.work;
+  cached.layout_generation = placement.generation;
   return cache_.Put(key, std::move(cached));
 }
 
@@ -974,9 +983,16 @@ void CollectMentionedPaths(const Sexpr& expr, std::vector<std::string>& out) {
 Result<uint64_t> OmosServer::StoreFingerprint(const std::string& norm,
                                               const Specialization& spec) const {
   FingerprintStream fp;
-  fp.Str("omos-store-v1");
+  fp.Str("omos-store-v2");
   fp.Str(norm);
   fp.Str(spec.ToKeyString());
+  // The layout generation versions every stored image: bytes published at
+  // generation G bake in generation-G addresses, so once any live placement
+  // moves (G bumps) stale records stop matching and cold builds replace them.
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    fp.U64(solver_.layout_generation());
+  }
   // Deterministic DFS over every namespace entry the construction can
   // reach: blueprint text for metas/libraries (covers constraints, default
   // specs and operator structure), encoded object bytes for fragments.
@@ -1041,6 +1057,7 @@ const CachedImage* OmosServer::TryAdoptFromStore(const std::string& norm,
   PlacementHints hints;
   hints.text_base = record.image.text_base;
   hints.data_base = record.image.data_base;
+  uint64_t placement_generation = 0;
   {
     std::lock_guard<std::mutex> lock(solver_mu_);
     auto placed = solver_.Place(key, static_cast<uint32_t>(record.image.text.size()),
@@ -1052,6 +1069,7 @@ const CachedImage* OmosServer::TryAdoptFromStore(const std::string& norm,
       MetricsRegistry::Global().GetCounter("store.placement_mismatches")->Add();
       return nullptr;
     }
+    placement_generation = placed->generation;
   }
   CachedImage cached;
   cached.image = std::move(record.image);
@@ -1064,6 +1082,7 @@ const CachedImage* OmosServer::TryAdoptFromStore(const std::string& norm,
     cached.stub_slots.push_back(StubSlot{slot.index, slot.slot_symbol, slot.lib_path, slot.symbol});
   }
   cached.build_cost = record.build_cost;
+  cached.layout_generation = placement_generation;
   if (!MaterializeSegments(cached).ok()) {
     return nullptr;  // out of frames; the cold path will report properly
   }
@@ -1219,6 +1238,222 @@ Result<TaskId> OmosServer::IntegratedExec(const std::string& path, std::vector<s
   std::lock_guard<std::mutex> lock(kernel_mu_);
   OMOS_TRY_VOID(StartTask(*kernel_, *task, entry, args));
   return task->id();
+}
+
+// ---- Fleet-wide prelink -------------------------------------------------------
+
+namespace {
+
+// Prelink-table counters; see docs/observability.md.
+struct PrelinkMetrics {
+  Counter* hits = MetricsRegistry::Global().GetCounter("prelink.hits");
+  Counter* stale = MetricsRegistry::Global().GetCounter("prelink.stale");
+  Counter* misses = MetricsRegistry::Global().GetCounter("prelink.misses");
+  Counter* relinks = MetricsRegistry::Global().GetCounter("prelink.relinks");
+  Counter* repairs = MetricsRegistry::Global().GetCounter("prelink.repairs");
+};
+
+PrelinkMetrics& PrelinkStats() {
+  static PrelinkMetrics* metrics = new PrelinkMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+void OmosServer::EnablePrelink() {
+  prelink_enabled_.store(true, std::memory_order_relaxed);
+}
+
+void OmosServer::RecordPrelinkEntry(const std::string& path, const std::string& cache_key) {
+  uint64_t stamp;
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    stamp = solver_.GenerationOf(cache_key);
+  }
+  std::lock_guard<std::mutex> lock(prelink_mu_);
+  prelink_[OmosNamespace::Normalize(path)] = PrelinkEntry{cache_key, stamp};
+}
+
+Result<int> OmosServer::PrelinkNamespace(const std::string& prefix) {
+  TraceSpan trace("server.prelink_namespace", prefix);
+  std::string dir = OmosNamespace::Normalize(prefix);
+  int recorded = 0;
+  for (const std::string& name : namespace_.List(dir)) {
+    std::string meta_path = dir == "/" ? "/" + name : dir + "/" + name;
+    auto entry = namespace_.Lookup(meta_path);
+    if (!entry.ok() || (*entry)->kind == EntryKind::kFragment) {
+      continue;  // only executable meta-objects get prelink entries
+    }
+    uint64_t scratch = 0;
+    ImageCache::ReadLease lease(cache_);  // pins *image across RecordPrelinkEntry
+    OMOS_TRY(const CachedImage* image, Instantiate(meta_path, {}, &scratch));
+    RecordPrelinkEntry(meta_path, image->key);
+    ++recorded;
+  }
+  // Prelinking a namespace opts into conflict-driven repair: future
+  // placement collisions re-solve + re-link in the background.
+  EnablePrelink();
+  return recorded;
+}
+
+size_t OmosServer::PrelinkValidCount() const {
+  std::vector<PrelinkEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(prelink_mu_);
+    entries.reserve(prelink_.size());
+    for (const auto& [path, entry] : prelink_) {
+      entries.push_back(entry);
+    }
+  }
+  size_t valid = 0;
+  std::lock_guard<std::mutex> lock(solver_mu_);
+  for (const PrelinkEntry& entry : entries) {
+    if (entry.stamp != 0 && solver_.GenerationOf(entry.cache_key) == entry.stamp) {
+      ++valid;
+    }
+  }
+  return valid;
+}
+
+Result<TaskId> OmosServer::PrelinkedExec(const std::string& path, std::vector<std::string> args) {
+  TraceSpan trace("server.exec_prelinked", path);
+  std::string norm = OmosNamespace::Normalize(path);
+  PrelinkEntry entry;
+  bool have_entry = false;
+  {
+    std::lock_guard<std::mutex> lock(prelink_mu_);
+    auto it = prelink_.find(norm);
+    if (it != prelink_.end()) {
+      entry = it->second;
+      have_entry = true;
+    }
+  }
+  Task* task;
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    task = &kernel_->CreateTask(StrCat("omos-prelink:", path));
+  }
+  ImageCache::ReadLease lease(cache_);  // pins *image across mapping
+  const CachedImage* image = nullptr;
+  if (have_entry) {
+    // The stamp compare IS the validity check: the image's relocations were
+    // applied at `entry.stamp`; while the solver still reports that
+    // generation for the key, every address baked into the image is current
+    // and the map below performs zero relocations.
+    bool stamp_valid;
+    {
+      std::lock_guard<std::mutex> lock(solver_mu_);
+      stamp_valid = entry.stamp != 0 && solver_.GenerationOf(entry.cache_key) == entry.stamp;
+    }
+    if (stamp_valid) {
+      image = cache_.Get(entry.cache_key);
+    }
+  }
+  if (image != nullptr) {
+    PrelinkStats().hits->Add();
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    task->BillSys(kernel_->costs().prelink_lookup);
+  } else {
+    // No entry, a stale stamp, or the image fell out of the cache: pay the
+    // full lookup, then let the idle lane re-link everything stale so the
+    // next exec is fast again.
+    if (have_entry) {
+      PrelinkStats().stale->Add();
+    } else {
+      PrelinkStats().misses->Add();
+    }
+    uint64_t work = 0;
+    OMOS_TRY(image, Instantiate(norm, {}, &work));
+    {
+      std::lock_guard<std::mutex> lock(kernel_mu_);
+      task->BillSys(work + kernel_->costs().omos_cache_lookup);
+    }
+    RecordPrelinkEntry(norm, image->key);
+    if (have_entry && prelink_enabled()) {
+      SchedulePrelinkRepair();
+    }
+  }
+  OMOS_TRY(uint32_t entry_addr, MapProgram(*task, *image));
+  std::lock_guard<std::mutex> lock(kernel_mu_);
+  OMOS_TRY_VOID(StartTask(*kernel_, *task, entry_addr, args));
+  return task->id();
+}
+
+void OmosServer::SchedulePrelinkRepair() {
+  {
+    std::lock_guard<std::mutex> lock(prelink_mu_);
+    if (prelink_repair_queued_) {
+      return;  // one repair pass covers every conflict recorded before it runs
+    }
+    prelink_repair_queued_ = true;
+  }
+  // Same lifetime discipline as the optimizer jobs: the job holds the shared
+  // state, not the server, and no-ops if the server died first.
+  std::shared_ptr<OptimizerState> state = optimizer_;
+  ThreadPool::Global().SubmitBackground([state] {
+    std::lock_guard<std::mutex> alive(state->job_mu);
+    if (state->server != nullptr) {
+      state->server->RunPrelinkRepair();
+    }
+  });
+}
+
+void OmosServer::RunPrelinkRepair() {
+  {
+    std::lock_guard<std::mutex> lock(prelink_mu_);
+    prelink_repair_queued_ = false;  // conflicts after this point re-queue
+  }
+  TraceSpan trace("server.prelink_repair", "");
+  PrelinkStats().repairs->Add();
+  std::vector<std::string> moved;
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    moved = solver_.SolveNamespace();
+  }
+  if (!moved.empty()) {
+    // Addresses in cached client replies moved; stub caches must refresh.
+    BumpNamespaceGeneration();
+    for (const std::string& key : moved) {
+      if (cache_.Contains(key)) {
+        cache_.Evict(key);
+      }
+    }
+    // Images that linked against a moved library baked in its old addresses.
+    ImageCache::ReadLease lease(cache_);  // keeps Peek pointers valid across Evict
+    for (const std::string& moved_key : moved) {
+      for (const std::string& key : cache_.Keys()) {
+        const CachedImage* image = cache_.Peek(key);
+        if (image == nullptr) {
+          continue;
+        }
+        for (const LibDep& dep : image->deps) {
+          if (dep.cache_key == moved_key) {
+            cache_.Evict(key);
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Re-instantiate every prelinked path at the solved layout and re-stamp
+  // its entry. Unmoved images are warm cache hits; moved ones re-link once
+  // here instead of on a client's critical path.
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(prelink_mu_);
+    paths.reserve(prelink_.size());
+    for (const auto& [path, entry] : prelink_) {
+      paths.push_back(path);
+    }
+  }
+  for (const std::string& path : paths) {
+    uint64_t scratch = 0;
+    auto image = Instantiate(path, {}, &scratch);
+    if (image.ok()) {
+      RecordPrelinkEntry(path, (*image)->key);
+      PrelinkStats().relinks->Add();
+    }
+  }
 }
 
 Result<int> OmosServer::ExportNamespaceToFs(std::string_view namespace_dir,
@@ -1438,6 +1673,7 @@ Result<OmosServer::DynLoadResult> OmosServer::DynamicLoad(
       }
     }
     ci.build_cost = tracker.work;
+    ci.layout_generation = placement.generation;
     cached = cache_.Put(key, std::move(ci));
   }
   task.BillSys(tracker.work + kernel_->costs().omos_cache_lookup);
@@ -1526,6 +1762,7 @@ Result<void> OmosServer::HandleOmosUnloadSys(Kernel& kernel, Task& task) {
 //   meta <kind> <blueprint-len> <path>\n<blueprint>\n
 //   frag <hex-len> <path>\n<hex-of-XOF-object>\n
 //   order <count> <path>\n<routine-name>\n ...
+//   layoutgen <generation>
 //   place <text-base> <text-size> <data-base> <data-size> <object-key>
 //   check <fnv64-hex>
 
@@ -1650,10 +1887,15 @@ std::string OmosServer::Snapshot() const {
     }
   }
   std::vector<PlacementRecord> placements;
+  uint64_t layout_generation = 1;
   {
     std::lock_guard<std::mutex> lock(solver_mu_);
     placements = solver_.ExportPlacements();
+    layout_generation = solver_.layout_generation();
   }
+  // Before the place lines: Restore() must resume the generation counter
+  // before adoptions stamp placements with it.
+  out += StrCat("layoutgen ", layout_generation, "\n");
   for (const PlacementRecord& record : placements) {
     out += StrCat("place ", record.placement.text_base, " ", record.text_size, " ",
                   record.placement.data_base, " ", record.data_size, " ", record.object, "\n");
@@ -1708,6 +1950,10 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
       }
       std::lock_guard<std::mutex> lock(monitor_mu_);
       preferred_order_[OmosNamespace::Normalize(line)] = std::move(order);
+    } else if (tag == "layoutgen") {
+      OMOS_TRY(uint64_t generation, PopNumber(line));
+      std::lock_guard<std::mutex> lock(solver_mu_);
+      solver_.set_layout_generation(generation);
     } else if (tag == "place") {
       PlacementRecord record;
       OMOS_TRY(uint64_t text_base, PopNumber(line));
@@ -1731,37 +1977,45 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
 // ---- Administration -----------------------------------------------------------
 
 int OmosServer::OptimizePlacements() {
-  std::lock_guard<std::mutex> admin_lock(admin_mu_);
-  // Cached client replies carry segment addresses; a re-pack moves them.
-  BumpNamespaceGeneration();
-  std::vector<std::string> changed;
-  {
-    std::lock_guard<std::mutex> lock(solver_mu_);
-    changed = solver_.OptimizePlacements();
-  }
   int evicted = 0;
-  for (const std::string& key : changed) {
-    if (cache_.Contains(key)) {
-      cache_.Evict(key);
-      ++evicted;
+  {
+    std::lock_guard<std::mutex> admin_lock(admin_mu_);
+    // Cached client replies carry segment addresses; a re-pack moves them.
+    BumpNamespaceGeneration();
+    std::vector<std::string> changed;
+    {
+      std::lock_guard<std::mutex> lock(solver_mu_);
+      changed = solver_.OptimizePlacements();
     }
-  }
-  // Any image that depended on a moved library is stale too.
-  ImageCache::ReadLease lease(cache_);  // keeps Peek pointers valid across Evict
-  for (const std::string& moved : changed) {
-    for (const std::string& key : cache_.Keys()) {
-      const CachedImage* image = cache_.Peek(key);
-      if (image == nullptr) {
-        continue;
+    for (const std::string& key : changed) {
+      if (cache_.Contains(key)) {
+        cache_.Evict(key);
+        ++evicted;
       }
-      for (const LibDep& dep : image->deps) {
-        if (dep.cache_key == moved) {
-          cache_.Evict(key);
-          ++evicted;
-          break;
+    }
+    // Any image that depended on a moved library is stale too.
+    ImageCache::ReadLease lease(cache_);  // keeps Peek pointers valid across Evict
+    for (const std::string& moved : changed) {
+      for (const std::string& key : cache_.Keys()) {
+        const CachedImage* image = cache_.Peek(key);
+        if (image == nullptr) {
+          continue;
+        }
+        for (const LibDep& dep : image->deps) {
+          if (dep.cache_key == moved) {
+            cache_.Evict(key);
+            ++evicted;
+            break;
+          }
         }
       }
     }
+  }
+  // Outside admin_mu_ (the repair re-enters Instantiate): re-link prelinked
+  // images at the re-packed layout and re-stamp their table entries, so an
+  // administrative re-pack doesn't leave the whole prelink table stale.
+  if (prelink_enabled()) {
+    RunPrelinkRepair();
   }
   return evicted;
 }
@@ -1940,7 +2194,15 @@ Channel OmosServer::MakeChannel(ExecTransport transport) {
       RingConfig config;
       config.handoff_cost = costs.ring_handoff;
       config.slot_cost = costs.ring_slot;
-      return Channel(MakeRingTransport(std::move(serve), config));
+      ServeFn fallback_serve = [this](const std::vector<uint8_t>& bytes) {
+        return ServeMessage(bytes);
+      };
+      Channel channel(MakeRingTransport(std::move(serve), config));
+      // A ring whose checksums keep failing (damaged shared mapping) demotes
+      // to the plain stream so clients stay reachable, just slower.
+      channel.ArmFallbackTransport(
+          MakeStreamTransport(std::move(fallback_serve), costs.ipc_round_trip, 2));
+      return channel;
     }
     case ExecTransport::kPort:
       break;
@@ -2133,6 +2395,25 @@ OmosReply OmosServer::HandleIntrospect(const OmosRequest& request) {
     }
     reply.ok = true;
     reply.payload = *profile;
+    return reply;
+  }
+  if (cmd == "placements") {
+    // The global layout as the solver sees it: generation, one line per
+    // placed object (with its stamp), then the outstanding conflict log.
+    reply.ok = true;
+    std::string out;
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    out = StrCat("layout generation ", solver_.layout_generation(), "\n");
+    for (const PlacementRecord& record : solver_.ExportPlacements()) {
+      out += StrCat("place T=", Hex32(record.placement.text_base),
+                    " D=", Hex32(record.placement.data_base),
+                    " gen=", record.placement.generation, " ", record.object, "\n");
+    }
+    for (const ConflictRecord& conflict : solver_.conflicts()) {
+      out += StrCat("conflict ", conflict.object, " wanted=", Hex32(conflict.wanted),
+                    " got=", Hex32(conflict.got), " holder=", conflict.holder, "\n");
+    }
+    reply.payload = out;
     return reply;
   }
   reply.error = StrCat("unknown introspect subcommand: ", cmd);

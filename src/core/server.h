@@ -135,6 +135,14 @@ class OmosServer {
                                const Specialization& spec = {});
   Result<TaskId> IntegratedExec(const std::string& path, std::vector<std::string> args,
                                 const Specialization& spec = {});
+  // Fleet-wide prelink exec: the prelink table maps `path` straight to a
+  // cache key plus the layout generation its image was linked at. When the
+  // stamp still matches the solver, the image maps with zero per-exec
+  // relocation for `prelink_lookup` cycles (< omos_cache_lookup — no
+  // namespace traversal, no blueprint normalization). A stale stamp falls
+  // back to a full Instantiate and queues a background re-link that
+  // refreshes the entry through the idle lane. Requires PrelinkNamespace.
+  Result<TaskId> PrelinkedExec(const std::string& path, std::vector<std::string> args);
   // `#! /bin/omos <meta-path>` interpreter-style exec from a SimFs file.
   Result<TaskId> ExecFile(const std::string& fs_path, std::vector<std::string> args,
                           bool integrated);
@@ -194,6 +202,22 @@ class OmosServer {
   // already picked up; returns how many the caller ran. Gives tests (and
   // shutdown) a deterministic "all background work done" point.
   size_t DrainBackgroundWork();
+
+  // ---- Fleet-wide prelink (§4.1 feedback loop) ------------------------------
+  // Turn on prelink maintenance: placement conflicts observed during builds
+  // trigger a recorded namespace re-solve plus a background re-link of every
+  // prelinked image whose home moved (idle lane), so the table converges
+  // back to 100% zero-relocation exec without blocking any foreground
+  // request.
+  void EnablePrelink();
+  bool prelink_enabled() const { return prelink_enabled_.load(std::memory_order_relaxed); }
+  // Instantiate every meta-object under `prefix` (default spec) and record
+  // each in the prelink table with the layout-generation stamp its image
+  // was linked at. Returns the number of entries (re)recorded.
+  Result<int> PrelinkNamespace(const std::string& prefix);
+  // How many prelink entries are currently stamp-valid (their object still
+  // sits at the generation the image was linked at). Test/CLI helper.
+  size_t PrelinkValidCount() const;
 
   // ---- Crash / recovery -----------------------------------------------------
   // Serialize the server's durable state — the namespace (blueprints and
@@ -402,6 +426,25 @@ class OmosServer {
     std::map<std::string, std::string> alias;      // original -> optimized key
   };
 
+  // One prelink-table row: the cache key `path` resolves to, plus the
+  // layout generation the cached image's relocations were applied at. The
+  // entry is exec-valid while the solver still reports `stamp` for the key.
+  struct PrelinkEntry {
+    std::string cache_key;
+    uint64_t stamp = 0;
+  };
+
+  // Record/refresh `path`'s prelink entry from the current cache + solver
+  // state. Called after a successful Instantiate of a prelinked path.
+  void RecordPrelinkEntry(const std::string& path, const std::string& cache_key);
+  // Queue the conflict-repair job on the idle lane (at most one in flight):
+  // SolveNamespace under solver_mu_, evict moved images + dependents, then
+  // re-instantiate every prelinked path so its entry is stamp-valid again.
+  void SchedulePrelinkRepair();
+  // Body of the repair job; also the synchronous core of OptimizePlacements'
+  // prelink refresh.
+  void RunPrelinkRepair();
+
   // Warm-hit bookkeeping for `key` (path `norm`, default spec only); queues
   // an optimization job at the hot threshold.
   void NoteWarmHit(const std::string& key, const std::string& norm, const Specialization& spec);
@@ -438,6 +481,14 @@ class OmosServer {
   std::map<std::string, std::vector<std::string>> preferred_order_;
 
   std::shared_ptr<OptimizerState> optimizer_ = std::make_shared<OptimizerState>();
+
+  // Prelink table: path -> entry. prelink_mu_ is a LEAF lock — acquired on
+  // its own, never while holding (or before taking) any lock above; the
+  // exec path reads the entry, drops the lock, then consults the solver.
+  mutable std::mutex prelink_mu_;
+  std::map<std::string, PrelinkEntry> prelink_;         // guarded by prelink_mu_
+  bool prelink_repair_queued_ = false;                  // guarded by prelink_mu_
+  std::atomic<bool> prelink_enabled_{false};
 
   // See namespace_generation(); starts at 1 so "0" is always stale.
   std::atomic<uint64_t> namespace_generation_{1};

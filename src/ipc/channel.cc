@@ -39,6 +39,8 @@ struct ChannelMetrics {
   Counter* stub_hits = MetricsRegistry::Global().GetCounter("ipc.stub_cache.hits");
   Counter* stub_invalidations =
       MetricsRegistry::Global().GetCounter("ipc.stub_cache.invalidations");
+  Counter* transport_fallbacks =
+      MetricsRegistry::Global().GetCounter("ipc.transport_fallbacks");
 };
 
 ChannelMetrics& Metrics() {
@@ -47,6 +49,13 @@ ChannelMetrics& Metrics() {
 }
 
 }  // namespace
+
+void Channel::ArmFallbackTransport(std::unique_ptr<Transport> fallback, int threshold) {
+  fallback_ = std::move(fallback);
+  fallback_threshold_ = std::max(1, threshold);
+  consecutive_corrupted_ = 0;
+  fallback_engaged_ = false;
+}
 
 void Channel::EnableStubCache(size_t max_entries) {
   stub_capacity_ = max_entries;
@@ -137,12 +146,27 @@ Result<void> Channel::ExchangeWithRetry(
       if (decoded.ok()) {
         last_error.reset();
         delivered = true;
+        consecutive_corrupted_ = 0;  // a clean round trip ends the streak
         break;
       }
       // A reply that unmarshals wrong is as retryable as a damaged frame.
       last_error = decoded.error();
     } else {
       last_error = reply_bytes.error();
+    }
+    // Adaptive demotion: a streak of checksum failures means the transport
+    // itself (a damaged ring mapping) is suspect, not the request — swap to
+    // the armed fallback so the remaining retries go out on clean plumbing.
+    if (last_error->code() == ErrorCode::kCorrupted && fallback_ != nullptr) {
+      if (++consecutive_corrupted_ >= fallback_threshold_) {
+        transport_ = std::move(fallback_);
+        fallback_engaged_ = true;
+        consecutive_corrupted_ = 0;
+        Metrics().transport_fallbacks->Add();
+        TraceInstant("ipc.transport_fallback", "ring->stream");
+      }
+    } else if (last_error->code() != ErrorCode::kCorrupted) {
+      consecutive_corrupted_ = 0;
     }
     if (!IsRetryableError(last_error->code())) {
       break;

@@ -69,6 +69,14 @@ class Channel {
   // `max_entries` bounds the cache; 0 disables it again.
   void EnableStubCache(size_t max_entries = 256);
 
+  // Adaptive transport demotion: after `threshold` consecutive kCorrupted
+  // round trips the channel permanently swaps to `fallback` (typically a
+  // plain stream when the shared-memory ring's checksums keep failing —
+  // slower, but not sharing the damaged mapping). A successful round trip
+  // resets the streak. Demotions count in ipc.transport_fallbacks.
+  void ArmFallbackTransport(std::unique_ptr<Transport> fallback, int threshold = 3);
+  bool fallback_engaged() const { return fallback_engaged_; }
+
   // Full marshal -> deliver -> unmarshal round trip, retried per the policy.
   // If `task` is non-null the round-trip cost (including backoff waits) is
   // billed to its system time; otherwise it is accumulated in
@@ -118,6 +126,10 @@ class Channel {
   void StubInsert(const OmosRequest& request, const OmosReply& reply);
 
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<Transport> fallback_;
+  int fallback_threshold_ = 0;
+  int consecutive_corrupted_ = 0;
+  bool fallback_engaged_ = false;
   RetryPolicy retry_;
   uint64_t cycles_billed_ = 0;
   uint64_t calls_made_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/metrics.h"
 #include "src/support/regex_cache.h"
 #include "src/support/strings.h"
 
@@ -43,10 +44,19 @@ Module Module::FromObject(FragmentPtr object) {
   const auto& symbols = object->symbols();
   space->exports.reserve(symbols.size());
   space->refs.reserve(symbols.size());
-  // Exports: all defined non-local symbols.
+  // Exports: all defined non-local symbols whose visibility lets them leave
+  // the object. Effectively-hidden globals (explicit `.hidden`, or kDefault
+  // under default-hidden mode) never enter the export table, so every
+  // downstream SymbolSpace copy, merge, and view pass skips them entirely —
+  // the symbol-table half of selective extraction.
+  static Counter* pruned_symbols = MetricsRegistry::Global().GetCounter("link.pruned_symbols");
   for (uint32_t i = 0; i < symbols.size(); ++i) {
     const Symbol& sym = symbols[i];
     if (sym.defined && sym.binding != SymbolBinding::kLocal) {
+      if (object->IsEffectivelyHidden(sym)) {
+        pruned_symbols->Add();
+        continue;
+      }
       space->exports.insert_or_assign(IdOf(sym),
                                       Export{DefId{0, i}, sym.binding == SymbolBinding::kWeak});
     }
@@ -61,7 +71,9 @@ Module Module::FromObject(FragmentPtr object) {
   }
   // References: undefined symbols (unbound), plus self-references to own
   // globals (bound-to-self, virtual). A reference exists if any relocation
-  // names the symbol.
+  // names the symbol. Self-references to effectively-hidden definitions bind
+  // *frozen* — with no export there is nothing for override/restrict to
+  // rebind them to, exactly the state `hide` produces (§3.3).
   for (uint32_t i = 0; i < symbols.size(); ++i) {
     const Symbol& sym = symbols[i];
     SymId id = IdOf(sym);
@@ -69,8 +81,9 @@ Module Module::FromObject(FragmentPtr object) {
       space->refs.insert_or_assign(PackRefKey(0, id),
                                    RefRecord{BindState::kUnbound, DefId{}, id});
     } else if (sym.binding != SymbolBinding::kLocal && referenced.contains(id)) {
-      space->refs.insert_or_assign(PackRefKey(0, id),
-                                   RefRecord{BindState::kBound, DefId{0, i}, id});
+      BindState state =
+          object->IsEffectivelyHidden(sym) ? BindState::kFrozen : BindState::kBound;
+      space->refs.insert_or_assign(PackRefKey(0, id), RefRecord{state, DefId{0, i}, id});
     }
   }
   m.base_ = std::move(space);

@@ -48,6 +48,20 @@ class XofBinaryBackend : public ObjectBackend {
       w.U32(sym.value);
       w.U32(sym.size);
     }
+    // Visibility trailer, emitted only when some annotation is non-default:
+    // an all-default object encodes to the exact pre-visibility byte stream,
+    // so existing goldens, store fingerprints, and mixed-version readers are
+    // unaffected. Readers detect the trailer by the stream not being at end.
+    bool any_visibility = object.default_hidden();
+    for (const Symbol& sym : object.symbols()) {
+      any_visibility = any_visibility || sym.visibility != SymbolVisibility::kDefault;
+    }
+    if (any_visibility) {
+      w.U8(object.default_hidden() ? 1 : 0);
+      for (const Symbol& sym : object.symbols()) {
+        w.U8(static_cast<uint8_t>(sym.visibility));
+      }
+    }
     return w.Take();
   }
 
@@ -96,6 +110,24 @@ class XofBinaryBackend : public ObjectBackend {
       OMOS_TRY(sym.size, r.U32());
       OMOS_TRY_VOID(object.AddSymbol(std::move(sym)));
     }
+    // Optional visibility trailer (see Encode). Symbol names in an encoded
+    // object are unique, so AddSymbol appended exactly nsyms entries and the
+    // trailer indexes them positionally.
+    if (!r.AtEnd()) {
+      OMOS_TRY(uint8_t default_hidden, r.U8());
+      object.set_default_hidden(default_hidden != 0);
+      if (object.symbols().size() != nsyms) {
+        return Err(ErrorCode::kParseError, "visibility trailer: symbol count mismatch");
+      }
+      for (uint32_t k = 0; k < nsyms; ++k) {
+        OMOS_TRY(uint8_t visibility, r.U8());
+        if (visibility > static_cast<uint8_t>(SymbolVisibility::kHidden)) {
+          return Err(ErrorCode::kParseError,
+                     StrCat("bad symbol visibility ", static_cast<int>(visibility)));
+        }
+        object.mutable_symbols()[k].visibility = static_cast<SymbolVisibility>(visibility);
+      }
+    }
     return object;
   }
 };
@@ -106,7 +138,10 @@ class XofBinaryBackend : public ObjectBackend {
 //   section text|data <hex bytes>
 //   bss <size>
 //   reloc <section> <offset> <kind> <symbol> <addend>
-//   symbol <name> <binding> def|undef <section> <value> <size>
+//   symbol <name> <binding> def|undef <section> <value> <size> [<visibility>]
+//   default_hidden
+// The visibility token and the default_hidden record are emitted only when
+// non-default, keeping default-mode output byte-identical to older encoders.
 class XofTextBackend : public ObjectBackend {
  public:
   std::string_view format_name() const override { return "xof-text"; }
@@ -142,7 +177,14 @@ class XofTextBackend : public ObjectBackend {
     for (const Symbol& sym : object.symbols()) {
       out << "symbol " << sym.name << " " << SymbolBindingName(sym.binding) << " "
           << (sym.defined ? "def" : "undef") << " " << SectionKindName(sym.section) << " "
-          << sym.value << " " << sym.size << "\n";
+          << sym.value << " " << sym.size;
+      if (sym.visibility != SymbolVisibility::kDefault) {
+        out << " " << SymbolVisibilityName(sym.visibility);
+      }
+      out << "\n";
+    }
+    if (object.default_hidden()) {
+      out << "default_hidden\n";
     }
     std::string s = out.str();
     return std::vector<uint8_t>(s.begin(), s.end());
@@ -179,6 +221,8 @@ class XofTextBackend : public ObjectBackend {
         OMOS_TRY_VOID(ParseReloc(fields, object));
       } else if (tag == "symbol") {
         OMOS_TRY_VOID(ParseSymbol(fields, object));
+      } else if (tag == "default_hidden") {
+        object.set_default_hidden(true);
       } else {
         return Err(ErrorCode::kParseError, StrCat("xof-text: unknown record '", tag, "'"));
       }
@@ -264,6 +308,17 @@ class XofTextBackend : public ObjectBackend {
     }
     sym.defined = defined == "def";
     OMOS_TRY(sym.section, ParseSectionKind(section_name));
+    std::string visibility;
+    if (fields >> visibility) {
+      if (visibility == "exported") {
+        sym.visibility = SymbolVisibility::kExported;
+      } else if (visibility == "hidden") {
+        sym.visibility = SymbolVisibility::kHidden;
+      } else if (visibility != "default") {
+        return Err(ErrorCode::kParseError,
+                   StrCat("xof-text: bad visibility '", visibility, "'"));
+      }
+    }
     return object.AddSymbol(std::move(sym));
   }
 };

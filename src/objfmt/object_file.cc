@@ -38,6 +38,18 @@ std::string_view SymbolBindingName(SymbolBinding binding) {
   return "?";
 }
 
+std::string_view SymbolVisibilityName(SymbolVisibility visibility) {
+  switch (visibility) {
+    case SymbolVisibility::kDefault:
+      return "default";
+    case SymbolVisibility::kExported:
+      return "exported";
+    case SymbolVisibility::kHidden:
+      return "hidden";
+  }
+  return "?";
+}
+
 ObjectFile::ObjectFile() : ObjectFile("") {}
 
 ObjectFile::ObjectFile(std::string name) : name_(std::move(name)) {
@@ -188,7 +200,8 @@ uint32_t ObjectFile::TotalSize() const {
 }
 
 bool ObjectFile::operator==(const ObjectFile& other) const {
-  return name_ == other.name_ && sections_ == other.sections_ && symbols_ == other.symbols_;
+  return name_ == other.name_ && sections_ == other.sections_ && symbols_ == other.symbols_ &&
+         default_hidden_ == other.default_hidden_;
 }
 
 }  // namespace omos

@@ -97,6 +97,18 @@ enum class SymbolBinding : uint8_t { kLocal = 0, kGlobal = 1, kWeak = 2 };
 
 std::string_view SymbolBindingName(SymbolBinding binding);
 
+// Export visibility, orthogonal to binding. Binding says who may *bind* a
+// name (linkage); visibility says whether the definition leaves the object
+// at all. kDefault defers to the object's default-hidden mode: in an
+// all-exported object it exports, in a default-hidden object it does not.
+// An effectively-hidden global is still linkable *within* its object (its
+// self-references freeze to the local definition) but never enters the
+// module's export table, so SymbolSpace, merge, and relocation never index
+// it — the paper's selective-extraction story applied to symbol tables.
+enum class SymbolVisibility : uint8_t { kDefault = 0, kExported = 1, kHidden = 2 };
+
+std::string_view SymbolVisibilityName(SymbolVisibility visibility);
+
 // A symbol table entry. `defined` entries name a location (`section`,
 // `value` = offset within section); undefined entries are references that
 // the linker must bind (the paper's "references" as opposed to
@@ -108,13 +120,15 @@ struct Symbol {
   SectionKind section = SectionKind::kText;
   uint32_t value = 0;
   uint32_t size = 0;
+  SymbolVisibility visibility = SymbolVisibility::kDefault;
   // Interned id of `name`, maintained by AddSymbol/RebuildSymbolIndex.
   // Not part of identity.
   SymId id = kNoSymId;
 
   bool operator==(const Symbol& other) const {
     return name == other.name && binding == other.binding && defined == other.defined &&
-           section == other.section && value == other.value && size == other.size;
+           section == other.section && value == other.value && size == other.size &&
+           visibility == other.visibility;
   }
 };
 
@@ -145,6 +159,19 @@ class ObjectFile {
 
   const std::vector<Symbol>& symbols() const { return symbols_; }
   std::vector<Symbol>& mutable_symbols() { return symbols_; }
+
+  // Default-hidden mode (the `.default_hidden` directive): kDefault-visibility
+  // globals stop exporting; only explicit `.export` symbols leave the object.
+  bool default_hidden() const { return default_hidden_; }
+  void set_default_hidden(bool hidden) { default_hidden_ = hidden; }
+
+  // True when `sym` does not export from this object: explicitly hidden, or
+  // default-visibility under default-hidden mode. Meaningless for locals
+  // (which never export) and undefined symbols.
+  bool IsEffectivelyHidden(const Symbol& sym) const {
+    return sym.visibility == SymbolVisibility::kHidden ||
+           (default_hidden_ && sym.visibility == SymbolVisibility::kDefault);
+  }
 
   // Call after renaming symbols through mutable_symbols(): rebuilds the
   // name index FindSymbol/Validate rely on. Duplicate names are an error.
@@ -183,6 +210,7 @@ class ObjectFile {
   std::vector<Section> sections_;  // indexed by SectionKind
   std::vector<Symbol> symbols_;
   FlatMap<SymId, uint32_t> symbol_index_;  // interned name -> symbols_ slot
+  bool default_hidden_ = false;
 };
 
 }  // namespace omos

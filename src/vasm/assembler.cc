@@ -356,8 +356,9 @@ class Assembler {
           section = SectionKind::kData;
         } else if (d == ".bss") {
           section = SectionKind::kBss;
-        } else if (d == ".global" || d == ".weak" || d == ".local") {
-          continue;  // visibility handled in Emit
+        } else if (d == ".global" || d == ".weak" || d == ".local" || d == ".export" ||
+                   d == ".hidden" || d == ".default_hidden") {
+          continue;  // binding/visibility handled in Emit
         } else if (d == ".align") {
           std::optional<int64_t> n =
               line.dir_args.empty() ? std::optional<int64_t>() : ParseNumber(line.dir_args[0]);
@@ -454,6 +455,21 @@ class Assembler {
       return OkResult();
     }
     if (d == ".local") {
+      return OkResult();
+    }
+    if (d == ".export" || d == ".hidden") {
+      for (const std::string& name : line.dir_args) {
+        Symbol* sym = object_.FindMutableSymbol(name);
+        if (sym == nullptr || !sym->defined) {
+          return LineErr(line.number, StrCat(d, " of undefined label ", name));
+        }
+        sym->visibility =
+            d == ".hidden" ? SymbolVisibility::kHidden : SymbolVisibility::kExported;
+      }
+      return OkResult();
+    }
+    if (d == ".default_hidden") {
+      object_.set_default_hidden(true);
       return OkResult();
     }
     if (d == ".align") {

@@ -163,6 +163,156 @@ TEST(Constraints, ExhaustionReported) {
   EXPECT_EQ(result.error().code(), ErrorCode::kConstraintConflict);
 }
 
+TEST(Constraints, ExhaustionRecoversAfterRelease) {
+  SolverArenas arenas;
+  arenas.text_lo = 0x100000;
+  arenas.text_hi = 0x103000;
+  ConstraintSolver solver(arenas);
+  ASSERT_OK(solver.Place("a", 0x2000, 0x1000));
+  ASSERT_FALSE(solver.Place("b", 0x2000, 0x1000).ok());
+  solver.Release("a");
+  // The failed attempt left no partial reservation behind: the freed arena
+  // accepts the same request, at the same first-fit base "a" vacated.
+  ASSERT_OK_AND_ASSIGN(Placement b, solver.Place("b", 0x2000, 0x1000));
+  EXPECT_EQ(b.text_base, 0x100000u);
+  EXPECT_EQ(solver.placed_count(), 1u);
+}
+
+TEST(Constraints, FreshPlacementsDoNotAdvanceGeneration) {
+  ConstraintSolver solver;
+  uint64_t start = solver.layout_generation();
+  ASSERT_OK_AND_ASSIGN(Placement a, solver.Place("a", 0x1000, 0x1000));
+  ASSERT_OK_AND_ASSIGN(Placement b, solver.Place("b", 0x1000, 0x1000));
+  // New placements join the current layout; only a *move* of a live
+  // placement invalidates prelink stamps.
+  EXPECT_EQ(solver.layout_generation(), start);
+  EXPECT_EQ(a.generation, start);
+  EXPECT_EQ(b.generation, start);
+  EXPECT_EQ(solver.GenerationOf("a"), start);
+  EXPECT_EQ(solver.GenerationOf("missing"), 0u);
+}
+
+TEST(Constraints, RegrowAdvancesGeneration) {
+  ConstraintSolver solver;
+  uint64_t start = solver.layout_generation();
+  ASSERT_OK(solver.Place("lib", 0x1000, 0x1000));
+  ASSERT_OK_AND_ASSIGN(Placement big, solver.Place("lib", 0x40000, 0x1000));
+  EXPECT_EQ(solver.layout_generation(), start + 1);
+  EXPECT_EQ(big.generation, start + 1);
+  EXPECT_EQ(solver.GenerationOf("lib"), start + 1);
+}
+
+TEST(Constraints, OptimizePlacementsDeterministicAcrossInsertionOrders) {
+  // Two solvers see the same objects in different arrival orders (so their
+  // initial first-fit layouts differ), then both run the administrative
+  // re-pack. The result must depend only on the object set, never on
+  // history: name-ordered first-fit from the arena base.
+  ConstraintSolver forward;
+  ConstraintSolver reverse;
+  const std::vector<std::pair<std::string, uint32_t>> objects = {
+      {"alpha", 0x3000}, {"beta", 0x1000}, {"gamma", 0x7000}, {"delta", 0x2000}};
+  for (const auto& [name, size] : objects) {
+    ASSERT_OK(forward.Place(name, size, 0x1000));
+  }
+  for (auto it = objects.rbegin(); it != objects.rend(); ++it) {
+    ASSERT_OK(reverse.Place(it->first, it->second, 0x1000));
+  }
+  (void)forward.OptimizePlacements();
+  (void)reverse.OptimizePlacements();
+  std::vector<PlacementRecord> a = forward.ExportPlacements();
+  std::vector<PlacementRecord> b = reverse.ExportPlacements();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(a[i].placement.text_base, b[i].placement.text_base) << a[i].object;
+    EXPECT_EQ(a[i].placement.data_base, b[i].placement.data_base) << a[i].object;
+  }
+  // Running the pass again on an already-packed layout moves nothing.
+  EXPECT_TRUE(forward.OptimizePlacements().empty());
+}
+
+TEST(Constraints, ConflictRecordsUnderHintCollisionSweep) {
+  // Seeded sweep: every client hints the same text base. The first wins;
+  // each later one spills and must record exactly what it wanted, what it
+  // got, and who holds the contested range.
+  ConstraintSolver solver;
+  PlacementHints hints;
+  hints.text_base = 0x02000000;
+  constexpr int kClients = 8;
+  std::vector<Placement> placed;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_OK_AND_ASSIGN(Placement p, solver.Place(StrCat("obj", i), 0x2000, 0x1000, hints));
+    placed.push_back(p);
+  }
+  EXPECT_EQ(placed[0].text_base, 0x02000000u);
+  ASSERT_EQ(solver.conflicts().size(), static_cast<size_t>(kClients - 1));
+  for (int i = 1; i < kClients; ++i) {
+    const ConflictRecord& record = solver.conflicts()[static_cast<size_t>(i - 1)];
+    EXPECT_EQ(record.object, StrCat("obj", i));
+    EXPECT_EQ(record.wanted, 0x02000000u);
+    EXPECT_EQ(record.got, placed[static_cast<size_t>(i)].text_base);
+    EXPECT_EQ(record.holder, "obj0");
+    EXPECT_NE(record.got, record.wanted);
+  }
+  // Spills are first-fit from the arena base, so they ascend and never
+  // collide with each other.
+  for (int i = 2; i < kClients; ++i) {
+    EXPECT_GT(placed[static_cast<size_t>(i)].text_base,
+              placed[static_cast<size_t>(i - 1)].text_base);
+  }
+}
+
+TEST(Constraints, SolveNamespaceMovesSpilledObjectToWantedBase) {
+  ConstraintSolver solver;
+  PlacementHints hints;
+  hints.text_base = 0x02000000;
+  ASSERT_OK(solver.Place("holder", 0x4000, 0x1000, hints));
+  ASSERT_OK_AND_ASSIGN(Placement spilled, solver.Place("tenant", 0x4000, 0x1000, hints));
+  ASSERT_EQ(solver.conflicts().size(), 1u);
+  uint64_t before = solver.layout_generation();
+  solver.Release("holder");
+  std::vector<std::string> moved = solver.SolveNamespace();
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], "tenant");
+  const Placement* home = solver.Find("tenant");
+  ASSERT_NE(home, nullptr);
+  EXPECT_EQ(home->text_base, 0x02000000u);
+  EXPECT_NE(home->text_base, spilled.text_base);
+  // The move advanced the layout generation and restamped the mover, so
+  // prelink entries against the old layout read as stale.
+  EXPECT_EQ(solver.layout_generation(), before + 1);
+  EXPECT_EQ(solver.GenerationOf("tenant"), before + 1);
+  EXPECT_TRUE(solver.conflicts().empty());
+}
+
+TEST(Constraints, SolveNamespaceIsNoopWithoutConflicts) {
+  ConstraintSolver solver;
+  ASSERT_OK(solver.Place("a", 0x1000, 0x1000));
+  uint64_t before = solver.layout_generation();
+  EXPECT_TRUE(solver.SolveNamespace().empty());
+  EXPECT_EQ(solver.layout_generation(), before);
+}
+
+TEST(Constraints, SolveNamespaceRespillKeepsConflictForNextPass) {
+  ConstraintSolver solver;
+  PlacementHints hints;
+  hints.text_base = 0x02000000;
+  ASSERT_OK(solver.Place("holder", 0x4000, 0x1000, hints));
+  ASSERT_OK_AND_ASSIGN(Placement spilled, solver.Place("tenant", 0x4000, 0x1000, hints));
+  uint64_t before = solver.layout_generation();
+  // Holder still owns the wanted range: the pass re-fits the tenant, which
+  // lands back where it was, re-logs the conflict, and moves nothing — so
+  // the generation (and every prelink stamp) stays valid.
+  EXPECT_TRUE(solver.SolveNamespace().empty());
+  EXPECT_EQ(solver.layout_generation(), before);
+  const Placement* home = solver.Find("tenant");
+  ASSERT_NE(home, nullptr);
+  EXPECT_EQ(home->text_base, spilled.text_base);
+  ASSERT_EQ(solver.conflicts().size(), 1u);
+  EXPECT_EQ(solver.conflicts()[0].object, "tenant");
+  EXPECT_EQ(solver.conflicts()[0].holder, "holder");
+}
+
 // ---- Image cache -----------------------------------------------------------------
 
 CachedImage MakeImage(uint32_t bytes) {

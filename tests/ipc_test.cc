@@ -8,6 +8,7 @@
 #include "src/ipc/ring_transport.h"
 #include "src/os/kernel.h"
 #include "src/support/faultsim.h"
+#include "src/support/metrics.h"
 #include "tests/helpers.h"
 
 namespace omos {
@@ -428,6 +429,48 @@ TEST(Transport, RingStallSurfacesTimeoutThenRecovers) {
   }
   ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
   EXPECT_TRUE(reply.ok);  // slots were reclaimed; the ring is clean
+}
+
+TEST(Transport, PersistentRingCorruptionFallsBackToStream) {
+  // Seeded fault: every ring round trip corrupts. Two consecutive kCorrupted
+  // attempts hit the demotion threshold, the channel swaps to the armed
+  // stream transport mid-call, and the request still succeeds — clients
+  // never observe the swap except through the counter.
+  Channel channel(MakeRingTransport(OkServer, RingConfig()));
+  channel.set_retry_policy(RetryPolicy::Default());
+  channel.ArmFallbackTransport(MakeStreamTransport(OkServer, 1000, 2), /*threshold=*/2);
+  Counter* fallbacks = MetricsRegistry::Global().GetCounter("ipc.transport_fallbacks");
+  uint64_t before = fallbacks->value();
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ScopedFaultPlan plan(FaultPlan().Arm("ring.corrupt", FaultSpec::Every(1)));
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);
+  EXPECT_TRUE(channel.fallback_engaged());
+  EXPECT_EQ(fallbacks->value(), before + 1);
+  // The demotion is permanent: later calls ride the stream and never touch
+  // the damaged ring again, so the still-armed fault plan cannot fire.
+  ASSERT_OK_AND_ASSIGN(OmosReply again, channel.Call(request, nullptr));
+  EXPECT_TRUE(again.ok);
+  EXPECT_EQ(fallbacks->value(), before + 1);
+}
+
+TEST(Transport, TransientRingCorruptionDoesNotDemote) {
+  // One corrupted slot, then clean traffic: the retry absorbs it and the
+  // streak reset keeps the channel on the (cheaper) ring.
+  Channel channel(MakeRingTransport(OkServer, RingConfig()));
+  channel.set_retry_policy(RetryPolicy::Default());
+  channel.ArmFallbackTransport(MakeStreamTransport(OkServer, 1000, 2), /*threshold=*/2);
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  for (int i = 0; i < 3; ++i) {
+    ScopedFaultPlan plan(FaultPlan().Arm("ring.corrupt", FaultSpec::Nth(1)));
+    ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+    EXPECT_TRUE(reply.ok);
+  }
+  EXPECT_FALSE(channel.fallback_engaged());
 }
 
 TEST(Transport, OmosServerReachableOverRingTransport) {

@@ -74,6 +74,56 @@ TEST(Module, SelfReferenceBoundButVirtual) {
   EXPECT_EQ(StateOfRef(m, 0, "f"), BindState::kBound);
 }
 
+TEST(Module, DefaultHiddenPrunesExports) {
+  // Two globals, one explicitly exported, under default-hidden: only the
+  // exported one reaches the symbol space.
+  auto object = std::make_shared<ObjectFile>("lib.o");
+  object->section(SectionKind::kText).bytes.resize(16);
+  EXPECT_OK(object->DefineSymbol("api", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  EXPECT_OK(object->DefineSymbol("internal", SymbolBinding::kGlobal, SectionKind::kText, 8));
+  object->set_default_hidden(true);
+  object->FindMutableSymbol("api")->visibility = SymbolVisibility::kExported;
+  Module m = Module::FromObject(object);
+  ASSERT_OK_AND_ASSIGN(auto exports, m.ExportNames());
+  EXPECT_EQ(exports, (std::vector<std::string>{"api"}));
+}
+
+TEST(Module, HiddenSymbolInvisibleToMerge) {
+  // a calls helper; b defines helper but hides it — the merge must NOT bind
+  // a's reference to the hidden definition.
+  Module a = Leaf("a.o", {"main"}, {"helper"});
+  auto hider = std::make_shared<ObjectFile>("b.o");
+  hider->section(SectionKind::kText).bytes.resize(8);
+  EXPECT_OK(hider->DefineSymbol("helper", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  hider->FindMutableSymbol("helper")->visibility = SymbolVisibility::kHidden;
+  ASSERT_OK_AND_ASSIGN(Module merged, Module::Merge(a, Module::FromObject(hider)));
+  EXPECT_EQ(StateOfRef(merged, 0, "helper"), BindState::kUnbound);
+  ASSERT_OK_AND_ASSIGN(auto unbound, merged.UnboundRefNames());
+  EXPECT_EQ(unbound, (std::vector<std::string>{"helper"}));
+}
+
+TEST(Module, HiddenSelfReferenceFrozenAndStillLinks) {
+  // A fragment calling its own hidden export: the ref freezes at FromObject
+  // (nothing outside may rebind it) but the link still resolves it to the
+  // local definition.
+  auto object = std::make_shared<ObjectFile>("self.o");
+  object->section(SectionKind::kText).bytes.resize(16);
+  ASSERT_OK(object->DefineSymbol("f", SymbolBinding::kGlobal, SectionKind::kText, 0));
+  object->AddReloc(SectionKind::kText, Relocation{12, RelocKind::kAbs32, "f", 0});
+  object->FindMutableSymbol("f")->visibility = SymbolVisibility::kHidden;
+  Module m = Module::FromObject(object);
+  EXPECT_EQ(StateOfRef(m, 0, "f"), BindState::kFrozen);
+  ASSERT_OK_AND_ASSIGN(auto exports, m.ExportNames());
+  EXPECT_TRUE(exports.empty());
+  LayoutSpec layout;
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(m, layout, "t"));
+  uint32_t patched = static_cast<uint32_t>(image.text[12]) |
+                     static_cast<uint32_t>(image.text[13]) << 8 |
+                     static_cast<uint32_t>(image.text[14]) << 16 |
+                     static_cast<uint32_t>(image.text[15]) << 24;
+  EXPECT_EQ(patched, image.text_base);  // f sits at text offset 0
+}
+
 TEST(Module, MergeBindsReferences) {
   Module a = Leaf("a.o", {"main"}, {"helper"});
   Module b = Leaf("b.o", {"helper"}, {});

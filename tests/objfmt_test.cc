@@ -122,8 +122,51 @@ TEST_P(BackendRoundTrip, SniffedByRegistry) {
   EXPECT_EQ(decoded, object);
 }
 
+TEST_P(BackendRoundTrip, VisibilityAnnotationsRoundTrip) {
+  const ObjectBackend* backend = BackendRegistry::Default().Find(GetParam());
+  ObjectFile object = SampleObject();
+  object.set_default_hidden(true);
+  object.FindMutableSymbol("entry")->visibility = SymbolVisibility::kExported;
+  object.FindMutableSymbol("datum")->visibility = SymbolVisibility::kHidden;
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bytes, backend->Encode(object));
+  ASSERT_OK_AND_ASSIGN(ObjectFile decoded, backend->Decode(bytes));
+  EXPECT_EQ(decoded, object);
+  EXPECT_TRUE(decoded.default_hidden());
+  EXPECT_EQ(decoded.FindSymbol("entry")->visibility, SymbolVisibility::kExported);
+  EXPECT_EQ(decoded.FindSymbol("datum")->visibility, SymbolVisibility::kHidden);
+  EXPECT_EQ(decoded.FindSymbol("local_helper")->visibility, SymbolVisibility::kDefault);
+}
+
+TEST_P(BackendRoundTrip, DefaultVisibilityEncodingUnchanged) {
+  // Goldens from before the visibility extension must stay byte-identical:
+  // the annotation trailer is only written when something is non-default,
+  // so annotating and then reverting reproduces the original bytes exactly.
+  const ObjectBackend* backend = BackendRegistry::Default().Find(GetParam());
+  ObjectFile object = SampleObject();
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> plain, backend->Encode(object));
+  object.FindMutableSymbol("entry")->visibility = SymbolVisibility::kExported;
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> annotated, backend->Encode(object));
+  EXPECT_NE(plain, annotated);
+  object.FindMutableSymbol("entry")->visibility = SymbolVisibility::kDefault;
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> reverted, backend->Encode(object));
+  EXPECT_EQ(plain, reverted);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendRoundTrip,
                          ::testing::Values("xof-binary", "xof-text"));
+
+TEST(ObjectFile, EffectiveHiddenSemantics) {
+  ObjectFile object = SampleObject();
+  const Symbol* entry = object.FindSymbol("entry");
+  EXPECT_FALSE(object.IsEffectivelyHidden(*entry));
+  object.set_default_hidden(true);
+  EXPECT_TRUE(object.IsEffectivelyHidden(*entry));  // kDefault flips with the mode
+  object.FindMutableSymbol("entry")->visibility = SymbolVisibility::kExported;
+  EXPECT_FALSE(object.IsEffectivelyHidden(*object.FindSymbol("entry")));
+  object.set_default_hidden(false);
+  object.FindMutableSymbol("entry")->visibility = SymbolVisibility::kHidden;
+  EXPECT_TRUE(object.IsEffectivelyHidden(*object.FindSymbol("entry")));  // hidden always wins
+}
 
 TEST(Backend, RejectsGarbage) {
   std::vector<uint8_t> garbage = {'n', 'o', 'p', 'e', 0, 1, 2};

@@ -6,6 +6,7 @@
 
 #include "src/core/server.h"
 #include "src/support/faultsim.h"
+#include "src/support/metrics.h"
 #include "src/support/strings.h"
 #include "tests/helpers.h"
 
@@ -698,6 +699,200 @@ main:
   ASSERT_OK_AND_ASSIGN(TaskId id2, server_->IntegratedExec("/bin/host", {"host"}));
   ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id2));
   EXPECT_EQ(out.exit_code, 0);
+}
+
+TEST_F(ServerFeatures, SnapshotRoundTripsLayoutGeneration) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 1\n  ret\n", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/m.o)"));
+  uint64_t work = 0;
+  ASSERT_OK(server_->Instantiate("/bin/prog", {}, &work));
+
+  // Bump the layout generation past its initial value: a conflicting pair
+  // plus the administrative re-pack forces at least one live move.
+  ASSERT_OK_AND_ASSIGN(ObjectFile a, Assemble(".text\n.global fa\nfa: ret\n", "a.o"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile b, Assemble(".text\n.global fb\nfb: ret\n", "b.o"));
+  ASSERT_OK(server_->AddFragment("/obj/a.o", std::move(a)));
+  ASSERT_OK(server_->AddFragment("/obj/b.o", std::move(b)));
+  ASSERT_OK(server_->DefineLibrary("/lib/a",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/a.o)"));
+  ASSERT_OK(server_->DefineLibrary("/lib/b",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/b.o)"));
+  Specialization spec{"lib-constrained", {}};
+  ASSERT_OK(server_->Instantiate("/lib/a", spec, nullptr));
+  ASSERT_OK(server_->Instantiate("/lib/b", spec, nullptr));
+  ASSERT_GE(server_->OptimizePlacements(), 1);
+
+  std::string snapshot = server_->Snapshot();
+  size_t tag = snapshot.find("layoutgen ");
+  ASSERT_NE(tag, std::string::npos);
+  std::string layoutgen_line = snapshot.substr(tag, snapshot.find('\n', tag) - tag);
+  EXPECT_NE(layoutgen_line, "layoutgen 1");  // the re-pack advanced it
+
+  // A restored server continues the same generation sequence, so prelink
+  // stamps taken before the crash stay comparable after it.
+  Kernel kernel2;
+  OmosServer restored(kernel2);
+  ASSERT_OK(restored.Restore(snapshot));
+  std::string again = restored.Snapshot();
+  size_t tag2 = again.find("layoutgen ");
+  ASSERT_NE(tag2, std::string::npos);
+  EXPECT_EQ(again.substr(tag2, again.find('\n', tag2) - tag2), layoutgen_line);
+}
+
+// ---- Fleet-wide prelink ---------------------------------------------------------
+
+TEST_F(ServerFeatures, PrelinkedExecHitIsCheaperThanIntegrated) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 7\n  ret\n", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/tool", "(merge /lib/crt0.o /obj/m.o)"));
+
+  ASSERT_OK_AND_ASSIGN(int prelinked, server_->PrelinkNamespace("/bin"));
+  EXPECT_EQ(prelinked, 1);
+  EXPECT_TRUE(server_->prelink_enabled());
+  EXPECT_EQ(server_->PrelinkValidCount(), 1u);
+
+  // Warm integrated exec: pays the cache-lookup round trip.
+  ASSERT_OK_AND_ASSIGN(TaskId warm, server_->IntegratedExec("/bin/tool", {"tool"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome warm_out, Run(warm));
+  EXPECT_EQ(warm_out.exit_code, 7);
+  uint64_t integrated_sys = kernel_.FindTask(warm)->sys_cycles();
+
+  Counter* hits = MetricsRegistry::Global().GetCounter("prelink.hits");
+  uint64_t hits_before = hits->value();
+  ASSERT_OK_AND_ASSIGN(TaskId fast, server_->PrelinkedExec("/bin/tool", {"tool"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome fast_out, Run(fast));
+  EXPECT_EQ(fast_out.exit_code, 7);
+  EXPECT_EQ(hits->value(), hits_before + 1);
+  // The stamp-valid hit bills only the prelink-table lookup, strictly less
+  // than the integrated path's omos_cache_lookup.
+  EXPECT_LT(kernel_.FindTask(fast)->sys_cycles(), integrated_sys);
+}
+
+TEST_F(ServerFeatures, PrelinkedExecMissFallsBackAndRecordsEntry) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 3\n  ret\n", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/tool", "(merge /lib/crt0.o /obj/m.o)"));
+
+  Counter* misses = MetricsRegistry::Global().GetCounter("prelink.misses");
+  Counter* hits = MetricsRegistry::Global().GetCounter("prelink.hits");
+  uint64_t misses_before = misses->value();
+  // No PrelinkNamespace ran: the first exec misses the table, falls back to
+  // a full Instantiate, and records an entry on the way out.
+  ASSERT_OK_AND_ASSIGN(TaskId first, server_->PrelinkedExec("/bin/tool", {"tool"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome first_out, Run(first));
+  EXPECT_EQ(first_out.exit_code, 3);
+  EXPECT_EQ(misses->value(), misses_before + 1);
+
+  uint64_t hits_before = hits->value();
+  ASSERT_OK_AND_ASSIGN(TaskId second, server_->PrelinkedExec("/bin/tool", {"tool"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome second_out, Run(second));
+  EXPECT_EQ(second_out.exit_code, 3);
+  EXPECT_EQ(hits->value(), hits_before + 1);
+}
+
+TEST_F(ServerFeatures, PrelinkStaleAfterFragmentRedefineRecovers) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile v1,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 10\n  ret\n", "f.o"));
+  ASSERT_OK(server_->AddFragment("/obj/f.o", std::move(v1)));
+  ASSERT_OK(server_->DefineMeta("/bin/frag", "(merge /lib/crt0.o /obj/f.o)"));
+  ASSERT_OK(server_->PrelinkNamespace("/bin"));
+  ASSERT_OK_AND_ASSIGN(TaskId warm, server_->PrelinkedExec("/bin/frag", {"frag"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome warm_out, Run(warm));
+  EXPECT_EQ(warm_out.exit_code, 10);
+
+  // Redefining the fragment invalidates the cached image behind the prelink
+  // entry: the next prelinked exec must NOT serve the stale version.
+  ASSERT_OK_AND_ASSIGN(ObjectFile v2,
+                       Assemble(".text\n.global main\nmain:\n  movi r0, 20\n  ret\n", "f.o"));
+  ASSERT_OK(server_->AddFragment("/obj/f.o", std::move(v2)));
+  Counter* stale = MetricsRegistry::Global().GetCounter("prelink.stale");
+  uint64_t stale_before = stale->value();
+  ASSERT_OK_AND_ASSIGN(TaskId rebuilt, server_->PrelinkedExec("/bin/frag", {"frag"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome rebuilt_out, Run(rebuilt));
+  EXPECT_EQ(rebuilt_out.exit_code, 20);
+  EXPECT_EQ(stale->value(), stale_before + 1);
+
+  // The fallback re-recorded the entry and queued a background repair; after
+  // the idle lane drains, the table is fully stamp-valid and hits again.
+  server_->DrainBackgroundWork();
+  EXPECT_EQ(server_->PrelinkValidCount(), 1u);
+  Counter* hits = MetricsRegistry::Global().GetCounter("prelink.hits");
+  uint64_t hits_before = hits->value();
+  ASSERT_OK_AND_ASSIGN(TaskId again, server_->PrelinkedExec("/bin/frag", {"frag"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome again_out, Run(again));
+  EXPECT_EQ(again_out.exit_code, 20);
+  EXPECT_EQ(hits->value(), hits_before + 1);
+}
+
+TEST_F(ServerFeatures, PlacementCollisionSweepTriggersRepairAndRecovers) {
+  // A prelinked program linked against a constrained library, then a seeded
+  // sweep of colliding libraries whose hints all contest the same range:
+  // every collision schedules the recorded re-solve + re-link repair, and
+  // after each idle-lane drain the prelinked exec still hits and still
+  // produces the right answer.
+  ASSERT_OK_AND_ASSIGN(ObjectFile lib, Assemble(R"(
+.text
+.global lib_fn
+lib_fn:
+  movi r0, 42
+  ret
+)", "lib.o"));
+  ASSERT_OK(server_->AddFragment("/obj/lib.o", std::move(lib)));
+  ASSERT_OK(server_->DefineLibrary("/lib/base",
+                                   "(constraint-list \"T\" 0x3000000)\n(merge /obj/lib.o)"));
+  ASSERT_OK_AND_ASSIGN(ObjectFile main_obj, Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call lib_fn
+  pop lr
+  ret
+)", "m.o"));
+  ASSERT_OK(server_->AddFragment("/obj/m.o", std::move(main_obj)));
+  ASSERT_OK(server_->DefineMeta("/bin/tool", "(merge /lib/crt0.o /obj/m.o /lib/base)"));
+  ASSERT_OK(server_->PrelinkNamespace("/bin"));
+
+  Counter* repairs = MetricsRegistry::Global().GetCounter("prelink.repairs");
+  uint64_t repairs_before = repairs->value();
+  for (int round = 0; round < 3; ++round) {
+    // Each rival hints the exact text base the prelinked program's library
+    // occupies — a guaranteed placement collision.
+    ASSERT_OK_AND_ASSIGN(ObjectFile rival,
+                         Assemble(StrCat(".text\n.global rival", round, "\nrival", round,
+                                         ": ret\n"),
+                                  StrCat("rival", round, ".o")));
+    std::string obj_path = StrCat("/obj/rival", round, ".o");
+    std::string lib_path = StrCat("/lib/rival", round);
+    ASSERT_OK(server_->AddFragment(obj_path, std::move(rival)));
+    ASSERT_OK(server_->DefineLibrary(
+        lib_path, StrCat("(constraint-list \"T\" 0x3000000)\n(merge ", obj_path, ")")));
+    Specialization spec{"collide", {}};
+    ASSERT_OK(server_->Instantiate(lib_path, spec, nullptr));
+
+    server_->DrainBackgroundWork();
+    EXPECT_EQ(server_->PrelinkValidCount(), 1u) << "round " << round;
+    ASSERT_OK_AND_ASSIGN(TaskId id, server_->PrelinkedExec("/bin/tool", {"tool"}));
+    ASSERT_OK_AND_ASSIGN(RunOutcome out, Run(id));
+    EXPECT_EQ(out.exit_code, 42) << "round " << round;
+  }
+  EXPECT_GE(repairs->value(), repairs_before + 1);
+
+  // The administrative re-pack moves live placements wholesale and then
+  // immediately re-links the prelink table against the new layout — stamps
+  // stay valid and the warm path stays relocation-free.
+  (void)server_->OptimizePlacements();
+  EXPECT_EQ(server_->PrelinkValidCount(), 1u);
+  Counter* at_map = MetricsRegistry::Global().GetCounter("link.relocations_at_map");
+  uint64_t at_map_before = at_map->value();
+  ASSERT_OK_AND_ASSIGN(TaskId final_id, server_->PrelinkedExec("/bin/tool", {"tool"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome final_out, Run(final_id));
+  EXPECT_EQ(final_out.exit_code, 42);
+  EXPECT_EQ(at_map->value(), at_map_before);  // zero relocations at map time
 }
 
 }  // namespace

@@ -265,6 +265,19 @@ TEST_F(IntrospectTest, SnapshotEqualsLocallyReadCounters) {
   EXPECT_NE(text.payload.find("server.requests"), std::string::npos);
 }
 
+TEST_F(IntrospectTest, PlacementsReportsLayoutAndConflicts) {
+  uint64_t work = 0;
+  ASSERT_OK(server_->Instantiate("/bin/prog", Specialization{}, &work));
+  Channel channel = server_->MakeChannel();
+  OmosReply reply = Introspect(channel, "placements");
+  ASSERT_TRUE(reply.ok) << reply.error;
+  // Generation header, then one place line per live object with its stamp.
+  EXPECT_NE(reply.payload.find("layout generation "), std::string::npos);
+  EXPECT_NE(reply.payload.find("place T="), std::string::npos);
+  EXPECT_NE(reply.payload.find("gen="), std::string::npos);
+  EXPECT_EQ(reply.payload.find("conflict "), std::string::npos);  // none yet
+}
+
 TEST_F(IntrospectTest, TraceControlAndExportOverWire) {
   Channel channel = server_->MakeChannel();
   ASSERT_TRUE(Introspect(channel, "trace-start").ok);

@@ -99,6 +99,52 @@ g: nop
   EXPECT_EQ(object.FindSymbol("g")->binding, SymbolBinding::kWeak);
 }
 
+TEST(Assembler, ExportAndHiddenDirectives) {
+  // Visibility is orthogonal to binding: .export/.hidden annotate without
+  // touching .global/.weak.
+  ASSERT_OK_AND_ASSIGN(ObjectFile object, Assemble(R"(
+.text
+.global api
+.export api
+api: nop
+.global helper
+.hidden helper
+helper: nop
+.global plain
+plain: nop
+)", "v.o"));
+  EXPECT_EQ(object.FindSymbol("api")->visibility, SymbolVisibility::kExported);
+  EXPECT_EQ(object.FindSymbol("api")->binding, SymbolBinding::kGlobal);
+  EXPECT_EQ(object.FindSymbol("helper")->visibility, SymbolVisibility::kHidden);
+  EXPECT_EQ(object.FindSymbol("helper")->binding, SymbolBinding::kGlobal);
+  EXPECT_EQ(object.FindSymbol("plain")->visibility, SymbolVisibility::kDefault);
+  EXPECT_FALSE(object.default_hidden());
+  EXPECT_TRUE(object.IsEffectivelyHidden(*object.FindSymbol("helper")));
+  EXPECT_FALSE(object.IsEffectivelyHidden(*object.FindSymbol("plain")));
+}
+
+TEST(Assembler, DefaultHiddenDirective) {
+  ASSERT_OK_AND_ASSIGN(ObjectFile object, Assemble(R"(
+.default_hidden
+.text
+.global api
+.export api
+api: nop
+.global internal
+internal: nop
+)", "dh.o"));
+  EXPECT_TRUE(object.default_hidden());
+  // Unannotated globals flip to hidden; explicit exports stay visible.
+  EXPECT_TRUE(object.IsEffectivelyHidden(*object.FindSymbol("internal")));
+  EXPECT_FALSE(object.IsEffectivelyHidden(*object.FindSymbol("api")));
+}
+
+TEST(Assembler, ExportOfUndefinedLabelFails) {
+  auto result = Assemble(".text\n.export ghost\n  nop\n", "bad.o");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("ghost"), std::string::npos);
+}
+
 TEST(Assembler, SymbolOperandsEmitRelocations) {
   ASSERT_OK_AND_ASSIGN(ObjectFile object, Assemble(R"(
 .text
