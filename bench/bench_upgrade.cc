@@ -1,0 +1,268 @@
+// bench_upgrade: request service across a mid-run live library upgrade
+// (PR 9, docs/upgrade.md).
+//
+// A lib-dynamic client program is exec'd ~600 times back to back, each
+// request wall-clocked (exec + run + release). At the 1/3 mark the library
+// is hot-patched to v2 with BeginUpgrade while one long-running task sits
+// paused mid-loop inside the old version; DrainUpgrade is polled between
+// requests, exactly how a serving loop would drive it. The paused task
+// resumes across the upgrade boundary and must finish on a consistent
+// version via the OSR frame transfer.
+//
+// A request is DROPPED if it fails outright or exits with anything other
+// than the pure-v1 or pure-v2 value — a torn migration. The PASS gates:
+// zero dropped requests across the roll, and physical frames back at the
+// warm baseline once every task is gone (the old version reclaimed).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/upgrade/upgrade.h"
+#include "src/vasm/assembler.h"
+
+namespace omos {
+namespace {
+
+constexpr int kRequests = 600;
+constexpr int kUpgradeAt = kRequests / 3;
+constexpr int kV1Exit = 21;  // (5 + 2) * 3
+constexpr int kV2Exit = 51;  // (5 + 12) * 3
+
+constexpr char kCrt0[] = R"(
+.text
+.global _start
+_start:
+  call main
+  sys 0
+)";
+
+constexpr char kLibV1[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 2
+  ret
+.global mul3
+mul3:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)";
+
+constexpr char kLibV2[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 12
+  ret
+.global mul3
+mul3:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)";
+
+constexpr char kClient[] = R"(
+.text
+.global main
+main:
+  push lr
+  movi r0, 5
+  call add2
+  call mul3
+  pop lr
+  ret
+)";
+
+// The long-running task: sums 400 calls to add2(0); each iteration adds 2
+// (v1) or 12 (v2), so a consistent mixed-version run exits in [800, 4800].
+constexpr char kLooper[] = R"(
+.text
+.global main
+main:
+  push lr
+  movi r4, 0
+  movi r5, 400
+  movi r6, 0
+loop:
+  movi r0, 0
+  call add2
+  add r4, r4, r0
+  addi r5, r5, -1
+  bne r5, r6, loop
+  mov r0, r4
+  pop lr
+  ret
+)";
+
+struct Percentiles {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+Percentiles LatencyPercentiles(std::vector<double> samples_us) {
+  Percentiles out;
+  if (samples_us.empty()) {
+    return out;
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  out.p50_us = samples_us[samples_us.size() / 2];
+  out.p99_us = samples_us[std::min(samples_us.size() - 1, samples_us.size() * 99 / 100)];
+  return out;
+}
+
+}  // namespace
+}  // namespace omos
+
+int main() {
+  using namespace omos;
+  using Clock = std::chrono::steady_clock;
+  std::printf("=== bench_upgrade: requests across a mid-run live upgrade ===\n\n");
+
+  Kernel kernel;
+  OmosServer server(kernel);
+  BENCH_CHECK(server.AddFragment("/lib/crt0.o", BENCH_UNWRAP(Assemble(kCrt0, "crt0.o"))));
+  BENCH_CHECK(server.AddFragment("/obj/lib1.o", BENCH_UNWRAP(Assemble(kLibV1, "lib1.o"))));
+  BENCH_CHECK(server.AddFragment("/obj/lib2.o", BENCH_UNWRAP(Assemble(kLibV2, "lib2.o"))));
+  BENCH_CHECK(server.AddFragment("/obj/client.o", BENCH_UNWRAP(Assemble(kClient, "client.o"))));
+  BENCH_CHECK(server.AddFragment("/obj/looper.o", BENCH_UNWRAP(Assemble(kLooper, "looper.o"))));
+  BENCH_CHECK(server.DefineLibrary("/lib/addlib", "(merge /obj/lib1.o)"));
+  BENCH_CHECK(server.DefineMeta("/bin/req",
+                                "(merge /lib/crt0.o /obj/client.o"
+                                " (specialize \"lib-dynamic\" /lib/addlib))"));
+  BENCH_CHECK(server.DefineMeta("/bin/looper",
+                                "(merge /lib/crt0.o /obj/looper.o"
+                                " (specialize \"lib-dynamic\" /lib/addlib))"));
+
+  // Warm both images and take the frame baseline the roll must return to
+  // (v1 and v2 are the same shape, so the post-roll cached footprint must
+  // equal the warm v1 footprint exactly).
+  for (const char* path : {"/bin/req", "/bin/looper"}) {
+    TaskId warm = BENCH_UNWRAP(server.IntegratedExec(path, {"warm"}));
+    Task* task = kernel.FindTask(warm);
+    BENCH_CHECK(kernel.RunTask(*task));
+    server.ReleaseTask(warm);
+    kernel.DestroyTask(warm);
+  }
+  uint32_t frame_baseline = kernel.phys().frames_in_use();
+
+  // The long-running client: pause it mid-loop inside v1 before the roll.
+  TaskId looper = BENCH_UNWRAP(server.IntegratedExec("/bin/looper", {"looper"}));
+  Task* looper_task = kernel.FindTask(looper);
+  if (kernel.RunTask(*looper_task, 200).ok()) {
+    std::fprintf(stderr, "looper finished before the upgrade window\n");
+    return 1;
+  }
+
+  int served = 0;
+  int dropped = 0;
+  bool upgraded = false;
+  int looper_exit = -1;
+  bool looper_consistent = false;
+  std::vector<double> before_us;
+  std::vector<double> during_us;
+  std::vector<double> after_us;
+  auto roll_start = Clock::now();
+  for (int i = 0; i < kRequests; ++i) {
+    if (i == kUpgradeAt) {
+      BENCH_UNWRAP(server.BeginUpgrade("/lib/addlib", "(merge /obj/lib2.o)"));
+      upgraded = true;
+    }
+    if (i == 2 * kRequests / 3) {
+      // Resume the paused task across the upgrade boundary: its frame is
+      // transferred OSR-style at its first safepoint, and its exit lets
+      // the drain complete mid-roll.
+      BENCH_CHECK(kernel.RunTask(*looper_task));
+      looper_exit = looper_task->exit_code();
+      looper_consistent = looper_exit >= 400 * 2 && looper_exit <= 400 * 12;
+      if (!looper_consistent) {
+        ++dropped;
+      }
+      server.ReleaseTask(looper);
+      kernel.DestroyTask(looper);
+    }
+    if (upgraded) {
+      // The serving loop drives the upgrade between requests, like a
+      // real event loop would.
+      OmosServer::UpgradeStatus status = server.DrainUpgrade();
+      if (status.phase == UpgradePhase::kAborted) {
+        std::fprintf(stderr, "upgrade aborted: %s\n", status.error.c_str());
+        return 1;
+      }
+    }
+    auto start = Clock::now();
+    auto id = server.IntegratedExec("/bin/req", {"req"});
+    bool ok = id.ok();
+    int exit_code = -1;
+    if (ok) {
+      Task* task = kernel.FindTask(*id);
+      ok = task != nullptr && kernel.RunTask(*task).ok();
+      if (ok) {
+        exit_code = task->exit_code();
+      }
+      server.ReleaseTask(*id);
+      kernel.DestroyTask(*id);
+    }
+    double us = std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    if (!ok || (exit_code != kV1Exit && exit_code != kV2Exit)) {
+      ++dropped;
+    } else {
+      ++served;
+    }
+    OmosServer::UpgradeStatus status = server.UpgradeStatusNow();
+    if (!upgraded) {
+      before_us.push_back(us);
+    } else if (status.phase == UpgradePhase::kDone) {
+      after_us.push_back(us);
+    } else {
+      during_us.push_back(us);
+    }
+  }
+  double roll_s =
+      std::chrono::duration<double>(Clock::now() - roll_start).count();
+
+  // Finish the drain if the roll's polling didn't already.
+  OmosServer::UpgradeStatus final_status = server.DrainUpgrade();
+  for (int i = 0; i < 64 && !final_status.terminal(); ++i) {
+    final_status = server.DrainUpgrade();
+  }
+
+  // Re-warm both programs on v2 before comparing frames: reclamation
+  // evicted the v1-linked images, so the steady-state footprint is one
+  // fresh build of each — the same shape the baseline measured.
+  for (const char* path : {"/bin/req", "/bin/looper"}) {
+    TaskId warm = BENCH_UNWRAP(server.IntegratedExec(path, {"warm"}));
+    Task* task = kernel.FindTask(warm);
+    BENCH_CHECK(kernel.RunTask(*task));
+    server.ReleaseTask(warm);
+    kernel.DestroyTask(warm);
+  }
+
+  Percentiles before = LatencyPercentiles(before_us);
+  Percentiles during = LatencyPercentiles(during_us);
+  Percentiles after = LatencyPercentiles(after_us);
+  std::printf("%12s %10s %12s %12s\n", "window", "requests", "p50 us", "p99 us");
+  std::printf("%12s %10zu %12.1f %12.1f\n", "pre-roll", before_us.size(), before.p50_us,
+              before.p99_us);
+  std::printf("%12s %10zu %12.1f %12.1f\n", "mid-roll", during_us.size(), during.p50_us,
+              during.p99_us);
+  std::printf("%12s %10zu %12.1f %12.1f\n", "post-roll", after_us.size(), after.p50_us,
+              after.p99_us);
+  std::printf("\n  %.0f requests/sec across the roll (%d requests in %.3fs)\n",
+              kRequests / roll_s, kRequests, roll_s);
+  std::printf("  long-running task exited %d after OSR transfer (consistent: %s)\n",
+              looper_exit, looper_consistent ? "yes" : "NO");
+  std::printf("  final upgrade phase: %s\n\n", UpgradePhaseName(final_status.phase));
+
+  bool zero_dropped = dropped == 0 && served == kRequests;
+  std::printf("  %s: bench_upgrade zero dropped requests (%d served, %d dropped)\n",
+              zero_dropped ? "PASS" : "FAIL", served, dropped);
+  uint32_t frames_now = kernel.phys().frames_in_use();
+  bool reclaimed = final_status.phase == UpgradePhase::kDone && frames_now == frame_baseline;
+  std::printf("  %s: old version reclaimed, frames at baseline (%u now vs %u baseline)\n",
+              reclaimed ? "PASS" : "FAIL", frames_now, frame_baseline);
+  return (zero_dropped && reclaimed) ? 0 : 1;
+}

@@ -9,11 +9,15 @@
 // Observability (omtrace): the session runs with tracing and the SimISA
 // cycle profiler enabled. Three built-in commands talk to the server over
 // the same IPC channel a remote system manager would use (kIntrospect):
+//   help               list the built-in commands
 //   stats              print the unified metrics snapshot
 //   trace <file>       dump Chrome trace_event JSON (chrome://tracing)
 //   profile            symbol-level profile of the last client that ran
 //   placements         global layout: per-object bases, generation stamps,
 //                      the conflict log, and the current layout generation
+//   upgrade <lib> <blueprint>
+//                      hot-patch a lib-dynamic library mid-session
+//                      (docs/upgrade.md) and drive the roll to completion
 #include <cstdio>
 #include <sstream>
 
@@ -132,17 +136,50 @@ main:
   Check(server.DefineMeta("/bin/true", "(merge /lib/crt0.o /obj/true.o /lib/libc)"),
         "true meta");
 
+  // A lib-dynamic utility for the live-upgrade demo: `version` exits with
+  // whatever vernum() returns, and the library is hot-patched mid-session.
+  Check(server.AddFragment("/obj/ver1.o", Check(Assemble(R"(
+.text
+.global vernum
+vernum:
+  movi r0, 1
+  ret
+)", "ver1.o"), "assemble ver1")), "ver1.o");
+  Check(server.AddFragment("/obj/ver2.o", Check(Assemble(R"(
+.text
+.global vernum
+vernum:
+  movi r0, 3
+  ret
+)", "ver2.o"), "assemble ver2")), "ver2.o");
+  Check(server.AddFragment("/obj/version.o", Check(Assemble(R"(
+.text
+.global main
+main:
+  push lr
+  call vernum
+  pop lr
+  ret
+)", "version.o"), "assemble version")), "version.o");
+  Check(server.DefineLibrary("/lib/verlib", "(merge /obj/ver1.o)"), "verlib meta");
+  Check(server.DefineMeta("/bin/version",
+                          "(merge /lib/crt0.o /obj/version.o"
+                          " (specialize \"lib-dynamic\" /lib/verlib))"),
+        "version meta");
+
   // §5: /bin becomes a filesystem backed only by OMOS.
   int exported = Check(server.ExportNamespaceToFs("/bin", "/bin"), "export /bin");
   std::printf("exported %d OMOS meta-objects into /bin\n\n", exported);
 
   // Introspection goes over the wire, like a remote system manager would.
   Channel channel = server.MakeChannel();
-  auto introspect = [&](const std::string& cmd, uint32_t handle) -> OmosReply {
+  auto introspect = [&](const std::string& cmd, uint32_t handle,
+                        const std::string& spec = "") -> OmosReply {
     OmosRequest request;
     request.op = OmosOp::kIntrospect;
     request.path = cmd;
     request.task_handle = handle;
+    request.specialization = spec;
     OmosReply reply = Check(channel.Call(request, nullptr), "introspect");
     if (!reply.ok) {
       std::printf("sh: introspect %s: %s\n", cmd.c_str(), reply.error.c_str());
@@ -165,11 +202,15 @@ main:
   // The "session": each line is tokenized; built-ins run here, everything
   // else execs through /bin.
   const char* script[] = {
+      "help",
       "true",
       "echo hello from the omos shell",
       "ls /data",
       "echo second ls is served from the image cache",
       "ls /data",
+      "version",
+      "upgrade /lib/verlib (merge /obj/ver2.o)",
+      "version",
       "stats",
       "placements",
       "trace omos_shell.trace.json",
@@ -178,6 +219,39 @@ main:
   for (const char* line : script) {
     std::vector<std::string> args = SplitString(line, ' ');
     std::printf("$ %s\n", line);
+    if (args[0] == "help") {
+      std::printf("built-ins: help, stats, trace <file>, profile, placements,\n"
+                  "           upgrade <lib> <blueprint>\n"
+                  "anything else execs through the OMOS-backed /bin\n");
+      continue;
+    }
+    if (args[0] == "upgrade") {
+      if (args.size() < 3) {
+        std::printf("usage: upgrade <libpath> <blueprint>\n");
+        continue;
+      }
+      // The old version stays pinned while the last client is held for
+      // `profile`; retire it so the roll can drain.
+      retire_last();
+      std::string blueprint = args[2];
+      for (size_t i = 3; i < args.size(); ++i) {
+        blueprint += " " + args[i];
+      }
+      // Kick the roll over the wire (blueprint rides in the spec field),
+      // then drive it in-process the way a serving loop would.
+      OmosReply reply = introspect(StrCat("upgrade ", args[1]), 0, blueprint);
+      if (!reply.ok) {
+        continue;
+      }
+      std::fputs(reply.payload.c_str(), stdout);
+      OmosServer::UpgradeStatus status = server.DrainUpgrade();
+      for (int round = 0; round < 64 && !status.terminal(); ++round) {
+        status = server.DrainUpgrade();
+      }
+      OmosReply after = introspect("upgrade-status", 0);
+      std::fputs(after.payload.c_str(), stdout);
+      continue;
+    }
     if (args[0] == "stats") {
       OmosReply reply = introspect("stats-text", 0);
       std::fputs(reply.payload.c_str(), stdout);
@@ -194,6 +268,15 @@ main:
       std::printf("ipc:\n");
       for (const auto& [name, value] : metrics.metrics) {
         if (name == "ipc.bytes_sent" || name == "ipc.bytes_received") {
+          std::printf("  %-24s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
+      // Live-upgrade counters (docs/upgrade.md): rolls, migrated frames,
+      // repointed slots, degradations.
+      std::printf("live upgrade:\n");
+      for (const auto& [name, value] : metrics.metrics) {
+        if (StartsWith(name, "upgrade.")) {
           std::printf("  %-24s %llu\n", name.c_str(),
                       static_cast<unsigned long long>(value));
         }

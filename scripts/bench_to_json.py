@@ -5,6 +5,8 @@ Inputs (all inside the directory given as argv[1], default ./bench-results):
   *.json             native google-benchmark JSON (--benchmark_out)
   BENCH_TABLE1.txt   table1 console output (rows + PASS/FAIL gate lines)
   BENCH_IPC.txt      bench_ipc console output (sections + PASS/FAIL gate lines)
+  BENCH_UPGRADE.txt  bench_upgrade console output (latency windows across a
+                     mid-run live library upgrade + PASS/FAIL gate lines)
 
 Output: BENCH_RESULTS.json in the same directory, schema
 "omos-bench-results/1". Exits non-zero if any parsed gate line says FAIL,
@@ -30,6 +32,11 @@ OPEN_LOOP_ROW = re.compile(r"^\s+(?P<clients>\d+)\s+(?P<p50>\d+)\s+(?P<p99>\d+)\
 TRANSPORT_ROW = re.compile(
     r"^\s+(?P<transport>port|stream|ring)\s+(?P<cold>\d+)\s+(?P<warm>\d+)\s*$"
 )
+UPGRADE_WINDOW_ROW = re.compile(
+    r"^\s+(?P<window>pre-roll|mid-roll|post-roll)\s+(?P<requests>\d+)"
+    r"\s+(?P<p50>\d+(?:\.\d+)?)\s+(?P<p99>\d+(?:\.\d+)?)\s*$"
+)
+UPGRADE_RATE_LINE = re.compile(r"^\s+(?P<rate>\d+) requests/sec across the roll")
 
 
 def parse_gates(text):
@@ -90,9 +97,30 @@ def parse_ipc(text):
     }
 
 
+def parse_upgrade(text):
+    windows, rate = {}, None
+    for line in text.splitlines():
+        row = UPGRADE_WINDOW_ROW.match(line)
+        if row:
+            windows[row.group("window")] = {
+                "requests": int(row.group("requests")),
+                "p50_us": float(row.group("p50")),
+                "p99_us": float(row.group("p99")),
+            }
+            continue
+        r = UPGRADE_RATE_LINE.match(line)
+        if r:
+            rate = int(r.group("rate"))
+    return {
+        "windows": windows,
+        "requests_per_sec": rate,
+        "gates": parse_gates(text),
+    }
+
+
 def main():
     results_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "bench-results")
-    out = {"schema": SCHEMA, "benchmarks": {}, "table1": None, "ipc": None}
+    out = {"schema": SCHEMA, "benchmarks": {}, "table1": None, "ipc": None, "upgrade": None}
 
     for path in sorted(results_dir.glob("*.json")):
         if path.name == "BENCH_RESULTS.json":
@@ -108,8 +136,15 @@ def main():
     ipc_txt = results_dir / "BENCH_IPC.txt"
     if ipc_txt.exists():
         out["ipc"] = parse_ipc(ipc_txt.read_text())
+    upgrade_txt = results_dir / "BENCH_UPGRADE.txt"
+    if upgrade_txt.exists():
+        out["upgrade"] = parse_upgrade(upgrade_txt.read_text())
 
-    gates = (out["table1"] or {}).get("gates", []) + (out["ipc"] or {}).get("gates", [])
+    gates = (
+        (out["table1"] or {}).get("gates", [])
+        + (out["ipc"] or {}).get("gates", [])
+        + (out["upgrade"] or {}).get("gates", [])
+    )
     out["gates_passed"] = all(g["pass"] for g in gates) if gates else None
 
     target = results_dir / "BENCH_RESULTS.json"

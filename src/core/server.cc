@@ -8,6 +8,7 @@
 
 #include "src/cc/compiler.h"
 #include "src/core/stubgen.h"
+#include "src/support/faultsim.h"
 #include "src/ipc/ring_transport.h"
 #include "src/objfmt/backend.h"
 #include "src/support/log.h"
@@ -84,6 +85,7 @@ OmosServer::OmosServer(Kernel& kernel, Config config)
                       [this](Kernel& k, Task& t) { return HandleOmosLoadSys(k, t); });
   kernel_->SetSysHook(kSysOmosUnload,
                       [this](Kernel& k, Task& t) { return HandleOmosUnloadSys(k, t); });
+  kernel_->SetSafepointHook([this](Kernel& k, Task& t) { return HandleSafepoint(k, t); });
   optimizer_->server = this;
 }
 
@@ -1178,7 +1180,11 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
     if (sym == nullptr) {
       return Err(ErrorCode::kInternal, StrCat("missing stub slot symbol ", slot.slot_symbol));
     }
-    runtime.slots.push_back(TaskRuntime::Slot{sym->addr, slot.lib_path, slot.symbol});
+    // A live upgrade in flight redirects lazy slots of the old version so
+    // tasks exec'd mid-roll bind the new one (the cached program image still
+    // names the old impl key until the reclaim-phase redefinition).
+    runtime.slots.push_back(
+        TaskRuntime::Slot{sym->addr, RedirectLibKey(slot.lib_path), slot.symbol});
   }
   std::lock_guard<std::mutex> lock(runtimes_mu_);
   runtimes_[task.id()] = std::move(runtime);
@@ -1186,8 +1192,619 @@ Result<uint32_t> OmosServer::MapProgram(Task& task, const CachedImage& program) 
 }
 
 void OmosServer::ReleaseTask(TaskId id) {
-  std::lock_guard<std::mutex> lock(runtimes_mu_);
-  runtimes_.erase(id);
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    runtimes_.erase(id);
+  }
+  // A released task can no longer execute old-version code: take it out of
+  // any in-flight upgrade's pending set (and reclaim if it was the last).
+  std::shared_ptr<UpgradeJob> reclaim_ready;
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (upgrade_job_ != nullptr && upgrade_job_->pending.erase(id) > 0) {
+      upgrade_job_->retry_at.erase(id);
+      if (upgrade_job_->pending.empty() && upgrade_job_->phase == UpgradePhase::kDraining) {
+        reclaim_ready = upgrade_job_;
+      }
+    }
+  }
+  if (reclaim_ready != nullptr) {
+    ScheduleUpgradeReclaim(reclaim_ready);
+  }
+}
+
+// ---- Live upgrade (docs/upgrade.md) ------------------------------------------
+
+namespace {
+// After a deferred transfer, let this many old-version instructions retire
+// before re-scanning the stack: a failed attempt walked the whole live
+// stack, so retrying every instruction would dominate execution.
+constexpr uint64_t kTransferRetryInterval = 256;
+}  // namespace
+
+Result<uint64_t> OmosServer::BeginUpgrade(const std::string& path,
+                                          const std::string& new_blueprint) {
+  std::string norm = OmosNamespace::Normalize(path);
+  OMOS_TRY_VOID(namespace_.Lookup(norm));
+  Specialization impl_spec;
+  impl_spec.name = "lib-dynamic-impl";
+  std::shared_ptr<UpgradeJob> job;
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (upgrade_job_ != nullptr && upgrade_job_->phase != UpgradePhase::kDone &&
+        upgrade_job_->phase != UpgradePhase::kAborted) {
+      return Err(ErrorCode::kUnavailable,
+                 StrCat("upgrade of ", upgrade_job_->path, " already in flight"));
+    }
+    job = std::make_shared<UpgradeJob>();
+    job->id = ++upgrade_counter_;
+    job->path = norm;
+    job->new_blueprint = new_blueprint;
+    job->old_impl_key = MakeCacheKey(norm, impl_spec.ToKeyString());
+    job->new_impl_key =
+        MakeCacheKey(OmosNamespace::Normalize(StrCat(norm, "@v", job->id)), impl_spec.ToKeyString());
+    job->phase = UpgradePhase::kLinking;
+    upgrade_job_ = job;
+  }
+  UpgradeStats().begun->Add();
+  TraceInstant("upgrade.begin", norm);
+  // Link on the idle lane (the pool runs it only when no foreground request
+  // is pending) so running tasks never stall behind the new version's link.
+  std::shared_ptr<OptimizerState> state = optimizer_;
+  ThreadPool::Global().SubmitBackground([state, job] {
+    std::lock_guard<std::mutex> alive(state->job_mu);
+    if (state->server != nullptr) {
+      state->server->RunUpgradeLink(job);
+    }
+  });
+  return job->id;
+}
+
+void OmosServer::RunUpgradeLink(std::shared_ptr<UpgradeJob> job) {
+  TraceSpan trace("upgrade.link", job->path);
+  if (FaultSim::Trip("upgrade.link")) {
+    AbortUpgrade(job, "upgrade.link: injected fault");
+    return;
+  }
+  // The new version links under a shadow namespace path so the solver
+  // assigns it a fresh placement: old addresses must stay live while
+  // suspended frames still execute old code. The real path keeps the old
+  // definition until the reclaim phase redefines it.
+  std::string shadow = OmosNamespace::Normalize(StrCat(job->path, "@v", job->id));
+  if (Result<void> defined = DefineLibrary(shadow, job->new_blueprint); !defined.ok()) {
+    AbortUpgrade(job, defined.error().ToString());
+    return;
+  }
+  Specialization impl_spec;
+  impl_spec.name = "lib-dynamic-impl";
+  ImageCache::ReadLease lease(cache_);  // pins images across map construction
+  uint64_t work = 0;
+  auto linked = Instantiate(shadow, impl_spec, &work);
+  if (!linked.ok()) {
+    AbortUpgrade(job, linked.error().ToString());
+    return;
+  }
+  const CachedImage* new_impl = *linked;
+  // The old implementation only matters if some task or cached client can
+  // still reach it; a rebuilt image reuses the old placement, so the
+  // transfer map's old-address ranges are exact even after an eviction.
+  bool old_referenced = cache_.Contains(job->old_impl_key);
+  if (!old_referenced) {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    for (const auto& [tid, runtime] : runtimes_) {
+      if (runtime.mapped_libs.count(job->old_impl_key) != 0) {
+        old_referenced = true;
+        break;
+      }
+      for (const TaskRuntime::Slot& slot : runtime.slots) {
+        if (slot.lib_path == job->old_impl_key) {
+          old_referenced = true;
+          break;
+        }
+      }
+      if (old_referenced) {
+        break;
+      }
+    }
+  }
+  if (!old_referenced) {
+    job->map = std::make_shared<const FrameTransferMap>();  // covers nothing
+    RunUpgradeRepoint(std::move(job));
+    return;
+  }
+  auto old_or = GetOrRebuild(job->old_impl_key, &work);
+  if (!old_or.ok()) {
+    AbortUpgrade(job, old_or.error().ToString());
+    return;
+  }
+  const CachedImage* old_impl = *old_or;
+  // Symbols the new version dropped degrade to availability-check stubs
+  // (return kUpgradeUnavailable) instead of faulting. The stub image lives
+  // under a path that does not embed job->path, so the reclaim-phase
+  // redefinition's blueprint-text sweep cannot evict it from under a task.
+  std::vector<std::string> deleted = DeletedTextSymbols(old_impl->image, new_impl->image);
+  if (!deleted.empty()) {
+    std::string degrade_dir = StrCat("/.upgrade/v", job->id);
+    auto stub_obj = GenerateDegradationStubs(deleted, "degrade.o");
+    if (!stub_obj.ok()) {
+      AbortUpgrade(job, stub_obj.error().ToString());
+      return;
+    }
+    std::string frag_path = StrCat(degrade_dir, "/degrade.o");
+    std::string meta_path = StrCat(degrade_dir, "/degrade");
+    if (Result<void> added = AddFragment(frag_path, std::move(*stub_obj)); !added.ok()) {
+      AbortUpgrade(job, added.error().ToString());
+      return;
+    }
+    if (Result<void> meta = DefineMeta(meta_path, StrCat("(merge ", frag_path, ")"));
+        !meta.ok()) {
+      AbortUpgrade(job, meta.error().ToString());
+      return;
+    }
+    auto stubs = Instantiate(meta_path, Specialization{}, &work);
+    if (!stubs.ok()) {
+      AbortUpgrade(job, stubs.error().ToString());
+      return;
+    }
+    job->degrade_key = (*stubs)->key;
+    for (const std::string& name : deleted) {
+      if (const ImageSymbol* sym = (*stubs)->image.FindSymbol(name)) {
+        job->degrade_addrs[name] = sym->addr;
+      }
+    }
+  }
+  job->map = std::make_shared<const FrameTransferMap>(
+      FrameTransferMap::Build(old_impl->image, new_impl->image, job->degrade_addrs));
+  RunUpgradeRepoint(std::move(job));
+}
+
+void OmosServer::RunUpgradeRepoint(std::shared_ptr<UpgradeJob> job) {
+  if (FaultSim::Trip("upgrade.repoint")) {
+    // Killed before any runtime was touched: the abort leaves every task on
+    // the old version, consistently.
+    AbortUpgrade(job, "upgrade.repoint: injected fault");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (job->phase != UpgradePhase::kLinking) {
+      return;  // aborted concurrently
+    }
+    job->phase = UpgradePhase::kRepointing;
+  }
+  // One critical section switches every runtime from the old implementation
+  // key to the new one: lazy slots resolved after this bind the new version;
+  // already-resolved slots keep calling the (still mapped) old code until
+  // the task's safepoint transfer. No task observes a half-switched table.
+  std::set<TaskId> affected;
+  uint64_t repointed_tasks = 0;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    for (auto& [tid, runtime] : runtimes_) {
+      bool uses_old = runtime.mapped_libs.count(job->old_impl_key) != 0;
+      for (TaskRuntime::Slot& slot : runtime.slots) {
+        if (slot.lib_path == job->old_impl_key) {
+          slot.lib_path = job->new_impl_key;
+          uses_old = true;
+        }
+      }
+      if (runtime.mapped_libs.count(job->old_impl_key) != 0) {
+        affected.insert(tid);  // old code/data mapped: needs a frame transfer
+      }
+      if (uses_old) {
+        ++repointed_tasks;
+      }
+    }
+  }
+  UpgradeStats().tasks_repointed->Add(repointed_tasks);
+  TraceInstant("upgrade.repoint",
+               StrCat(job->path, ": ", affected.size(), " task(s) to drain"));
+  // Publish the pending set before flagging: a safepoint that fires between
+  // the flag and the publish would otherwise see "not pending" and clear the
+  // flag, stranding the task on the old version forever.
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (job->phase != UpgradePhase::kRepointing) {
+      return;
+    }
+    job->pending = affected;
+    job->phase = UpgradePhase::kDraining;
+  }
+  std::set<TaskId> gone;
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    for (TaskId tid : affected) {
+      if (Task* task = kernel_->FindTask(tid)) {
+        task->RequestSafepoint();
+      } else {
+        gone.insert(tid);  // destroyed without ReleaseTask; nothing to drain
+      }
+    }
+  }
+  bool reclaim_ready = false;
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    for (TaskId tid : gone) {
+      job->pending.erase(tid);
+    }
+    reclaim_ready = job->phase == UpgradePhase::kDraining && job->pending.empty();
+  }
+  if (reclaim_ready) {
+    ScheduleUpgradeReclaim(job);
+  }
+}
+
+Result<void> OmosServer::HandleSafepoint(Kernel& kernel, Task& task) {
+  std::shared_ptr<UpgradeJob> job;
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    job = upgrade_job_;
+    if (job == nullptr || job->phase != UpgradePhase::kDraining ||
+        job->pending.count(task.id()) == 0) {
+      task.ClearSafepoint();  // stale flag (job aborted or task already done)
+      return OkResult();
+    }
+    auto retry = job->retry_at.find(task.id());
+    if (retry != job->retry_at.end() && task.instructions_retired() < retry->second) {
+      return OkResult();  // deferred recently; let old code make progress
+    }
+  }
+  return TryTransferTask(kernel, task, job);
+}
+
+Result<void> OmosServer::TryTransferTask(Kernel& kernel, Task& task,
+                                         const std::shared_ptr<UpgradeJob>& job) {
+  const FrameTransferMap& map = *job->map;
+  auto defer = [&]() {
+    UpgradeStats().transfers_deferred->Add();
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    job->retry_at[task.id()] = task.instructions_retired() + kTransferRetryInterval;
+    return OkResult();
+  };
+  if (FaultSim::Trip("upgrade.transfer")) {
+    return defer();  // a killed transfer is a deferral, never a torn state
+  }
+  ImageCache::ReadLease lease(cache_);  // pins *new_impl across the mapping
+  uint64_t rebuild_work = 0;
+  auto new_or = GetOrRebuild(job->new_impl_key, &rebuild_work);
+  if (!new_or.ok()) {
+    return defer();
+  }
+  const CachedImage* new_impl = *new_or;
+  // Plan every rewrite before applying any: pc, lr, the register file, and
+  // each live stack word that lies in the old version's segments. One
+  // unmappable value (a frame suspended mid-body of a resized or deleted
+  // function) defers the whole transfer — the task resumes old code and we
+  // retry at a later safepoint, when that frame has popped.
+  auto map_value = [&map](uint32_t value) -> std::optional<uint32_t> {
+    return map.Covers(value) ? map.MapAddr(value) : std::optional<uint32_t>(value);
+  };
+  std::optional<uint32_t> new_pc = map_value(task.pc());
+  if (!new_pc.has_value()) {
+    return defer();
+  }
+  uint32_t new_regs[kNumRegisters];
+  for (int i = 0; i < kNumRegisters; ++i) {
+    if (i == kRegSp) {
+      new_regs[i] = task.reg(i);
+      continue;
+    }
+    std::optional<uint32_t> mapped = map_value(task.reg(i));
+    if (!mapped.has_value()) {
+      return defer();
+    }
+    new_regs[i] = *mapped;
+  }
+  uint32_t sp = task.reg(kRegSp);
+  std::vector<std::pair<uint32_t, uint32_t>> stack_rewrites;
+  for (uint32_t addr = sp & ~3u; addr < kStackTop; addr += 4) {
+    Result<uint32_t> word = task.space().Read32(addr);
+    if (!word.ok()) {
+      break;  // off the mapped stack region
+    }
+    if (!map.Covers(*word)) {
+      continue;
+    }
+    std::optional<uint32_t> mapped = map.MapAddr(*word);
+    if (!mapped.has_value()) {
+      return defer();
+    }
+    if (*mapped != *word) {
+      stack_rewrites.emplace_back(addr, *mapped);
+    }
+  }
+  // Map the new version into the task on first contact, and carry the old
+  // version's same-shape data state (the task's private CoW bytes) into the
+  // new segments before any new code can run. A dload mid-drain may have
+  // mapped it already — then the new version's state is live; don't clobber.
+  bool first_contact = false;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it == runtimes_.end()) {
+      return defer();  // released concurrently; ReleaseTask drops it from pending
+    }
+    first_contact = it->second.mapped_libs.insert(job->new_impl_key).second;
+  }
+  if (first_contact) {
+    {
+      task.BillSys(kernel.costs().ipc_round_trip + kernel.costs().omos_cache_lookup +
+                   rebuild_work);
+      std::lock_guard<std::mutex> lock(kernel_mu_);
+      if (new_impl->text_seg.has_value()) {
+        OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, new_impl->image, *new_impl->text_seg,
+                                             new_impl->data_seg ? &*new_impl->data_seg : nullptr));
+      } else {
+        OMOS_TRY_VOID(MapLinkedImage(kernel, task, new_impl->image, ""));
+      }
+    }
+    for (const DataCarry& carry : map.data_carries()) {
+      std::vector<uint8_t> bytes(carry.size);
+      OMOS_TRY_VOID(task.space().ReadBytes(carry.old_addr, bytes.data(), carry.size));
+      OMOS_TRY_VOID(task.space().WriteBytes(carry.new_addr, bytes.data(), carry.size));
+    }
+  }
+  bool need_degrade = false;
+  if (!job->degrade_key.empty()) {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it != runtimes_.end()) {
+      need_degrade = it->second.mapped_libs.insert(job->degrade_key).second;
+    }
+  }
+  if (need_degrade) {
+    auto stubs = GetOrRebuild(job->degrade_key, &rebuild_work);
+    if (stubs.ok()) {
+      std::lock_guard<std::mutex> lock(kernel_mu_);
+      if ((*stubs)->text_seg.has_value()) {
+        OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, (*stubs)->image, *(*stubs)->text_seg,
+                                             (*stubs)->data_seg ? &*(*stubs)->data_seg : nullptr));
+      } else {
+        OMOS_TRY_VOID(MapLinkedImage(kernel, task, (*stubs)->image, ""));
+      }
+    }
+  }
+  // Point of no return: apply the planned rewrites. All writes hit this
+  // task's own registers and private pages, on this task's own thread.
+  task.set_pc(*new_pc);
+  for (int i = 0; i < kNumRegisters; ++i) {
+    if (i != kRegSp) {
+      task.set_reg(i, new_regs[i]);
+    }
+  }
+  for (const auto& [addr, value] : stack_rewrites) {
+    OMOS_TRY_VOID(task.space().Write32(addr, value));
+  }
+  // Already-resolved lazy slots still hold old-version addresses; rebind
+  // them to the new symbol (or its degradation stub) so the next call lands
+  // in new code without another dload round trip.
+  std::vector<TaskRuntime::Slot> slots;
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it != runtimes_.end()) {
+      slots = it->second.slots;
+    }
+  }
+  uint64_t slots_repointed = 0;
+  for (const TaskRuntime::Slot& slot : slots) {
+    if (slot.lib_path != job->new_impl_key) {
+      continue;
+    }
+    Result<uint32_t> current = task.space().Read32(slot.slot_addr);
+    if (!current.ok() || !map.Covers(*current)) {
+      continue;  // still lazy (trampoline) or already bound to new code
+    }
+    uint32_t target = 0;
+    if (const ImageSymbol* sym = new_impl->image.FindSymbol(slot.symbol)) {
+      target = sym->addr;
+    } else if (auto stub = job->degrade_addrs.find(slot.symbol);
+               stub != job->degrade_addrs.end()) {
+      target = stub->second;
+      UpgradeStats().degraded_bindings->Add();
+    }
+    if (target == 0) {
+      continue;
+    }
+    OMOS_TRY_VOID(task.space().Write32(slot.slot_addr, target));
+    ++slots_repointed;
+  }
+  // Drop the old version from this task. Unmapping decrements the shared
+  // frames' refcounts; PhysMemory frees them once the last task lets go.
+  {
+    std::lock_guard<std::mutex> lock(runtimes_mu_);
+    auto it = runtimes_.find(task.id());
+    if (it != runtimes_.end()) {
+      it->second.mapped_libs.erase(job->old_impl_key);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    if (map.old_text_end() > map.old_text_base()) {
+      (void)task.space().Unmap(map.old_text_base());
+    }
+    if (map.old_data_end() > map.old_data_base()) {
+      (void)task.space().Unmap(map.old_data_base());
+    }
+  }
+  task.ClearSafepoint();
+  UpgradeStats().frames_transferred->Add();
+  UpgradeStats().slots_repointed->Add(slots_repointed);
+  UpgradeStats().stack_words_rewritten->Add(stack_rewrites.size());
+  TraceInstant("upgrade.transfer", task.name());
+  bool reclaim_ready = false;
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    job->pending.erase(task.id());
+    job->retry_at.erase(task.id());
+    reclaim_ready = job->phase == UpgradePhase::kDraining && job->pending.empty();
+  }
+  if (reclaim_ready) {
+    ScheduleUpgradeReclaim(job);
+  }
+  return OkResult();
+}
+
+void OmosServer::ScheduleUpgradeReclaim(const std::shared_ptr<UpgradeJob>& job) {
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (job->phase != UpgradePhase::kDraining) {
+      return;  // someone else already moved it on (or it aborted)
+    }
+    job->phase = UpgradePhase::kReclaiming;
+  }
+  std::shared_ptr<OptimizerState> state = optimizer_;
+  std::shared_ptr<UpgradeJob> claimed = job;
+  ThreadPool::Global().SubmitBackground([state, claimed] {
+    std::lock_guard<std::mutex> alive(state->job_mu);
+    if (state->server != nullptr) {
+      state->server->RunUpgradeReclaim(claimed);
+    }
+  });
+}
+
+void OmosServer::RunUpgradeReclaim(std::shared_ptr<UpgradeJob> job) {
+  TraceSpan trace("upgrade.reclaim", job->path);
+  if (FaultSim::Trip("upgrade.reclaim")) {
+    // Killed mid-reclaim: retreat to draining so DrainUpgrade (or the next
+    // task release) re-attempts. The redirect stays active meanwhile.
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (job->phase == UpgradePhase::kReclaiming) {
+      job->phase = UpgradePhase::kDraining;
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (job->phase != UpgradePhase::kReclaiming) {
+      return;
+    }
+  }
+  // Every task migrated: make the new version THE version. Redefining the
+  // real path evicts the old implementation and every cached client image
+  // that linked against it and releases their placements — the existing
+  // redefinition semantics do the reclamation. Tasks keep their mappings
+  // (per-task address spaces hold frame refcounts), so this only drops the
+  // server-side copies.
+  size_t entries_before = cache_.entry_count();
+  if (Result<void> redefined = DefineLibrary(job->path, job->new_blueprint); !redefined.ok()) {
+    AbortUpgrade(job, redefined.error().ToString());
+    return;
+  }
+  // The shadow-path and degradation-stub entries served the migration;
+  // future execs resolve the real path. Drop the cached copies (running
+  // tasks keep their mapped frames, and a straggler dload can rebuild from
+  // the shadow definitions, which stay in the namespace).
+  cache_.Evict(job->new_impl_key);
+  if (!job->degrade_key.empty()) {
+    cache_.Evict(job->degrade_key);
+  }
+  size_t entries_after = cache_.entry_count();
+  if (entries_before > entries_after) {
+    UpgradeStats().images_reclaimed->Add(entries_before - entries_after);
+  }
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    job->phase = UpgradePhase::kDone;
+  }
+  UpgradeStats().completed->Add();
+  TraceInstant("upgrade.complete", job->path);
+}
+
+void OmosServer::AbortUpgrade(const std::shared_ptr<UpgradeJob>& job, std::string why) {
+  std::set<TaskId> pending;
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    if (job->phase == UpgradePhase::kDone || job->phase == UpgradePhase::kAborted) {
+      return;
+    }
+    job->phase = UpgradePhase::kAborted;
+    job->error = why;
+    pending.swap(job->pending);
+    job->retry_at.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    for (TaskId tid : pending) {
+      if (Task* task = kernel_->FindTask(tid)) {
+        task->ClearSafepoint();
+      }
+    }
+  }
+  UpgradeStats().aborted->Add();
+  TraceInstant("upgrade.abort", StrCat(job->path, ": ", why));
+}
+
+std::string OmosServer::RedirectLibKey(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(upgrade_mu_);
+  if (upgrade_job_ != nullptr && upgrade_job_->old_impl_key == key &&
+      (upgrade_job_->phase == UpgradePhase::kRepointing ||
+       upgrade_job_->phase == UpgradePhase::kDraining ||
+       upgrade_job_->phase == UpgradePhase::kReclaiming)) {
+    return upgrade_job_->new_impl_key;
+  }
+  return key;
+}
+
+uint32_t OmosServer::DegradeBindingFor(const std::string& impl_key, const std::string& symbol,
+                                       std::string* degrade_key) const {
+  std::lock_guard<std::mutex> lock(upgrade_mu_);
+  if (upgrade_job_ == nullptr || upgrade_job_->degrade_key.empty() ||
+      upgrade_job_->phase == UpgradePhase::kAborted ||
+      upgrade_job_->new_impl_key != impl_key) {
+    return 0;
+  }
+  auto it = upgrade_job_->degrade_addrs.find(symbol);
+  if (it == upgrade_job_->degrade_addrs.end()) {
+    return 0;
+  }
+  *degrade_key = upgrade_job_->degrade_key;
+  return it->second;
+}
+
+OmosServer::UpgradeStatus OmosServer::UpgradeStatusNow() const {
+  std::lock_guard<std::mutex> lock(upgrade_mu_);
+  UpgradeStatus status;
+  if (upgrade_job_ == nullptr) {
+    return status;
+  }
+  status.id = upgrade_job_->id;
+  status.path = upgrade_job_->path;
+  status.phase = upgrade_job_->phase;
+  status.tasks_pending = upgrade_job_->pending.size();
+  status.error = upgrade_job_->error;
+  return status;
+}
+
+OmosServer::UpgradeStatus OmosServer::DrainUpgrade() {
+  for (int round = 0; round < 8; ++round) {
+    DrainBackgroundWork();
+    std::shared_ptr<UpgradeJob> job;
+    bool waiting_on_tasks = false;
+    bool reclaim_ready = false;
+    {
+      std::lock_guard<std::mutex> lock(upgrade_mu_);
+      job = upgrade_job_;
+      if (job == nullptr || job->phase == UpgradePhase::kDone ||
+          job->phase == UpgradePhase::kAborted) {
+        break;
+      }
+      if (job->phase == UpgradePhase::kDraining) {
+        if (job->pending.empty()) {
+          reclaim_ready = true;  // e.g. a faulted reclaim retreated here
+        } else {
+          waiting_on_tasks = true;
+        }
+      }
+    }
+    if (waiting_on_tasks) {
+      break;  // the caller must run (or release) the pending tasks
+    }
+    if (reclaim_ready) {
+      ScheduleUpgradeReclaim(job);  // next round's drain executes it
+    }
+  }
+  return UpgradeStatusNow();
 }
 
 Result<TaskId> OmosServer::BootstrapExec(const std::string& path, std::vector<std::string> args,
@@ -1347,6 +1964,20 @@ Result<TaskId> OmosServer::PrelinkedExec(const std::string& path, std::vector<st
     }
     if (stamp_valid) {
       image = cache_.Get(entry.cache_key);
+      if (image == nullptr && store_ != nullptr) {
+        // Restart-warm path: the snapshot restored the entry (re-stamped at
+        // the restored layout generation) but the in-memory cache is cold.
+        // The attached store adopts the persisted image with zero
+        // relocations; when the adopted image carries the entry's stamp the
+        // exec is a prelink hit, not a rebuild.
+        uint64_t adopt_work = 0;
+        auto adopted = GetOrRebuild(entry.cache_key, &adopt_work);
+        if (adopted.ok() && (*adopted)->layout_generation == entry.stamp) {
+          image = *adopted;
+          std::lock_guard<std::mutex> lock(kernel_mu_);
+          task->BillSys(adopt_work);
+        }
+      }
     }
   }
   if (image != nullptr) {
@@ -1531,13 +2162,41 @@ Result<void> OmosServer::HandleDload(Kernel& kernel, Task& task) {
   // user-mode work in the stub.
   task.BillUser(kernel.costs().symbol_lookup);
   const ImageSymbol* sym = impl->image.FindSymbol(slot.symbol);
+  uint32_t target = sym != nullptr ? sym->addr : 0;
   if (sym == nullptr) {
-    return Err(ErrorCode::kUnresolvedSymbol,
-               StrCat("symbol ", slot.symbol, " not in ", slot.lib_path));
+    // Availability-check semantics mid-roll (docs/upgrade.md): a symbol the
+    // new library version dropped binds to its degradation stub — callers
+    // get kUpgradeUnavailable back instead of a fault.
+    std::string degrade_key;
+    target = DegradeBindingFor(slot.lib_path, slot.symbol, &degrade_key);
+    if (target == 0) {
+      return Err(ErrorCode::kUnresolvedSymbol,
+                 StrCat("symbol ", slot.symbol, " not in ", slot.lib_path));
+    }
+    OMOS_TRY(const CachedImage* stubs, GetOrRebuild(degrade_key, &rebuild_work));
+    bool stubs_first_use = false;
+    {
+      std::lock_guard<std::mutex> lock(runtimes_mu_);
+      auto it = runtimes_.find(task.id());
+      if (it == runtimes_.end()) {
+        return Err(ErrorCode::kExecFault, StrCat(task.name(), ": task released during dload"));
+      }
+      stubs_first_use = it->second.mapped_libs.insert(degrade_key).second;
+    }
+    if (stubs_first_use) {
+      std::lock_guard<std::mutex> lock(kernel_mu_);
+      if (stubs->text_seg.has_value()) {
+        OMOS_TRY_VOID(MapImageWithSharedText(kernel, task, stubs->image, *stubs->text_seg,
+                                             stubs->data_seg ? &*stubs->data_seg : nullptr));
+      } else {
+        OMOS_TRY_VOID(MapLinkedImage(kernel, task, stubs->image, ""));
+      }
+    }
+    UpgradeStats().degraded_bindings->Add();
   }
-  OMOS_TRY_VOID(task.space().Write32(slot.slot_addr, sym->addr));
+  OMOS_TRY_VOID(task.space().Write32(slot.slot_addr, target));
   task.BillUser(kernel.costs().reloc_apply);
-  task.set_pc(sym->addr);
+  task.set_pc(target);
   return OkResult();
 }
 
@@ -1764,6 +2423,7 @@ Result<void> OmosServer::HandleOmosUnloadSys(Kernel& kernel, Task& task) {
 //   order <count> <path>\n<routine-name>\n ...
 //   layoutgen <generation>
 //   place <text-base> <text-size> <data-base> <data-size> <object-key>
+//   prelink <path> <cache-key>
 //   check <fnv64-hex>
 
 namespace {
@@ -1900,6 +2560,14 @@ std::string OmosServer::Snapshot() const {
     out += StrCat("place ", record.placement.text_base, " ", record.text_size, " ",
                   record.placement.data_base, " ", record.data_size, " ", record.object, "\n");
   }
+  // After the place lines: Restore() re-stamps each prelink row against the
+  // adopted placements, so a restarted server execs warm immediately.
+  {
+    std::lock_guard<std::mutex> lock(prelink_mu_);
+    for (const auto& [path, entry] : prelink_) {
+      out += StrCat("prelink ", path, " ", entry.cache_key, "\n");
+    }
+  }
   out += StrCat("check ", Hex64(Fnv1a(out)), "\n");
   return out;
 }
@@ -1967,6 +2635,25 @@ Result<void> OmosServer::Restore(std::string_view snapshot) {
       record.object = std::string(line);
       std::lock_guard<std::mutex> lock(solver_mu_);
       OMOS_TRY_VOID(solver_.AdoptPlacement(record));
+    } else if (tag == "prelink") {
+      OMOS_TRY(std::string_view path, PopField(line));
+      std::string cache_key(line);
+      if (cache_key.empty()) {
+        return Err(ErrorCode::kParseError, "snapshot: prelink row without cache key");
+      }
+      // Stamp against the placements adopted above (not the pre-crash
+      // stamp): the entry is exec-valid exactly while the restored solver
+      // still reports this generation for the key.
+      uint64_t stamp;
+      {
+        std::lock_guard<std::mutex> lock(solver_mu_);
+        stamp = solver_.GenerationOf(cache_key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(prelink_mu_);
+        prelink_[std::string(path)] = PrelinkEntry{std::move(cache_key), stamp};
+      }
+      EnablePrelink();
     } else {
       return Err(ErrorCode::kParseError, StrCat("snapshot: unknown record '", tag, "'"));
     }
@@ -2199,9 +2886,12 @@ Channel OmosServer::MakeChannel(ExecTransport transport) {
       };
       Channel channel(MakeRingTransport(std::move(serve), config));
       // A ring whose checksums keep failing (damaged shared mapping) demotes
-      // to the plain stream so clients stay reachable, just slower.
+      // to the plain stream so clients stay reachable, just slower. After a
+      // quiet period of 8 clean stream exchanges the channel probes the ring
+      // again and re-promotes if the damage has cleared (remapped ring).
       channel.ArmFallbackTransport(
-          MakeStreamTransport(std::move(fallback_serve), costs.ipc_round_trip, 2));
+          MakeStreamTransport(std::move(fallback_serve), costs.ipc_round_trip, 2),
+          /*threshold=*/3, /*repromote_after=*/8);
       return channel;
     }
     case ExecTransport::kPort:
@@ -2414,6 +3104,33 @@ OmosReply OmosServer::HandleIntrospect(const OmosRequest& request) {
                     " got=", Hex32(conflict.got), " holder=", conflict.holder, "\n");
     }
     reply.payload = out;
+    return reply;
+  }
+  if (StartsWith(cmd, "upgrade ")) {
+    // "upgrade <libpath>" with the new blueprint in request.specialization:
+    // kick off a live upgrade (docs/upgrade.md). The reply returns the
+    // upgrade id; progress is polled via "upgrade-status".
+    std::string target = cmd.substr(std::string_view("upgrade ").size());
+    auto begun = BeginUpgrade(target, request.specialization);
+    if (!begun.ok()) {
+      reply.error = begun.error().ToString();
+      return reply;
+    }
+    reply.ok = true;
+    reply.payload = StrCat("upgrade ", *begun, " of ", target, " started\n");
+    return reply;
+  }
+  if (cmd == "upgrade-status") {
+    UpgradeStatus status = UpgradeStatusNow();
+    reply.ok = true;
+    if (status.id == 0) {
+      reply.payload = "no upgrade\n";
+    } else {
+      reply.payload = StrCat("upgrade ", status.id, " ", status.path, ": ",
+                             UpgradePhaseName(status.phase), ", ", status.tasks_pending,
+                             " task(s) pending",
+                             status.error.empty() ? "" : StrCat(" (", status.error, ")"), "\n");
+    }
     return reply;
   }
   reply.error = StrCat("unknown introspect subcommand: ", cmd);

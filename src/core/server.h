@@ -41,6 +41,7 @@
 #include "src/os/loader.h"
 #include "src/store/image_store.h"
 #include "src/support/result.h"
+#include "src/upgrade/upgrade.h"
 
 namespace omos {
 
@@ -80,6 +81,7 @@ struct OmosServerConfig {
 //                  Restore, OptimizePlacements) against each other
 //   monitor_mu_  — monitor_names_ / monitor_counts_ / preferred_order_
 //   solver_mu_   — every ConstraintSolver call
+//   upgrade_mu_  — the live-upgrade job (phase, pending tasks, plan)
 //   runtimes_mu_ — runtimes_ (per-task stub/dyn state)
 //   kernel_mu_   — kernel and task mutation (CreateTask, mapping, billing,
 //                  SimFs writes); never held across a build
@@ -159,6 +161,34 @@ class OmosServer {
 
   // Drop per-task runtime state (call when a task is destroyed).
   void ReleaseTask(TaskId id);
+
+  // ---- Live upgrade (src/upgrade/, docs/upgrade.md) -------------------------
+  // Hot-patch `path` (a lib-dynamic library) to `new_blueprint` without
+  // restarting its clients: the new version links in the background (idle
+  // lane — no foreground stall), every live task's stub slots are repointed
+  // to it, frames still executing old code migrate OSR-style at the next
+  // safepoint, and the old version's frames are reclaimed once nothing
+  // references them. Constrained (non-lazy) clients pick the new version up
+  // at their next Instantiate, exactly like an ordinary redefinition.
+  // Returns the upgrade id; kUnavailable while another upgrade is in flight.
+  Result<uint64_t> BeginUpgrade(const std::string& path, const std::string& new_blueprint);
+
+  struct UpgradeStatus {
+    uint64_t id = 0;
+    std::string path;
+    UpgradePhase phase = UpgradePhase::kIdle;
+    size_t tasks_pending = 0;
+    std::string error;
+    bool terminal() const {
+      return phase == UpgradePhase::kDone || phase == UpgradePhase::kAborted;
+    }
+  };
+  UpgradeStatus UpgradeStatusNow() const;
+  // Drive the upgrade as far as it can go from this thread: run queued
+  // background work and, when every task has migrated, perform the
+  // reclamation. Tasks still running old frames on other threads migrate on
+  // their own threads (safepoints); callers poll until terminal().
+  UpgradeStatus DrainUpgrade();
 
   // ---- Dynamic loading (dld-style, §5) --------------------------------------
   struct DynLoadResult {
@@ -426,6 +456,49 @@ class OmosServer {
     std::map<std::string, std::string> alias;      // original -> optimized key
   };
 
+  // ---- Live upgrade internals ----------------------------------------------
+  // One upgrade in flight at a time. Mutable fields (phase, pending,
+  // retry_at, error) are guarded by upgrade_mu_; the immutable plan (keys,
+  // transfer map, degradation addresses) is written before the job becomes
+  // visible to safepoints and read-only after.
+  struct UpgradeJob {
+    uint64_t id = 0;
+    std::string path;           // normalized library path
+    std::string new_blueprint;
+    std::string old_impl_key;   // lib-dynamic-impl cache key being replaced
+    std::string new_impl_key;   // shadow-path impl key of the new version
+    std::string degrade_key;    // degradation-stub image key ("" if none)
+    std::shared_ptr<const FrameTransferMap> map;
+    std::map<std::string, uint32_t> degrade_addrs;  // deleted symbol -> stub
+
+    UpgradePhase phase = UpgradePhase::kIdle;       // guarded by upgrade_mu_
+    std::set<TaskId> pending;                       // guarded by upgrade_mu_
+    // Deferral backoff: task -> instructions_retired before the next
+    // transfer attempt (a failed attempt scanned the whole stack; don't
+    // re-scan every instruction).
+    std::map<TaskId, uint64_t> retry_at;            // guarded by upgrade_mu_
+    std::string error;                              // guarded by upgrade_mu_
+  };
+
+  // Background-link body (idle lane), then the atomic runtime repoint.
+  void RunUpgradeLink(std::shared_ptr<UpgradeJob> job);
+  void RunUpgradeRepoint(std::shared_ptr<UpgradeJob> job);
+  // Safepoint hook body: attempt the OSR frame transfer for `task`.
+  Result<void> HandleSafepoint(Kernel& kernel, Task& task);
+  Result<void> TryTransferTask(Kernel& kernel, Task& task,
+                               const std::shared_ptr<UpgradeJob>& job);
+  // Reclaim the old version (evict + release placements) once no task
+  // references it; retried by DrainUpgrade when killed by fault injection.
+  void RunUpgradeReclaim(std::shared_ptr<UpgradeJob> job);
+  void AbortUpgrade(const std::shared_ptr<UpgradeJob>& job, std::string why);
+  // Old-impl-key -> new-impl-key redirect while an upgrade is repointing, so
+  // tasks exec'd mid-roll resolve their lazy slots against the new version.
+  std::string RedirectLibKey(const std::string& key) const;
+  // Degradation-stub binding for `symbol` of `impl_key`, or 0.
+  uint32_t DegradeBindingFor(const std::string& impl_key, const std::string& symbol,
+                             std::string* degrade_key) const;
+  void ScheduleUpgradeReclaim(const std::shared_ptr<UpgradeJob>& job);
+
   // One prelink-table row: the cache key `path` resolves to, plus the
   // layout generation the cached image's relocations were applied at. The
   // entry is exec-valid while the solver still reports `stamp` for the key.
@@ -469,6 +542,7 @@ class OmosServer {
   mutable std::mutex admin_mu_;
   mutable std::mutex monitor_mu_;
   mutable std::mutex solver_mu_;
+  mutable std::mutex upgrade_mu_;
   mutable std::mutex runtimes_mu_;
   mutable std::mutex kernel_mu_;
 
@@ -481,6 +555,11 @@ class OmosServer {
   std::map<std::string, std::vector<std::string>> preferred_order_;
 
   std::shared_ptr<OptimizerState> optimizer_ = std::make_shared<OptimizerState>();
+
+  // Live upgrade: at most one job; the pointer itself is guarded by
+  // upgrade_mu_ (safepoints copy the shared_ptr out under the lock).
+  std::shared_ptr<UpgradeJob> upgrade_job_;  // guarded by upgrade_mu_
+  uint64_t upgrade_counter_ = 0;             // guarded by upgrade_mu_
 
   // Prelink table: path -> entry. prelink_mu_ is a LEAF lock — acquired on
   // its own, never while holding (or before taking) any lock above; the

@@ -41,6 +41,8 @@ struct ChannelMetrics {
       MetricsRegistry::Global().GetCounter("ipc.stub_cache.invalidations");
   Counter* transport_fallbacks =
       MetricsRegistry::Global().GetCounter("ipc.transport_fallbacks");
+  Counter* transport_repromotions =
+      MetricsRegistry::Global().GetCounter("ipc.transport_repromotions");
 };
 
 ChannelMetrics& Metrics() {
@@ -50,11 +52,15 @@ ChannelMetrics& Metrics() {
 
 }  // namespace
 
-void Channel::ArmFallbackTransport(std::unique_ptr<Transport> fallback, int threshold) {
+void Channel::ArmFallbackTransport(std::unique_ptr<Transport> fallback, int threshold,
+                                   int repromote_after) {
   fallback_ = std::move(fallback);
   fallback_threshold_ = std::max(1, threshold);
+  repromote_after_ = repromote_after;
   consecutive_corrupted_ = 0;
+  clean_streak_ = 0;
   fallback_engaged_ = false;
+  probing_ = false;
 }
 
 void Channel::EnableStubCache(size_t max_entries) {
@@ -120,6 +126,13 @@ Result<void> Channel::ExchangeWithRetry(
     const std::function<Result<void>(const std::vector<uint8_t>&)>& decode) {
   ++calls_made_;
   Metrics().calls->Add();
+  // Quiet period on the fallback elapsed: this exchange probes the demoted
+  // transport. A clean delivery re-promotes it; a failure retreats below.
+  if (fallback_engaged_ && !probing_ && repromote_after_ > 0 &&
+      clean_streak_ >= repromote_after_ && fallback_ != nullptr) {
+    std::swap(transport_, fallback_);
+    probing_ = true;
+  }
   uint64_t cost = 0;
   int attempts = std::max(1, retry_.max_attempts);
   std::optional<Error> last_error;
@@ -147,6 +160,16 @@ Result<void> Channel::ExchangeWithRetry(
         last_error.reset();
         delivered = true;
         consecutive_corrupted_ = 0;  // a clean round trip ends the streak
+        if (probing_) {
+          // The demoted ring answered cleanly: re-promote it for good.
+          probing_ = false;
+          fallback_engaged_ = false;
+          clean_streak_ = 0;
+          Metrics().transport_repromotions->Add();
+          TraceInstant("ipc.transport_repromote", "stream->ring");
+        } else if (fallback_engaged_ && repromote_after_ > 0) {
+          ++clean_streak_;
+        }
         break;
       }
       // A reply that unmarshals wrong is as retryable as a damaged frame.
@@ -157,20 +180,35 @@ Result<void> Channel::ExchangeWithRetry(
     // Adaptive demotion: a streak of checksum failures means the transport
     // itself (a damaged ring mapping) is suspect, not the request — swap to
     // the armed fallback so the remaining retries go out on clean plumbing.
-    if (last_error->code() == ErrorCode::kCorrupted && fallback_ != nullptr) {
-      if (++consecutive_corrupted_ >= fallback_threshold_) {
-        transport_ = std::move(fallback_);
+    // The swap retains the demoted transport for a later re-promotion probe.
+    if (last_error->code() == ErrorCode::kCorrupted) {
+      if (probing_) {
+        // The probe hit corruption: the ring is still damaged. Retreat and
+        // restart the quiet period.
+        std::swap(transport_, fallback_);
+        probing_ = false;
+        clean_streak_ = 0;
+      } else if (fallback_ != nullptr && !fallback_engaged_ &&
+                 ++consecutive_corrupted_ >= fallback_threshold_) {
+        std::swap(transport_, fallback_);
         fallback_engaged_ = true;
         consecutive_corrupted_ = 0;
         Metrics().transport_fallbacks->Add();
         TraceInstant("ipc.transport_fallback", "ring->stream");
       }
-    } else if (last_error->code() != ErrorCode::kCorrupted) {
+    } else {
       consecutive_corrupted_ = 0;
     }
     if (!IsRetryableError(last_error->code())) {
       break;
     }
+  }
+  // A probe that ran out of attempts without a clean delivery (e.g. on
+  // timeouts rather than corruption) retreats too.
+  if (!delivered && probing_) {
+    std::swap(transport_, fallback_);
+    probing_ = false;
+    clean_streak_ = 0;
   }
   // Failed attempts consumed simulated time too.
   if (task != nullptr) {

@@ -70,11 +70,19 @@ class Channel {
   void EnableStubCache(size_t max_entries = 256);
 
   // Adaptive transport demotion: after `threshold` consecutive kCorrupted
-  // round trips the channel permanently swaps to `fallback` (typically a
-  // plain stream when the shared-memory ring's checksums keep failing —
-  // slower, but not sharing the damaged mapping). A successful round trip
-  // resets the streak. Demotions count in ipc.transport_fallbacks.
-  void ArmFallbackTransport(std::unique_ptr<Transport> fallback, int threshold = 3);
+  // round trips the channel swaps to `fallback` (typically a plain stream
+  // when the shared-memory ring's checksums keep failing — slower, but not
+  // sharing the damaged mapping). A successful round trip resets the
+  // streak. Demotions count in ipc.transport_fallbacks.
+  //
+  // Re-promotion: with `repromote_after` > 0, once `repromote_after`
+  // consecutive exchanges deliver cleanly on the fallback the channel
+  // probes the demoted transport again with the next exchange. A clean
+  // probe re-promotes (ipc.transport_repromotions); a corrupted one
+  // retreats to the fallback and restarts the quiet period. 0 keeps the
+  // demotion permanent.
+  void ArmFallbackTransport(std::unique_ptr<Transport> fallback, int threshold = 3,
+                            int repromote_after = 0);
   bool fallback_engaged() const { return fallback_engaged_; }
 
   // Full marshal -> deliver -> unmarshal round trip, retried per the policy.
@@ -126,10 +134,15 @@ class Channel {
   void StubInsert(const OmosRequest& request, const OmosReply& reply);
 
   std::unique_ptr<Transport> transport_;
-  std::unique_ptr<Transport> fallback_;
+  std::unique_ptr<Transport> fallback_;  // holds the demoted transport after a swap
   int fallback_threshold_ = 0;
   int consecutive_corrupted_ = 0;
   bool fallback_engaged_ = false;
+  // Re-promotion state: clean exchanges delivered since the demotion, and
+  // whether the current exchange is the probe running on the demoted ring.
+  int repromote_after_ = 0;
+  int clean_streak_ = 0;
+  bool probing_ = false;
   RetryPolicy retry_;
   uint64_t cycles_billed_ = 0;
   uint64_t calls_made_ = 0;

@@ -61,8 +61,10 @@ struct OmosReply {
   std::vector<uint32_t> symbol_values;     // kDynamicLoad, parallel to request.symbols
   uint64_t stat_hits = 0;
   uint64_t stat_misses = 0;
-  // kIntrospect: free-form text payload (trace JSON, summaries, profiles)
-  // and the structured metrics snapshot.
+  // kIntrospect: free-form text payload (trace JSON, summaries, profiles,
+  // "placements", "upgrade <libpath>" — new blueprint in
+  // request.specialization — and "upgrade-status") and the structured
+  // metrics snapshot.
   std::string payload;
   std::vector<std::pair<std::string, uint64_t>> metrics;
   // The server's namespace generation, piggybacked on every reply (success

@@ -148,6 +148,8 @@ Result<const SegmentImage*> Kernel::PageCachePut(std::string key, std::span<cons
 
 void Kernel::SetSysHook(uint32_t sysno, SysHook hook) { sys_hooks_[sysno] = std::move(hook); }
 
+void Kernel::SetSafepointHook(SafepointHook hook) { safepoint_hook_ = std::move(hook); }
+
 Result<void> Kernel::RunTask(Task& task, uint64_t max_instructions) {
   // Span annotated with the simulated user/sys cycles this run consumed
   // (delta of the task's accounting across the run).
@@ -168,6 +170,19 @@ Result<void> Kernel::RunTask(Task& task, uint64_t max_instructions) {
     if (executed >= max_instructions) {
       return Err(ErrorCode::kExecFault,
                  StrCat(task.name(), ": exceeded instruction budget ", max_instructions));
+    }
+    // Safepoint: between instructions the frame is consistent, so a pending
+    // live-upgrade may inspect and rewrite it here. One relaxed load when no
+    // upgrade is in flight.
+    if (task.safepoint_pending() && safepoint_hook_) {
+      Result<void> sp = safepoint_hook_(*this, task);
+      if (!sp.ok()) {
+        task.Fault(sp.error());
+        return sp.error();
+      }
+      if (task.state() != TaskState::kRunnable) {
+        break;
+      }
     }
     Result<void> step = CpuStep(*this, task);
     if (!step.ok()) {

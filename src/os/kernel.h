@@ -97,6 +97,16 @@ class Kernel {
   using SysHook = std::function<Result<void>(Kernel&, Task&)>;
   void SetSysHook(uint32_t sysno, SysHook hook);
 
+  // Live-upgrade safepoint hook: when a task's safepoint_pending flag is
+  // set, RunTask calls the hook at the next instruction boundary — a point
+  // where no instruction is mid-flight, so pc/registers/stack describe a
+  // consistent frame the hook may inspect and rewrite (OSR-style frame
+  // transfer). The hook runs on the thread driving the task; the check for
+  // the common (no-upgrade) case is one relaxed atomic load per
+  // instruction.
+  using SafepointHook = std::function<Result<void>(Kernel&, Task&)>;
+  void SetSafepointHook(SafepointHook hook);
+
   // Run the task on the interpreter until it exits, faults, or exceeds
   // `max_instructions`.
   Result<void> RunTask(Task& task, uint64_t max_instructions = 200'000'000);
@@ -123,6 +133,7 @@ class Kernel {
   std::map<TaskId, std::unique_ptr<Task>> tasks_;
   std::map<std::string, SegmentImage> page_cache_;
   std::map<uint32_t, SysHook> sys_hooks_;
+  SafepointHook safepoint_hook_;
   TaskId next_task_id_ = 1;
 };
 

@@ -3,6 +3,7 @@
 #define OMOS_SRC_OS_TASK_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -103,6 +104,17 @@ class Task {
   }
   size_t touched_text_pages() const { return touched_text_pages_.size(); }
 
+  // Live-upgrade safepoint request (src/upgrade/): another thread sets the
+  // flag when this task should pause at the next instruction boundary so
+  // the kernel's safepoint hook can migrate it. The flag is the only Task
+  // state touched cross-thread; everything the hook reads beyond it is
+  // published under the upgrade engine's lock, so a relaxed poll suffices.
+  bool safepoint_pending() const {
+    return safepoint_pending_.load(std::memory_order_relaxed);
+  }
+  void RequestSafepoint() { safepoint_pending_.store(true, std::memory_order_release); }
+  void ClearSafepoint() { safepoint_pending_.store(false, std::memory_order_relaxed); }
+
  private:
   TaskId id_;
   std::string name_;
@@ -121,6 +133,7 @@ class Task {
   uint32_t brk_ = 0;
   uint32_t last_fetch_page_ = 0xFFFFFFFF;
   std::set<uint32_t> touched_text_pages_;
+  std::atomic<bool> safepoint_pending_{false};
 };
 
 }  // namespace omos

@@ -451,5 +451,84 @@ TEST_F(ConcurrencyTest, ServeAsyncAnswersOnPoolThread) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Live upgrade under exec load (PR 9): worker threads run lib-dynamic
+// clients through the upgrade window while the main thread links, repoints
+// and reclaims. Safepoint frame transfers happen on the worker threads
+// (the interpreter loop calls the server's safepoint hook there), racing
+// DrainUpgrade on the main thread. Every client must exit on a consistent
+// version: 21 (pure v1) or 51 (pure v2) — anything else means a torn
+// migration.
+TEST_F(ConcurrencyTest, ConcurrentUpgradeAndExec) {
+  constexpr char kAddLibV2[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 12
+  ret
+.global mul3
+mul3:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)";
+  ASSERT_OK_AND_ASSIGN(ObjectFile v2, Assemble(kAddLibV2, "addlib2.o"));
+  ASSERT_OK(server_->AddFragment("/obj/addlib2.o", std::move(v2)));
+  ASSERT_OK(server_->DefineLibrary("/lib/addlib", "(merge /obj/addlib.o)"));
+  ASSERT_OK(server_->DefineMeta("/bin/dynprog",
+                                "(merge /lib/crt0.o /obj/client.o"
+                                " (specialize \"lib-dynamic\" /lib/addlib))"));
+
+  constexpr int kRounds = 6;
+  std::atomic<int> bad{0};
+  for (int round = 0; round < kRounds; ++round) {
+    // Exec on the main thread (server-side mapping), run on worker threads.
+    std::vector<TaskId> ids;
+    for (int i = 0; i < kThreads; ++i) {
+      ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/dynprog", {"prog"}));
+      ids.push_back(id);
+    }
+    if (round == 1) {
+      ASSERT_OK(server_->BeginUpgrade("/lib/addlib", "(merge /obj/addlib2.o)"));
+    }
+    std::atomic<int> finished{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      workers.emplace_back([&, i] {
+        Task* task = kernel_.FindTask(ids[i]);
+        if (task == nullptr || !kernel_.RunTask(*task).ok() ||
+            (task->exit_code() != 21 && task->exit_code() != 51)) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+        finished.fetch_add(1, std::memory_order_release);
+      });
+    }
+    // Drive the upgrade from this thread while the workers run through
+    // their safepoints — the contention under test.
+    while (finished.load(std::memory_order_acquire) < kThreads) {
+      server_->DrainUpgrade();
+      std::this_thread::yield();
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+    for (TaskId id : ids) {
+      server_->ReleaseTask(id);
+      kernel_.DestroyTask(id);
+    }
+  }
+  EXPECT_EQ(bad.load(), 0);
+
+  OmosServer::UpgradeStatus status = server_->DrainUpgrade();
+  for (int i = 0; i < 64 && !status.terminal(); ++i) {
+    status = server_->DrainUpgrade();
+  }
+  EXPECT_EQ(status.phase, UpgradePhase::kDone) << status.error;
+  // Steady state: fresh execs run pure v2.
+  ASSERT_OK_AND_ASSIGN(TaskId fresh, server_->IntegratedExec("/bin/dynprog", {"prog"}));
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, RunTaskById(fresh));
+  EXPECT_EQ(out.exit_code, 51);
+}
+
 }  // namespace
 }  // namespace omos

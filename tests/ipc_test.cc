@@ -473,6 +473,64 @@ TEST(Transport, TransientRingCorruptionDoesNotDemote) {
   EXPECT_FALSE(channel.fallback_engaged());
 }
 
+TEST(Transport, RingRepromotedAfterQuietPeriod) {
+  // The ring corrupts exactly twice (a transient mapping glitch), demoting
+  // the channel to the stream. After `repromote_after` clean exchanges the
+  // channel probes the ring again; the glitch has passed, so the probe
+  // delivers and the channel rides the cheap ring from then on.
+  Channel channel(MakeRingTransport(OkServer, RingConfig()));
+  channel.set_retry_policy(RetryPolicy::Default());
+  channel.ArmFallbackTransport(MakeStreamTransport(OkServer, 1000, 2), /*threshold=*/2,
+                               /*repromote_after=*/2);
+  Counter* repromotions = MetricsRegistry::Global().GetCounter("ipc.transport_repromotions");
+  uint64_t before = repromotions->value();
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ScopedFaultPlan plan(
+      FaultPlan().Arm("ring.corrupt", FaultSpec::Every(1).WithMaxFires(2)));
+  // Two corrupted ring attempts demote mid-call; the stream finishes it.
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);
+  ASSERT_TRUE(channel.fallback_engaged());
+  // One more clean stream exchange completes the quiet period.
+  ASSERT_OK_AND_ASSIGN(OmosReply quiet, channel.Call(request, nullptr));
+  EXPECT_TRUE(quiet.ok);
+  EXPECT_TRUE(channel.fallback_engaged());
+  // This exchange probes the (now healthy) ring and re-promotes it.
+  ASSERT_OK_AND_ASSIGN(OmosReply probe, channel.Call(request, nullptr));
+  EXPECT_TRUE(probe.ok);
+  EXPECT_FALSE(channel.fallback_engaged());
+  EXPECT_EQ(repromotions->value(), before + 1);
+}
+
+TEST(Transport, FailedRepromotionProbeRetreatsToStream) {
+  // The ring stays damaged (every slot corrupts): the re-promotion probe
+  // hits the corruption, retreats to the stream within the same call, and
+  // the request still succeeds. The channel remains demoted.
+  Channel channel(MakeRingTransport(OkServer, RingConfig()));
+  channel.set_retry_policy(RetryPolicy::Default());
+  channel.ArmFallbackTransport(MakeStreamTransport(OkServer, 1000, 2), /*threshold=*/2,
+                               /*repromote_after=*/2);
+  Counter* repromotions = MetricsRegistry::Global().GetCounter("ipc.transport_repromotions");
+  uint64_t before = repromotions->value();
+  OmosRequest request;
+  request.op = OmosOp::kListNamespace;
+  request.path = "/bin";
+  ScopedFaultPlan plan(FaultPlan().Arm("ring.corrupt", FaultSpec::Every(1)));
+  ASSERT_OK_AND_ASSIGN(OmosReply reply, channel.Call(request, nullptr));
+  EXPECT_TRUE(reply.ok);
+  ASSERT_TRUE(channel.fallback_engaged());
+  for (int i = 0; i < 4; ++i) {
+    // Calls 1-2 complete the quiet period; call 3 probes, retreats, and
+    // still delivers on the stream; call 4 starts a fresh quiet period.
+    ASSERT_OK_AND_ASSIGN(OmosReply again, channel.Call(request, nullptr));
+    EXPECT_TRUE(again.ok);
+    EXPECT_TRUE(channel.fallback_engaged());
+  }
+  EXPECT_EQ(repromotions->value(), before);
+}
+
 TEST(Transport, OmosServerReachableOverRingTransport) {
   Kernel kernel;
   OmosServer server(kernel);

@@ -516,6 +516,48 @@ TEST_F(StoreServerTest, RestartServesByteIdenticalImagesFromStore) {
   EXPECT_EQ(ctask->exit_code(), 8);
 }
 
+// The prelink table rides the snapshot (PR 9): a restarted server starts
+// with the fleet-wide placements already solved, so its very first exec
+// takes the stamp-valid fast path — adopting the image bytes from the
+// store — instead of a cold miss.
+TEST_F(StoreServerTest, RestartStartsWithWarmPrelinkTable) {
+  SimFs disk;
+  {
+    Kernel kernel;
+    ImageStore store(disk, kStoreRoot, &kernel.costs());
+    ASSERT_OK(store.Open());
+    auto server = std::make_unique<OmosServer>(kernel);
+    ASSERT_OK(Populate(*server));
+    server->AttachStore(&store);
+    ASSERT_OK_AND_ASSIGN(int prelinked, server->PrelinkNamespace("/bin"));
+    EXPECT_EQ(prelinked, 3);
+    ASSERT_OK(server->PersistTo(store));
+  }
+
+  Kernel kernel2;
+  ImageStore store2(disk, kStoreRoot, &kernel2.costs());
+  ASSERT_OK(store2.Open());
+  auto server2 = std::make_unique<OmosServer>(kernel2);
+  ASSERT_OK(server2->RestoreFromStore(store2));
+  // The table came back armed — no PrelinkNamespace ran this generation.
+  EXPECT_TRUE(server2->prelink_enabled());
+  EXPECT_GE(server2->PrelinkValidCount(), 1u);
+
+  Counter* hits = MetricsRegistry::Global().GetCounter("prelink.hits");
+  Counter* misses = MetricsRegistry::Global().GetCounter("prelink.misses");
+  uint64_t hits_before = hits->value();
+  uint64_t misses_before = misses->value();
+  // First exec after restart: prelink entry valid, image adopted from the
+  // store. A warm start, not a cold rebuild.
+  ASSERT_OK_AND_ASSIGN(TaskId id, server2->PrelinkedExec("/bin/cat", {"cat"}));
+  Task* task = kernel2.FindTask(id);
+  ASSERT_NE(task, nullptr);
+  ASSERT_OK(kernel2.RunTask(*task));
+  EXPECT_EQ(task->exit_code(), 21);
+  EXPECT_EQ(hits->value(), hits_before + 1);
+  EXPECT_EQ(misses->value(), misses_before);
+}
+
 TEST_F(StoreServerTest, RedefinitionInvalidatesStoredImages) {
   SimFs disk;
   Kernel kernel;
