@@ -281,6 +281,15 @@ main:
                       static_cast<unsigned long long>(value));
         }
       }
+      // Block-engine counters (docs/perf.md): predecoded superblocks,
+      // block/TLB reuse, and whole-cache invalidations.
+      std::printf("engine:\n");
+      for (const auto& [name, value] : metrics.metrics) {
+        if (StartsWith(name, "engine.")) {
+          std::printf("  %-24s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+      }
       continue;
     }
     if (args[0] == "trace") {

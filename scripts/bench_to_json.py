@@ -7,6 +7,8 @@ Inputs (all inside the directory given as argv[1], default ./bench-results):
   BENCH_IPC.txt      bench_ipc console output (sections + PASS/FAIL gate lines)
   BENCH_UPGRADE.txt  bench_upgrade console output (latency windows across a
                      mid-run live library upgrade + PASS/FAIL gate lines)
+  BENCH_INTERP.txt   bench_interp console output (legacy-vs-block-engine
+                     steady-state throughput rows + PASS/FAIL speedup gates)
 
 Output: BENCH_RESULTS.json in the same directory, schema
 "omos-bench-results/1". Exits non-zero if any parsed gate line says FAIL,
@@ -37,6 +39,15 @@ UPGRADE_WINDOW_ROW = re.compile(
     r"\s+(?P<p50>\d+(?:\.\d+)?)\s+(?P<p99>\d+(?:\.\d+)?)\s*$"
 )
 UPGRADE_RATE_LINE = re.compile(r"^\s+(?P<rate>\d+) requests/sec across the roll")
+# "alu           312.4         2784.1     8.91x" from bench_interp.
+INTERP_ROW = re.compile(
+    r"^(?P<mix>\w+)\s+(?P<interp>\d+\.\d+)\s+(?P<blocks>\d+\.\d+)"
+    r"\s+(?P<speedup>\d+\.\d+)x\s*$"
+)
+INTERP_COUNTER_LINE = re.compile(
+    r"^engine counters over the blocks runs: (?P<decoded>\d+) blocks decoded, "
+    r"tlb (?P<tlb_hits>\d+) hits / (?P<tlb_misses>\d+) misses"
+)
 
 
 def parse_gates(text):
@@ -118,9 +129,37 @@ def parse_upgrade(text):
     }
 
 
+def parse_interp(text):
+    mixes, counters = {}, None
+    for line in text.splitlines():
+        row = INTERP_ROW.match(line)
+        if row:
+            mixes[row.group("mix")] = {
+                "interp_insns_per_s": float(row.group("interp")) * 1e6,
+                "blocks_insns_per_s": float(row.group("blocks")) * 1e6,
+                "speedup": float(row.group("speedup")),
+            }
+            continue
+        c = INTERP_COUNTER_LINE.match(line)
+        if c:
+            counters = {
+                "blocks_decoded": int(c.group("decoded")),
+                "tlb_hits": int(c.group("tlb_hits")),
+                "tlb_misses": int(c.group("tlb_misses")),
+            }
+    return {"mixes": mixes, "engine_counters": counters, "gates": parse_gates(text)}
+
+
 def main():
     results_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "bench-results")
-    out = {"schema": SCHEMA, "benchmarks": {}, "table1": None, "ipc": None, "upgrade": None}
+    out = {
+        "schema": SCHEMA,
+        "benchmarks": {},
+        "table1": None,
+        "ipc": None,
+        "upgrade": None,
+        "interp": None,
+    }
 
     for path in sorted(results_dir.glob("*.json")):
         if path.name == "BENCH_RESULTS.json":
@@ -139,11 +178,15 @@ def main():
     upgrade_txt = results_dir / "BENCH_UPGRADE.txt"
     if upgrade_txt.exists():
         out["upgrade"] = parse_upgrade(upgrade_txt.read_text())
+    interp_txt = results_dir / "BENCH_INTERP.txt"
+    if interp_txt.exists():
+        out["interp"] = parse_interp(interp_txt.read_text())
 
     gates = (
         (out["table1"] or {}).get("gates", [])
         + (out["ipc"] or {}).get("gates", [])
         + (out["upgrade"] or {}).get("gates", [])
+        + (out["interp"] or {}).get("gates", [])
     )
     out["gates_passed"] = all(g["pass"] for g in gates) if gates else None
 

@@ -173,6 +173,11 @@ void OmosServer::InvalidateImagesOf(std::string_view path) {
       std::erase_if(optimizer_->alias, [&](const auto& kv) { return stale(kv.first); });
     }
   }
+  // Predecoded blocks of the victims' text are stale the moment a rebuilt
+  // image can be mapped; running tasks pick up the flush at their next
+  // block boundary. (Frame recycling alone would also retire the keys, but
+  // only after the last task unmaps the old image.)
+  kernel_->engine().InvalidateAll("redefine");
 }
 
 Result<void> OmosServer::DefineMeta(std::string_view path, std::string_view blueprint) {
@@ -1399,6 +1404,10 @@ void OmosServer::RunUpgradeRepoint(std::shared_ptr<UpgradeJob> job) {
   UpgradeStats().tasks_repointed->Add(repointed_tasks);
   TraceInstant("upgrade.repoint",
                StrCat(job->path, ": ", affected.size(), " task(s) to drain"));
+  // Retire predecoded blocks of the old version's text: draining tasks
+  // finish their current block on the still-mapped old code, then re-decode
+  // through the repointed linkage at the next block boundary.
+  kernel_->engine().InvalidateAll("upgrade.repoint");
   // Publish the pending set before flagging: a safepoint that fires between
   // the flag and the publish would otherwise see "not pending" and clear the
   // flag, stranding the task on the old version forever.

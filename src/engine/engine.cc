@@ -1,0 +1,644 @@
+#include "src/engine/engine.h"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/isa/isa.h"
+#include "src/os/cpu.h"
+#include "src/os/kernel.h"
+#include "src/os/task.h"
+#include "src/support/metrics.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+// Direct-threaded dispatch (computed goto) on GNU-compatible compilers;
+// elsewhere the same op bodies compile as a switch in a loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define OMOS_ENGINE_DIRECT_THREADED 1
+#else
+#define OMOS_ENGINE_DIRECT_THREADED 0
+#endif
+
+namespace omos {
+
+namespace {
+
+// Wholesale-eviction threshold for the shared block cache. The workloads
+// decode a few hundred blocks; this only guards against pathological text
+// churn (e.g. a stress test remapping thousands of pages).
+constexpr size_t kMaxCachedBlocks = 1u << 16;
+
+constexpr uint32_t kInvalidPage = 0xFFFFFFFFu;
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void Store32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+EngineMode DefaultEngineMode() {
+  const char* env = std::getenv("OMOS_ENGINE");
+  if (env != nullptr && std::string_view(env) == "interp") {
+    return EngineMode::kInterp;
+  }
+  return EngineMode::kBlocks;
+}
+
+EngineMetrics& GetEngineMetrics() {
+  static EngineMetrics metrics{
+      MetricsRegistry::Global().GetCounter("engine.blocks_decoded"),
+      MetricsRegistry::Global().GetCounter("engine.block_hits"),
+      MetricsRegistry::Global().GetCounter("engine.invalidations"),
+      MetricsRegistry::Global().GetCounter("engine.tlb_hits"),
+      MetricsRegistry::Global().GetCounter("engine.tlb_misses"),
+  };
+  return metrics;
+}
+
+// Predecoded instruction: DecodeInsn's output, flattened so the dispatch
+// loop touches one 8-byte-ish record instead of re-parsing raw bytes.
+struct ExecEngine::DecodedInsn {
+  Opcode op;
+  uint8_t r1;
+  uint8_t r2;
+  uint8_t r3;
+  uint32_t imm;
+};
+
+// A superblock: consecutive instructions within one text page, ending at
+// the first control-flow instruction, the page edge, or the first
+// undecodable instruction. Immutable once published.
+struct ExecEngine::Block {
+  std::vector<DecodedInsn> insns;
+};
+
+struct ExecEngine::TaskCache {
+  static constexpr uint32_t kTlbEntries = 32;  // direct-mapped by virtual page
+  static constexpr uint32_t kL1Entries = 64;   // direct-mapped by pc / kInsnSize
+
+  struct TlbEntry {
+    uint32_t page = kInvalidPage;  // virtual page number (addr / kPageSize)
+    uint8_t* data = nullptr;       // frame bytes
+    uint8_t prot = 0;
+    bool cow = false;  // writes must fault even though prot allows them
+  };
+  struct L1Entry {
+    uint32_t pc = 0;
+    std::shared_ptr<const Block> block;  // also keeps the block alive vs. eviction
+  };
+
+  std::array<TlbEntry, kTlbEntries> tlb{};
+  std::array<L1Entry, kL1Entries> l1{};
+  // TLB and L1 epochs are tracked separately: data accesses re-sync the TLB
+  // mid-block, but the L1 must only be flushed between blocks — an L1 slot
+  // holds the shared_ptr keeping the currently-executing block alive.
+  uint64_t tlb_epoch = 0;
+  uint64_t l1_space_epoch = 0;
+  uint64_t l1_engine_epoch = 0;
+  // engine.* counts, batched per Run() call (Counter::Add is an atomic).
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t block_hits = 0;
+
+  void FlushTlb() {
+    for (TlbEntry& e : tlb) {
+      e.page = kInvalidPage;
+    }
+  }
+  void FlushL1() {
+    for (L1Entry& e : l1) {
+      e.pc = 0;
+      e.block.reset();
+    }
+  }
+};
+
+ExecEngine::ExecEngine(Kernel& kernel) : kernel_(kernel) {}
+
+ExecEngine::~ExecEngine() = default;
+
+ExecEngine::TaskCache& ExecEngine::StateFor(const Task& task) {
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  std::unique_ptr<TaskCache>& slot = tasks_[task.id()];
+  if (slot == nullptr) {
+    slot = std::make_unique<TaskCache>();
+  }
+  return *slot;
+}
+
+void ExecEngine::DropTask(uint32_t task_id) {
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  tasks_.erase(task_id);
+}
+
+void ExecEngine::InvalidateAll(std::string_view reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.clear();
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  GetEngineMetrics().invalidations->Add(1);
+  if (TraceEnabled()) {
+    TraceInstant("engine.invalidate", reason);
+  }
+}
+
+size_t ExecEngine::CachedBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+Result<const ExecEngine::Block*> ExecEngine::LookupBlock(Task& task, TaskCache& st, uint32_t pc) {
+  AddressSpace& space = task.space();
+  uint64_t sepoch = space.map_epoch();
+  if (st.l1_space_epoch != sepoch) {
+    st.FlushL1();
+    st.l1_space_epoch = sepoch;
+  }
+  uint64_t eepoch = epoch_.load(std::memory_order_acquire);
+  if (st.l1_engine_epoch != eepoch) {
+    st.FlushL1();
+    st.l1_engine_epoch = eepoch;
+  }
+  uint32_t offset = pc & kPageMask;
+  if (offset > kPageSize - kInsnSize) {
+    // The 8-byte fetch would cross a page; single-step it.
+    return static_cast<const Block*>(nullptr);
+  }
+  TaskCache::L1Entry& slot = st.l1[(pc / kInsnSize) % TaskCache::kL1Entries];
+  if (slot.block != nullptr && slot.pc == pc) {
+    ++st.block_hits;
+    return slot.block.get();
+  }
+  AddressSpace::PageLookup pl;
+  if (!space.LookupPage(pc, &pl) || !pl.present || (pl.prot & kProtExec) == 0) {
+    // Unmapped, non-executable, or demand-zero text: take the exact fetch
+    // CpuStep would issue so the fault is billed — and any fault-injection
+    // plan evaluated — exactly once, with the legacy error message.
+    uint8_t raw[kInsnSize];
+    OMOS_TRY_VOID(space.FetchBytes(pc, raw, kInsnSize));
+    // The fetch resolved a fault (and bumped the map epoch); re-probe.
+    st.FlushL1();
+    st.l1_space_epoch = space.map_epoch();
+    if (!space.LookupPage(pc, &pl) || !pl.present) {
+      return static_cast<const Block*>(nullptr);
+    }
+  }
+  if ((pl.prot & kProtWrite) != 0) {
+    // Writable text can change under a cached block; never cache it.
+    return static_cast<const Block*>(nullptr);
+  }
+
+  // Shared-cache key: physical frame identity + reuse generation + block
+  // offset. Two tasks mapping the same image frames share one decode; a
+  // recycled frame's bumped generation retires all of its stale keys.
+  // (gen is truncated to 23 bits — a frame would need 8M recycles while
+  // old keys linger to alias, and wholesale eviction resets sooner.)
+  uint32_t gen = kernel_.phys().FrameGen(pl.frame);
+  uint64_t key = (static_cast<uint64_t>(pl.frame) << 32) |
+                 ((static_cast<uint64_t>(gen) << 9 | (offset >> 3)) & 0xFFFFFFFFu);
+  std::shared_ptr<const Block> block;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.find(key);
+    if (it != blocks_.end()) {
+      block = it->second;
+    }
+  }
+  if (block != nullptr) {
+    ++st.block_hits;
+  } else {
+    TraceSpan span("engine.decode");
+    auto built = std::make_shared<Block>();
+    const uint8_t* page_data = pl.data;
+    for (uint32_t off = offset; off + kInsnSize <= kPageSize; off += kInsnSize) {
+      Result<Instruction> insn = DecodeInsn(page_data + off);
+      if (!insn.ok()) {
+        if (built->insns.empty()) {
+          // The faulting instruction is the block head: surface DecodeInsn's
+          // error exactly as CpuStep would.
+          return insn.error();
+        }
+        break;  // end the block before the undecodable instruction
+      }
+      built->insns.push_back(DecodedInsn{insn->op, insn->r1, insn->r2, insn->r3, insn->imm});
+      switch (insn->op) {
+        case Opcode::kBeq:
+        case Opcode::kBne:
+        case Opcode::kBlt:
+        case Opcode::kBge:
+        case Opcode::kBltu:
+        case Opcode::kBgeu:
+        case Opcode::kJmp:
+        case Opcode::kBr:
+        case Opcode::kJmpR:
+        case Opcode::kCall:
+        case Opcode::kCallPc:
+        case Opcode::kCallR:
+        case Opcode::kRet:
+        case Opcode::kSys:
+        case Opcode::kHalt:
+          off = kPageSize;  // control flow (or exit) ends the block
+          break;
+        default:
+          break;
+      }
+    }
+    if (span.armed()) {
+      span.SetDetail(StrCat(Hex32(pc), " ", built->insns.size(), " insns"));
+    }
+    GetEngineMetrics().blocks_decoded->Add(1);
+    block = std::move(built);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (blocks_.size() >= kMaxCachedBlocks) {
+      blocks_.clear();
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      GetEngineMetrics().invalidations->Add(1);
+    }
+    blocks_.insert_or_assign(key, block);
+  }
+  slot.pc = pc;
+  slot.block = std::move(block);
+  return slot.block.get();
+}
+
+Result<void> ExecEngine::ExecuteBlock(Task& task, TaskCache& st, const Block& block,
+                                      uint64_t budget, uint64_t* executed) {
+  AddressSpace& space = task.space();
+  uint32_t pc = task.pc();
+  uint32_t next = 0;
+  // First-touch accounting for the block's text page. CpuStep checks this
+  // per instruction, but a block never crosses a page, so one check at
+  // entry bills identically (Run() guarantees at least one instruction of
+  // budget, matching CpuStep's bill-on-first-instruction).
+  if (task.TouchTextPage(pc / kPageSize)) {
+    task.BillSys(kernel_.costs().page_fault);
+  }
+
+  const DecodedInsn* d = block.insns.data();
+  const DecodedInsn* dend = d + block.insns.size();
+  auto r = [&](uint8_t i) { return task.reg(i); };
+  auto w = [&](uint8_t i, uint32_t v) { task.set_reg(i, v); };
+  // Software TLB probe for a `size`-byte access that must not cross a page.
+  // Returns the frame byte pointer on a hit with sufficient permission, or
+  // nullptr to route the access through the billing/faulting slow path
+  // (absent page, CoW write, protection mismatch, page-crossing). The slow
+  // path resolves the fault exactly like CpuStep's Read32/Write32 — and
+  // bumps the map epoch, which re-syncs the TLB on the next probe.
+  auto tlb = [&](uint32_t addr, uint32_t size, bool write) -> uint8_t* {
+    uint8_t* hit = nullptr;
+    if ((addr & kPageMask) <= kPageSize - size) {
+      uint64_t epoch = space.map_epoch();
+      if (st.tlb_epoch != epoch) {
+        st.FlushTlb();
+        st.tlb_epoch = epoch;
+      }
+      uint32_t page = addr / kPageSize;
+      TaskCache::TlbEntry& e = st.tlb[page & (TaskCache::kTlbEntries - 1)];
+      if (e.page != page) {
+        AddressSpace::PageLookup pl;
+        if (space.LookupPage(addr, &pl) && pl.present) {
+          e.page = page;
+          e.data = pl.data;
+          e.prot = pl.prot;
+          e.cow = pl.cow;
+        }
+      }
+      if (e.page == page) {
+        bool allowed = write ? ((e.prot & kProtWrite) != 0 && !e.cow)
+                             : (e.prot & kProtRead) != 0;
+        if (allowed) {
+          hit = e.data + (addr & kPageMask);
+        }
+      }
+    }
+    if (hit != nullptr) {
+      ++st.tlb_hits;
+    } else {
+      ++st.tlb_misses;
+    }
+    return hit;
+  };
+
+// Per-instruction prologue, replicating CpuStep's exact order: budget stop
+// at the boundary (pc already points at the unexecuted instruction), retire
+// count, profiler sample at the pre-execution pc, then pc := pc_next.
+#define OMOS_PROLOGUE()                                                      \
+  do {                                                                       \
+    if (*executed >= budget) {                                               \
+      return OkResult();                                                     \
+    }                                                                        \
+    task.CountInstruction();                                                 \
+    ++*executed;                                                             \
+    if (CycleProfiler::enabled() &&                                          \
+        (task.instructions_retired() & CycleProfiler::mask()) == 0) {        \
+      CycleProfiler::RecordSample(task.id(), pc);                            \
+    }                                                                        \
+    next = pc + kInsnSize;                                                   \
+    task.set_pc(next);                                                       \
+  } while (0)
+
+#if OMOS_ENGINE_DIRECT_THREADED
+  // Label table indexed by Opcode (kCount excluded: DecodeInsn rejects it).
+  static const void* const kOps[] = {
+      &&L_kHalt, &&L_kNop,  &&L_kMovI,  &&L_kMov,   &&L_kLea,  &&L_kLeaPc, &&L_kAdd,
+      &&L_kSub,  &&L_kMul,  &&L_kDiv,   &&L_kMod,   &&L_kAnd,  &&L_kOr,    &&L_kXor,
+      &&L_kShl,  &&L_kShr,  &&L_kAddI,  &&L_kLd,    &&L_kSt,   &&L_kLdB,   &&L_kStB,
+      &&L_kLdPc, &&L_kBeq,  &&L_kBne,   &&L_kBlt,   &&L_kBge,  &&L_kBltu,  &&L_kBgeu,
+      &&L_kJmp,  &&L_kBr,   &&L_kJmpR,  &&L_kCall,  &&L_kCallPc, &&L_kCallR, &&L_kRet,
+      &&L_kPush, &&L_kPop,  &&L_kSys};
+  static_assert(static_cast<size_t>(Opcode::kCount) == 38, "keep kOps in sync with Opcode");
+
+#define OMOS_OP(name) L_##name
+#define OMOS_NEXT()                                                          \
+  do {                                                                       \
+    if (++d == dend) {                                                       \
+      return OkResult();                                                     \
+    }                                                                        \
+    pc = next;                                                               \
+    OMOS_PROLOGUE();                                                         \
+    goto* kOps[static_cast<size_t>(d->op)];                                  \
+  } while (0)
+
+  OMOS_PROLOGUE();
+  goto* kOps[static_cast<size_t>(d->op)];
+#else
+#define OMOS_OP(name) case Opcode::name
+#define OMOS_NEXT() break
+
+  for (;;) {
+    OMOS_PROLOGUE();
+    switch (d->op) {
+#endif
+
+  OMOS_OP(kHalt):
+    task.Exit(0);
+    return OkResult();
+  OMOS_OP(kNop):
+    OMOS_NEXT();
+  OMOS_OP(kMovI):
+  OMOS_OP(kLea):
+    w(d->r1, d->imm);
+    OMOS_NEXT();
+  OMOS_OP(kLeaPc):
+    w(d->r1, next + d->imm);
+    OMOS_NEXT();
+  OMOS_OP(kMov):
+    w(d->r1, r(d->r2));
+    OMOS_NEXT();
+  OMOS_OP(kAdd):
+    w(d->r1, r(d->r2) + r(d->r3));
+    OMOS_NEXT();
+  OMOS_OP(kSub):
+    w(d->r1, r(d->r2) - r(d->r3));
+    OMOS_NEXT();
+  OMOS_OP(kMul):
+    w(d->r1, r(d->r2) * r(d->r3));
+    OMOS_NEXT();
+  OMOS_OP(kDiv):
+    if (r(d->r3) == 0) {
+      return Err(ErrorCode::kExecFault, StrCat("divide by zero at ", Hex32(pc)));
+    }
+    w(d->r1, static_cast<uint32_t>(static_cast<int32_t>(r(d->r2)) /
+                                   static_cast<int32_t>(r(d->r3))));
+    OMOS_NEXT();
+  OMOS_OP(kMod):
+    if (r(d->r3) == 0) {
+      return Err(ErrorCode::kExecFault, StrCat("mod by zero at ", Hex32(pc)));
+    }
+    w(d->r1, static_cast<uint32_t>(static_cast<int32_t>(r(d->r2)) %
+                                   static_cast<int32_t>(r(d->r3))));
+    OMOS_NEXT();
+  OMOS_OP(kAnd):
+    w(d->r1, r(d->r2) & r(d->r3));
+    OMOS_NEXT();
+  OMOS_OP(kOr):
+    w(d->r1, r(d->r2) | r(d->r3));
+    OMOS_NEXT();
+  OMOS_OP(kXor):
+    w(d->r1, r(d->r2) ^ r(d->r3));
+    OMOS_NEXT();
+  OMOS_OP(kShl):
+    w(d->r1, r(d->r2) << (r(d->r3) & 31));
+    OMOS_NEXT();
+  OMOS_OP(kShr):
+    w(d->r1, r(d->r2) >> (r(d->r3) & 31));
+    OMOS_NEXT();
+  OMOS_OP(kAddI):
+    w(d->r1, r(d->r2) + d->imm);
+    OMOS_NEXT();
+  OMOS_OP(kLd): {
+    uint32_t addr = r(d->r2) + d->imm;
+    if (const uint8_t* p = tlb(addr, 4, /*write=*/false)) {
+      w(d->r1, Load32(p));
+    } else {
+      Result<uint32_t> v = space.Read32(addr);
+      if (!v.ok()) {
+        return v.error();
+      }
+      w(d->r1, *v);
+    }
+    OMOS_NEXT();
+  }
+  OMOS_OP(kSt): {
+    uint32_t addr = r(d->r2) + d->imm;
+    if (uint8_t* p = tlb(addr, 4, /*write=*/true)) {
+      Store32(p, r(d->r1));
+    } else {
+      Result<void> res = space.Write32(addr, r(d->r1));
+      if (!res.ok()) {
+        return res.error();
+      }
+    }
+    OMOS_NEXT();
+  }
+  OMOS_OP(kLdB): {
+    uint32_t addr = r(d->r2) + d->imm;
+    if (const uint8_t* p = tlb(addr, 1, /*write=*/false)) {
+      w(d->r1, *p);
+    } else {
+      Result<uint8_t> v = space.Read8(addr);
+      if (!v.ok()) {
+        return v.error();
+      }
+      w(d->r1, *v);
+    }
+    OMOS_NEXT();
+  }
+  OMOS_OP(kStB): {
+    uint32_t addr = r(d->r2) + d->imm;
+    if (uint8_t* p = tlb(addr, 1, /*write=*/true)) {
+      *p = static_cast<uint8_t>(r(d->r1));
+    } else {
+      Result<void> res = space.Write8(addr, static_cast<uint8_t>(r(d->r1)));
+      if (!res.ok()) {
+        return res.error();
+      }
+    }
+    OMOS_NEXT();
+  }
+  OMOS_OP(kLdPc): {
+    uint32_t addr = next + d->imm;
+    if (const uint8_t* p = tlb(addr, 4, /*write=*/false)) {
+      w(d->r1, Load32(p));
+    } else {
+      Result<uint32_t> v = space.Read32(addr);
+      if (!v.ok()) {
+        return v.error();
+      }
+      w(d->r1, *v);
+    }
+    OMOS_NEXT();
+  }
+  OMOS_OP(kBeq):
+    if (r(d->r1) == r(d->r2)) {
+      task.set_pc(next + d->imm);
+    }
+    return OkResult();
+  OMOS_OP(kBne):
+    if (r(d->r1) != r(d->r2)) {
+      task.set_pc(next + d->imm);
+    }
+    return OkResult();
+  OMOS_OP(kBlt):
+    if (static_cast<int32_t>(r(d->r1)) < static_cast<int32_t>(r(d->r2))) {
+      task.set_pc(next + d->imm);
+    }
+    return OkResult();
+  OMOS_OP(kBge):
+    if (static_cast<int32_t>(r(d->r1)) >= static_cast<int32_t>(r(d->r2))) {
+      task.set_pc(next + d->imm);
+    }
+    return OkResult();
+  OMOS_OP(kBltu):
+    if (r(d->r1) < r(d->r2)) {
+      task.set_pc(next + d->imm);
+    }
+    return OkResult();
+  OMOS_OP(kBgeu):
+    if (r(d->r1) >= r(d->r2)) {
+      task.set_pc(next + d->imm);
+    }
+    return OkResult();
+  OMOS_OP(kJmp):
+    task.set_pc(d->imm);
+    return OkResult();
+  OMOS_OP(kBr):
+    task.set_pc(next + d->imm);
+    return OkResult();
+  OMOS_OP(kJmpR):
+    task.set_pc(r(d->r1));
+    return OkResult();
+  OMOS_OP(kCall):
+    w(kRegLr, next);
+    task.set_pc(d->imm);
+    return OkResult();
+  OMOS_OP(kCallPc):
+    w(kRegLr, next);
+    task.set_pc(next + d->imm);
+    return OkResult();
+  OMOS_OP(kCallR):
+    w(kRegLr, next);
+    task.set_pc(r(d->r1));
+    return OkResult();
+  OMOS_OP(kRet):
+    task.set_pc(r(kRegLr));
+    return OkResult();
+  OMOS_OP(kPush): {
+    uint32_t sp = r(kRegSp) - 4;
+    w(kRegSp, sp);
+    if (uint8_t* p = tlb(sp, 4, /*write=*/true)) {
+      Store32(p, r(d->r1));
+    } else {
+      Result<void> res = space.Write32(sp, r(d->r1));
+      if (!res.ok()) {
+        return res.error();
+      }
+    }
+    OMOS_NEXT();
+  }
+  OMOS_OP(kPop): {
+    uint32_t sp = r(kRegSp);
+    uint32_t v;
+    if (const uint8_t* p = tlb(sp, 4, /*write=*/false)) {
+      v = Load32(p);
+    } else {
+      Result<uint32_t> res = space.Read32(sp);
+      if (!res.ok()) {
+        return res.error();
+      }
+      v = *res;
+    }
+    w(d->r1, v);
+    w(kRegSp, sp + 4);
+    OMOS_NEXT();
+  }
+  OMOS_OP(kSys):
+    // The syscall may remap, exit, or request a safepoint; end the block.
+    return kernel_.Syscall(task, d->imm);
+
+#if !OMOS_ENGINE_DIRECT_THREADED
+      case Opcode::kCount:
+        return Err(ErrorCode::kExecFault, StrCat("illegal opcode at ", Hex32(pc)));
+    }
+    if (++d == dend) {
+      return OkResult();
+    }
+    pc = next;
+  }
+#endif
+
+#undef OMOS_OP
+#undef OMOS_NEXT
+#undef OMOS_PROLOGUE
+}
+
+Result<void> ExecEngine::Run(Task& task, uint64_t budget, uint64_t* executed) {
+  TaskCache& st = StateFor(task);
+  EngineMetrics& metrics = GetEngineMetrics();
+  struct FlushCounts {
+    TaskCache& st;
+    EngineMetrics& metrics;
+    ~FlushCounts() {
+      if (st.tlb_hits != 0) {
+        metrics.tlb_hits->Add(st.tlb_hits);
+      }
+      if (st.tlb_misses != 0) {
+        metrics.tlb_misses->Add(st.tlb_misses);
+      }
+      if (st.block_hits != 0) {
+        metrics.block_hits->Add(st.block_hits);
+      }
+      st.tlb_hits = st.tlb_misses = st.block_hits = 0;
+    }
+  } flush{st, metrics};
+
+  while (task.state() == TaskState::kRunnable && *executed < budget &&
+         !task.safepoint_pending()) {
+    uint32_t pc = task.pc();
+    Result<const Block*> block = LookupBlock(task, st, pc);
+    if (!block.ok()) {
+      return block.error();
+    }
+    if (*block == nullptr) {
+      // Uncacheable pc (page-crossing fetch, writable or still-absent
+      // text): single-step the legacy way.
+      OMOS_TRY_VOID(CpuStep(kernel_, task));
+      ++*executed;
+      continue;
+    }
+    OMOS_TRY_VOID(ExecuteBlock(task, st, **block, budget, executed));
+  }
+  return OkResult();
+}
+
+}  // namespace omos

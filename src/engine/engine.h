@@ -1,0 +1,132 @@
+// Predecoded direct-threaded execution engine.
+//
+// CpuStep() re-fetches and re-decodes 8 bytes on every instruction. For the
+// paper's workloads — tight benchmark loops executing the same cached text
+// in many tasks — that decode work is pure overhead: text pages are
+// immutable once mapped (read|exec, never writable), so each page's
+// instructions can be decoded once and reused by every task that maps the
+// same frames.
+//
+// The engine keeps two cache levels:
+//
+//   - A per-kernel block cache (L2) of predecoded superblocks, keyed by
+//     *physical* identity: (frame id, frame generation, page offset). Frame
+//     identity is the natural analog of "(image fingerprint, page)" — two
+//     tasks that MapShared the same SegmentImage map the same frames and
+//     therefore share decoded blocks. The generation (PhysMemory::FrameGen)
+//     makes recycled frames self-invalidate: a freed frame's gen is bumped,
+//     so stale keys can never match new contents.
+//
+//   - A per-task direct-mapped block lookaside (L1) keyed by virtual pc,
+//     plus a small software TLB in front of data loads/stores. Both are
+//     tagged with AddressSpace::map_epoch() and the engine's invalidation
+//     epoch, and self-flush on mismatch — map changes, CoW breaks and
+//     explicit invalidations (library redefinition, live-upgrade repoint)
+//     cost one compare per block entry, not a callback web.
+//
+// A block is a run of instructions within one text page ending at the first
+// control-flow instruction (branch, jump, call, ret, sys, halt), the page
+// edge, or an undecodable instruction. Executing a block replicates
+// CpuStep's per-instruction order exactly — CountInstruction, profiler
+// sample at the pre-execution pc, first-touch text-page billing, pc_next
+// update — so retired counts, simulated cycles and profile sample streams
+// are byte-identical between engines. Pages mapped writable+executable are
+// never cached; they fall back to CpuStep.
+#ifndef OMOS_SRC_ENGINE_ENGINE_H_
+#define OMOS_SRC_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "src/support/flat_map.h"
+#include "src/support/result.h"
+#include "src/vm/phys_memory.h"
+
+namespace omos {
+
+class Kernel;
+class Task;
+
+// Which execution loop Kernel::RunTask drives.
+enum class EngineMode : uint8_t {
+  kBlocks,  // predecoded block engine (default)
+  kInterp,  // legacy per-instruction CpuStep — the differential oracle
+};
+
+// Session default: OMOS_ENGINE=interp selects the legacy interpreter
+// (CI runs the full test suite once this way); anything else — including
+// unset — selects the block engine.
+EngineMode DefaultEngineMode();
+
+// engine.* counters (stable registry pointers, looked up once).
+struct EngineMetrics {
+  class Counter* blocks_decoded;  // engine.blocks_decoded
+  class Counter* block_hits;      // engine.block_hits (L1 + shared-cache hits)
+  class Counter* invalidations;   // engine.invalidations
+  class Counter* tlb_hits;        // engine.tlb_hits
+  class Counter* tlb_misses;      // engine.tlb_misses (slow-path accesses)
+};
+EngineMetrics& GetEngineMetrics();
+
+// One engine per Kernel: block keys are physical frame ids, which are only
+// unique within one PhysMemory, so the cache must not outlive or span
+// kernels.
+class ExecEngine {
+ public:
+  explicit ExecEngine(Kernel& kernel);
+  ~ExecEngine();
+  ExecEngine(const ExecEngine&) = delete;
+  ExecEngine& operator=(const ExecEngine&) = delete;
+
+  // Run `task` until it exits/faults, `*executed` reaches `budget`, or a
+  // safepoint is requested. Increments `*executed` once per retired
+  // instruction and stops exactly at the budget, mid-block if necessary, so
+  // RunTask's budget semantics match the legacy loop. Errors are returned
+  // un-Faulted, like CpuStep: the caller owns task.Fault().
+  Result<void> Run(Task& task, uint64_t budget, uint64_t* executed);
+
+  // Drop every cached block and bump the invalidation epoch so per-task L1
+  // caches self-flush. Called on library redefinition and live-upgrade
+  // repoint; `reason` labels the trace event.
+  void InvalidateAll(std::string_view reason);
+
+  // Forget a destroyed task's TLB/L1 state.
+  void DropTask(uint32_t task_id);
+
+  // Introspection (tests).
+  size_t CachedBlocks() const;
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  struct DecodedInsn;
+  struct Block;
+  // Named TaskCache, not TaskState: the os layer already uses TaskState for
+  // the run-state enum and these methods see both scopes.
+  struct TaskCache;
+
+  TaskCache& StateFor(const Task& task);
+  // Find or decode the block starting at `pc`. Returns nullptr (ok) when the
+  // pc is not cacheable (page-crossing fetch, writable text) and the caller
+  // should single-step; returns the error FetchBytes/DecodeInsn would raise
+  // so the fault surfaces exactly once, with the legacy message.
+  Result<const Block*> LookupBlock(Task& task, TaskCache& st, uint32_t pc);
+  Result<void> ExecuteBlock(Task& task, TaskCache& st, const Block& block, uint64_t budget,
+                            uint64_t* executed);
+
+  Kernel& kernel_;
+  std::atomic<uint64_t> epoch_{1};
+
+  mutable std::mutex mu_;  // guards blocks_
+  FlatMap<uint64_t, std::shared_ptr<const Block>> blocks_;
+
+  std::mutex tasks_mu_;  // guards tasks_ (map shape only; states are per-driver)
+  std::map<uint32_t, std::unique_ptr<TaskCache>> tasks_;
+};
+
+}  // namespace omos
+
+#endif  // OMOS_SRC_ENGINE_ENGINE_H_

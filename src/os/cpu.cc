@@ -17,6 +17,13 @@ Result<void> CpuStep(Kernel& kernel, Task& task) {
   // Cycle-sampling profiler hook: every (mask+1) retired instructions,
   // record (task, pc) for symbol-level attribution. Disabled cost: one
   // relaxed atomic load.
+  //
+  // Attribution convention (shared with src/engine/): a sample records the
+  // PRE-execution pc of the retiring instruction — for a taken branch, the
+  // branch site, never its target — checked after CountInstruction so the
+  // first retired instruction of a period-aligned stream samples
+  // deterministically. Both execution engines implement exactly this;
+  // engine_test asserts sample-stream equality between them.
   if (CycleProfiler::enabled() &&
       (task.instructions_retired() & CycleProfiler::mask()) == 0) {
     CycleProfiler::RecordSample(task.id(), pc);

@@ -14,7 +14,11 @@ Kernel::Kernel(CostModel costs)
       cow_faults_(MetricsRegistry::Global().GetCounter("vm.cow_faults")),
       demand_zero_fills_(MetricsRegistry::Global().GetCounter("vm.demand_zero_fills")),
       cow_broken_pages_(MetricsRegistry::Global().GetCounter("vm.cow_broken_pages")),
-      frames_saved_(MetricsRegistry::Global().GetCounter("vm.frames_saved")) {}
+      frames_saved_(MetricsRegistry::Global().GetCounter("vm.frames_saved")) {
+  // Eager, not lazy: engine() is called from admin/upgrade/driver threads
+  // and must not race on first use.
+  engine_ = std::make_unique<ExecEngine>(*this);
+}
 
 Task& Kernel::CreateTask(std::string name) {
   TaskId id = next_task_id_++;
@@ -29,7 +33,12 @@ Task& Kernel::CreateTask(std::string name) {
   return ref;
 }
 
-void Kernel::DestroyTask(TaskId id) { tasks_.erase(id); }
+void Kernel::DestroyTask(TaskId id) {
+  engine_->DropTask(id);
+  tasks_.erase(id);
+}
+
+ExecEngine& Kernel::engine() { return *engine_; }
 
 Task* Kernel::FindTask(TaskId id) {
   auto it = tasks_.find(id);
@@ -183,6 +192,17 @@ Result<void> Kernel::RunTask(Task& task, uint64_t max_instructions) {
       if (task.state() != TaskState::kRunnable) {
         break;
       }
+    }
+    // Block engine, unless a safepoint is still pending (a deferred drain
+    // leaves the flag set): then single-step so the hook is re-consulted at
+    // every instruction boundary, exactly like the legacy loop.
+    if (engine_mode_ == EngineMode::kBlocks && !task.safepoint_pending()) {
+      Result<void> run = engine().Run(task, max_instructions, &executed);
+      if (!run.ok()) {
+        task.Fault(run.error());
+        return run.error();
+      }
+      continue;
     }
     Result<void> step = CpuStep(*this, task);
     if (!step.ok()) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 
+#include "src/engine/engine.h"
 #include "src/os/cost_model.h"
 #include "src/os/sim_fs.h"
 #include "src/os/task.h"
@@ -107,9 +108,20 @@ class Kernel {
   using SafepointHook = std::function<Result<void>(Kernel&, Task&)>;
   void SetSafepointHook(SafepointHook hook);
 
-  // Run the task on the interpreter until it exits, faults, or exceeds
-  // `max_instructions`.
+  // Run the task until it exits, faults, or exceeds `max_instructions`.
+  // Drives the predecoded block engine by default; SetEngineMode (or the
+  // OMOS_ENGINE=interp environment override) selects the legacy
+  // per-instruction interpreter, which is kept as a differential oracle.
+  // Simulated cycles, retired counts, and profiler samples are identical
+  // between the two engines.
   Result<void> RunTask(Task& task, uint64_t max_instructions = 200'000'000);
+
+  // Execution-engine selection and access. The engine is per-kernel: its
+  // block cache is keyed by physical frame ids, which are only unique
+  // within this kernel's PhysMemory.
+  EngineMode engine_mode() const { return engine_mode_; }
+  void SetEngineMode(EngineMode mode) { engine_mode_ = mode; }
+  ExecEngine& engine();
 
   // One syscall (called by the CPU; public for tests).
   Result<void> Syscall(Task& task, uint32_t sysno);
@@ -134,6 +146,8 @@ class Kernel {
   std::map<std::string, SegmentImage> page_cache_;
   std::map<uint32_t, SysHook> sys_hooks_;
   SafepointHook safepoint_hook_;
+  EngineMode engine_mode_ = DefaultEngineMode();
+  std::unique_ptr<ExecEngine> engine_;
   TaskId next_task_id_ = 1;
 };
 

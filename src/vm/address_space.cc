@@ -114,6 +114,7 @@ Result<uint32_t> AddressSpace::MapShared(uint32_t base, const SegmentImage& imag
     region.page_flags.push_back(kPageShared);
   }
   shared_pages_ += image.num_pages();
+  ++map_epoch_;
   last_region_ = nullptr;
   regions_.emplace(base, std::move(region));
   return image.num_pages();
@@ -142,6 +143,7 @@ Result<uint32_t> AddressSpace::MapCoW(uint32_t base, const SegmentImage& image, 
   }
   shared_pages_ += image.num_pages();
   demand_pages_ += pages - image.num_pages();
+  ++map_epoch_;
   last_region_ = nullptr;
   regions_.emplace(base, std::move(region));
   return pages;
@@ -179,6 +181,7 @@ Result<uint32_t> AddressSpace::MapPrivate(uint32_t base, uint32_t size,
     region.page_flags.push_back(0);
   }
   private_pages_ += pages;
+  ++map_epoch_;
   last_region_ = nullptr;
   regions_.emplace(base, std::move(region));
   return pages;
@@ -199,6 +202,7 @@ Result<uint32_t> AddressSpace::MapDemandZero(uint32_t base, uint32_t size, uint8
   region.page_data.resize(pages, nullptr);
   region.page_flags.resize(pages, 0);
   demand_pages_ += pages;
+  ++map_epoch_;
   last_region_ = nullptr;
   regions_.emplace(base, std::move(region));
   return pages;
@@ -215,6 +219,7 @@ Result<void> AddressSpace::Unmap(uint32_t base) {
     return Err(ErrorCode::kNotFound, StrCat("unmap: no region at ", Hex32(base)));
   }
   ReleasePages(it->second);
+  ++map_epoch_;
   last_region_ = nullptr;
   regions_.erase(it);
   return OkResult();
@@ -259,6 +264,7 @@ Result<FaultResolution> AddressSpace::HandleFault(uint32_t addr, bool is_write) 
     region->page_data[page] = phys_->FrameData(frame);
     --demand_pages_;
     ++private_pages_;
+    ++map_epoch_;
     return FaultResolution::kDemandZeroFill;
   }
   if (is_write && (region->page_flags[page] & kPageCow) != 0) {
@@ -270,6 +276,7 @@ Result<FaultResolution> AddressSpace::HandleFault(uint32_t addr, bool is_write) 
       region->page_flags[page] &= static_cast<uint8_t>(~kPageCow);
       --shared_pages_;
       ++private_pages_;
+      ++map_epoch_;
       return FaultResolution::kCowAdopt;
     }
     if (FaultSim::Trip("vm.fault")) {
@@ -284,9 +291,24 @@ Result<FaultResolution> AddressSpace::HandleFault(uint32_t addr, bool is_write) 
     phys_->Unref(old_frame);
     --shared_pages_;
     ++private_pages_;
+    ++map_epoch_;
     return FaultResolution::kCowCopy;
   }
   return FaultResolution::kAlreadyResolved;
+}
+
+bool AddressSpace::LookupPage(uint32_t addr, PageLookup* out) const {
+  const Region* region = FindRegion(addr);
+  if (region == nullptr) {
+    return false;
+  }
+  uint32_t page = (addr - region->base) / kPageSize;
+  out->prot = region->prot;
+  out->data = region->page_data[page];
+  out->present = out->data != nullptr;
+  out->frame = region->frames[page];
+  out->cow = (region->page_flags[page] & kPageCow) != 0;
+  return true;
 }
 
 Result<void> AddressSpace::RaiseFault(uint32_t addr, bool is_write) {

@@ -133,6 +133,28 @@ class AddressSpace {
   // Fetch for execution (checks kProtExec).
   Result<void> FetchBytes(uint32_t addr, void* out, uint32_t size) const;
 
+  // ---- Translation-cache support (src/engine/) ------------------------------
+  //
+  // Monotonic counter bumped whenever a virtual-to-frame translation could
+  // have changed: any map/unmap, and any fault resolution that installs or
+  // replaces a frame (demand-zero fill, CoW break/adopt). The execution
+  // engine's software TLB and block cache tag their entries with this epoch
+  // and self-flush on mismatch — one load+compare instead of callback
+  // plumbing through every map site.
+  uint64_t map_epoch() const { return map_epoch_; }
+
+  // Snapshot of one page's current translation, for TLB fills. Resolves
+  // nothing and bills nothing: an absent (demand-zero) page reports
+  // present=false and the caller takes the faulting slow path instead.
+  struct PageLookup {
+    uint8_t* data = nullptr;  // frame bytes (valid only when present)
+    FrameId frame = 0;
+    uint8_t prot = 0;
+    bool present = false;
+    bool cow = false;  // present but still sharing an image frame; writes fault
+  };
+  bool LookupPage(uint32_t addr, PageLookup* out) const;
+
   // True if [base, base+size) overlaps an existing region.
   bool Overlaps(uint32_t base, uint32_t size) const;
 
@@ -188,6 +210,7 @@ class AddressSpace {
   PhysMemory* phys_;
   std::map<uint32_t, Region> regions_;  // keyed by base
   FaultHandler fault_handler_;
+  uint64_t map_epoch_ = 1;
   mutable const Region* last_region_ = nullptr;
   uint32_t private_pages_ = 0;
   uint32_t shared_pages_ = 0;

@@ -80,6 +80,9 @@ void PhysMemory::Unref(FrameId frame) {
     }
   } while (!f.refs.compare_exchange_weak(prev, prev - 1, std::memory_order_acq_rel));
   if (prev == 1) {
+    // Invalidate frame-keyed caches before recycling: a block decoded from
+    // this frame must never match a lookup once new contents move in.
+    f.gen.fetch_add(1, std::memory_order_release);
     frames_in_use_.fetch_sub(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     free_list_.push_back(frame);
@@ -92,6 +95,10 @@ const uint8_t* PhysMemory::FrameData(FrameId frame) const { return FrameRef(fram
 
 uint32_t PhysMemory::RefCount(FrameId frame) const {
   return FrameRef(frame).refs.load(std::memory_order_relaxed);
+}
+
+uint32_t PhysMemory::FrameGen(FrameId frame) const {
+  return FrameRef(frame).gen.load(std::memory_order_acquire);
 }
 
 }  // namespace omos

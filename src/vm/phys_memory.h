@@ -54,6 +54,13 @@ class PhysMemory {
   const uint8_t* FrameData(FrameId frame) const;
   uint32_t RefCount(FrameId frame) const;
 
+  // Reuse generation: bumped each time the frame is freed to the recycle
+  // list. Caches keyed by frame identity (the execution engine's predecoded
+  // block cache, src/engine/) include the generation in their keys so a
+  // recycled frame — same FrameId, new contents — can never satisfy a stale
+  // lookup.
+  uint32_t FrameGen(FrameId frame) const;
+
   // Accounting.
   uint32_t frames_in_use() const { return frames_in_use_.load(std::memory_order_relaxed); }
   uint64_t bytes_in_use() const { return static_cast<uint64_t>(frames_in_use()) * kPageSize; }
@@ -68,6 +75,7 @@ class PhysMemory {
   struct Frame {
     std::unique_ptr<uint8_t[]> data;         // allocated on first use, then stable
     std::atomic<uint32_t> refs{0};
+    std::atomic<uint32_t> gen{0};            // bumped on each free (see FrameGen)
   };
 
   Result<FrameId> AllocateInternal(bool zero);

@@ -1,0 +1,785 @@
+// Tests for the predecoded block execution engine (src/engine/): the
+// differential suite runs the same programs under the legacy CpuStep
+// interpreter and the block engine and requires every simulated observable
+// — final registers, pc, cycles, retired counts, output, fault identity,
+// profiler sample stream — to be byte-identical; the fault sweeps prove
+// mid-block CoW/demand-zero faults leave precise state; the invalidation
+// and concurrency tests (TSan-covered) prove redefinition and live-upgrade
+// repoint invalidate cached blocks without stale-code execution or frame
+// use-after-free.
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/server.h"
+#include "src/engine/engine.h"
+#include "src/support/faultsim.h"
+#include "src/support/metrics.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+#include "src/upgrade/upgrade.h"
+#include "tests/helpers.h"
+
+namespace omos {
+namespace {
+
+// ---- Differential harness ---------------------------------------------------
+
+// Every simulated observable of one run: how it ended, the final machine
+// state, the accounting, and the console output. Two engines agree iff all
+// fields match.
+struct Observed {
+  std::string run_status;  // "ok" or RunTask's error string (budget, fault)
+  int state = 0;
+  int exit_code = 0;
+  uint32_t pc = 0;
+  std::array<uint32_t, kNumRegisters> regs{};
+  uint64_t user_cycles = 0;
+  uint64_t sys_cycles = 0;
+  uint64_t retired = 0;
+  std::string output;
+  std::string fault;
+  uint64_t vm_hits = 0;   // FaultSim vm.fault hit count (0 unless a plan is armed)
+  uint64_t vm_fires = 0;
+};
+
+struct EngineWorld {
+  std::unique_ptr<Kernel> kernel;
+  Task* task = nullptr;
+};
+
+Result<EngineWorld> SetupWorld(EngineMode mode, const std::string& source) {
+  EngineWorld w;
+  w.kernel = std::make_unique<Kernel>();
+  w.kernel->SetEngineMode(mode);
+  OMOS_TRY(ObjectFile object, Assemble(source, "engine.o"));
+  Module module = Module::FromObject(std::make_shared<const ObjectFile>(std::move(object)));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  OMOS_TRY(LinkedImage image, LinkImage(module, layout, "engine"));
+  w.task = &w.kernel->CreateTask("engine");
+  OMOS_TRY_VOID(MapLinkedImage(*w.kernel, *w.task, image, ""));
+  std::vector<std::string> args{"engine"};
+  OMOS_TRY_VOID(StartTask(*w.kernel, *w.task, image.entry, args));
+  return w;
+}
+
+Observed Capture(EngineWorld& w, const Result<void>& run) {
+  Observed o;
+  o.run_status = run.ok() ? "ok" : run.error().ToString();
+  o.state = static_cast<int>(w.task->state());
+  o.exit_code = w.task->exit_code();
+  o.pc = w.task->pc();
+  for (int i = 0; i < kNumRegisters; ++i) {
+    o.regs[static_cast<size_t>(i)] = w.task->reg(i);
+  }
+  o.user_cycles = w.task->user_cycles();
+  o.sys_cycles = w.task->sys_cycles();
+  o.retired = w.task->instructions_retired();
+  o.output = w.task->output();
+  o.fault = w.task->fault() ? w.task->fault()->ToString() : "";
+  return o;
+}
+
+Result<Observed> RunUnder(EngineMode mode, const std::string& source,
+                          uint64_t budget = 200'000'000) {
+  OMOS_TRY(EngineWorld w, SetupWorld(mode, source));
+  Result<void> run = w.kernel->RunTask(*w.task, budget);
+  return Capture(w, run);
+}
+
+// Runs with a vm.fault plan armed only around execution (not setup), so the
+// fault schedule is identical for both engines.
+Result<Observed> RunWithFaultPlan(EngineMode mode, const std::string& source, FaultSpec spec) {
+  OMOS_TRY(EngineWorld w, SetupWorld(mode, source));
+  Observed o;
+  {
+    ScopedFaultPlan plan(FaultPlan().Arm("vm.fault", spec));
+    Result<void> run = w.kernel->RunTask(*w.task, 200'000'000);
+    o = Capture(w, run);
+    o.vm_hits = FaultSim::Hits("vm.fault");
+    o.vm_fires = FaultSim::Fires("vm.fault");
+  }
+  return o;
+}
+
+void ExpectSame(const Observed& interp, const Observed& blocks, const std::string& label) {
+  EXPECT_EQ(interp.run_status, blocks.run_status) << label;
+  EXPECT_EQ(interp.state, blocks.state) << label;
+  EXPECT_EQ(interp.exit_code, blocks.exit_code) << label;
+  EXPECT_EQ(interp.pc, blocks.pc) << label;
+  for (int i = 0; i < kNumRegisters; ++i) {
+    EXPECT_EQ(interp.regs[static_cast<size_t>(i)], blocks.regs[static_cast<size_t>(i)])
+        << label << " r" << i;
+  }
+  EXPECT_EQ(interp.user_cycles, blocks.user_cycles) << label;
+  EXPECT_EQ(interp.sys_cycles, blocks.sys_cycles) << label;
+  EXPECT_EQ(interp.retired, blocks.retired) << label;
+  EXPECT_EQ(interp.output, blocks.output) << label;
+  EXPECT_EQ(interp.fault, blocks.fault) << label;
+  EXPECT_EQ(interp.vm_hits, blocks.vm_hits) << label;
+  EXPECT_EQ(interp.vm_fires, blocks.vm_fires) << label;
+}
+
+void ExpectEnginesAgree(const std::string& source, uint64_t budget = 200'000'000) {
+  ASSERT_OK_AND_ASSIGN(Observed interp, RunUnder(EngineMode::kInterp, source, budget));
+  ASSERT_OK_AND_ASSIGN(Observed blocks, RunUnder(EngineMode::kBlocks, source, budget));
+  ExpectSame(interp, blocks, StrCat("budget ", budget));
+}
+
+// ---- Differential suite -----------------------------------------------------
+
+TEST(EngineDifferential, AluMix) {
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 37
+  movi r6, 0x1234
+  movi r7, 7
+loop:
+  add r1, r1, r6
+  sub r2, r1, r4
+  mul r3, r2, r6
+  div r8, r3, r7
+  mod r9, r3, r7
+  and r10, r8, r9
+  or r11, r8, r9
+  xor r12, r11, r10
+  shl r1, r12, r7
+  shr r2, r12, r7
+  addi r4, r4, 1
+  blt r4, r5, loop
+  mov r0, r12
+  sys 0
+)");
+}
+
+TEST(EngineDifferential, MemoryMix) {
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 24
+  movi r7, 7
+  movi r8, 2
+loop:
+  lea r1, table
+  and r2, r4, r7
+  shl r2, r2, r8
+  add r1, r1, r2
+  ld r3, [r1+0]
+  addi r3, r3, 5
+  st r3, [r1+0]
+  ldb r6, [r1+1]
+  stb r6, [r1+2]
+  addi r4, r4, 1
+  blt r4, r5, loop
+  ld r0, [r1+0]
+  sys 0
+.data
+.align 4
+table:
+  .word 1
+  .word 2
+  .word 3
+  .word 4
+  .word 5
+  .word 6
+  .word 7
+  .word 8
+)");
+}
+
+TEST(EngineDifferential, BranchesAndCalls) {
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 12
+loop:
+  mov r0, r4
+  call twist
+  add r6, r6, r0
+  addi r4, r4, 1
+  bne r4, r5, loop
+  mov r0, r6
+  sys 0
+twist:
+  push lr
+  push r4
+  movi r1, 5
+  blt r0, r1, small
+  movi r2, 9
+  bgeu r0, r2, big
+  lea r3, add3
+  callr r3
+  br join
+small:
+  call add10
+  br join
+big:
+  movi r3, 4
+  bltu r0, r3, join
+  bge r0, r1, viajmp
+viajmp:
+  jmp add3_tail
+join:
+  pop r4
+  pop lr
+  ret
+add3:
+add3_tail:
+  addi r0, r0, 3
+  beq r0, r0, back
+back:
+  ret
+add10:
+  addi r0, r0, 10
+  ret
+)");
+}
+
+TEST(EngineDifferential, PcRelativeForms) {
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  ldpc r1, value
+  leapc r2, value
+  ld r3, [r2+0]
+  add r0, r1, r3
+  callpc bump
+  lea r4, fin
+  jmpr r4
+bump:
+  addi r0, r0, 1
+  ret
+fin:
+  sys 0
+.data
+.align 4
+value: .word 20
+)");
+}
+
+TEST(EngineDifferential, SyscallOutput) {
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 9
+loop:
+  movi r0, 1
+  lea r1, msg
+  movi r2, 3
+  sys 1
+  addi r4, r4, 1
+  blt r4, r5, loop
+  movi r0, 7
+  sys 0
+.data
+msg: .asciiz "ab\n"
+)");
+}
+
+TEST(EngineDifferential, DivideByZeroFaultIsIdentical) {
+  // The fault is mid-block: three straight-line instructions precede it.
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  movi r1, 7
+  movi r2, 0
+  add r3, r1, r1
+  div r0, r3, r2
+  sys 0
+)");
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  movi r1, 7
+  movi r2, 0
+  add r3, r1, r1
+  mod r0, r3, r2
+  sys 0
+)");
+}
+
+TEST(EngineDifferential, FetchFromNonExecPageFaultIsIdentical) {
+  // Jumping into the data segment makes the instruction fetch itself fail;
+  // the engine's block-probe path must surface the same error as CpuStep.
+  ExpectEnginesAgree(R"(
+.text
+.global _start
+_start:
+  lea r1, blob
+  jmpr r1
+.data
+.align 4
+blob: .word 0x11111111
+)");
+}
+
+// Instruction budgets must stop both engines at exactly the same
+// instruction boundary — mid-block for the block engine — with identical
+// machine state, including budgets that land inside the loop body.
+TEST(EngineDifferential, BudgetStopsAreExact) {
+  const std::string spin = R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+loop:
+  addi r4, r4, 1
+  xor r5, r4, r6
+  add r6, r5, r4
+  mul r7, r6, r4
+  br loop
+)";
+  for (uint64_t budget = 1; budget <= 48; ++budget) {
+    ASSERT_OK_AND_ASSIGN(Observed interp, RunUnder(EngineMode::kInterp, spin, budget));
+    ASSERT_OK_AND_ASSIGN(Observed blocks, RunUnder(EngineMode::kBlocks, spin, budget));
+    ASSERT_NE(interp.run_status, "ok") << "budget " << budget;
+    EXPECT_NE(interp.run_status.find("exceeded instruction budget"), std::string::npos);
+    ExpectSame(interp, blocks, StrCat("budget ", budget));
+    EXPECT_EQ(blocks.retired, budget);
+  }
+}
+
+// ---- Seeded vm.fault sweeps -------------------------------------------------
+
+// The loop body mixes demand-zero fills (a walk down the unmapped stack
+// pages) with a CoW break (first store to the data page), all mid-block.
+constexpr char kFaultyProgram[] = R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 6
+  mov r6, r13
+loop:
+  addi r6, r6, -4096
+  st r4, [r6+0]
+  lea r1, word
+  ld r2, [r1+0]
+  add r2, r2, r4
+  st r2, [r1+0]
+  addi r4, r4, 1
+  blt r4, r5, loop
+  ld r0, [r1+0]
+  sys 0
+.data
+.align 4
+word: .word 3
+)";
+
+TEST(EngineFaultSweep, NthFaultLeavesPreciseStateInBothEngines) {
+  // k sweeps past the total number of fault resolutions (the last k values
+  // fire nothing and the run completes), so both the faulted and clean
+  // paths are compared. On a fire the store fails mid-block: the task must
+  // be left at exactly the state the legacy interpreter produces.
+  bool saw_fault = false;
+  bool saw_clean = false;
+  for (uint64_t k = 1; k <= 9; ++k) {
+    ASSERT_OK_AND_ASSIGN(Observed interp,
+                         RunWithFaultPlan(EngineMode::kInterp, kFaultyProgram, FaultSpec::Nth(k)));
+    ASSERT_OK_AND_ASSIGN(Observed blocks,
+                         RunWithFaultPlan(EngineMode::kBlocks, kFaultyProgram, FaultSpec::Nth(k)));
+    ExpectSame(interp, blocks, StrCat("nth ", k));
+    if (blocks.vm_fires > 0) {
+      saw_fault = true;
+      EXPECT_EQ(blocks.state, static_cast<int>(TaskState::kFaulted)) << "nth " << k;
+      EXPECT_FALSE(blocks.fault.empty()) << "nth " << k;
+    } else {
+      saw_clean = true;
+      EXPECT_EQ(blocks.state, static_cast<int>(TaskState::kExited)) << "nth " << k;
+      EXPECT_EQ(blocks.run_status, "ok") << "nth " << k;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_clean);
+}
+
+TEST(EngineFaultSweep, SeededProbabilisticParity) {
+  // Every seed yields one deterministic fault schedule; both engines must
+  // hit the sites in the same order and count, so the schedules — and the
+  // resulting final states — are identical.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ASSERT_OK_AND_ASSIGN(
+        Observed interp,
+        RunWithFaultPlan(EngineMode::kInterp, kFaultyProgram, FaultSpec::Prob(0.4, seed)));
+    ASSERT_OK_AND_ASSIGN(
+        Observed blocks,
+        RunWithFaultPlan(EngineMode::kBlocks, kFaultyProgram, FaultSpec::Prob(0.4, seed)));
+    ExpectSame(interp, blocks, StrCat("seed ", seed));
+  }
+}
+
+// ---- Profiler attribution ---------------------------------------------------
+
+// Same convention in both engines (see the note in src/os/cpu.cc): a sample
+// records the PRE-execution pc of the retiring instruction. The full sample
+// stream must match, not just the histogram.
+TEST(EngineProfiler, SampleStreamsAreIdentical) {
+  const std::string prog = R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 800
+loop:
+  add r6, r6, r4
+  xor r7, r6, r5
+  call leaf
+  addi r4, r4, 1
+  blt r4, r5, loop
+  movi r0, 0
+  sys 0
+leaf:
+  addi r7, r7, 1
+  ret
+)";
+  std::vector<CycleProfiler::Sample> streams[2];
+  const EngineMode modes[2] = {EngineMode::kInterp, EngineMode::kBlocks};
+  for (int i = 0; i < 2; ++i) {
+    CycleProfiler::Clear();
+    CycleProfiler::Start(16);
+    ASSERT_OK_AND_ASSIGN(EngineWorld w, SetupWorld(modes[i], prog));
+    ASSERT_OK(w.kernel->RunTask(*w.task));
+    CycleProfiler::Stop();
+    streams[i] = CycleProfiler::Samples();
+  }
+  ASSERT_GT(streams[0].size(), 10u);
+  ASSERT_EQ(streams[0].size(), streams[1].size());
+  for (size_t i = 0; i < streams[0].size(); ++i) {
+    EXPECT_EQ(streams[0][i].task_id, streams[1][i].task_id) << "sample " << i;
+    EXPECT_EQ(streams[0][i].pc, streams[1][i].pc) << "sample " << i;
+  }
+}
+
+// ---- Cache behavior and metrics ---------------------------------------------
+
+constexpr char kLoopProgram[] = R"(
+.text
+.global _start
+_start:
+  movi r4, 0
+  movi r5, 5000
+loop:
+  add r6, r6, r4
+  lea r1, word
+  ld r2, [r1+0]
+  addi r4, r4, 1
+  blt r4, r5, loop
+  movi r0, 0
+  sys 0
+.data
+.align 4
+word: .word 1
+)";
+
+TEST(EngineCache, CountersAdvanceAndInvalidateAllDropsBlocks) {
+  EngineMetrics& em = GetEngineMetrics();
+  uint64_t decoded0 = em.blocks_decoded->value();
+  uint64_t hits0 = em.block_hits->value();
+  uint64_t tlb_hits0 = em.tlb_hits->value();
+  uint64_t inval0 = em.invalidations->value();
+
+  Kernel kernel;
+  kernel.SetEngineMode(EngineMode::kBlocks);
+  ASSERT_OK_AND_ASSIGN(RunOutcome out, AssembleAndRun(kernel, kLoopProgram));
+  EXPECT_EQ(out.exit_code, 0);
+
+  EXPECT_GT(kernel.engine().CachedBlocks(), 0u);
+  EXPECT_GT(em.blocks_decoded->value(), decoded0);
+  EXPECT_GT(em.block_hits->value(), hits0);       // the loop re-enters its block
+  EXPECT_GT(em.tlb_hits->value(), tlb_hits0);     // ld hits the software TLB
+
+  uint64_t epoch_before = kernel.engine().epoch();
+  kernel.engine().InvalidateAll("test");
+  EXPECT_EQ(kernel.engine().CachedBlocks(), 0u);
+  EXPECT_GT(kernel.engine().epoch(), epoch_before);
+  EXPECT_GT(em.invalidations->value(), inval0);
+}
+
+TEST(EngineCache, BlocksAreSharedAcrossTasksMappingTheSameFrames) {
+  // Two tasks mapping the same page-cached text share physical frames, so
+  // the second run must decode zero new blocks — the predecode cache is
+  // keyed by physical identity, the paper's "shared text, shared decode".
+  Kernel kernel;
+  kernel.SetEngineMode(EngineMode::kBlocks);
+  ASSERT_OK_AND_ASSIGN(ObjectFile object, Assemble(kLoopProgram, "shared.o"));
+  Module module = Module::FromObject(std::make_shared<const ObjectFile>(std::move(object)));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(module, layout, "shared"));
+
+  EngineMetrics& em = GetEngineMetrics();
+  uint64_t decoded_before_first = em.blocks_decoded->value();
+  for (int i = 0; i < 2; ++i) {
+    Task& task = kernel.CreateTask(StrCat("shared", i));
+    ASSERT_OK(MapLinkedImage(kernel, task, image, "pagecache:shared"));
+    std::vector<std::string> args{"shared"};
+    ASSERT_OK(StartTask(kernel, task, image.entry, args));
+    ASSERT_OK(kernel.RunTask(task));
+    EXPECT_EQ(task.state(), TaskState::kExited);
+    if (i == 0) {
+      uint64_t first_run = em.blocks_decoded->value() - decoded_before_first;
+      EXPECT_GT(first_run, 0u);
+      decoded_before_first = em.blocks_decoded->value();
+    } else {
+      EXPECT_EQ(em.blocks_decoded->value(), decoded_before_first)
+          << "second task re-decoded blocks it should share";
+    }
+  }
+}
+
+// ---- Invalidation on redefinition and upgrade -------------------------------
+
+constexpr char kCrt0[] = R"(
+.text
+.global _start
+_start:
+  call main
+  sys 0
+)";
+
+// v1: (5 + 2) * 3 = 21; v2: (5 + 12) * 3 = 51.
+constexpr char kAddLibV1[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 2
+  ret
+.global mul3
+mul3:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)";
+
+constexpr char kAddLibV2[] = R"(
+.text
+.global add2
+add2:
+  addi r0, r0, 12
+  ret
+.global mul3
+mul3:
+  movi r1, 3
+  mul r0, r0, r1
+  ret
+)";
+
+// The client loops so redefinitions and repoints land while tasks are
+// mid-execution; the exit code is the final iteration's result, so any
+// consistent version yields exactly 21 or 51.
+constexpr char kLoopingClient[] = R"(
+.text
+.global main
+main:
+  push lr
+  movi r4, 0
+  movi r5, 20000
+mloop:
+  movi r0, 5
+  call add2
+  call mul3
+  addi r4, r4, 1
+  blt r4, r5, mloop
+  pop lr
+  ret
+)";
+
+class EngineInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // These tests assert on block-cache occupancy, so pin the block engine
+    // even when the suite runs under OMOS_ENGINE=interp.
+    kernel_.SetEngineMode(EngineMode::kBlocks);
+    server_ = std::make_unique<OmosServer>(kernel_);
+    ASSERT_OK_AND_ASSIGN(ObjectFile crt0, Assemble(kCrt0, "crt0.o"));
+    ASSERT_OK(server_->AddFragment("/lib/crt0.o", std::move(crt0)));
+    ASSERT_OK_AND_ASSIGN(ObjectFile v1, Assemble(kAddLibV1, "addlib.o"));
+    ASSERT_OK(server_->AddFragment("/obj/addlib.o", std::move(v1)));
+    ASSERT_OK_AND_ASSIGN(ObjectFile v2, Assemble(kAddLibV2, "addlib2.o"));
+    ASSERT_OK(server_->AddFragment("/obj/addlib2.o", std::move(v2)));
+    ASSERT_OK_AND_ASSIGN(ObjectFile client, Assemble(kLoopingClient, "client.o"));
+    ASSERT_OK(server_->AddFragment("/obj/client.o", std::move(client)));
+    ASSERT_OK(server_->DefineLibrary("/lib/addlib", "(merge /obj/addlib.o)"));
+  }
+
+  Result<int> ExecAndRun(const std::string& path) {
+    OMOS_TRY(TaskId id, server_->IntegratedExec(path, {"prog"}));
+    Task* task = kernel_.FindTask(id);
+    OMOS_TRY_VOID(kernel_.RunTask(*task));
+    int code = task->exit_code();
+    server_->ReleaseTask(id);
+    kernel_.DestroyTask(id);
+    return code;
+  }
+
+  OmosServer::UpgradeStatus DrainToTerminal() {
+    OmosServer::UpgradeStatus status = server_->DrainUpgrade();
+    for (int round = 0; round < 64 && !status.terminal(); ++round) {
+      status = server_->DrainUpgrade();
+    }
+    return status;
+  }
+
+  Kernel kernel_;
+  std::unique_ptr<OmosServer> server_;
+};
+
+TEST_F(EngineInvalidationTest, RedefinitionDropsCachedBlocks) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/client.o /lib/addlib)"));
+  ASSERT_OK_AND_ASSIGN(int before, ExecAndRun("/bin/prog"));
+  EXPECT_EQ(before, 21);
+  EXPECT_GT(kernel_.engine().CachedBlocks(), 0u);
+
+  EngineMetrics& em = GetEngineMetrics();
+  uint64_t inval_before = em.invalidations->value();
+  uint64_t epoch_before = kernel_.engine().epoch();
+  ASSERT_OK(server_->DefineLibrary("/lib/addlib", "(merge /obj/addlib2.o)"));
+  EXPECT_EQ(kernel_.engine().CachedBlocks(), 0u);
+  EXPECT_GT(kernel_.engine().epoch(), epoch_before);
+  EXPECT_GT(em.invalidations->value(), inval_before);
+
+  ASSERT_OK_AND_ASSIGN(int after, ExecAndRun("/bin/prog"));
+  EXPECT_EQ(after, 51);
+}
+
+TEST_F(EngineInvalidationTest, UpgradeRepointInvalidatesCachedBlocks) {
+  ASSERT_OK(server_->DefineMeta("/bin/dynprog",
+                                "(merge /lib/crt0.o /obj/client.o"
+                                " (specialize \"lib-dynamic\" /lib/addlib))"));
+  ASSERT_OK_AND_ASSIGN(int before, ExecAndRun("/bin/dynprog"));
+  EXPECT_EQ(before, 21);
+
+  EngineMetrics& em = GetEngineMetrics();
+  uint64_t inval_before = em.invalidations->value();
+  ASSERT_OK(server_->BeginUpgrade("/lib/addlib", "(merge /obj/addlib2.o)"));
+  OmosServer::UpgradeStatus status = DrainToTerminal();
+  EXPECT_EQ(status.phase, UpgradePhase::kDone) << status.error;
+  EXPECT_GT(em.invalidations->value(), inval_before);
+
+  ASSERT_OK_AND_ASSIGN(int after, ExecAndRun("/bin/dynprog"));
+  EXPECT_EQ(after, 51);
+}
+
+// ---- Concurrency (run under TSan in CI) -------------------------------------
+
+// Redefinition while worker threads execute cached blocks: each task was
+// linked against the version current at exec time and its frames stay
+// alive (refcounted) through the redefinition, so it must exit with
+// exactly that version's value — a stale or torn decode would break the
+// arithmetic. The InvalidateAll storm races block decode/lookup on the
+// workers.
+TEST_F(EngineInvalidationTest, RedefinitionWhileTasksExecute) {
+  ASSERT_OK(server_->DefineMeta("/bin/prog", "(merge /lib/crt0.o /obj/client.o /lib/addlib)"));
+  constexpr int kWorkers = 4;
+  constexpr int kRounds = 4;
+  std::atomic<int> bad{0};
+  for (int round = 0; round < kRounds; ++round) {
+    const bool v2 = (round % 2) != 0;
+    ASSERT_OK(server_->DefineLibrary(
+        "/lib/addlib", v2 ? "(merge /obj/addlib2.o)" : "(merge /obj/addlib.o)"));
+    const int expected = v2 ? 51 : 21;
+
+    std::vector<TaskId> ids;
+    for (int i = 0; i < kWorkers; ++i) {
+      ASSERT_OK_AND_ASSIGN(TaskId id, server_->IntegratedExec("/bin/prog", {"prog"}));
+      ids.push_back(id);
+    }
+    std::atomic<int> finished{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (int i = 0; i < kWorkers; ++i) {
+      workers.emplace_back([&, i] {
+        Task* task = kernel_.FindTask(ids[static_cast<size_t>(i)]);
+        if (task == nullptr || !kernel_.RunTask(*task).ok() || task->exit_code() != expected) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+        finished.fetch_add(1, std::memory_order_release);
+      });
+    }
+    // Redefine back and forth while the workers run: every flip clears the
+    // block cache under their feet.
+    while (finished.load(std::memory_order_acquire) < kWorkers) {
+      ASSERT_OK(server_->DefineLibrary("/lib/addlib", "(merge /obj/addlib2.o)"));
+      ASSERT_OK(server_->DefineLibrary("/lib/addlib", "(merge /obj/addlib.o)"));
+      std::this_thread::yield();
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+    for (TaskId id : ids) {
+      server_->ReleaseTask(id);
+      kernel_.DestroyTask(id);
+    }
+  }
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// Raw InvalidateAll storm against concurrently executing tasks: the
+// shared_ptr discipline must keep in-flight blocks alive (no use-after-free
+// under ASan/TSan) and re-decoded blocks must compute the same results.
+TEST(EngineConcurrency, InvalidateAllWhileTasksExecute) {
+  Kernel kernel;
+  kernel.SetEngineMode(EngineMode::kBlocks);
+  ASSERT_OK_AND_ASSIGN(ObjectFile object, Assemble(kLoopProgram, "loop.o"));
+  Module module = Module::FromObject(std::make_shared<const ObjectFile>(std::move(object)));
+  LayoutSpec layout;
+  layout.entry_symbol = "_start";
+  ASSERT_OK_AND_ASSIGN(LinkedImage image, LinkImage(module, layout, "loop"));
+
+  constexpr int kWorkers = 4;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < kWorkers; ++i) {
+    Task& task = kernel.CreateTask(StrCat("worker", i));
+    ASSERT_OK(MapLinkedImage(kernel, task, image, "pagecache:loop"));
+    std::vector<std::string> args{"loop"};
+    ASSERT_OK(StartTask(kernel, task, image.entry, args));
+    tasks.push_back(&task);
+  }
+
+  std::atomic<int> bad{0};
+  std::atomic<int> finished{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.emplace_back([&, i] {
+      Task* task = tasks[static_cast<size_t>(i)];
+      if (!kernel.RunTask(*task).ok() || task->state() != TaskState::kExited ||
+          task->exit_code() != 0) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+      finished.fetch_add(1, std::memory_order_release);
+    });
+  }
+  uint64_t invalidations = 0;
+  while (finished.load(std::memory_order_acquire) < kWorkers) {
+    kernel.engine().InvalidateAll("test.storm");
+    ++invalidations;
+    std::this_thread::yield();
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace omos

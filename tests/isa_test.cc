@@ -34,6 +34,63 @@ TEST_P(OpcodeRoundTrip, NameRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
                          ::testing::Range(0, static_cast<int>(Opcode::kCount)));
 
+// Exhaustive round-trip property: every legal (opcode, r1, r2, r3) tuple —
+// with immediates probing every byte lane — encodes to 8 bytes that decode
+// back to the identical instruction. 38 * 16^3 * 4 ≈ 623k cases; the
+// decoded-block engine trusts this property to predecode text pages once.
+TEST(Isa, ExhaustiveEncodeDecodeRoundTrip) {
+  const uint32_t kImms[] = {0x00000000u, 0xFFFFFFFFu, 0x04030201u, 0x80000001u};
+  uint8_t bytes[kInsnSize];
+  for (int op = 0; op < static_cast<int>(Opcode::kCount); ++op) {
+    for (int r1 = 0; r1 < kNumRegisters; ++r1) {
+      for (int r2 = 0; r2 < kNumRegisters; ++r2) {
+        for (int r3 = 0; r3 < kNumRegisters; ++r3) {
+          Instruction insn{static_cast<Opcode>(op), static_cast<uint8_t>(r1),
+                           static_cast<uint8_t>(r2), static_cast<uint8_t>(r3),
+                           kImms[(r1 + r2 + r3) & 3]};
+          EncodeInsn(insn, bytes);
+          Result<Instruction> decoded = DecodeInsn(bytes);
+          ASSERT_TRUE(decoded.ok()) << Disassemble(insn) << ": " << decoded.error().ToString();
+          ASSERT_EQ(*decoded, insn) << Disassemble(insn);
+        }
+      }
+    }
+  }
+}
+
+// Rejection sweep, opcode byte: every value >= kCount must fail with the
+// "illegal opcode" diagnostic and must never be misread as a legal opcode.
+TEST(Isa, RejectsEveryIllegalOpcodeByte) {
+  uint8_t bytes[kInsnSize] = {0, 1, 2, 3, 0xAA, 0xBB, 0xCC, 0xDD};
+  for (int op = static_cast<int>(Opcode::kCount); op <= 0xFF; ++op) {
+    bytes[0] = static_cast<uint8_t>(op);
+    Result<Instruction> result = DecodeInsn(bytes);
+    ASSERT_FALSE(result.ok()) << "opcode byte " << op;
+    EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+    EXPECT_NE(result.error().message().find("illegal opcode"), std::string::npos);
+  }
+}
+
+// Rejection sweep, register bytes: every out-of-range value in each of the
+// three register positions must fail, independent of the opcode's shape
+// (the decoder validates all three lanes even for register-less forms).
+TEST(Isa, RejectsEveryBadRegisterByte) {
+  for (int op = 0; op < static_cast<int>(Opcode::kCount); ++op) {
+    for (int lane = 1; lane <= 3; ++lane) {
+      for (int bad : {kNumRegisters, kNumRegisters + 1, 0x7F, 0xFF}) {
+        uint8_t bytes[kInsnSize] = {static_cast<uint8_t>(op), 0, 0, 0, 0, 0, 0, 0};
+        bytes[lane] = static_cast<uint8_t>(bad);
+        Result<Instruction> result = DecodeInsn(bytes);
+        ASSERT_FALSE(result.ok())
+            << "opcode " << op << " lane " << lane << " value " << bad;
+        EXPECT_EQ(result.error().code(), ErrorCode::kExecFault);
+        EXPECT_NE(result.error().message().find("register index out of range"),
+                  std::string::npos);
+      }
+    }
+  }
+}
+
 TEST(Isa, RejectsIllegalOpcode) {
   uint8_t bytes[kInsnSize] = {255, 0, 0, 0, 0, 0, 0, 0};
   auto result = DecodeInsn(bytes);
